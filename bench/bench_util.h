@@ -1,0 +1,58 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every bench accepts:
+//   --quick        smaller n / fewer epochs (CI-friendly)
+//   --csv          emit CSV instead of an aligned table
+//   --seed=<u64>   override the experiment seed
+// and prints the paper's rows/series for one figure or table.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "metrics/table.h"
+
+namespace themis::bench {
+
+struct BenchArgs {
+  bool quick = false;
+  bool csv = false;
+  std::uint64_t seed = 1;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--quick") {
+        args.quick = true;
+      } else if (arg == "--csv") {
+        args.csv = true;
+      } else if (arg.starts_with("--seed=")) {
+        args.seed = std::strtoull(arg.substr(7).data(), nullptr, 10);
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << "flags: --quick --csv --seed=<u64>\n";
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+};
+
+inline void emit(const metrics::Table& table, const BenchArgs& args) {
+  if (args.csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+inline void banner(std::string_view title, std::string_view paper_ref) {
+  std::cout << "== " << title << " ==\n"
+            << "   reproduces: " << paper_ref << "\n";
+}
+
+}  // namespace themis::bench

@@ -1,0 +1,44 @@
+// Fig. 3: the initial computing-power distribution — blocks mined per node in
+// the BTC.com ranking week (Jan 06-12 2022) used to initialize h_i = b_i*H_0.
+#include <iostream>
+#include <numeric>
+
+#include "bench_util.h"
+#include "metrics/equality.h"
+#include "sim/power_dist.h"
+
+int main(int argc, char** argv) {
+  using namespace themis;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::banner("Fig. 3 — initial computing-power distribution",
+                "Jia et al., ICDCS 2022, Fig. 3 / §VII-A");
+
+  const auto& ranking = sim::btc_pool_ranking_jan2022();
+  std::uint64_t total = 0;
+  for (const auto& p : ranking) total += p.blocks;
+
+  metrics::Table t({"rank", "pool", "blocks", "share %", "h_i (x H_0)"});
+  std::size_t rank = 1;
+  for (const auto& p : ranking) {
+    const double share = 100.0 * static_cast<double>(p.blocks) /
+                         static_cast<double>(total);
+    const bool unknown = p.name == "unknown";
+    t.add_row({unknown ? "-" : std::to_string(rank++), p.name,
+               metrics::Table::num(p.blocks), metrics::Table::num(share, 2),
+               unknown ? "1 each" : metrics::Table::num(p.blocks)});
+  }
+  emit(t, args);
+
+  const std::uint64_t top4 = ranking[0].blocks + ranking[1].blocks +
+                             ranking[2].blocks + ranking[3].blocks;
+  std::cout << "\ntotal blocks: " << total
+            << "  top-4 share: " << 100.0 * top4 / total
+            << "% (paper: 59.17%)  unknown share: "
+            << 100.0 * ranking.back().blocks / total << "% (paper: 1.68%)\n";
+
+  const auto power = sim::btc_jan2022_power(100, 1.0);
+  std::cout << "sigma_p^2 of the raw distribution over 100 nodes: "
+            << metrics::probability_variance_from_power(power)
+            << " (the PoW-H baseline's per-round probability variance)\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 9 — stable variance of block-producing frequency against the epoch-
+// length factor beta (delta = beta * n).
+//
+// Paper shape: U-curve — small beta makes q_i/delta too noisy an estimate;
+// large beta lets high-power nodes overshoot within the counting window.
+// Recommended deployment range: beta in [7, 11].
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "sim/experiment.h"
+
+int main(int argc, char** argv) {
+  using namespace themis;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  bench::banner("Fig. 9 — stable sigma_f^2 vs beta (delta = beta*n)",
+                "Jia et al., ICDCS 2022, Fig. 9 / §VII-D");
+
+  const std::size_t n = args.quick ? 30 : 50;
+  const std::vector<double> betas =
+      args.quick ? std::vector<double>{2, 4, 8, 12, 16}
+                 : std::vector<double>{2, 3, 4, 6, 7, 8, 9, 10, 11, 12, 14, 16};
+  // "At the same block height" (§VII-D): every beta runs to the same height,
+  // and the stable value is the average sigma_f^2 of the last 5 full epochs
+  // (paper footnote 15).  The height budget gives the largest delta exactly 6
+  // epochs — this is what produces the paper's U-shape: small beta estimates
+  // q_i/delta too noisily, while large beta has spent most of the shared
+  // height budget before its multiples converge ("high computing power nodes
+  // have already produced many blocks in the counting epoch").
+  const std::uint64_t target_height =
+      static_cast<std::uint64_t>(6 * 16.0 * n);
+  const int seeds = args.quick ? 2 : 3;
+
+  std::cout << "n=" << n << "  common height=" << target_height
+            << "  seeds averaged=" << seeds << "\n";
+
+  metrics::Table t({"beta", "delta", "epochs", "stable sigma_f^2"});
+  for (const double beta : betas) {
+    RunningStats stable;
+    std::uint64_t delta = 0;
+    std::size_t epoch_count = 0;
+    for (int s = 0; s < seeds; ++s) {
+      sim::PoxConfig cfg;
+      cfg.algorithm = core::Algorithm::kThemis;
+      cfg.n_nodes = n;
+      cfg.beta = beta;
+      cfg.txs_per_block = 0;
+      cfg.seed = args.seed + static_cast<std::uint64_t>(s) * 7919;
+      sim::PoxExperiment exp(cfg);
+      exp.run_to_height(target_height);
+      const auto series = exp.per_epoch_frequency_variance();
+      delta = exp.delta();
+      epoch_count = series.size();
+      const std::size_t k = std::min<std::size_t>(5, series.size());
+      for (std::size_t i = series.size() - k; i < series.size(); ++i) {
+        stable.add(series[i]);
+      }
+    }
+    t.add_row({metrics::Table::num(beta, 0), std::to_string(delta),
+               std::to_string(epoch_count),
+               metrics::Table::num(stable.mean(), 7)});
+  }
+  emit(t, args);
+
+  std::cout << "\nPaper's recommendation: deploy with beta in [7, 11] (the "
+               "bottom of the U).\n";
+  return 0;
+}

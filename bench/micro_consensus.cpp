@@ -1,0 +1,119 @@
+// Microbenchmarks for the consensus hot paths (google-benchmark): GEOST and
+// GHOST tree walks, the Eq. 6 table computation, and event-queue throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "consensus/forkchoice.h"
+#include "core/adaptive_difficulty.h"
+#include "core/geost.h"
+#include "net/simulation.h"
+
+namespace {
+
+using namespace themis;
+
+/// A chain of `length` blocks with a small fork every 50 heights.
+ledger::BlockTree build_tree(std::uint64_t length, std::size_t n_nodes) {
+  ledger::BlockTree tree;
+  Rng rng(7);
+  ledger::BlockPtr parent =
+      std::make_shared<const ledger::Block>(ledger::Block::genesis());
+  std::uint64_t nonce = 0;
+  for (std::uint64_t h = 1; h <= length; ++h) {
+    auto make = [&](ledger::NodeId producer) {
+      ledger::BlockHeader hd;
+      hd.height = h;
+      hd.prev = parent->id();
+      hd.producer = producer;
+      hd.nonce = ++nonce;
+      hd.timestamp_nanos = static_cast<std::int64_t>(h) * 1'000'000'000;
+      return std::make_shared<const ledger::Block>(
+          hd, crypto::Signature{}, std::vector<ledger::Transaction>{});
+    };
+    auto main_block = make(static_cast<ledger::NodeId>(rng.next_below(n_nodes)));
+    tree.insert(main_block);
+    if (h % 50 == 0) {  // stale sibling
+      tree.insert(make(static_cast<ledger::NodeId>(rng.next_below(n_nodes))));
+    }
+    parent = std::move(main_block);
+  }
+  return tree;
+}
+
+void BM_GhostWalkFromGenesis(benchmark::State& state) {
+  const auto tree = build_tree(static_cast<std::uint64_t>(state.range(0)), 100);
+  consensus::GhostRule rule;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rule.choose_head(tree, tree.genesis_hash()));
+  }
+}
+BENCHMARK(BM_GhostWalkFromGenesis)->Arg(1000)->Arg(5000);
+
+void BM_GeostWalkFromGenesis(benchmark::State& state) {
+  const auto tree = build_tree(static_cast<std::uint64_t>(state.range(0)), 100);
+  core::GeostRule rule(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rule.choose_head(tree, tree.genesis_hash()));
+  }
+}
+BENCHMARK(BM_GeostWalkFromGenesis)->Arg(1000)->Arg(5000);
+
+void BM_SubtreeEqualityVariance(benchmark::State& state) {
+  const auto tree = build_tree(200, 100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::subtree_equality_variance(tree, tree.genesis_hash(), 100));
+  }
+}
+BENCHMARK(BM_SubtreeEqualityVariance);
+
+void BM_AdaptiveTableComputation(benchmark::State& state) {
+  const std::size_t n = 100;
+  const auto tree = build_tree(8 * n * 4, n);  // 4 epochs at beta = 8
+  core::AdaptiveConfig cfg;
+  cfg.n_nodes = n;
+  cfg.delta = 8 * n;
+  cfg.expected_interval_s = 4.0;
+  cfg.h0 = 1.0;
+  // Find the tip of the main chain to query against.
+  consensus::GhostRule rule;
+  const auto head = rule.choose_head(tree, tree.genesis_hash());
+  for (auto _ : state) {
+    core::AdaptiveDifficulty policy(cfg);  // cold cache each iteration
+    benchmark::DoNotOptimize(policy.difficulty_for(tree, head, 0));
+  }
+}
+BENCHMARK(BM_AdaptiveTableComputation);
+
+void BM_AdaptiveTableCachedLookup(benchmark::State& state) {
+  const std::size_t n = 100;
+  const auto tree = build_tree(8 * n * 4, n);
+  core::AdaptiveConfig cfg;
+  cfg.n_nodes = n;
+  cfg.delta = 8 * n;
+  cfg.expected_interval_s = 4.0;
+  cfg.h0 = 1.0;
+  core::AdaptiveDifficulty policy(cfg);
+  consensus::GhostRule rule;
+  const auto head = rule.choose_head(tree, tree.genesis_hash());
+  policy.difficulty_for(tree, head, 0);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.difficulty_for(tree, head, 0));
+  }
+}
+BENCHMARK(BM_AdaptiveTableCachedLookup);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    net::Simulation sim;
+    for (int i = 0; i < 10'000; ++i) {
+      sim.schedule_after(SimTime::nanos(i), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_EventQueueThroughput);
+
+}  // namespace

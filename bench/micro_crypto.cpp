@@ -1,0 +1,87 @@
+// Microbenchmarks for the cryptographic substrate (google-benchmark).
+//
+// These are not paper figures; they quantify the per-block costs §VI-C argues
+// are negligible: hashing for the PoW puzzle, header signing/verification,
+// and merkle commitments.
+#include <benchmark/benchmark.h>
+
+#include "crypto/hmac.h"
+#include "crypto/merkle.h"
+#include "crypto/schnorr.h"
+#include "crypto/sha256.h"
+#include "ledger/block.h"
+
+namespace {
+
+using namespace themis;
+
+void BM_Sha256_64B(benchmark::State& state) {
+  const Bytes data(64, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Sha256_64B);
+
+void BM_Sha256_4KiB(benchmark::State& state) {
+  const Bytes data(4096, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Sha256_4KiB);
+
+void BM_HeaderPowHash(benchmark::State& state) {
+  ledger::BlockHeader h;
+  h.height = 100;
+  h.difficulty = 1e6;
+  for (auto _ : state) {
+    ++h.nonce;  // one puzzle attempt
+    benchmark::DoNotOptimize(h.hash());
+  }
+}
+BENCHMARK(BM_HeaderPowHash);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key(32, 0x11);
+  const Bytes msg(32, 0x22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, msg));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  const auto keypair = crypto::Keypair::from_node_id(1);
+  const Hash32 msg = crypto::sha256(bytes_of("header"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keypair.sign(msg));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  const auto keypair = crypto::Keypair::from_node_id(1);
+  const Hash32 msg = crypto::sha256(bytes_of("header"));
+  const auto sig = keypair.sign(msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::verify(keypair.public_key(), msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+void BM_MerkleRoot(benchmark::State& state) {
+  std::vector<Hash32> leaves;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    leaves.push_back(crypto::sha256(Bytes{static_cast<std::uint8_t>(i),
+                                          static_cast<std::uint8_t>(i >> 8)}));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::merkle_root(leaves));
+  }
+}
+BENCHMARK(BM_MerkleRoot)->Arg(64)->Arg(1024)->Arg(4096);
+
+}  // namespace

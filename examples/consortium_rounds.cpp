@@ -1,0 +1,97 @@
+// A consortium blockchain in operation: 30 nodes with the paper's skewed
+// power distribution run Themis on the simulated 20 Mbps gossip network.
+// The example shows the two things a consortium operator cares about:
+//
+//   1. Equality/unpredictability converging epoch by epoch (the Fig. 4/5
+//      story at readable scale), and
+//   2. governance: a new member joining and a misbehaving member being
+//      removed through the NodeSetContract (§IV-C), with the resulting
+//      D_base rescale factor.
+//
+//   build/examples/consortium_rounds
+#include <cstdio>
+
+#include "nodeset/contract.h"
+#include "sim/experiment.h"
+#include "sim/power_dist.h"
+
+using namespace themis;
+
+int main() {
+  std::printf("consortium_rounds: 30-node Themis consortium\n\n");
+
+  sim::PoxConfig cfg;
+  cfg.algorithm = core::Algorithm::kThemis;
+  cfg.n_nodes = 30;
+  cfg.beta = 8;
+  cfg.expected_interval_s = 2.0;
+  cfg.txs_per_block = 1024;
+  cfg.seed = 2022;
+  sim::PoxExperiment consortium(cfg);
+
+  const std::uint64_t epochs = 6;
+  std::printf("running %llu epochs of %llu blocks (beta = 8)...\n\n",
+              static_cast<unsigned long long>(epochs),
+              static_cast<unsigned long long>(consortium.delta()));
+  consortium.run_to_height(epochs * consortium.delta());
+
+  const auto freq_var = consortium.per_epoch_frequency_variance();
+  const auto prob_var = consortium.per_epoch_probability_variance();
+  std::printf("epoch | sigma_f^2 (Equality) | sigma_p^2 (Unpredictability)\n");
+  for (std::size_t e = 0; e < freq_var.size(); ++e) {
+    std::printf("  %2zu  |      %10.6f      |      %10.6f\n", e, freq_var[e],
+                prob_var[e]);
+  }
+  std::printf("\nThe multiples absorb the initial 180:1 power spread: both "
+              "variances fall toward the 1/n ideal.\n");
+
+  const auto forks = consortium.fork_stats();
+  std::printf("\nledger health after %.0f simulated seconds:\n",
+              consortium.elapsed().to_seconds());
+  std::printf("  main chain height : %llu\n",
+              static_cast<unsigned long long>(consortium.reference().head_height()));
+  std::printf("  throughput        : %.1f TPS\n", consortium.tps());
+  std::printf("  stale rate        : %.2f%%  (longest fork: %llu blocks)\n",
+              100.0 * forks.stale_rate,
+              static_cast<unsigned long long>(forks.longest_fork_duration));
+
+  // --- governance: node set update (§IV-C) --------------------------------
+  std::printf("\n--- governance via NodeSetContract ---\n");
+  std::vector<nodeset::NodeIdentity> identities;
+  for (ledger::NodeId i = 0; i < 30; ++i) {
+    identities.push_back({i, crypto::Keypair::from_node_id(i).public_key(),
+                          "node" + std::to_string(i)});
+  }
+  nodeset::NodeSetContract contract(identities);
+
+  // A new organization applies through member 3.
+  nodeset::NodeIdentity newcomer{30, crypto::Keypair::from_node_id(30).public_key(),
+                                 "newco.example"};
+  const auto join = contract.propose_add(3, newcomer);
+  std::printf("member 3 relayed a join proposal for node 30\n");
+  for (ledger::NodeId voter = 0; voter < 30; ++voter) {
+    if (contract.proposal(join).status != nodeset::ProposalStatus::open) break;
+    if (voter % 2 == 0) contract.vote(join, voter, true);
+  }
+  std::printf("proposal %llu status: %s\n",
+              static_cast<unsigned long long>(join),
+              contract.proposal(join).status == nodeset::ProposalStatus::passed
+                  ? "passed"
+                  : "open");
+
+  // Member 7 is caught packing invalid transactions.
+  const auto removal =
+      contract.propose_remove(0, 7, "packed invalid transactions at height 412");
+  for (ledger::NodeId voter = 10; voter < 26; ++voter) {
+    if (contract.proposal(removal).status != nodeset::ProposalStatus::open) break;
+    contract.vote(removal, voter, true);
+  }
+
+  const auto activation = contract.activate_pending();
+  std::printf("activated at the next round: +%zu member(s), -%zu member(s)\n",
+              activation.added.size(), activation.removed.size());
+  std::printf("consortium now has %zu members; D_base rescale factor "
+              "n_new/n_old = %.4f (§IV-C)\n",
+              contract.member_count(), activation.base_difficulty_scale);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Lightweight precondition / invariant checking.
+//
+// Following the Core Guidelines (I.6 "Prefer Expects() for expressing
+// preconditions", E.12) we centralize argument and invariant checking in two
+// tiny helpers that throw a dedicated exception type.  They are plain
+// functions, not macros, so call sites stay greppable and type-checked.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace themis {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an internal invariant does not hold (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Check a caller-facing precondition; throws PreconditionError on failure.
+inline void expects(bool condition, std::string_view message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw PreconditionError(std::string(loc.file_name()) + ":" +
+                            std::to_string(loc.line()) + ": precondition failed: " +
+                            std::string(message));
+  }
+}
+
+/// Check an internal invariant; throws InvariantError on failure.
+inline void ensures(bool condition, std::string_view message,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw InvariantError(std::string(loc.file_name()) + ":" +
+                         std::to_string(loc.line()) + ": invariant failed: " +
+                         std::string(message));
+  }
+}
+
+}  // namespace themis

@@ -1,0 +1,162 @@
+// Bounds-checked binary serialization.
+//
+// All on-wire / on-disk encodings in the library use these little-endian
+// primitives, so encode/decode are symmetric by construction.  Reader throws
+// DecodeError instead of reading past the end; Writer owns its buffer.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+#include "common/check.h"
+
+namespace themis {
+
+class DecodeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { write_le(v); }
+  void u32(std::uint32_t v) { write_le(v); }
+  void u64(std::uint64_t v) { write_le(v); }
+  void i64(std::int64_t v) { write_le(static_cast<std::uint64_t>(v)); }
+
+  /// IEEE-754 doubles are serialized via their bit pattern.
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// LEB128-style variable-length unsigned integer (1..10 bytes).
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void raw(ByteSpan data) { buf_.insert(buf_.end(), data.begin(), data.end()); }
+  void hash(const Hash32& h) { raw(ByteSpan(h.data(), h.size())); }
+
+  /// Length-prefixed byte string.
+  void bytes(ByteSpan data) {
+    varint(data.size());
+    raw(data);
+  }
+  void str(std::string_view s) {
+    bytes(ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  const Bytes& buffer() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  template <typename T>
+  void write_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(ByteSpan data) : data_(data) {}
+
+  std::uint8_t u8() { return read_le<std::uint8_t>(); }
+  std::uint16_t u16() { return read_le<std::uint16_t>(); }
+  std::uint32_t u32() { return read_le<std::uint32_t>(); }
+  std::uint64_t u64() { return read_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(read_le<std::uint64_t>()); }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  std::uint64_t varint() {
+    std::uint64_t out = 0;
+    int shift = 0;
+    for (int i = 0; i < 10; ++i) {
+      const std::uint8_t byte = u8();
+      out |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return out;
+      shift += 7;
+    }
+    throw DecodeError("varint longer than 10 bytes");
+  }
+
+  Bytes raw(std::size_t n) {
+    require(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  Hash32 hash() {
+    require(32);
+    Hash32 h{};
+    std::memcpy(h.data(), data_.data() + pos_, 32);
+    pos_ += 32;
+    return h;
+  }
+
+  Bytes bytes() {
+    const std::uint64_t n = varint();
+    if (n > remaining()) throw DecodeError("length prefix exceeds buffer");
+    return raw(static_cast<std::size_t>(n));
+  }
+
+  std::string str() {
+    const Bytes b = bytes();
+    return std::string(b.begin(), b.end());
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  /// Throw unless the whole buffer was consumed (trailing garbage check).
+  void expect_done() const {
+    if (!done()) throw DecodeError("trailing bytes after decode");
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (n > remaining()) throw DecodeError("read past end of buffer");
+  }
+
+  template <typename T>
+  T read_le() {
+    require(sizeof(T));
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return static_cast<T>(v);
+  }
+
+  ByteSpan data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace themis

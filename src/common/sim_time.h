@@ -1,0 +1,55 @@
+// Simulated-time types.
+//
+// The discrete-event simulator measures time in integer nanoseconds to keep
+// event ordering exact and platform-independent.  SimTime is a strong type
+// (distinct from plain int64_t) so durations and wall-clock instants cannot
+// be mixed up with other integers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace themis {
+
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr SimTime zero() { return SimTime(0); }
+  static constexpr SimTime nanos(std::int64_t n) { return SimTime(n); }
+  static constexpr SimTime micros(std::int64_t us) { return SimTime(us * 1000); }
+  static constexpr SimTime millis(std::int64_t ms) { return SimTime(ms * 1'000'000); }
+  static constexpr SimTime seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(s * 1e9));
+  }
+  /// Largest representable instant; used as "never".
+  static constexpr SimTime infinity() { return SimTime(INT64_MAX); }
+
+  constexpr std::int64_t count_nanos() const { return nanos_; }
+  constexpr double to_seconds() const { return static_cast<double>(nanos_) / 1e9; }
+
+  constexpr SimTime operator+(SimTime rhs) const { return SimTime(nanos_ + rhs.nanos_); }
+  constexpr SimTime operator-(SimTime rhs) const { return SimTime(nanos_ - rhs.nanos_); }
+  constexpr SimTime operator*(std::int64_t k) const { return SimTime(nanos_ * k); }
+  SimTime& operator+=(SimTime rhs) {
+    nanos_ += rhs.nanos_;
+    return *this;
+  }
+  SimTime& operator-=(SimTime rhs) {
+    nanos_ -= rhs.nanos_;
+    return *this;
+  }
+
+  auto operator<=>(const SimTime&) const = default;
+
+  std::string to_string() const {
+    return std::to_string(to_seconds()) + "s";
+  }
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+}  // namespace themis

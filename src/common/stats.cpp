@@ -1,0 +1,63 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace themis {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() <= 1) return 0.0;
+  const double mu = mean(xs);
+  double sum = 0.0;
+  for (double x : xs) {
+    const double d = x - mu;
+    sum += d * d;
+  }
+  return sum / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double frequency_variance(std::span<const std::uint64_t> counts, double total) {
+  if (counts.empty() || total <= 0.0) return 0.0;
+  std::vector<double> freqs;
+  freqs.reserve(counts.size());
+  for (std::uint64_t c : counts) freqs.push_back(static_cast<double>(c) / total);
+  return variance(freqs);
+}
+
+}  // namespace themis

@@ -1,0 +1,49 @@
+// Descriptive statistics used by the paper's metrics (Eq. 1 and Eq. 2).
+//
+// Both σ_f² (variance of block-producing frequency, the Equality metric) and
+// σ_p² (variance of block-producing probability, the Unpredictability metric)
+// are *population* variances over the consensus node set, so `variance()`
+// divides by N, not N-1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace themis {
+
+double mean(std::span<const double> xs);
+
+/// Population variance: sum((x - mean)^2) / N.  Returns 0 for N <= 1.
+double variance(std::span<const double> xs);
+
+double stddev(std::span<const double> xs);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Streaming mean/variance (Welford).  Numerically stable; population stats.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const { return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_); }
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience: variance of counts normalized by `total` (frequencies).
+/// Matches Eq. 1 with f_i = q_i / Δ when total = Δ.
+double frequency_variance(std::span<const std::uint64_t> counts, double total);
+
+}  // namespace themis

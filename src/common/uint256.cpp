@@ -1,0 +1,261 @@
+#include "common/uint256.h"
+
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace themis {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+UInt256 UInt256::from_be_bytes(const Hash32& bytes) {
+  UInt256 out;
+  for (int limb = 0; limb < 4; ++limb) {
+    u64 v = 0;
+    // limb 0 is least significant -> last 8 bytes of the big-endian buffer.
+    const std::size_t base = static_cast<std::size_t>((3 - limb) * 8);
+    for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | bytes[base + i];
+    out.limbs_[static_cast<std::size_t>(limb)] = v;
+  }
+  return out;
+}
+
+Hash32 UInt256::to_be_bytes() const {
+  Hash32 out{};
+  for (int limb = 0; limb < 4; ++limb) {
+    u64 v = limbs_[static_cast<std::size_t>(limb)];
+    const std::size_t base = static_cast<std::size_t>((3 - limb) * 8);
+    for (int i = 7; i >= 0; --i) {
+      out[base + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+UInt256 UInt256::from_hex(std::string_view hex) {
+  expects(!hex.empty() && hex.size() <= 64, "hex literal must be 1..64 chars");
+  // Left-pad to 64 chars, then decode big-endian.
+  std::string padded(64 - hex.size(), '0');
+  padded.append(hex);
+  const Bytes raw = themis::from_hex(padded);
+  Hash32 h{};
+  std::copy(raw.begin(), raw.end(), h.begin());
+  return from_be_bytes(h);
+}
+
+std::string UInt256::to_hex() const { return themis::to_hex(to_be_bytes()); }
+
+int UInt256::bit_length() const {
+  for (int i = 3; i >= 0; --i) {
+    const u64 limb = limbs_[static_cast<std::size_t>(i)];
+    if (limb != 0) return i * 64 + 63 - std::countl_zero(limb);
+  }
+  return -1;
+}
+
+bool UInt256::add_overflow(const UInt256& rhs, UInt256& out) const {
+  u64 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 sum = static_cast<u128>(limbs_[i]) + rhs.limbs_[i] + carry;
+    out.limbs_[i] = static_cast<u64>(sum);
+    carry = static_cast<u64>(sum >> 64);
+  }
+  return carry != 0;
+}
+
+bool UInt256::sub_borrow(const UInt256& rhs, UInt256& out) const {
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 lhs = static_cast<u128>(limbs_[i]);
+    const u128 sub = static_cast<u128>(rhs.limbs_[i]) + borrow;
+    out.limbs_[i] = static_cast<u64>(lhs - sub);
+    borrow = lhs < sub ? 1 : 0;
+  }
+  return borrow != 0;
+}
+
+UInt256 UInt256::operator+(const UInt256& rhs) const {
+  UInt256 out;
+  add_overflow(rhs, out);
+  return out;
+}
+
+UInt256 UInt256::operator-(const UInt256& rhs) const {
+  UInt256 out;
+  sub_borrow(rhs, out);
+  return out;
+}
+
+UInt256 UInt256::operator*(const UInt256& rhs) const {
+  UInt256 hi, lo;
+  mul_wide(*this, rhs, hi, lo);
+  return lo;
+}
+
+void UInt256::mul_wide(const UInt256& a, const UInt256& b, UInt256& hi, UInt256& lo) {
+  u64 prod[8] = {0};
+  for (std::size_t i = 0; i < 4; ++i) {
+    u64 carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      const u128 cur = static_cast<u128>(a.limbs_[i]) * b.limbs_[j] + prod[i + j] + carry;
+      prod[i + j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    prod[i + 4] = carry;
+  }
+  lo = UInt256(prod[0], prod[1], prod[2], prod[3]);
+  hi = UInt256(prod[4], prod[5], prod[6], prod[7]);
+}
+
+UInt256 UInt256::operator<<(int shift) const {
+  expects(shift >= 0 && shift < 256, "shift out of range");
+  if (shift == 0) return *this;
+  UInt256 out;
+  const int limb_shift = shift / 64;
+  const int bit_shift = shift % 64;
+  for (int i = 3; i >= 0; --i) {
+    const int src = i - limb_shift;
+    u64 v = 0;
+    if (src >= 0) {
+      v = limbs_[static_cast<std::size_t>(src)] << bit_shift;
+      if (bit_shift != 0 && src - 1 >= 0) {
+        v |= limbs_[static_cast<std::size_t>(src - 1)] >> (64 - bit_shift);
+      }
+    }
+    out.limbs_[static_cast<std::size_t>(i)] = v;
+  }
+  return out;
+}
+
+UInt256 UInt256::operator>>(int shift) const {
+  expects(shift >= 0 && shift < 256, "shift out of range");
+  if (shift == 0) return *this;
+  UInt256 out;
+  const int limb_shift = shift / 64;
+  const int bit_shift = shift % 64;
+  for (int i = 0; i < 4; ++i) {
+    const int src = i + limb_shift;
+    u64 v = 0;
+    if (src <= 3) {
+      v = limbs_[static_cast<std::size_t>(src)] >> bit_shift;
+      if (bit_shift != 0 && src + 1 <= 3) {
+        v |= limbs_[static_cast<std::size_t>(src + 1)] << (64 - bit_shift);
+      }
+    }
+    out.limbs_[static_cast<std::size_t>(i)] = v;
+  }
+  return out;
+}
+
+UInt256 UInt256::operator&(const UInt256& rhs) const {
+  UInt256 out;
+  for (std::size_t i = 0; i < 4; ++i) out.limbs_[i] = limbs_[i] & rhs.limbs_[i];
+  return out;
+}
+
+UInt256 UInt256::operator|(const UInt256& rhs) const {
+  UInt256 out;
+  for (std::size_t i = 0; i < 4; ++i) out.limbs_[i] = limbs_[i] | rhs.limbs_[i];
+  return out;
+}
+
+UInt256 UInt256::operator^(const UInt256& rhs) const {
+  UInt256 out;
+  for (std::size_t i = 0; i < 4; ++i) out.limbs_[i] = limbs_[i] ^ rhs.limbs_[i];
+  return out;
+}
+
+UInt256 UInt256::operator~() const {
+  UInt256 out;
+  for (std::size_t i = 0; i < 4; ++i) out.limbs_[i] = ~limbs_[i];
+  return out;
+}
+
+UInt256 UInt256::mul_small(u64 rhs, u64& carry_out) const {
+  UInt256 out;
+  u64 carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const u128 cur = static_cast<u128>(limbs_[i]) * rhs + carry;
+    out.limbs_[i] = static_cast<u64>(cur);
+    carry = static_cast<u64>(cur >> 64);
+  }
+  carry_out = carry;
+  return out;
+}
+
+UInt256 UInt256::div_small(u64 rhs, u64& remainder) const {
+  expects(rhs != 0, "division by zero");
+  UInt256 out;
+  u128 rem = 0;
+  for (int i = 3; i >= 0; --i) {
+    const u128 cur = (rem << 64) | limbs_[static_cast<std::size_t>(i)];
+    out.limbs_[static_cast<std::size_t>(i)] = static_cast<u64>(cur / rhs);
+    rem = cur % rhs;
+  }
+  remainder = static_cast<u64>(rem);
+  return out;
+}
+
+DivResult UInt256::divmod(const UInt256& divisor) const {
+  expects(!divisor.is_zero(), "division by zero");
+  DivResult r;
+  if (*this < divisor) {
+    r.remainder = *this;
+    return r;
+  }
+  // Fast path when the divisor fits one limb.
+  if (divisor.bit_length() < 64) {
+    u64 rem = 0;
+    r.quotient = div_small(divisor.limb(0), rem);
+    r.remainder = UInt256(rem);
+    return r;
+  }
+  // Schoolbook binary long division, MSB first.
+  UInt256 quotient, remainder;
+  for (int i = bit_length(); i >= 0; --i) {
+    remainder = remainder << 1;
+    if (bit(i)) remainder.limbs_[0] |= 1;
+    if (remainder >= divisor) {
+      remainder -= divisor;
+      quotient.limbs_[static_cast<std::size_t>(i / 64)] |= (1ull << (i % 64));
+    }
+  }
+  r.quotient = quotient;
+  r.remainder = remainder;
+  return r;
+}
+
+double UInt256::to_double() const {
+  double out = 0.0;
+  for (int i = 3; i >= 0; --i) {
+    out = out * 18446744073709551616.0 +  // 2^64
+          static_cast<double>(limbs_[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+UInt256 target_for_difficulty(double difficulty) {
+  expects(std::isfinite(difficulty) && difficulty >= 1.0 &&
+              difficulty < std::ldexp(1.0, 200),
+          "difficulty must lie in [1, 2^200)");
+  if (difficulty == 1.0) return UInt256::max();
+  // Decompose d = m * 2^e with m in [0.5, 1); then
+  //   T_max / d = (T_max >> e) * 2^32 / round(m * 2^32).
+  int e = 0;
+  const double m = std::frexp(difficulty, &e);
+  const u64 md = static_cast<u64>(std::llround(std::ldexp(m, 32)));  // [2^31, 2^32]
+  UInt256 shifted = UInt256::max() >> e;
+  u64 rem = 0;
+  UInt256 q = shifted.div_small(md, rem);
+  return q << 32;
+}
+
+double difficulty_for_target(const UInt256& target) {
+  expects(!target.is_zero(), "target must be non-zero");
+  return UInt256::max().to_double() / target.to_double();
+}
+
+}  // namespace themis

@@ -1,0 +1,118 @@
+// 256-bit unsigned integer arithmetic.
+//
+// Used for proof-of-work targets (hash < target comparisons), difficulty ->
+// target conversion, and as the substrate for the secp256k1 field and scalar
+// arithmetic in themis::crypto.  Little-endian limb order: limb_[0] holds the
+// least-significant 64 bits.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace themis {
+
+struct DivResult;
+
+class UInt256 {
+ public:
+  constexpr UInt256() : limbs_{0, 0, 0, 0} {}
+  constexpr explicit UInt256(std::uint64_t v) : limbs_{v, 0, 0, 0} {}
+  constexpr UInt256(std::uint64_t l0, std::uint64_t l1, std::uint64_t l2,
+                    std::uint64_t l3)
+      : limbs_{l0, l1, l2, l3} {}
+
+  /// Big-endian 32-byte decode (the natural byte order of SHA-256 digests).
+  static UInt256 from_be_bytes(const Hash32& bytes);
+  /// Big-endian 32-byte encode.
+  Hash32 to_be_bytes() const;
+
+  /// Parse up to 64 hex characters (no 0x prefix). Throws on bad input.
+  static UInt256 from_hex(std::string_view hex);
+  std::string to_hex() const;
+
+  static constexpr UInt256 zero() { return UInt256(); }
+  static constexpr UInt256 one() { return UInt256(1); }
+  /// 2^256 - 1, the maximum SHA-256 output (T_max in the paper, Eq. 7).
+  static constexpr UInt256 max() {
+    return UInt256(~0ull, ~0ull, ~0ull, ~0ull);
+  }
+
+  bool is_zero() const { return (limbs_[0] | limbs_[1] | limbs_[2] | limbs_[3]) == 0; }
+  std::uint64_t limb(int i) const { return limbs_[static_cast<std::size_t>(i)]; }
+  void set_limb(int i, std::uint64_t v) { limbs_[static_cast<std::size_t>(i)] = v; }
+
+  /// Index of the highest set bit (0-based), or -1 when zero.
+  int bit_length() const;
+  bool bit(int i) const {
+    return (limbs_[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1u;
+  }
+
+  // Arithmetic (mod 2^256; overflow wraps, as usual for fixed-width integers).
+  UInt256 operator+(const UInt256& rhs) const;
+  UInt256 operator-(const UInt256& rhs) const;
+  UInt256 operator*(const UInt256& rhs) const;  // low 256 bits of the product
+  UInt256 operator<<(int shift) const;
+  UInt256 operator>>(int shift) const;
+  UInt256 operator&(const UInt256& rhs) const;
+  UInt256 operator|(const UInt256& rhs) const;
+  UInt256 operator^(const UInt256& rhs) const;
+  UInt256 operator~() const;
+
+  UInt256& operator+=(const UInt256& rhs) { return *this = *this + rhs; }
+  UInt256& operator-=(const UInt256& rhs) { return *this = *this - rhs; }
+
+  /// Add with carry-out (true if the sum wrapped past 2^256).
+  bool add_overflow(const UInt256& rhs, UInt256& out) const;
+  /// Subtract with borrow-out (true if rhs > *this).
+  bool sub_borrow(const UInt256& rhs, UInt256& out) const;
+
+  /// Multiply by a 64-bit value; returns low 256 bits, writes the carry limb.
+  UInt256 mul_small(std::uint64_t rhs, std::uint64_t& carry_out) const;
+  /// Divide by a 64-bit value; returns quotient, writes remainder.
+  UInt256 div_small(std::uint64_t rhs, std::uint64_t& remainder) const;
+
+  /// Full 256/256 long division. Throws PreconditionError on divide-by-zero.
+  DivResult divmod(const UInt256& divisor) const;
+
+  /// Full 256x256 -> 512-bit product as (high, low) pair.
+  static void mul_wide(const UInt256& a, const UInt256& b, UInt256& hi, UInt256& lo);
+
+  /// Approximate conversion to double (for statistics/diagnostics).
+  double to_double() const;
+
+  auto operator<=>(const UInt256& rhs) const {
+    for (int i = 3; i >= 0; --i) {
+      if (limbs_[static_cast<std::size_t>(i)] != rhs.limbs_[static_cast<std::size_t>(i)]) {
+        return limbs_[static_cast<std::size_t>(i)] < rhs.limbs_[static_cast<std::size_t>(i)]
+                   ? std::strong_ordering::less
+                   : std::strong_ordering::greater;
+      }
+    }
+    return std::strong_ordering::equal;
+  }
+  bool operator==(const UInt256& rhs) const = default;
+
+ private:
+  std::array<std::uint64_t, 4> limbs_;
+};
+
+/// Quotient/remainder pair returned by UInt256::divmod.
+struct DivResult {
+  UInt256 quotient;
+  UInt256 remainder;
+};
+
+/// Proof-of-work target for a real-valued difficulty `d >= 1`:
+/// target = floor(T_max / d) up to rounding (§IV-B: t_i = T_0 / D_i with
+/// T_0 = T_max).  Accepts d in [1, 2^200); throws otherwise.
+UInt256 target_for_difficulty(double difficulty);
+
+/// Inverse of target_for_difficulty (approximate): T_max / target.
+double difficulty_for_target(const UInt256& target);
+
+}  // namespace themis

@@ -1,0 +1,14 @@
+#include "consensus/difficulty.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace themis::consensus {
+
+FixedDifficulty::FixedDifficulty(double difficulty) : difficulty_(difficulty) {
+  expects(std::isfinite(difficulty) && difficulty >= 1.0,
+          "difficulty must be finite and >= 1");
+}
+
+}  // namespace themis::consensus

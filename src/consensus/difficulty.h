@@ -1,0 +1,59 @@
+// Difficulty policies.
+//
+// A policy answers one question for miners and verifiers alike: what is the
+// block-producing difficulty of node N_i for a block extending `parent`?
+// Making the difficulty a pure function of the parent chain (rather than the
+// verifier's current head) is what lets every node "verify the validity of
+// blocks without extra communication" (§IV-A): all nodes derive identical
+// difficulty tables from identical chain prefixes.
+//
+// The fixed policy here backs the PoW-H baseline; the paper's self-adaptive
+// policy (Eq. 3-7) lives in src/core/adaptive_difficulty.h.
+#pragma once
+
+#include <cstdint>
+
+#include "ledger/blocktree.h"
+#include "ledger/types.h"
+
+namespace themis::consensus {
+
+class DifficultyPolicy {
+ public:
+  virtual ~DifficultyPolicy() = default;
+
+  /// Difficulty D for a block by `producer` extending `parent` (in `tree`).
+  virtual double difficulty_for(const ledger::BlockTree& tree,
+                                const ledger::BlockHash& parent,
+                                ledger::NodeId producer) = 0;
+
+  /// Difficulty-adjustment epoch of a block extending `parent` (e in the
+  /// paper; 0 for policies without epochs).
+  virtual std::uint32_t epoch_for(const ledger::BlockTree& tree,
+                                  const ledger::BlockHash& parent) = 0;
+};
+
+/// PoW-H baseline: one network-wide difficulty, identical for all producers
+/// (Fig. 1a: "each node has the same difficulty").  Calibrated by the caller
+/// so that the expected block interval is I_0 given the total hash rate:
+/// D = I_0 * sum(h_i)  (with the T_0 = T_max convention of Eq. 7).
+class FixedDifficulty final : public DifficultyPolicy {
+ public:
+  explicit FixedDifficulty(double difficulty);
+
+  double difficulty_for(const ledger::BlockTree&, const ledger::BlockHash&,
+                        ledger::NodeId) override {
+    return difficulty_;
+  }
+  std::uint32_t epoch_for(const ledger::BlockTree&,
+                          const ledger::BlockHash&) override {
+    return 0;
+  }
+
+  double value() const { return difficulty_; }
+
+ private:
+  double difficulty_;
+};
+
+}  // namespace themis::consensus

@@ -1,0 +1,67 @@
+#include "consensus/forkchoice.h"
+
+#include "common/check.h"
+
+namespace themis::consensus {
+
+using ledger::BlockHash;
+using ledger::BlockTree;
+
+BlockHash ForkChoiceRule::choose_head(const BlockTree& tree,
+                                      const BlockHash& start) const {
+  expects(tree.contains(start), "start block must be in the tree");
+  BlockHash cur = start;
+  for (;;) {
+    const std::vector<BlockHash>& kids = tree.children(cur);
+    if (kids.empty()) return cur;
+    cur = (kids.size() == 1) ? kids[0] : pick_child(tree, kids);
+  }
+}
+
+std::uint64_t subtree_max_height(const BlockTree& tree, const BlockHash& id) {
+  std::uint64_t best = tree.height(id);
+  std::vector<BlockHash> stack{id};
+  while (!stack.empty()) {
+    const BlockHash cur = stack.back();
+    stack.pop_back();
+    best = std::max(best, tree.height(cur));
+    for (const BlockHash& child : tree.children(cur)) stack.push_back(child);
+  }
+  return best;
+}
+
+BlockHash LongestChainRule::pick_child(
+    const BlockTree& tree, const std::vector<BlockHash>& children) const {
+  BlockHash best = children[0];
+  std::uint64_t best_depth = subtree_max_height(tree, best);
+  for (std::size_t i = 1; i < children.size(); ++i) {
+    const std::uint64_t depth = subtree_max_height(tree, children[i]);
+    const bool deeper = depth > best_depth;
+    const bool earlier_tie =
+        depth == best_depth && tree.receipt_seq(children[i]) < tree.receipt_seq(best);
+    if (deeper || earlier_tie) {
+      best = children[i];
+      best_depth = depth;
+    }
+  }
+  return best;
+}
+
+BlockHash GhostRule::pick_child(const BlockTree& tree,
+                                const std::vector<BlockHash>& children) const {
+  BlockHash best = children[0];
+  std::uint64_t best_weight = tree.subtree_size(best);
+  for (std::size_t i = 1; i < children.size(); ++i) {
+    const std::uint64_t weight = tree.subtree_size(children[i]);
+    const bool heavier = weight > best_weight;
+    const bool earlier_tie =
+        weight == best_weight && tree.receipt_seq(children[i]) < tree.receipt_seq(best);
+    if (heavier || earlier_tie) {
+      best = children[i];
+      best_weight = weight;
+    }
+  }
+  return best;
+}
+
+}  // namespace themis::consensus

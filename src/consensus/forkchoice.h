@@ -1,0 +1,70 @@
+// Fork-choice (main chain consensus) rules.
+//
+// All three rules the paper discusses share the same greedy walk over the
+// block tree (Algorithm 1's loop structure): starting from a block known to
+// be on the main chain, repeatedly descend into the preferred child until a
+// leaf is reached.  They differ only in how a child is preferred:
+//
+//   * Longest chain [Nakamoto]:  deepest subtree, tie -> first received.
+//   * GHOST [Sompolinsky-Zohar]: heaviest subtree (most blocks),
+//                                tie -> first received.
+//   * GEOST (this paper, §V):    heaviest subtree, tie -> lowest variance of
+//                                block-producing frequency within the
+//                                subtree, tie -> first received.
+//
+// GEOST itself lives in src/core (it is the paper's contribution); the
+// baselines live here.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "ledger/blocktree.h"
+
+namespace themis::consensus {
+
+class ForkChoiceRule {
+ public:
+  virtual ~ForkChoiceRule() = default;
+
+  /// Greedy walk from `start` (must be on the main chain, e.g. the genesis
+  /// block or a finalized anchor) to the preferred head.
+  ledger::BlockHash choose_head(const ledger::BlockTree& tree,
+                                const ledger::BlockHash& start) const;
+
+  virtual std::string_view name() const = 0;
+
+ protected:
+  /// Pick the preferred child among `children` (size >= 2).
+  virtual ledger::BlockHash pick_child(
+      const ledger::BlockTree& tree,
+      const std::vector<ledger::BlockHash>& children) const = 0;
+};
+
+/// Nakamoto's longest-chain rule.
+class LongestChainRule final : public ForkChoiceRule {
+ public:
+  std::string_view name() const override { return "longest-chain"; }
+
+ protected:
+  ledger::BlockHash pick_child(
+      const ledger::BlockTree& tree,
+      const std::vector<ledger::BlockHash>& children) const override;
+};
+
+/// The Greedy Heaviest-Observed Sub-Tree rule.
+class GhostRule final : public ForkChoiceRule {
+ public:
+  std::string_view name() const override { return "ghost"; }
+
+ protected:
+  ledger::BlockHash pick_child(
+      const ledger::BlockTree& tree,
+      const std::vector<ledger::BlockHash>& children) const override;
+};
+
+/// Deepest leaf height reachable within the subtree rooted at `id`.
+std::uint64_t subtree_max_height(const ledger::BlockTree& tree,
+                                 const ledger::BlockHash& id);
+
+}  // namespace themis::consensus

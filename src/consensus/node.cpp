@@ -1,0 +1,218 @@
+#include "consensus/node.h"
+
+#include "common/check.h"
+#include "consensus/wire.h"
+#include "crypto/merkle.h"
+
+namespace themis::consensus {
+
+using ledger::Block;
+using ledger::BlockHash;
+using ledger::BlockPtr;
+
+PowNode::PowNode(net::Simulation& sim, net::GossipNetwork& network,
+                 NodeConfig config, std::shared_ptr<ForkChoiceRule> rule,
+                 std::shared_ptr<DifficultyPolicy> policy,
+                 std::shared_ptr<const KeyRegistry> registry)
+    : sim_(sim),
+      network_(network),
+      config_(config),
+      rule_(std::move(rule)),
+      policy_(std::move(policy)),
+      registry_(std::move(registry)),
+      rng_(config.rng_seed) {
+  expects(config_.n_nodes >= 2, "consensus needs at least two nodes");
+  expects(config_.id < config_.n_nodes, "node id out of range");
+  expects(rule_ != nullptr && policy_ != nullptr, "rule and policy required");
+  expects(!config_.use_signatures || registry_ != nullptr,
+          "signatures require a key registry");
+  if (config_.use_signatures) {
+    keypair_ = crypto::Keypair::from_node_id(config_.id);
+  }
+  head_ = tree_.genesis_hash();
+  anchor_ = tree_.genesis_hash();
+}
+
+void PowNode::start() {
+  expects(!started_, "node already started");
+  started_ = true;
+  network_.set_handler(config_.id,
+                       [this](net::PeerId, const net::Message& msg) { on_message(msg); });
+  restart_mining();
+}
+
+void PowNode::stop() {
+  if (mining_event_ != 0) {
+    sim_.cancel(mining_event_);
+    mining_event_ = 0;
+  }
+  ++mining_generation_;
+}
+
+void PowNode::restart_mining() {
+  if (!started_) return;
+  if (mining_event_ != 0) sim_.cancel(mining_event_);
+  const std::uint64_t generation = ++mining_generation_;
+  const double difficulty = policy_->difficulty_for(tree_, head_, config_.id);
+  const SimTime wait =
+      SimMiner::sample_block_time(rng_, config_.hash_rate, difficulty);
+  mining_event_ = sim_.schedule_after(
+      wait, [this, generation] { on_block_found(generation); });
+}
+
+void PowNode::on_block_found(std::uint64_t generation) {
+  if (generation != mining_generation_) return;  // stale draw
+  mining_event_ = 0;
+
+  ledger::BlockHeader header;
+  header.height = tree_.height(head_) + 1;
+  header.prev = head_;
+  header.producer = config_.id;
+  header.epoch = policy_->epoch_for(tree_, head_);
+  header.difficulty = policy_->difficulty_for(tree_, head_, config_.id);
+  header.timestamp_nanos = sim_.now().count_nanos();
+  header.nonce = rng_.next_u64();
+  header.tx_count = config_.txs_per_block;
+
+  // Real transaction bodies are attached only when the pool has entries;
+  // large sweeps run with declared-size-only blocks (see BlockHeader::tx_count).
+  std::vector<ledger::Transaction> txs;
+  if (!pool_.empty()) {
+    txs = pool_.select(config_.txs_per_block);
+    header.tx_count = static_cast<std::uint32_t>(txs.size());
+  }
+  if (!txs.empty() || config_.check_pow) {
+    std::vector<Hash32> leaves;
+    leaves.reserve(txs.size());
+    for (const auto& tx : txs) leaves.push_back(tx.id());
+    header.merkle_root = crypto::merkle_root(leaves);
+  }
+
+  crypto::Signature signature{};
+  if (keypair_.has_value()) signature = keypair_->sign(header.hash());
+
+  auto block = std::make_shared<const Block>(header, signature, std::move(txs));
+  ++blocks_produced_;
+
+  if (suppressed_) {
+    // §VII-A vulnerable node: elected producer, but the attack keeps its
+    // block out of the network.  The node loses this round's work and keeps
+    // mining on the unchanged head.
+    ++blocks_suppressed_;
+    restart_mining();
+    return;
+  }
+
+  accept_block(block);
+  network_.broadcast(config_.id, kBlockAnnounce, announce_size(*block), block);
+  // accept_block() already restarted mining via the head change; if our own
+  // block somehow lost the fork choice, make sure mining still continues.
+  if (mining_event_ == 0) restart_mining();
+}
+
+std::size_t PowNode::announce_size(const ledger::Block& block) const {
+  if (config_.announce_bytes_per_tx < 0) return block.size_bytes();
+  const double compact =
+      192.0 + config_.announce_bytes_per_tx * block.header().tx_count;
+  return static_cast<std::size_t>(compact);
+}
+
+void PowNode::on_message(const net::Message& msg) {
+  if (msg.type != kBlockAnnounce) return;
+  const auto* block = std::any_cast<BlockPtr>(&msg.payload);
+  if (block == nullptr || *block == nullptr) return;
+  handle_block(*block);
+}
+
+void PowNode::handle_block(BlockPtr block) {
+  const BlockHash id = block->id();
+  if (tree_.contains(id)) return;
+
+  if (!tree_.contains(block->header().prev)) {
+    // Parent unknown: buffer; validation happens once the parent arrives so
+    // the difficulty check can see the full parent chain.
+    auto& waiting = pending_[block->header().prev];
+    for (const BlockPtr& w : waiting) {
+      if (w->id() == id) return;
+    }
+    waiting.push_back(std::move(block));
+    return;
+  }
+
+  if (!validate(*block)) {
+    ++blocks_rejected_;
+    return;
+  }
+  accept_block(std::move(block));
+}
+
+void PowNode::accept_block(BlockPtr block) {
+  std::vector<BlockPtr> ready{std::move(block)};
+  while (!ready.empty()) {
+    BlockPtr cur = std::move(ready.back());
+    ready.pop_back();
+    const BlockHash id = cur->id();
+    tree_.insert(std::move(cur));
+    const auto it = pending_.find(id);
+    if (it != pending_.end()) {
+      std::vector<BlockPtr> waiting = std::move(it->second);
+      pending_.erase(it);
+      for (BlockPtr& w : waiting) {
+        if (tree_.contains(w->id())) continue;
+        if (!validate(*w)) {
+          ++blocks_rejected_;
+          continue;
+        }
+        ready.push_back(std::move(w));
+      }
+    }
+  }
+  update_head();
+}
+
+bool PowNode::validate(const Block& block) const {
+  ledger::ValidationContext ctx;
+  ctx.check_signature = config_.use_signatures;
+  ctx.check_pow = config_.check_pow;
+  ctx.check_body = config_.check_pow;  // bodies are real only on the real path
+  if (registry_ != nullptr) {
+    ctx.public_key = [this](ledger::NodeId id) { return registry_->lookup(id); };
+  }
+  ctx.expected_difficulty = [this](ledger::NodeId producer,
+                                   const BlockHash& parent) -> std::optional<double> {
+    if (!tree_.contains(parent)) return std::nullopt;
+    return policy_->difficulty_for(tree_, parent, producer);
+  };
+  ctx.parent_height = [this](const BlockHash& parent) -> std::optional<std::uint64_t> {
+    if (!tree_.contains(parent)) return std::nullopt;
+    return tree_.height(parent);
+  };
+  return ledger::validate_block(block, ctx) == ledger::BlockCheck::ok;
+}
+
+void PowNode::update_head() {
+  const BlockHash new_head = rule_->choose_head(tree_, anchor_);
+  if (new_head == head_) return;
+  // A reorg is a head change that does not extend the previous head.
+  if (!tree_.is_ancestor(head_, new_head)) ++reorgs_;
+  head_ = new_head;
+  advance_anchor();
+  restart_mining();
+  if (head_listener_) head_listener_(*this);
+}
+
+void PowNode::advance_anchor() {
+  const std::uint64_t head_height = tree_.height(head_);
+  if (head_height <= config_.finality_depth) return;
+  const std::uint64_t target = head_height - config_.finality_depth;
+  if (tree_.height(anchor_) >= target) return;
+  BlockHash cur = head_;
+  while (tree_.height(cur) > target) {
+    const auto parent = tree_.parent(cur);
+    ensures(parent.has_value(), "non-genesis block must have a parent");
+    cur = *parent;
+  }
+  anchor_ = cur;
+}
+
+}  // namespace themis::consensus

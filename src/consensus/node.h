@@ -1,0 +1,157 @@
+// A proof-of-X consensus node on the simulated network.
+//
+// This is the §III round structure: sample a block-finding time from the
+// node's current difficulty (node election), broadcast found blocks, validate
+// and insert received blocks, and re-run the fork-choice rule (main chain
+// consensus) whenever the tree changes.  The node is generic over both knobs
+// the paper varies:
+//
+//   * DifficultyPolicy — FixedDifficulty gives the PoW-H baseline;
+//     core::AdaptiveDifficulty gives Themis / Themis-Lite (Eq. 3-7).
+//   * ForkChoiceRule — GhostRule gives PoW-H / Themis-Lite;
+//     core::GeostRule gives Themis (Algorithm 1).
+//
+// Mining restarts are statistically sound because exponential waiting times
+// are memoryless: cancelling and resampling on a head change is equivalent to
+// letting the old draw continue.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "consensus/difficulty.h"
+#include "consensus/forkchoice.h"
+#include "consensus/miner.h"
+#include "crypto/schnorr.h"
+#include "ledger/blocktree.h"
+#include "ledger/txpool.h"
+#include "ledger/validation.h"
+#include "net/gossip.h"
+
+namespace themis::consensus {
+
+/// Maps node ids to their public keys when header signatures are enabled.
+class KeyRegistry {
+ public:
+  void add(ledger::NodeId id, crypto::PublicKey key) { keys_[id] = key; }
+  std::optional<crypto::PublicKey> lookup(ledger::NodeId id) const {
+    const auto it = keys_.find(id);
+    if (it == keys_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  std::unordered_map<ledger::NodeId, crypto::PublicKey> keys_;
+};
+
+struct NodeConfig {
+  ledger::NodeId id = 0;
+  std::size_t n_nodes = 0;
+  double hash_rate = 1.0;          ///< h_i (hashes/second)
+  std::uint32_t txs_per_block = 0; ///< declared tx count of produced blocks
+  /// Sign produced headers and verify received ones.  Costs a few point
+  /// multiplications per block; large sweeps turn it off (§VI-C shows the
+  /// signature adds only ~constant bytes/CPU per block either way).
+  bool use_signatures = false;
+  /// Verify real proof-of-work on received blocks.  Only meaningful when
+  /// blocks are ground with RealMiner; simulation-mined blocks sample the
+  /// waiting time instead of grinding nonces.
+  bool check_pow = false;
+  /// The fork-choice walk starts this many blocks behind the head (blocks
+  /// buried deeper are final for this node).  Must comfortably exceed the
+  /// observed fork duration (2-3 blocks in the paper, §VII-D).
+  std::uint64_t finality_depth = 64;
+  /// When >= 0, block announcements are relayed compactly (ordering over
+  /// pre-disseminated transactions, Bitcoin compact-block style) at
+  /// ~header + this-many bytes per transaction; when < 0 the full block body
+  /// travels on every relay hop.
+  double announce_bytes_per_tx = -1.0;
+  std::uint64_t rng_seed = 1;
+};
+
+class PowNode {
+ public:
+  PowNode(net::Simulation& sim, net::GossipNetwork& network, NodeConfig config,
+          std::shared_ptr<ForkChoiceRule> rule,
+          std::shared_ptr<DifficultyPolicy> policy,
+          std::shared_ptr<const KeyRegistry> registry = nullptr);
+
+  /// Install the gossip handler and schedule the first mining attempt.
+  void start();
+  /// Cancel any pending mining attempt.
+  void stop();
+
+  // --- attack hooks (§VII-A) -----------------------------------------------
+  /// A "vulnerable" node: it keeps mining, but every block it finds is
+  /// suppressed before broadcast (single-point attack on the elected
+  /// producer).
+  void set_producer_suppressed(bool suppressed) { suppressed_ = suppressed; }
+  bool producer_suppressed() const { return suppressed_; }
+
+  // --- observers ------------------------------------------------------------
+  const ledger::BlockTree& tree() const { return tree_; }
+  const ledger::BlockHash& head() const { return head_; }
+  std::vector<ledger::BlockHash> main_chain() const { return tree_.chain_to(head_); }
+  std::uint64_t head_height() const { return tree_.height(head_); }
+  const NodeConfig& config() const { return config_; }
+  ledger::TxPool& tx_pool() { return pool_; }
+
+  std::uint64_t blocks_produced() const { return blocks_produced_; }
+  std::uint64_t blocks_suppressed() const { return blocks_suppressed_; }
+  std::uint64_t blocks_rejected() const { return blocks_rejected_; }
+  std::uint64_t reorgs() const { return reorgs_; }
+
+  /// Invoked after every head change with the new head (metrics hook).
+  void set_head_listener(std::function<void(const PowNode&)> fn) {
+    head_listener_ = std::move(fn);
+  }
+
+  /// The keypair (present iff signatures are enabled).
+  const std::optional<crypto::Keypair>& keypair() const { return keypair_; }
+
+ private:
+  std::size_t announce_size(const ledger::Block& block) const;
+  void on_message(const net::Message& msg);
+  void on_block_found(std::uint64_t generation);
+  void accept_block(ledger::BlockPtr block);
+  void handle_block(ledger::BlockPtr block);
+  bool validate(const ledger::Block& block) const;
+  void update_head();
+  void advance_anchor();
+  void restart_mining();
+
+  net::Simulation& sim_;
+  net::GossipNetwork& network_;
+  NodeConfig config_;
+  std::shared_ptr<ForkChoiceRule> rule_;
+  std::shared_ptr<DifficultyPolicy> policy_;
+  std::shared_ptr<const KeyRegistry> registry_;
+  std::optional<crypto::Keypair> keypair_;
+
+  Rng rng_;
+  ledger::BlockTree tree_;
+  ledger::TxPool pool_;
+  ledger::BlockHash head_;
+  ledger::BlockHash anchor_;  // fork-choice start; trails head_ by finality_depth
+
+  // Blocks whose parent we have not validated yet, keyed by the parent id.
+  std::unordered_map<ledger::BlockHash, std::vector<ledger::BlockPtr>, Hash32Hasher>
+      pending_;
+
+  std::uint64_t mining_generation_ = 0;
+  net::EventId mining_event_ = 0;
+  bool started_ = false;
+  bool suppressed_ = false;
+
+  std::uint64_t blocks_produced_ = 0;
+  std::uint64_t blocks_suppressed_ = 0;
+  std::uint64_t blocks_rejected_ = 0;
+  std::uint64_t reorgs_ = 0;
+  std::function<void(const PowNode&)> head_listener_;
+};
+
+}  // namespace themis::consensus

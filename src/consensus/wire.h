@@ -1,0 +1,18 @@
+// Message type discriminators shared by the consensus and PBFT layers.
+#pragma once
+
+#include <cstdint>
+
+namespace themis::consensus {
+
+enum MessageType : std::uint32_t {
+  kBlockAnnounce = 1,   // gossip flood of a freshly mined block
+  kPbftRequest = 10,    // client request batch to the current leader
+  kPbftPrePrepare = 11,
+  kPbftPrepare = 12,
+  kPbftCommit = 13,
+  kPbftViewChange = 14,
+  kPbftNewView = 15,
+};
+
+}  // namespace themis::consensus

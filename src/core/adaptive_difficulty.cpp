@@ -1,0 +1,144 @@
+#include "core/adaptive_difficulty.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace themis::core {
+
+using ledger::BlockHash;
+using ledger::BlockTree;
+
+AdaptiveDifficulty::AdaptiveDifficulty(AdaptiveConfig config) : config_(config) {
+  expects(config_.n_nodes >= 2, "need at least two consensus nodes");
+  expects(config_.delta >= 1, "epoch length must be at least one block");
+  expects(config_.expected_interval_s > 0, "expected interval must be positive");
+  expects(config_.h0 > 0, "H_0 must be positive");
+  expects(config_.retarget_clamp >= 1.0, "retarget clamp must be >= 1");
+}
+
+double AdaptiveDifficulty::initial_base_difficulty() const {
+  if (config_.initial_base_difficulty > 0) return config_.initial_base_difficulty;
+  // Eq. 7 with T_0 = T_max: D_base = I_0 * n * H_0.
+  return config_.expected_interval_s * static_cast<double>(config_.n_nodes) *
+         config_.h0;
+}
+
+std::uint32_t AdaptiveDifficulty::epoch_for(const BlockTree& tree,
+                                            const BlockHash& parent) {
+  return static_cast<std::uint32_t>(tree.height(parent) / config_.delta);
+}
+
+double AdaptiveDifficulty::difficulty_for(const BlockTree& tree,
+                                          const BlockHash& parent,
+                                          ledger::NodeId producer) {
+  expects(producer < config_.n_nodes, "producer id out of range");
+  const EpochTable& table = table_for(tree, parent);
+  // Difficulties below 1 are meaningless for the puzzle; the multiple floor
+  // already guarantees >= D_base >= 1 in the default configuration.
+  return std::max(1.0, table.multiples[producer] * table.base_difficulty);
+}
+
+const AdaptiveDifficulty::EpochTable& AdaptiveDifficulty::table_for(
+    const BlockTree& tree, const BlockHash& parent) {
+  return table_for_boundary(tree, boundary_of(tree, parent));
+}
+
+BlockHash AdaptiveDifficulty::boundary_of(const BlockTree& tree,
+                                          const BlockHash& block) {
+  // boundary(b) = ancestor at height floor(h/Δ)·Δ.  Recurrence: a block on a
+  // boundary height is its own boundary; otherwise it shares its parent's.
+  std::vector<BlockHash> path;
+  BlockHash cur = block;
+  for (;;) {
+    const auto cached = boundary_cache_.find(cur);
+    if (cached != boundary_cache_.end()) {
+      for (const BlockHash& b : path) boundary_cache_.emplace(b, cached->second);
+      return cached->second;
+    }
+    if (tree.height(cur) % config_.delta == 0) {
+      boundary_cache_.emplace(cur, cur);
+      for (const BlockHash& b : path) boundary_cache_.emplace(b, cur);
+      return cur;
+    }
+    path.push_back(cur);
+    const auto parent = tree.parent(cur);
+    ensures(parent.has_value(), "walked past genesis looking for a boundary");
+    cur = *parent;
+  }
+}
+
+const AdaptiveDifficulty::EpochTable& AdaptiveDifficulty::table_for_boundary(
+    const BlockTree& tree, const BlockHash& boundary) {
+  const auto cached = table_cache_.find(boundary);
+  if (cached != table_cache_.end()) return cached->second;
+
+  const std::uint64_t boundary_height = tree.height(boundary);
+  ensures(boundary_height % config_.delta == 0, "not an epoch boundary block");
+
+  EpochTable table;
+  table.epoch = static_cast<std::uint32_t>(boundary_height / config_.delta);
+
+  if (boundary_height == 0) {
+    // Epoch 0: m_i^0 = 1 for every node (Eq. 6), D_base^0 from Eq. 7.
+    table.multiples.assign(config_.n_nodes, 1.0);
+    table.base_difficulty = initial_base_difficulty();
+    return table_cache_.emplace(boundary, std::move(table)).first->second;
+  }
+
+  // Walk the Δ blocks of the finished epoch (heights (e-1)Δ+1 .. eΔ) to count
+  // q_i^e, and find the previous boundary for the recursion.
+  std::vector<std::uint64_t> counts(config_.n_nodes, 0);
+  BlockHash cur = boundary;
+  for (std::uint64_t step = 0; step < config_.delta; ++step) {
+    const ledger::BlockPtr b = tree.block(cur);
+    if (b->producer() < config_.n_nodes) ++counts[b->producer()];
+    const auto parent = tree.parent(cur);
+    ensures(parent.has_value(), "epoch walk passed genesis");
+    cur = *parent;
+  }
+  const BlockHash prev_boundary = cur;
+  const EpochTable& prev = table_for_boundary(tree, prev_boundary);
+
+  // Eq. 6: m_i^{e+1} = max((n·q_i/Δ)·m_i^e, 1).
+  table.multiples.resize(config_.n_nodes);
+  if (config_.enable_multiples) {
+    const double n_over_delta = static_cast<double>(config_.n_nodes) /
+                                static_cast<double>(config_.delta);
+    for (std::size_t i = 0; i < config_.n_nodes; ++i) {
+      double m = n_over_delta * static_cast<double>(counts[i]) * prev.multiples[i];
+      if (config_.enforce_multiple_floor) m = std::max(m, 1.0);
+      // Nodes that produced nothing keep a strictly positive multiple even in
+      // the no-floor ablation (a zero multiple would mean zero difficulty).
+      if (m <= 0.0) m = std::numeric_limits<double>::min();
+      table.multiples[i] = m;
+    }
+  } else {
+    // PoW-H mode: one shared difficulty, only the global retarget below.
+    table.multiples.assign(config_.n_nodes, 1.0);
+  }
+
+  // §IV-B: retarget D_base by the ratio of the expected block interval to the
+  // observed one in the finished epoch, clamped for stability.
+  table.base_difficulty = prev.base_difficulty;
+  if (config_.enable_retarget) {
+    const double span_s =
+        static_cast<double>(tree.block(boundary)->header().timestamp_nanos -
+                            tree.block(prev_boundary)->header().timestamp_nanos) /
+        1e9;
+    const double observed_interval =
+        span_s / static_cast<double>(config_.delta);
+    if (observed_interval > 0) {
+      double factor = config_.expected_interval_s / observed_interval;
+      factor = std::clamp(factor, 1.0 / config_.retarget_clamp,
+                          config_.retarget_clamp);
+      table.base_difficulty = std::max(1.0, prev.base_difficulty * factor);
+    }
+  }
+
+  return table_cache_.emplace(boundary, std::move(table)).first->second;
+}
+
+}  // namespace themis::core

@@ -1,0 +1,56 @@
+#include "core/geost.h"
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace themis::core {
+
+using ledger::BlockHash;
+using ledger::BlockTree;
+
+double subtree_equality_variance(const BlockTree& tree, const BlockHash& root,
+                                 std::size_t n_nodes) {
+  const std::vector<std::uint64_t> counts =
+      tree.subtree_producer_counts(root, n_nodes);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  return frequency_variance(counts, static_cast<double>(total));
+}
+
+GeostRule::GeostRule(std::size_t n_nodes) : n_nodes_(n_nodes) {
+  expects(n_nodes >= 1, "GEOST needs the consensus-set size");
+}
+
+bool GeostRule::Priority::preferred_over(const Priority& rhs) const {
+  if (weight != rhs.weight) return weight > rhs.weight;
+  if (equality_variance != rhs.equality_variance) {
+    return equality_variance < rhs.equality_variance;
+  }
+  return receipt_seq < rhs.receipt_seq;
+}
+
+GeostRule::Priority GeostRule::priority_of(const BlockTree& tree,
+                                           const BlockHash& root) const {
+  Priority p;
+  p.weight = tree.subtree_size(root);
+  p.equality_variance = subtree_equality_variance(tree, root, n_nodes_);
+  p.receipt_seq = tree.receipt_seq(root);
+  return p;
+}
+
+BlockHash GeostRule::pick_child(const BlockTree& tree,
+                                const std::vector<BlockHash>& children) const {
+  BlockHash best = children[0];
+  Priority best_priority = priority_of(tree, best);
+  for (std::size_t i = 1; i < children.size(); ++i) {
+    const Priority candidate = priority_of(tree, children[i]);
+    if (candidate.preferred_over(best_priority)) {
+      best = children[i];
+      best_priority = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace themis::core

@@ -1,0 +1,55 @@
+// GEOST — the Greedy most-Equal-Observed Sub-Tree rule (§V, Algorithm 1).
+//
+// When several blocks coexist at one height, GEOST prefers, in order:
+//   1. the child whose subtree contains the most blocks (the sub-chain
+//      "first received by most nodes" accumulates weight fastest);
+//   2. on a weight tie, the child whose subtree has the lowest variance of
+//      block-producing frequency σ_f² (the most equal sub-chain);
+//   3. on a variance tie, the child received first.
+//
+// Rule 2 is what distinguishes GEOST from GHOST and is why coexisting
+// sub-trees finalize faster (§V-B, Fig. 2): a single new block almost always
+// perturbs σ_f² even when it leaves the weights tied.
+#pragma once
+
+#include "consensus/forkchoice.h"
+
+namespace themis::core {
+
+/// Variance of block-producing frequency within the subtree rooted at `root`
+/// (Eq. 1 applied to the subtree): f_i = (blocks by node i in subtree) /
+/// (subtree size), variance taken over all `n_nodes` consensus nodes.
+double subtree_equality_variance(const ledger::BlockTree& tree,
+                                 const ledger::BlockHash& root,
+                                 std::size_t n_nodes);
+
+class GeostRule final : public consensus::ForkChoiceRule {
+ public:
+  /// `n_nodes` is the consensus-set size the frequency variance ranges over.
+  explicit GeostRule(std::size_t n_nodes);
+
+  std::string_view name() const override { return "geost"; }
+
+  /// Equality priority of a subtree: higher is preferred.  Exposed for tests
+  /// and for the Fig. 2 walkthrough bench.
+  struct Priority {
+    std::uint64_t weight = 0;       ///< subtree block count (more is better)
+    double equality_variance = 0;   ///< σ_f² of the subtree (less is better)
+    std::uint64_t receipt_seq = 0;  ///< local arrival order (less is better)
+
+    /// True when *this is preferred over `rhs` under GEOST.
+    bool preferred_over(const Priority& rhs) const;
+  };
+  Priority priority_of(const ledger::BlockTree& tree,
+                       const ledger::BlockHash& root) const;
+
+ protected:
+  ledger::BlockHash pick_child(
+      const ledger::BlockTree& tree,
+      const std::vector<ledger::BlockHash>& children) const override;
+
+ private:
+  std::size_t n_nodes_;
+};
+
+}  // namespace themis::core

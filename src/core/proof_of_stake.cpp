@@ -1,0 +1,78 @@
+#include "core/proof_of_stake.h"
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace themis::core {
+
+StakeDifficulty::StakeDifficulty(std::vector<double> stakes,
+                                 double reference_difficulty)
+    : stakes_(std::move(stakes)), reference_difficulty_(reference_difficulty) {
+  expects(!stakes_.empty(), "need at least one staker");
+  expects(reference_difficulty_ >= 1.0, "reference difficulty must be >= 1");
+  total_stake_ = std::accumulate(stakes_.begin(), stakes_.end(), 0.0);
+  for (const double s : stakes_) expects(s > 0, "stakes must be positive");
+}
+
+double StakeDifficulty::difficulty_for(const ledger::BlockTree&,
+                                       const ledger::BlockHash&,
+                                       ledger::NodeId producer) {
+  expects(producer < stakes_.size(), "producer id out of range");
+  const double mean_stake = total_stake_ / static_cast<double>(stakes_.size());
+  // Larger stake -> larger target -> lower difficulty, proportionally.
+  return std::max(1.0, reference_difficulty_ * mean_stake / stakes_[producer]);
+}
+
+std::vector<double> StakeDifficulty::probabilities() const {
+  std::vector<double> out;
+  out.reserve(stakes_.size());
+  for (const double s : stakes_) out.push_back(s / total_stake_);
+  return out;
+}
+
+ThemisStakeDifficulty::ThemisStakeDifficulty(std::vector<double> stakes,
+                                             AdaptiveConfig config)
+    : stakes_(std::move(stakes)), adaptive_(config) {
+  expects(stakes_.size() == config.n_nodes,
+          "one stake entry per consensus node");
+  double total = 0;
+  for (const double s : stakes_) {
+    expects(s > 0, "stakes must be positive");
+    total += s;
+  }
+  mean_stake_ = total / static_cast<double>(stakes_.size());
+}
+
+double ThemisStakeDifficulty::difficulty_for(const ledger::BlockTree& tree,
+                                             const ledger::BlockHash& parent,
+                                             ledger::NodeId producer) {
+  expects(producer < stakes_.size(), "producer id out of range");
+  // The adaptive multiple renormalizes the stake advantage exactly as Eq. 6
+  // renormalizes computing power: D_i = m_i * D_base * (mean / stake_i)
+  // inverts the stake edge, then the multiple tracks the residual.
+  const double base = adaptive_.difficulty_for(tree, parent, producer);
+  return std::max(1.0, base * mean_stake_ / stakes_[producer]);
+}
+
+std::uint32_t ThemisStakeDifficulty::epoch_for(const ledger::BlockTree& tree,
+                                               const ledger::BlockHash& parent) {
+  return adaptive_.epoch_for(tree, parent);
+}
+
+std::vector<double> ThemisStakeDifficulty::probabilities(
+    const ledger::BlockTree& tree, const ledger::BlockHash& parent) {
+  const auto& table = adaptive_.table_for(tree, parent);
+  // Rate_i ∝ stake-scan-rate / D_i ∝ stake_i / m_i (the mean and D_base are
+  // shared factors).
+  std::vector<double> rates(stakes_.size());
+  double total = 0;
+  for (std::size_t i = 0; i < stakes_.size(); ++i) {
+    rates[i] = stakes_[i] / table.multiples[i];
+    total += rates[i];
+  }
+  for (double& r : rates) r /= total;
+  return rates;
+}
+
+}  // namespace themis::core

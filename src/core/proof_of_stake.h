@@ -1,0 +1,82 @@
+// Proof-of-X alternatives (§VI-E).
+//
+// The paper argues Themis' election mechanism generalizes beyond hashing:
+// any resource that scales a per-node puzzle target works.  This header
+// provides the Proof-of-Stake instantiation the paper sketches:
+//
+//   * StakeDifficulty — plain PoS (PPCoin-style): a node's target scales
+//     with its coin-day weight, so the block-producing probability is its
+//     stake share.  Like PoW, stake concentration makes the producer
+//     predictable and unequal.
+//   * ThemisStakeDifficulty — the paper's modification: the coin-day
+//     calculation is renormalized exactly like Eq. 6 (the stake-weighted
+//     analogue of the self-adaptive multiple), restoring Equality and
+//     Unpredictability while keeping PoS economics.
+//
+// Both implement consensus::DifficultyPolicy, so the same PowNode runs them:
+// with SimMiner, "hash rate" plays the role of stake-scanning rate, which is
+// uniform per node — the policies fold the stake into the difficulty instead.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "consensus/difficulty.h"
+#include "core/adaptive_difficulty.h"
+
+namespace themis::core {
+
+/// Plain PoS: D_i = D_ref * (total_stake / stake_i) / n, so a node's
+/// block-producing rate share equals its stake share and the network-wide
+/// expected interval matches a reference difficulty calibrated for one
+/// "round" per I_0.
+class StakeDifficulty final : public consensus::DifficultyPolicy {
+ public:
+  /// `reference_difficulty` is the difficulty a node with exactly the mean
+  /// stake would mine at (calibrate to I_0 * n * scan_rate).
+  StakeDifficulty(std::vector<double> stakes, double reference_difficulty);
+
+  double difficulty_for(const ledger::BlockTree&, const ledger::BlockHash&,
+                        ledger::NodeId producer) override;
+  std::uint32_t epoch_for(const ledger::BlockTree&,
+                          const ledger::BlockHash&) override {
+    return 0;
+  }
+
+  const std::vector<double>& stakes() const { return stakes_; }
+  /// Per-round block-producing probability implied by the stakes (Eq. 3
+  /// analogue): p_i = stake_i / total.
+  std::vector<double> probabilities() const;
+
+ private:
+  std::vector<double> stakes_;
+  double reference_difficulty_;
+  double total_stake_;
+};
+
+/// Themis-PoS: the adaptive multiple mechanism applied on top of stake
+/// weights.  The effective stake of node i in epoch e is stake_i / m_i^e with
+/// m updated per Eq. 6 from main-chain block counts — the "modified coinDay
+/// calculation" of §VI-E.
+class ThemisStakeDifficulty final : public consensus::DifficultyPolicy {
+ public:
+  ThemisStakeDifficulty(std::vector<double> stakes, AdaptiveConfig config);
+
+  double difficulty_for(const ledger::BlockTree& tree,
+                        const ledger::BlockHash& parent,
+                        ledger::NodeId producer) override;
+  std::uint32_t epoch_for(const ledger::BlockTree& tree,
+                          const ledger::BlockHash& parent) override;
+
+  /// Effective per-round probabilities in the epoch governing blocks that
+  /// extend `parent` (for σ_p² measurements).
+  std::vector<double> probabilities(const ledger::BlockTree& tree,
+                                    const ledger::BlockHash& parent);
+
+ private:
+  std::vector<double> stakes_;
+  double mean_stake_;
+  AdaptiveDifficulty adaptive_;
+};
+
+}  // namespace themis::core

@@ -1,0 +1,44 @@
+#include "core/themis_node.h"
+
+namespace themis::core {
+
+std::string_view to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kThemis: return "Themis";
+    case Algorithm::kThemisLite: return "Themis-Lite";
+    case Algorithm::kPowH: return "PoW-H";
+    case Algorithm::kPbft: return "PBFT";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<consensus::PowNode> make_themis_node(
+    net::Simulation& sim, net::GossipNetwork& network,
+    consensus::NodeConfig node_config, AdaptiveConfig adaptive_config,
+    std::shared_ptr<const consensus::KeyRegistry> registry) {
+  return std::make_unique<consensus::PowNode>(
+      sim, network, node_config,
+      std::make_shared<GeostRule>(node_config.n_nodes),
+      std::make_shared<AdaptiveDifficulty>(adaptive_config), std::move(registry));
+}
+
+std::unique_ptr<consensus::PowNode> make_themis_lite_node(
+    net::Simulation& sim, net::GossipNetwork& network,
+    consensus::NodeConfig node_config, AdaptiveConfig adaptive_config,
+    std::shared_ptr<const consensus::KeyRegistry> registry) {
+  return std::make_unique<consensus::PowNode>(
+      sim, network, node_config, std::make_shared<consensus::GhostRule>(),
+      std::make_shared<AdaptiveDifficulty>(adaptive_config), std::move(registry));
+}
+
+std::unique_ptr<consensus::PowNode> make_powh_node(
+    net::Simulation& sim, net::GossipNetwork& network,
+    consensus::NodeConfig node_config, AdaptiveConfig adaptive_config,
+    std::shared_ptr<const consensus::KeyRegistry> registry) {
+  adaptive_config.enable_multiples = false;  // Bitcoin-style: retarget only
+  return std::make_unique<consensus::PowNode>(
+      sim, network, node_config, std::make_shared<consensus::GhostRule>(),
+      std::make_shared<AdaptiveDifficulty>(adaptive_config), std::move(registry));
+}
+
+}  // namespace themis::core

@@ -1,0 +1,50 @@
+// Factory helpers wiring the paper's algorithm variants (§VII-B).
+//
+//   Themis      = self-adaptive difficulty (Eq. 3-7) + GEOST  (Algorithm 1)
+//   Themis-Lite = self-adaptive difficulty (Eq. 3-7) + GHOST
+//   PoW-H       = fixed network-wide difficulty       + GHOST
+//
+// All three run on the identical PowNode event loop, so every measured
+// difference is attributable to the two knobs the paper varies.
+#pragma once
+
+#include <memory>
+
+#include "consensus/node.h"
+#include "core/adaptive_difficulty.h"
+#include "core/geost.h"
+
+namespace themis::core {
+
+enum class Algorithm {
+  kThemis,
+  kThemisLite,
+  kPowH,
+  kPbft,  // handled by the pbft module; listed for experiment configs
+};
+
+std::string_view to_string(Algorithm algorithm);
+
+/// A Themis consensus node: adaptive difficulty + GEOST.
+std::unique_ptr<consensus::PowNode> make_themis_node(
+    net::Simulation& sim, net::GossipNetwork& network,
+    consensus::NodeConfig node_config, AdaptiveConfig adaptive_config,
+    std::shared_ptr<const consensus::KeyRegistry> registry = nullptr);
+
+/// A Themis-Lite node: adaptive difficulty + GHOST (§VII-B).
+std::unique_ptr<consensus::PowNode> make_themis_lite_node(
+    net::Simulation& sim, net::GossipNetwork& network,
+    consensus::NodeConfig node_config, AdaptiveConfig adaptive_config,
+    std::shared_ptr<const consensus::KeyRegistry> registry = nullptr);
+
+/// A PoW-H baseline node: Bitcoin-style difficulty (one shared value with a
+/// per-epoch interval retarget, no per-node multiples) + GHOST (§VII-B:
+/// "PoW-H improves the Bitcoin PoW algorithm, with GHOST as its main chain
+/// consensus rule").  Set adaptive_config.initial_base_difficulty to
+/// I_0 * (total hash rate) so the expected interval starts at I_0.
+std::unique_ptr<consensus::PowNode> make_powh_node(
+    net::Simulation& sim, net::GossipNetwork& network,
+    consensus::NodeConfig node_config, AdaptiveConfig adaptive_config,
+    std::shared_ptr<const consensus::KeyRegistry> registry = nullptr);
+
+}  // namespace themis::core

@@ -1,0 +1,15 @@
+// HMAC-SHA-256 (RFC 2104), used for deterministic signature nonces.
+#pragma once
+
+#include "common/bytes.h"
+
+namespace themis::crypto {
+
+/// HMAC-SHA-256 of `data` under `key` (any key length).
+Hash32 hmac_sha256(ByteSpan key, ByteSpan data);
+
+/// Simple HKDF-like expansion: chained HMACs producing `n` 32-byte blocks.
+/// Used to derive per-purpose keys from one node seed.
+Bytes hmac_expand(ByteSpan key, ByteSpan info, std::size_t n_blocks);
+
+}  // namespace themis::crypto

@@ -1,0 +1,110 @@
+#include "crypto/schnorr.h"
+
+#include "common/check.h"
+#include "common/serialize.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace themis::crypto {
+
+namespace {
+
+constexpr std::string_view kChallengeTag = "Themis/challenge";
+
+/// Challenge scalar e = H_tag(R.x || P.x || m) mod n.
+Scalar challenge(const Hash32& rx, const PublicKey& px, const Hash32& msg) {
+  Bytes buf;
+  buf.reserve(96);
+  buf.insert(buf.end(), rx.begin(), rx.end());
+  buf.insert(buf.end(), px.begin(), px.end());
+  buf.insert(buf.end(), msg.begin(), msg.end());
+  return Scalar::from_bytes(tagged_hash(kChallengeTag, buf));
+}
+
+}  // namespace
+
+Bytes Signature::to_bytes() const {
+  Bytes out;
+  out.reserve(kSignatureSize);
+  out.insert(out.end(), r.begin(), r.end());
+  out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
+std::optional<Signature> Signature::from_bytes(ByteSpan raw) {
+  if (raw.size() != kSignatureSize) return std::nullopt;
+  Signature sig;
+  std::copy(raw.begin(), raw.begin() + 32, sig.r.begin());
+  std::copy(raw.begin() + 32, raw.end(), sig.s.begin());
+  return sig;
+}
+
+Keypair Keypair::from_seed(const Hash32& seed) {
+  Scalar secret = Scalar::from_bytes(tagged_hash("Themis/keygen", seed));
+  expects(!secret.is_zero(), "seed maps to the zero scalar");
+  Point pub_point = Point::generator().mul(secret);
+  Point::Affine affine = pub_point.to_affine();
+  // BIP-340 normalization: use the secret whose public point has even y.
+  if (affine.y.is_odd()) {
+    secret = secret.negate();
+    pub_point = Point::generator().mul(secret);
+    affine = pub_point.to_affine();
+  }
+  return Keypair(secret, affine.x.value().to_be_bytes());
+}
+
+Keypair Keypair::from_node_id(std::uint64_t node_id) {
+  Writer w;
+  w.str("Themis/node-seed");
+  w.u64(node_id);
+  return from_seed(sha256(w.buffer()));
+}
+
+Signature Keypair::sign(const Hash32& msg) const {
+  // Deterministic nonce (RFC-6979 flavored): k = H(HMAC(d, m)) mod n.
+  const Hash32 secret_bytes = secret_.to_bytes();
+  Hash32 nonce_seed = hmac_sha256(secret_bytes, msg);
+  Scalar k = Scalar::from_bytes(nonce_seed);
+  // The zero scalar is astronomically unlikely; re-derive until non-zero so
+  // the API has no failure mode.
+  while (k.is_zero()) {
+    nonce_seed = hmac_sha256(secret_bytes, nonce_seed);
+    k = Scalar::from_bytes(nonce_seed);
+  }
+
+  Point r_point = Point::generator().mul(k);
+  Point::Affine r_affine = r_point.to_affine();
+  if (r_affine.y.is_odd()) {
+    k = k.negate();
+    r_point = Point::generator().mul(k);
+    r_affine = r_point.to_affine();
+  }
+
+  const Hash32 rx = r_affine.x.value().to_be_bytes();
+  const Scalar e = challenge(rx, public_key_, msg);
+  const Scalar s = k + e * secret_;
+  return Signature{rx, s.to_bytes()};
+}
+
+bool verify(const PublicKey& pub, const Hash32& msg, const Signature& sig) {
+  const std::optional<Point> pub_point = Point::lift_x(UInt256::from_be_bytes(pub));
+  if (!pub_point.has_value()) return false;
+
+  const UInt256 s_raw = UInt256::from_be_bytes(sig.s);
+  if (s_raw >= group_order()) return false;
+  const Scalar s(s_raw);
+
+  const UInt256 rx_raw = UInt256::from_be_bytes(sig.r);
+  if (rx_raw >= field_prime()) return false;
+
+  const Scalar e = challenge(sig.r, pub, msg);
+  // R = s*G - e*P must have even y and x == sig.r.
+  const Point r_point =
+      Point::generator().mul(s) + pub_point->mul(e).negate();
+  if (r_point.is_infinity()) return false;
+  const Point::Affine r_affine = r_point.to_affine();
+  if (r_affine.y.is_odd()) return false;
+  return r_affine.x.value() == rx_raw;
+}
+
+}  // namespace themis::crypto

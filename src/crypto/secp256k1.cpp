@@ -1,0 +1,306 @@
+#include "crypto/secp256k1.h"
+
+#include "common/check.h"
+
+namespace themis::crypto {
+
+namespace {
+
+// p = 2^256 - kC where kC = 2^32 + 977.
+constexpr std::uint64_t kC = 0x1000003D1ull;
+
+const UInt256 kP = UInt256::from_hex(
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+const UInt256 kN = UInt256::from_hex(
+    "fffffffffffffffffffffffffffffffe"
+    "baaedce6af48a03bbfd25e8cd0364141");
+const UInt256 kGx = UInt256::from_hex(
+    "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+const UInt256 kGy = UInt256::from_hex(
+    "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+
+/// Reduce x (< 2^256) into [0, m) when x < 2m — a single conditional subtract.
+UInt256 cond_sub(const UInt256& x, const UInt256& m) {
+  if (x >= m) return x - m;
+  return x;
+}
+
+/// Generic (hi*2^256 + lo) mod m via binary long division.  Used for the
+/// scalar field where no special-form reduction applies; not performance
+/// critical (a handful of calls per signature).
+UInt256 reduce_wide_generic(const UInt256& hi, const UInt256& lo, const UInt256& m) {
+  UInt256 r;  // invariant: r < m (and m has its top bit set for both p and n)
+  for (int i = 511; i >= 0; --i) {
+    const bool incoming = (i >= 256) ? hi.bit(i - 256) : lo.bit(i);
+    const bool top = r.bit(255);
+    UInt256 shifted = (r << 1);
+    if (incoming) shifted = shifted | UInt256::one();
+    if (top) {
+      // True value is shifted + 2^256 >= 2^256 > m: subtract m once, which is
+      // shifted + (2^256 - m) in wrapped arithmetic.
+      shifted = shifted + (UInt256::zero() - m);
+    }
+    r = cond_sub(shifted, m);
+  }
+  return r;
+}
+
+/// Fast reduction mod p using p = 2^256 - kC:
+/// hi*2^256 + lo == lo + hi*kC (mod p).
+UInt256 reduce_wide_p(const UInt256& hi, const UInt256& lo) {
+  // First fold: hi * kC (kC fits in 64 bits, so the product has one carry limb).
+  std::uint64_t carry1 = 0;
+  const UInt256 folded = hi.mul_small(kC, carry1);
+
+  UInt256 acc;
+  bool overflow = lo.add_overflow(folded, acc);
+  // Each wrap past 2^256 contributes another +kC (mod p).
+  std::uint64_t extra = (overflow ? 1u : 0u);
+
+  // Second fold: (carry1 + extra) * kC, both small.
+  while (carry1 > 0 || extra > 0) {
+    std::uint64_t c2 = 0;
+    const UInt256 fold2 = UInt256(carry1).mul_small(kC, c2) + UInt256(extra).mul_small(kC, c2);
+    // carry1 < 2^64 and kC < 2^34, so fold2 fits comfortably; c2 is always 0.
+    overflow = acc.add_overflow(fold2, acc);
+    carry1 = 0;
+    extra = overflow ? 1u : 0u;
+  }
+  acc = cond_sub(acc, kP);
+  return cond_sub(acc, kP);
+}
+
+}  // namespace
+
+const UInt256& field_prime() { return kP; }
+const UInt256& group_order() { return kN; }
+
+// ---------------------------------------------------------------------------
+// FieldElement
+// ---------------------------------------------------------------------------
+
+FieldElement::FieldElement(const UInt256& v) {
+  value_ = (v >= kP) ? reduce_wide_generic(UInt256::zero(), v, kP) : v;
+}
+
+FieldElement FieldElement::operator+(const FieldElement& rhs) const {
+  UInt256 sum;
+  const bool overflow = value_.add_overflow(rhs.value_, sum);
+  if (overflow) sum = sum + UInt256(kC);  // +2^256 == +kC (mod p)
+  FieldElement out;
+  out.value_ = cond_sub(sum, kP);
+  return out;
+}
+
+FieldElement FieldElement::operator-(const FieldElement& rhs) const {
+  FieldElement out;
+  if (value_ >= rhs.value_) {
+    out.value_ = value_ - rhs.value_;
+  } else {
+    out.value_ = value_ + (kP - rhs.value_);
+  }
+  return out;
+}
+
+FieldElement FieldElement::operator*(const FieldElement& rhs) const {
+  UInt256 hi, lo;
+  UInt256::mul_wide(value_, rhs.value_, hi, lo);
+  FieldElement out;
+  out.value_ = reduce_wide_p(hi, lo);
+  return out;
+}
+
+FieldElement FieldElement::negate() const {
+  FieldElement out;
+  out.value_ = value_.is_zero() ? UInt256::zero() : kP - value_;
+  return out;
+}
+
+FieldElement FieldElement::pow(const UInt256& exponent) const {
+  FieldElement result = FieldElement::from_u64(1);
+  const int top = exponent.bit_length();
+  for (int i = top; i >= 0; --i) {
+    result = result.square();
+    if (exponent.bit(i)) result = result * *this;
+  }
+  return result;
+}
+
+FieldElement FieldElement::inverse() const {
+  expects(!is_zero(), "zero has no inverse");
+  return pow(kP - UInt256(2));
+}
+
+std::optional<FieldElement> FieldElement::sqrt() const {
+  // p == 3 (mod 4): candidate = x^((p+1)/4).
+  const UInt256 exponent = (kP + UInt256(1)) >> 2;
+  const FieldElement candidate = pow(exponent);
+  if (candidate.square() == *this) return candidate;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar
+// ---------------------------------------------------------------------------
+
+Scalar::Scalar(const UInt256& v) {
+  value_ = (v >= kN) ? reduce_wide_generic(UInt256::zero(), v, kN) : v;
+}
+
+Scalar Scalar::from_bytes(const Hash32& bytes) {
+  return Scalar(UInt256::from_be_bytes(bytes));
+}
+
+Scalar Scalar::operator+(const Scalar& rhs) const {
+  UInt256 sum;
+  const bool overflow = value_.add_overflow(rhs.value_, sum);
+  Scalar out;
+  if (overflow) {
+    // True value = sum + 2^256; subtract n once (2^256 - n < n so one is enough
+    // after the conditional subtract below).
+    sum = sum + (UInt256::zero() - kN);
+  }
+  out.value_ = cond_sub(sum, kN);
+  return out;
+}
+
+Scalar Scalar::operator-(const Scalar& rhs) const {
+  Scalar out;
+  if (value_ >= rhs.value_) {
+    out.value_ = value_ - rhs.value_;
+  } else {
+    out.value_ = value_ + (kN - rhs.value_);
+  }
+  return out;
+}
+
+Scalar Scalar::operator*(const Scalar& rhs) const {
+  UInt256 hi, lo;
+  UInt256::mul_wide(value_, rhs.value_, hi, lo);
+  Scalar out;
+  out.value_ = reduce_wide_generic(hi, lo, kN);
+  return out;
+}
+
+Scalar Scalar::negate() const {
+  Scalar out;
+  out.value_ = value_.is_zero() ? UInt256::zero() : kN - value_;
+  return out;
+}
+
+Scalar Scalar::inverse() const {
+  expects(!is_zero(), "zero has no inverse");
+  const UInt256 exponent = kN - UInt256(2);
+  Scalar result = Scalar::from_u64(1);
+  for (int i = exponent.bit_length(); i >= 0; --i) {
+    result = result * result;
+    if (exponent.bit(i)) result = result * *this;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Point
+// ---------------------------------------------------------------------------
+
+Point Point::from_affine(const FieldElement& x, const FieldElement& y) {
+  return Point(x, y, FieldElement::from_u64(1));
+}
+
+const Point& Point::generator() {
+  static const Point g = Point::from_affine(FieldElement(kGx), FieldElement(kGy));
+  return g;
+}
+
+std::optional<Point> Point::lift_x(const UInt256& x) {
+  if (x >= kP) return std::nullopt;
+  const FieldElement fx(x);
+  const FieldElement rhs = fx.square() * fx + FieldElement::from_u64(7);
+  const std::optional<FieldElement> y = rhs.sqrt();
+  if (!y.has_value()) return std::nullopt;
+  const FieldElement y_even = y->is_odd() ? y->negate() : *y;
+  return Point::from_affine(fx, y_even);
+}
+
+Point Point::doubled() const {
+  if (is_infinity() || y_.is_zero()) return Point();
+  // dbl-2009-l for a = 0.
+  const FieldElement a = x_.square();
+  const FieldElement b = y_.square();
+  const FieldElement c = b.square();
+  FieldElement d = (x_ + b).square() - a - c;
+  d = d + d;
+  const FieldElement e = a + a + a;
+  const FieldElement f = e.square();
+  const FieldElement x3 = f - (d + d);
+  FieldElement c8 = c + c;
+  c8 = c8 + c8;
+  c8 = c8 + c8;
+  const FieldElement y3 = e * (d - x3) - c8;
+  const FieldElement z3 = (y_ * z_) + (y_ * z_);
+  return Point(x3, y3, z3);
+}
+
+Point Point::operator+(const Point& rhs) const {
+  if (is_infinity()) return rhs;
+  if (rhs.is_infinity()) return *this;
+  // add-2007-bl (general Jacobian addition).
+  const FieldElement z1z1 = z_.square();
+  const FieldElement z2z2 = rhs.z_.square();
+  const FieldElement u1 = x_ * z2z2;
+  const FieldElement u2 = rhs.x_ * z1z1;
+  const FieldElement s1 = y_ * z2z2 * rhs.z_;
+  const FieldElement s2 = rhs.y_ * z1z1 * z_;
+  const FieldElement h = u2 - u1;
+  const FieldElement r = s2 - s1;
+  if (h.is_zero()) {
+    if (r.is_zero()) return doubled();
+    return Point();  // inverses
+  }
+  const FieldElement h2 = h.square();
+  const FieldElement h3 = h2 * h;
+  const FieldElement v = u1 * h2;
+  const FieldElement x3 = r.square() - h3 - (v + v);
+  const FieldElement y3 = r * (v - x3) - s1 * h3;
+  const FieldElement z3 = z_ * rhs.z_ * h;
+  return Point(x3, y3, z3);
+}
+
+Point Point::negate() const {
+  if (is_infinity()) return *this;
+  return Point(x_, y_.negate(), z_);
+}
+
+Point Point::mul(const Scalar& k) const {
+  Point acc;
+  const int top = k.value().bit_length();
+  for (int i = top; i >= 0; --i) {
+    acc = acc.doubled();
+    if (k.value().bit(i)) acc = acc + *this;
+  }
+  return acc;
+}
+
+Point::Affine Point::to_affine() const {
+  expects(!is_infinity(), "identity has no affine form");
+  const FieldElement zinv = z_.inverse();
+  const FieldElement zinv2 = zinv.square();
+  return Affine{x_ * zinv2, y_ * zinv2 * zinv};
+}
+
+bool Point::on_curve() const {
+  if (is_infinity()) return true;
+  const Affine a = to_affine();
+  return a.y.square() == a.x.square() * a.x + FieldElement::from_u64(7);
+}
+
+bool Point::equals(const Point& rhs) const {
+  if (is_infinity() || rhs.is_infinity()) {
+    return is_infinity() == rhs.is_infinity();
+  }
+  const Affine a = to_affine();
+  const Affine b = rhs.to_affine();
+  return a.x == b.x && a.y == b.y;
+}
+
+}  // namespace themis::crypto

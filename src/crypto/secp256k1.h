@@ -1,0 +1,124 @@
+// secp256k1 arithmetic from scratch: prime field, scalar field, and group
+// operations in Jacobian coordinates.
+//
+// This backs the block-header signatures required by Themis (§III: "the node
+// signs the block header with its private key and broadcasts the block
+// together with its signature").  Only what the signature scheme needs is
+// exposed; the Schnorr layer lives in schnorr.h.
+//
+// Curve: y^2 = x^3 + 7 over F_p,
+//   p = 2^256 - 2^32 - 977
+//   n = group order (prime)
+#pragma once
+
+#include <optional>
+
+#include "common/uint256.h"
+
+namespace themis::crypto {
+
+/// Field modulus p and group order n.
+const UInt256& field_prime();
+const UInt256& group_order();
+
+/// Element of F_p.  Always kept reduced (< p).
+class FieldElement {
+ public:
+  FieldElement() = default;
+  /// Reduces the input mod p.
+  explicit FieldElement(const UInt256& v);
+  static FieldElement from_u64(std::uint64_t v) { return FieldElement(UInt256(v)); }
+
+  const UInt256& value() const { return value_; }
+  bool is_zero() const { return value_.is_zero(); }
+  bool is_odd() const { return value_.bit(0); }
+
+  FieldElement operator+(const FieldElement& rhs) const;
+  FieldElement operator-(const FieldElement& rhs) const;
+  FieldElement operator*(const FieldElement& rhs) const;
+  FieldElement negate() const;
+  FieldElement square() const { return *this * *this; }
+
+  /// Modular exponentiation.
+  FieldElement pow(const UInt256& exponent) const;
+  /// Multiplicative inverse (Fermat); precondition: non-zero.
+  FieldElement inverse() const;
+  /// Square root when it exists (p = 3 mod 4); nullopt otherwise.
+  std::optional<FieldElement> sqrt() const;
+
+  bool operator==(const FieldElement&) const = default;
+
+ private:
+  UInt256 value_;
+};
+
+/// Element of Z_n (the scalar field).  Always kept reduced (< n).
+class Scalar {
+ public:
+  Scalar() = default;
+  /// Reduces the input mod n.
+  explicit Scalar(const UInt256& v);
+  static Scalar from_u64(std::uint64_t v) { return Scalar(UInt256(v)); }
+  /// Reduce a 32-byte big-endian string mod n.
+  static Scalar from_bytes(const Hash32& bytes);
+
+  const UInt256& value() const { return value_; }
+  bool is_zero() const { return value_.is_zero(); }
+  Hash32 to_bytes() const { return value_.to_be_bytes(); }
+
+  Scalar operator+(const Scalar& rhs) const;
+  Scalar operator-(const Scalar& rhs) const;
+  Scalar operator*(const Scalar& rhs) const;
+  Scalar negate() const;
+  Scalar inverse() const;
+
+  bool operator==(const Scalar&) const = default;
+
+ private:
+  UInt256 value_;
+};
+
+/// Curve point in Jacobian coordinates; (any, any, 0) is the identity.
+class Point {
+ public:
+  /// The identity (point at infinity).
+  Point() = default;
+  /// From affine coordinates; the caller asserts the point is on the curve.
+  static Point from_affine(const FieldElement& x, const FieldElement& y);
+  /// The standard generator G.
+  static const Point& generator();
+  /// Recover the even-y point with the given x coordinate, if on the curve.
+  static std::optional<Point> lift_x(const UInt256& x);
+
+  bool is_infinity() const { return z_.is_zero(); }
+
+  Point doubled() const;
+  Point operator+(const Point& rhs) const;
+  Point negate() const;
+
+  /// Scalar multiplication (double-and-add, MSB first).
+  Point mul(const Scalar& k) const;
+
+  struct Affine {
+    FieldElement x;
+    FieldElement y;
+  };
+  /// Convert to affine; precondition: not the identity.
+  Affine to_affine() const;
+
+  /// Check the affine curve equation (identity counts as valid).
+  bool on_curve() const;
+
+  /// Equality in the group (compares affine forms).
+  bool equals(const Point& rhs) const;
+
+ private:
+  Point(const FieldElement& x, const FieldElement& y, const FieldElement& z)
+      : x_(x), y_(y), z_(z) {}
+
+  FieldElement x_;
+  FieldElement y_;
+  FieldElement z_;  // z == 0 <=> infinity
+};
+
+}  // namespace themis::crypto

@@ -1,0 +1,50 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// This is the proof-of-work hash of the system: a block is valid when
+// sha256d(header) interpreted as a big-endian 256-bit integer is below the
+// node's puzzle target (§IV-B).  A streaming context is provided for large
+// inputs; one-shot helpers cover the common cases.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace themis::crypto {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorb more input.  May be called any number of times.
+  Sha256& update(ByteSpan data);
+
+  /// Finalize and return the digest.  The context must not be reused after
+  /// calling finish() without reset().
+  Hash32 finish();
+
+  /// Restore the initial state.
+  void reset();
+
+ private:
+  void compress(const std::uint8_t block[64]);
+
+  std::uint32_t state_[8];
+  std::uint8_t buffer_[64];
+  std::uint64_t total_len_ = 0;  // bytes absorbed so far
+  std::size_t buffer_len_ = 0;
+  bool finished_ = false;
+};
+
+/// One-shot SHA-256.
+Hash32 sha256(ByteSpan data);
+
+/// Double SHA-256 (Bitcoin-style), used for block ids and PoW.
+Hash32 sha256d(ByteSpan data);
+
+/// Tagged hash: SHA-256(SHA-256(tag) || SHA-256(tag) || data); domain
+/// separation for signatures and challenges (BIP-340 style).
+Hash32 tagged_hash(std::string_view tag, ByteSpan data);
+
+}  // namespace themis::crypto

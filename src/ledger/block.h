@@ -1,0 +1,92 @@
+// Blocks and block headers.
+//
+// The header carries everything the paper's verification pipeline needs
+// (§III): the producer id (to look up its per-epoch difficulty in the local
+// difficulty table), the claimed difficulty, the PoW nonce, and a Schnorr
+// signature over the header hash proving consortium membership.  The PoW
+// digest and the block id are the double-SHA-256 of the unsigned header.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/uint256.h"
+#include "crypto/schnorr.h"
+#include "ledger/transaction.h"
+#include "ledger/types.h"
+
+namespace themis::ledger {
+
+struct BlockHeader {
+  std::uint32_t version = 1;
+  std::uint64_t height = 0;
+  BlockHash prev{};
+  Hash32 merkle_root{};
+  NodeId producer = kNoNode;
+  /// Difficulty adjustment epoch index (e in the paper).
+  std::uint32_t epoch = 0;
+  /// Claimed block-producing difficulty D_i^e = m_i^e * D_base^e.
+  double difficulty = 1.0;
+  /// Production time in simulated nanoseconds.
+  std::int64_t timestamp_nanos = 0;
+  std::uint64_t nonce = 0;
+  /// Number of transactions committed by this block.  Large-scale network
+  /// simulations account for body size without materializing bodies; when a
+  /// body is present, validation enforces tx_count == transactions().size().
+  std::uint32_t tx_count = 0;
+
+  /// Encoding of every field above (the signed/hashed preimage).
+  Bytes encode_unsigned() const;
+  static BlockHeader decode_unsigned(ByteSpan raw);
+
+  /// Double-SHA-256 of the unsigned encoding: both the proof-of-work digest
+  /// compared against the target and the block id.
+  BlockHash hash() const;
+
+  bool operator==(const BlockHeader&) const = default;
+};
+
+class Block {
+ public:
+  Block() = default;
+  Block(BlockHeader header, crypto::Signature signature,
+        std::vector<Transaction> transactions);
+
+  /// The genesis block shared by all nodes (a constant; §V-B).
+  static const Block& genesis();
+
+  const BlockHeader& header() const { return header_; }
+  const crypto::Signature& signature() const { return signature_; }
+  const std::vector<Transaction>& transactions() const { return transactions_; }
+
+  const BlockHash& id() const;
+  std::uint64_t height() const { return header_.height; }
+  NodeId producer() const { return header_.producer; }
+
+  /// Merkle root over the transaction ids (what the header must commit to).
+  Hash32 compute_merkle_root() const;
+
+  /// Size of the full canonical encoding in bytes, counting header.tx_count
+  /// transactions (drives link transmission delay in the network simulator,
+  /// including for metadata-only blocks whose bodies are not materialized).
+  std::size_t size_bytes() const;
+
+  Bytes encode() const;
+  static Block decode(ByteSpan raw);
+
+ private:
+  BlockHeader header_;
+  crypto::Signature signature_{};
+  std::vector<Transaction> transactions_;
+
+  mutable bool id_cached_ = false;
+  mutable BlockHash id_{};
+};
+
+using BlockPtr = std::shared_ptr<const Block>;
+
+/// Build, hash and check helpers used throughout the consensus layer.
+bool satisfies_target(const BlockHash& pow_digest, const UInt256& target);
+
+}  // namespace themis::ledger

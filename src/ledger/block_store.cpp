@@ -1,0 +1,126 @@
+#include "ledger/block_store.h"
+
+#include "common/check.h"
+#include "common/serialize.h"
+#include "crypto/sha256.h"
+
+namespace themis::ledger {
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x544d4253;  // "SBMT"
+
+/// Record layout: magic(4) | length(4) | payload | checksum(4).
+/// The checksum is the first 4 bytes of sha256d(payload).
+std::uint32_t checksum_of(ByteSpan payload) {
+  const Hash32 digest = crypto::sha256d(payload);
+  return static_cast<std::uint32_t>(digest[0]) |
+         (static_cast<std::uint32_t>(digest[1]) << 8) |
+         (static_cast<std::uint32_t>(digest[2]) << 16) |
+         (static_cast<std::uint32_t>(digest[3]) << 24);
+}
+
+}  // namespace
+
+BlockStore::BlockStore(std::filesystem::path path) : path_(std::move(path)) {
+  expects(!std::filesystem::is_directory(path_),
+          "block store path must be a file");
+  if (!std::filesystem::exists(path_)) {
+    std::ofstream(path_, std::ios::binary).flush();
+  }
+  scan();
+  writer_.open(path_, std::ios::binary | std::ios::in | std::ios::out);
+  ensures(writer_.is_open(), "failed to open block store for writing");
+  // Position after the last *valid* record: a torn tail is overwritten.
+  writer_.seekp(static_cast<std::streamoff>(valid_bytes_));
+  reader_.open(path_, std::ios::binary);
+  ensures(reader_.is_open(), "failed to open block store for reading");
+}
+
+void BlockStore::scan() {
+  std::ifstream in(path_, std::ios::binary);
+  ensures(in.is_open(), "failed to open block store for scanning");
+
+  const std::uint64_t file_size = std::filesystem::file_size(path_);
+  std::uint64_t offset = 0;
+  while (offset + 8 <= file_size) {
+    std::uint8_t header[8];
+    in.seekg(static_cast<std::streamoff>(offset));
+    in.read(reinterpret_cast<char*>(header), 8);
+    if (!in.good()) break;
+    Reader r(ByteSpan(header, 8));
+    const std::uint32_t magic = r.u32();
+    const std::uint32_t length = r.u32();
+    if (magic != kRecordMagic || offset + 8 + length + 4 > file_size) {
+      recovered_ = true;  // torn or corrupt tail: stop here
+      break;
+    }
+    Bytes payload(length);
+    in.read(reinterpret_cast<char*>(payload.data()), length);
+    std::uint8_t check_raw[4];
+    in.read(reinterpret_cast<char*>(check_raw), 4);
+    if (!in.good()) {
+      recovered_ = true;
+      break;
+    }
+    Reader cr(ByteSpan(check_raw, 4));
+    if (cr.u32() != checksum_of(payload)) {
+      recovered_ = true;
+      break;
+    }
+    offsets_.push_back(Record{offset + 8, length});
+    offset += 8 + length + 4;
+  }
+  if (offset < file_size) recovered_ = true;
+  valid_bytes_ = offset;
+}
+
+void BlockStore::append(const Block& block) {
+  const Bytes payload = block.encode();
+  Writer w(payload.size() + 16);
+  w.u32(kRecordMagic);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  w.u32(checksum_of(payload));
+  const Bytes& record = w.buffer();
+
+  writer_.write(reinterpret_cast<const char*>(record.data()),
+                static_cast<std::streamsize>(record.size()));
+  writer_.flush();
+  ensures(writer_.good(), "block store write failed");
+
+  offsets_.push_back(
+      Record{valid_bytes_ + 8, static_cast<std::uint32_t>(payload.size())});
+  valid_bytes_ += record.size();
+}
+
+Block BlockStore::read(std::size_t index) const {
+  expects(index < offsets_.size(), "block index out of range");
+  const Record& record = offsets_[index];
+  Bytes payload(record.length);
+  reader_.clear();
+  reader_.seekg(static_cast<std::streamoff>(record.offset));
+  reader_.read(reinterpret_cast<char*>(payload.data()), record.length);
+  ensures(reader_.good(), "block store read failed");
+  return Block::decode(payload);
+}
+
+std::vector<Block> BlockStore::read_all() const {
+  std::vector<Block> out;
+  out.reserve(offsets_.size());
+  for (std::size_t i = 0; i < offsets_.size(); ++i) out.push_back(read(i));
+  return out;
+}
+
+std::size_t BlockStore::replay_into(BlockTree& tree) const {
+  std::size_t attached = 0;
+  for (std::size_t i = 0; i < offsets_.size(); ++i) {
+    auto block = std::make_shared<const Block>(read(i));
+    if (tree.insert(std::move(block)) == BlockTree::InsertResult::inserted) {
+      ++attached;
+    }
+  }
+  return attached;
+}
+
+}  // namespace themis::ledger

@@ -1,0 +1,67 @@
+// Durable block storage.
+//
+// Consensus nodes persist "the complete blockchain data" (§VI-C).  BlockStore
+// is a crash-tolerant append-only file: each record is a length-prefixed,
+// checksummed canonical block encoding.  On open, the store replays the file,
+// verifies every checksum and drops a trailing torn write (the classic
+// power-loss case), so a node can rebuild its BlockTree exactly as it was.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "ledger/block.h"
+#include "ledger/blocktree.h"
+
+namespace themis::ledger {
+
+class BlockStore {
+ public:
+  /// Opens (or creates) the store file and scans existing records.
+  /// Throws PreconditionError if the path is a directory.
+  explicit BlockStore(std::filesystem::path path);
+
+  /// Append a block; flushes to the OS on every call.
+  void append(const Block& block);
+
+  /// Number of valid records currently in the file.
+  std::size_t size() const { return offsets_.size(); }
+
+  /// Decode the i-th block (0-based, insertion order).
+  Block read(std::size_t index) const;
+
+  /// Decode every stored block, in insertion order.
+  std::vector<Block> read_all() const;
+
+  /// Rebuild a BlockTree from the store.  Blocks whose parents are missing
+  /// stay buffered in the tree's orphan pool (they count toward the return
+  /// value only when attached).  Returns the number of attached blocks.
+  std::size_t replay_into(BlockTree& tree) const;
+
+  /// Bytes of valid data (excluding any truncated tail that was dropped).
+  std::uint64_t valid_bytes() const { return valid_bytes_; }
+
+  /// True if open() found and ignored a torn/corrupt tail.
+  bool recovered_from_torn_tail() const { return recovered_; }
+
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  struct Record {
+    std::uint64_t offset = 0;
+    std::uint32_t length = 0;
+  };
+
+  void scan();
+
+  std::filesystem::path path_;
+  mutable std::ifstream reader_;
+  std::ofstream writer_;
+  std::vector<Record> offsets_;
+  std::uint64_t valid_bytes_ = 0;
+  bool recovered_ = false;
+};
+
+}  // namespace themis::ledger

@@ -1,0 +1,163 @@
+#include "ledger/blocktree.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace themis::ledger {
+
+BlockTree::BlockTree() : BlockTree(std::make_shared<const Block>(Block::genesis())) {}
+
+BlockTree::BlockTree(BlockPtr genesis) {
+  expects(genesis != nullptr, "genesis must not be null");
+  expects(genesis->height() == 0, "genesis must have height 0");
+  genesis_hash_ = genesis->id();
+  Entry e;
+  e.block = std::move(genesis);
+  e.receipt_seq = next_receipt_seq_++;
+  entries_.emplace(genesis_hash_, std::move(e));
+}
+
+BlockTree::InsertResult BlockTree::insert(BlockPtr block) {
+  expects(block != nullptr, "block must not be null");
+  const BlockHash id = block->id();
+  if (entries_.contains(id)) return InsertResult::duplicate;
+
+  const BlockHash parent_id = block->header().prev;
+  if (!entries_.contains(parent_id)) {
+    auto& waiting = orphans_[parent_id];
+    const bool already_waiting =
+        std::any_of(waiting.begin(), waiting.end(),
+                    [&](const BlockPtr& b) { return b->id() == id; });
+    if (!already_waiting) waiting.push_back(std::move(block));
+    return InsertResult::orphaned;
+  }
+
+  attach(std::move(block));
+
+  // Pull in any orphan chains this block unblocked (breadth-first).
+  std::vector<BlockHash> ready{id};
+  while (!ready.empty()) {
+    const BlockHash next = ready.back();
+    ready.pop_back();
+    const auto it = orphans_.find(next);
+    if (it == orphans_.end()) continue;
+    std::vector<BlockPtr> waiting = std::move(it->second);
+    orphans_.erase(it);
+    for (BlockPtr& w : waiting) {
+      const BlockHash wid = w->id();
+      if (!entries_.contains(wid)) {
+        attach(std::move(w));
+        ready.push_back(wid);
+      }
+    }
+  }
+  return InsertResult::inserted;
+}
+
+void BlockTree::attach(BlockPtr block) {
+  const BlockHash id = block->id();
+  const BlockHash parent_id = block->header().prev;
+  Entry& parent_entry = entries_.at(parent_id);
+  ensures(block->height() == parent_entry.block->height() + 1,
+          "child height must be parent height + 1");
+  parent_entry.children.push_back(id);
+
+  Entry e;
+  e.parent = parent_id;
+  e.receipt_seq = next_receipt_seq_++;
+  max_height_ = std::max(max_height_, block->height());
+  e.block = std::move(block);
+  entries_.emplace(id, std::move(e));
+}
+
+const BlockTree::Entry& BlockTree::entry(const BlockHash& id) const {
+  const auto it = entries_.find(id);
+  expects(it != entries_.end(), "block not in tree");
+  return it->second;
+}
+
+BlockPtr BlockTree::block(const BlockHash& id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.block;
+}
+
+const std::vector<BlockHash>& BlockTree::children(const BlockHash& id) const {
+  return entry(id).children;
+}
+
+std::optional<BlockHash> BlockTree::parent(const BlockHash& id) const {
+  const Entry& e = entry(id);
+  if (id == genesis_hash_) return std::nullopt;
+  return e.parent;
+}
+
+std::uint64_t BlockTree::height(const BlockHash& id) const {
+  return entry(id).block->height();
+}
+
+std::uint64_t BlockTree::receipt_seq(const BlockHash& id) const {
+  return entry(id).receipt_seq;
+}
+
+std::uint64_t BlockTree::subtree_size(const BlockHash& id) const {
+  std::uint64_t count = 0;
+  std::vector<const Entry*> stack{&entry(id)};
+  while (!stack.empty()) {
+    const Entry* cur = stack.back();
+    stack.pop_back();
+    ++count;
+    for (const BlockHash& child : cur->children) stack.push_back(&entry(child));
+  }
+  return count;
+}
+
+std::vector<std::uint64_t> BlockTree::subtree_producer_counts(
+    const BlockHash& id, std::size_t n_nodes) const {
+  std::vector<std::uint64_t> counts(n_nodes, 0);
+  std::vector<const Entry*> stack{&entry(id)};
+  while (!stack.empty()) {
+    const Entry* cur = stack.back();
+    stack.pop_back();
+    const NodeId producer = cur->block->producer();
+    if (producer < n_nodes) ++counts[producer];
+    for (const BlockHash& child : cur->children) stack.push_back(&entry(child));
+  }
+  return counts;
+}
+
+std::vector<BlockHash> BlockTree::chain_to(const BlockHash& head) const {
+  std::vector<BlockHash> chain;
+  BlockHash cur = head;
+  for (;;) {
+    chain.push_back(cur);
+    if (cur == genesis_hash_) break;
+    cur = entry(cur).parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+bool BlockTree::is_ancestor(const BlockHash& ancestor,
+                            const BlockHash& descendant) const {
+  const std::uint64_t target_height = height(ancestor);
+  BlockHash cur = descendant;
+  while (height(cur) > target_height) cur = entry(cur).parent;
+  return cur == ancestor;
+}
+
+std::vector<BlockHash> BlockTree::tips() const {
+  std::vector<BlockHash> out;
+  for (const auto& [id, e] : entries_) {
+    if (e.children.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t BlockTree::orphan_count() const {
+  std::size_t count = 0;
+  for (const auto& [parent, waiting] : orphans_) count += waiting.size();
+  return count;
+}
+
+}  // namespace themis::ledger

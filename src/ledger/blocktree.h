@@ -1,0 +1,94 @@
+// The local block tree.
+//
+// Each consensus node keeps every valid block it has seen in a tree rooted at
+// the genesis block (§III: "Valid blocks will be added to the local block
+// tree").  Fork-choice rules (longest-chain, GHOST, GEOST) walk this tree;
+// GEOST additionally needs per-subtree block counts and per-producer counts,
+// which are computed on demand — forks near the tip involve only small
+// subtrees, so on-demand DFS is both simple and fast.
+//
+// Blocks can arrive out of order over gossip; children that arrive before
+// their parent wait in an orphan buffer and are attached recursively once the
+// parent shows up.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ledger/block.h"
+#include "ledger/types.h"
+
+namespace themis::ledger {
+
+class BlockTree {
+ public:
+  /// A tree always starts from the shared genesis block.
+  BlockTree();
+  explicit BlockTree(BlockPtr genesis);
+
+  enum class InsertResult {
+    inserted,   ///< attached to the tree (possibly pulling in orphans)
+    duplicate,  ///< already present
+    orphaned,   ///< parent unknown; buffered until it arrives
+  };
+
+  InsertResult insert(BlockPtr block);
+
+  bool contains(const BlockHash& id) const { return entries_.contains(id); }
+  BlockPtr block(const BlockHash& id) const;
+  const BlockHash& genesis_hash() const { return genesis_hash_; }
+
+  /// Children of a block in local receipt order ("the first received
+  /// sub-tree" tie-break in GEOST/GHOST depends on this order).
+  const std::vector<BlockHash>& children(const BlockHash& id) const;
+  std::optional<BlockHash> parent(const BlockHash& id) const;
+  std::uint64_t height(const BlockHash& id) const;
+  /// Monotone local arrival index (0 = genesis).
+  std::uint64_t receipt_seq(const BlockHash& id) const;
+
+  /// Number of blocks in the subtree rooted at `id` (inclusive).
+  std::uint64_t subtree_size(const BlockHash& id) const;
+
+  /// Blocks produced by each of the `n_nodes` consensus nodes within the
+  /// subtree rooted at `id` (inclusive).  Producers outside [0, n_nodes) —
+  /// e.g. the genesis sentinel — are not counted.
+  std::vector<std::uint64_t> subtree_producer_counts(const BlockHash& id,
+                                                     std::size_t n_nodes) const;
+
+  /// Deepest height present in the tree.
+  std::uint64_t max_height() const { return max_height_; }
+
+  /// Chain of block hashes from genesis (inclusive) to `head` (inclusive).
+  std::vector<BlockHash> chain_to(const BlockHash& head) const;
+
+  /// True when `ancestor` lies on the path from genesis to `descendant`
+  /// (a block is its own ancestor).
+  bool is_ancestor(const BlockHash& ancestor, const BlockHash& descendant) const;
+
+  /// All leaves (blocks without children).
+  std::vector<BlockHash> tips() const;
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t orphan_count() const;
+
+ private:
+  struct Entry {
+    BlockPtr block;
+    BlockHash parent{};
+    std::vector<BlockHash> children;
+    std::uint64_t receipt_seq = 0;
+  };
+
+  const Entry& entry(const BlockHash& id) const;
+  void attach(BlockPtr block);
+
+  std::unordered_map<BlockHash, Entry, Hash32Hasher> entries_;
+  std::unordered_map<BlockHash, std::vector<BlockPtr>, Hash32Hasher> orphans_;
+  BlockHash genesis_hash_{};
+  std::uint64_t next_receipt_seq_ = 0;
+  std::uint64_t max_height_ = 0;
+};
+
+}  // namespace themis::ledger

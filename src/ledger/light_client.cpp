@@ -1,0 +1,78 @@
+#include "ledger/light_client.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/uint256.h"
+
+namespace themis::ledger {
+
+HeaderChain::HeaderChain() {
+  const Block& genesis = Block::genesis();
+  genesis_hash_ = genesis.id();
+  best_tip_ = genesis_hash_;
+  headers_.emplace(genesis_hash_, Entry{genesis.header(), 0.0});
+}
+
+HeaderChain::AcceptResult HeaderChain::submit(const BlockHeader& header) {
+  const BlockHash id = header.hash();
+  if (headers_.contains(id)) return AcceptResult::duplicate;
+
+  const auto parent = headers_.find(header.prev);
+  if (parent == headers_.end()) return AcceptResult::unknown_parent;
+  if (header.height != parent->second.header.height + 1) {
+    return AcceptResult::bad_height;
+  }
+  if (!std::isfinite(header.difficulty) ||
+      header.difficulty < difficulty_floor_) {
+    return AcceptResult::bad_pow;
+  }
+  if (!satisfies_target(id, target_for_difficulty(header.difficulty))) {
+    return AcceptResult::bad_pow;
+  }
+
+  Entry entry{header, parent->second.total_work + header.difficulty};
+  const double best_work = entry_at(best_tip_).total_work;
+  const bool better = entry.total_work > best_work;
+  headers_.emplace(id, std::move(entry));
+  if (better) best_tip_ = id;
+  return AcceptResult::accepted;
+}
+
+std::optional<BlockHeader> HeaderChain::header(const BlockHash& id) const {
+  const auto it = headers_.find(id);
+  if (it == headers_.end()) return std::nullopt;
+  return it->second.header;
+}
+
+const HeaderChain::Entry& HeaderChain::entry_at(const BlockHash& id) const {
+  const auto it = headers_.find(id);
+  expects(it != headers_.end(), "unknown header");
+  return it->second;
+}
+
+std::uint64_t HeaderChain::best_height() const {
+  return entry_at(best_tip_).header.height;
+}
+
+std::vector<BlockHash> HeaderChain::best_chain() const {
+  std::vector<BlockHash> chain;
+  BlockHash cursor = best_tip_;
+  for (;;) {
+    chain.push_back(cursor);
+    if (cursor == genesis_hash_) break;
+    cursor = entry_at(cursor).header.prev;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+bool HeaderChain::verify_inclusion(const BlockHash& id, const TxId& txid,
+                                   const crypto::MerkleProof& proof) const {
+  const auto it = headers_.find(id);
+  if (it == headers_.end()) return false;
+  return crypto::merkle_verify(txid, proof, it->second.header.merkle_root);
+}
+
+}  // namespace themis::ledger

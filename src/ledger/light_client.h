@@ -1,0 +1,72 @@
+// Light client: header-only chain sync with SPV-style inclusion proofs.
+//
+// Trend-1 of the paper (§I) is consortium chains opening up to outside
+// users, who need to *query* data without running a consensus node.  A
+// HeaderChain tracks block headers only, checks linkage and proof-of-work,
+// follows the most-work chain among the tips it has seen, and verifies
+// transaction inclusion against a header's merkle commitment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "crypto/merkle.h"
+#include "ledger/block.h"
+
+namespace themis::ledger {
+
+class HeaderChain {
+ public:
+  enum class AcceptResult {
+    accepted,
+    duplicate,
+    unknown_parent,
+    bad_height,
+    bad_pow,
+  };
+
+  HeaderChain();
+
+  /// Validate and store a header.  PoW is checked against the header's
+  /// declared difficulty; a full node (or the difficulty table) vouches for
+  /// the declared value itself — light clients accept the consortium's
+  /// signed checkpoints in practice (see set_difficulty_floor).
+  AcceptResult submit(const BlockHeader& header);
+
+  /// Reject headers claiming less than this difficulty (anti-spam floor).
+  void set_difficulty_floor(double floor) { difficulty_floor_ = floor; }
+
+  bool contains(const BlockHash& id) const { return headers_.contains(id); }
+  std::optional<BlockHeader> header(const BlockHash& id) const;
+  std::size_t size() const { return headers_.size(); }
+
+  /// Tip of the most-work chain (sum of difficulties; receipt order breaks
+  /// ties deterministically).
+  const BlockHash& best_tip() const { return best_tip_; }
+  std::uint64_t best_height() const;
+  double best_total_work() const { return entry_at(best_tip_).total_work; }
+
+  /// Headers from genesis to the best tip (inclusive).
+  std::vector<BlockHash> best_chain() const;
+
+  /// SPV check: does `txid` live in block `id` according to `proof`?
+  bool verify_inclusion(const BlockHash& id, const TxId& txid,
+                        const crypto::MerkleProof& proof) const;
+
+ private:
+  struct Entry {
+    BlockHeader header;
+    double total_work = 0;
+  };
+
+  const Entry& entry_at(const BlockHash& id) const;
+
+  std::unordered_map<BlockHash, Entry, Hash32Hasher> headers_;
+  BlockHash genesis_hash_{};
+  BlockHash best_tip_{};
+  double difficulty_floor_ = 1.0;
+};
+
+}  // namespace themis::ledger

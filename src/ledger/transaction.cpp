@@ -1,0 +1,68 @@
+#include "ledger/transaction.h"
+
+#include "common/check.h"
+#include "common/serialize.h"
+#include "crypto/sha256.h"
+
+namespace themis::ledger {
+
+namespace {
+// Fixed header: sender(4) + nonce(8) + timestamp(8) + payload length(4).
+constexpr std::size_t kTxHeaderSize = 4 + 8 + 8 + 4;
+}  // namespace
+
+std::size_t max_tx_payload() { return kCanonicalTxSize - kTxHeaderSize; }
+
+Transaction::Transaction(NodeId sender, std::uint64_t nonce,
+                         std::int64_t timestamp_nanos, Bytes payload)
+    : sender_(sender),
+      nonce_(nonce),
+      timestamp_nanos_(timestamp_nanos),
+      payload_(std::move(payload)) {
+  expects(payload_.size() <= max_tx_payload(),
+          "transaction payload exceeds canonical capacity");
+}
+
+const TxId& Transaction::id() const {
+  if (!id_cached_) {
+    id_ = crypto::sha256d(encode());
+    id_cached_ = true;
+  }
+  return id_;
+}
+
+Bytes Transaction::encode() const {
+  Writer w(kCanonicalTxSize);
+  w.u32(sender_);
+  w.u64(nonce_);
+  w.i64(timestamp_nanos_);
+  w.u32(static_cast<std::uint32_t>(payload_.size()));
+  w.raw(payload_);
+  Bytes out = w.take();
+  out.resize(kCanonicalTxSize, 0);  // zero-pad to the canonical size
+  return out;
+}
+
+Transaction Transaction::decode(ByteSpan raw) {
+  if (raw.size() != kCanonicalTxSize) {
+    throw DecodeError("transaction must be exactly 512 bytes");
+  }
+  Reader r(raw);
+  Transaction tx;
+  tx.sender_ = r.u32();
+  tx.nonce_ = r.u64();
+  tx.timestamp_nanos_ = r.i64();
+  const std::uint32_t payload_len = r.u32();
+  if (payload_len > max_tx_payload()) {
+    throw DecodeError("transaction payload length field out of range");
+  }
+  tx.payload_ = r.raw(payload_len);
+  // The remainder must be zero padding.
+  const Bytes padding = r.raw(r.remaining());
+  for (std::uint8_t b : padding) {
+    if (b != 0) throw DecodeError("non-zero transaction padding");
+  }
+  return tx;
+}
+
+}  // namespace themis::ledger

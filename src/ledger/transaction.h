@@ -1,0 +1,57 @@
+// Transactions.
+//
+// The evaluation (§VII-A) fixes the transaction size at 512 bytes, so the
+// canonical encoding pads the payload to make every transaction serialize to
+// exactly kCanonicalTxSize bytes.  The id is the double-SHA-256 of the
+// canonical encoding.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "ledger/types.h"
+
+namespace themis::ledger {
+
+/// Canonical wire size of one transaction (paper §VII-A: 512 bytes).
+inline constexpr std::size_t kCanonicalTxSize = 512;
+
+class Transaction {
+ public:
+  Transaction() = default;
+  /// Payload longer than the canonical capacity throws PreconditionError.
+  Transaction(NodeId sender, std::uint64_t nonce, std::int64_t timestamp_nanos,
+              Bytes payload);
+
+  NodeId sender() const { return sender_; }
+  std::uint64_t nonce() const { return nonce_; }
+  std::int64_t timestamp_nanos() const { return timestamp_nanos_; }
+  const Bytes& payload() const { return payload_; }
+
+  /// Double-SHA-256 of the canonical encoding; cached.
+  const TxId& id() const;
+
+  /// Canonical 512-byte encoding.
+  Bytes encode() const;
+  /// Decode; throws DecodeError on malformed input.
+  static Transaction decode(ByteSpan raw);
+
+  bool operator==(const Transaction& rhs) const {
+    return sender_ == rhs.sender_ && nonce_ == rhs.nonce_ &&
+           timestamp_nanos_ == rhs.timestamp_nanos_ && payload_ == rhs.payload_;
+  }
+
+ private:
+  NodeId sender_ = kNoNode;
+  std::uint64_t nonce_ = 0;
+  std::int64_t timestamp_nanos_ = 0;
+  Bytes payload_;
+
+  mutable bool id_cached_ = false;
+  mutable TxId id_{};
+};
+
+/// Maximum payload bytes that fit in the canonical encoding.
+std::size_t max_tx_payload();
+
+}  // namespace themis::ledger

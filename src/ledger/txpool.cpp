@@ -1,0 +1,52 @@
+#include "ledger/txpool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace themis::ledger {
+
+TxPool::TxPool(std::size_t capacity) : capacity_(capacity) {
+  expects(capacity > 0, "pool capacity must be positive");
+}
+
+bool TxPool::add(Transaction tx) {
+  const TxId id = tx.id();
+  if (by_id_.contains(id)) return false;
+  while (order_.size() >= capacity_) evict_oldest();
+  order_.push_back(id);
+  by_id_.emplace(id, std::move(tx));
+  return true;
+}
+
+bool TxPool::contains(const TxId& id) const { return by_id_.contains(id); }
+
+std::vector<Transaction> TxPool::select(std::size_t max_count) const {
+  std::vector<Transaction> out;
+  out.reserve(std::min(max_count, order_.size()));
+  for (const TxId& id : order_) {
+    if (out.size() >= max_count) break;
+    const auto it = by_id_.find(id);
+    if (it != by_id_.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+void TxPool::remove(const std::vector<TxId>& ids) {
+  for (const TxId& id : ids) by_id_.erase(id);
+  // Lazily compact the FIFO index.
+  std::erase_if(order_, [this](const TxId& id) { return !by_id_.contains(id); });
+}
+
+void TxPool::clear() {
+  order_.clear();
+  by_id_.clear();
+}
+
+void TxPool::evict_oldest() {
+  if (order_.empty()) return;
+  by_id_.erase(order_.front());
+  order_.pop_front();
+}
+
+}  // namespace themis::ledger

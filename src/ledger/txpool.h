@@ -1,0 +1,47 @@
+// Transaction pool.
+//
+// Nodes pick transactions "from the transaction pool upon its preferences"
+// (§III) when building a candidate block.  This pool keeps FIFO arrival order
+// (the default preference), deduplicates by id, and drops the oldest entries
+// once a capacity limit is hit.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "ledger/transaction.h"
+
+namespace themis::ledger {
+
+class TxPool {
+ public:
+  explicit TxPool(std::size_t capacity = 1 << 20);
+
+  /// Insert if not already known; returns false for duplicates.
+  /// At capacity, the oldest pending transaction is evicted first.
+  bool add(Transaction tx);
+
+  bool contains(const TxId& id) const;
+  std::size_t size() const { return order_.size(); }
+  bool empty() const { return order_.empty(); }
+
+  /// Peek at up to `max_count` oldest transactions without removing them
+  /// (used to build a candidate block; removal happens on finalization).
+  std::vector<Transaction> select(std::size_t max_count) const;
+
+  /// Remove every listed id (transactions confirmed in a main-chain block).
+  void remove(const std::vector<TxId>& ids);
+
+  void clear();
+
+ private:
+  void evict_oldest();
+
+  std::size_t capacity_;
+  std::deque<TxId> order_;  // FIFO ordering of pending ids
+  std::unordered_map<TxId, Transaction, Hash32Hasher> by_id_;
+};
+
+}  // namespace themis::ledger

@@ -1,0 +1,21 @@
+// Shared identifier types for the ledger layer.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace themis::ledger {
+
+/// Index of a consensus node within the consortium node set (N_i in the
+/// paper).  Dense indices keep per-node bookkeeping (difficulty multiples,
+/// block counts) in flat vectors.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node" (e.g. the genesis block's producer).
+inline constexpr NodeId kNoNode = UINT32_MAX;
+
+using BlockHash = Hash32;
+using TxId = Hash32;
+
+}  // namespace themis::ledger

@@ -1,0 +1,93 @@
+#include "ledger/validation.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace themis::ledger {
+
+std::string_view to_string(BlockCheck check) {
+  switch (check) {
+    case BlockCheck::ok: return "ok";
+    case BlockCheck::unknown_producer: return "unknown_producer";
+    case BlockCheck::bad_signature: return "bad_signature";
+    case BlockCheck::wrong_difficulty: return "wrong_difficulty";
+    case BlockCheck::pow_not_satisfied: return "pow_not_satisfied";
+    case BlockCheck::bad_merkle_root: return "bad_merkle_root";
+    case BlockCheck::bad_transaction: return "bad_transaction";
+    case BlockCheck::bad_height: return "bad_height";
+  }
+  return "unknown";
+}
+
+bool validate_transaction(const Transaction& tx) {
+  return tx.payload().size() <= max_tx_payload();
+}
+
+BlockCheck validate_block(const Block& block, const ValidationContext& ctx) {
+  const BlockHeader& header = block.header();
+
+  // 1. Membership + signature (§III: "verifies whether the block header
+  //    signature belongs to the node in the consensus node set").
+  std::optional<crypto::PublicKey> pub;
+  if (ctx.public_key) {
+    pub = ctx.public_key(header.producer);
+    if (!pub.has_value()) return BlockCheck::unknown_producer;
+  }
+  if (ctx.check_signature) {
+    expects(pub.has_value(), "signature check requires a key registry");
+    if (!crypto::verify(*pub, header.hash(), block.signature())) {
+      return BlockCheck::bad_signature;
+    }
+  }
+
+  // 2. Difficulty table agreement + proof of work (§III: "checks whether the
+  //    difficulty and the hash value of the block header are correct
+  //    according to the latest difficulty table in its local storage").
+  if (ctx.expected_difficulty) {
+    const std::optional<double> expected =
+        ctx.expected_difficulty(header.producer, header.prev);
+    // Difficulties are derived from identical integer block counts via the
+    // same arithmetic on every node, so exact equality is the contract.
+    if (!expected.has_value() || *expected != header.difficulty) {
+      return BlockCheck::wrong_difficulty;
+    }
+  }
+  if (ctx.check_pow) {
+    if (!std::isfinite(header.difficulty) || header.difficulty < 1.0) {
+      return BlockCheck::wrong_difficulty;
+    }
+    const UInt256 target = target_for_difficulty(header.difficulty);
+    if (!satisfies_target(block.id(), target)) {
+      return BlockCheck::pow_not_satisfied;
+    }
+  }
+
+  // 3. Structural checks: height continuity and the transaction commitment.
+  if (ctx.parent_height) {
+    const std::optional<std::uint64_t> parent_h = ctx.parent_height(header.prev);
+    if (parent_h.has_value() && header.height != *parent_h + 1) {
+      return BlockCheck::bad_height;
+    }
+  }
+  if (ctx.check_body) {
+    if (header.tx_count != block.transactions().size()) {
+      return BlockCheck::bad_transaction;
+    }
+    if (block.compute_merkle_root() != header.merkle_root) {
+      return BlockCheck::bad_merkle_root;
+    }
+
+    // 4. Transaction validity (§III: "checks the validity of the transactions
+    //    in the block"), including duplicate detection within the block.
+    std::unordered_set<TxId, Hash32Hasher> seen;
+    for (const Transaction& tx : block.transactions()) {
+      if (!validate_transaction(tx)) return BlockCheck::bad_transaction;
+      if (!seen.insert(tx.id()).second) return BlockCheck::bad_transaction;
+    }
+  }
+  return BlockCheck::ok;
+}
+
+}  // namespace themis::ledger

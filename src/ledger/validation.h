@@ -1,0 +1,62 @@
+// Block validation pipeline.
+//
+// §III specifies the receiver-side checks, in order: (1) the header signature
+// belongs to a node in the consortium node set, (2) the claimed difficulty
+// matches the verifier's local difficulty table and the header hash satisfies
+// it, (3) the transactions are valid.  The pipeline is expressed against two
+// small interfaces so the consensus layer can plug in its difficulty policy
+// and key registry without a dependency cycle.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+
+#include "crypto/schnorr.h"
+#include "ledger/block.h"
+
+namespace themis::ledger {
+
+enum class BlockCheck {
+  ok,
+  unknown_producer,    ///< producer id not in the consensus node set
+  bad_signature,       ///< header signature does not verify
+  wrong_difficulty,    ///< claimed difficulty != locally computed difficulty
+  pow_not_satisfied,   ///< header hash >= target for the claimed difficulty
+  bad_merkle_root,     ///< header does not commit to the transaction list
+  bad_transaction,     ///< malformed or duplicated transaction
+  bad_height,          ///< height does not extend the declared parent
+};
+
+std::string_view to_string(BlockCheck check);
+
+/// Verifier-side context: how to resolve producer keys and difficulties.
+struct ValidationContext {
+  /// Public key of a consensus node, or nullopt if not a member.
+  std::function<std::optional<crypto::PublicKey>(NodeId)> public_key;
+  /// Expected difficulty of `producer` for a block extending `parent`, or
+  /// nullopt if the verifier cannot determine it (treated as
+  /// wrong_difficulty).  Difficulty is a pure function of the parent chain,
+  /// so all verifiers agree without extra communication (§IV-A).
+  std::function<std::optional<double>(NodeId producer, const BlockHash& parent)>
+      expected_difficulty;
+  /// Height of the parent block, or nullopt if the parent is unknown (skips
+  /// the height check; the block tree will buffer the block as an orphan).
+  std::function<std::optional<std::uint64_t>(const BlockHash&)> parent_height;
+
+  bool check_signature = true;
+  bool check_pow = true;
+  /// When false, the body commitment (merkle root, tx_count agreement) is
+  /// skipped: large-scale simulations carry metadata-only blocks whose
+  /// declared tx_count accounts for wire size without materialized bodies.
+  bool check_body = true;
+};
+
+/// Run the full §III validation pipeline; returns the first failing check.
+BlockCheck validate_block(const Block& block, const ValidationContext& ctx);
+
+/// Stateless transaction sanity checks (canonical size, payload bounds).
+bool validate_transaction(const Transaction& tx);
+
+}  // namespace themis::ledger

@@ -1,0 +1,59 @@
+#include "metrics/equality.h"
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace themis::metrics {
+
+std::vector<std::uint64_t> producer_counts(
+    std::span<const ledger::NodeId> producers, std::size_t n_nodes) {
+  std::vector<std::uint64_t> counts(n_nodes, 0);
+  for (const ledger::NodeId p : producers) {
+    if (p < n_nodes) ++counts[p];
+  }
+  return counts;
+}
+
+std::vector<double> per_epoch_frequency_variance(
+    std::span<const ledger::NodeId> producers, std::uint64_t delta,
+    std::size_t n_nodes) {
+  expects(delta >= 1, "epoch length must be positive");
+  expects(n_nodes >= 1, "need at least one node");
+  std::vector<double> out;
+  for (std::size_t start = 0; start + delta <= producers.size(); start += delta) {
+    const auto epoch = producers.subspan(start, delta);
+    out.push_back(frequency_variance(producer_counts(epoch, n_nodes),
+                                     static_cast<double>(delta)));
+  }
+  return out;
+}
+
+double frequency_variance_of(std::span<const ledger::NodeId> producers,
+                             std::size_t n_nodes) {
+  if (producers.empty()) return 0.0;
+  return frequency_variance(producer_counts(producers, n_nodes),
+                            static_cast<double>(producers.size()));
+}
+
+double probability_variance(std::span<const double> probabilities) {
+  return variance(probabilities);
+}
+
+double probability_variance_from_power(std::span<const double> effective_power) {
+  double total = 0.0;
+  for (const double h : effective_power) total += h;
+  expects(total > 0.0, "total effective power must be positive");
+  std::vector<double> probs;
+  probs.reserve(effective_power.size());
+  for (const double h : effective_power) probs.push_back(h / total);
+  return variance(probs);
+}
+
+double pbft_probability_variance(std::size_t n_nodes) {
+  expects(n_nodes >= 1, "need at least one node");
+  // One-hot vector: mean 1/n; variance = ((1-1/n)^2 + (n-1)(1/n)^2) / n.
+  const double n = static_cast<double>(n_nodes);
+  return (n - 1.0) / (n * n);
+}
+
+}  // namespace themis::metrics

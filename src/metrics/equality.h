@@ -1,0 +1,48 @@
+// The paper's two headline metrics (§VII-C).
+//
+//  * Variance of block-producing frequency σ_f² (Equality, Eq. 1): per
+//    counting epoch of Δ main-chain blocks, f_i = q_i / Δ where q_i is the
+//    number of epoch blocks produced by node i; σ_f² is the population
+//    variance of {f_i} over all n nodes.
+//  * Variance of block-producing probability σ_p² (Unpredictability, Eq. 2):
+//    population variance of the per-round block-producing probabilities
+//    {p_i}.  The probability vectors are supplied by the caller (they depend
+//    on the algorithm: effective-power shares for PoX, a one-hot vector for
+//    PBFT).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ledger/types.h"
+
+namespace themis::metrics {
+
+/// σ_f² for each full epoch of `delta` blocks in `producers` (the main-chain
+/// producer sequence, genesis excluded).  Trailing partial epochs are
+/// dropped.
+std::vector<double> per_epoch_frequency_variance(
+    std::span<const ledger::NodeId> producers, std::uint64_t delta,
+    std::size_t n_nodes);
+
+/// σ_f² over the whole producer sequence (one big epoch).
+double frequency_variance_of(std::span<const ledger::NodeId> producers,
+                             std::size_t n_nodes);
+
+/// σ_p² of a probability vector (Eq. 2).
+double probability_variance(std::span<const double> probabilities);
+
+/// σ_p² for PoX algorithms from effective computing powers: p_i =
+/// h_eff_i / sum(h_eff)  (Eq. 3).
+double probability_variance_from_power(std::span<const double> effective_power);
+
+/// σ_p² for PBFT: the leader of each round is known, so the probability
+/// vector is one-hot and σ_p² = (n-1)/n² regardless of which node leads.
+double pbft_probability_variance(std::size_t n_nodes);
+
+/// Per-node block counts over a producer sequence.
+std::vector<std::uint64_t> producer_counts(
+    std::span<const ledger::NodeId> producers, std::size_t n_nodes);
+
+}  // namespace themis::metrics

@@ -1,0 +1,70 @@
+#include "metrics/fork_stats.h"
+
+#include <algorithm>
+
+namespace themis::metrics {
+
+ForkStats analyze_forks(const ledger::BlockTree& tree,
+                        const ledger::BlockHash& head,
+                        std::uint64_t from_height) {
+  ForkStats stats;
+  if (from_height < 1) from_height = 1;
+  const std::uint64_t max_h = tree.height(head);
+  if (from_height > max_h) return stats;
+
+  // Count blocks per height by walking the whole tree once.
+  std::vector<std::uint32_t> per_height(max_h + 1, 0);
+  std::vector<ledger::BlockHash> stack{tree.genesis_hash()};
+  while (!stack.empty()) {
+    const ledger::BlockHash cur = stack.back();
+    stack.pop_back();
+    const std::uint64_t h = tree.height(cur);
+    if (h < per_height.size()) ++per_height[h];
+    for (const ledger::BlockHash& child : tree.children(cur)) {
+      stack.push_back(child);
+    }
+  }
+
+  for (std::uint64_t h = from_height; h <= max_h; ++h) {
+    stats.total_blocks += per_height[h];
+    ++stats.main_chain_blocks;  // exactly one main-chain block per height
+  }
+  stats.stale_blocks = stats.total_blocks - std::min<std::uint64_t>(
+                                                stats.total_blocks,
+                                                stats.main_chain_blocks);
+  if (stats.total_blocks > 0) {
+    stats.stale_rate = static_cast<double>(stats.stale_blocks) /
+                       static_cast<double>(stats.total_blocks);
+  }
+
+  std::uint64_t run = 0;
+  std::uint64_t run_total = 0;
+  for (std::uint64_t h = from_height; h <= max_h; ++h) {
+    if (per_height[h] >= 2) {
+      ++stats.forked_heights;
+      ++run;
+    } else if (run > 0) {
+      ++stats.fork_count;
+      run_total += run;
+      stats.longest_fork_duration = std::max(stats.longest_fork_duration, run);
+      run = 0;
+    }
+  }
+  if (run > 0) {
+    ++stats.fork_count;
+    run_total += run;
+    stats.longest_fork_duration = std::max(stats.longest_fork_duration, run);
+  }
+  const std::uint64_t heights_considered = max_h - from_height + 1;
+  if (heights_considered > 0) {
+    stats.forked_height_fraction = static_cast<double>(stats.forked_heights) /
+                                   static_cast<double>(heights_considered);
+  }
+  if (stats.fork_count > 0) {
+    stats.mean_fork_duration =
+        static_cast<double>(run_total) / static_cast<double>(stats.fork_count);
+  }
+  return stats;
+}
+
+}  // namespace themis::metrics

@@ -1,0 +1,42 @@
+// Fork accounting (§VII-C "Fork Duration", §VII-D Fig. 8).
+//
+// Post-hoc analysis of a node's block tree against its main chain:
+//
+//  * stale rate — the fraction of non-genesis blocks that did not make the
+//    main chain ("fork rate" in the paper's Fig. 8 sense);
+//  * forked-height fraction — the fraction of heights at which more than one
+//    block exists;
+//  * fork runs — maximal runs of consecutive heights with >1 block; the run
+//    length is the paper's "fork duration: from the start to the end block
+//    height during a fork".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ledger/blocktree.h"
+
+namespace themis::metrics {
+
+struct ForkStats {
+  std::uint64_t total_blocks = 0;      ///< non-genesis blocks in the tree
+  std::uint64_t main_chain_blocks = 0; ///< non-genesis blocks on the main chain
+  std::uint64_t stale_blocks = 0;
+  double stale_rate = 0.0;
+
+  std::uint64_t forked_heights = 0;    ///< heights with >= 2 blocks
+  double forked_height_fraction = 0.0;
+
+  std::uint64_t fork_count = 0;            ///< number of fork runs
+  std::uint64_t longest_fork_duration = 0; ///< longest run, in blocks
+  double mean_fork_duration = 0.0;
+};
+
+/// Analyze `tree` against the main chain ending at `head`.  Heights below
+/// `from_height` are excluded — experiments use this to measure the converged
+/// regime (after the difficulty multiples settle) rather than the warm-up.
+ForkStats analyze_forks(const ledger::BlockTree& tree,
+                        const ledger::BlockHash& head,
+                        std::uint64_t from_height = 1);
+
+}  // namespace themis::metrics

@@ -1,0 +1,32 @@
+// Console table / CSV emission used by every bench binary to print the
+// paper's rows and series.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace themis::metrics {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Format a double compactly (fixed or scientific as appropriate).
+  static std::string num(double v, int precision = 4);
+  static std::string num(std::uint64_t v);
+
+  /// Aligned, boxed console rendering.
+  void print(std::ostream& os) const;
+  /// Comma-separated rendering (for plotting scripts).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace themis::metrics

@@ -1,0 +1,108 @@
+#include "net/gossip.h"
+
+#include <algorithm>
+
+namespace themis::net {
+
+GossipNetwork::GossipNetwork(Simulation& sim, LinkConfig link_config,
+                             std::size_t n_nodes, std::size_t fanout,
+                             std::uint64_t topology_seed)
+    : sim_(sim),
+      links_(n_nodes, link_config),
+      peers_(n_nodes),
+      handlers_(n_nodes),
+      seen_(n_nodes) {
+  expects(n_nodes >= 2, "network needs at least two nodes");
+  expects(fanout >= 1, "fanout must be at least 1");
+
+  // Random overlay: each node picks `fanout` distinct peers; edges are made
+  // undirected so the graph is connected with overwhelming probability for
+  // fanout >= 2 (and we additionally chain i -> i+1 as a connectivity floor).
+  Rng rng(topology_seed);
+  std::vector<std::unordered_set<PeerId>> adj(n_nodes);
+  for (PeerId i = 0; i < n_nodes; ++i) {
+    adj[i].insert(static_cast<PeerId>((i + 1) % n_nodes));
+    adj[(i + 1) % n_nodes].insert(i);
+    std::size_t picked = 0;
+    std::size_t attempts = 0;
+    while (picked + 1 < fanout && attempts < 16 * fanout) {
+      ++attempts;
+      const PeerId candidate = static_cast<PeerId>(rng.next_below(n_nodes));
+      if (candidate == i || adj[i].contains(candidate)) continue;
+      adj[i].insert(candidate);
+      adj[candidate].insert(i);
+      ++picked;
+    }
+  }
+  for (PeerId i = 0; i < n_nodes; ++i) {
+    peers_[i].assign(adj[i].begin(), adj[i].end());
+    std::sort(peers_[i].begin(), peers_[i].end());  // deterministic order
+  }
+}
+
+void GossipNetwork::set_handler(PeerId node, Handler handler) {
+  expects(node < handlers_.size(), "node id out of range");
+  handlers_[node] = std::move(handler);
+}
+
+void GossipNetwork::set_drop_filter(
+    std::function<bool(PeerId, PeerId, const Message&)> f) {
+  drop_filter_ = std::move(f);
+}
+
+const std::vector<PeerId>& GossipNetwork::peers(PeerId node) const {
+  expects(node < peers_.size(), "node id out of range");
+  return peers_[node];
+}
+
+std::uint64_t GossipNetwork::broadcast(PeerId origin, std::uint32_t type,
+                                       std::size_t size_bytes, std::any payload) {
+  expects(origin < peers_.size(), "origin id out of range");
+  Message msg;
+  msg.id = next_message_id_++;
+  msg.type = type;
+  msg.origin = origin;
+  msg.size_bytes = size_bytes;
+  msg.flood = true;
+  msg.payload = std::move(payload);
+  seen_[origin].insert(msg.id);
+  relay(origin, msg, /*skip=*/origin);
+  return msg.id;
+}
+
+void GossipNetwork::send(PeerId from, PeerId to, std::uint32_t type,
+                         std::size_t size_bytes, std::any payload) {
+  expects(from < peers_.size() && to < peers_.size(), "node id out of range");
+  Message msg;
+  msg.id = next_message_id_++;
+  msg.type = type;
+  msg.origin = from;
+  msg.size_bytes = size_bytes;
+  msg.payload = std::move(payload);
+  deliver(from, to, std::move(msg));
+}
+
+void GossipNetwork::deliver(PeerId from, PeerId to, Message msg) {
+  if (drop_filter_ && drop_filter_(from, to, msg)) return;
+  const SimTime arrival = links_.enqueue_send(from, sim_.now(), msg.size_bytes);
+  sim_.schedule_at(arrival, [this, from, to, msg = std::move(msg)]() {
+    ++messages_delivered_;
+    if (msg.flood) {
+      // Flood semantics: first receipt triggers handler + relay.
+      if (!seen_[to].insert(msg.id).second) return;
+      if (handlers_[to]) handlers_[to](to, msg);
+      relay(to, msg, from);
+    } else {
+      if (handlers_[to]) handlers_[to](to, msg);
+    }
+  });
+}
+
+void GossipNetwork::relay(PeerId node, const Message& msg, PeerId skip) {
+  for (const PeerId peer : peers_[node]) {
+    if (peer == skip) continue;
+    deliver(node, peer, msg);
+  }
+}
+
+}  // namespace themis::net

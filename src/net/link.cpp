@@ -1,0 +1,41 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+namespace themis::net {
+
+AccessLinkModel::AccessLinkModel(std::size_t n_nodes, LinkConfig config)
+    : config_(config), uplink_free_(n_nodes, SimTime::zero()) {
+  expects(config.bandwidth_bps > 0, "bandwidth must be positive");
+  expects(config.min_delay >= SimTime::zero(), "propagation delay must be >= 0");
+}
+
+SimTime AccessLinkModel::transmission_time(std::size_t bytes) const {
+  const double seconds = static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+  return SimTime::seconds(seconds);
+}
+
+SimTime AccessLinkModel::enqueue_send(std::uint32_t sender, SimTime now,
+                                      std::size_t bytes) {
+  expects(sender < uplink_free_.size(), "sender id out of range");
+  SimTime& free_at = uplink_free_[sender];
+  const SimTime start = std::max(now, free_at);
+  const SimTime departure = start + transmission_time(bytes);
+  free_at = departure;
+  total_bytes_sent_ += bytes;
+  ++total_transfers_;
+  return departure + config_.min_delay;
+}
+
+SimTime AccessLinkModel::uplink_free_at(std::uint32_t sender) const {
+  expects(sender < uplink_free_.size(), "sender id out of range");
+  return uplink_free_[sender];
+}
+
+void AccessLinkModel::reset() {
+  std::fill(uplink_free_.begin(), uplink_free_.end(), SimTime::zero());
+  total_bytes_sent_ = 0;
+  total_transfers_ = 0;
+}
+
+}  // namespace themis::net

@@ -1,0 +1,55 @@
+// Access-link model.
+//
+// §VII-A: "the bandwidth of all connections between nodes are set to 20 Mbps
+// ... the minimum transmission delay between nodes is 100 ms.  The delay
+// varies with the amount of transmitted data."  We model each node's uplink
+// as a 20 Mbps serializing queue: concurrent sends from one node queue behind
+// each other (this is what makes a PBFT leader's n-fold broadcast expensive),
+// and every transfer additionally pays the fixed propagation delay.
+// Receiver-side contention is not modeled; sender-side serialization already
+// dominates in all the paper's scenarios (the leader bottleneck in PBFT and
+// the per-hop relay cost in gossip).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/sim_time.h"
+
+namespace themis::net {
+
+struct LinkConfig {
+  double bandwidth_bps = 20e6;                    ///< 20 Mbps (paper default)
+  SimTime min_delay = SimTime::millis(100);       ///< propagation floor
+};
+
+class AccessLinkModel {
+ public:
+  AccessLinkModel(std::size_t n_nodes, LinkConfig config);
+
+  /// Pure transmission (serialization) time for a payload.
+  SimTime transmission_time(std::size_t bytes) const;
+
+  /// Reserve the sender's uplink starting no earlier than `now` and return
+  /// the arrival time at the receiver.  Updates the uplink's busy horizon.
+  SimTime enqueue_send(std::uint32_t sender, SimTime now, std::size_t bytes);
+
+  /// When the sender's uplink becomes idle (>= now means busy until then).
+  SimTime uplink_free_at(std::uint32_t sender) const;
+
+  const LinkConfig& config() const { return config_; }
+  std::uint64_t total_bytes_sent() const { return total_bytes_sent_; }
+  std::uint64_t total_transfers() const { return total_transfers_; }
+
+  /// Reset the busy horizons (fresh experiment on the same topology).
+  void reset();
+
+ private:
+  LinkConfig config_;
+  std::vector<SimTime> uplink_free_;
+  std::uint64_t total_bytes_sent_ = 0;
+  std::uint64_t total_transfers_ = 0;
+};
+
+}  // namespace themis::net

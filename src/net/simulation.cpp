@@ -1,0 +1,56 @@
+#include "net/simulation.h"
+
+namespace themis::net {
+
+EventId Simulation::schedule_at(SimTime t, std::function<void()> fn) {
+  expects(t >= now_, "cannot schedule into the past");
+  expects(fn != nullptr, "event callback must not be null");
+  const EventId id = next_id_++;
+  queue_.push(Event{t, id, std::move(fn)});
+  return id;
+}
+
+EventId Simulation::schedule_after(SimTime delay, std::function<void()> fn) {
+  expects(delay >= SimTime::zero(), "delay must be non-negative");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulation::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy deletion: remember the id and skip it when popped.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(ev.id) > 0) continue;
+    now_ = ev.time;
+    ++events_processed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (cancelled_.contains(top.id)) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > deadline) break;
+    step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+void Simulation::run(std::uint64_t max_events) {
+  std::uint64_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+}
+
+}  // namespace themis::net

@@ -1,0 +1,132 @@
+#include "nodeset/contract.h"
+
+#include "common/check.h"
+
+namespace themis::nodeset {
+
+using ledger::NodeId;
+
+NodeSetContract::NodeSetContract(std::vector<NodeIdentity> initial_members) {
+  expects(!initial_members.empty(), "node set must start non-empty");
+  for (NodeIdentity& m : initial_members) {
+    expects(m.id != ledger::kNoNode, "member id must be valid");
+    const bool inserted = members_.emplace(m.id, std::move(m)).second;
+    expects(inserted, "duplicate member id");
+  }
+}
+
+std::optional<crypto::PublicKey> NodeSetContract::key_of(NodeId id) const {
+  const auto it = members_.find(id);
+  if (it == members_.end()) return std::nullopt;
+  return it->second.public_key;
+}
+
+std::vector<NodeId> NodeSetContract::members() const {
+  std::vector<NodeId> out;
+  out.reserve(members_.size());
+  for (const auto& [id, identity] : members_) out.push_back(id);
+  return out;
+}
+
+std::uint64_t NodeSetContract::propose_add(NodeId proposer,
+                                           NodeIdentity candidate) {
+  expects(is_member(proposer), "only members can raise proposals");
+  expects(!is_member(candidate.id), "candidate is already a member");
+  expects(candidate.id != ledger::kNoNode, "candidate id must be valid");
+  Proposal p;
+  p.id = next_proposal_id_++;
+  p.kind = ProposalKind::add;
+  p.proposer = proposer;
+  p.subject = std::move(candidate);
+  p.supporters.insert(proposer);
+  refresh_status(p);
+  const std::uint64_t id = p.id;
+  proposals_.emplace(id, std::move(p));
+  return id;
+}
+
+std::uint64_t NodeSetContract::propose_remove(NodeId proposer, NodeId subject,
+                                              std::string evidence) {
+  expects(is_member(proposer), "only members can raise proposals");
+  expects(is_member(subject), "removal subject must be a member");
+  expects(!evidence.empty(), "removal requires evidence (§IV-C)");
+  Proposal p;
+  p.id = next_proposal_id_++;
+  p.kind = ProposalKind::remove;
+  p.proposer = proposer;
+  p.subject = members_.at(subject);
+  p.evidence = std::move(evidence);
+  p.supporters.insert(proposer);
+  refresh_status(p);
+  const std::uint64_t id = p.id;
+  proposals_.emplace(id, std::move(p));
+  return id;
+}
+
+ProposalStatus NodeSetContract::vote(std::uint64_t proposal_id, NodeId voter,
+                                     bool support) {
+  expects(is_member(voter), "only members can vote");
+  const auto it = proposals_.find(proposal_id);
+  expects(it != proposals_.end(), "unknown proposal");
+  Proposal& p = it->second;
+  expects(p.status == ProposalStatus::open, "proposal is no longer open");
+  if (support) {
+    p.opponents.erase(voter);
+    p.supporters.insert(voter);
+  } else {
+    p.supporters.erase(voter);
+    p.opponents.insert(voter);
+  }
+  refresh_status(p);
+  return p.status;
+}
+
+void NodeSetContract::refresh_status(Proposal& p) {
+  if (p.status != ProposalStatus::open) return;
+  if (majority(p)) {
+    p.status = ProposalStatus::passed;
+  } else if (2 * p.opponents.size() >= members_.size()) {
+    // A majority can no longer form.
+    p.status = ProposalStatus::rejected;
+  }
+}
+
+const Proposal& NodeSetContract::proposal(std::uint64_t id) const {
+  const auto it = proposals_.find(id);
+  expects(it != proposals_.end(), "unknown proposal");
+  return it->second;
+}
+
+std::vector<std::uint64_t> NodeSetContract::open_proposals() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& [id, p] : proposals_) {
+    if (p.status == ProposalStatus::open) out.push_back(id);
+  }
+  return out;
+}
+
+NodeSetContract::Activation NodeSetContract::activate_pending() {
+  Activation result;
+  const double n_old = static_cast<double>(members_.size());
+  for (auto& [id, p] : proposals_) {
+    if (p.status != ProposalStatus::passed) continue;
+    if (p.kind == ProposalKind::add) {
+      if (!is_member(p.subject.id)) {
+        members_.emplace(p.subject.id, p.subject);
+        result.added.push_back(p.subject);
+      }
+    } else {
+      if (is_member(p.subject.id)) {
+        members_.erase(p.subject.id);
+        result.removed.push_back(p.subject.id);
+      }
+    }
+    p.status = ProposalStatus::applied;
+  }
+  const double n_new = static_cast<double>(members_.size());
+  ensures(n_new > 0, "node set must stay non-empty");
+  result.base_difficulty_scale = n_new / n_old;
+  return result;
+}
+
+}  // namespace themis::nodeset

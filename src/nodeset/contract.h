@@ -1,0 +1,96 @@
+// NodeSetContract — consensus node set management (§IV-C).
+//
+// Any consortium member can raise a proposal to Add a new node (with its
+// address and identity proof) or Remove a misbehaving one (with evidence such
+// as packed invalid transactions or a double-spend attempt).  Voting is one
+// node one vote; a proposal passes once supporting votes exceed half of the
+// current consensus node set, and takes effect at the next activation point
+// (the beginning of the next consensus round / epoch).
+//
+// A node-set change rescales the basic block-producing difficulty by
+// n_new / n_old so the network's effective computing power stays matched to
+// Eq. 7 (§IV-C); activate_pending() reports that factor to the caller, which
+// feeds it into the difficulty policy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/schnorr.h"
+#include "ledger/types.h"
+
+namespace themis::nodeset {
+
+struct NodeIdentity {
+  ledger::NodeId id = ledger::kNoNode;
+  crypto::PublicKey public_key{};
+  std::string address;  ///< network address / identity record
+};
+
+enum class ProposalKind { add, remove };
+enum class ProposalStatus { open, passed, rejected, applied };
+
+struct Proposal {
+  std::uint64_t id = 0;
+  ProposalKind kind = ProposalKind::add;
+  ledger::NodeId proposer = ledger::kNoNode;
+  NodeIdentity subject;       ///< the node to add / remove
+  std::string evidence;       ///< removal proof description (§IV-C)
+  std::set<ledger::NodeId> supporters;
+  std::set<ledger::NodeId> opponents;
+  ProposalStatus status = ProposalStatus::open;
+};
+
+class NodeSetContract {
+ public:
+  explicit NodeSetContract(std::vector<NodeIdentity> initial_members);
+
+  std::size_t member_count() const { return members_.size(); }
+  bool is_member(ledger::NodeId id) const { return members_.contains(id); }
+  std::optional<crypto::PublicKey> key_of(ledger::NodeId id) const;
+  std::vector<ledger::NodeId> members() const;
+
+  /// Raise a joining proposal.  The proposer (who relays the new node's
+  /// request, §IV-C) votes in favor implicitly.  Throws if the proposer is
+  /// not a member or the subject already is.
+  std::uint64_t propose_add(ledger::NodeId proposer, NodeIdentity candidate);
+
+  /// Raise a removal proposal with evidence of misbehavior.
+  std::uint64_t propose_remove(ledger::NodeId proposer, ledger::NodeId subject,
+                               std::string evidence);
+
+  /// One node, one vote.  Re-voting replaces the previous vote.  Returns the
+  /// proposal status after the vote (a majority marks it `passed`).
+  ProposalStatus vote(std::uint64_t proposal_id, ledger::NodeId voter,
+                      bool support);
+
+  const Proposal& proposal(std::uint64_t id) const;
+  std::vector<std::uint64_t> open_proposals() const;
+
+  struct Activation {
+    std::vector<NodeIdentity> added;
+    std::vector<ledger::NodeId> removed;
+    /// §IV-C: multiply D_base by this (n_new / n_old); 1.0 when unchanged.
+    double base_difficulty_scale = 1.0;
+  };
+
+  /// Apply every passed proposal; called at the next consensus round / epoch
+  /// boundary.  Returns what changed and the difficulty rescale factor.
+  Activation activate_pending();
+
+ private:
+  bool majority(const Proposal& p) const {
+    return 2 * p.supporters.size() > members_.size();
+  }
+  void refresh_status(Proposal& p);
+
+  std::map<ledger::NodeId, NodeIdentity> members_;
+  std::map<std::uint64_t, Proposal> proposals_;
+  std::uint64_t next_proposal_id_ = 1;
+};
+
+}  // namespace themis::nodeset

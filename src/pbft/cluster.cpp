@@ -1,0 +1,52 @@
+#include "pbft/cluster.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace themis::pbft {
+
+PbftCluster::PbftCluster(net::Simulation& sim, net::GossipNetwork& network,
+                         PbftConfig config) {
+  expects(network.n_nodes() == config.n_nodes,
+          "network size must match the replica count");
+  replicas_.reserve(config.n_nodes);
+  for (std::size_t i = 0; i < config.n_nodes; ++i) {
+    replicas_.push_back(std::make_unique<PbftReplica>(
+        sim, network, config, static_cast<ledger::NodeId>(i)));
+  }
+}
+
+void PbftCluster::start() {
+  for (auto& r : replicas_) r->start();
+}
+
+void PbftCluster::suppress_producers(std::size_t count) {
+  expects(count <= replicas_.size(), "cannot suppress more nodes than exist");
+  for (std::size_t i = 0; i < count; ++i) replicas_[i]->set_suppressed(true);
+}
+
+std::uint64_t PbftCluster::max_committed_seq() const {
+  std::uint64_t best = 0;
+  for (const auto& r : replicas_) best = std::max(best, r->committed_seq());
+  return best;
+}
+
+std::uint64_t PbftCluster::max_committed_txs() const {
+  std::uint64_t best = 0;
+  for (const auto& r : replicas_) best = std::max(best, r->committed_txs());
+  return best;
+}
+
+std::uint64_t PbftCluster::total_view_changes() const {
+  std::uint64_t total = 0;
+  for (const auto& r : replicas_) total += r->view_changes();
+  return total;
+}
+
+double PbftCluster::tps(SimTime elapsed) const {
+  if (elapsed <= SimTime::zero()) return 0.0;
+  return static_cast<double>(max_committed_txs()) / elapsed.to_seconds();
+}
+
+}  // namespace themis::pbft

@@ -1,0 +1,39 @@
+// Convenience wrapper wiring n PBFT replicas onto one simulated network.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "pbft/replica.h"
+
+namespace themis::pbft {
+
+class PbftCluster {
+ public:
+  PbftCluster(net::Simulation& sim, net::GossipNetwork& network, PbftConfig config);
+
+  /// Start every replica (leader of sequence 1 begins proposing).
+  void start();
+
+  /// Mark the first `count` replicas as suppressed producers (§VII-A).
+  void suppress_producers(std::size_t count);
+
+  PbftReplica& replica(std::size_t i) { return *replicas_[i]; }
+  const PbftReplica& replica(std::size_t i) const { return *replicas_[i]; }
+  std::size_t size() const { return replicas_.size(); }
+
+  /// Highest sequence committed by any replica (a commit certificate exists).
+  std::uint64_t max_committed_seq() const;
+  /// Transactions in that prefix.
+  std::uint64_t max_committed_txs() const;
+  /// Total view changes across replicas (instability indicator).
+  std::uint64_t total_view_changes() const;
+
+  /// Committed transactions per simulated second over `elapsed`.
+  double tps(SimTime elapsed) const;
+
+ private:
+  std::vector<std::unique_ptr<PbftReplica>> replicas_;
+};
+
+}  // namespace themis::pbft

@@ -1,0 +1,44 @@
+// PBFT wire messages (Castro-Liskov three-phase protocol).
+//
+// Prepare/commit/view-change messages carry a fixed wire size (the digest,
+// ids and a signature, §VI-C budgets ~128 B); the pre-prepare additionally
+// carries the proposed batch.  Like the block gossip path, payloads travel as
+// structs and sizes are accounted explicitly by the link model.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "ledger/types.h"
+
+namespace themis::pbft {
+
+struct PrePrepare {
+  std::uint64_t view = 0;
+  std::uint64_t seq = 0;
+  Hash32 digest{};           ///< batch digest the replicas sign
+  std::uint32_t tx_count = 0;
+  ledger::NodeId leader = 0;
+};
+
+struct Prepare {
+  std::uint64_t view = 0;
+  std::uint64_t seq = 0;
+  Hash32 digest{};
+  ledger::NodeId from = 0;
+};
+
+struct Commit {
+  std::uint64_t view = 0;
+  std::uint64_t seq = 0;
+  Hash32 digest{};
+  ledger::NodeId from = 0;
+};
+
+struct ViewChange {
+  std::uint64_t new_view = 0;
+  std::uint64_t last_committed = 0;
+  ledger::NodeId from = 0;
+};
+
+}  // namespace themis::pbft

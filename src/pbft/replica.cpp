@@ -1,0 +1,254 @@
+#include "pbft/replica.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/serialize.h"
+#include "consensus/wire.h"
+#include "crypto/sha256.h"
+
+namespace themis::pbft {
+
+using consensus::kPbftCommit;
+using consensus::kPbftPrePrepare;
+using consensus::kPbftPrepare;
+using consensus::kPbftViewChange;
+using ledger::NodeId;
+
+PbftReplica::PbftReplica(net::Simulation& sim, net::GossipNetwork& network,
+                         PbftConfig config, NodeId id)
+    : sim_(sim),
+      network_(network),
+      config_(config),
+      id_(id),
+      rng_(0x9bf7'0000ull + id) {
+  expects(config_.n_nodes >= 4, "PBFT needs n >= 4 (f >= 1)");
+  expects(id < config_.n_nodes, "replica id out of range");
+}
+
+std::size_t PbftReplica::pre_prepare_bytes() const {
+  return config_.header_bytes +
+         static_cast<std::size_t>(std::ceil(config_.compact_bytes_per_tx *
+                                            config_.batch_size));
+}
+
+void PbftReplica::start() {
+  expects(!started_, "replica already started");
+  started_ = true;
+  network_.set_handler(id_, [this](net::PeerId, const net::Message& msg) {
+    on_message(msg);
+  });
+  enter_sequence(1);
+}
+
+void PbftReplica::on_message(const net::Message& msg) {
+  // CPU model: verify signed protocol messages serially.
+  const SimTime done = std::max(sim_.now(), cpu_free_) + config_.verify_delay;
+  cpu_free_ = done;
+  if (config_.verify_delay == SimTime::zero() && done == sim_.now()) {
+    process(msg);
+    return;
+  }
+  sim_.schedule_at(done, [this, msg] { process(msg); });
+}
+
+void PbftReplica::process(const net::Message& msg) {
+  switch (msg.type) {
+    case kPbftPrePrepare:
+      if (const auto* m = std::any_cast<PrePrepare>(&msg.payload)) {
+        handle_pre_prepare(*m);
+      }
+      break;
+    case kPbftPrepare:
+      if (const auto* m = std::any_cast<Prepare>(&msg.payload)) handle_prepare(*m);
+      break;
+    case kPbftCommit:
+      if (const auto* m = std::any_cast<Commit>(&msg.payload)) handle_commit(*m);
+      break;
+    case kPbftViewChange:
+      if (const auto* m = std::any_cast<ViewChange>(&msg.payload)) {
+        handle_view_change(*m);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void PbftReplica::broadcast_to_all(std::uint32_t type, std::size_t size,
+                                   std::any payload) {
+  for (NodeId to = 0; to < config_.n_nodes; ++to) {
+    if (to == id_) continue;
+    network_.send(id_, to, type, size, payload);
+  }
+}
+
+void PbftReplica::propose_if_leader() {
+  const std::uint64_t seq = active_seq();
+  if (leader_of(seq, view_, config_.n_nodes) != id_) return;
+  if (suppressed_) return;  // attacked producer: no pre-prepare goes out
+
+  PrePrepare msg;
+  msg.view = view_;
+  msg.seq = seq;
+  msg.tx_count = config_.batch_size;
+  msg.leader = id_;
+  Writer w;
+  w.u64(view_);
+  w.u64(seq);
+  w.u32(id_);
+  msg.digest = crypto::sha256(w.buffer());
+
+  broadcast_to_all(kPbftPrePrepare, pre_prepare_bytes(), msg);
+  handle_pre_prepare(msg);  // the leader pre-prepares locally
+}
+
+void PbftReplica::handle_pre_prepare(const PrePrepare& msg) {
+  if (msg.view > view_) enter_view(msg.view);  // new-view adoption
+  if (msg.view != view_) return;
+  if (msg.seq <= committed_seq_) return;
+  if (msg.leader != leader_of(msg.seq, view_, config_.n_nodes)) return;
+
+  Slot& slot = slots_[msg.seq];
+  if (slot.pre_prepared) return;
+  slot.pre_prepared = true;
+  slot.digest = msg.digest;
+  slot.tx_count = msg.tx_count;
+  slot.leader = msg.leader;
+
+  if (!slot.sent_prepare) {
+    slot.sent_prepare = true;
+    slot.prepares.insert(id_);
+    Prepare p{view_, msg.seq, msg.digest, id_};
+    broadcast_to_all(kPbftPrepare, config_.phase_msg_bytes, p);
+  }
+  maybe_send_commit(msg.seq, slot);
+  maybe_execute(msg.seq, slot);
+}
+
+void PbftReplica::handle_prepare(const Prepare& msg) {
+  if (msg.view != view_ || msg.seq <= committed_seq_) return;
+  Slot& slot = slots_[msg.seq];
+  slot.prepares.insert(msg.from);
+  maybe_send_commit(msg.seq, slot);
+}
+
+void PbftReplica::maybe_send_commit(std::uint64_t seq, Slot& slot) {
+  if (slot.sent_commit || !slot.pre_prepared) return;
+  if (slot.prepares.size() < quorum()) return;
+  slot.sent_commit = true;
+  slot.commits.insert(id_);
+  Commit c{view_, seq, slot.digest, id_};
+  broadcast_to_all(kPbftCommit, config_.phase_msg_bytes, c);
+  maybe_execute(seq, slot);
+}
+
+void PbftReplica::handle_commit(const Commit& msg) {
+  if (msg.seq <= committed_seq_) return;
+  // Commit certificates (2f+1 commits) are accepted across views: a replica
+  // that missed earlier phases adopts the decided value (state transfer).
+  Slot& slot = slots_[msg.seq];
+  slot.commits.insert(msg.from);
+  maybe_execute(msg.seq, slot);
+}
+
+void PbftReplica::maybe_execute(std::uint64_t seq, Slot& slot) {
+  if (slot.committed || executing_) return;
+  if (seq <= committed_seq_) return;
+  if (slot.commits.size() < quorum()) return;
+  // Execution is sequential in the common case (seq == committed + 1).  A
+  // certificate for a later sequence is proof the network decided everything
+  // up to it; adopting it is the state-transfer step that real PBFT performs
+  // with checkpoints, so a healed laggard catches up here.
+  slot.committed = true;
+  executing_ = true;
+  // Capture the decided values now: a view change during execution clears
+  // per-sequence state, but the decision itself is final.
+  const std::uint64_t skipped = seq - committed_seq_ - 1;
+  const std::uint32_t txs =
+      (slot.pre_prepared ? slot.tx_count : config_.batch_size) +
+      static_cast<std::uint32_t>(skipped) * config_.batch_size;
+  const ledger::NodeId producer =
+      slot.pre_prepared ? slot.leader : leader_of(seq, view_, config_.n_nodes);
+  const SimTime exec_time =
+      SimTime::nanos(config_.exec_delay_per_tx.count_nanos() *
+                     static_cast<std::int64_t>(txs));
+  sim_.schedule_after(exec_time, [this, seq, txs, producer] {
+    finish_execution(seq, txs, producer);
+  });
+}
+
+void PbftReplica::finish_execution(std::uint64_t seq, std::uint32_t txs,
+                                   ledger::NodeId producer) {
+  committed_seq_ = seq;
+  committed_txs_ += txs;
+  committed_producers_[seq] = producer;
+  slots_.erase(seq);
+  executing_ = false;
+  consecutive_timeouts_ = 0;
+  enter_sequence(seq + 1);
+
+  // A commit certificate for a later sequence may already be buffered
+  // (slots_ is ordered; executing_ stops the scan after the first hit).
+  for (auto& [pending_seq, pending_slot] : slots_) {
+    if (executing_) break;
+    maybe_execute(pending_seq, pending_slot);
+  }
+}
+
+void PbftReplica::enter_sequence(std::uint64_t seq) {
+  ensures(seq == committed_seq_ + 1, "the active sequence follows the commit");
+  arm_timer();
+  propose_if_leader();
+}
+
+void PbftReplica::arm_timer() {
+  if (timer_event_ != 0) sim_.cancel(timer_event_);
+  const std::uint64_t generation = ++timer_generation_;
+  const double backoff =
+      std::pow(config_.timeout_backoff,
+               static_cast<double>(std::min<std::uint32_t>(consecutive_timeouts_, 16)));
+  const SimTime timeout = SimTime::seconds(
+      config_.base_timeout.to_seconds() * backoff);
+  timer_event_ =
+      sim_.schedule_after(timeout, [this, generation] { on_timeout(generation); });
+}
+
+void PbftReplica::on_timeout(std::uint64_t generation) {
+  if (generation != timer_generation_) return;
+  timer_event_ = 0;
+  ++consecutive_timeouts_;
+
+  const std::uint64_t target_view = view_ + 1;
+  ViewChange vc{target_view, committed_seq_, id_};
+  broadcast_to_all(kPbftViewChange, config_.view_change_msg_bytes, vc);
+  auto& votes = view_change_votes_[target_view];
+  votes.insert(id_);
+  if (votes.size() >= quorum()) {
+    enter_view(target_view);
+  } else {
+    arm_timer();  // keep waiting; retry with backoff
+  }
+}
+
+void PbftReplica::handle_view_change(const ViewChange& msg) {
+  if (msg.new_view <= view_) return;
+  auto& votes = view_change_votes_[msg.new_view];
+  votes.insert(msg.from);
+  if (votes.size() >= quorum()) enter_view(msg.new_view);
+}
+
+void PbftReplica::enter_view(std::uint64_t new_view) {
+  if (new_view <= view_) return;
+  view_ = new_view;
+  ++view_changes_;
+  // Uncommitted per-sequence state is view-local; drop it so stale quorums
+  // cannot mix across views.  (Commit certificates were already applied.)
+  slots_.clear();
+  std::erase_if(view_change_votes_,
+                [new_view](const auto& kv) { return kv.first <= new_view; });
+  arm_timer();
+  propose_if_leader();
+}
+
+}  // namespace themis::pbft

@@ -1,0 +1,146 @@
+// A PBFT replica (Castro-Liskov) on the simulated network.
+//
+// The baseline the paper compares against (§VII-B): round-robin leadership
+// (leader of sequence s in view v is (s + v) mod n — this is what gives PBFT
+// its perfect Equality, Fig. 1b), three phases of direct point-to-point
+// messages (pre-prepare / prepare / commit with 2f+1 quorums), and a view
+// change driven by a timeout (what collapses TPS under producer attacks,
+// Fig. 7, and at large scale, Fig. 6).
+//
+// Performance model:
+//   * Every send is serialized on the sender's 20 Mbps uplink (the leader's
+//     n-1 pre-prepare transfers are the classic bandwidth bottleneck).
+//   * Every received protocol message costs `verify_delay` CPU, serialized
+//     per replica (signature verification), so prepare/commit ingestion is
+//     O(n) per round per replica.
+//   * Committing a batch costs `exec_delay_per_tx * batch` before the next
+//     sequence starts.
+//
+// Simplifications, documented for honesty: transactions are assumed to be
+// pre-disseminated to all replicas by clients (the mempool model), so the
+// pre-prepare carries an ordering (compact) payload of ~6 B per transaction;
+// checkpoints/garbage collection and state transfer are replaced by commit
+// certificates — a replica that sees 2f+1 commits for a sequence adopts it
+// even if it missed earlier phases.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "net/gossip.h"
+#include "pbft/messages.h"
+
+namespace themis::pbft {
+
+struct PbftConfig {
+  std::size_t n_nodes = 4;
+  std::uint32_t batch_size = 4096;     ///< transactions per block
+  double compact_bytes_per_tx = 6.0;   ///< pre-prepare ordering payload
+  std::size_t header_bytes = 192;      ///< fixed part of the pre-prepare
+  std::size_t phase_msg_bytes = 128;   ///< prepare / commit wire size (§VI-C)
+  std::size_t view_change_msg_bytes = 256;
+  SimTime base_timeout = SimTime::seconds(5.0);
+  /// Timeout multiplier per consecutive view change on the same sequence.
+  double timeout_backoff = 1.5;
+  SimTime verify_delay = SimTime::millis(8);       ///< per received message
+  SimTime exec_delay_per_tx = SimTime::micros(500);///< block execution
+};
+
+class PbftReplica {
+ public:
+  PbftReplica(net::Simulation& sim, net::GossipNetwork& network,
+              PbftConfig config, ledger::NodeId id);
+
+  /// Install the network handler and, if leader of the first sequence, start
+  /// proposing.
+  void start();
+
+  /// §VII-A vulnerable node: a suppressed replica never emits pre-prepares
+  /// when it is the leader (its block production is attacked), but still
+  /// participates in prepare/commit/view-change.
+  void set_suppressed(bool suppressed) { suppressed_ = suppressed; }
+
+  ledger::NodeId id() const { return id_; }
+  std::uint64_t view() const { return view_; }
+  std::uint64_t committed_seq() const { return committed_seq_; }
+  std::uint64_t committed_txs() const { return committed_txs_; }
+  std::uint64_t view_changes() const { return view_changes_; }
+  /// Producer (leader) of each committed sequence, 1-based seq -> node id.
+  const std::map<std::uint64_t, ledger::NodeId>& committed_producers() const {
+    return committed_producers_;
+  }
+
+  /// Leader of sequence `seq` in view `view` (round-robin, §VII / Fig. 1b).
+  static ledger::NodeId leader_of(std::uint64_t seq, std::uint64_t view,
+                                  std::size_t n_nodes) {
+    return static_cast<ledger::NodeId>((seq + view) % n_nodes);
+  }
+
+  std::size_t quorum() const { return 2 * fault_bound() + 1; }
+  std::size_t fault_bound() const { return (config_.n_nodes - 1) / 3; }
+
+ private:
+  struct Slot {
+    bool pre_prepared = false;
+    bool sent_prepare = false;
+    bool sent_commit = false;
+    bool committed = false;
+    Hash32 digest{};
+    std::uint32_t tx_count = 0;
+    ledger::NodeId leader = 0;
+    std::set<ledger::NodeId> prepares;
+    std::set<ledger::NodeId> commits;
+  };
+
+  void on_message(const net::Message& msg);
+  void process(const net::Message& msg);
+
+  void handle_pre_prepare(const PrePrepare& msg);
+  void handle_prepare(const Prepare& msg);
+  void handle_commit(const Commit& msg);
+  void handle_view_change(const ViewChange& msg);
+
+  void propose_if_leader();
+  void maybe_send_commit(std::uint64_t seq, Slot& slot);
+  void maybe_execute(std::uint64_t seq, Slot& slot);
+  void finish_execution(std::uint64_t seq, std::uint32_t txs,
+                        ledger::NodeId producer);
+  void enter_sequence(std::uint64_t seq);
+  void arm_timer();
+  void on_timeout(std::uint64_t generation);
+  void enter_view(std::uint64_t new_view);
+  void broadcast_to_all(std::uint32_t type, std::size_t size, std::any payload);
+
+  std::uint64_t active_seq() const { return committed_seq_ + 1; }
+  std::size_t pre_prepare_bytes() const;
+
+  net::Simulation& sim_;
+  net::GossipNetwork& network_;
+  PbftConfig config_;
+  ledger::NodeId id_;
+  Rng rng_;
+
+  std::uint64_t view_ = 0;
+  std::uint64_t committed_seq_ = 0;
+  std::uint64_t committed_txs_ = 0;
+  std::uint64_t view_changes_ = 0;
+  bool executing_ = false;
+  bool suppressed_ = false;
+  bool started_ = false;
+
+  std::map<std::uint64_t, Slot> slots_;  // keyed by sequence number
+  std::map<std::uint64_t, std::set<ledger::NodeId>> view_change_votes_;
+  std::map<std::uint64_t, ledger::NodeId> committed_producers_;
+
+  // CPU model: received messages are verified serially.
+  SimTime cpu_free_;
+
+  // Timeout machinery.
+  net::EventId timer_event_ = 0;
+  std::uint64_t timer_generation_ = 0;
+  std::uint32_t consecutive_timeouts_ = 0;
+};
+
+}  // namespace themis::pbft

@@ -1,0 +1,60 @@
+#include "sim/power_dist.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace themis::sim {
+
+const std::vector<PoolShare>& btc_pool_ranking_jan2022() {
+  // 1008 blocks total; top-4 = 596/1008 = 59.13 % (paper: 59.17 %);
+  // unknown = 17/1008 = 1.69 % (paper: 1.68 %).
+  static const std::vector<PoolShare> ranking = {
+      {"FoundryUSA", 180}, {"AntPool", 144},   {"F2Pool", 141},
+      {"Poolin", 131},     {"BinancePool", 105}, {"ViaBTC", 100},
+      {"SlushPool", 49},   {"BTC.com", 25},    {"EMCD", 20},
+      {"SpiderPool", 18},  {"Terra", 17},      {"Titan", 15},
+      {"SBICrypto", 11},   {"Luxor", 10},      {"MARAPool", 7},
+      {"Ultimus", 6},      {"OKExPool", 5},    {"KuCoinPool", 4},
+      {"SoloCK", 3},       {"unknown", 17},
+  };
+  return ranking;
+}
+
+std::vector<double> btc_jan2022_power(std::size_t n_nodes, double h0) {
+  expects(h0 > 0, "H_0 must be positive");
+  const auto& ranking = btc_pool_ranking_jan2022();
+  const std::size_t n_pools = ranking.size() - 1;  // "unknown" is not a pool
+  expects(n_nodes > n_pools, "need more nodes than named pools");
+
+  std::vector<double> power;
+  power.reserve(n_nodes);
+  for (std::size_t i = 0; i < n_pools; ++i) {
+    power.push_back(static_cast<double>(ranking[i].blocks) * h0);
+  }
+  // Independent nodes: the unknown blocks' producers, each at H_0 (§VII-A).
+  while (power.size() < n_nodes) power.push_back(h0);
+  return power;
+}
+
+std::vector<double> uniform_power(std::size_t n_nodes, double h0) {
+  expects(h0 > 0, "H_0 must be positive");
+  return std::vector<double>(n_nodes, h0);
+}
+
+std::vector<double> pareto_power(std::size_t n_nodes, double h0, double alpha,
+                                 std::uint64_t seed) {
+  expects(h0 > 0 && alpha > 0, "scale and shape must be positive");
+  Rng rng(seed);
+  std::vector<double> power;
+  power.reserve(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    // Inverse-CDF sampling: h = h0 / U^(1/alpha).
+    const double u = 1.0 - rng.next_double();  // (0, 1]
+    power.push_back(h0 / std::pow(u, 1.0 / alpha));
+  }
+  return power;
+}
+
+}  // namespace themis::sim

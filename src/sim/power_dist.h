@@ -1,0 +1,41 @@
+// Initial computing-power distributions (§VII-A, Fig. 3).
+//
+// The paper initializes node computing power from BTC.com's mining-pool
+// ranking of Jan 06-12 2022: a pool that mined b_i blocks that week gets
+// h_i = b_i * H_0, and the "unknown" blocks are attributed to independent
+// nodes with h_i = H_0 each.  The exact per-pool counts are not in the paper
+// text; the vector below is a synthetic reconstruction that preserves the two
+// aggregates the paper states — the top-4 pools hold ~59.17 % of all blocks
+// and unknown/independent producers ~1.68 % — plus the heavy-tail shape of
+// that week's public ranking.  (DESIGN.md, substitution table.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace themis::sim {
+
+struct PoolShare {
+  std::string name;
+  std::uint64_t blocks;  ///< blocks mined in the reference week
+};
+
+/// The synthetic Jan 06-12 2022 pool ranking (sums to 1008 blocks, one
+/// week at 144 blocks/day; 17 of them "unknown").
+const std::vector<PoolShare>& btc_pool_ranking_jan2022();
+
+/// Hash rates for `n_nodes` consensus nodes following Fig. 3: the first
+/// nodes take the pool block counts (h = blocks * h0), the rest are
+/// independent nodes at h0.  Requires n_nodes > number of pools.
+std::vector<double> btc_jan2022_power(std::size_t n_nodes, double h0);
+
+/// Every node at exactly h0 (the post-convergence ideal).
+std::vector<double> uniform_power(std::size_t n_nodes, double h0);
+
+/// Pareto-distributed power with shape `alpha` and scale h0 (synthetic
+/// heavy-tail generator for sensitivity studies).
+std::vector<double> pareto_power(std::size_t n_nodes, double h0, double alpha,
+                                 std::uint64_t seed);
+
+}  // namespace themis::sim

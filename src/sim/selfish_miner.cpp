@@ -1,0 +1,179 @@
+#include "sim/selfish_miner.h"
+
+#include "common/check.h"
+#include "consensus/wire.h"
+
+namespace themis::sim {
+
+using consensus::kBlockAnnounce;
+using ledger::Block;
+using ledger::BlockHash;
+using ledger::BlockPtr;
+
+SelfishMiner::SelfishMiner(net::Simulation& sim, net::GossipNetwork& network,
+                           SelfishMinerConfig config,
+                           std::shared_ptr<consensus::ForkChoiceRule> rule,
+                           std::shared_ptr<consensus::DifficultyPolicy> policy)
+    : sim_(sim),
+      network_(network),
+      config_(config),
+      rule_(std::move(rule)),
+      policy_(std::move(policy)),
+      rng_(config.rng_seed) {
+  expects(config_.id < config_.n_nodes, "attacker id out of range");
+  expects(rule_ != nullptr && policy_ != nullptr, "rule and policy required");
+  public_head_ = public_tree_.genesis_hash();
+  private_tip_ = public_head_;
+  anchor_ = public_head_;
+}
+
+void SelfishMiner::advance_anchor() {
+  // Like PowNode: the fork-choice walk starts a fixed depth behind the head
+  // so choose_head stays O(depth) instead of O(chain).  The attacker's own
+  // branches never reach this depth (it adopts or reveals long before).
+  constexpr std::uint64_t kFinalityDepth = 64;
+  const std::uint64_t head_height = public_tree_.height(public_head_);
+  if (head_height <= kFinalityDepth) return;
+  const std::uint64_t target = head_height - kFinalityDepth;
+  if (public_tree_.height(anchor_) >= target) return;
+  ledger::BlockHash cursor = public_head_;
+  while (public_tree_.height(cursor) > target) {
+    cursor = *public_tree_.parent(cursor);
+  }
+  anchor_ = cursor;
+}
+
+void SelfishMiner::start() {
+  expects(!started_, "attacker already started");
+  started_ = true;
+  network_.set_handler(config_.id, [this](net::PeerId, const net::Message& msg) {
+    on_message(msg);
+  });
+  restart_mining();
+}
+
+std::int64_t SelfishMiner::lead() const {
+  return static_cast<std::int64_t>(full_tree_.height(private_tip_)) -
+         static_cast<std::int64_t>(public_tree_.height(public_head_));
+}
+
+void SelfishMiner::restart_mining() {
+  if (!started_) return;
+  if (mining_event_ != 0) sim_.cancel(mining_event_);
+  const std::uint64_t generation = ++mining_generation_;
+  const double difficulty =
+      policy_->difficulty_for(full_tree_, private_tip_, config_.id);
+  const SimTime wait =
+      consensus::SimMiner::sample_block_time(rng_, config_.hash_rate, difficulty);
+  mining_event_ =
+      sim_.schedule_after(wait, [this, generation] { on_block_found(generation); });
+}
+
+void SelfishMiner::on_block_found(std::uint64_t generation) {
+  if (generation != mining_generation_) return;
+  mining_event_ = 0;
+
+  ledger::BlockHeader header;
+  header.height = full_tree_.height(private_tip_) + 1;
+  header.prev = private_tip_;
+  header.producer = config_.id;
+  header.epoch = policy_->epoch_for(full_tree_, private_tip_);
+  header.difficulty = policy_->difficulty_for(full_tree_, private_tip_, config_.id);
+  header.timestamp_nanos = sim_.now().count_nanos();
+  header.nonce = rng_.next_u64();
+  header.tx_count = config_.txs_per_block;
+
+  auto block = std::make_shared<const Block>(header, crypto::Signature{},
+                                             std::vector<ledger::Transaction>{});
+  ++blocks_mined_;
+  full_tree_.insert(block);
+  private_tip_ = block->id();
+  withheld_.push_back(std::move(block));
+
+  // SM1 state 0' (a tied race is in progress): this block decides the race —
+  // publish at once.
+  if (racing_) {
+    ++race_wins_;
+    racing_ = false;
+    reveal(withheld_.size());
+  }
+  restart_mining();
+}
+
+void SelfishMiner::on_message(const net::Message& msg) {
+  if (msg.type != kBlockAnnounce) return;
+  const auto* block = std::any_cast<BlockPtr>(&msg.payload);
+  if (block == nullptr || *block == nullptr) return;
+  if (public_tree_.contains((*block)->id())) return;
+  public_tree_.insert(*block);
+  full_tree_.insert(*block);
+
+  const BlockHash new_head = rule_->choose_head(public_tree_, anchor_);
+  if (new_head == public_head_) return;
+  public_head_ = new_head;
+  advance_anchor();
+  on_public_head_changed();
+}
+
+void SelfishMiner::on_public_head_changed() {
+  // SM1 decision table.  `lead()` is evaluated *after* the honest advance,
+  // so the classic "lead was k" states appear here as k-1.
+  const std::int64_t current_lead = lead();
+  if (withheld_.empty()) {
+    adopt_public_head();
+    return;
+  }
+  if (current_lead < 0) {
+    // The honest chain is strictly ahead: abandon the withheld branch.
+    blocks_discarded_ += withheld_.size();
+    withheld_.clear();
+    adopt_public_head();
+  } else if (current_lead == 0) {
+    // Lead was 1: publish the tied branch and race (keep mining privately on
+    // our own tip; winning the next block decides the race).
+    ++races_entered_;
+    racing_ = true;
+    reveal(withheld_.size());
+    restart_mining();
+  } else if (current_lead == 1) {
+    // Lead was 2: publishing everything overtakes the honest chain outright.
+    ++overtakes_;
+    racing_ = false;
+    reveal(withheld_.size());
+    restart_mining();
+  } else {
+    // Comfortable lead: publish just enough to match the public height and
+    // keep the rest hidden.
+    const std::uint64_t public_height = public_tree_.height(public_head_);
+    std::size_t to_reveal = 0;
+    for (const BlockPtr& b : withheld_) {
+      if (b->height() <= public_height) ++to_reveal;
+    }
+    reveal(to_reveal);
+  }
+}
+
+void SelfishMiner::reveal(std::size_t count) {
+  count = std::min(count, withheld_.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    BlockPtr block = withheld_[i];
+    public_tree_.insert(block);
+    const std::size_t announce =
+        192 + static_cast<std::size_t>(config_.announce_bytes_per_tx *
+                                       block->header().tx_count);
+    network_.broadcast(config_.id, kBlockAnnounce, announce, std::move(block));
+    ++blocks_revealed_;
+  }
+  withheld_.erase(withheld_.begin(),
+                  withheld_.begin() + static_cast<std::ptrdiff_t>(count));
+  public_head_ = rule_->choose_head(public_tree_, anchor_);
+  advance_anchor();
+}
+
+void SelfishMiner::adopt_public_head() {
+  private_tip_ = public_head_;
+  racing_ = false;
+  restart_mining();
+}
+
+}  // namespace themis::sim

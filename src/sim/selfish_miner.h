@@ -1,0 +1,93 @@
+// A selfish miner (Eyal-Sirer SM1) on the simulated network.
+//
+// §V-B / Fig. 2 argue that GHOST and GEOST blunt selfish mining relative to
+// the longest-chain rule: a withheld chain wins on *length*, but an honest
+// subtree keeps its *weight* even when honest blocks fork among themselves.
+// This adversary implements the classic strategy so the claim can be
+// measured (see bench/ablation_selfish):
+//
+//   * mine privately on a withheld branch;
+//   * when the honest chain catches up to within one block, reveal and race;
+//   * when two ahead after an honest block, reveal everything (overtake);
+//   * when further ahead, reveal just enough to match the public height.
+//
+// The attacker occupies a normal consensus-node slot (its blocks must pass
+// the §III validation of honest nodes), but never relays honest blocks and
+// never mines on an honest tip while it holds a lead.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "consensus/node.h"
+
+namespace themis::sim {
+
+struct SelfishMinerConfig {
+  ledger::NodeId id = 0;          ///< the attacker's consensus-node slot
+  std::size_t n_nodes = 0;
+  double hash_rate = 1.0;         ///< private mining power (q * honest total)
+  std::uint32_t txs_per_block = 0;
+  double announce_bytes_per_tx = 32.0;
+  std::uint64_t rng_seed = 99;
+};
+
+class SelfishMiner {
+ public:
+  /// `rule` must match the honest nodes' fork choice (the attacker predicts
+  /// their head with it); `policy` supplies difficulties for its own chain.
+  SelfishMiner(net::Simulation& sim, net::GossipNetwork& network,
+               SelfishMinerConfig config,
+               std::shared_ptr<consensus::ForkChoiceRule> rule,
+               std::shared_ptr<consensus::DifficultyPolicy> policy);
+
+  void start();
+
+  // --- observers ------------------------------------------------------------
+  std::uint64_t blocks_mined() const { return blocks_mined_; }
+  std::uint64_t races_entered() const { return races_entered_; }
+  std::uint64_t race_wins() const { return race_wins_; }
+  std::uint64_t overtakes() const { return overtakes_; }
+  std::uint64_t blocks_revealed() const { return blocks_revealed_; }
+  std::uint64_t blocks_discarded() const { return blocks_discarded_; }
+  std::size_t withheld() const { return withheld_.size(); }
+  const ledger::BlockTree& public_tree() const { return public_tree_; }
+
+ private:
+  void on_message(const net::Message& msg);
+  void on_block_found(std::uint64_t generation);
+  void on_public_head_changed();
+  void reveal(std::size_t count);
+  void advance_anchor();
+  void adopt_public_head();
+  void restart_mining();
+  std::int64_t lead() const;
+
+  net::Simulation& sim_;
+  net::GossipNetwork& network_;
+  SelfishMinerConfig config_;
+  std::shared_ptr<consensus::ForkChoiceRule> rule_;
+  std::shared_ptr<consensus::DifficultyPolicy> policy_;
+  Rng rng_;
+
+  ledger::BlockTree public_tree_;  ///< the network's view
+  ledger::BlockTree full_tree_;    ///< network view + withheld branch
+  ledger::BlockHash public_head_;
+  ledger::BlockHash anchor_;       ///< fork-choice start (trails the head)
+  ledger::BlockHash private_tip_;  ///< tip of the withheld branch
+  std::vector<ledger::BlockPtr> withheld_;  // oldest first
+
+  bool racing_ = false;  ///< SM1 state 0': a tied branch race is live
+  std::uint64_t mining_generation_ = 0;
+  net::EventId mining_event_ = 0;
+  bool started_ = false;
+
+  std::uint64_t blocks_mined_ = 0;
+  std::uint64_t races_entered_ = 0;
+  std::uint64_t race_wins_ = 0;
+  std::uint64_t overtakes_ = 0;
+  std::uint64_t blocks_revealed_ = 0;
+  std::uint64_t blocks_discarded_ = 0;
+};
+
+}  // namespace themis::sim

@@ -1,0 +1,79 @@
+#include "state/double_spend.h"
+
+#include <map>
+
+#include "common/serialize.h"
+
+namespace themis::state {
+
+bool DoubleSpendProof::valid() const {
+  return first.sender() == second.sender() && first.nonce() == second.nonce() &&
+         first.id() != second.id();
+}
+
+std::string DoubleSpendProof::describe() const {
+  return "double-spend by node " + std::to_string(first.sender()) +
+         ": nonce " + std::to_string(first.nonce()) + " signed twice (" +
+         to_hex(first.id()).substr(0, 16) + " vs " +
+         to_hex(second.id()).substr(0, 16) + ")";
+}
+
+Bytes DoubleSpendProof::encode() const {
+  Writer w(2 * ledger::kCanonicalTxSize);
+  w.raw(first.encode());
+  w.raw(second.encode());
+  return w.take();
+}
+
+std::optional<DoubleSpendProof> DoubleSpendProof::decode(ByteSpan raw) {
+  if (raw.size() != 2 * ledger::kCanonicalTxSize) return std::nullopt;
+  try {
+    Reader r(raw);
+    DoubleSpendProof proof;
+    proof.first = ledger::Transaction::decode(r.raw(ledger::kCanonicalTxSize));
+    proof.second = ledger::Transaction::decode(r.raw(ledger::kCanonicalTxSize));
+    if (!proof.valid()) return std::nullopt;
+    return proof;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+namespace {
+
+using SenderNonce = std::pair<ledger::NodeId, std::uint64_t>;
+
+std::optional<DoubleSpendProof> scan(
+    std::map<SenderNonce, const ledger::Transaction*>& seen,
+    const std::vector<ledger::Transaction>& txs) {
+  for (const ledger::Transaction& tx : txs) {
+    const SenderNonce key{tx.sender(), tx.nonce()};
+    const auto it = seen.find(key);
+    if (it != seen.end()) {
+      if (it->second->id() != tx.id()) {
+        return DoubleSpendProof{*it->second, tx};
+      }
+      continue;  // the exact same transaction, not an equivocation
+    }
+    seen.emplace(key, &tx);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<DoubleSpendProof> find_double_spend(
+    const std::vector<ledger::Transaction>& a,
+    const std::vector<ledger::Transaction>& b) {
+  std::map<SenderNonce, const ledger::Transaction*> seen;
+  if (auto proof = scan(seen, a)) return proof;
+  return scan(seen, b);
+}
+
+std::optional<DoubleSpendProof> find_double_spend(
+    const std::vector<ledger::Transaction>& txs) {
+  std::map<SenderNonce, const ledger::Transaction*> seen;
+  return scan(seen, txs);
+}
+
+}  // namespace themis::state

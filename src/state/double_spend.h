@@ -1,0 +1,42 @@
+// Double-spend detection and removal evidence (§IV-C).
+//
+// Under strict nonce discipline, two *distinct* transactions from the same
+// sender with the same nonce can never both be honest — whichever chain they
+// landed on, the sender equivocated.  A DoubleSpendProof packages the two
+// transactions; any member can verify it offline and attach it to a
+// NodeSetContract removal proposal ("launching double-spending attacks").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ledger/block.h"
+
+namespace themis::state {
+
+struct DoubleSpendProof {
+  ledger::Transaction first;
+  ledger::Transaction second;
+
+  /// Self-consistency: same sender, same nonce, different transaction ids.
+  bool valid() const;
+
+  /// Human-readable evidence string for a NodeSetContract proposal.
+  std::string describe() const;
+
+  Bytes encode() const;
+  static std::optional<DoubleSpendProof> decode(ByteSpan raw);
+};
+
+/// Scan two transaction lists (e.g. two competing blocks) for an
+/// equivocation; returns the first proof found.
+std::optional<DoubleSpendProof> find_double_spend(
+    const std::vector<ledger::Transaction>& a,
+    const std::vector<ledger::Transaction>& b);
+
+/// Scan a single list for internal nonce reuse.
+std::optional<DoubleSpendProof> find_double_spend(
+    const std::vector<ledger::Transaction>& txs);
+
+}  // namespace themis::state

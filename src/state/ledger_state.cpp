@@ -1,0 +1,98 @@
+#include "state/ledger_state.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace themis::state {
+
+std::string_view to_string(TxOutcome outcome) {
+  switch (outcome) {
+    case TxOutcome::applied: return "applied";
+    case TxOutcome::data_only: return "data_only";
+    case TxOutcome::bad_nonce: return "bad_nonce";
+    case TxOutcome::insufficient_funds: return "insufficient_funds";
+    case TxOutcome::unknown_recipient: return "unknown_recipient";
+  }
+  return "unknown";
+}
+
+void LedgerState::fund(ledger::NodeId account, std::uint64_t amount) {
+  accounts_[account].balance += amount;
+}
+
+const Account& LedgerState::account(ledger::NodeId id) const {
+  static const Account kEmpty{};
+  const auto it = accounts_.find(id);
+  return it == accounts_.end() ? kEmpty : it->second;
+}
+
+std::uint64_t LedgerState::total_supply() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, acct] : accounts_) total += acct.balance;
+  return total;
+}
+
+TxOutcome LedgerState::apply(const ledger::Transaction& tx) {
+  Account& sender = accounts_[tx.sender()];
+  if (tx.nonce() != sender.next_nonce) return TxOutcome::bad_nonce;
+
+  const std::optional<Transfer> transfer = transfer_of(tx);
+  if (!transfer.has_value()) {
+    ++sender.next_nonce;
+    return TxOutcome::data_only;
+  }
+  if (transfer->to == ledger::kNoNode) return TxOutcome::unknown_recipient;
+  if (sender.balance < transfer->amount) return TxOutcome::insufficient_funds;
+
+  ++sender.next_nonce;
+  sender.balance -= transfer->amount;
+  accounts_[transfer->to].balance += transfer->amount;
+  return TxOutcome::applied;
+}
+
+std::size_t LedgerState::apply_block(const ledger::Block& block) {
+  std::size_t applied = 0;
+  for (const ledger::Transaction& tx : block.transactions()) {
+    const TxOutcome outcome = apply(tx);
+    if (outcome == TxOutcome::applied || outcome == TxOutcome::data_only) {
+      ++applied;
+    }
+  }
+  return applied;
+}
+
+StateManager::StateManager(std::map<ledger::NodeId, std::uint64_t> allocation) {
+  for (const auto& [account, amount] : allocation) {
+    genesis_state_.fund(account, amount);
+  }
+}
+
+const LedgerState& StateManager::state_at(const ledger::BlockTree& tree,
+                                          const ledger::BlockHash& block) {
+  expects(tree.contains(block), "block not in tree");
+  // Walk up to the nearest cached ancestor (or genesis), then replay down.
+  std::vector<ledger::BlockHash> pending;
+  ledger::BlockHash cursor = block;
+  while (!cache_.contains(cursor) && cursor != tree.genesis_hash()) {
+    pending.push_back(cursor);
+    const auto parent = tree.parent(cursor);
+    ensures(parent.has_value(), "non-genesis block must have a parent");
+    cursor = *parent;
+  }
+
+  LedgerState state = (cursor == tree.genesis_hash() && !cache_.contains(cursor))
+                          ? genesis_state_
+                          : cache_.at(cursor);
+  for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
+    state.apply_block(*tree.block(*it));
+    cache_.emplace(*it, state);
+  }
+  if (pending.empty() && !cache_.contains(block)) {
+    // block == genesis.
+    cache_.emplace(block, state);
+  }
+  return cache_.at(block);
+}
+
+}  // namespace themis::state

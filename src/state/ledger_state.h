@@ -1,0 +1,86 @@
+// Account-based ledger state ("ledger processing", §VII-A).
+//
+// Consortium members hold accounts; transfers move balances, and every
+// transaction advances its sender's nonce.  Nonce reuse is the on-chain
+// definition of a double-spend attempt — the evidence a NodeSetContract
+// removal proposal carries (§IV-C).
+//
+// StateManager materializes the state at any block by replaying the main
+// chain, caching snapshots per block so switching between forks (as fork
+// choice does) costs one block's delta in the common case.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+
+#include "ledger/blocktree.h"
+#include "state/transfer.h"
+
+namespace themis::state {
+
+struct Account {
+  std::uint64_t balance = 0;
+  /// Highest transaction nonce seen from this account (0 = none yet).
+  std::uint64_t next_nonce = 1;
+
+  bool operator==(const Account&) const = default;
+};
+
+enum class TxOutcome {
+  applied,          ///< state updated
+  data_only,        ///< no transfer payload; nonce advanced
+  bad_nonce,        ///< nonce reuse or gap (double-spend evidence!)
+  insufficient_funds,
+  unknown_recipient,
+};
+
+std::string_view to_string(TxOutcome outcome);
+
+class LedgerState {
+ public:
+  LedgerState() = default;
+
+  /// Credit an account at genesis (consortium funding allocation).
+  void fund(ledger::NodeId account, std::uint64_t amount);
+
+  const Account& account(ledger::NodeId id) const;
+  std::uint64_t balance(ledger::NodeId id) const { return account(id).balance; }
+  std::uint64_t total_supply() const;
+
+  /// Apply one transaction.  Strict nonce discipline: the transaction's nonce
+  /// must equal the sender's next_nonce.  Failed transactions do not change
+  /// any balance (and do not advance the nonce).
+  TxOutcome apply(const ledger::Transaction& tx);
+
+  /// Apply every transaction of a block, in order.  Returns the number that
+  /// applied cleanly; failures are skipped (they stay visible to auditors via
+  /// apply()'s outcome when re-checked individually).
+  std::size_t apply_block(const ledger::Block& block);
+
+  bool operator==(const LedgerState&) const = default;
+
+ private:
+  std::map<ledger::NodeId, Account> accounts_;
+};
+
+class StateManager {
+ public:
+  /// `genesis_allocation` funds accounts before any block executes.
+  StateManager(std::map<ledger::NodeId, std::uint64_t> genesis_allocation);
+
+  /// State after executing the main chain from genesis to `block` (inclusive)
+  /// in `tree`.  Snapshots are cached per block hash.
+  const LedgerState& state_at(const ledger::BlockTree& tree,
+                              const ledger::BlockHash& block);
+
+  std::size_t cached_snapshots() const { return cache_.size(); }
+
+ private:
+  LedgerState genesis_state_;
+  std::unordered_map<ledger::BlockHash, LedgerState, Hash32Hasher> cache_;
+};
+
+}  // namespace themis::state

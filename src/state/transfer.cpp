@@ -1,0 +1,46 @@
+#include "state/transfer.h"
+
+#include "common/serialize.h"
+
+namespace themis::state {
+
+namespace {
+// Domain tag so arbitrary payloads don't accidentally parse as transfers.
+constexpr std::uint32_t kTransferMagic = 0x74584654;  // "TFXt"
+}  // namespace
+
+Bytes Transfer::encode() const {
+  Writer w(16 + memo.size());
+  w.u32(kTransferMagic);
+  w.u32(to);
+  w.u64(amount);
+  w.bytes(memo);
+  return w.take();
+}
+
+std::optional<Transfer> Transfer::decode(ByteSpan payload) {
+  try {
+    Reader r(payload);
+    if (r.u32() != kTransferMagic) return std::nullopt;
+    Transfer t;
+    t.to = r.u32();
+    t.amount = r.u64();
+    t.memo = r.bytes();
+    r.expect_done();
+    return t;
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+ledger::Transaction make_transfer_tx(ledger::NodeId from, std::uint64_t nonce,
+                                     std::int64_t timestamp_nanos,
+                                     const Transfer& transfer) {
+  return ledger::Transaction(from, nonce, timestamp_nanos, transfer.encode());
+}
+
+std::optional<Transfer> transfer_of(const ledger::Transaction& tx) {
+  return Transfer::decode(tx.payload());
+}
+
+}  // namespace themis::state

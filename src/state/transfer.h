@@ -1,0 +1,37 @@
+// Value-transfer payloads.
+//
+// The ledger's canonical transactions carry an opaque payload; consortium
+// applications that move value encode a Transfer into it.  A transaction
+// whose payload does not parse as a transfer is treated as a data-only
+// transaction (no state effect beyond nonce tracking).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ledger/transaction.h"
+#include "ledger/types.h"
+
+namespace themis::state {
+
+struct Transfer {
+  ledger::NodeId to = ledger::kNoNode;
+  std::uint64_t amount = 0;
+  /// Free-form memo carried alongside the transfer.
+  Bytes memo;
+
+  Bytes encode() const;
+  static std::optional<Transfer> decode(ByteSpan payload);
+
+  bool operator==(const Transfer&) const = default;
+};
+
+/// Convenience: build a canonical transaction carrying a transfer.
+ledger::Transaction make_transfer_tx(ledger::NodeId from, std::uint64_t nonce,
+                                     std::int64_t timestamp_nanos,
+                                     const Transfer& transfer);
+
+/// Parse the transfer out of a transaction, if it carries one.
+std::optional<Transfer> transfer_of(const ledger::Transaction& tx);
+
+}  // namespace themis::state

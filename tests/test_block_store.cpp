@@ -1,0 +1,206 @@
+#include "ledger/block_store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+#include "tree_builder.h"
+
+namespace themis::ledger {
+namespace {
+
+namespace fs = std::filesystem;
+
+class BlockStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("themis_store_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    path_ = dir_ / "blocks.dat";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  Block sample_block(std::uint64_t height, const BlockHash& prev,
+                     std::uint32_t n_txs = 2) {
+    std::vector<Transaction> txs;
+    for (std::uint32_t i = 0; i < n_txs; ++i) {
+      txs.emplace_back(i, height * 10 + i, 0,
+                       bytes_of("payload " + std::to_string(height)));
+    }
+    BlockHeader h;
+    h.height = height;
+    h.prev = prev;
+    h.producer = static_cast<NodeId>(height % 4);
+    h.tx_count = n_txs;
+    h.nonce = height * 31;
+    return Block(h, crypto::Signature{}, std::move(txs));
+  }
+
+  fs::path dir_;
+  fs::path path_;
+};
+
+TEST_F(BlockStoreTest, StartsEmpty) {
+  BlockStore store(path_);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.valid_bytes(), 0u);
+  EXPECT_FALSE(store.recovered_from_torn_tail());
+}
+
+TEST_F(BlockStoreTest, AppendAndReadBack) {
+  BlockStore store(path_);
+  const Block b = sample_block(1, Block::genesis().id());
+  store.append(b);
+  ASSERT_EQ(store.size(), 1u);
+  const Block loaded = store.read(0);
+  EXPECT_EQ(loaded.id(), b.id());
+  EXPECT_EQ(loaded.transactions().size(), 2u);
+}
+
+TEST_F(BlockStoreTest, PersistsAcrossReopen) {
+  BlockHash prev = Block::genesis().id();
+  {
+    BlockStore store(path_);
+    for (std::uint64_t h = 1; h <= 5; ++h) {
+      const Block b = sample_block(h, prev);
+      prev = b.id();
+      store.append(b);
+    }
+  }
+  BlockStore reopened(path_);
+  ASSERT_EQ(reopened.size(), 5u);
+  EXPECT_EQ(reopened.read(4).id(), prev);
+  EXPECT_FALSE(reopened.recovered_from_torn_tail());
+}
+
+TEST_F(BlockStoreTest, AppendContinuesAfterReopen) {
+  BlockHash prev = Block::genesis().id();
+  {
+    BlockStore store(path_);
+    const Block b = sample_block(1, prev);
+    prev = b.id();
+    store.append(b);
+  }
+  {
+    BlockStore store(path_);
+    store.append(sample_block(2, prev));
+    EXPECT_EQ(store.size(), 2u);
+  }
+  BlockStore final_store(path_);
+  EXPECT_EQ(final_store.size(), 2u);
+  EXPECT_EQ(final_store.read(1).height(), 2u);
+}
+
+TEST_F(BlockStoreTest, TornTailDroppedOnRecovery) {
+  BlockHash prev = Block::genesis().id();
+  std::uint64_t good_bytes = 0;
+  {
+    BlockStore store(path_);
+    const Block b1 = sample_block(1, prev);
+    store.append(b1);
+    good_bytes = store.valid_bytes();
+    store.append(sample_block(2, b1.id()));
+  }
+  // Simulate a crash mid-write: truncate into the second record.
+  fs::resize_file(path_, good_bytes + 10);
+
+  BlockStore recovered(path_);
+  EXPECT_TRUE(recovered.recovered_from_torn_tail());
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered.valid_bytes(), good_bytes);
+  // The store keeps working after recovery (torn tail is overwritten).
+  recovered.append(sample_block(2, recovered.read(0).id()));
+  EXPECT_EQ(recovered.size(), 2u);
+  BlockStore reopened(path_);
+  EXPECT_EQ(reopened.size(), 2u);
+  EXPECT_FALSE(reopened.recovered_from_torn_tail());
+}
+
+TEST_F(BlockStoreTest, CorruptPayloadDetectedByChecksum) {
+  {
+    BlockStore store(path_);
+    store.append(sample_block(1, Block::genesis().id()));
+  }
+  // Flip one payload byte on disk.
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekp(20);
+  char byte;
+  f.seekg(20);
+  f.get(byte);
+  f.seekp(20);
+  f.put(static_cast<char>(byte ^ 0x01));
+  f.close();
+
+  BlockStore store(path_);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_TRUE(store.recovered_from_torn_tail());
+}
+
+TEST_F(BlockStoreTest, ReplayRebuildsTree) {
+  test::TreeBuilder b;
+  b.add("a", "g", 0);
+  b.add("b", "a", 1);
+  b.add("x", "g", 2);  // a fork is persisted too
+  {
+    BlockStore store(path_);
+    for (const std::string name : {"a", "b", "x"}) {
+      store.append(*b.get(name));
+    }
+  }
+  BlockStore store(path_);
+  BlockTree restored;
+  EXPECT_EQ(store.replay_into(restored), 3u);
+  EXPECT_TRUE(restored.contains(b.hash("b")));
+  EXPECT_TRUE(restored.contains(b.hash("x")));
+  EXPECT_EQ(restored.max_height(), 2u);
+}
+
+TEST_F(BlockStoreTest, ReplayBuffersOrphans) {
+  test::TreeBuilder b;
+  b.add("a", "g", 0);
+  b.add("b", "a", 1);
+  {
+    BlockStore store(path_);
+    store.append(*b.get("b"));  // child persisted without its parent
+  }
+  BlockStore store(path_);
+  BlockTree restored;
+  EXPECT_EQ(store.replay_into(restored), 0u);
+  EXPECT_EQ(restored.orphan_count(), 1u);
+}
+
+TEST_F(BlockStoreTest, ReadOutOfRangeThrows) {
+  BlockStore store(path_);
+  EXPECT_THROW(store.read(0), PreconditionError);
+}
+
+TEST_F(BlockStoreTest, DirectoryPathRejected) {
+  EXPECT_THROW(BlockStore{dir_}, PreconditionError);
+}
+
+TEST_F(BlockStoreTest, ManyBlocksRoundTrip) {
+  BlockHash prev = Block::genesis().id();
+  std::vector<BlockHash> ids;
+  {
+    BlockStore store(path_);
+    for (std::uint64_t h = 1; h <= 64; ++h) {
+      const Block b = sample_block(h, prev, h % 3);
+      prev = b.id();
+      ids.push_back(prev);
+      store.append(b);
+    }
+  }
+  BlockStore store(path_);
+  const auto all = store.read_all();
+  ASSERT_EQ(all.size(), 64u);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(all[i].id(), ids[i]) << "block " << i;
+  }
+}
+
+}  // namespace
+}  // namespace themis::ledger

@@ -1,0 +1,186 @@
+#include "ledger/blocktree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "tree_builder.h"
+
+namespace themis::ledger {
+namespace {
+
+using test::TreeBuilder;
+
+BlockPtr make_block(const BlockPtr& parent, NodeId producer, std::uint64_t nonce) {
+  BlockHeader h;
+  h.height = parent->height() + 1;
+  h.prev = parent->id();
+  h.producer = producer;
+  h.nonce = nonce;
+  return std::make_shared<const Block>(h, crypto::Signature{},
+                                       std::vector<Transaction>{});
+}
+
+TEST(BlockTree, StartsWithGenesis) {
+  BlockTree tree;
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.contains(tree.genesis_hash()));
+  EXPECT_EQ(tree.height(tree.genesis_hash()), 0u);
+  EXPECT_EQ(tree.max_height(), 0u);
+}
+
+TEST(BlockTree, InsertChild) {
+  BlockTree tree;
+  const auto genesis = tree.block(tree.genesis_hash());
+  const auto child = make_block(genesis, 1, 1);
+  EXPECT_EQ(tree.insert(child), BlockTree::InsertResult::inserted);
+  EXPECT_TRUE(tree.contains(child->id()));
+  EXPECT_EQ(tree.height(child->id()), 1u);
+  EXPECT_EQ(tree.max_height(), 1u);
+  EXPECT_EQ(tree.parent(child->id()), tree.genesis_hash());
+}
+
+TEST(BlockTree, DuplicateInsertDetected) {
+  BlockTree tree;
+  const auto child = make_block(tree.block(tree.genesis_hash()), 1, 1);
+  tree.insert(child);
+  EXPECT_EQ(tree.insert(child), BlockTree::InsertResult::duplicate);
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(BlockTree, OrphanBufferedUntilParentArrives) {
+  BlockTree tree;
+  const auto genesis = tree.block(tree.genesis_hash());
+  const auto parent = make_block(genesis, 1, 1);
+  const auto child = make_block(parent, 2, 2);
+
+  EXPECT_EQ(tree.insert(child), BlockTree::InsertResult::orphaned);
+  EXPECT_FALSE(tree.contains(child->id()));
+  EXPECT_EQ(tree.orphan_count(), 1u);
+
+  EXPECT_EQ(tree.insert(parent), BlockTree::InsertResult::inserted);
+  EXPECT_TRUE(tree.contains(child->id()));
+  EXPECT_EQ(tree.orphan_count(), 0u);
+  EXPECT_EQ(tree.max_height(), 2u);
+}
+
+TEST(BlockTree, OrphanChainAttachesRecursively) {
+  BlockTree tree;
+  const auto genesis = tree.block(tree.genesis_hash());
+  const auto a = make_block(genesis, 1, 1);
+  const auto b = make_block(a, 1, 2);
+  const auto c = make_block(b, 1, 3);
+  tree.insert(c);
+  tree.insert(b);
+  EXPECT_EQ(tree.orphan_count(), 2u);
+  tree.insert(a);
+  EXPECT_TRUE(tree.contains(c->id()));
+  EXPECT_EQ(tree.size(), 4u);
+}
+
+TEST(BlockTree, ChildrenInReceiptOrder) {
+  TreeBuilder builder;
+  builder.add("b", "g", 2);
+  builder.add("a", "g", 1);
+  const auto& kids = builder.tree().children(builder.tree().genesis_hash());
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(kids[0], builder.hash("b"));
+  EXPECT_EQ(kids[1], builder.hash("a"));
+  EXPECT_LT(builder.tree().receipt_seq(builder.hash("b")),
+            builder.tree().receipt_seq(builder.hash("a")));
+}
+
+TEST(BlockTree, SubtreeSize) {
+  TreeBuilder builder;
+  builder.add("a", "g", 0);
+  builder.add("a1", "a", 1);
+  builder.add("a2", "a", 2);
+  builder.add("a11", "a1", 1);
+  builder.add("b", "g", 3);
+  const auto& tree = builder.tree();
+  EXPECT_EQ(tree.subtree_size(builder.hash("a")), 4u);
+  EXPECT_EQ(tree.subtree_size(builder.hash("b")), 1u);
+  EXPECT_EQ(tree.subtree_size(tree.genesis_hash()), 6u);
+}
+
+TEST(BlockTree, SubtreeProducerCounts) {
+  TreeBuilder builder;
+  builder.add("a", "g", 0);
+  builder.add("a1", "a", 1);
+  builder.add("a2", "a", 1);
+  builder.add("a3", "a", 2);
+  const auto counts =
+      builder.tree().subtree_producer_counts(builder.hash("a"), 4);
+  EXPECT_EQ(counts, (std::vector<std::uint64_t>{1, 2, 1, 0}));
+}
+
+TEST(BlockTree, SubtreeProducerCountsSkipsGenesisSentinel) {
+  BlockTree tree;
+  const auto counts = tree.subtree_producer_counts(tree.genesis_hash(), 3);
+  EXPECT_EQ(counts, (std::vector<std::uint64_t>{0, 0, 0}));
+}
+
+TEST(BlockTree, ChainToWalksFromGenesis) {
+  TreeBuilder builder;
+  builder.add("a", "g", 0);
+  builder.add("b", "a", 1);
+  builder.add("c", "b", 2);
+  const auto chain = builder.tree().chain_to(builder.hash("c"));
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain[0], builder.tree().genesis_hash());
+  EXPECT_EQ(chain[3], builder.hash("c"));
+}
+
+TEST(BlockTree, IsAncestor) {
+  TreeBuilder builder;
+  builder.add("a", "g", 0);
+  builder.add("b", "a", 1);
+  builder.add("x", "g", 2);
+  const auto& tree = builder.tree();
+  EXPECT_TRUE(tree.is_ancestor(builder.hash("a"), builder.hash("b")));
+  EXPECT_TRUE(tree.is_ancestor(tree.genesis_hash(), builder.hash("b")));
+  EXPECT_TRUE(tree.is_ancestor(builder.hash("b"), builder.hash("b")));
+  EXPECT_FALSE(tree.is_ancestor(builder.hash("b"), builder.hash("a")));
+  EXPECT_FALSE(tree.is_ancestor(builder.hash("x"), builder.hash("b")));
+}
+
+TEST(BlockTree, TipsAreLeaves) {
+  TreeBuilder builder;
+  builder.add("a", "g", 0);
+  builder.add("b", "a", 1);
+  builder.add("x", "g", 2);
+  auto tips = builder.tree().tips();
+  std::sort(tips.begin(), tips.end());
+  std::vector<BlockHash> expected{builder.hash("b"), builder.hash("x")};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(tips, expected);
+}
+
+TEST(BlockTree, QueriesOnUnknownBlockThrow) {
+  BlockTree tree;
+  BlockHash unknown{};
+  unknown[0] = 0xff;
+  EXPECT_THROW(tree.height(unknown), PreconditionError);
+  EXPECT_THROW(tree.children(unknown), PreconditionError);
+  EXPECT_EQ(tree.block(unknown), nullptr);
+}
+
+TEST(BlockTree, RejectsNonGenesisRoot) {
+  const auto genesis = std::make_shared<const Block>(Block::genesis());
+  const auto child = make_block(genesis, 1, 1);
+  EXPECT_THROW(BlockTree{child}, PreconditionError);
+}
+
+TEST(BlockTree, DuplicateOrphanNotDoubleBuffered) {
+  BlockTree tree;
+  const auto genesis = tree.block(tree.genesis_hash());
+  const auto parent = make_block(genesis, 1, 1);
+  const auto child = make_block(parent, 2, 2);
+  tree.insert(child);
+  tree.insert(child);
+  EXPECT_EQ(tree.orphan_count(), 1u);
+}
+
+}  // namespace
+}  // namespace themis::ledger

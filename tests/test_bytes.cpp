@@ -1,0 +1,78 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace themis {
+namespace {
+
+TEST(Bytes, HexEncodeEmpty) { EXPECT_EQ(to_hex(Bytes{}), ""); }
+
+TEST(Bytes, HexEncodeKnown) {
+  EXPECT_EQ(to_hex(Bytes{0x00, 0x01, 0xab, 0xff}), "0001abff");
+}
+
+TEST(Bytes, HexDecodeKnown) {
+  EXPECT_EQ(from_hex("0001abff"), (Bytes{0x00, 0x01, 0xab, 0xff}));
+}
+
+TEST(Bytes, HexDecodeUppercase) {
+  EXPECT_EQ(from_hex("ABFF"), (Bytes{0xab, 0xff}));
+}
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(from_hex(to_hex(data)), data);
+}
+
+TEST(Bytes, HexDecodeOddLengthThrows) {
+  EXPECT_THROW(from_hex("abc"), PreconditionError);
+}
+
+TEST(Bytes, HexDecodeBadCharThrows) {
+  EXPECT_THROW(from_hex("zz"), PreconditionError);
+  EXPECT_THROW(from_hex("0g"), PreconditionError);
+}
+
+TEST(Bytes, Hash32FromHex) {
+  const std::string hex(64, 'a');
+  const Hash32 h = hash_from_hex(hex);
+  EXPECT_EQ(to_hex(h), hex);
+}
+
+TEST(Bytes, Hash32FromHexWrongLengthThrows) {
+  EXPECT_THROW(hash_from_hex("abcd"), PreconditionError);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a{1, 2, 3};
+  const Bytes b{1, 2, 3};
+  const Bytes c{1, 2, 4};
+  EXPECT_TRUE(equal_ct(a, b));
+  EXPECT_FALSE(equal_ct(a, c));
+}
+
+TEST(Bytes, ConstantTimeEqualSizeMismatch) {
+  EXPECT_FALSE(equal_ct(Bytes{1}, Bytes{1, 2}));
+}
+
+TEST(Bytes, BytesOf) {
+  EXPECT_EQ(bytes_of("ab"), (Bytes{'a', 'b'}));
+  EXPECT_TRUE(bytes_of("").empty());
+}
+
+TEST(Bytes, HasherDeterministic) {
+  Hash32 h{};
+  h[0] = 0x12;
+  h[7] = 0x34;
+  Hash32Hasher hasher;
+  EXPECT_EQ(hasher(h), hasher(h));
+  Hash32 other = h;
+  other[0] = 0x13;
+  EXPECT_NE(hasher(h), hasher(other));
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,148 @@
+#include "consensus/forkchoice.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "tree_builder.h"
+
+namespace themis::consensus {
+namespace {
+
+using test::TreeBuilder;
+
+TEST(ForkChoice, SingleChainFollowedToLeaf) {
+  TreeBuilder b;
+  b.add("a", "g", 0);
+  b.add("b", "a", 1);
+  b.add("c", "b", 2);
+  LongestChainRule longest;
+  GhostRule ghost;
+  EXPECT_EQ(longest.choose_head(b.tree(), b.tree().genesis_hash()), b.hash("c"));
+  EXPECT_EQ(ghost.choose_head(b.tree(), b.tree().genesis_hash()), b.hash("c"));
+}
+
+TEST(ForkChoice, StartMustBeInTree) {
+  TreeBuilder b;
+  LongestChainRule rule;
+  ledger::BlockHash bogus{};
+  bogus[0] = 0x99;
+  EXPECT_THROW(rule.choose_head(b.tree(), bogus), PreconditionError);
+}
+
+TEST(ForkChoice, WalkCanStartMidChain) {
+  TreeBuilder b;
+  b.add("a", "g", 0);
+  b.add("b", "a", 1);
+  LongestChainRule rule;
+  EXPECT_EQ(rule.choose_head(b.tree(), b.hash("a")), b.hash("b"));
+  EXPECT_EQ(rule.choose_head(b.tree(), b.hash("b")), b.hash("b"));
+}
+
+TEST(SubtreeMaxHeight, Computed) {
+  TreeBuilder b;
+  b.add("a", "g", 0);
+  b.add("a1", "a", 1);
+  b.add("a2", "a1", 2);
+  b.add("x", "g", 3);
+  EXPECT_EQ(subtree_max_height(b.tree(), b.hash("a")), 3u);
+  EXPECT_EQ(subtree_max_height(b.tree(), b.hash("x")), 1u);
+}
+
+TEST(LongestChain, PrefersDeeperSubtree) {
+  TreeBuilder b;
+  b.add("a", "g", 0);
+  b.add("a1", "a", 1);
+  b.add("x", "g", 2);
+  b.add("x1", "x", 3);
+  b.add("x2", "x1", 4);
+  LongestChainRule rule;
+  EXPECT_EQ(rule.choose_head(b.tree(), b.tree().genesis_hash()), b.hash("x2"));
+}
+
+TEST(LongestChain, TieBreaksByFirstReceived) {
+  TreeBuilder b;
+  b.add("first", "g", 0);
+  b.add("second", "g", 1);
+  LongestChainRule rule;
+  EXPECT_EQ(rule.choose_head(b.tree(), b.tree().genesis_hash()), b.hash("first"));
+}
+
+TEST(LongestChain, IgnoresWeightWhenDepthsDiffer) {
+  TreeBuilder b;
+  // Heavy bushy branch of depth 2 vs light chain of depth 3.
+  b.add("h", "g", 0);
+  b.add("h1", "h", 1);
+  b.add("h2", "h", 2);
+  b.add("h3", "h", 3);
+  b.add("l", "g", 4);
+  b.add("l1", "l", 5);
+  b.add("l2", "l1", 6);
+  LongestChainRule rule;
+  EXPECT_EQ(rule.choose_head(b.tree(), b.tree().genesis_hash()), b.hash("l2"));
+}
+
+TEST(Ghost, PrefersHeavierSubtree) {
+  TreeBuilder b;
+  b.add("h", "g", 0);
+  b.add("h1", "h", 1);
+  b.add("h2", "h", 2);
+  b.add("h3", "h", 3);
+  b.add("l", "g", 4);
+  b.add("l1", "l", 5);
+  b.add("l2", "l1", 6);
+  GhostRule rule;
+  const auto head = rule.choose_head(b.tree(), b.tree().genesis_hash());
+  // GHOST descends into the heavy subtree and ends at one of its leaves.
+  EXPECT_TRUE(b.tree().is_ancestor(b.hash("h"), head));
+}
+
+TEST(Ghost, TieBreaksByFirstReceived) {
+  TreeBuilder b;
+  b.add("first", "g", 0);
+  b.add("second", "g", 1);
+  b.add("f1", "first", 2);
+  b.add("s1", "second", 3);
+  GhostRule rule;
+  EXPECT_EQ(rule.choose_head(b.tree(), b.tree().genesis_hash()), b.hash("f1"));
+}
+
+TEST(Ghost, RecoversAfterWeightShift) {
+  TreeBuilder b;
+  b.add("a", "g", 0);
+  b.add("x", "g", 1);
+  GhostRule rule;
+  EXPECT_EQ(rule.choose_head(b.tree(), b.tree().genesis_hash()), b.hash("a"));
+  // Two blocks land on x's subtree: it becomes heavier.
+  b.add("x1", "x", 2);
+  b.add("x2", "x1", 3);
+  EXPECT_EQ(rule.choose_head(b.tree(), b.tree().genesis_hash()), b.hash("x2"));
+}
+
+TEST(Ghost, SelfishMinedLongChainDoesNotOutweighBushyHonest) {
+  TreeBuilder b;
+  // Honest: bushy subtree with 5 blocks (depth 3).  Attacker: private chain
+  // of 4 blocks (depth 4).  Longest chain flips to the attacker; GHOST holds.
+  b.add("h1", "g", 0);
+  b.add("h2a", "h1", 1);
+  b.add("h2b", "h1", 2);
+  b.add("h3a", "h2a", 3);
+  b.add("h3b", "h2a", 4);
+  b.add("att1", "g", 9);
+  b.add("att2", "att1", 9);
+  b.add("att3", "att2", 9);
+  b.add("att4", "att3", 9);
+  GhostRule ghost;
+  LongestChainRule longest;
+  EXPECT_TRUE(b.tree().is_ancestor(
+      b.hash("h1"), ghost.choose_head(b.tree(), b.tree().genesis_hash())));
+  EXPECT_EQ(longest.choose_head(b.tree(), b.tree().genesis_hash()),
+            b.hash("att4"));
+}
+
+TEST(ForkChoice, NamesAreStable) {
+  EXPECT_EQ(LongestChainRule().name(), "longest-chain");
+  EXPECT_EQ(GhostRule().name(), "ghost");
+}
+
+}  // namespace
+}  // namespace themis::consensus

@@ -1,0 +1,208 @@
+// Randomized oracle tests: the production fork-choice rules must agree with
+// naive reference implementations on arbitrary block trees.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "consensus/forkchoice.h"
+#include "core/geost.h"
+#include "tree_builder.h"
+
+namespace themis {
+namespace {
+
+using consensus::GhostRule;
+using consensus::LongestChainRule;
+using core::GeostRule;
+using ledger::BlockHash;
+using ledger::BlockTree;
+
+constexpr std::size_t kNodes = 6;
+
+/// Grow a random tree: each new block extends a uniformly random existing
+/// block, so deep chains and bushy forks both occur.
+struct RandomTree {
+  RandomTree(std::uint64_t seed, int n_blocks) {
+    Rng rng(seed);
+    std::vector<std::string> names{"g"};
+    for (int i = 0; i < n_blocks; ++i) {
+      const std::string parent =
+          names[rng.next_below(names.size())];
+      const std::string name = "b" + std::to_string(i);
+      builder.add(name, parent,
+                  static_cast<ledger::NodeId>(rng.next_below(kNodes)));
+      names.push_back(name);
+    }
+  }
+  test::TreeBuilder builder;
+};
+
+// --- reference implementations (deliberately naive) -------------------------
+
+std::uint64_t ref_subtree_size(const BlockTree& tree, const BlockHash& root) {
+  std::uint64_t n = 1;
+  for (const auto& child : tree.children(root)) {
+    n += ref_subtree_size(tree, child);
+  }
+  return n;
+}
+
+std::uint64_t ref_max_depth(const BlockTree& tree, const BlockHash& root) {
+  std::uint64_t best = tree.height(root);
+  for (const auto& child : tree.children(root)) {
+    best = std::max(best, ref_max_depth(tree, child));
+  }
+  return best;
+}
+
+void ref_collect_counts(const BlockTree& tree, const BlockHash& root,
+                        std::map<ledger::NodeId, std::uint64_t>& counts) {
+  const auto producer = tree.block(root)->producer();
+  if (producer != ledger::kNoNode) ++counts[producer];
+  for (const auto& child : tree.children(root)) {
+    ref_collect_counts(tree, child, counts);
+  }
+}
+
+double ref_equality_variance(const BlockTree& tree, const BlockHash& root) {
+  std::map<ledger::NodeId, std::uint64_t> counts;
+  ref_collect_counts(tree, root, counts);
+  std::uint64_t total = 0;
+  for (const auto& [id, c] : counts) total += c;
+  if (total == 0) return 0.0;
+  std::vector<double> freqs(kNodes, 0.0);
+  for (const auto& [id, c] : counts) {
+    freqs[id] = static_cast<double>(c) / static_cast<double>(total);
+  }
+  return variance(freqs);
+}
+
+BlockHash ref_ghost(const BlockTree& tree, const BlockHash& start) {
+  BlockHash cur = start;
+  for (;;) {
+    const auto& kids = tree.children(cur);
+    if (kids.empty()) return cur;
+    BlockHash best = kids[0];
+    for (const auto& k : kids) {
+      const auto wk = ref_subtree_size(tree, k);
+      const auto wb = ref_subtree_size(tree, best);
+      if (wk > wb || (wk == wb && tree.receipt_seq(k) < tree.receipt_seq(best))) {
+        best = k;
+      }
+    }
+    cur = best;
+  }
+}
+
+BlockHash ref_longest(const BlockTree& tree, const BlockHash& start) {
+  BlockHash cur = start;
+  for (;;) {
+    const auto& kids = tree.children(cur);
+    if (kids.empty()) return cur;
+    BlockHash best = kids[0];
+    for (const auto& k : kids) {
+      const auto dk = ref_max_depth(tree, k);
+      const auto db = ref_max_depth(tree, best);
+      if (dk > db || (dk == db && tree.receipt_seq(k) < tree.receipt_seq(best))) {
+        best = k;
+      }
+    }
+    cur = best;
+  }
+}
+
+BlockHash ref_geost(const BlockTree& tree, const BlockHash& start) {
+  BlockHash cur = start;
+  for (;;) {
+    const auto& kids = tree.children(cur);
+    if (kids.empty()) return cur;
+    BlockHash best = kids[0];
+    for (const auto& k : kids) {
+      const auto wk = ref_subtree_size(tree, k);
+      const auto wb = ref_subtree_size(tree, best);
+      if (wk != wb) {
+        if (wk > wb) best = k;
+        continue;
+      }
+      const double vk = ref_equality_variance(tree, k);
+      const double vb = ref_equality_variance(tree, best);
+      if (vk != vb) {
+        if (vk < vb) best = k;
+        continue;
+      }
+      if (tree.receipt_seq(k) < tree.receipt_seq(best)) best = k;
+    }
+    cur = best;
+  }
+}
+
+class ForkChoiceOracle : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ForkChoiceOracle, GhostMatchesReference) {
+  RandomTree t(GetParam(), 60);
+  const auto& tree = t.builder.tree();
+  EXPECT_EQ(GhostRule().choose_head(tree, tree.genesis_hash()),
+            ref_ghost(tree, tree.genesis_hash()));
+}
+
+TEST_P(ForkChoiceOracle, LongestMatchesReference) {
+  RandomTree t(GetParam(), 60);
+  const auto& tree = t.builder.tree();
+  EXPECT_EQ(LongestChainRule().choose_head(tree, tree.genesis_hash()),
+            ref_longest(tree, tree.genesis_hash()));
+}
+
+TEST_P(ForkChoiceOracle, GeostMatchesReference) {
+  RandomTree t(GetParam(), 60);
+  const auto& tree = t.builder.tree();
+  EXPECT_EQ(GeostRule(kNodes).choose_head(tree, tree.genesis_hash()),
+            ref_geost(tree, tree.genesis_hash()));
+}
+
+TEST_P(ForkChoiceOracle, SubtreeStatisticsMatchReference) {
+  RandomTree t(GetParam() + 1000, 40);
+  const auto& tree = t.builder.tree();
+  // Check every block in the tree.
+  std::vector<BlockHash> stack{tree.genesis_hash()};
+  while (!stack.empty()) {
+    const BlockHash cur = stack.back();
+    stack.pop_back();
+    EXPECT_EQ(tree.subtree_size(cur), ref_subtree_size(tree, cur));
+    EXPECT_DOUBLE_EQ(core::subtree_equality_variance(tree, cur, kNodes),
+                     ref_equality_variance(tree, cur));
+    EXPECT_EQ(consensus::subtree_max_height(tree, cur),
+              ref_max_depth(tree, cur));
+    for (const auto& child : tree.children(cur)) stack.push_back(child);
+  }
+}
+
+TEST_P(ForkChoiceOracle, HeadsAreLeaves) {
+  RandomTree t(GetParam() + 2000, 80);
+  const auto& tree = t.builder.tree();
+  for (const BlockHash head :
+       {GhostRule().choose_head(tree, tree.genesis_hash()),
+        LongestChainRule().choose_head(tree, tree.genesis_hash()),
+        GeostRule(kNodes).choose_head(tree, tree.genesis_hash())}) {
+    EXPECT_TRUE(tree.children(head).empty());
+  }
+}
+
+TEST_P(ForkChoiceOracle, WalkFromMidChainIsConsistent) {
+  // Choosing from an ancestor of the GHOST head must yield the same head.
+  RandomTree t(GetParam() + 3000, 60);
+  const auto& tree = t.builder.tree();
+  GhostRule ghost;
+  const BlockHash head = ghost.choose_head(tree, tree.genesis_hash());
+  const auto chain = tree.chain_to(head);
+  for (std::size_t i = 0; i < chain.size(); i += 7) {
+    EXPECT_EQ(ghost.choose_head(tree, chain[i]), head) << "start " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForkChoiceOracle,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,189 @@
+#include "core/geost.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "consensus/forkchoice.h"
+#include "tree_builder.h"
+
+namespace themis::core {
+namespace {
+
+using test::TreeBuilder;
+
+TEST(SubtreeEquality, SingleBlockVariance) {
+  TreeBuilder b;
+  b.add("a", "g", 2);
+  // Counts over 4 nodes: {0, 0, 1, 0}/1 -> variance of {0,0,1,0}.
+  const double expected = variance(std::vector<double>{0, 0, 1, 0});
+  EXPECT_DOUBLE_EQ(subtree_equality_variance(b.tree(), b.hash("a"), 4), expected);
+}
+
+TEST(SubtreeEquality, PerfectlyEqualSubtreeIsZero) {
+  TreeBuilder b;
+  b.add("a", "g", 0);
+  b.add("b", "a", 1);
+  b.add("c", "b", 2);
+  EXPECT_DOUBLE_EQ(subtree_equality_variance(b.tree(), b.hash("a"), 3), 0.0);
+}
+
+TEST(SubtreeEquality, ConcentratedProducerHasHigherVariance) {
+  TreeBuilder one_producer;
+  one_producer.add("a", "g", 0);
+  one_producer.add("b", "a", 0);
+  one_producer.add("c", "b", 0);
+
+  TreeBuilder spread;
+  spread.add("a", "g", 0);
+  spread.add("b", "a", 1);
+  spread.add("c", "b", 2);
+
+  EXPECT_GT(subtree_equality_variance(one_producer.tree(),
+                                      one_producer.hash("a"), 6),
+            subtree_equality_variance(spread.tree(), spread.hash("a"), 6));
+}
+
+TEST(SubtreeEquality, GenesisOnlyIsZero) {
+  TreeBuilder b;
+  EXPECT_DOUBLE_EQ(
+      subtree_equality_variance(b.tree(), b.tree().genesis_hash(), 4), 0.0);
+}
+
+TEST(GeostPriority, OrderingRules) {
+  GeostRule::Priority heavy{.weight = 3, .equality_variance = 0.5, .receipt_seq = 9};
+  GeostRule::Priority light{.weight = 2, .equality_variance = 0.0, .receipt_seq = 1};
+  EXPECT_TRUE(heavy.preferred_over(light));   // weight dominates
+  EXPECT_FALSE(light.preferred_over(heavy));
+
+  GeostRule::Priority equal_w_low_var{.weight = 3, .equality_variance = 0.1,
+                                      .receipt_seq = 9};
+  GeostRule::Priority equal_w_high_var{.weight = 3, .equality_variance = 0.4,
+                                       .receipt_seq = 1};
+  EXPECT_TRUE(equal_w_low_var.preferred_over(equal_w_high_var));
+
+  GeostRule::Priority early{.weight = 3, .equality_variance = 0.1, .receipt_seq = 1};
+  GeostRule::Priority late{.weight = 3, .equality_variance = 0.1, .receipt_seq = 2};
+  EXPECT_TRUE(early.preferred_over(late));
+  EXPECT_FALSE(late.preferred_over(early));
+}
+
+TEST(Geost, FollowsSingleChain) {
+  TreeBuilder b;
+  b.add("a", "g", 0);
+  b.add("b", "a", 1);
+  GeostRule rule(4);
+  EXPECT_EQ(rule.choose_head(b.tree(), b.tree().genesis_hash()), b.hash("b"));
+}
+
+TEST(Geost, HeavierSubtreeStillDominates) {
+  TreeBuilder b;
+  b.add("h", "g", 0);
+  b.add("h1", "h", 1);
+  b.add("l", "g", 2);
+  GeostRule rule(4);
+  EXPECT_EQ(rule.choose_head(b.tree(), b.tree().genesis_hash()), b.hash("h1"));
+}
+
+TEST(Geost, WeightTieBrokenByEquality) {
+  TreeBuilder b;
+  // Both subtrees weigh 2; "mono" is produced by one node, "duo" by two.
+  b.add("mono", "g", 0);
+  b.add("mono1", "mono", 0);
+  b.add("duo", "g", 1);
+  b.add("duo1", "duo", 2);
+  GeostRule rule(4);
+  EXPECT_EQ(rule.choose_head(b.tree(), b.tree().genesis_hash()), b.hash("duo1"));
+}
+
+TEST(Geost, FullTieBrokenByFirstReceived) {
+  TreeBuilder b;
+  // Same weight and mirrored producers -> same variance; receipt decides.
+  b.add("first", "g", 0);
+  b.add("second", "g", 1);
+  GeostRule rule(4);
+  EXPECT_EQ(rule.choose_head(b.tree(), b.tree().genesis_hash()), b.hash("first"));
+}
+
+// The paper's Fig. 2: a block tree where the longest chain, GHOST's chain and
+// GEOST's chain all differ, and only the longest-chain rule is displaced by a
+// selfish-mining attacker.
+struct Fig2 {
+  Fig2() : geost(6) {
+    // Honest main structure: block 1, then a three-way fork (2A, 2B, 2C).
+    b.add("1", "g", 0);
+    b.add("2A", "1", 1);
+    b.add("2B", "1", 2);
+    b.add("2C", "1", 3);
+    // 2B's subtree: produced by {1, 1, 2} (concentrated -> higher variance).
+    b.add("3B", "2B", 1);
+    b.add("4B", "3B", 1);
+    // 2C's subtree: produced by {3, 4, 0} (spread -> lower variance).
+    b.add("3C", "2C", 4);
+    b.add("4C", "3C", 0);
+    // Attacker (node 5): a private chain from genesis, one deeper than the
+    // honest chain, revealed last.
+    b.add("a1", "g", 5);
+    b.add("a2", "a1", 5);
+    b.add("a3", "a2", 5);
+    b.add("a4", "a3", 5);
+    b.add("a5", "a4", 5);
+  }
+
+  TreeBuilder b;
+  GeostRule geost;
+  consensus::GhostRule ghost;
+  consensus::LongestChainRule longest;
+};
+
+TEST(Fig2Scenario, LongestChainFallsToTheAttacker) {
+  Fig2 f;
+  EXPECT_EQ(f.longest.choose_head(f.b.tree(), f.b.tree().genesis_hash()),
+            f.b.hash("a5"));
+}
+
+TEST(Fig2Scenario, GhostResistsAttackerButKeepsFirstReceivedBranch) {
+  Fig2 f;
+  const auto head = f.ghost.choose_head(f.b.tree(), f.b.tree().genesis_hash());
+  // Honest subtree outweighs the attacker (8 > 5); 2B vs 2C tie on weight and
+  // GHOST keeps the first-received branch.
+  EXPECT_EQ(head, f.b.hash("4B"));
+}
+
+TEST(Fig2Scenario, GeostPicksTheMostEqualSubtree) {
+  Fig2 f;
+  // Same weights as GHOST sees, but 2C's subtree has the lower variance of
+  // block-producing frequency, so GEOST finalizes 4C (the paper's outcome).
+  EXPECT_EQ(f.geost.choose_head(f.b.tree(), f.b.tree().genesis_hash()),
+            f.b.hash("4C"));
+}
+
+TEST(Fig2Scenario, VarianceOrderingMatchesIntuition) {
+  Fig2 f;
+  EXPECT_LT(subtree_equality_variance(f.b.tree(), f.b.hash("2C"), 6),
+            subtree_equality_variance(f.b.tree(), f.b.hash("2B"), 6));
+}
+
+TEST(Fig2Scenario, PriorityOfExposesTheDecision) {
+  Fig2 f;
+  const auto pb = f.geost.priority_of(f.b.tree(), f.b.hash("2B"));
+  const auto pc = f.geost.priority_of(f.b.tree(), f.b.hash("2C"));
+  EXPECT_EQ(pb.weight, 3u);
+  EXPECT_EQ(pc.weight, 3u);
+  EXPECT_TRUE(pc.preferred_over(pb));
+}
+
+TEST(Geost, NameIsStable) { EXPECT_EQ(GeostRule(4).name(), "geost"); }
+
+TEST(Geost, MoreEqualBranchWinsEvenWhenReceivedLater) {
+  TreeBuilder b;
+  // The concentrated branch arrives first; equality still beats receipt.
+  b.add("late_is_equal", "g", 0);
+  b.add("x1", "late_is_equal", 0);  // same producer twice
+  b.add("y", "g", 1);
+  b.add("y1", "y", 2);  // two distinct producers
+  GeostRule rule(4);
+  EXPECT_EQ(rule.choose_head(b.tree(), b.tree().genesis_hash()), b.hash("y1"));
+}
+
+}  // namespace
+}  // namespace themis::core

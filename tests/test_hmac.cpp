@@ -1,0 +1,76 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+namespace themis::crypto {
+namespace {
+
+// RFC 4231 test vectors for HMAC-SHA-256.
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, bytes_of("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(
+      to_hex(hmac_sha256(bytes_of("Jefe"),
+                         bytes_of("what do ya want for nothing?"))),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case4) {
+  Bytes key;
+  for (std::uint8_t b = 0x01; b <= 0x19; ++b) key.push_back(b);
+  const Bytes data(50, 0xcd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  // Key longer than the block size must be hashed first.
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(
+      to_hex(hmac_sha256(
+          key, bytes_of("Test Using Larger Than Block-Size Key - Hash Key First"))),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DifferentKeysDifferentMacs) {
+  const Bytes msg = bytes_of("m");
+  EXPECT_NE(hmac_sha256(bytes_of("k1"), msg), hmac_sha256(bytes_of("k2"), msg));
+}
+
+TEST(Hmac, EmptyKeyAndMessageDefined) {
+  EXPECT_EQ(to_hex(hmac_sha256(Bytes{}, Bytes{})),
+            "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c712144292c5ad");
+}
+
+TEST(HmacExpand, ProducesRequestedLength) {
+  const Bytes out = hmac_expand(bytes_of("key"), bytes_of("info"), 3);
+  EXPECT_EQ(out.size(), 96u);
+}
+
+TEST(HmacExpand, BlocksAreDistinct) {
+  const Bytes out = hmac_expand(bytes_of("key"), bytes_of("info"), 2);
+  const Bytes first(out.begin(), out.begin() + 32);
+  const Bytes second(out.begin() + 32, out.end());
+  EXPECT_NE(first, second);
+}
+
+TEST(HmacExpand, DeterministicAndInfoSensitive) {
+  EXPECT_EQ(hmac_expand(bytes_of("k"), bytes_of("a"), 2),
+            hmac_expand(bytes_of("k"), bytes_of("a"), 2));
+  EXPECT_NE(hmac_expand(bytes_of("k"), bytes_of("a"), 1),
+            hmac_expand(bytes_of("k"), bytes_of("b"), 1));
+}
+
+}  // namespace
+}  // namespace themis::crypto

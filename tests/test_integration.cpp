@@ -1,0 +1,209 @@
+// End-to-end experiments over the full stack: consensus nodes on the
+// simulated gossip network, driven exactly as the benches drive them.
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/equality.h"
+
+namespace themis::sim {
+namespace {
+
+PoxConfig small_config(core::Algorithm algorithm, std::uint64_t seed = 3) {
+  PoxConfig cfg;
+  cfg.algorithm = algorithm;
+  cfg.n_nodes = 24;  // > 19 named pools, keeps runtime small
+  cfg.beta = 8;
+  cfg.expected_interval_s = 4.0;
+  cfg.txs_per_block = 512;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Experiment, RunReachesRequestedHeight) {
+  PoxExperiment exp(small_config(core::Algorithm::kThemis));
+  exp.run_to_height(100);
+  EXPECT_GE(exp.reference().head_height(), 100u);
+  EXPECT_GT(exp.elapsed(), SimTime::zero());
+}
+
+TEST(Experiment, DeltaIsBetaTimesN) {
+  PoxExperiment exp(small_config(core::Algorithm::kThemis));
+  EXPECT_EQ(exp.delta(), 24u * 8u);
+}
+
+TEST(Experiment, DeterministicForSeed) {
+  PoxExperiment a(small_config(core::Algorithm::kThemis, 5));
+  PoxExperiment b(small_config(core::Algorithm::kThemis, 5));
+  a.run_to_height(60);
+  b.run_to_height(60);
+  EXPECT_EQ(a.reference().head(), b.reference().head());
+  EXPECT_EQ(a.elapsed(), b.elapsed());
+  EXPECT_EQ(a.main_chain_producers(), b.main_chain_producers());
+}
+
+TEST(Experiment, DifferentSeedsDiverge) {
+  PoxExperiment a(small_config(core::Algorithm::kThemis, 5));
+  PoxExperiment b(small_config(core::Algorithm::kThemis, 6));
+  a.run_to_height(30);
+  b.run_to_height(30);
+  EXPECT_NE(a.reference().head(), b.reference().head());
+}
+
+// Proposition 1 (the convergence of history): after the network quiesces,
+// every node agrees on every block except possibly the unsettled tip region.
+class ConvergenceOfHistory : public ::testing::TestWithParam<core::Algorithm> {};
+
+TEST_P(ConvergenceOfHistory, AllNodesShareTheChainPrefix) {
+  PoxConfig cfg = small_config(GetParam());
+  PoxExperiment exp(cfg);
+  exp.run_to_height(150);
+  // Let in-flight gossip drain (no new mining past the target matters; the
+  // bounded delay from the security assumption is well under 5 s here).
+  const auto reference_chain = exp.reference().main_chain();
+  for (std::size_t i = 1; i < exp.size(); ++i) {
+    const auto chain = exp.node(i).main_chain();
+    const std::size_t shared = std::min(chain.size(), reference_chain.size());
+    ASSERT_GT(shared, 10u);
+    // All but the last few (propagation-window) blocks must agree.
+    for (std::size_t h = 0; h + 4 < shared; ++h) {
+      ASSERT_EQ(chain[h], reference_chain[h])
+          << "node " << i << " diverges at height " << h;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ConvergenceOfHistory,
+                         ::testing::Values(core::Algorithm::kThemis,
+                                           core::Algorithm::kThemisLite,
+                                           core::Algorithm::kPowH));
+
+TEST(Experiment, ThemisImprovesEqualityOverPowH) {
+  PoxConfig themis_cfg = small_config(core::Algorithm::kThemis);
+  PoxConfig powh_cfg = small_config(core::Algorithm::kPowH);
+  PoxExperiment themis(themis_cfg);
+  PoxExperiment powh(powh_cfg);
+  const std::uint64_t target = 5 * themis.delta();
+  themis.run_to_height(target);
+  powh.run_to_height(target);
+
+  const auto tv = themis.per_epoch_frequency_variance();
+  const auto pv = powh.per_epoch_frequency_variance();
+  ASSERT_GE(tv.size(), 4u);
+  ASSERT_GE(pv.size(), 4u);
+  // After convergence (last two epochs) Themis' sigma_f^2 is far below PoW-H.
+  const double themis_tail = (tv[tv.size() - 1] + tv[tv.size() - 2]) / 2;
+  const double powh_tail = (pv[pv.size() - 1] + pv[pv.size() - 2]) / 2;
+  EXPECT_LT(themis_tail, 0.5 * powh_tail);
+}
+
+TEST(Experiment, ThemisImprovesUnpredictabilityOverPowH) {
+  PoxExperiment themis(small_config(core::Algorithm::kThemis));
+  themis.run_to_height(5 * themis.delta());
+  const auto pv = themis.per_epoch_probability_variance();
+  ASSERT_GE(pv.size(), 4u);
+  // PoW-H's sigma_p^2 equals the epoch-0 value (raw power distribution);
+  // Themis drives it down as the multiples converge (Fig. 5).
+  EXPECT_LT(pv.back(), 0.4 * pv.front());
+  // And it keeps decreasing monotonically in the early epochs.
+  EXPECT_LT(pv[1], pv[0]);
+}
+
+TEST(Experiment, PowHProbabilityVarianceIsFlat) {
+  PoxExperiment powh(small_config(core::Algorithm::kPowH));
+  powh.run_to_height(2 * powh.delta());
+  const auto pv = powh.per_epoch_probability_variance();
+  ASSERT_GE(pv.size(), 2u);
+  EXPECT_DOUBLE_EQ(pv[0], pv[1]);
+}
+
+TEST(Experiment, ForkStatsAreModest) {
+  PoxExperiment exp(small_config(core::Algorithm::kThemis));
+  exp.run_to_height(300);
+  const auto stats = exp.fork_stats();
+  EXPECT_LT(stats.stale_rate, 0.25);
+  EXPECT_LT(stats.longest_fork_duration, 20u);
+}
+
+TEST(Experiment, TpsInExpectedBallpark) {
+  PoxExperiment exp(small_config(core::Algorithm::kPowH));
+  exp.run_to_height(200);
+  // 512 txs / ~4 s interval, minus fork losses.
+  EXPECT_GT(exp.tps(), 60.0);
+  EXPECT_LT(exp.tps(), 160.0);
+}
+
+TEST(Experiment, VulnerableNodesAreSuppressed) {
+  PoxConfig cfg = small_config(core::Algorithm::kThemis);
+  cfg.vulnerable_ratio = 0.25;
+  PoxExperiment exp(cfg);
+  std::size_t suppressed = 0;
+  for (std::size_t i = 0; i < exp.size(); ++i) {
+    if (exp.node(i).producer_suppressed()) ++suppressed;
+  }
+  EXPECT_EQ(suppressed, 6u);  // 25 % of 24
+  exp.run_to_height(100);
+  // Suppressed producers never appear in the main chain.
+  for (const ledger::NodeId p : exp.main_chain_producers()) {
+    EXPECT_FALSE(exp.node(p).producer_suppressed());
+  }
+}
+
+TEST(Experiment, RejectsInvalidConfigs) {
+  PoxConfig cfg = small_config(core::Algorithm::kPbft);
+  EXPECT_THROW(PoxExperiment{cfg}, PreconditionError);
+  cfg = small_config(core::Algorithm::kThemis);
+  cfg.vulnerable_ratio = 1.5;
+  EXPECT_THROW(PoxExperiment{cfg}, PreconditionError);
+  cfg = small_config(core::Algorithm::kThemis);
+  cfg.hash_rates = {1.0, 2.0};  // wrong length
+  EXPECT_THROW(PoxExperiment{cfg}, PreconditionError);
+}
+
+TEST(PbftExperiment, CommitsAndReportsTps) {
+  PbftScenario scenario;
+  scenario.n_nodes = 4;
+  scenario.pbft.batch_size = 256;
+  scenario.pbft.verify_delay = SimTime::micros(100);
+  scenario.pbft.exec_delay_per_tx = SimTime::micros(100);
+  scenario.duration = SimTime::seconds(120);
+  const PbftResult result = run_pbft(scenario);
+  EXPECT_GT(result.committed_blocks, 10u);
+  EXPECT_GT(result.tps, 0.0);
+  EXPECT_EQ(result.committed_txs, result.committed_blocks * 256);
+  EXPECT_EQ(result.producers.size(), result.committed_blocks);
+}
+
+TEST(PbftExperiment, MaxBlocksStopsEarly) {
+  PbftScenario scenario;
+  scenario.n_nodes = 4;
+  scenario.pbft.batch_size = 64;
+  scenario.pbft.verify_delay = SimTime::micros(100);
+  scenario.pbft.exec_delay_per_tx = SimTime::micros(10);
+  scenario.duration = SimTime::seconds(600);
+  scenario.max_blocks = 5;
+  const PbftResult result = run_pbft(scenario);
+  EXPECT_GE(result.committed_blocks, 5u);
+  EXPECT_LT(result.elapsed, SimTime::seconds(600));
+}
+
+TEST(PbftExperiment, VulnerableLeadersCauseViewChanges) {
+  PbftScenario scenario;
+  scenario.n_nodes = 8;
+  scenario.pbft.batch_size = 64;
+  scenario.pbft.base_timeout = SimTime::seconds(2.0);
+  scenario.pbft.verify_delay = SimTime::micros(100);
+  scenario.pbft.exec_delay_per_tx = SimTime::micros(10);
+  scenario.duration = SimTime::seconds(200);
+  scenario.vulnerable_ratio = 0.25;
+  const PbftResult result = run_pbft(scenario);
+  EXPECT_GT(result.view_changes, 0u);
+  EXPECT_GT(result.committed_blocks, 0u);
+
+  scenario.vulnerable_ratio = 0.0;
+  const PbftResult healthy = run_pbft(scenario);
+  EXPECT_GT(healthy.tps, result.tps);
+}
+
+}  // namespace
+}  // namespace themis::sim

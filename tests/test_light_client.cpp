@@ -1,0 +1,148 @@
+#include "ledger/light_client.h"
+
+#include <gtest/gtest.h>
+
+#include "consensus/miner.h"
+#include "crypto/merkle.h"
+
+namespace themis::ledger {
+namespace {
+
+/// Really mine a header at low difficulty so the light client's PoW check is
+/// exercised genuinely.
+BlockHeader mined_header(const BlockHash& prev, std::uint64_t height,
+                         double difficulty, const Hash32& merkle_root = {},
+                         std::uint64_t salt = 0) {
+  BlockHeader h;
+  h.height = height;
+  h.prev = prev;
+  h.producer = static_cast<NodeId>(height % 5);
+  h.difficulty = difficulty;
+  h.merkle_root = merkle_root;
+  h.timestamp_nanos = static_cast<std::int64_t>(height * 1000 + salt);
+  return consensus::RealMiner::mine(h, 0, 1u << 22).value();
+}
+
+TEST(HeaderChain, StartsAtGenesis) {
+  HeaderChain chain;
+  EXPECT_EQ(chain.size(), 1u);
+  EXPECT_EQ(chain.best_height(), 0u);
+  EXPECT_EQ(chain.best_tip(), Block::genesis().id());
+}
+
+TEST(HeaderChain, AcceptsMinedHeaders) {
+  HeaderChain chain;
+  const auto h1 = mined_header(Block::genesis().id(), 1, 4.0);
+  EXPECT_EQ(chain.submit(h1), HeaderChain::AcceptResult::accepted);
+  EXPECT_EQ(chain.best_height(), 1u);
+  const auto h2 = mined_header(h1.hash(), 2, 4.0);
+  EXPECT_EQ(chain.submit(h2), HeaderChain::AcceptResult::accepted);
+  EXPECT_EQ(chain.best_height(), 2u);
+  EXPECT_EQ(chain.best_chain().size(), 3u);
+}
+
+TEST(HeaderChain, RejectsDuplicates) {
+  HeaderChain chain;
+  const auto h1 = mined_header(Block::genesis().id(), 1, 2.0);
+  chain.submit(h1);
+  EXPECT_EQ(chain.submit(h1), HeaderChain::AcceptResult::duplicate);
+}
+
+TEST(HeaderChain, RejectsUnknownParent) {
+  HeaderChain chain;
+  BlockHash unknown{};
+  unknown[5] = 9;
+  EXPECT_EQ(chain.submit(mined_header(unknown, 1, 2.0)),
+            HeaderChain::AcceptResult::unknown_parent);
+}
+
+TEST(HeaderChain, RejectsBadHeight) {
+  HeaderChain chain;
+  EXPECT_EQ(chain.submit(mined_header(Block::genesis().id(), 5, 2.0)),
+            HeaderChain::AcceptResult::bad_height);
+}
+
+TEST(HeaderChain, RejectsFakePow) {
+  HeaderChain chain;
+  BlockHeader forged;
+  forged.height = 1;
+  forged.prev = Block::genesis().id();
+  forged.difficulty = 1e12;  // claims enormous work it did not do
+  forged.nonce = 12345;
+  EXPECT_EQ(chain.submit(forged), HeaderChain::AcceptResult::bad_pow);
+}
+
+TEST(HeaderChain, DifficultyFloorRejectsSpam) {
+  HeaderChain chain;
+  chain.set_difficulty_floor(100.0);
+  // Difficulty 2 mines instantly but sits below the floor.
+  EXPECT_EQ(chain.submit(mined_header(Block::genesis().id(), 1, 2.0)),
+            HeaderChain::AcceptResult::bad_pow);
+}
+
+TEST(HeaderChain, FollowsMostWorkNotMostBlocks) {
+  HeaderChain chain;
+  // Branch A: two light headers (work 2+2).  Branch B: one heavy header
+  // (work 32): most-work wins despite being shorter.
+  const auto a1 = mined_header(Block::genesis().id(), 1, 2.0, {}, 1);
+  const auto a2 = mined_header(a1.hash(), 2, 2.0, {}, 2);
+  const auto b1 = mined_header(Block::genesis().id(), 1, 32.0, {}, 3);
+  chain.submit(a1);
+  chain.submit(a2);
+  EXPECT_EQ(chain.best_tip(), a2.hash());
+  chain.submit(b1);
+  EXPECT_EQ(chain.best_tip(), b1.hash());
+  EXPECT_DOUBLE_EQ(chain.best_total_work(), 32.0);
+}
+
+TEST(HeaderChain, HeaderLookup) {
+  HeaderChain chain;
+  const auto h1 = mined_header(Block::genesis().id(), 1, 2.0);
+  chain.submit(h1);
+  const auto fetched = chain.header(h1.hash());
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(*fetched, h1);
+  EXPECT_FALSE(chain.header(BlockHash{}).has_value());
+}
+
+TEST(HeaderChain, SpvInclusionProof) {
+  // A block with four transactions; the light client holds only the header.
+  std::vector<Transaction> txs;
+  std::vector<Hash32> leaves;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    txs.emplace_back(1, i + 1, 0, bytes_of("tx" + std::to_string(i)));
+    leaves.push_back(txs.back().id());
+  }
+  const Hash32 root = crypto::merkle_root(leaves);
+  const auto header = mined_header(Block::genesis().id(), 1, 2.0, root);
+
+  HeaderChain chain;
+  ASSERT_EQ(chain.submit(header), HeaderChain::AcceptResult::accepted);
+
+  const auto proof = crypto::merkle_prove(leaves, 2);
+  EXPECT_TRUE(chain.verify_inclusion(header.hash(), txs[2].id(), proof));
+  // Wrong transaction, wrong proof and unknown block all fail.
+  EXPECT_FALSE(chain.verify_inclusion(header.hash(), txs[0].id(), proof));
+  auto tampered = proof;
+  tampered[0].sibling[0] ^= 1;
+  EXPECT_FALSE(chain.verify_inclusion(header.hash(), txs[2].id(), tampered));
+  EXPECT_FALSE(chain.verify_inclusion(BlockHash{}, txs[2].id(), proof));
+}
+
+TEST(HeaderChain, SyncsFromAFullNodeChain) {
+  // End to end: mine a short real chain, feed only the headers.
+  HeaderChain light;
+  BlockHash prev = Block::genesis().id();
+  for (std::uint64_t h = 1; h <= 10; ++h) {
+    const auto header = mined_header(prev, h, 4.0);
+    ASSERT_EQ(light.submit(header), HeaderChain::AcceptResult::accepted);
+    prev = header.hash();
+  }
+  EXPECT_EQ(light.best_height(), 10u);
+  EXPECT_DOUBLE_EQ(light.best_total_work(), 40.0);
+  EXPECT_EQ(light.best_chain().front(), Block::genesis().id());
+  EXPECT_EQ(light.best_chain().back(), prev);
+}
+
+}  // namespace
+}  // namespace themis::ledger

@@ -1,0 +1,88 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace themis::net {
+namespace {
+
+LinkConfig paper_link() {
+  return LinkConfig{.bandwidth_bps = 20e6, .min_delay = SimTime::millis(100)};
+}
+
+TEST(Link, TransmissionTimeMatchesBandwidth) {
+  AccessLinkModel links(2, paper_link());
+  // 20 Mbps = 2.5 MB/s: 2.5 MB takes exactly 1 s.
+  EXPECT_EQ(links.transmission_time(2'500'000), SimTime::seconds(1.0));
+  EXPECT_EQ(links.transmission_time(0), SimTime::zero());
+}
+
+TEST(Link, SingleSendArrivalTime) {
+  AccessLinkModel links(2, paper_link());
+  const SimTime arrival = links.enqueue_send(0, SimTime::zero(), 2'500'000);
+  EXPECT_EQ(arrival, SimTime::seconds(1.0) + SimTime::millis(100));
+}
+
+TEST(Link, UplinkSerializesConcurrentSends) {
+  AccessLinkModel links(2, paper_link());
+  const SimTime first = links.enqueue_send(0, SimTime::zero(), 2'500'000);
+  const SimTime second = links.enqueue_send(0, SimTime::zero(), 2'500'000);
+  // The second transfer waits for the first to leave the uplink.
+  EXPECT_EQ(second - first, SimTime::seconds(1.0));
+}
+
+TEST(Link, DifferentSendersDoNotContend) {
+  AccessLinkModel links(2, paper_link());
+  const SimTime a = links.enqueue_send(0, SimTime::zero(), 2'500'000);
+  const SimTime b = links.enqueue_send(1, SimTime::zero(), 2'500'000);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Link, IdleUplinkStartsAtNow) {
+  AccessLinkModel links(1, paper_link());
+  links.enqueue_send(0, SimTime::zero(), 2'500'000);
+  // Uplink frees at t=1s; a send at t=5s starts immediately.
+  const SimTime arrival = links.enqueue_send(0, SimTime::seconds(5.0), 2'500'000);
+  EXPECT_EQ(arrival, SimTime::seconds(6.0) + SimTime::millis(100));
+}
+
+TEST(Link, UplinkFreeAtTracksHorizon) {
+  AccessLinkModel links(1, paper_link());
+  EXPECT_EQ(links.uplink_free_at(0), SimTime::zero());
+  links.enqueue_send(0, SimTime::zero(), 2'500'000);
+  EXPECT_EQ(links.uplink_free_at(0), SimTime::seconds(1.0));
+}
+
+TEST(Link, CountsTraffic) {
+  AccessLinkModel links(2, paper_link());
+  links.enqueue_send(0, SimTime::zero(), 100);
+  links.enqueue_send(1, SimTime::zero(), 200);
+  EXPECT_EQ(links.total_bytes_sent(), 300u);
+  EXPECT_EQ(links.total_transfers(), 2u);
+}
+
+TEST(Link, ResetClearsState) {
+  AccessLinkModel links(1, paper_link());
+  links.enqueue_send(0, SimTime::zero(), 1'000'000);
+  links.reset();
+  EXPECT_EQ(links.uplink_free_at(0), SimTime::zero());
+  EXPECT_EQ(links.total_bytes_sent(), 0u);
+}
+
+TEST(Link, InvalidConfigThrows) {
+  EXPECT_THROW(AccessLinkModel(1, LinkConfig{.bandwidth_bps = 0}),
+               PreconditionError);
+  EXPECT_THROW(AccessLinkModel(
+                   1, LinkConfig{.bandwidth_bps = 1, .min_delay = SimTime::nanos(-1)}),
+               PreconditionError);
+}
+
+TEST(Link, SenderOutOfRangeThrows) {
+  AccessLinkModel links(2, paper_link());
+  EXPECT_THROW(links.enqueue_send(2, SimTime::zero(), 1), PreconditionError);
+  EXPECT_THROW(links.uplink_free_at(5), PreconditionError);
+}
+
+}  // namespace
+}  // namespace themis::net

@@ -1,0 +1,112 @@
+#include "crypto/merkle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "crypto/sha256.h"
+
+namespace themis::crypto {
+namespace {
+
+std::vector<Hash32> make_leaves(std::size_t n) {
+  std::vector<Hash32> leaves;
+  leaves.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(sha256(Bytes{static_cast<std::uint8_t>(i),
+                                  static_cast<std::uint8_t>(i >> 8)}));
+  }
+  return leaves;
+}
+
+TEST(Merkle, EmptyTreeHasZeroRoot) {
+  EXPECT_EQ(merkle_root({}), Hash32{});
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+  const auto leaves = make_leaves(1);
+  EXPECT_EQ(merkle_root(leaves), leaves[0]);
+}
+
+TEST(Merkle, TwoLeavesCombine) {
+  const auto leaves = make_leaves(2);
+  const Hash32 root = merkle_root(leaves);
+  EXPECT_NE(root, leaves[0]);
+  EXPECT_NE(root, leaves[1]);
+}
+
+TEST(Merkle, RootDependsOnOrder) {
+  auto leaves = make_leaves(4);
+  const Hash32 root = merkle_root(leaves);
+  std::swap(leaves[0], leaves[1]);
+  EXPECT_NE(merkle_root(leaves), root);
+}
+
+TEST(Merkle, OddCountDuplicatesLast) {
+  // A 3-leaf tree equals a 4-leaf tree whose 4th leaf repeats the 3rd.
+  auto three = make_leaves(3);
+  auto four = three;
+  four.push_back(three.back());
+  EXPECT_EQ(merkle_root(three), merkle_root(four));
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  auto leaves = make_leaves(8);
+  const Hash32 base = merkle_root(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i][0] ^= 1;
+    EXPECT_NE(merkle_root(mutated), base) << "leaf " << i;
+  }
+}
+
+class MerkleProofSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofSweep, EveryLeafProves) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const Hash32 root = merkle_root(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MerkleProof proof = merkle_prove(leaves, i);
+    EXPECT_TRUE(merkle_verify(leaves[i], proof, root)) << "leaf " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16, 33));
+
+TEST(MerkleProof, WrongLeafFails) {
+  const auto leaves = make_leaves(8);
+  const Hash32 root = merkle_root(leaves);
+  const MerkleProof proof = merkle_prove(leaves, 3);
+  EXPECT_FALSE(merkle_verify(leaves[4], proof, root));
+}
+
+TEST(MerkleProof, TamperedSiblingFails) {
+  const auto leaves = make_leaves(8);
+  const Hash32 root = merkle_root(leaves);
+  MerkleProof proof = merkle_prove(leaves, 0);
+  proof[1].sibling[0] ^= 1;
+  EXPECT_FALSE(merkle_verify(leaves[0], proof, root));
+}
+
+TEST(MerkleProof, WrongRootFails) {
+  const auto leaves = make_leaves(4);
+  Hash32 root = merkle_root(leaves);
+  const MerkleProof proof = merkle_prove(leaves, 2);
+  root[5] ^= 1;
+  EXPECT_FALSE(merkle_verify(leaves[2], proof, root));
+}
+
+TEST(MerkleProof, OutOfRangeIndexThrows) {
+  const auto leaves = make_leaves(4);
+  EXPECT_THROW(merkle_prove(leaves, 4), PreconditionError);
+}
+
+TEST(MerkleProof, DepthIsLogarithmic) {
+  const auto leaves = make_leaves(16);
+  EXPECT_EQ(merkle_prove(leaves, 0).size(), 4u);
+  EXPECT_EQ(merkle_prove(make_leaves(2), 0).size(), 1u);
+}
+
+}  // namespace
+}  // namespace themis::crypto

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/equality.h"
+#include "metrics/fork_stats.h"
+#include "metrics/table.h"
+#include "tree_builder.h"
+
+namespace themis::metrics {
+namespace {
+
+using test::TreeBuilder;
+
+TEST(Equality, ProducerCounts) {
+  const std::vector<ledger::NodeId> producers{0, 1, 1, 2, 99};
+  const auto counts = producer_counts(producers, 3);
+  EXPECT_EQ(counts, (std::vector<std::uint64_t>{1, 2, 1}));  // 99 ignored
+}
+
+TEST(Equality, PerEpochVarianceUniformIsZero) {
+  const std::vector<ledger::NodeId> producers{0, 1, 2, 3, 0, 1, 2, 3};
+  const auto v = per_epoch_frequency_variance(producers, 4, 4);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(Equality, PerEpochVarianceKnownValue) {
+  // One epoch of 4 blocks, all by node 0, over 2 nodes: f = {1, 0}, var 0.25.
+  const std::vector<ledger::NodeId> producers{0, 0, 0, 0};
+  const auto v = per_epoch_frequency_variance(producers, 4, 2);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+}
+
+TEST(Equality, PartialTrailingEpochDropped) {
+  const std::vector<ledger::NodeId> producers{0, 1, 0, 1, 0};
+  EXPECT_EQ(per_epoch_frequency_variance(producers, 2, 2).size(), 2u);
+}
+
+TEST(Equality, WholeSequenceVariance) {
+  const std::vector<ledger::NodeId> producers{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(frequency_variance_of(producers, 2), 0.0);
+  EXPECT_EQ(frequency_variance_of({}, 2), 0.0);
+}
+
+TEST(Unpredictability, ProbabilityVarianceFromPower) {
+  // Equal power -> zero variance.
+  EXPECT_DOUBLE_EQ(probability_variance_from_power(std::vector<double>{5, 5, 5}),
+                   0.0);
+  // p = {0.75, 0.25}: var = 0.0625.
+  EXPECT_DOUBLE_EQ(probability_variance_from_power(std::vector<double>{3, 1}),
+                   0.0625);
+}
+
+TEST(Unpredictability, PbftOneHotFormula) {
+  // n=4: ((3/4)^2 + 3*(1/4)^2)/4 = 3/16.
+  EXPECT_DOUBLE_EQ(pbft_probability_variance(4), 3.0 / 16.0);
+  // Matches the generic variance of an explicit one-hot vector.
+  EXPECT_DOUBLE_EQ(pbft_probability_variance(10),
+                   probability_variance(std::vector<double>{1, 0, 0, 0, 0, 0, 0,
+                                                            0, 0, 0}));
+}
+
+TEST(Unpredictability, PbftVarianceShrinksWithN) {
+  EXPECT_GT(pbft_probability_variance(10), pbft_probability_variance(100));
+}
+
+TEST(ForkStats, LinearChainHasNoForks) {
+  TreeBuilder b;
+  b.add("a", "g", 0);
+  b.add("b", "a", 1);
+  b.add("c", "b", 2);
+  const ForkStats s = analyze_forks(b.tree(), b.hash("c"));
+  EXPECT_EQ(s.total_blocks, 3u);
+  EXPECT_EQ(s.main_chain_blocks, 3u);
+  EXPECT_EQ(s.stale_blocks, 0u);
+  EXPECT_EQ(s.fork_count, 0u);
+  EXPECT_EQ(s.longest_fork_duration, 0u);
+  EXPECT_DOUBLE_EQ(s.stale_rate, 0.0);
+}
+
+TEST(ForkStats, SingleForkCounted) {
+  TreeBuilder b;
+  b.add("a", "g", 0);
+  b.add("a2", "g", 1);  // stale sibling
+  b.add("b", "a", 2);
+  const ForkStats s = analyze_forks(b.tree(), b.hash("b"));
+  EXPECT_EQ(s.total_blocks, 3u);
+  EXPECT_EQ(s.main_chain_blocks, 2u);
+  EXPECT_EQ(s.stale_blocks, 1u);
+  EXPECT_EQ(s.fork_count, 1u);
+  EXPECT_EQ(s.longest_fork_duration, 1u);
+  EXPECT_DOUBLE_EQ(s.stale_rate, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.forked_height_fraction, 0.5);
+}
+
+TEST(ForkStats, MultiHeightForkRun) {
+  TreeBuilder b;
+  // Fork lasting heights 1-2 on both branches, resolving at height 3.
+  b.add("a1", "g", 0);
+  b.add("b1", "g", 1);
+  b.add("a2", "a1", 0);
+  b.add("b2", "b1", 1);
+  b.add("a3", "a2", 2);
+  const ForkStats s = analyze_forks(b.tree(), b.hash("a3"));
+  EXPECT_EQ(s.fork_count, 1u);
+  EXPECT_EQ(s.longest_fork_duration, 2u);
+  EXPECT_EQ(s.stale_blocks, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_fork_duration, 2.0);
+}
+
+TEST(ForkStats, SeparateForkRunsCounted) {
+  TreeBuilder b;
+  b.add("a1", "g", 0);
+  b.add("x1", "g", 1);  // fork at height 1
+  b.add("a2", "a1", 0);
+  b.add("a3", "a2", 0);
+  b.add("x3", "a2", 1);  // fork at height 3
+  b.add("a4", "a3", 0);
+  const ForkStats s = analyze_forks(b.tree(), b.hash("a4"));
+  EXPECT_EQ(s.fork_count, 2u);
+  EXPECT_EQ(s.longest_fork_duration, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_fork_duration, 1.0);
+}
+
+TEST(ForkStats, GenesisOnlyTree) {
+  TreeBuilder b;
+  const ForkStats s = analyze_forks(b.tree(), b.tree().genesis_hash());
+  EXPECT_EQ(s.total_blocks, 0u);
+  EXPECT_EQ(s.stale_rate, 0.0);
+}
+
+TEST(Table, AlignedOutput) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+  EXPECT_EQ(Table::num(1.5, 2), "1.50");
+  // Tiny values switch to scientific notation.
+  EXPECT_NE(Table::num(3.2e-7).find('e'), std::string::npos);
+  EXPECT_EQ(Table::num(0.0, 2), "0.00");
+}
+
+}  // namespace
+}  // namespace themis::metrics

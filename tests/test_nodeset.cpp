@@ -1,0 +1,171 @@
+#include "nodeset/contract.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace themis::nodeset {
+namespace {
+
+NodeIdentity identity(ledger::NodeId id) {
+  NodeIdentity n;
+  n.id = id;
+  n.public_key = crypto::Keypair::from_node_id(id).public_key();
+  n.address = "node-" + std::to_string(id);
+  return n;
+}
+
+std::vector<NodeIdentity> members(std::size_t n) {
+  std::vector<NodeIdentity> out;
+  for (ledger::NodeId i = 0; i < n; ++i) out.push_back(identity(i));
+  return out;
+}
+
+TEST(NodeSet, InitialMembership) {
+  NodeSetContract contract(members(4));
+  EXPECT_EQ(contract.member_count(), 4u);
+  EXPECT_TRUE(contract.is_member(0));
+  EXPECT_FALSE(contract.is_member(9));
+  EXPECT_TRUE(contract.key_of(2).has_value());
+  EXPECT_FALSE(contract.key_of(9).has_value());
+  EXPECT_EQ(contract.members().size(), 4u);
+}
+
+TEST(NodeSet, RejectsEmptyOrDuplicateInit) {
+  EXPECT_THROW(NodeSetContract({}), PreconditionError);
+  auto dup = members(2);
+  dup.push_back(identity(1));
+  EXPECT_THROW(NodeSetContract{dup}, PreconditionError);
+}
+
+TEST(NodeSet, ProposerVotesImplicitly) {
+  NodeSetContract contract(members(5));
+  const auto id = contract.propose_add(0, identity(10));
+  EXPECT_EQ(contract.proposal(id).supporters.size(), 1u);
+  EXPECT_EQ(contract.proposal(id).status, ProposalStatus::open);
+}
+
+TEST(NodeSet, MajorityPassesAddProposal) {
+  NodeSetContract contract(members(5));
+  const auto id = contract.propose_add(0, identity(10));
+  contract.vote(id, 1, true);
+  EXPECT_EQ(contract.proposal(id).status, ProposalStatus::open);  // 2 of 5
+  EXPECT_EQ(contract.vote(id, 2, true), ProposalStatus::passed);  // 3 of 5
+}
+
+TEST(NodeSet, ActivationAppliesAddAndRescalesDifficulty) {
+  NodeSetContract contract(members(4));
+  const auto id = contract.propose_add(0, identity(4));
+  contract.vote(id, 1, true);
+  contract.vote(id, 2, true);  // 3 of 4 -> passed
+  const auto activation = contract.activate_pending();
+  ASSERT_EQ(activation.added.size(), 1u);
+  EXPECT_EQ(activation.added[0].id, 4u);
+  EXPECT_TRUE(contract.is_member(4));
+  // §IV-C: D_base scales by n_new / n_old = 5/4.
+  EXPECT_DOUBLE_EQ(activation.base_difficulty_scale, 1.25);
+  EXPECT_EQ(contract.proposal(id).status, ProposalStatus::applied);
+}
+
+TEST(NodeSet, RemoveRequiresEvidence) {
+  NodeSetContract contract(members(4));
+  EXPECT_THROW(contract.propose_remove(0, 1, ""), PreconditionError);
+  EXPECT_NO_THROW(contract.propose_remove(0, 1, "packed invalid transactions"));
+}
+
+TEST(NodeSet, RemoveProposalLifecycle) {
+  NodeSetContract contract(members(5));
+  const auto id = contract.propose_remove(0, 4, "double-spend attempt");
+  contract.vote(id, 1, true);
+  contract.vote(id, 2, true);
+  const auto activation = contract.activate_pending();
+  ASSERT_EQ(activation.removed.size(), 1u);
+  EXPECT_EQ(activation.removed[0], 4u);
+  EXPECT_FALSE(contract.is_member(4));
+  EXPECT_DOUBLE_EQ(activation.base_difficulty_scale, 0.8);
+}
+
+TEST(NodeSet, OppositionMajorityRejects) {
+  NodeSetContract contract(members(5));
+  const auto id = contract.propose_add(0, identity(10));
+  contract.vote(id, 1, false);
+  contract.vote(id, 2, false);
+  EXPECT_EQ(contract.vote(id, 3, false), ProposalStatus::rejected);
+  const auto activation = contract.activate_pending();
+  EXPECT_TRUE(activation.added.empty());
+  EXPECT_FALSE(contract.is_member(10));
+}
+
+TEST(NodeSet, RevoteReplacesPreviousVote) {
+  NodeSetContract contract(members(5));
+  const auto id = contract.propose_add(0, identity(10));
+  contract.vote(id, 1, false);
+  contract.vote(id, 1, true);  // changed their mind
+  EXPECT_EQ(contract.proposal(id).supporters.size(), 2u);
+  EXPECT_EQ(contract.proposal(id).opponents.size(), 0u);
+}
+
+TEST(NodeSet, OnlyMembersParticipate) {
+  NodeSetContract contract(members(3));
+  EXPECT_THROW(contract.propose_add(9, identity(10)), PreconditionError);
+  const auto id = contract.propose_add(0, identity(10));
+  EXPECT_THROW(contract.vote(id, 9, true), PreconditionError);
+}
+
+TEST(NodeSet, CannotAddExistingOrRemoveUnknown) {
+  NodeSetContract contract(members(3));
+  EXPECT_THROW(contract.propose_add(0, identity(1)), PreconditionError);
+  EXPECT_THROW(contract.propose_remove(0, 9, "evidence"), PreconditionError);
+}
+
+TEST(NodeSet, VotingOnClosedProposalThrows) {
+  NodeSetContract contract(members(4));
+  const auto id = contract.propose_add(0, identity(10));
+  contract.vote(id, 1, true);
+  contract.vote(id, 2, true);  // passed
+  EXPECT_THROW(contract.vote(id, 3, true), PreconditionError);
+}
+
+TEST(NodeSet, UnknownProposalThrows) {
+  NodeSetContract contract(members(3));
+  EXPECT_THROW(contract.vote(42, 0, true), PreconditionError);
+  EXPECT_THROW(contract.proposal(42), PreconditionError);
+}
+
+TEST(NodeSet, OpenProposalsListed) {
+  NodeSetContract contract(members(5));
+  const auto a = contract.propose_add(0, identity(10));
+  const auto b = contract.propose_remove(1, 3, "invalid blocks");
+  EXPECT_EQ(contract.open_proposals().size(), 2u);
+  contract.vote(a, 1, true);
+  contract.vote(a, 2, true);  // passed -> no longer open
+  const auto open = contract.open_proposals();
+  ASSERT_EQ(open.size(), 1u);
+  EXPECT_EQ(open[0], b);
+}
+
+TEST(NodeSet, ActivationWithNothingPendingIsNeutral) {
+  NodeSetContract contract(members(3));
+  const auto activation = contract.activate_pending();
+  EXPECT_TRUE(activation.added.empty());
+  EXPECT_TRUE(activation.removed.empty());
+  EXPECT_DOUBLE_EQ(activation.base_difficulty_scale, 1.0);
+}
+
+TEST(NodeSet, SimultaneousAddAndRemove) {
+  NodeSetContract contract(members(4));
+  const auto add = contract.propose_add(0, identity(7));
+  const auto remove = contract.propose_remove(1, 3, "withheld blocks");
+  contract.vote(add, 1, true);
+  contract.vote(add, 2, true);
+  contract.vote(remove, 0, true);
+  contract.vote(remove, 2, true);
+  const auto activation = contract.activate_pending();
+  EXPECT_EQ(activation.added.size(), 1u);
+  EXPECT_EQ(activation.removed.size(), 1u);
+  EXPECT_DOUBLE_EQ(activation.base_difficulty_scale, 1.0);  // 4 -> 4
+  EXPECT_EQ(contract.member_count(), 4u);
+}
+
+}  // namespace
+}  // namespace themis::nodeset

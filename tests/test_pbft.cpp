@@ -1,0 +1,178 @@
+#include "pbft/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+
+namespace themis::pbft {
+namespace {
+
+net::LinkConfig paper_link() {
+  return net::LinkConfig{.bandwidth_bps = 20e6, .min_delay = SimTime::millis(100)};
+}
+
+PbftConfig fast_config(std::size_t n) {
+  PbftConfig c;
+  c.n_nodes = n;
+  c.batch_size = 100;
+  c.base_timeout = SimTime::seconds(5.0);
+  c.verify_delay = SimTime::micros(100);
+  c.exec_delay_per_tx = SimTime::micros(100);
+  return c;
+}
+
+struct Env {
+  explicit Env(std::size_t n, PbftConfig cfg)
+      : network(sim, paper_link(), n, 2, 9), cluster(sim, network, cfg) {}
+  Env(std::size_t n) : Env(n, fast_config(n)) {}
+
+  net::Simulation sim;
+  net::GossipNetwork network;
+  PbftCluster cluster;
+};
+
+TEST(Pbft, RejectsTooFewReplicas) {
+  net::Simulation sim;
+  net::GossipNetwork network(sim, paper_link(), 3, 2, 9);
+  EXPECT_THROW(PbftReplica(sim, network, fast_config(3), 0), PreconditionError);
+}
+
+TEST(Pbft, QuorumArithmetic) {
+  Env env(4);
+  EXPECT_EQ(env.cluster.replica(0).fault_bound(), 1u);
+  EXPECT_EQ(env.cluster.replica(0).quorum(), 3u);
+  Env env7(7);
+  EXPECT_EQ(env7.cluster.replica(0).fault_bound(), 2u);
+  EXPECT_EQ(env7.cluster.replica(0).quorum(), 5u);
+}
+
+TEST(Pbft, LeaderRotatesRoundRobin) {
+  EXPECT_EQ(PbftReplica::leader_of(1, 0, 4), 1u);
+  EXPECT_EQ(PbftReplica::leader_of(2, 0, 4), 2u);
+  EXPECT_EQ(PbftReplica::leader_of(4, 0, 4), 0u);
+  EXPECT_EQ(PbftReplica::leader_of(1, 1, 4), 2u);  // view shifts the rotation
+}
+
+TEST(Pbft, CommitsSequencesInNormalOperation) {
+  Env env(4);
+  env.cluster.start();
+  env.sim.run_until(SimTime::seconds(60.0));
+  EXPECT_GE(env.cluster.max_committed_seq(), 10u);
+  EXPECT_EQ(env.cluster.total_view_changes(), 0u);
+  // Every replica commits the same prefix.
+  const std::uint64_t min_committed = [&] {
+    std::uint64_t m = UINT64_MAX;
+    for (std::size_t i = 0; i < 4; ++i) {
+      m = std::min(m, env.cluster.replica(i).committed_seq());
+    }
+    return m;
+  }();
+  EXPECT_GE(min_committed + 2, env.cluster.max_committed_seq());
+}
+
+TEST(Pbft, ProducersRotatePerfectlyEqually) {
+  Env env(4);
+  env.cluster.start();
+  env.sim.run_until(SimTime::seconds(120.0));
+  const auto& producers = env.cluster.replica(0).committed_producers();
+  ASSERT_GE(producers.size(), 8u);
+  std::vector<std::uint64_t> counts(4, 0);
+  for (const auto& [seq, producer] : producers) {
+    ASSERT_LT(producer, 4u);
+    ++counts[producer];
+    EXPECT_EQ(producer, PbftReplica::leader_of(seq, 0, 4));
+  }
+  const auto [min_it, max_it] = std::minmax_element(counts.begin(), counts.end());
+  EXPECT_LE(*max_it - *min_it, 1u);  // Fig. 1b: perfect round-robin equality
+}
+
+TEST(Pbft, CommittedTxsMatchBatchSize) {
+  Env env(4);
+  env.cluster.start();
+  env.sim.run_until(SimTime::seconds(30.0));
+  EXPECT_EQ(env.cluster.max_committed_txs(),
+            env.cluster.max_committed_seq() * 100);
+}
+
+TEST(Pbft, SuppressedLeaderTriggersViewChangeButLivenessHolds) {
+  Env env(4);
+  env.cluster.replica(1).set_suppressed(true);
+  env.cluster.start();
+  env.sim.run_until(SimTime::seconds(120.0));
+  EXPECT_GT(env.cluster.total_view_changes(), 0u);
+  EXPECT_GE(env.cluster.max_committed_seq(), 4u);
+}
+
+TEST(Pbft, SuppressionCostsThroughput) {
+  Env healthy(4);
+  healthy.cluster.start();
+  healthy.sim.run_until(SimTime::seconds(200.0));
+
+  Env attacked(4);
+  attacked.cluster.suppress_producers(1);
+  attacked.cluster.start();
+  attacked.sim.run_until(SimTime::seconds(200.0));
+
+  EXPECT_LT(attacked.cluster.max_committed_seq(),
+            healthy.cluster.max_committed_seq());
+}
+
+TEST(Pbft, ToleratesFCrashedFollowers) {
+  // f = 1: one silent (non-leader-only suppression isn't a crash, so emulate
+  // a crash by dropping all of replica 3's outbound traffic).
+  Env env(4);
+  env.network.set_drop_filter(
+      [](net::PeerId from, net::PeerId, const net::Message&) {
+        return from == 3;
+      });
+  env.cluster.start();
+  env.sim.run_until(SimTime::seconds(120.0));
+  // Progress continues: quorum 3 is met by replicas 0-2 (plus view changes
+  // whenever 3 is the leader).
+  EXPECT_GE(env.cluster.max_committed_seq(), 3u);
+}
+
+TEST(Pbft, StallsWithMoreThanFFailures) {
+  Env env(4);
+  env.network.set_drop_filter(
+      [](net::PeerId from, net::PeerId, const net::Message&) {
+        return from == 2 || from == 3;  // 2 > f = 1 silent replicas
+      });
+  env.cluster.start();
+  env.sim.run_until(SimTime::seconds(120.0));
+  EXPECT_EQ(env.cluster.max_committed_seq(), 0u);
+}
+
+TEST(Pbft, TpsHelperConsistency) {
+  Env env(4);
+  env.cluster.start();
+  env.sim.run_until(SimTime::seconds(60.0));
+  const double tps = env.cluster.tps(SimTime::seconds(60.0));
+  EXPECT_NEAR(tps,
+              static_cast<double>(env.cluster.max_committed_txs()) / 60.0,
+              1e-9);
+  EXPECT_EQ(env.cluster.tps(SimTime::zero()), 0.0);
+}
+
+TEST(Pbft, LargerClusterCommitsSlower) {
+  Env small(4);
+  small.cluster.start();
+  small.sim.run_until(SimTime::seconds(60.0));
+
+  Env big(16);
+  big.cluster.start();
+  big.sim.run_until(SimTime::seconds(60.0));
+
+  EXPECT_GE(small.cluster.max_committed_seq(), big.cluster.max_committed_seq());
+}
+
+TEST(Pbft, SuppressCountBounds) {
+  Env env(4);
+  EXPECT_THROW(env.cluster.suppress_producers(5), PreconditionError);
+  EXPECT_NO_THROW(env.cluster.suppress_producers(2));
+}
+
+}  // namespace
+}  // namespace themis::pbft

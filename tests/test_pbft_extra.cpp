@@ -1,0 +1,142 @@
+// PBFT protocol corner cases beyond the happy path.
+#include <gtest/gtest.h>
+
+#include "pbft/cluster.h"
+
+namespace themis::pbft {
+namespace {
+
+net::LinkConfig paper_link() {
+  return net::LinkConfig{.bandwidth_bps = 20e6, .min_delay = SimTime::millis(100)};
+}
+
+PbftConfig fast_config(std::size_t n) {
+  PbftConfig c;
+  c.n_nodes = n;
+  c.batch_size = 50;
+  c.base_timeout = SimTime::seconds(3.0);
+  c.verify_delay = SimTime::micros(100);
+  c.exec_delay_per_tx = SimTime::micros(20);
+  return c;
+}
+
+struct Env {
+  Env(std::size_t n, PbftConfig cfg)
+      : network(sim, paper_link(), n, 2, 13), cluster(sim, network, cfg) {}
+  explicit Env(std::size_t n) : Env(n, fast_config(n)) {}
+
+  net::Simulation sim;
+  net::GossipNetwork network;
+  PbftCluster cluster;
+};
+
+TEST(PbftExtra, LaggardCatchesUpViaCommitCertificates) {
+  Env env(4);
+  // Replica 3 receives nothing for a while (all traffic *to* it dropped),
+  // then the partition heals.
+  bool partitioned = true;
+  env.network.set_drop_filter(
+      [&partitioned](net::PeerId, net::PeerId to, const net::Message&) {
+        return partitioned && to == 3;
+      });
+  env.cluster.start();
+  env.sim.run_until(SimTime::seconds(60.0));
+  EXPECT_EQ(env.cluster.replica(3).committed_seq(), 0u);
+  const auto others = env.cluster.max_committed_seq();
+  EXPECT_GT(others, 3u);  // quorum 3 of 4 progressed without it
+
+  partitioned = false;
+  env.sim.run_until(SimTime::seconds(130.0));
+  // Healed: the laggard adopts decided sequences from commit certificates.
+  EXPECT_GT(env.cluster.replica(3).committed_seq(), others);
+}
+
+TEST(PbftExtra, ConsecutiveSuppressedLeadersEscalateViews) {
+  // Suppressing replicas 1..3 makes several successive leaders fail for one
+  // sequence; the view number must climb past all of them and then commit.
+  Env env(7);
+  env.cluster.replica(1).set_suppressed(true);
+  env.cluster.replica(2).set_suppressed(true);
+  env.cluster.replica(3).set_suppressed(true);
+  env.cluster.start();
+  env.sim.run_until(SimTime::seconds(250.0));
+  EXPECT_GT(env.cluster.max_committed_seq(), 0u);
+  EXPECT_GT(env.cluster.total_view_changes(), 0u);
+  // The first committed sequence was proposed by a healthy leader.
+  const auto& producers = env.cluster.replica(0).committed_producers();
+  ASSERT_FALSE(producers.empty());
+  const auto first_producer = producers.begin()->second;
+  EXPECT_TRUE(first_producer == 0 || first_producer > 3);
+}
+
+TEST(PbftExtra, RotationContinuesAcrossViews) {
+  Env env(5);
+  env.cluster.replica(1).set_suppressed(true);  // leader of seq 1 in view 0
+  env.cluster.start();
+  env.sim.run_until(SimTime::seconds(200.0));
+  const auto& producers = env.cluster.replica(0).committed_producers();
+  ASSERT_GT(producers.size(), 5u);
+  // The suppressed replica never produces; others all do eventually.
+  std::set<ledger::NodeId> seen;
+  for (const auto& [seq, producer] : producers) {
+    EXPECT_NE(producer, 1u);
+    seen.insert(producer);
+  }
+  EXPECT_GE(seen.size(), 4u);
+}
+
+TEST(PbftExtra, QuorumScalesWithN) {
+  for (const std::size_t n : {4u, 7u, 10u, 13u, 100u}) {
+    Env env(n);
+    const auto f = env.cluster.replica(0).fault_bound();
+    const auto q = env.cluster.replica(0).quorum();
+    EXPECT_EQ(f, (n - 1) / 3);
+    EXPECT_EQ(q, 2 * f + 1);
+    // Two quorums always intersect in at least one honest replica.
+    EXPECT_GT(2 * q, n + f);
+  }
+}
+
+TEST(PbftExtra, NoProgressWithoutQuorumOfSenders) {
+  // Drop everything from f+1 replicas: prepares can't reach 2f+1.
+  Env env(7);  // f = 2, quorum 5
+  env.network.set_drop_filter(
+      [](net::PeerId from, net::PeerId, const net::Message&) {
+        return from >= 4;  // 3 silent replicas > f
+      });
+  env.cluster.start();
+  env.sim.run_until(SimTime::seconds(150.0));
+  EXPECT_EQ(env.cluster.max_committed_seq(), 0u);
+}
+
+TEST(PbftExtra, ThroughputScalesWithBatchSize) {
+  PbftConfig small = fast_config(4);
+  small.batch_size = 10;
+  Env a(4, small);
+  a.cluster.start();
+  a.sim.run_until(SimTime::seconds(60.0));
+
+  PbftConfig big = fast_config(4);
+  big.batch_size = 1000;
+  Env b(4, big);
+  b.cluster.start();
+  b.sim.run_until(SimTime::seconds(60.0));
+
+  EXPECT_GT(b.cluster.max_committed_txs(), a.cluster.max_committed_txs());
+}
+
+TEST(PbftExtra, ViewChangesRecordedPerReplica) {
+  Env env(4);
+  env.cluster.replica(1).set_suppressed(true);
+  env.cluster.start();
+  env.sim.run_until(SimTime::seconds(100.0));
+  // Every replica observed the same view transitions (within one).
+  const auto v0 = env.cluster.replica(0).view();
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(env.cluster.replica(i).view()),
+                static_cast<double>(v0), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace themis::pbft

@@ -1,0 +1,90 @@
+#include "sim/power_dist.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/check.h"
+
+namespace themis::sim {
+namespace {
+
+TEST(PowerDist, RankingMatchesPaperAggregates) {
+  const auto& ranking = btc_pool_ranking_jan2022();
+  std::uint64_t total = 0;
+  std::uint64_t unknown = 0;
+  for (const PoolShare& p : ranking) {
+    total += p.blocks;
+    if (p.name == "unknown") unknown = p.blocks;
+  }
+  // One week of Bitcoin blocks.
+  EXPECT_EQ(total, 1008u);
+  // §VII-A / footnote 2: top-4 pools ~59.17 %, unknown ~1.68 %.
+  const std::uint64_t top4 = ranking[0].blocks + ranking[1].blocks +
+                             ranking[2].blocks + ranking[3].blocks;
+  EXPECT_NEAR(static_cast<double>(top4) / total, 0.5917, 0.005);
+  EXPECT_NEAR(static_cast<double>(unknown) / total, 0.0168, 0.002);
+}
+
+TEST(PowerDist, RankingIsSortedDescendingByBlocks) {
+  const auto& ranking = btc_pool_ranking_jan2022();
+  for (std::size_t i = 1; i + 1 < ranking.size(); ++i) {  // "unknown" is last
+    EXPECT_GE(ranking[i - 1].blocks, ranking[i].blocks) << ranking[i].name;
+  }
+}
+
+TEST(PowerDist, BtcPowerVectorShape) {
+  const double h0 = 1000.0;
+  const auto power = btc_jan2022_power(100, h0);
+  ASSERT_EQ(power.size(), 100u);
+  // Pool nodes: blocks * h0 (Fig. 3); biggest is FoundryUSA at 180 blocks.
+  EXPECT_DOUBLE_EQ(power[0], 180.0 * h0);
+  // Independent nodes at exactly h0.
+  EXPECT_DOUBLE_EQ(power[50], h0);
+  EXPECT_DOUBLE_EQ(power[99], h0);
+}
+
+TEST(PowerDist, BtcPowerNeedsEnoughNodes) {
+  EXPECT_THROW(btc_jan2022_power(5, 1.0), PreconditionError);
+  EXPECT_NO_THROW(btc_jan2022_power(20, 1.0));
+}
+
+TEST(PowerDist, BtcPowerTotalScalesWithH0) {
+  const auto p1 = btc_jan2022_power(50, 1.0);
+  const auto p2 = btc_jan2022_power(50, 2.0);
+  const double t1 = std::accumulate(p1.begin(), p1.end(), 0.0);
+  const double t2 = std::accumulate(p2.begin(), p2.end(), 0.0);
+  EXPECT_DOUBLE_EQ(t2, 2.0 * t1);
+}
+
+TEST(PowerDist, UniformPower) {
+  const auto power = uniform_power(10, 3.5);
+  ASSERT_EQ(power.size(), 10u);
+  for (const double h : power) EXPECT_DOUBLE_EQ(h, 3.5);
+  EXPECT_THROW(uniform_power(10, 0.0), PreconditionError);
+}
+
+TEST(PowerDist, ParetoHeavyTail) {
+  const auto power = pareto_power(10000, 1.0, 1.2, 42);
+  ASSERT_EQ(power.size(), 10000u);
+  double max_v = 0, total = 0;
+  for (const double h : power) {
+    EXPECT_GE(h, 1.0);  // scale is the minimum
+    max_v = std::max(max_v, h);
+    total += h;
+  }
+  // Heavy tail: the single largest node holds a noticeable share.
+  EXPECT_GT(max_v / total, 0.005);
+}
+
+TEST(PowerDist, ParetoDeterministicPerSeed) {
+  EXPECT_EQ(pareto_power(10, 1.0, 2.0, 7), pareto_power(10, 1.0, 2.0, 7));
+  EXPECT_NE(pareto_power(10, 1.0, 2.0, 7), pareto_power(10, 1.0, 2.0, 8));
+}
+
+TEST(PowerDist, ParetoRejectsBadShape) {
+  EXPECT_THROW(pareto_power(10, 1.0, 0.0, 1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace themis::sim

@@ -1,0 +1,161 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace themis {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 28);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng rng(6);
+  RunningStats stats;
+  for (int i = 0; i < 100000; ++i) stats.add(rng.next_double());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(9);
+  EXPECT_THROW(rng.next_below(0), PreconditionError);
+}
+
+TEST(Rng, NextRangeInclusive) {
+  Rng rng(10);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.next_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NextRangeEmptyThrows) {
+  Rng rng(11);
+  EXPECT_THROW(rng.next_range(3, 2), PreconditionError);
+}
+
+class RngExponential : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngExponential, MeanMatchesRate) {
+  const double rate = GetParam();
+  Rng rng(12);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.next_exponential(rate));
+  EXPECT_NEAR(stats.mean() * rate, 1.0, 0.02) << "rate=" << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RngExponential,
+                         ::testing::Values(0.1, 1.0, 4.0, 250.0));
+
+TEST(Rng, ExponentialRejectsBadRate) {
+  Rng rng(13);
+  EXPECT_THROW(rng.next_exponential(0.0), PreconditionError);
+  EXPECT_THROW(rng.next_exponential(-1.0), PreconditionError);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(14);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.next_bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerate) {
+  Rng rng(15);
+  EXPECT_FALSE(rng.next_bernoulli(0.0));
+  EXPECT_TRUE(rng.next_bernoulli(1.0));
+  EXPECT_THROW(rng.next_bernoulli(1.5), PreconditionError);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(16);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.add(rng.next_gaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.variance(), 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleChangesOrder) {
+  Rng rng(18);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(19);
+  Rng child = parent.fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(19);
+  parent_copy.fork();
+  int same = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (child.next_u64() == parent.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Splitmix, KnownSequenceDeterminism) {
+  std::uint64_t s1 = 42, s2 = 42;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,226 @@
+#include "crypto/secp256k1.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace themis::crypto {
+namespace {
+
+FieldElement fe(std::uint64_t v) { return FieldElement::from_u64(v); }
+Scalar sc(std::uint64_t v) { return Scalar::from_u64(v); }
+
+UInt256 random_u256(Rng& rng) {
+  return UInt256(rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64());
+}
+
+TEST(Field, PrimeHasExpectedValue) {
+  EXPECT_EQ(field_prime().to_hex(),
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+}
+
+TEST(Scalar, OrderHasExpectedValue) {
+  EXPECT_EQ(group_order().to_hex(),
+            "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+}
+
+TEST(Field, ConstructorReduces) {
+  EXPECT_TRUE(FieldElement(field_prime()).is_zero());
+  EXPECT_EQ(FieldElement(field_prime() + UInt256(5)), fe(5));
+}
+
+TEST(Field, AdditionWrapsModP) {
+  const FieldElement pm1(field_prime() - UInt256(1));
+  EXPECT_TRUE((pm1 + fe(1)).is_zero());
+  EXPECT_EQ(pm1 + fe(3), fe(2));
+}
+
+TEST(Field, SubtractionWraps) {
+  EXPECT_EQ(fe(2) - fe(5), FieldElement(field_prime() - UInt256(3)));
+}
+
+TEST(Field, NegateIsAdditiveInverse) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const FieldElement x(random_u256(rng));
+    EXPECT_TRUE((x + x.negate()).is_zero());
+  }
+  EXPECT_TRUE(fe(0).negate().is_zero());
+}
+
+TEST(Field, MultiplicationCommutesAndDistributes) {
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const FieldElement a(random_u256(rng));
+    const FieldElement b(random_u256(rng));
+    const FieldElement c(random_u256(rng));
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+  }
+}
+
+TEST(Field, InverseProperty) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    FieldElement x(random_u256(rng));
+    if (x.is_zero()) x = fe(1);
+    EXPECT_EQ(x * x.inverse(), fe(1));
+  }
+}
+
+TEST(Field, InverseOfZeroThrows) {
+  EXPECT_THROW(fe(0).inverse(), PreconditionError);
+}
+
+TEST(Field, PowMatchesRepeatedMultiplication) {
+  const FieldElement x = fe(7);
+  FieldElement expected = fe(1);
+  for (int i = 0; i < 13; ++i) expected = expected * x;
+  EXPECT_EQ(x.pow(UInt256(13)), expected);
+}
+
+TEST(Field, FermatLittleTheorem) {
+  const FieldElement x = fe(123456789);
+  EXPECT_EQ(x.pow(field_prime() - UInt256(1)), fe(1));
+}
+
+TEST(Field, SqrtOfSquareRecovers) {
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    const FieldElement x(random_u256(rng));
+    const FieldElement sq = x.square();
+    const auto root = sq.sqrt();
+    ASSERT_TRUE(root.has_value());
+    EXPECT_TRUE(*root == x || *root == x.negate());
+  }
+}
+
+TEST(Field, SqrtOfNonResidueFails) {
+  // -1 is a non-residue mod p (p = 3 mod 4).
+  EXPECT_FALSE(fe(1).negate().sqrt().has_value());
+}
+
+TEST(Scalar, ArithmeticModOrder) {
+  const Scalar nm1(group_order() - UInt256(1));
+  EXPECT_TRUE((nm1 + sc(1)).is_zero());
+  EXPECT_EQ(sc(2) - sc(5), Scalar(group_order() - UInt256(3)));
+}
+
+TEST(Scalar, MultiplicationReduces) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const Scalar a(random_u256(rng));
+    const Scalar b(random_u256(rng));
+    EXPECT_LT((a * b).value(), group_order());
+    EXPECT_EQ(a * b, b * a);
+  }
+}
+
+TEST(Scalar, InverseProperty) {
+  Rng rng(6);
+  for (int i = 0; i < 5; ++i) {
+    Scalar x(random_u256(rng));
+    if (x.is_zero()) x = sc(1);
+    EXPECT_EQ(x * x.inverse(), sc(1));
+  }
+}
+
+TEST(Scalar, BytesRoundTrip) {
+  const Scalar x(UInt256(0x1234567890abcdefull));
+  EXPECT_EQ(Scalar::from_bytes(x.to_bytes()), x);
+}
+
+TEST(Point, GeneratorOnCurve) {
+  EXPECT_TRUE(Point::generator().on_curve());
+}
+
+TEST(Point, GeneratorHasKnownCoordinates) {
+  const auto affine = Point::generator().to_affine();
+  EXPECT_EQ(affine.x.value().to_hex(),
+            "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+  EXPECT_EQ(affine.y.value().to_hex(),
+            "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+}
+
+TEST(Point, IdentityProperties) {
+  const Point inf;
+  EXPECT_TRUE(inf.is_infinity());
+  EXPECT_TRUE(inf.on_curve());
+  EXPECT_TRUE((inf + Point::generator()).equals(Point::generator()));
+  EXPECT_TRUE((Point::generator() + inf).equals(Point::generator()));
+  EXPECT_THROW(inf.to_affine(), PreconditionError);
+}
+
+TEST(Point, OrderTimesGeneratorIsIdentity) {
+  const Scalar nm1(group_order() - UInt256(1));
+  const Point p = Point::generator().mul(nm1) + Point::generator();
+  EXPECT_TRUE(p.is_infinity());
+}
+
+TEST(Point, DoubleMatchesAdd) {
+  const Point g = Point::generator();
+  EXPECT_TRUE(g.doubled().equals(g + g));
+}
+
+TEST(Point, AddInverseIsIdentity) {
+  const Point g = Point::generator();
+  EXPECT_TRUE((g + g.negate()).is_infinity());
+}
+
+TEST(Point, KnownMultiples) {
+  // 2G from the standard secp256k1 tables.
+  const auto two_g = Point::generator().mul(sc(2)).to_affine();
+  EXPECT_EQ(two_g.x.value().to_hex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  // 3G x-coordinate.
+  const auto three_g = Point::generator().mul(sc(3)).to_affine();
+  EXPECT_EQ(three_g.x.value().to_hex(),
+            "f9308a019258c31049344f85f89d5229b531c845836f99b08601f113bce036f9");
+}
+
+class ScalarMulLinearity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScalarMulLinearity, DistributesOverAddition) {
+  const std::uint64_t k = GetParam();
+  const Point g = Point::generator();
+  // (k+1)G == kG + G
+  EXPECT_TRUE(g.mul(sc(k + 1)).equals(g.mul(sc(k)) + g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, ScalarMulLinearity,
+                         ::testing::Values(1, 2, 3, 7, 16, 255, 65537));
+
+TEST(Point, MulZeroIsIdentity) {
+  EXPECT_TRUE(Point::generator().mul(sc(0)).is_infinity());
+}
+
+TEST(Point, MulResultsOnCurve) {
+  Rng rng(8);
+  for (int i = 0; i < 3; ++i) {
+    const Scalar k(random_u256(rng));
+    EXPECT_TRUE(Point::generator().mul(k).on_curve());
+  }
+}
+
+TEST(Point, LiftXRecoversEvenY) {
+  const auto g2 = Point::generator().mul(sc(2)).to_affine();
+  const auto lifted = Point::lift_x(g2.x.value());
+  ASSERT_TRUE(lifted.has_value());
+  const auto affine = lifted->to_affine();
+  EXPECT_EQ(affine.x, g2.x);
+  EXPECT_FALSE(affine.y.is_odd());
+  EXPECT_TRUE(lifted->on_curve());
+}
+
+TEST(Point, LiftXRejectsNonCurveX) {
+  // x = 5 is not on the curve (5^3+7 = 132 is a non-residue mod p).
+  EXPECT_FALSE(Point::lift_x(UInt256(5)).has_value());
+}
+
+TEST(Point, LiftXRejectsOversizedX) {
+  EXPECT_FALSE(Point::lift_x(field_prime()).has_value());
+}
+
+}  // namespace
+}  // namespace themis::crypto

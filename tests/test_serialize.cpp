@@ -1,0 +1,143 @@
+#include "common/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace themis {
+namespace {
+
+TEST(Serialize, IntegersRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i64(-42);
+
+  Reader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.buffer(), (Bytes{0x04, 0x03, 0x02, 0x01}));
+}
+
+TEST(Serialize, DoubleRoundTrip) {
+  for (double v : {0.0, 1.5, -3.25, 1e300, -1e-300,
+                   std::numeric_limits<double>::infinity()}) {
+    Writer w;
+    w.f64(v);
+    Reader r(w.buffer());
+    EXPECT_EQ(r.f64(), v);
+  }
+}
+
+TEST(Serialize, VarintSmall) {
+  Writer w;
+  w.varint(0);
+  w.varint(1);
+  w.varint(127);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.varint(), 0u);
+  EXPECT_EQ(r.varint(), 1u);
+  EXPECT_EQ(r.varint(), 127u);
+  EXPECT_EQ(w.buffer().size(), 3u);  // each fits one byte
+}
+
+TEST(Serialize, VarintBoundaries) {
+  const std::uint64_t cases[] = {127, 128, 16383, 16384,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t v : cases) {
+    Writer w;
+    w.varint(v);
+    Reader r(w.buffer());
+    EXPECT_EQ(r.varint(), v);
+  }
+}
+
+TEST(Serialize, VarintMaxUsesTenBytes) {
+  Writer w;
+  w.varint(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(w.size(), 10u);
+}
+
+TEST(Serialize, BytesAndStringsRoundTrip) {
+  Writer w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello");
+  w.str("");
+  Reader r(w.buffer());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serialize, HashRoundTrip) {
+  Hash32 h{};
+  for (std::size_t i = 0; i < h.size(); ++i) h[i] = static_cast<std::uint8_t>(i);
+  Writer w;
+  w.hash(h);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.hash(), h);
+}
+
+TEST(Serialize, ReadPastEndThrows) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_THROW(r.u16(), DecodeError);
+}
+
+TEST(Serialize, TruncatedLengthPrefixThrows) {
+  Writer w;
+  w.varint(100);  // claims 100 bytes follow
+  w.raw(Bytes{1, 2});
+  Reader r(w.buffer());
+  EXPECT_THROW(r.bytes(), DecodeError);
+}
+
+TEST(Serialize, ExpectDoneCatchesTrailingBytes) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.buffer());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), DecodeError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Serialize, UnterminatedVarintThrows) {
+  const Bytes bad(11, 0x80);  // continuation bit never clears
+  Reader r(bad);
+  EXPECT_THROW(r.varint(), DecodeError);
+}
+
+TEST(Serialize, RemainingTracksPosition) {
+  Writer w;
+  w.u32(1);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u16();
+  EXPECT_EQ(r.remaining(), 2u);
+}
+
+TEST(Serialize, TakeMovesBuffer) {
+  Writer w;
+  w.u8(9);
+  const Bytes b = w.take();
+  EXPECT_EQ(b, Bytes{9});
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,132 @@
+#include "net/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace themis::net {
+namespace {
+
+TEST(Simulation, StartsAtZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, EventsRunInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::seconds(3.0), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime::seconds(1.0), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime::seconds(2.0), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::seconds(3.0));
+}
+
+TEST(Simulation, EqualTimestampsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(SimTime::seconds(1.0), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulation, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  SimTime fired;
+  sim.schedule_after(SimTime::seconds(1.0), [&] {
+    sim.schedule_after(SimTime::seconds(2.0), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, SimTime::seconds(3.0));
+}
+
+TEST(Simulation, SchedulingInThePastThrows) {
+  Simulation sim;
+  sim.schedule_at(SimTime::seconds(5.0), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime::seconds(1.0), [] {}), PreconditionError);
+  EXPECT_THROW(sim.schedule_after(SimTime::seconds(-1.0), [] {}),
+               PreconditionError);
+}
+
+TEST(Simulation, NullCallbackThrows) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule_after(SimTime::zero(), nullptr), PreconditionError);
+}
+
+TEST(Simulation, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  const EventId id = sim.schedule_after(SimTime::seconds(1.0), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulation, CancelUnknownIdIsNoop) {
+  Simulation sim;
+  EXPECT_FALSE(sim.cancel(0));
+  EXPECT_FALSE(sim.cancel(12345));
+}
+
+TEST(Simulation, CancelledEventsNotCounted) {
+  Simulation sim;
+  const EventId id = sim.schedule_after(SimTime::seconds(1.0), [] {});
+  sim.schedule_after(SimTime::seconds(2.0), [] {});
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(SimTime::seconds(1.0), [&] { ++fired; });
+  sim.schedule_at(SimTime::seconds(5.0), [&] { ++fired; });
+  sim.run_until(SimTime::seconds(2.0));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), SimTime::seconds(2.0));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWithNoEvents) {
+  Simulation sim;
+  sim.run_until(SimTime::seconds(10.0));
+  EXPECT_EQ(sim.now(), SimTime::seconds(10.0));
+}
+
+TEST(Simulation, StepReturnsFalseWhenEmpty) {
+  Simulation sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_after(SimTime::zero(), [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, RunRespectsEventCap) {
+  Simulation sim;
+  // Self-perpetuating event chain.
+  std::function<void()> tick = [&] {
+    sim.schedule_after(SimTime::seconds(1.0), tick);
+  };
+  sim.schedule_after(SimTime::zero(), tick);
+  sim.run(/*max_events=*/10);
+  EXPECT_EQ(sim.events_processed(), 10u);
+}
+
+TEST(SimTime, ArithmeticAndConversions) {
+  EXPECT_EQ(SimTime::millis(1500), SimTime::seconds(1.5));
+  EXPECT_EQ(SimTime::seconds(1.0) + SimTime::millis(500), SimTime::millis(1500));
+  EXPECT_EQ((SimTime::seconds(2.0) - SimTime::seconds(0.5)).to_seconds(), 1.5);
+  EXPECT_EQ(SimTime::micros(3) * 2, SimTime::micros(6));
+  EXPECT_LT(SimTime::zero(), SimTime::nanos(1));
+  EXPECT_GT(SimTime::infinity(), SimTime::seconds(1e9));
+}
+
+}  // namespace
+}  // namespace themis::net

@@ -1,0 +1,87 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace themis {
+namespace {
+
+TEST(Stats, MeanEmpty) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Stats, MeanKnown) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, VarianceSingleElementIsZero) {
+  const std::vector<double> xs{5.0};
+  EXPECT_EQ(variance(xs), 0.0);
+}
+
+TEST(Stats, VarianceKnownPopulation) {
+  // Population variance of {2, 4, 4, 4, 5, 5, 7, 9} is exactly 4.
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, VarianceConstantVectorIsZero) {
+  const std::vector<double> xs(100, 3.14);
+  EXPECT_NEAR(variance(xs), 0.0, 1e-12);
+}
+
+TEST(Stats, MinMax) {
+  const std::vector<double> xs{3, -1, 7, 2};
+  EXPECT_EQ(min_of(xs), -1.0);
+  EXPECT_EQ(max_of(xs), 7.0);
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  Rng rng(3);
+  std::vector<double> xs;
+  RunningStats running;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_gaussian() * 5 + 2;
+    xs.push_back(x);
+    running.add(x);
+  }
+  EXPECT_NEAR(running.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(running.variance(), variance(xs), 1e-9);
+  EXPECT_EQ(running.count(), xs.size());
+}
+
+TEST(Stats, RunningMinMax) {
+  RunningStats s;
+  s.add(5);
+  s.add(-2);
+  s.add(9);
+  EXPECT_EQ(s.min(), -2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, RunningEmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, FrequencyVarianceUniformCountsIsZero) {
+  const std::vector<std::uint64_t> counts{10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(frequency_variance(counts, 40.0), 0.0);
+}
+
+TEST(Stats, FrequencyVarianceKnown) {
+  // f = {1, 0}: mean 0.5, variance 0.25.
+  const std::vector<std::uint64_t> counts{10, 0};
+  EXPECT_DOUBLE_EQ(frequency_variance(counts, 10.0), 0.25);
+}
+
+TEST(Stats, FrequencyVarianceEmptyInputs) {
+  EXPECT_EQ(frequency_variance({}, 10.0), 0.0);
+  const std::vector<std::uint64_t> counts{1, 2};
+  EXPECT_EQ(frequency_variance(counts, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace themis

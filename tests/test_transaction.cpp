@@ -1,0 +1,74 @@
+#include "ledger/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/serialize.h"
+
+namespace themis::ledger {
+namespace {
+
+TEST(Transaction, EncodesToCanonicalSize) {
+  const Transaction tx(3, 7, 1000, bytes_of("payload"));
+  EXPECT_EQ(tx.encode().size(), kCanonicalTxSize);
+}
+
+TEST(Transaction, EmptyPayloadStillCanonical) {
+  const Transaction tx(0, 0, 0, {});
+  EXPECT_EQ(tx.encode().size(), kCanonicalTxSize);
+}
+
+TEST(Transaction, MaxPayloadFits) {
+  const Transaction tx(1, 1, 1, Bytes(max_tx_payload(), 0x5a));
+  EXPECT_EQ(tx.encode().size(), kCanonicalTxSize);
+}
+
+TEST(Transaction, OversizedPayloadThrows) {
+  EXPECT_THROW(Transaction(1, 1, 1, Bytes(max_tx_payload() + 1, 0)),
+               PreconditionError);
+}
+
+TEST(Transaction, DecodeRoundTrip) {
+  const Transaction tx(42, 123456789, -5, bytes_of("hello world"));
+  const Transaction decoded = Transaction::decode(tx.encode());
+  EXPECT_EQ(decoded, tx);
+  EXPECT_EQ(decoded.sender(), 42u);
+  EXPECT_EQ(decoded.nonce(), 123456789u);
+  EXPECT_EQ(decoded.timestamp_nanos(), -5);
+}
+
+TEST(Transaction, DecodeRejectsWrongSize) {
+  EXPECT_THROW(Transaction::decode(Bytes(511, 0)), DecodeError);
+  EXPECT_THROW(Transaction::decode(Bytes(513, 0)), DecodeError);
+}
+
+TEST(Transaction, DecodeRejectsOversizedLengthField) {
+  Bytes raw = Transaction(1, 1, 1, {}).encode();
+  // Corrupt the payload-length field (offset 20) to exceed capacity.
+  raw[20] = 0xff;
+  raw[21] = 0xff;
+  EXPECT_THROW(Transaction::decode(raw), DecodeError);
+}
+
+TEST(Transaction, DecodeRejectsNonZeroPadding) {
+  Bytes raw = Transaction(1, 1, 1, bytes_of("x")).encode();
+  raw.back() = 0x01;
+  EXPECT_THROW(Transaction::decode(raw), DecodeError);
+}
+
+TEST(Transaction, IdIsStable) {
+  const Transaction tx(9, 9, 9, bytes_of("p"));
+  EXPECT_EQ(tx.id(), tx.id());
+  EXPECT_EQ(tx.id(), Transaction(9, 9, 9, bytes_of("p")).id());
+}
+
+TEST(Transaction, IdDependsOnEveryField) {
+  const Transaction base(1, 2, 3, bytes_of("p"));
+  EXPECT_NE(Transaction(2, 2, 3, bytes_of("p")).id(), base.id());
+  EXPECT_NE(Transaction(1, 3, 3, bytes_of("p")).id(), base.id());
+  EXPECT_NE(Transaction(1, 2, 4, bytes_of("p")).id(), base.id());
+  EXPECT_NE(Transaction(1, 2, 3, bytes_of("q")).id(), base.id());
+}
+
+}  // namespace
+}  // namespace themis::ledger

@@ -1,0 +1,85 @@
+#include "ledger/txpool.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace themis::ledger {
+namespace {
+
+Transaction tx(std::uint64_t nonce) {
+  return Transaction(0, nonce, 0, {});
+}
+
+TEST(TxPool, AddAndContains) {
+  TxPool pool;
+  const Transaction t = tx(1);
+  EXPECT_TRUE(pool.add(t));
+  EXPECT_TRUE(pool.contains(t.id()));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(TxPool, RejectsDuplicates) {
+  TxPool pool;
+  EXPECT_TRUE(pool.add(tx(1)));
+  EXPECT_FALSE(pool.add(tx(1)));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(TxPool, SelectPreservesFifoOrder) {
+  TxPool pool;
+  for (std::uint64_t i = 0; i < 5; ++i) pool.add(tx(i));
+  const auto selected = pool.select(3);
+  ASSERT_EQ(selected.size(), 3u);
+  EXPECT_EQ(selected[0].nonce(), 0u);
+  EXPECT_EQ(selected[1].nonce(), 1u);
+  EXPECT_EQ(selected[2].nonce(), 2u);
+}
+
+TEST(TxPool, SelectDoesNotRemove) {
+  TxPool pool;
+  pool.add(tx(1));
+  pool.select(1);
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(TxPool, SelectMoreThanAvailable) {
+  TxPool pool;
+  pool.add(tx(1));
+  EXPECT_EQ(pool.select(10).size(), 1u);
+}
+
+TEST(TxPool, RemoveConfirmed) {
+  TxPool pool;
+  const Transaction a = tx(1), b = tx(2);
+  pool.add(a);
+  pool.add(b);
+  pool.remove({a.id()});
+  EXPECT_FALSE(pool.contains(a.id()));
+  EXPECT_TRUE(pool.contains(b.id()));
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(TxPool, CapacityEvictsOldest) {
+  TxPool pool(3);
+  for (std::uint64_t i = 0; i < 5; ++i) pool.add(tx(i));
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_FALSE(pool.contains(tx(0).id()));
+  EXPECT_FALSE(pool.contains(tx(1).id()));
+  EXPECT_TRUE(pool.contains(tx(4).id()));
+}
+
+TEST(TxPool, ZeroCapacityThrows) {
+  EXPECT_THROW(TxPool(0), PreconditionError);
+}
+
+TEST(TxPool, Clear) {
+  TxPool pool;
+  pool.add(tx(1));
+  pool.clear();
+  EXPECT_TRUE(pool.empty());
+  EXPECT_FALSE(pool.contains(tx(1).id()));
+}
+
+}  // namespace
+}  // namespace themis::ledger

@@ -1,0 +1,205 @@
+#include "common/uint256.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace themis {
+namespace {
+
+TEST(UInt256, DefaultIsZero) {
+  EXPECT_TRUE(UInt256().is_zero());
+  EXPECT_EQ(UInt256().bit_length(), -1);
+}
+
+TEST(UInt256, FromU64) {
+  const UInt256 v(42);
+  EXPECT_EQ(v.limb(0), 42u);
+  EXPECT_EQ(v.limb(1), 0u);
+  EXPECT_EQ(v.bit_length(), 5);
+}
+
+TEST(UInt256, HexRoundTrip) {
+  const std::string hex =
+      "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef";
+  EXPECT_EQ(UInt256::from_hex(hex).to_hex(), hex);
+}
+
+TEST(UInt256, HexShortLiteral) {
+  EXPECT_EQ(UInt256::from_hex("ff"), UInt256(255));
+}
+
+TEST(UInt256, HexRejectsBadInput) {
+  EXPECT_THROW(UInt256::from_hex(""), PreconditionError);
+  EXPECT_THROW(UInt256::from_hex(std::string(65, 'a')), PreconditionError);
+}
+
+TEST(UInt256, BeBytesRoundTrip) {
+  Rng rng(99);
+  for (int i = 0; i < 50; ++i) {
+    const UInt256 v(rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64());
+    EXPECT_EQ(UInt256::from_be_bytes(v.to_be_bytes()), v);
+  }
+}
+
+TEST(UInt256, BeBytesLayout) {
+  // 1 must land in the last byte of the big-endian encoding.
+  const Hash32 bytes = UInt256(1).to_be_bytes();
+  EXPECT_EQ(bytes[31], 1);
+  EXPECT_EQ(bytes[0], 0);
+}
+
+TEST(UInt256, AdditionCarries) {
+  const UInt256 max_limb(~0ull);
+  const UInt256 sum = max_limb + UInt256(1);
+  EXPECT_EQ(sum.limb(0), 0u);
+  EXPECT_EQ(sum.limb(1), 1u);
+}
+
+TEST(UInt256, AdditionWrapsAtMax) {
+  EXPECT_EQ(UInt256::max() + UInt256(1), UInt256::zero());
+}
+
+TEST(UInt256, AddOverflowFlag) {
+  UInt256 out;
+  EXPECT_TRUE(UInt256::max().add_overflow(UInt256(1), out));
+  EXPECT_FALSE(UInt256(1).add_overflow(UInt256(1), out));
+}
+
+TEST(UInt256, SubtractionBorrows) {
+  const UInt256 v(0, 1, 0, 0);  // 2^64
+  const UInt256 diff = v - UInt256(1);
+  EXPECT_EQ(diff.limb(0), ~0ull);
+  EXPECT_EQ(diff.limb(1), 0u);
+}
+
+TEST(UInt256, SubBorrowFlag) {
+  UInt256 out;
+  EXPECT_TRUE(UInt256(1).sub_borrow(UInt256(2), out));
+  EXPECT_FALSE(UInt256(2).sub_borrow(UInt256(1), out));
+}
+
+TEST(UInt256, AddSubInverse) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const UInt256 a(rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64());
+    const UInt256 b(rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64());
+    EXPECT_EQ(a + b - b, a);
+  }
+}
+
+TEST(UInt256, MultiplySmallValues) {
+  EXPECT_EQ(UInt256(6) * UInt256(7), UInt256(42));
+}
+
+TEST(UInt256, MulWideKnown) {
+  // (2^128) * (2^128) = 2^256: low half zero, high half 1.
+  const UInt256 x(0, 0, 1, 0);  // 2^128
+  UInt256 hi, lo;
+  UInt256::mul_wide(x, x, hi, lo);
+  EXPECT_TRUE(lo.is_zero());
+  EXPECT_EQ(hi, UInt256(1));
+}
+
+TEST(UInt256, ShiftLeftRightInverse) {
+  Rng rng(13);
+  for (int shift : {1, 7, 63, 64, 65, 128, 200, 255}) {
+    // Keep v below 2^(256-shift) so no bits fall off the top.
+    const UInt256 v =
+        UInt256(rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64()) >>
+        shift;
+    EXPECT_EQ((v << shift) >> shift, v) << "shift=" << shift;
+  }
+}
+
+TEST(UInt256, ShiftOutOfRangeThrows) {
+  EXPECT_THROW(UInt256(1) << 256, PreconditionError);
+  EXPECT_THROW(UInt256(1) >> 256, PreconditionError);
+}
+
+TEST(UInt256, CompareOrdering) {
+  EXPECT_LT(UInt256(1), UInt256(2));
+  EXPECT_LT(UInt256(~0ull), UInt256(0, 1, 0, 0));
+  EXPECT_GT(UInt256::max(), UInt256(0, 0, 0, ~0ull >> 1));
+}
+
+TEST(UInt256, DivSmallKnown) {
+  std::uint64_t rem = 0;
+  EXPECT_EQ(UInt256(100).div_small(7, rem), UInt256(14));
+  EXPECT_EQ(rem, 2u);
+}
+
+TEST(UInt256, DivideByZeroThrows) {
+  std::uint64_t rem;
+  EXPECT_THROW(UInt256(1).div_small(0, rem), PreconditionError);
+  EXPECT_THROW(UInt256(1).divmod(UInt256::zero()), PreconditionError);
+}
+
+TEST(UInt256, DivmodSmallerDividend) {
+  const auto r = UInt256(5).divmod(UInt256(7));
+  EXPECT_TRUE(r.quotient.is_zero());
+  EXPECT_EQ(r.remainder, UInt256(5));
+}
+
+class UInt256DivmodProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UInt256DivmodProperty, ReconstructsDividend) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 25; ++i) {
+    const UInt256 a(rng.next_u64(), rng.next_u64(), rng.next_u64(), rng.next_u64());
+    UInt256 b(rng.next_u64(), rng.next_u64(), i % 2 ? rng.next_u64() : 0, 0);
+    if (b.is_zero()) b = UInt256(1);
+    const auto r = a.divmod(b);
+    EXPECT_LT(r.remainder, b);
+    // a == q*b + r (the product must not overflow since q*b <= a).
+    EXPECT_EQ(r.quotient * b + r.remainder, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UInt256DivmodProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(UInt256, ToDoubleApproximation) {
+  EXPECT_DOUBLE_EQ(UInt256(1000).to_double(), 1000.0);
+  EXPECT_NEAR(UInt256::max().to_double(), std::ldexp(1.0, 256), 1e63);
+}
+
+TEST(Target, DifficultyOneIsMax) {
+  EXPECT_EQ(target_for_difficulty(1.0), UInt256::max());
+}
+
+TEST(Target, HigherDifficultyLowerTarget) {
+  EXPECT_LT(target_for_difficulty(2.0), target_for_difficulty(1.5));
+  EXPECT_LT(target_for_difficulty(1e6), target_for_difficulty(1e3));
+}
+
+TEST(Target, RejectsOutOfRange) {
+  EXPECT_THROW(target_for_difficulty(0.5), PreconditionError);
+  EXPECT_THROW(target_for_difficulty(-1.0), PreconditionError);
+  EXPECT_THROW(target_for_difficulty(std::ldexp(1.0, 201)), PreconditionError);
+}
+
+class TargetRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(TargetRoundTrip, DifficultyRecovered) {
+  const double d = GetParam();
+  const UInt256 target = target_for_difficulty(d);
+  EXPECT_NEAR(difficulty_for_target(target) / d, 1.0, 1e-6) << "d=" << d;
+}
+
+INSTANTIATE_TEST_SUITE_P(Difficulties, TargetRoundTrip,
+                         ::testing::Values(1.0, 2.0, 10.0, 1000.0, 12345.678,
+                                           1e6, 1e9, 1e12, 1e15, 3.7e18));
+
+TEST(Target, HalvingDifficultyDoublesTarget) {
+  const UInt256 t1 = target_for_difficulty(1000.0);
+  const UInt256 t2 = target_for_difficulty(2000.0);
+  const double ratio = t1.to_double() / t2.to_double();
+  EXPECT_NEAR(ratio, 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace themis

@@ -1,0 +1,206 @@
+#include "ledger/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/uint256.h"
+#include "consensus/miner.h"
+#include "crypto/merkle.h"
+
+namespace themis::ledger {
+namespace {
+
+// A fully honest block: low difficulty, really mined, really signed.
+struct Fixture {
+  Fixture() {
+    keypair.emplace(crypto::Keypair::from_node_id(7));
+    header.height = 1;
+    header.prev = Block::genesis().id();
+    header.producer = 7;
+    header.difficulty = 4.0;
+    txs = {Transaction(1, 1, 0, bytes_of("a")), Transaction(2, 2, 0, bytes_of("b"))};
+    header.tx_count = 2;
+    std::vector<Hash32> leaves{txs[0].id(), txs[1].id()};
+    header.merkle_root = crypto::merkle_root(leaves);
+    const auto mined = consensus::RealMiner::mine(header, 0, 1'000'000);
+    header = mined.value();
+    const crypto::Signature sig = keypair->sign(header.hash());
+    block = std::make_shared<const Block>(header, sig, txs);
+  }
+
+  ValidationContext context() const {
+    ValidationContext ctx;
+    ctx.public_key = [this](NodeId id) -> std::optional<crypto::PublicKey> {
+      if (id == 7) return keypair->public_key();
+      return std::nullopt;
+    };
+    ctx.expected_difficulty = [](NodeId, const BlockHash&) {
+      return std::optional<double>(4.0);
+    };
+    ctx.parent_height = [](const BlockHash& prev) -> std::optional<std::uint64_t> {
+      if (prev == Block::genesis().id()) return 0;
+      return std::nullopt;
+    };
+    return ctx;
+  }
+
+  std::optional<crypto::Keypair> keypair;
+  BlockHeader header;
+  std::vector<Transaction> txs;
+  BlockPtr block;
+};
+
+TEST(Validation, HonestBlockPasses) {
+  Fixture f;
+  EXPECT_EQ(validate_block(*f.block, f.context()), BlockCheck::ok);
+}
+
+TEST(Validation, UnknownProducerRejected) {
+  Fixture f;
+  BlockHeader h = f.header;
+  h.producer = 8;  // not in the registry
+  const Block bad(h, f.block->signature(), f.txs);
+  EXPECT_EQ(validate_block(bad, f.context()), BlockCheck::unknown_producer);
+}
+
+TEST(Validation, BadSignatureRejected) {
+  Fixture f;
+  crypto::Signature sig = f.block->signature();
+  sig.s[10] ^= 1;
+  const Block bad(f.header, sig, f.txs);
+  EXPECT_EQ(validate_block(bad, f.context()), BlockCheck::bad_signature);
+}
+
+TEST(Validation, SignatureFromWrongKeyRejected) {
+  Fixture f;
+  const auto other = crypto::Keypair::from_node_id(8);
+  const Block bad(f.header, other.sign(f.header.hash()), f.txs);
+  EXPECT_EQ(validate_block(bad, f.context()), BlockCheck::bad_signature);
+}
+
+TEST(Validation, WrongDifficultyRejected) {
+  Fixture f;
+  auto ctx = f.context();
+  ctx.expected_difficulty = [](NodeId, const BlockHash&) {
+    return std::optional<double>(8.0);  // table disagrees with the claim
+  };
+  EXPECT_EQ(validate_block(*f.block, ctx), BlockCheck::wrong_difficulty);
+}
+
+TEST(Validation, UnknownDifficultyRejected) {
+  Fixture f;
+  auto ctx = f.context();
+  ctx.expected_difficulty = [](NodeId, const BlockHash&) {
+    return std::optional<double>();
+  };
+  EXPECT_EQ(validate_block(*f.block, ctx), BlockCheck::wrong_difficulty);
+}
+
+TEST(Validation, PowNotSatisfiedRejected) {
+  Fixture f;
+  BlockHeader h = f.header;
+  h.difficulty = 1e15;  // target far below any found hash
+  const auto ctx = [&] {
+    auto c = f.context();
+    c.expected_difficulty = [](NodeId, const BlockHash&) {
+      return std::optional<double>(1e15);
+    };
+    c.check_signature = false;
+    return c;
+  }();
+  const Block bad(h, crypto::Signature{}, f.txs);
+  EXPECT_EQ(validate_block(bad, ctx), BlockCheck::pow_not_satisfied);
+}
+
+TEST(Validation, SubUnityDifficultyRejected) {
+  Fixture f;
+  BlockHeader h = f.header;
+  h.difficulty = 0.5;
+  auto ctx = f.context();
+  ctx.check_signature = false;
+  ctx.expected_difficulty = [](NodeId, const BlockHash&) {
+    return std::optional<double>(0.5);
+  };
+  const Block bad(h, crypto::Signature{}, f.txs);
+  EXPECT_EQ(validate_block(bad, ctx), BlockCheck::wrong_difficulty);
+}
+
+TEST(Validation, BadHeightRejected) {
+  Fixture f;
+  BlockHeader h = f.header;
+  h.height = 3;  // parent is at height 0
+  auto ctx = f.context();
+  ctx.check_signature = false;
+  ctx.check_pow = false;
+  const Block bad(h, crypto::Signature{}, f.txs);
+  EXPECT_EQ(validate_block(bad, ctx), BlockCheck::bad_height);
+}
+
+TEST(Validation, BadMerkleRootRejected) {
+  Fixture f;
+  BlockHeader h = f.header;
+  h.merkle_root[0] ^= 1;
+  auto ctx = f.context();
+  ctx.check_signature = false;
+  ctx.check_pow = false;
+  const Block bad(h, crypto::Signature{}, f.txs);
+  EXPECT_EQ(validate_block(bad, ctx), BlockCheck::bad_merkle_root);
+}
+
+TEST(Validation, TxCountMismatchRejected) {
+  Fixture f;
+  BlockHeader h = f.header;
+  h.tx_count = 5;
+  auto ctx = f.context();
+  ctx.check_signature = false;
+  ctx.check_pow = false;
+  const Block bad(h, crypto::Signature{}, f.txs);
+  EXPECT_EQ(validate_block(bad, ctx), BlockCheck::bad_transaction);
+}
+
+TEST(Validation, DuplicateTransactionRejected) {
+  Fixture f;
+  auto txs = f.txs;
+  txs[1] = txs[0];
+  BlockHeader h = f.header;
+  std::vector<Hash32> leaves{txs[0].id(), txs[1].id()};
+  h.merkle_root = crypto::merkle_root(leaves);
+  auto ctx = f.context();
+  ctx.check_signature = false;
+  ctx.check_pow = false;
+  const Block bad(h, crypto::Signature{}, txs);
+  EXPECT_EQ(validate_block(bad, ctx), BlockCheck::bad_transaction);
+}
+
+TEST(Validation, BodyChecksSkippableForMetadataBlocks) {
+  Fixture f;
+  BlockHeader h = f.header;
+  h.tx_count = 4096;  // declared-size-only block, no body attached
+  auto ctx = f.context();
+  ctx.check_signature = false;
+  ctx.check_pow = false;
+  ctx.check_body = false;
+  const Block metadata_only(h, crypto::Signature{}, {});
+  EXPECT_EQ(validate_block(metadata_only, ctx), BlockCheck::ok);
+}
+
+TEST(Validation, ChecksCanBeDisabledIndividually) {
+  Fixture f;
+  ValidationContext ctx;  // no callbacks, no checks
+  ctx.check_signature = false;
+  ctx.check_pow = false;
+  ctx.check_body = false;
+  EXPECT_EQ(validate_block(*f.block, ctx), BlockCheck::ok);
+}
+
+TEST(Validation, ToStringCoversAllChecks) {
+  EXPECT_EQ(to_string(BlockCheck::ok), "ok");
+  EXPECT_EQ(to_string(BlockCheck::bad_signature), "bad_signature");
+  EXPECT_EQ(to_string(BlockCheck::pow_not_satisfied), "pow_not_satisfied");
+}
+
+TEST(Validation, TransactionSanity) {
+  EXPECT_TRUE(validate_transaction(Transaction(0, 0, 0, {})));
+}
+
+}  // namespace
+}  // namespace themis::ledger

@@ -1,0 +1,62 @@
+// Test helper: build block trees by hand (no mining, no signatures) so
+// fork-choice and difficulty tests can express scenarios like the paper's
+// Fig. 2 directly.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "common/check.h"
+#include "ledger/blocktree.h"
+
+namespace themis::test {
+
+class TreeBuilder {
+ public:
+  TreeBuilder() {
+    names_["g"] = std::make_shared<const ledger::Block>(ledger::Block::genesis());
+  }
+
+  /// Add a block named `name` extending `parent_name` (insertion order is the
+  /// local receipt order).  Timestamps default to 1 second per height.
+  ledger::BlockPtr add(const std::string& name, const std::string& parent_name,
+                       ledger::NodeId producer, double difficulty = 1.0,
+                       std::int64_t timestamp_nanos = -1) {
+    const ledger::BlockPtr parent = get(parent_name);
+    ledger::BlockHeader h;
+    h.height = parent->height() + 1;
+    h.prev = parent->id();
+    h.producer = producer;
+    h.difficulty = difficulty;
+    h.nonce = next_nonce_++;
+    h.timestamp_nanos = timestamp_nanos >= 0
+                            ? timestamp_nanos
+                            : static_cast<std::int64_t>(h.height) * 1'000'000'000;
+    auto block = std::make_shared<const ledger::Block>(
+        h, crypto::Signature{}, std::vector<ledger::Transaction>{});
+    expects(!names_.contains(name), "duplicate block name");
+    names_[name] = block;
+    const auto result = tree_.insert(block);
+    expects(result == ledger::BlockTree::InsertResult::inserted,
+            "test block failed to insert");
+    return block;
+  }
+
+  ledger::BlockPtr get(const std::string& name) const {
+    const auto it = names_.find(name);
+    expects(it != names_.end(), "unknown block name");
+    return it->second;
+  }
+
+  ledger::BlockHash hash(const std::string& name) const { return get(name)->id(); }
+
+  ledger::BlockTree& tree() { return tree_; }
+  const ledger::BlockTree& tree() const { return tree_; }
+
+ private:
+  ledger::BlockTree tree_;
+  std::map<std::string, ledger::BlockPtr> names_;
+  std::uint64_t next_nonce_ = 1;
+};
+
+}  // namespace themis::test
