@@ -5,21 +5,40 @@
 // GEOST and GHOST both can alleviate the selfish mining problem".  This
 // harness measures the attacker's share of the finalized main chain; honest
 // behaviour earns exactly q, so values above q mean the attack pays.
+//
+// With --trials N every (q, rule) cell averages N independent seeds; all
+// cells x trials are fanned across --threads workers via the generic trial
+// runner (each task builds its own simulation and fork-choice rule).
 #include <iostream>
 
 #include "bench_util.h"
 #include "core/geost.h"
 #include "metrics/equality.h"
 #include "sim/selfish_miner.h"
+#include "sim/trial_runner.h"
 
 namespace {
 
 using namespace themis;
 
-double revenue_share(std::shared_ptr<consensus::ForkChoiceRule> rule, double q,
-                     SimTime duration, std::uint64_t seed) {
+enum class Rule { kLongest, kGhost, kGeost };
+
+double revenue_share(Rule which, double q, SimTime duration,
+                     std::uint64_t seed) {
   const std::size_t n_honest = 9;
   const std::size_t n_total = n_honest + 1;
+  std::shared_ptr<consensus::ForkChoiceRule> rule;
+  switch (which) {
+    case Rule::kLongest:
+      rule = std::make_shared<consensus::LongestChainRule>();
+      break;
+    case Rule::kGhost:
+      rule = std::make_shared<consensus::GhostRule>();
+      break;
+    case Rule::kGeost:
+      rule = std::make_shared<core::GeostRule>(n_total);
+      break;
+  }
   net::Simulation sim;
   // High contention on purpose: propagation is a sizable fraction of the
   // block interval, so honest blocks frequently fork among themselves.  That
@@ -67,6 +86,7 @@ double revenue_share(std::shared_ptr<consensus::ForkChoiceRule> rule, double q,
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  const bench::WallTimer timer;
   bench::banner("Ablation — selfish-mining revenue vs fork-choice rule",
                 "Jia et al., ICDCS 2022, §V-B (Fig. 2 discussion)");
 
@@ -75,24 +95,40 @@ int main(int argc, char** argv) {
                                          ? std::vector<double>{0.25, 0.40}
                                          : std::vector<double>{0.15, 0.25, 0.33,
                                                                0.40, 0.45};
+  const std::vector<Rule> rules = {Rule::kLongest, Rule::kGhost, Rule::kGeost};
+  const auto options = args.runner();
+
+  // Fan every (q, rule, trial) cell across the workers at once; cells[c][t]
+  // stays indexed by cell and trial, so output never depends on scheduling.
+  const std::size_t n_cells = shares.size() * rules.size();
+  std::vector<std::vector<double>> cells(n_cells,
+                                         std::vector<double>(options.trials));
+  parallel_for_index(
+      options.resolved_threads(), n_cells * options.trials,
+      [&](std::size_t flat) {
+        const std::size_t cell = flat / options.trials;
+        const std::size_t trial = flat % options.trials;
+        const double q = shares[cell / rules.size()];
+        const Rule rule = rules[cell % rules.size()];
+        cells[cell][trial] =
+            revenue_share(rule, q, duration, sim::trial_seed(args.seed, trial));
+      });
 
   metrics::Table t({"attacker share q", "longest-chain", "GHOST", "GEOST",
                     "honest baseline"});
-  for (const double q : shares) {
-    const double longest = revenue_share(
-        std::make_shared<consensus::LongestChainRule>(), q, duration, args.seed);
-    const double ghost = revenue_share(std::make_shared<consensus::GhostRule>(),
-                                       q, duration, args.seed);
-    const double geost = revenue_share(std::make_shared<core::GeostRule>(10), q,
-                                       duration, args.seed);
-    t.add_row({metrics::Table::num(q, 2), metrics::Table::num(longest, 3),
-               metrics::Table::num(ghost, 3), metrics::Table::num(geost, 3),
-               metrics::Table::num(q, 2)});
+  for (std::size_t s = 0; s < shares.size(); ++s) {
+    const auto summary = [&](std::size_t r) {
+      return metrics::summarize(cells[s * rules.size() + r]);
+    };
+    t.add_row({metrics::Table::num(shares[s], 2), bench::cell(summary(0), 3),
+               bench::cell(summary(1), 3), bench::cell(summary(2), 3),
+               metrics::Table::num(shares[s], 2)});
   }
   emit(t, args);
 
   std::cout << "\nReading: above q ~ 1/3, the withheld-chain attack pays under "
                "the longest-chain rule (revenue > q); the weight-based rules "
                "hold the attacker at or below its fair share.\n";
+  bench::print_run_footer(args, timer);
   return 0;
 }

@@ -1,12 +1,23 @@
 // Shared helpers for the figure/table reproduction binaries.
 //
 // Every bench accepts:
-//   --quick        smaller n / fewer epochs (CI-friendly)
-//   --csv          emit CSV instead of an aligned table
-//   --seed=<u64>   override the experiment seed
+//   --quick         smaller n / fewer epochs (CI-friendly)
+//   --csv           emit CSV instead of an aligned table
+//   --seed=<u64>    override the experiment base seed
+//   --trials <N>    independent trials per sweep point (also --trials=<N>;
+//                   0/absent = the driver's historical default)
+//   --threads <N>   worker threads for the trial runner (also --threads=<N>;
+//                   0 = one per hardware thread, default 1)
 // and prints the paper's rows/series for one figure or table.
+//
+// Per-trial seeding follows the trial-runner contract (sim/trial_runner.h):
+// trial 0 uses the base seed itself, so default runs reproduce the
+// historical single-seed outputs; results are bit-identical for any
+// --threads value.  Data goes to stdout; the wall-clock footer goes to
+// stderr so outputs can be diffed across thread counts.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
@@ -14,7 +25,9 @@
 #include <string_view>
 #include <vector>
 
+#include "metrics/aggregate.h"
 #include "metrics/table.h"
+#include "sim/trial_runner.h"
 
 namespace themis::bench {
 
@@ -22,23 +35,53 @@ struct BenchArgs {
   bool quick = false;
   bool csv = false;
   std::uint64_t seed = 1;
+  std::size_t trials = 0;   ///< 0 = driver default
+  std::size_t threads = 1;  ///< 0 = hardware thread count
 
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
+    const auto value_of = [&](std::string_view arg, std::string_view flag,
+                              int& i) -> const char* {
+      // Accept both "--flag=N" and "--flag N".
+      if (arg.starts_with(flag) && arg.size() > flag.size() &&
+          arg[flag.size()] == '=') {
+        return arg.data() + flag.size() + 1;
+      }
+      if (arg == flag && i + 1 < argc) return argv[++i];
+      return nullptr;
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string_view arg = argv[i];
       if (arg == "--quick") {
         args.quick = true;
       } else if (arg == "--csv") {
         args.csv = true;
-      } else if (arg.starts_with("--seed=")) {
-        args.seed = std::strtoull(arg.substr(7).data(), nullptr, 10);
+      } else if (const char* v = value_of(arg, "--seed", i)) {
+        args.seed = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = value_of(arg, "--trials", i)) {
+        args.trials = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = value_of(arg, "--threads", i)) {
+        args.threads = std::strtoull(v, nullptr, 10);
       } else if (arg == "--help" || arg == "-h") {
-        std::cout << "flags: --quick --csv --seed=<u64>\n";
+        std::cout << "flags: --quick --csv --seed=<u64> --trials <N> "
+                     "--threads <N>\n";
         std::exit(0);
       }
     }
     return args;
+  }
+
+  /// Trials to run, with the driver's historical default when --trials is
+  /// absent (1 for single-seed figures, more for the averaged ones).
+  std::size_t trials_or(std::size_t fallback) const {
+    return trials > 0 ? trials : fallback;
+  }
+
+  sim::TrialRunnerOptions runner(std::size_t default_trials = 1) const {
+    sim::TrialRunnerOptions options;
+    options.trials = trials_or(default_trials);
+    options.threads = threads;
+    return options;
   }
 };
 
@@ -53,6 +96,35 @@ inline void emit(const metrics::Table& table, const BenchArgs& args) {
 inline void banner(std::string_view title, std::string_view paper_ref) {
   std::cout << "== " << title << " ==\n"
             << "   reproduces: " << paper_ref << "\n";
+}
+
+/// Cell helper: single trial prints the plain value (historical output),
+/// several trials print "mean ± 95% CI".
+inline std::string cell(const metrics::Summary& summary, int precision = 4) {
+  return metrics::format_mean_ci(summary, precision);
+}
+
+class WallTimer {
+ public:
+  double seconds() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
+
+/// Wall-clock/parallelism footer on stderr (stdout stays diffable across
+/// --threads values).
+inline void print_run_footer(const BenchArgs& args, const WallTimer& timer,
+                             std::size_t default_trials = 1) {
+  const auto options = args.runner(default_trials);
+  std::cerr << "[bench] trials/point=" << options.trials
+            << " threads=" << options.resolved_threads()
+            << " wall=" << timer.seconds() << "s\n";
 }
 
 }  // namespace themis::bench

@@ -5,6 +5,10 @@
 //               invested computing power.
 //   (b) PBFT:   round-robin; frequency identical, probability one-hot.
 //   (c) Themis: difficulty tracks power; probability/frequency equalize.
+//
+// With --trials N the stochastic panels (a) and (c) average their per-node
+// columns over N independent seeds run in parallel; (b) is deterministic
+// rotation and runs once.
 #include <iostream>
 #include <numeric>
 
@@ -12,6 +16,7 @@
 #include "core/adaptive_difficulty.h"
 #include "metrics/equality.h"
 #include "sim/experiment.h"
+#include "sim/trial_runner.h"
 
 namespace {
 
@@ -25,16 +30,42 @@ std::vector<double> heterogeneous_power() {
   return {200, 120, 80, 40, 20, 10, 10, 10};
 }
 
-void print_algorithm(const std::string& name,
-                     const std::vector<double>& difficulty,
-                     const std::vector<double>& probability,
-                     const std::vector<double>& frequency,
+/// Per-node columns of one panel (one trial's measurement).
+struct PanelColumns {
+  std::vector<double> difficulty;
+  std::vector<double> probability;
+  std::vector<double> frequency;
+};
+
+/// Element-wise mean across trials.
+PanelColumns average(const std::vector<PanelColumns>& trials) {
+  PanelColumns out;
+  out.difficulty.assign(kNodes, 0.0);
+  out.probability.assign(kNodes, 0.0);
+  out.frequency.assign(kNodes, 0.0);
+  for (const PanelColumns& t : trials) {
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      out.difficulty[i] += t.difficulty[i];
+      out.probability[i] += t.probability[i];
+      out.frequency[i] += t.frequency[i];
+    }
+  }
+  const auto n = static_cast<double>(trials.size());
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    out.difficulty[i] /= n;
+    out.probability[i] /= n;
+    out.frequency[i] /= n;
+  }
+  return out;
+}
+
+void print_algorithm(const std::string& name, const PanelColumns& c,
                      const BenchArgs& args) {
   metrics::Table t({"node", "difficulty D_i", "probability p_i", "frequency f_i"});
   for (std::size_t i = 0; i < kNodes; ++i) {
-    t.add_row({std::to_string(i), metrics::Table::num(difficulty[i], 1),
-               metrics::Table::num(probability[i], 4),
-               metrics::Table::num(frequency[i], 4)});
+    t.add_row({std::to_string(i), metrics::Table::num(c.difficulty[i], 1),
+               metrics::Table::num(c.probability[i], 4),
+               metrics::Table::num(c.frequency[i], 4)});
   }
   std::cout << "\n-- " << name << " --\n";
   emit(t, args);
@@ -44,6 +75,7 @@ void print_algorithm(const std::string& name,
 
 int main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::parse(argc, argv);
+  const bench::WallTimer timer;
   bench::banner("Fig. 1 — illustration of the three consensus families",
                 "Jia et al., ICDCS 2022, Fig. 1");
 
@@ -51,30 +83,35 @@ int main(int argc, char** argv) {
   const double total = std::accumulate(power.begin(), power.end(), 0.0);
   const double interval = 2.0;
   const std::uint64_t epochs = args.quick ? 8 : 16;
+  const auto options = args.runner();
 
   // --- (a) PoW: one shared difficulty -------------------------------------
   {
-    sim::PoxConfig cfg;
-    cfg.algorithm = core::Algorithm::kPowH;
-    cfg.n_nodes = kNodes;
-    cfg.hash_rates = power;
-    cfg.beta = 8;
-    cfg.expected_interval_s = interval;
-    cfg.txs_per_block = 0;
-    cfg.seed = args.seed;
-    sim::PoxExperiment exp(cfg);
-    exp.run_to_height(epochs * exp.delta());
-    const auto producers = exp.main_chain_producers();
-    const auto counts = metrics::producer_counts(producers, kNodes);
-    std::vector<double> difficulty(kNodes, interval * total);
-    std::vector<double> probability, frequency;
-    for (std::size_t i = 0; i < kNodes; ++i) {
-      probability.push_back(power[i] / total);
-      frequency.push_back(static_cast<double>(counts[i]) /
-                          static_cast<double>(producers.size()));
-    }
+    const auto trials = sim::run_trials(
+        args.seed, options, [&](std::size_t, std::uint64_t seed) {
+          sim::PoxConfig cfg;
+          cfg.algorithm = core::Algorithm::kPowH;
+          cfg.n_nodes = kNodes;
+          cfg.hash_rates = power;
+          cfg.beta = 8;
+          cfg.expected_interval_s = interval;
+          cfg.txs_per_block = 0;
+          cfg.seed = seed;
+          sim::PoxExperiment exp(cfg);
+          exp.run_to_height(epochs * exp.delta());
+          const auto producers = exp.main_chain_producers();
+          const auto counts = metrics::producer_counts(producers, kNodes);
+          PanelColumns c;
+          c.difficulty.assign(kNodes, interval * total);
+          for (std::size_t i = 0; i < kNodes; ++i) {
+            c.probability.push_back(power[i] / total);
+            c.frequency.push_back(static_cast<double>(counts[i]) /
+                                  static_cast<double>(producers.size()));
+          }
+          return c;
+        });
     print_algorithm("(a) PoW: equal difficulty, power-proportional frequency",
-                    difficulty, probability, frequency, args);
+                    average(trials), args);
   }
 
   // --- (b) PBFT: round-robin leadership ------------------------------------
@@ -88,74 +125,80 @@ int main(int argc, char** argv) {
     scenario.max_blocks = args.quick ? 40 : 160;
     const auto result = sim::run_pbft(scenario);
     const auto counts = metrics::producer_counts(result.producers, kNodes);
-    std::vector<double> difficulty(kNodes, 0.0);  // no puzzle at all
-    std::vector<double> probability(kNodes, 0.0); // one-hot each round
-    probability[0] = 1.0;                         // the known next leader
-    std::vector<double> frequency;
+    PanelColumns c;
+    c.difficulty.assign(kNodes, 0.0);   // no puzzle at all
+    c.probability.assign(kNodes, 0.0);  // one-hot each round
+    c.probability[0] = 1.0;             // the known next leader
     for (std::size_t i = 0; i < kNodes; ++i) {
-      frequency.push_back(static_cast<double>(counts[i]) /
-                          static_cast<double>(result.producers.size()));
+      c.frequency.push_back(static_cast<double>(counts[i]) /
+                            static_cast<double>(result.producers.size()));
     }
     print_algorithm(
-        "(b) PBFT: no puzzle, deterministic leader (probability one-hot)",
-        difficulty, probability, frequency, args);
+        "(b) PBFT: no puzzle, deterministic leader (probability one-hot)", c,
+        args);
   }
 
   // --- (c) Themis: per-node difficulty matches power -----------------------
   {
-    sim::PoxConfig cfg;
-    cfg.algorithm = core::Algorithm::kThemis;
-    cfg.n_nodes = kNodes;
-    cfg.hash_rates = power;
-    cfg.beta = 16;  // larger delta: less q_i/delta noise at this tiny n
-    cfg.expected_interval_s = interval;
-    cfg.txs_per_block = 0;
-    cfg.seed = args.seed;
-    sim::PoxExperiment exp(cfg);
-    exp.run_to_height(epochs * exp.delta());
+    const auto trials = sim::run_trials(
+        args.seed, options, [&](std::size_t, std::uint64_t seed) {
+          sim::PoxConfig cfg;
+          cfg.algorithm = core::Algorithm::kThemis;
+          cfg.n_nodes = kNodes;
+          cfg.hash_rates = power;
+          cfg.beta = 16;  // larger delta: less q_i/delta noise at this tiny n
+          cfg.expected_interval_s = interval;
+          cfg.txs_per_block = 0;
+          cfg.seed = seed;
+          sim::PoxExperiment exp(cfg);
+          exp.run_to_height(epochs * exp.delta());
 
-    // Difficulty and probability in the last full epoch.
-    const auto chain = exp.reference().main_chain();
-    const std::uint64_t last_boundary =
-        ((chain.size() - 1) / exp.delta()) * exp.delta();
-    core::AdaptiveConfig adaptive;
-    adaptive.n_nodes = kNodes;
-    adaptive.delta = exp.delta();
-    adaptive.expected_interval_s = interval;
-    adaptive.h0 = cfg.h0;
-    adaptive.initial_base_difficulty = interval * total;
-    core::AdaptiveDifficulty observer(adaptive);
-    const auto& table =
-        observer.table_for(exp.reference().tree(), chain[last_boundary]);
+          // Difficulty and probability in the last full epoch.
+          const auto chain = exp.reference().main_chain();
+          const std::uint64_t last_boundary =
+              ((chain.size() - 1) / exp.delta()) * exp.delta();
+          core::AdaptiveConfig adaptive;
+          adaptive.n_nodes = kNodes;
+          adaptive.delta = exp.delta();
+          adaptive.expected_interval_s = interval;
+          adaptive.h0 = cfg.h0;
+          adaptive.initial_base_difficulty = interval * total;
+          core::AdaptiveDifficulty observer(adaptive);
+          const auto& table =
+              observer.table_for(exp.reference().tree(), chain[last_boundary]);
 
-    std::vector<double> difficulty, probability, frequency;
-    std::vector<double> effective(kNodes);
-    for (std::size_t i = 0; i < kNodes; ++i) {
-      effective[i] = power[i] / table.multiples[i];
-    }
-    const double eff_total =
-        std::accumulate(effective.begin(), effective.end(), 0.0);
-    // Frequency over the converged regime (the last 5 full epochs), matching
-    // how Fig. 1c depicts the steady state.
-    auto producers = exp.main_chain_producers();
-    const std::size_t window =
-        std::min<std::size_t>(producers.size(), 5 * exp.delta());
-    const std::vector<ledger::NodeId> tail_producers(
-        producers.end() - static_cast<std::ptrdiff_t>(window), producers.end());
-    const auto counts = metrics::producer_counts(tail_producers, kNodes);
-    for (std::size_t i = 0; i < kNodes; ++i) {
-      difficulty.push_back(table.multiples[i] * table.base_difficulty);
-      probability.push_back(effective[i] / eff_total);
-      frequency.push_back(static_cast<double>(counts[i]) /
-                          static_cast<double>(window));
-    }
+          std::vector<double> effective(kNodes);
+          for (std::size_t i = 0; i < kNodes; ++i) {
+            effective[i] = power[i] / table.multiples[i];
+          }
+          const double eff_total =
+              std::accumulate(effective.begin(), effective.end(), 0.0);
+          // Frequency over the converged regime (the last 5 full epochs),
+          // matching how Fig. 1c depicts the steady state.
+          auto producers = exp.main_chain_producers();
+          const std::size_t window =
+              std::min<std::size_t>(producers.size(), 5 * exp.delta());
+          const std::vector<ledger::NodeId> tail_producers(
+              producers.end() - static_cast<std::ptrdiff_t>(window),
+              producers.end());
+          const auto counts = metrics::producer_counts(tail_producers, kNodes);
+          PanelColumns c;
+          for (std::size_t i = 0; i < kNodes; ++i) {
+            c.difficulty.push_back(table.multiples[i] * table.base_difficulty);
+            c.probability.push_back(effective[i] / eff_total);
+            c.frequency.push_back(static_cast<double>(counts[i]) /
+                                  static_cast<double>(window));
+          }
+          return c;
+        });
     print_algorithm(
         "(c) Themis: difficulty matches power, probability/frequency equalize",
-        difficulty, probability, frequency, args);
+        average(trials), args);
   }
 
   std::cout << "\nReading: in (a) probability spreads with power; in (b) the "
                "probability column is one-hot (fully predictable); in (c) "
                "difficulty absorbs the power spread so probability ~ 1/n.\n";
+  bench::print_run_footer(args, timer);
   return 0;
 }

@@ -1,6 +1,10 @@
 // Fig. 2: a block tree on which the longest chain, the chain selected by
 // GHOST, and the chain selected by GEOST all differ — and the attacker's
 // withheld chain displaces the main chain only under the longest-chain rule.
+//
+// Fully deterministic (a hand-built tree): --trials/--threads are accepted
+// for bench-runner uniformity but there is no stochastic dimension to fan
+// out.
 #include <iostream>
 #include <map>
 #include <memory>

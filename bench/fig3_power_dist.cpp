@@ -1,5 +1,8 @@
 // Fig. 3: the initial computing-power distribution — blocks mined per node in
 // the BTC.com ranking week (Jan 06-12 2022) used to initialize h_i = b_i*H_0.
+//
+// A static data dump: --trials/--threads are accepted for bench-runner
+// uniformity but there is no stochastic dimension to fan out.
 #include <iostream>
 #include <numeric>
 

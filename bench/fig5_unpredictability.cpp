@@ -3,15 +3,20 @@
 //
 // Paper targets: converged Themis ~2.82 % of PoW-H and Themis-Lite ~3.85 %;
 // PBFT (one-hot leader) is ~395x Themis and ~11x PoW-H.
+//
+// With --trials N each algorithm runs N independent seeds in parallel and
+// every cell reports mean ± 95% CI across trials.
 #include <iostream>
 
 #include "bench_util.h"
 #include "metrics/equality.h"
 #include "sim/experiment.h"
+#include "sim/trial_runner.h"
 
 int main(int argc, char** argv) {
   using namespace themis;
   const auto args = bench::BenchArgs::parse(argc, argv);
+  const bench::WallTimer timer;
   bench::banner("Fig. 5 — Unpredictability: sigma_p^2 vs epochs",
                 "Jia et al., ICDCS 2022, Fig. 5 / §VII-D");
 
@@ -19,50 +24,66 @@ int main(int argc, char** argv) {
   const std::uint64_t epochs = args.quick ? 6 : 12;
   std::cout << "n=" << n << "  delta=8n  epochs=" << epochs << "\n";
 
-  auto run_pox = [&](core::Algorithm algorithm) {
-    sim::PoxConfig cfg;
-    cfg.algorithm = algorithm;
-    cfg.n_nodes = n;
-    cfg.beta = 8;
-    cfg.txs_per_block = 0;
-    cfg.seed = args.seed;
-    sim::PoxExperiment exp(cfg);
-    exp.run_to_height(epochs * exp.delta());
-    return exp.per_epoch_probability_variance();
+  const auto spec_for = [&](core::Algorithm algorithm) {
+    sim::PoxTrialSpec spec;
+    spec.config.algorithm = algorithm;
+    spec.config.n_nodes = n;
+    spec.config.beta = 8;
+    spec.config.txs_per_block = 0;
+    spec.config.seed = args.seed;
+    spec.target_height = epochs * sim::PoxExperiment::delta_for(spec.config);
+    return spec;
   };
+  const std::vector<sim::PoxTrialSpec> points = {
+      spec_for(core::Algorithm::kThemis), spec_for(core::Algorithm::kThemisLite),
+      spec_for(core::Algorithm::kPowH)};
+  const auto sweep = sim::run_pox_sweep(points, args.runner());
 
-  const auto themis = run_pox(core::Algorithm::kThemis);
-  const auto lite = run_pox(core::Algorithm::kThemisLite);
-  const auto powh = run_pox(core::Algorithm::kPowH);
+  const auto epoch_summaries = [&](std::size_t point) {
+    std::vector<std::vector<double>> series;
+    for (const auto& trial : sweep[point]) {
+      series.push_back(trial.probability_variance);
+    }
+    return metrics::summarize_series(series);
+  };
+  const auto themis_s = epoch_summaries(0);
+  const auto lite_s = epoch_summaries(1);
+  const auto powh_s = epoch_summaries(2);
+
   // PBFT: the next leader is known, so each round's probability vector is
   // one-hot; sigma_p^2 = (n-1)/n^2 in every epoch (§VII-C).
   const double pbft_value = metrics::pbft_probability_variance(n);
 
   metrics::Table t({"epoch", "PBFT", "PoW-H", "Themis-Lite", "Themis"});
-  const std::size_t rows = std::min({themis.size(), lite.size(), powh.size()});
+  const std::size_t rows =
+      std::min({themis_s.size(), lite_s.size(), powh_s.size()});
   for (std::size_t e = 0; e < rows; ++e) {
     t.add_row({std::to_string(e), metrics::Table::num(pbft_value, 6),
-               metrics::Table::num(powh[e], 6),
-               metrics::Table::num(lite[e], 6),
-               metrics::Table::num(themis[e], 6)});
+               bench::cell(powh_s[e], 6), bench::cell(lite_s[e], 6),
+               bench::cell(themis_s[e], 6)});
   }
   emit(t, args);
 
-  auto tail = [](const std::vector<double>& v) {
-    double sum = 0;
-    const std::size_t k = std::min<std::size_t>(3, v.size());
-    for (std::size_t i = v.size() - k; i < v.size(); ++i) sum += v[i];
-    return sum / static_cast<double>(k);
+  const auto tail = [](const std::vector<sim::PoxTrialResult>& trials) {
+    return metrics::summarize_over(trials, [](const sim::PoxTrialResult& r) {
+             const auto& v = r.probability_variance;
+             double sum = 0;
+             const std::size_t k = std::min<std::size_t>(3, v.size());
+             for (std::size_t i = v.size() - k; i < v.size(); ++i) sum += v[i];
+             return sum / static_cast<double>(k);
+           })
+        .mean;
   };
-  const double powh_tail = tail(powh);
-  const double themis_tail = tail(themis);
+  const double powh_tail = tail(sweep[2]);
+  const double themis_tail = tail(sweep[0]);
   std::cout << "\nconverged sigma_p^2 as % of PoW-H (paper: Themis 2.82%, "
                "Themis-Lite 3.85%):\n"
             << "  Themis      " << 100.0 * themis_tail / powh_tail << "%\n"
-            << "  Themis-Lite " << 100.0 * tail(lite) / powh_tail << "%\n"
+            << "  Themis-Lite " << 100.0 * tail(sweep[1]) / powh_tail << "%\n"
             << "PBFT / Themis ratio (paper: ~395x): "
             << pbft_value / themis_tail << "x\n"
             << "PBFT / PoW-H  ratio (paper: ~11x):  "
             << pbft_value / powh_tail << "x\n";
+  bench::print_run_footer(args, timer);
   return 0;
 }

@@ -8,63 +8,110 @@
 //
 // Power is uniform here (the post-convergence regime): scalability isolates
 // network size, not power skew, and uniform power admits any n.
+//
+// With --trials N every (scale, algorithm) point runs N independent seeds,
+// fanned across --threads workers; cells report mean ± 95% CI, and a
+// per-trial table lists each trial's seed and TPS (stdout is bit-identical
+// for any --threads value — diff it to check).
 #include <iostream>
 
 #include "bench_util.h"
 #include "sim/experiment.h"
 #include "sim/power_dist.h"
+#include "sim/trial_runner.h"
 
 int main(int argc, char** argv) {
   using namespace themis;
   const auto args = bench::BenchArgs::parse(argc, argv);
+  const bench::WallTimer timer;
   bench::banner("Fig. 6 — Scalability: TPS vs number of consensus nodes",
                 "Jia et al., ICDCS 2022, Fig. 6 / §VII-D");
 
   const std::vector<std::size_t> scales =
       args.quick ? std::vector<std::size_t>{10, 50, 100}
                  : std::vector<std::size_t>{10, 50, 100, 200, 400, 600};
+  const std::vector<core::Algorithm> algorithms = {
+      core::Algorithm::kPowH, core::Algorithm::kThemisLite,
+      core::Algorithm::kThemis};
   const std::uint32_t batch = 4096;
   const double interval = 4.0;
 
-  metrics::Table t({"nodes", "PoW-H", "Themis-Lite", "Themis", "PBFT",
-                    "PBFT view-changes"});
-
+  // One sweep point per (scale, algorithm), fanned out together so the big
+  // scales do not serialize behind each other.
+  std::vector<sim::PoxTrialSpec> points;
   for (const std::size_t n : scales) {
-    std::vector<double> pox_tps;
-    for (const auto algorithm :
-         {core::Algorithm::kPowH, core::Algorithm::kThemisLite,
-          core::Algorithm::kThemis}) {
-      sim::PoxConfig cfg;
-      cfg.algorithm = algorithm;
-      cfg.n_nodes = n;
-      cfg.hash_rates = sim::uniform_power(n, cfg.h0);
-      cfg.beta = 8;
-      cfg.expected_interval_s = interval;
-      cfg.txs_per_block = batch;
-      cfg.seed = args.seed;
-      sim::PoxExperiment exp(cfg);
-      exp.run_to_height(args.quick ? 150 : 300,
-                        SimTime::seconds(args.quick ? 2000.0 : 4000.0));
-      pox_tps.push_back(exp.tps());
+    for (const auto algorithm : algorithms) {
+      sim::PoxTrialSpec spec;
+      spec.config.algorithm = algorithm;
+      spec.config.n_nodes = n;
+      spec.config.hash_rates = sim::uniform_power(n, spec.config.h0);
+      spec.config.beta = 8;
+      spec.config.expected_interval_s = interval;
+      spec.config.txs_per_block = batch;
+      spec.config.seed = args.seed;
+      spec.target_height = args.quick ? 150 : 300;
+      spec.max_sim_time = SimTime::seconds(args.quick ? 2000.0 : 4000.0);
+      spec.collect_variances = false;  // throughput-only sweep
+      points.push_back(std::move(spec));
     }
+  }
+  const auto sweep = sim::run_pox_sweep(points, args.runner());
 
+  std::vector<sim::PbftScenario> pbft_points;
+  for (const std::size_t n : scales) {
     sim::PbftScenario scenario;
     scenario.n_nodes = n;
     scenario.pbft.batch_size = batch;
     scenario.duration = SimTime::seconds(args.quick ? 120.0 : 240.0);
     scenario.seed = args.seed;
-    const auto pbft = sim::run_pbft(scenario);
+    pbft_points.push_back(scenario);
+  }
+  const auto pbft_sweep = sim::run_pbft_sweep(pbft_points, args.runner());
 
-    t.add_row({std::to_string(n), metrics::Table::num(pox_tps[0], 1),
-               metrics::Table::num(pox_tps[1], 1),
-               metrics::Table::num(pox_tps[2], 1),
-               metrics::Table::num(pbft.tps, 1),
-               metrics::Table::num(pbft.view_changes)});
+  const auto tps_of = [](const std::vector<sim::PoxTrialResult>& trials) {
+    return metrics::summarize_over(
+        trials, [](const sim::PoxTrialResult& r) { return r.tps; });
+  };
+
+  metrics::Table t({"nodes", "PoW-H", "Themis-Lite", "Themis", "PBFT",
+                    "PBFT view-changes"});
+  for (std::size_t s = 0; s < scales.size(); ++s) {
+    const auto pbft_tps = metrics::summarize_over(
+        pbft_sweep[s],
+        [](const sim::PbftTrialResult& r) { return r.result.tps; });
+    const auto pbft_vc = metrics::summarize_over(
+        pbft_sweep[s], [](const sim::PbftTrialResult& r) {
+          return static_cast<double>(r.result.view_changes);
+        });
+    t.add_row({std::to_string(scales[s]),
+               bench::cell(tps_of(sweep[3 * s + 0]), 1),
+               bench::cell(tps_of(sweep[3 * s + 1]), 1),
+               bench::cell(tps_of(sweep[3 * s + 2]), 1),
+               bench::cell(pbft_tps, 1), bench::cell(pbft_vc, 0)});
   }
   emit(t, args);
+
+  if (args.runner().trials > 1) {
+    const char* names[] = {"PoW-H", "Themis-Lite", "Themis"};
+    metrics::Table detail(
+        {"nodes", "algorithm", "trial", "seed", "TPS", "sim elapsed s"});
+    for (std::size_t s = 0; s < scales.size(); ++s) {
+      for (std::size_t a = 0; a < algorithms.size(); ++a) {
+        for (const auto& r : sweep[3 * s + a]) {
+          detail.add_row({std::to_string(scales[s]), names[a],
+                          std::to_string(r.trial), std::to_string(r.seed),
+                          metrics::Table::num(r.tps, 6),
+                          metrics::Table::num(r.elapsed_sim_s, 6)});
+        }
+      }
+    }
+    std::cout << "\nper-trial metrics (bit-identical for any --threads):\n";
+    emit(detail, args);
+  }
 
   std::cout << "\nReading: PoX TPS declines gently (propagation depth grows "
                "with n); PBFT collapses once its round time crosses the "
                "view-change timeout.\n";
+  bench::print_run_footer(args, timer);
   return 0;
 }

@@ -5,64 +5,92 @@
 // every block it produces out of the network.  PoX algorithms lose only the
 // suppressed share of mining power (slightly longer rounds); PBFT pays a full
 // view-change timeout whenever a vulnerable replica is the leader.
+//
+// With --trials N every (ratio, algorithm) point runs N independent seeds in
+// parallel; cells report mean ± 95% CI across trials.
 #include <iostream>
 
 #include "bench_util.h"
 #include "sim/experiment.h"
+#include "sim/trial_runner.h"
 
 int main(int argc, char** argv) {
   using namespace themis;
   const auto args = bench::BenchArgs::parse(argc, argv);
+  const bench::WallTimer timer;
   bench::banner("Fig. 7 — Attack scenarios: TPS vs vulnerable-node ratio",
                 "Jia et al., ICDCS 2022, Fig. 7 / §VII-D");
 
   const std::size_t n = args.quick ? 40 : 100;  // paper: 100 for all algorithms
   const std::vector<double> ratios{0.0, 0.08, 0.16, 0.24, 0.32};
+  const std::vector<core::Algorithm> algorithms = {
+      core::Algorithm::kPowH, core::Algorithm::kThemisLite,
+      core::Algorithm::kThemis};
   const std::uint32_t batch = 4096;
+  const std::uint64_t epochs = args.quick ? 4 : 6;
 
-  metrics::Table t(
-      {"R_vul %", "PoW-H", "Themis-Lite", "Themis", "PBFT", "PBFT view-changes"});
-
+  std::vector<sim::PoxTrialSpec> points;
   for (const double ratio : ratios) {
-    std::vector<double> pox_tps;
-    for (const auto algorithm :
-         {core::Algorithm::kPowH, core::Algorithm::kThemisLite,
-          core::Algorithm::kThemis}) {
-      sim::PoxConfig cfg;
-      cfg.algorithm = algorithm;
-      cfg.n_nodes = n;
-      cfg.beta = 4;  // short epochs: the retarget absorbs the suppressed
-                     // power within a couple of epochs (§VII-D: "other nodes
-                     // can still continue the consensus on schedule")
-      cfg.txs_per_block = batch;
-      cfg.vulnerable_ratio = ratio;
-      cfg.seed = args.seed;
-      sim::PoxExperiment exp(cfg);
-      const std::uint64_t epochs = args.quick ? 4 : 6;
-      exp.run_to_height(epochs * exp.delta(), SimTime::seconds(30000.0));
+    for (const auto algorithm : algorithms) {
+      sim::PoxTrialSpec spec;
+      spec.config.algorithm = algorithm;
+      spec.config.n_nodes = n;
+      spec.config.beta = 4;  // short epochs: the retarget absorbs the
+                             // suppressed power within a couple of epochs
+                             // (§VII-D: "other nodes can still continue the
+                             // consensus on schedule")
+      spec.config.txs_per_block = batch;
+      spec.config.vulnerable_ratio = ratio;
+      spec.config.seed = args.seed;
+      const std::uint64_t delta = sim::PoxExperiment::delta_for(spec.config);
+      spec.target_height = epochs * delta;
+      spec.max_sim_time = SimTime::seconds(30000.0);
       // Converged-regime TPS: the last two epochs.
-      pox_tps.push_back(exp.tps_since((epochs - 2) * exp.delta()));
+      spec.tail_from_height = (epochs - 2) * delta;
+      spec.collect_variances = false;
+      points.push_back(std::move(spec));
     }
+  }
+  const auto sweep = sim::run_pox_sweep(points, args.runner());
 
+  std::vector<sim::PbftScenario> pbft_points;
+  for (const double ratio : ratios) {
     sim::PbftScenario scenario;
     scenario.n_nodes = n;
     scenario.pbft.batch_size = batch;
     scenario.vulnerable_ratio = ratio;
     scenario.duration = SimTime::seconds(args.quick ? 150.0 : 300.0);
     scenario.seed = args.seed;
-    const auto pbft = sim::run_pbft(scenario);
+    pbft_points.push_back(scenario);
+  }
+  const auto pbft_sweep = sim::run_pbft_sweep(pbft_points, args.runner());
 
-    t.add_row({metrics::Table::num(100.0 * ratio, 0),
-               metrics::Table::num(pox_tps[0], 1),
-               metrics::Table::num(pox_tps[1], 1),
-               metrics::Table::num(pox_tps[2], 1),
-               metrics::Table::num(pbft.tps, 1),
-               metrics::Table::num(pbft.view_changes)});
+  const auto tail_tps = [](const std::vector<sim::PoxTrialResult>& trials) {
+    return metrics::summarize_over(
+        trials, [](const sim::PoxTrialResult& r) { return r.tail_tps; });
+  };
+
+  metrics::Table t(
+      {"R_vul %", "PoW-H", "Themis-Lite", "Themis", "PBFT", "PBFT view-changes"});
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    const auto pbft_tps = metrics::summarize_over(
+        pbft_sweep[i],
+        [](const sim::PbftTrialResult& r) { return r.result.tps; });
+    const auto pbft_vc = metrics::summarize_over(
+        pbft_sweep[i], [](const sim::PbftTrialResult& r) {
+          return static_cast<double>(r.result.view_changes);
+        });
+    t.add_row({metrics::Table::num(100.0 * ratios[i], 0),
+               bench::cell(tail_tps(sweep[3 * i + 0]), 1),
+               bench::cell(tail_tps(sweep[3 * i + 1]), 1),
+               bench::cell(tail_tps(sweep[3 * i + 2]), 1),
+               bench::cell(pbft_tps, 1), bench::cell(pbft_vc, 0)});
   }
   emit(t, args);
 
   std::cout << "\nReading: the three PoX algorithms hold a near-stable TPS "
                "(other miners continue the round); PBFT's TPS falls steeply "
                "as timeouts pile up.\n";
+  bench::print_run_footer(args, timer);
   return 0;
 }

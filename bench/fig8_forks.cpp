@@ -1,10 +1,14 @@
 // Fig. 8 — Fork duration (lower is better): longest fork duration and average
-// fork rate across 6 runs under identical difficulty and block-interval
+// fork rate across several runs under identical difficulty and block-interval
 // settings, for PoW-H, Themis-Lite and Themis.
 //
 // Paper values: fork rate 4.36 % (PoW-H) / 5.33 % (Themis) / 5.61 % (Lite);
 // PoW-H converges within 1-2 blocks, Themis/Lite within 2-3.  (PBFT has no
 // forks and is excluded, as in the paper.)
+//
+// Runs are independent trials on the parallel trial runner (default 6, 3
+// with --quick; override with --trials); per-trial seeds follow the
+// trial_seed contract, so results are thread-count invariant.
 //
 // --ablation additionally reruns Themis with the m_i >= 1 floor and the
 // D_base retarget disabled (design-choice ablations from DESIGN.md).
@@ -12,106 +16,111 @@
 #include <iostream>
 
 #include "bench_util.h"
-#include "common/stats.h"
 #include "sim/experiment.h"
+#include "sim/trial_runner.h"
 
 namespace {
 
 using namespace themis;
 
-struct ForkSummary {
-  double mean_stale_rate = 0;
-  double mean_forked_fraction = 0;
-  std::uint64_t longest_duration = 0;
-  double mean_duration = 0;
-};
-
-ForkSummary measure(core::Algorithm algorithm, std::size_t n,
-                    std::uint64_t epochs, int runs, std::uint64_t seed,
-                    bool floor_on = true, bool retarget_on = true) {
-  ForkSummary summary;
-  RunningStats stale, forked, duration;
-  for (int run = 0; run < runs; ++run) {
-    sim::PoxConfig cfg;
-    cfg.algorithm = algorithm;
-    cfg.n_nodes = n;
-    cfg.beta = 8;
-    cfg.txs_per_block = 0;
-    cfg.seed = seed + static_cast<std::uint64_t>(run) * 1000;
-    cfg.enforce_multiple_floor = floor_on;
-    cfg.enable_retarget = retarget_on;
-    sim::PoxExperiment exp(cfg);
-    const std::uint64_t blocks = epochs * exp.delta();
-    exp.run_to_height(blocks);
-    // Measure the converged regime (the last half of the run): the paper
-    // compares the algorithms "under the same block-producing difficulty and
-    // block interval settings", which for Themis means after the multiples
-    // and the retarget settle back to the I_0 interval.
-    const auto stats =
-        exp.fork_stats(/*from_height=*/(epochs - 2) * exp.delta());
-    stale.add(stats.stale_rate);
-    forked.add(stats.forked_height_fraction);
-    duration.add(stats.mean_fork_duration);
-    summary.longest_duration =
-        std::max(summary.longest_duration, stats.longest_fork_duration);
-  }
-  summary.mean_stale_rate = stale.mean();
-  summary.mean_forked_fraction = forked.mean();
-  summary.mean_duration = duration.mean();
-  return summary;
+sim::PoxTrialSpec spec_for(core::Algorithm algorithm, std::size_t n,
+                           std::uint64_t epochs, std::uint64_t seed,
+                           bool floor_on = true, bool retarget_on = true) {
+  sim::PoxTrialSpec spec;
+  spec.config.algorithm = algorithm;
+  spec.config.n_nodes = n;
+  spec.config.beta = 8;
+  spec.config.txs_per_block = 0;
+  spec.config.seed = seed;
+  spec.config.enforce_multiple_floor = floor_on;
+  spec.config.enable_retarget = retarget_on;
+  const std::uint64_t delta = sim::PoxExperiment::delta_for(spec.config);
+  spec.target_height = epochs * delta;
+  // Measure the converged regime (the last two epochs): the paper compares
+  // the algorithms "under the same block-producing difficulty and block
+  // interval settings", which for Themis means after the multiples and the
+  // retarget settle back to the I_0 interval.
+  spec.tail_from_height = (epochs - 2) * delta;
+  spec.collect_variances = false;
+  return spec;
 }
 
-void add_row(metrics::Table& t, const std::string& name, const ForkSummary& s) {
-  t.add_row({name, metrics::Table::num(100.0 * s.mean_stale_rate, 2),
-             metrics::Table::num(100.0 * s.mean_forked_fraction, 2),
-             metrics::Table::num(s.mean_duration, 2),
-             metrics::Table::num(s.longest_duration)});
+void add_row(metrics::Table& t, const std::string& name,
+             const std::vector<sim::PoxTrialResult>& trials) {
+  const auto over = [&](auto fn) {
+    return metrics::summarize_over(trials, fn);
+  };
+  std::uint64_t longest = 0;
+  for (const auto& r : trials) {
+    longest = std::max(longest, r.tail_forks.longest_fork_duration);
+  }
+  t.add_row({name,
+             bench::cell(over([](const sim::PoxTrialResult& r) {
+                           return 100.0 * r.tail_forks.stale_rate;
+                         }),
+                         2),
+             bench::cell(over([](const sim::PoxTrialResult& r) {
+                           return 100.0 * r.tail_forks.forked_height_fraction;
+                         }),
+                         2),
+             bench::cell(over([](const sim::PoxTrialResult& r) {
+                           return r.tail_forks.mean_fork_duration;
+                         }),
+                         2),
+             metrics::Table::num(longest)});
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  const bench::WallTimer timer;
   bool ablation = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ablation") == 0) ablation = true;
   }
-  bench::banner("Fig. 8 — fork rate and fork duration (6 runs each)",
+  bench::banner("Fig. 8 — fork rate and fork duration (multi-trial)",
                 "Jia et al., ICDCS 2022, Fig. 8 / §VII-D");
 
   const std::size_t n = args.quick ? 30 : 60;
   const std::uint64_t epochs = args.quick ? 4 : 6;
-  const int runs = args.quick ? 3 : 6;
+  const std::size_t default_trials = args.quick ? 3 : 6;
+  const auto options = args.runner(default_trials);
   std::cout << "n=" << n << "  epochs/run=" << epochs << " (delta=8n)  runs="
-            << runs << "\n";
+            << options.trials << "\n";
+
+  std::vector<sim::PoxTrialSpec> points = {
+      spec_for(core::Algorithm::kPowH, n, epochs, args.seed),
+      spec_for(core::Algorithm::kThemisLite, n, epochs, args.seed),
+      spec_for(core::Algorithm::kThemis, n, epochs, args.seed)};
+  if (ablation) {
+    points.push_back(spec_for(core::Algorithm::kThemis, n, epochs, args.seed,
+                              /*floor_on=*/false));
+    points.push_back(spec_for(core::Algorithm::kThemis, n, epochs, args.seed,
+                              /*floor_on=*/true, /*retarget_on=*/false));
+  }
+  const auto sweep = sim::run_pox_sweep(points, options);
 
   metrics::Table t({"algorithm", "fork rate % (stale)", "forked heights %",
                     "mean fork duration", "longest fork duration"});
-  add_row(t, "PoW-H",
-          measure(core::Algorithm::kPowH, n, epochs, runs, args.seed));
-  add_row(t, "Themis-Lite",
-          measure(core::Algorithm::kThemisLite, n, epochs, runs, args.seed));
-  add_row(t, "Themis",
-          measure(core::Algorithm::kThemis, n, epochs, runs, args.seed));
+  add_row(t, "PoW-H", sweep[0]);
+  add_row(t, "Themis-Lite", sweep[1]);
+  add_row(t, "Themis", sweep[2]);
   emit(t, args);
 
   if (ablation) {
     metrics::Table a({"Themis variant", "fork rate % (stale)",
                       "forked heights %", "mean fork duration",
                       "longest fork duration"});
-    add_row(a, "baseline",
-            measure(core::Algorithm::kThemis, n, epochs, runs, args.seed));
-    add_row(a, "no m_i floor",
-            measure(core::Algorithm::kThemis, n, epochs, runs, args.seed,
-                    /*floor_on=*/false));
-    add_row(a, "no retarget",
-            measure(core::Algorithm::kThemis, n, epochs, runs, args.seed,
-                    /*floor_on=*/true, /*retarget_on=*/false));
+    add_row(a, "baseline", sweep[2]);
+    add_row(a, "no m_i floor", sweep[3]);
+    add_row(a, "no retarget", sweep[4]);
     std::cout << "\nDesign-choice ablations:\n";
     emit(a, args);
   }
 
   std::cout << "\nPaper values: PoW-H 4.36% (1-2 blocks), Themis 5.33% and "
                "Themis-Lite 5.61% (2-3 blocks).\n";
+  bench::print_run_footer(args, timer, default_trials);
   return 0;
 }

@@ -4,15 +4,20 @@
 // Paper shape: U-curve — small beta makes q_i/delta too noisy an estimate;
 // large beta lets high-power nodes overshoot within the counting window.
 // Recommended deployment range: beta in [7, 11].
+//
+// Each beta averages several independent trials (default 3, 2 with --quick;
+// override with --trials), all fanned across --threads workers.
 #include <iostream>
 
 #include "bench_util.h"
 #include "common/stats.h"
 #include "sim/experiment.h"
+#include "sim/trial_runner.h"
 
 int main(int argc, char** argv) {
   using namespace themis;
   const auto args = bench::BenchArgs::parse(argc, argv);
+  const bench::WallTimer timer;
   bench::banner("Fig. 9 — stable sigma_f^2 vs beta (delta = beta*n)",
                 "Jia et al., ICDCS 2022, Fig. 9 / §VII-D");
 
@@ -29,40 +34,46 @@ int main(int argc, char** argv) {
   // have already produced many blocks in the counting epoch").
   const std::uint64_t target_height =
       static_cast<std::uint64_t>(6 * 16.0 * n);
-  const int seeds = args.quick ? 2 : 3;
+  const std::size_t default_trials = args.quick ? 2 : 3;
+  const auto options = args.runner(default_trials);
 
   std::cout << "n=" << n << "  common height=" << target_height
-            << "  seeds averaged=" << seeds << "\n";
+            << "  seeds averaged=" << options.trials << "\n";
+
+  std::vector<sim::PoxTrialSpec> points;
+  for (const double beta : betas) {
+    sim::PoxTrialSpec spec;
+    spec.config.algorithm = core::Algorithm::kThemis;
+    spec.config.n_nodes = n;
+    spec.config.beta = beta;
+    spec.config.txs_per_block = 0;
+    spec.config.seed = args.seed;
+    spec.target_height = target_height;
+    points.push_back(std::move(spec));
+  }
+  const auto sweep = sim::run_pox_sweep(points, options);
 
   metrics::Table t({"beta", "delta", "epochs", "stable sigma_f^2"});
-  for (const double beta : betas) {
+  for (std::size_t b = 0; b < betas.size(); ++b) {
+    // Stable value: average sigma_f^2 of each trial's last 5 full epochs,
+    // pooled across trials (matches the historical per-seed accumulation).
     RunningStats stable;
-    std::uint64_t delta = 0;
-    std::size_t epoch_count = 0;
-    for (int s = 0; s < seeds; ++s) {
-      sim::PoxConfig cfg;
-      cfg.algorithm = core::Algorithm::kThemis;
-      cfg.n_nodes = n;
-      cfg.beta = beta;
-      cfg.txs_per_block = 0;
-      cfg.seed = args.seed + static_cast<std::uint64_t>(s) * 7919;
-      sim::PoxExperiment exp(cfg);
-      exp.run_to_height(target_height);
-      const auto series = exp.per_epoch_frequency_variance();
-      delta = exp.delta();
-      epoch_count = series.size();
+    for (const auto& trial : sweep[b]) {
+      const auto& series = trial.frequency_variance;
       const std::size_t k = std::min<std::size_t>(5, series.size());
       for (std::size_t i = series.size() - k; i < series.size(); ++i) {
         stable.add(series[i]);
       }
     }
-    t.add_row({metrics::Table::num(beta, 0), std::to_string(delta),
-               std::to_string(epoch_count),
+    const auto& first = sweep[b].front();
+    t.add_row({metrics::Table::num(betas[b], 0), std::to_string(first.delta),
+               std::to_string(first.frequency_variance.size()),
                metrics::Table::num(stable.mean(), 7)});
   }
   emit(t, args);
 
   std::cout << "\nPaper's recommendation: deploy with beta in [7, 11] (the "
                "bottom of the U).\n";
+  bench::print_run_footer(args, timer, default_trials);
   return 0;
 }

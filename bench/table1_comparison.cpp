@@ -6,12 +6,16 @@
 //   Unpredictability — converged sigma_p^2 (one-hot = fully predictable)
 //   Scalability      — TPS retention from n=10 to n=400
 // Marks: O = meets the goal, ^ = meets it with caveats, X = does not.
+//
+// With --trials N every measurement point runs N independent seeds in
+// parallel and the marks are derived from the cross-trial means.
 #include <iostream>
 
 #include "bench_util.h"
 #include "metrics/equality.h"
 #include "sim/experiment.h"
 #include "sim/power_dist.h"
+#include "sim/trial_runner.h"
 
 namespace {
 
@@ -38,69 +42,103 @@ std::string mark(double value, double good, double poor, bool lower_is_better) {
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  const bench::WallTimer timer;
   bench::banner("Table I — comparison of consensus algorithms",
                 "Jia et al., ICDCS 2022, Table I");
 
   const std::size_t n = args.quick ? 30 : 60;
   const std::uint64_t epochs = args.quick ? 4 : 8;
+  const auto options = args.runner();
 
-  auto measure_pox = [&](core::Algorithm algorithm) {
-    Scores s;
-    sim::PoxConfig cfg;
-    cfg.algorithm = algorithm;
-    cfg.n_nodes = n;
-    cfg.beta = 8;
-    cfg.txs_per_block = 0;
-    cfg.seed = args.seed;
-    sim::PoxExperiment exp(cfg);
-    exp.run_to_height(epochs * exp.delta());
-    s.equality = exp.per_epoch_frequency_variance().back();
-    s.unpredictability = exp.per_epoch_probability_variance().back();
-
-    // Scalability: TPS retention between 10 and 400 uniform nodes.
-    double tps_small = 0, tps_large = 0;
+  // Three points per PoX algorithm — the variance scenario plus the two
+  // scalability scales — all fanned out in a single sweep.
+  const auto points_for = [&](core::Algorithm algorithm) {
+    std::vector<sim::PoxTrialSpec> points;
+    sim::PoxTrialSpec main_spec;
+    main_spec.config.algorithm = algorithm;
+    main_spec.config.n_nodes = n;
+    main_spec.config.beta = 8;
+    main_spec.config.txs_per_block = 0;
+    main_spec.config.seed = args.seed;
+    main_spec.target_height =
+        epochs * sim::PoxExperiment::delta_for(main_spec.config);
+    points.push_back(std::move(main_spec));
     for (const std::size_t scale : {std::size_t{10}, std::size_t{400}}) {
-      sim::PoxConfig c2;
-      c2.algorithm = algorithm;
-      c2.n_nodes = scale;
-      c2.hash_rates = sim::uniform_power(scale, c2.h0);
-      c2.beta = 8;
-      c2.txs_per_block = 4096;
-      c2.seed = args.seed;
-      sim::PoxExperiment e2(c2);
-      e2.run_to_height(args.quick ? 80 : 150);
-      (scale == 10 ? tps_small : tps_large) = e2.tps();
+      sim::PoxTrialSpec spec;
+      spec.config.algorithm = algorithm;
+      spec.config.n_nodes = scale;
+      spec.config.hash_rates = sim::uniform_power(scale, spec.config.h0);
+      spec.config.beta = 8;
+      spec.config.txs_per_block = 4096;
+      spec.config.seed = args.seed;
+      spec.target_height = args.quick ? 80 : 150;
+      spec.collect_variances = false;
+      points.push_back(std::move(spec));
     }
-    s.tps_retention = tps_large / tps_small;
-    return s;
+    return points;
   };
 
-  const Scores themis = measure_pox(core::Algorithm::kThemis);
-  const Scores powh = measure_pox(core::Algorithm::kPowH);
+  std::vector<sim::PoxTrialSpec> points = points_for(core::Algorithm::kThemis);
+  {
+    auto powh = points_for(core::Algorithm::kPowH);
+    points.insert(points.end(), std::make_move_iterator(powh.begin()),
+                  std::make_move_iterator(powh.end()));
+  }
+  const auto sweep = sim::run_pox_sweep(points, options);
+
+  // Point layout: [0..2] Themis (main, n=10, n=400), [3..5] PoW-H.
+  const auto scores_at = [&](std::size_t base) {
+    Scores s;
+    s.equality = metrics::summarize_over(
+                     sweep[base],
+                     [](const sim::PoxTrialResult& r) {
+                       return r.frequency_variance.back();
+                     })
+                     .mean;
+    s.unpredictability = metrics::summarize_over(
+                             sweep[base],
+                             [](const sim::PoxTrialResult& r) {
+                               return r.probability_variance.back();
+                             })
+                             .mean;
+    const auto tps_mean = [&](std::size_t point) {
+      return metrics::summarize_over(
+                 sweep[point],
+                 [](const sim::PoxTrialResult& r) { return r.tps; })
+          .mean;
+    };
+    s.tps_retention = tps_mean(base + 2) / tps_mean(base + 1);
+    return s;
+  };
+  const Scores themis = scores_at(0);
+  const Scores powh = scores_at(3);
 
   // PBFT: equality from rotation, predictability one-hot, scalability from
   // the same two scales.
   Scores pbft;
   pbft.unpredictability = metrics::pbft_probability_variance(n);
+  pbft.equality = 0.0;  // strict rotation
   {
-    double tps_small = 0, tps_large = 0;
-    std::uint64_t committed_small = 1;
+    std::vector<sim::PbftScenario> pbft_points;
     for (const std::size_t scale : {std::size_t{10}, std::size_t{400}}) {
       sim::PbftScenario scenario;
       scenario.n_nodes = scale;
       scenario.pbft.batch_size = 4096;
       scenario.duration = SimTime::seconds(args.quick ? 90.0 : 180.0);
       scenario.seed = args.seed;
-      const auto r = sim::run_pbft(scenario);
-      (scale == 10 ? tps_small : tps_large) = r.tps;
-      if (scale == 10) committed_small = std::max<std::uint64_t>(1, r.committed_blocks);
+      pbft_points.push_back(scenario);
     }
-    pbft.tps_retention = tps_small > 0 ? tps_large / tps_small : 0.0;
-    (void)committed_small;
-    pbft.equality = 0.0;  // strict rotation
+    const auto pbft_sweep = sim::run_pbft_sweep(pbft_points, options);
+    const auto tps_mean = [&](std::size_t point) {
+      return metrics::summarize_over(
+                 pbft_sweep[point],
+                 [](const sim::PbftTrialResult& r) { return r.result.tps; })
+          .mean;
+    };
+    const double tps_small = tps_mean(0);
+    pbft.tps_retention = tps_small > 0 ? tps_mean(1) / tps_small : 0.0;
   }
 
-  const double rr_floor = 1e-6;  // "as equal as round-robin" threshold
   metrics::Table t({"algorithm", "Equality", "Unpredictability", "Scalability",
                     "sigma_f^2", "sigma_p^2", "TPS retention"});
   auto row = [&](const std::string& name, const Scores& s) {
@@ -112,12 +150,12 @@ int main(int argc, char** argv) {
                metrics::Table::num(s.tps_retention, 2)});
   };
   row("PoW-H", powh);
-  row("PBFT", {pbft.equality, pbft.unpredictability, pbft.tps_retention});
+  row("PBFT", pbft);
   row("Themis", themis);
-  (void)rr_floor;
   emit(t, args);
 
   std::cout << "\nPaper's Table I: PoW ^/^/O, PBFT O/X/X, Themis O/O/O.\n"
                "(O = meets the goal, ^ = needs improvement, X = does not.)\n";
+  bench::print_run_footer(args, timer);
   return 0;
 }

@@ -25,7 +25,10 @@ class RealMiner {
  public:
   /// Grind `header.nonce` until sha256d(header) < target_for_difficulty(
   /// header.difficulty), trying at most `max_attempts` nonces starting from
-  /// `start_nonce`.  Returns the solved header, or nullopt on exhaustion.
+  /// `start_nonce`.  The search never wraps past the end of the nonce
+  /// space: it stops after `max_attempts` nonces or at nonce 2^64-1,
+  /// whichever comes first.  Returns the solved header, or nullopt on
+  /// exhaustion.
   static std::optional<ledger::BlockHeader> mine(ledger::BlockHeader header,
                                                  std::uint64_t start_nonce,
                                                  std::uint64_t max_attempts);

@@ -56,7 +56,12 @@ const Block& Block::genesis() {
     // A recognizable, shared constant committed in prev and merkle_root.
     h.prev = crypto::sha256(bytes_of("Themis consortium genesis"));
     h.merkle_root = crypto::merkle_root({});
-    return Block(h, crypto::Signature{}, {});
+    Block b(h, crypto::Signature{}, {});
+    // Prime the lazy id cache while still inside the (thread-safe) static
+    // initializer: genesis() is shared by every concurrently-running trial,
+    // and a lazy first id() would race on the mutable cache fields.
+    (void)b.id();
+    return b;
   }();
   return g;
 }

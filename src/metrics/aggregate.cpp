@@ -1,0 +1,65 @@
+#include "metrics/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/table.h"
+
+namespace themis::metrics {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.min = s.max = xs.front();
+  double sum = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n > 1) {
+    double sq = 0.0;
+    for (const double x : xs) sq += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
+    s.ci95 = t_critical_975(s.n) * s.stddev /
+             std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+double t_critical_975(std::size_t n) {
+  // t_{0.975, df} for df = 1..30; beyond that the normal 1.96 is within 2%.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (n < 2) return 0.0;
+  const std::size_t df = n - 1;
+  if (df <= 30) return kTable[df - 1];
+  return 1.96;
+}
+
+std::string format_mean_ci(const Summary& summary, int precision) {
+  if (summary.n <= 1) return Table::num(summary.mean, precision);
+  return Table::num(summary.mean, precision) + " ± " +
+         Table::num(summary.ci95, precision);
+}
+
+std::vector<Summary> summarize_series(
+    const std::vector<std::vector<double>>& series) {
+  if (series.empty()) return {};
+  std::size_t rows = series.front().size();
+  for (const auto& s : series) rows = std::min(rows, s.size());
+  std::vector<Summary> out;
+  out.reserve(rows);
+  std::vector<double> column(series.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t t = 0; t < series.size(); ++t) column[t] = series[t][r];
+    out.push_back(summarize(column));
+  }
+  return out;
+}
+
+}  // namespace themis::metrics

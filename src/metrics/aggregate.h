@@ -1,0 +1,54 @@
+// Cross-trial aggregation for Monte-Carlo sweeps.
+//
+// The figure drivers report mean / stddev / 95% confidence intervals over
+// many independent seeds per sweep point instead of single-seed point
+// estimates (the reporting style of the parallel-chain and Bobtail
+// low-variance-mining studies).  Summary carries sample statistics (stddev
+// divides by n-1); the CI half-width uses Student-t critical values so small
+// trial counts are not over-confident.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace themis::metrics {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample stddev (n-1); 0 when n <= 1
+  double ci95 = 0.0;    ///< 95% CI half-width: t_{0.975,n-1} * stddev / sqrt(n)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Sample statistics of `xs`; all-zero Summary for an empty span.
+Summary summarize(std::span<const double> xs);
+
+/// Student-t two-sided 95% critical value (t_{0.975, n-1}) for a sample of
+/// size n; exact table up to 30 degrees of freedom, 1.96 asymptote beyond.
+double t_critical_975(std::size_t n);
+
+/// "123.4 ± 5.6" when n > 1 (mean and CI half-width), else just "123.4" —
+/// so single-trial runs print exactly what they always printed.
+std::string format_mean_ci(const Summary& summary, int precision = 4);
+
+/// Summarize a scalar projected out of each element:
+///   summarize_over(trials, [](const auto& t) { return t.tps; })
+template <typename T, typename Fn>
+Summary summarize_over(const std::vector<T>& items, Fn&& fn) {
+  std::vector<double> xs;
+  xs.reserve(items.size());
+  for (const auto& item : items) xs.push_back(fn(item));
+  return summarize(xs);
+}
+
+/// Column-wise summaries across several per-epoch series (one per trial).
+/// Row r aggregates series[t][r] over all trials t; rows are truncated to
+/// the shortest series.
+std::vector<Summary> summarize_series(
+    const std::vector<std::vector<double>>& series);
+
+}  // namespace themis::metrics

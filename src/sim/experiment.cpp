@@ -15,6 +15,13 @@ using consensus::PowNode;
 using core::Algorithm;
 using ledger::NodeId;
 
+std::uint64_t PoxExperiment::delta_for(const PoxConfig& config) {
+  expects(config.beta > 0, "beta must be positive");
+  const auto delta = static_cast<std::uint64_t>(
+      std::llround(config.beta * static_cast<double>(config.n_nodes)));
+  return std::max<std::uint64_t>(delta, 1);
+}
+
 PoxExperiment::PoxExperiment(PoxConfig config) : config_(std::move(config)) {
   expects(config_.n_nodes >= 2, "need at least two nodes");
   expects(config_.algorithm != Algorithm::kPbft,
@@ -23,9 +30,7 @@ PoxExperiment::PoxExperiment(PoxConfig config) : config_(std::move(config)) {
   expects(config_.vulnerable_ratio >= 0.0 && config_.vulnerable_ratio <= 1.0,
           "vulnerable ratio must lie in [0, 1]");
 
-  delta_ = static_cast<std::uint64_t>(
-      std::llround(config_.beta * static_cast<double>(config_.n_nodes)));
-  delta_ = std::max<std::uint64_t>(delta_, 1);
+  delta_ = delta_for(config_);
 
   hash_rates_ = config_.hash_rates.empty()
                     ? btc_jan2022_power(config_.n_nodes, config_.h0)

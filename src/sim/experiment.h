@@ -52,6 +52,11 @@ class PoxExperiment {
  public:
   explicit PoxExperiment(PoxConfig config);
 
+  /// The epoch length Δ = round(β·n) this config will run with (what the
+  /// constructor computes) — lets sweep drivers size height budgets without
+  /// building the experiment first.
+  static std::uint64_t delta_for(const PoxConfig& config);
+
   /// Run until the reference node's main chain reaches `height` (or the
   /// simulated-time cap is hit).  May be called repeatedly to extend a run.
   void run_to_height(std::uint64_t height,

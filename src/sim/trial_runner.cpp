@@ -1,0 +1,103 @@
+#include "sim/trial_runner.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace themis::sim {
+
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial_index) {
+  if (trial_index == 0) return base_seed;
+  // splitmix64 over a state derived from (base, index).  The golden-ratio
+  // stride keeps neighbouring trial indices far apart in state space; the
+  // mix makes the outputs independent streams for xoshiro seeding.
+  std::uint64_t state = base_seed ^ (trial_index * 0x9e3779b97f4a7c15ull);
+  return splitmix64(state);
+}
+
+namespace {
+
+PoxTrialResult run_one_pox_trial(const PoxTrialSpec& spec, std::size_t point,
+                                 std::size_t trial) {
+  PoxTrialResult r;
+  r.point = point;
+  r.trial = trial;
+  r.seed = trial_seed(spec.config.seed, trial);
+
+  PoxConfig config = spec.config;
+  config.seed = r.seed;
+  PoxExperiment exp(config);
+  exp.run_to_height(spec.target_height, spec.max_sim_time);
+
+  r.delta = exp.delta();
+  r.tps = exp.tps();
+  r.elapsed_sim_s = exp.elapsed().to_seconds();
+  r.forks = exp.fork_stats();
+  if (spec.tail_from_height > 0) {
+    r.tail_tps = exp.tps_since(spec.tail_from_height);
+    r.tail_forks = exp.fork_stats(spec.tail_from_height);
+  } else {
+    r.tail_tps = r.tps;
+    r.tail_forks = r.forks;
+  }
+  if (spec.collect_variances) {
+    r.frequency_variance = exp.per_epoch_frequency_variance();
+    r.probability_variance = exp.per_epoch_probability_variance();
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<std::vector<PoxTrialResult>> run_pox_sweep(
+    std::span<const PoxTrialSpec> points, const TrialRunnerOptions& options) {
+  expects(options.trials > 0, "need at least one trial");
+  for (const PoxTrialSpec& spec : points) {
+    expects(spec.target_height > 0, "every sweep point needs a target height");
+  }
+  std::vector<std::vector<PoxTrialResult>> results(points.size());
+  for (auto& per_point : results) per_point.resize(options.trials);
+
+  const std::size_t total = points.size() * options.trials;
+  parallel_for_index(options.resolved_threads(), total, [&](std::size_t flat) {
+    const std::size_t point = flat / options.trials;
+    const std::size_t trial = flat % options.trials;
+    results[point][trial] = run_one_pox_trial(points[point], point, trial);
+  });
+  return results;
+}
+
+std::vector<PoxTrialResult> run_pox_trials(const PoxTrialSpec& spec,
+                                           const TrialRunnerOptions& options) {
+  auto grouped = run_pox_sweep(std::span(&spec, 1), options);
+  return std::move(grouped.front());
+}
+
+std::vector<std::vector<PbftTrialResult>> run_pbft_sweep(
+    std::span<const PbftScenario> points, const TrialRunnerOptions& options) {
+  expects(options.trials > 0, "need at least one trial");
+  std::vector<std::vector<PbftTrialResult>> results(points.size());
+  for (auto& per_point : results) per_point.resize(options.trials);
+
+  const std::size_t total = points.size() * options.trials;
+  parallel_for_index(options.resolved_threads(), total, [&](std::size_t flat) {
+    const std::size_t point = flat / options.trials;
+    const std::size_t trial = flat % options.trials;
+    PbftTrialResult r;
+    r.point = point;
+    r.trial = trial;
+    r.seed = trial_seed(points[point].seed, trial);
+    PbftScenario scenario = points[point];
+    scenario.seed = r.seed;
+    r.result = run_pbft(scenario);
+    results[point][trial] = std::move(r);
+  });
+  return results;
+}
+
+std::vector<PbftTrialResult> run_pbft_trials(const PbftScenario& scenario,
+                                             const TrialRunnerOptions& options) {
+  auto grouped = run_pbft_sweep(std::span(&scenario, 1), options);
+  return std::move(grouped.front());
+}
+
+}  // namespace themis::sim

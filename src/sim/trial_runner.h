@@ -1,0 +1,112 @@
+// Parallel multi-trial experiment runner — the fan-out layer every figure
+// driver sits on.
+//
+// Deterministic-seeding contract
+// ------------------------------
+// Trial t of a sweep point whose config carries base seed S runs with seed
+// trial_seed(S, t):
+//
+//   * trial_seed(S, 0) == S, so a single-trial run reproduces the historical
+//     single-seed experiments bit for bit;
+//   * for t > 0 the seed is splitmix64-mixed from (S, t), giving an
+//     independent stream per trial.
+//
+// Each trial constructs its own PoxExperiment (its own net::Simulation,
+// GossipNetwork and Rng streams — verified free of shared mutable state), so
+// per-trial results are bit-identical regardless of thread count or
+// scheduling order; --threads only changes wall-clock time.  Results are
+// returned indexed by (point, trial), never by completion order.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/parallel.h"
+#include "metrics/fork_stats.h"
+#include "sim/experiment.h"
+
+namespace themis::sim {
+
+/// Seed for trial `trial_index` of a sweep point with base seed `base_seed`
+/// (see the contract above).
+std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial_index);
+
+struct TrialRunnerOptions {
+  std::size_t trials = 1;
+  std::size_t threads = 1;  ///< 0 = one per hardware thread
+
+  std::size_t resolved_threads() const {
+    return threads == 0 ? hardware_thread_count() : threads;
+  }
+};
+
+/// One sweep point: a config plus the run budget and which derived metrics
+/// to collect.  `config.seed` is the point's base seed.
+struct PoxTrialSpec {
+  PoxConfig config;
+  std::uint64_t target_height = 0;
+  SimTime max_sim_time = SimTime::seconds(1e7);
+  /// Measure tail_tps / tail_forks from this height (0 = whole run).
+  std::uint64_t tail_from_height = 0;
+  /// Collect per-epoch sigma_f^2 / sigma_p^2 series (skip for pure
+  /// throughput sweeps: the sigma_p^2 reconstruction walks every epoch
+  /// boundary's difficulty table).
+  bool collect_variances = true;
+};
+
+struct PoxTrialResult {
+  std::size_t point = 0;  ///< index into the sweep's spec vector
+  std::size_t trial = 0;  ///< trial index within the point
+  std::uint64_t seed = 0; ///< derived seed the trial actually ran with
+  std::uint64_t delta = 0;
+  std::vector<double> frequency_variance;    ///< per full epoch (Eq. 1)
+  std::vector<double> probability_variance;  ///< per full epoch (Eq. 2)
+  double tps = 0.0;
+  double tail_tps = 0.0;           ///< tps_since(tail_from_height)
+  metrics::ForkStats forks;        ///< whole run (from height 1)
+  metrics::ForkStats tail_forks;   ///< from tail_from_height
+  double elapsed_sim_s = 0.0;
+};
+
+/// Fan the full (point x trial) cross product over `options.threads`
+/// threads.  result[p][t] is trial t of points[p].
+std::vector<std::vector<PoxTrialResult>> run_pox_sweep(
+    std::span<const PoxTrialSpec> points, const TrialRunnerOptions& options);
+
+/// Single-point convenience: all trials of one spec.
+std::vector<PoxTrialResult> run_pox_trials(const PoxTrialSpec& spec,
+                                           const TrialRunnerOptions& options);
+
+struct PbftTrialResult {
+  std::size_t point = 0;
+  std::size_t trial = 0;
+  std::uint64_t seed = 0;
+  PbftResult result;
+};
+
+/// PBFT analogue of run_pox_sweep; scenario.seed is the point's base seed.
+std::vector<std::vector<PbftTrialResult>> run_pbft_sweep(
+    std::span<const PbftScenario> points, const TrialRunnerOptions& options);
+
+std::vector<PbftTrialResult> run_pbft_trials(const PbftScenario& scenario,
+                                             const TrialRunnerOptions& options);
+
+/// Generic runner for custom experiment shapes (e.g. the selfish-mining
+/// ablation): runs fn(trial_index, derived_seed) for every trial and returns
+/// the results in trial order.  Fn must be callable concurrently from
+/// several threads (capture only state it owns or reads immutably).
+template <typename Fn>
+auto run_trials(std::uint64_t base_seed, const TrialRunnerOptions& options,
+                Fn&& fn)
+    -> std::vector<decltype(fn(std::size_t{}, std::uint64_t{}))> {
+  using Result = decltype(fn(std::size_t{}, std::uint64_t{}));
+  std::vector<Result> out(options.trials);
+  parallel_for_index(options.resolved_threads(), options.trials,
+                     [&](std::size_t t) {
+                       out[t] = fn(t, trial_seed(base_seed, t));
+                     });
+  return out;
+}
+
+}  // namespace themis::sim

@@ -55,6 +55,49 @@ TEST(RealMiner, MinedHeaderPreservesFields) {
   EXPECT_EQ(mined->difficulty, 4.0);
 }
 
+TEST(RealMiner, ZeroAttemptsAlwaysExhausts) {
+  EXPECT_FALSE(RealMiner::mine(header_at_difficulty(1.0), 0, 0).has_value());
+  EXPECT_FALSE(
+      RealMiner::mine(header_at_difficulty(1.0), UINT64_MAX, 0).has_value());
+}
+
+TEST(RealMiner, SearchStopsAtTheEndOfTheNonceSpace) {
+  // Regression: the loop used to wrap past 2^64-1 back to nonce 0 and
+  // re-search low nonces outside the documented
+  // [start_nonce, start_nonce + max_attempts) window.  At this difficulty a
+  // low nonce solves the puzzle, so the old wrapping search "succeeded" from
+  // a start near the top of the nonce space — the clamped search must
+  // exhaust instead.
+  const ledger::BlockHeader h = header_at_difficulty(5000.0);
+  const auto low = RealMiner::mine(h, 0, 1'000'000);
+  ASSERT_TRUE(low.has_value());
+  ASSERT_LT(low->nonce, 1'000'000u - 4u);
+
+  // The four top-of-space nonces do not solve (checked explicitly, so the
+  // assertion below really exercises the wraparound path).
+  ASSERT_FALSE(RealMiner::mine(h, UINT64_MAX - 3, 4).has_value());
+
+  const auto wrapped = RealMiner::mine(h, UINT64_MAX - 3, 1'000'000);
+  EXPECT_FALSE(wrapped.has_value());
+}
+
+TEST(RealMiner, ExhaustingTheTailTerminatesEvenWithHugeMaxAttempts) {
+  // With max_attempts ~ 2^64 the unclamped loop would grind forever; the
+  // clamp bounds it to the 10 nonces that actually remain above the start.
+  const auto mined = RealMiner::mine(header_at_difficulty(1e12),
+                                     UINT64_MAX - 9, UINT64_MAX);
+  EXPECT_FALSE(mined.has_value());
+}
+
+TEST(RealMiner, SolutionInsideTheTailWindowIsStillFound) {
+  // Difficulty 1: every nonce satisfies the target, including near the top
+  // of the nonce space.
+  const auto mined = RealMiner::mine(header_at_difficulty(1.0),
+                                     UINT64_MAX - 1, 1'000);
+  ASSERT_TRUE(mined.has_value());
+  EXPECT_EQ(mined->nonce, UINT64_MAX - 1);
+}
+
 TEST(SimMiner, BlockRateIsPowerOverDifficulty) {
   EXPECT_DOUBLE_EQ(SimMiner::block_rate(100.0, 50.0), 2.0);
   EXPECT_DOUBLE_EQ(SimMiner::block_rate(1.0, 1.0), 1.0);

@@ -1,0 +1,146 @@
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+
+namespace themis {
+namespace {
+
+TEST(TaskPool, RunsEveryTaskBeforeShutdown) {
+  std::atomic<int> counter{0};
+  {
+    TaskPool pool(4);
+    for (int i = 0; i < 200; ++i) {
+      pool.submit([&] { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor is a graceful shutdown: all 200 must run.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(TaskPool, SingleThreadedPoolRunsTasksInSubmissionOrder) {
+  std::vector<int> order;
+  TaskPool pool(1);
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&order, i] { order.push_back(i); });
+  }
+  pool.wait_idle();  // synchronizes-with the worker: `order` is safe to read
+  std::vector<int> expected(50);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(TaskPool, WaitIdleRethrowsFirstTaskException) {
+  TaskPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed; the pool stays usable.
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(TaskPool, WaitIdleOnEmptyPoolReturnsImmediately) {
+  TaskPool pool(2);
+  pool.wait_idle();
+  SUCCEED();
+}
+
+TEST(TaskPool, BoundedQueueAppliesBackpressureWithoutLosingTasks) {
+  // Capacity far below the submission count: submit() must block instead of
+  // growing the queue, and every task must still run exactly once.
+  std::atomic<int> counter{0};
+  {
+    TaskPool pool(2, /*queue_capacity=*/4);
+    for (int i = 0; i < 500; ++i) {
+      pool.submit([&] {
+        counter.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(TaskPool, RejectsEmptyTask) {
+  TaskPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), PreconditionError);
+}
+
+TEST(TaskPool, ClampsThreadCountToAtLeastOne) {
+  TaskPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> counter{0};
+  pool.submit([&] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ParallelForIndex, CoversEveryIndexExactlyOnce) {
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for_index(8, n, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForIndex, SingleThreadRunsInOrder) {
+  std::vector<std::size_t> order;
+  parallel_for_index(1, 20, [&](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> expected(20);
+  std::iota(expected.begin(), expected.end(), std::size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelForIndex, ZeroItemsIsANoop) {
+  parallel_for_index(4, 0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelForIndex, PropagatesTheFirstException) {
+  EXPECT_THROW(
+      parallel_for_index(4, 100,
+                         [](std::size_t i) {
+                           if (i == 7) throw std::runtime_error("item 7");
+                         }),
+      std::runtime_error);
+}
+
+TEST(ParallelForIndex, StopsSchedulingNewItemsAfterAFailure) {
+  // After the throw, remaining unstarted items are skipped — the count of
+  // executed items must stay well below the total.
+  std::atomic<int> executed{0};
+  try {
+    parallel_for_index(2, 1'000'000, [&](std::size_t) {
+      if (executed.fetch_add(1) == 10) throw std::runtime_error("stop");
+      std::this_thread::sleep_for(std::chrono::microseconds(1));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_LT(executed.load(), 1'000'000);
+}
+
+TEST(ParallelForEach, MutatesEveryItem) {
+  std::vector<int> items(257, 1);
+  parallel_for_each(4, items, [](int& x) { x += 1; });
+  for (const int x : items) EXPECT_EQ(x, 2);
+}
+
+TEST(HardwareThreadCount, IsAtLeastOne) {
+  EXPECT_GE(hardware_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace themis

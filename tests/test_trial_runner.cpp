@@ -1,0 +1,178 @@
+// The trial runner's determinism contract: per-trial results are a pure
+// function of (base seed, trial index) — never of thread count or schedule.
+#include "sim/trial_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+
+namespace themis::sim {
+namespace {
+
+PoxTrialSpec small_pox_spec(std::uint64_t seed = 42) {
+  PoxTrialSpec spec;
+  spec.config.algorithm = core::Algorithm::kThemis;
+  spec.config.n_nodes = 10;
+  spec.config.beta = 2;  // delta = 20
+  // Explicit heterogeneous rates: the Fig. 3 default needs n > 19 pools.
+  spec.config.hash_rates = {1800, 1440, 1410, 1310, 1050,
+                            1000, 490,  250,  200,  180};
+  spec.config.txs_per_block = 256;
+  spec.config.seed = seed;
+  const std::uint64_t delta = PoxExperiment::delta_for(spec.config);
+  spec.target_height = 2 * delta;
+  spec.tail_from_height = delta;
+  return spec;
+}
+
+TEST(TrialSeed, TrialZeroIsTheBaseSeed) {
+  EXPECT_EQ(trial_seed(1, 0), 1u);
+  EXPECT_EQ(trial_seed(0xdeadbeef, 0), 0xdeadbeefu);
+}
+
+TEST(TrialSeed, DerivedSeedsAreDeterministicAndDistinct) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t t = 0; t < 64; ++t) {
+    const std::uint64_t s = trial_seed(7, t);
+    EXPECT_EQ(s, trial_seed(7, t));  // pure function
+    EXPECT_TRUE(seen.insert(s).second) << "collision at trial " << t;
+  }
+  // Different base seeds give different streams.
+  EXPECT_NE(trial_seed(7, 3), trial_seed(8, 3));
+}
+
+TEST(TrialRunnerOptions, ResolvesHardwareThreads) {
+  TrialRunnerOptions options;
+  options.threads = 0;
+  EXPECT_GE(options.resolved_threads(), 1u);
+  options.threads = 3;
+  EXPECT_EQ(options.resolved_threads(), 3u);
+}
+
+void expect_identical(const PoxTrialResult& a, const PoxTrialResult& b) {
+  EXPECT_EQ(a.point, b.point);
+  EXPECT_EQ(a.trial, b.trial);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.delta, b.delta);
+  // Bit-identical, not approximately equal: the whole point of the seeding
+  // contract is that thread count cannot perturb a single bit.
+  EXPECT_EQ(a.frequency_variance, b.frequency_variance);
+  EXPECT_EQ(a.probability_variance, b.probability_variance);
+  EXPECT_EQ(a.tps, b.tps);
+  EXPECT_EQ(a.tail_tps, b.tail_tps);
+  EXPECT_EQ(a.elapsed_sim_s, b.elapsed_sim_s);
+  EXPECT_EQ(a.forks.total_blocks, b.forks.total_blocks);
+  EXPECT_EQ(a.forks.stale_blocks, b.forks.stale_blocks);
+  EXPECT_EQ(a.forks.stale_rate, b.forks.stale_rate);
+  EXPECT_EQ(a.tail_forks.longest_fork_duration,
+            b.tail_forks.longest_fork_duration);
+}
+
+TEST(TrialRunner, PoxResultsAreThreadCountInvariant) {
+  const PoxTrialSpec spec = small_pox_spec();
+  TrialRunnerOptions serial;
+  serial.trials = 3;
+  serial.threads = 1;
+  TrialRunnerOptions wide = serial;
+  wide.threads = 8;
+
+  const auto a = run_pox_trials(spec, serial);
+  const auto b = run_pox_trials(spec, wide);
+  ASSERT_EQ(a.size(), 3u);
+  ASSERT_EQ(b.size(), 3u);
+  for (std::size_t t = 0; t < a.size(); ++t) expect_identical(a[t], b[t]);
+
+  // Trials with different seeds must actually differ (no accidental reuse).
+  EXPECT_NE(a[0].seed, a[1].seed);
+  EXPECT_NE(a[0].tps, a[1].tps);
+}
+
+TEST(TrialRunner, TrialZeroReproducesADirectSingleSeedRun) {
+  const PoxTrialSpec spec = small_pox_spec(/*seed=*/123);
+  TrialRunnerOptions options;
+  options.trials = 1;
+  options.threads = 4;
+  const auto trials = run_pox_trials(spec, options);
+  ASSERT_EQ(trials.size(), 1u);
+  EXPECT_EQ(trials[0].seed, 123u);
+
+  PoxExperiment exp(spec.config);  // config.seed == 123 untouched
+  exp.run_to_height(spec.target_height, spec.max_sim_time);
+  EXPECT_EQ(trials[0].tps, exp.tps());
+  EXPECT_EQ(trials[0].frequency_variance, exp.per_epoch_frequency_variance());
+  EXPECT_EQ(trials[0].elapsed_sim_s, exp.elapsed().to_seconds());
+}
+
+TEST(TrialRunner, SweepIndexesResultsByPointAndTrial) {
+  const std::vector<PoxTrialSpec> points = {small_pox_spec(1),
+                                            small_pox_spec(2)};
+  TrialRunnerOptions options;
+  options.trials = 2;
+  options.threads = 4;
+  const auto sweep = run_pox_sweep(points, options);
+  ASSERT_EQ(sweep.size(), 2u);
+  for (std::size_t p = 0; p < sweep.size(); ++p) {
+    ASSERT_EQ(sweep[p].size(), 2u);
+    for (std::size_t t = 0; t < sweep[p].size(); ++t) {
+      EXPECT_EQ(sweep[p][t].point, p);
+      EXPECT_EQ(sweep[p][t].trial, t);
+      EXPECT_EQ(sweep[p][t].seed, trial_seed(points[p].config.seed, t));
+    }
+  }
+}
+
+TEST(TrialRunner, PbftResultsAreThreadCountInvariant) {
+  PbftScenario scenario;
+  scenario.n_nodes = 4;
+  scenario.pbft.batch_size = 16;
+  scenario.duration = SimTime::seconds(20.0);
+  scenario.seed = 9;
+
+  TrialRunnerOptions serial;
+  serial.trials = 2;
+  serial.threads = 1;
+  TrialRunnerOptions wide = serial;
+  wide.threads = 8;
+
+  const auto a = run_pbft_trials(scenario, serial);
+  const auto b = run_pbft_trials(scenario, wide);
+  ASSERT_EQ(a.size(), 2u);
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a[t].seed, b[t].seed);
+    EXPECT_EQ(a[t].result.tps, b[t].result.tps);
+    EXPECT_EQ(a[t].result.committed_blocks, b[t].result.committed_blocks);
+    EXPECT_EQ(a[t].result.view_changes, b[t].result.view_changes);
+    EXPECT_EQ(a[t].result.producers, b[t].result.producers);
+  }
+}
+
+TEST(TrialRunner, GenericRunTrialsReturnsResultsInTrialOrder) {
+  TrialRunnerOptions options;
+  options.trials = 16;
+  options.threads = 8;
+  const auto results = run_trials(
+      5, options, [](std::size_t trial, std::uint64_t seed) {
+        return std::pair<std::size_t, std::uint64_t>{trial, seed};
+      });
+  ASSERT_EQ(results.size(), 16u);
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    EXPECT_EQ(results[t].first, t);
+    EXPECT_EQ(results[t].second, trial_seed(5, t));
+  }
+}
+
+TEST(TrialRunner, RejectsZeroTrialsAndMissingHeight) {
+  TrialRunnerOptions no_trials;
+  no_trials.trials = 0;
+  EXPECT_THROW(run_pox_trials(small_pox_spec(), no_trials), PreconditionError);
+
+  PoxTrialSpec no_height = small_pox_spec();
+  no_height.target_height = 0;
+  TrialRunnerOptions options;
+  EXPECT_THROW(run_pox_trials(no_height, options), PreconditionError);
+}
+
+}  // namespace
+}  // namespace themis::sim
