@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "consensus/forkchoice.h"
+#include "consensus/head_tracker.h"
 #include "core/adaptive_difficulty.h"
 #include "core/geost.h"
 #include "net/simulation.h"
@@ -57,6 +58,89 @@ void BM_GeostWalkFromGenesis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GeostWalkFromGenesis)->Arg(1000)->Arg(5000);
+
+/// Pre-built arrival stream for the amortized benchmarks: the same chain
+/// shape as build_tree (a stale sibling every 50 heights), in receipt order,
+/// with every block id already computed.  Building blocks — allocation plus
+/// double-SHA256 of the header — costs ~1 µs each and would otherwise drown
+/// the consensus-maintenance cost the benchmark is after.
+std::vector<ledger::BlockPtr> make_arrival_stream(std::uint64_t length,
+                                                  std::size_t n_nodes) {
+  std::vector<ledger::BlockPtr> stream;
+  stream.reserve(length + length / 50);
+  Rng rng(7);
+  ledger::BlockPtr parent =
+      std::make_shared<const ledger::Block>(ledger::Block::genesis());
+  std::uint64_t nonce = 0;
+  for (std::uint64_t h = 1; h <= length; ++h) {
+    auto make = [&](ledger::NodeId producer) {
+      ledger::BlockHeader hd;
+      hd.height = h;
+      hd.prev = parent->id();
+      hd.producer = producer;
+      hd.nonce = ++nonce;
+      hd.timestamp_nanos = static_cast<std::int64_t>(h) * 1'000'000'000;
+      auto b = std::make_shared<const ledger::Block>(
+          hd, crypto::Signature{}, std::vector<ledger::Transaction>{});
+      b->id();  // prime the lazy hash outside the timed region
+      return b;
+    };
+    auto main_block = make(static_cast<ledger::NodeId>(rng.next_below(n_nodes)));
+    stream.push_back(main_block);
+    if (h % 50 == 0) {  // stale sibling
+      stream.push_back(make(static_cast<ledger::NodeId>(rng.next_below(n_nodes))));
+    }
+    parent = std::move(main_block);
+  }
+  return stream;
+}
+
+/// The realistic per-arrival access pattern (what PowNode does on every
+/// gossip delivery): insert one block, update the cached head/anchor via
+/// HeadTracker, and let the aggregate floor trail the finalized anchor.
+/// Amortized cost per block is what bounds simulated consensus throughput.
+template <typename Rule>
+void insert_update_head_loop(benchmark::State& state, const Rule& rule,
+                             std::uint64_t length, std::size_t n_nodes) {
+  constexpr std::uint64_t kFinalityDepth = 64;
+  const std::vector<ledger::BlockPtr> stream =
+      make_arrival_stream(length, n_nodes);
+  for (auto _ : state) {
+    // Tree construction/destruction (~5k map-node frees) is not part of the
+    // per-arrival cost this benchmark tracks; keep it off the clock.
+    state.PauseTiming();
+    auto tree = std::make_unique<ledger::BlockTree>();
+    consensus::HeadTracker tracker;
+    tracker.reset(*tree, rule, tree->genesis_hash(), kFinalityDepth);
+    state.ResumeTiming();
+    for (const ledger::BlockPtr& block : stream) {
+      tree->insert(block);
+      tracker.on_insert(*tree, rule, block->id(), block->header().prev,
+                        /*batch_is_leaf=*/true);
+      tree->set_aggregate_floor(tracker.anchor_height());
+    }
+    benchmark::DoNotOptimize(tracker.head());
+    state.PauseTiming();
+    tree.reset();
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(stream.size()));
+}
+
+void BM_GhostInsertUpdateHead(benchmark::State& state) {
+  consensus::GhostRule rule;
+  insert_update_head_loop(state, rule,
+                          static_cast<std::uint64_t>(state.range(0)), 100);
+}
+BENCHMARK(BM_GhostInsertUpdateHead)->Arg(1000)->Arg(5000);
+
+void BM_GeostInsertUpdateHead(benchmark::State& state) {
+  core::GeostRule rule(100);
+  insert_update_head_loop(state, rule,
+                          static_cast<std::uint64_t>(state.range(0)), 100);
+}
+BENCHMARK(BM_GeostInsertUpdateHead)->Arg(1000)->Arg(5000);
 
 void BM_SubtreeEqualityVariance(benchmark::State& state) {
   const auto tree = build_tree(200, 100);

@@ -60,4 +60,23 @@ double frequency_variance(std::span<const std::uint64_t> counts, double total) {
   return variance(freqs);
 }
 
+double frequency_variance_noalloc(std::span<const std::uint64_t> counts,
+                                  double total) {
+  if (counts.empty() || total <= 0.0) return 0.0;
+  // Mirrors variance(): 0 for N <= 1, two passes otherwise.  Recomputing
+  // fl(c / total) in the second pass yields the identical double, so the
+  // result matches the vector-materializing path bit for bit.
+  if (counts.size() <= 1) return 0.0;
+  const double n = static_cast<double>(counts.size());
+  double sum = 0.0;
+  for (std::uint64_t c : counts) sum += static_cast<double>(c) / total;
+  const double mu = sum / n;
+  double acc = 0.0;
+  for (std::uint64_t c : counts) {
+    const double d = static_cast<double>(c) / total - mu;
+    acc += d * d;
+  }
+  return acc / n;
+}
+
 }  // namespace themis

@@ -46,4 +46,12 @@ class RunningStats {
 /// Matches Eq. 1 with f_i = q_i / Δ when total = Δ.
 double frequency_variance(std::span<const std::uint64_t> counts, double total);
 
+/// Bit-identical to `frequency_variance` but without materializing the
+/// frequency vector: it performs the exact same IEEE operation sequence
+/// (divide in index order, sum, then sum of squared deviations) on the fly.
+/// Zero allocation — safe for per-block hot paths (the GEOST variance cache
+/// recomputes through this on every invalidation).
+double frequency_variance_noalloc(std::span<const std::uint64_t> counts,
+                                  double total);
+
 }  // namespace themis

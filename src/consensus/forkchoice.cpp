@@ -18,16 +18,19 @@ BlockHash ForkChoiceRule::choose_head(const BlockTree& tree,
   }
 }
 
+BlockHash ForkChoiceRule::preferred_child(const BlockTree& tree,
+                                          const BlockHash& id) const {
+  return preferred_child(tree, tree.children(id));
+}
+
+BlockHash ForkChoiceRule::preferred_child(
+    const BlockTree& tree, const std::vector<BlockHash>& kids) const {
+  expects(!kids.empty(), "preferred_child needs a non-leaf block");
+  return (kids.size() == 1) ? kids[0] : pick_child(tree, kids);
+}
+
 std::uint64_t subtree_max_height(const BlockTree& tree, const BlockHash& id) {
-  std::uint64_t best = tree.height(id);
-  std::vector<BlockHash> stack{id};
-  while (!stack.empty()) {
-    const BlockHash cur = stack.back();
-    stack.pop_back();
-    best = std::max(best, tree.height(cur));
-    for (const BlockHash& child : tree.children(cur)) stack.push_back(child);
-  }
-  return best;
+  return tree.subtree_max_height(id);
 }
 
 BlockHash LongestChainRule::pick_child(

@@ -32,6 +32,19 @@ class ForkChoiceRule {
   ledger::BlockHash choose_head(const ledger::BlockTree& tree,
                                 const ledger::BlockHash& start) const;
 
+  /// One step of the greedy walk: the preferred child of `id`, which must
+  /// have at least one child.  Exposed so incremental head maintenance
+  /// (consensus/head_tracker.h) can re-evaluate a single fork point without
+  /// re-running the whole walk.
+  ledger::BlockHash preferred_child(const ledger::BlockTree& tree,
+                                    const ledger::BlockHash& id) const;
+
+  /// Same step when the caller already holds the (non-empty) child list —
+  /// saves the hash-map lookup on the walk's hot path.
+  ledger::BlockHash preferred_child(
+      const ledger::BlockTree& tree,
+      const std::vector<ledger::BlockHash>& children) const;
+
   virtual std::string_view name() const = 0;
 
  protected:
@@ -63,7 +76,8 @@ class GhostRule final : public ForkChoiceRule {
       const std::vector<ledger::BlockHash>& children) const override;
 };
 
-/// Deepest leaf height reachable within the subtree rooted at `id`.
+/// Deepest leaf height reachable within the subtree rooted at `id`.  O(1):
+/// forwards to the tree's incrementally maintained aggregate.
 std::uint64_t subtree_max_height(const ledger::BlockTree& tree,
                                  const ledger::BlockHash& id);
 

@@ -29,8 +29,7 @@ PowNode::PowNode(net::Simulation& sim, net::GossipNetwork& network,
   if (config_.use_signatures) {
     keypair_ = crypto::Keypair::from_node_id(config_.id);
   }
-  head_ = tree_.genesis_hash();
-  anchor_ = tree_.genesis_hash();
+  tracker_.reset(tree_, *rule_, tree_.genesis_hash(), config_.finality_depth);
 }
 
 void PowNode::start() {
@@ -53,7 +52,7 @@ void PowNode::restart_mining() {
   if (!started_) return;
   if (mining_event_ != 0) sim_.cancel(mining_event_);
   const std::uint64_t generation = ++mining_generation_;
-  const double difficulty = policy_->difficulty_for(tree_, head_, config_.id);
+  const double difficulty = policy_->difficulty_for(tree_, head(), config_.id);
   const SimTime wait =
       SimMiner::sample_block_time(rng_, config_.hash_rate, difficulty);
   mining_event_ = sim_.schedule_after(
@@ -65,11 +64,11 @@ void PowNode::on_block_found(std::uint64_t generation) {
   mining_event_ = 0;
 
   ledger::BlockHeader header;
-  header.height = tree_.height(head_) + 1;
-  header.prev = head_;
+  header.height = tree_.height(head()) + 1;
+  header.prev = head();
   header.producer = config_.id;
-  header.epoch = policy_->epoch_for(tree_, head_);
-  header.difficulty = policy_->difficulty_for(tree_, head_, config_.id);
+  header.epoch = policy_->epoch_for(tree_, head());
+  header.difficulty = policy_->difficulty_for(tree_, head(), config_.id);
   header.timestamp_nanos = sim_.now().count_nanos();
   header.nonce = rng_.next_u64();
   header.tx_count = config_.txs_per_block;
@@ -147,12 +146,18 @@ void PowNode::handle_block(BlockPtr block) {
 }
 
 void PowNode::accept_block(BlockPtr block) {
+  // Everything inserted below descends from this first block, so the whole
+  // batch forms one subtree — exactly what HeadTracker::on_insert needs.
+  const BlockHash batch_root = block->id();
+  const BlockHash batch_parent = block->header().prev;
+  std::size_t batch_size = 0;
   std::vector<BlockPtr> ready{std::move(block)};
   while (!ready.empty()) {
     BlockPtr cur = std::move(ready.back());
     ready.pop_back();
     const BlockHash id = cur->id();
     tree_.insert(std::move(cur));
+    ++batch_size;
     const auto it = pending_.find(id);
     if (it != pending_.end()) {
       std::vector<BlockPtr> waiting = std::move(it->second);
@@ -167,7 +172,16 @@ void PowNode::accept_block(BlockPtr block) {
       }
     }
   }
-  update_head();
+  const HeadTracker::Update update = tracker_.on_insert(
+      tree_, *rule_, batch_root, batch_parent, /*batch_is_leaf=*/batch_size == 1);
+  if (update.reorg) ++reorgs_;
+  if (update.head_changed) {
+    // Fork-choice walks start at the anchor, so aggregate maintenance below
+    // it is wasted work — let the tree freeze that prefix.
+    tree_.set_aggregate_floor(tracker_.anchor_height());
+    restart_mining();
+    if (head_listener_) head_listener_(*this);
+  }
 }
 
 bool PowNode::validate(const Block& block) const {
@@ -188,31 +202,6 @@ bool PowNode::validate(const Block& block) const {
     return tree_.height(parent);
   };
   return ledger::validate_block(block, ctx) == ledger::BlockCheck::ok;
-}
-
-void PowNode::update_head() {
-  const BlockHash new_head = rule_->choose_head(tree_, anchor_);
-  if (new_head == head_) return;
-  // A reorg is a head change that does not extend the previous head.
-  if (!tree_.is_ancestor(head_, new_head)) ++reorgs_;
-  head_ = new_head;
-  advance_anchor();
-  restart_mining();
-  if (head_listener_) head_listener_(*this);
-}
-
-void PowNode::advance_anchor() {
-  const std::uint64_t head_height = tree_.height(head_);
-  if (head_height <= config_.finality_depth) return;
-  const std::uint64_t target = head_height - config_.finality_depth;
-  if (tree_.height(anchor_) >= target) return;
-  BlockHash cur = head_;
-  while (tree_.height(cur) > target) {
-    const auto parent = tree_.parent(cur);
-    ensures(parent.has_value(), "non-genesis block must have a parent");
-    cur = *parent;
-  }
-  anchor_ = cur;
 }
 
 }  // namespace themis::consensus

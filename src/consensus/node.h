@@ -25,6 +25,7 @@
 #include "common/rng.h"
 #include "consensus/difficulty.h"
 #include "consensus/forkchoice.h"
+#include "consensus/head_tracker.h"
 #include "consensus/miner.h"
 #include "crypto/schnorr.h"
 #include "ledger/blocktree.h"
@@ -94,9 +95,11 @@ class PowNode {
 
   // --- observers ------------------------------------------------------------
   const ledger::BlockTree& tree() const { return tree_; }
-  const ledger::BlockHash& head() const { return head_; }
-  std::vector<ledger::BlockHash> main_chain() const { return tree_.chain_to(head_); }
-  std::uint64_t head_height() const { return tree_.height(head_); }
+  const ledger::BlockHash& head() const { return tracker_.head(); }
+  /// Fork-choice start: trails the head by at most finality_depth.
+  const ledger::BlockHash& anchor() const { return tracker_.anchor(); }
+  std::vector<ledger::BlockHash> main_chain() const { return tree_.chain_to(head()); }
+  std::uint64_t head_height() const { return tree_.height(head()); }
   const NodeConfig& config() const { return config_; }
   ledger::TxPool& tx_pool() { return pool_; }
 
@@ -120,8 +123,6 @@ class PowNode {
   void accept_block(ledger::BlockPtr block);
   void handle_block(ledger::BlockPtr block);
   bool validate(const ledger::Block& block) const;
-  void update_head();
-  void advance_anchor();
   void restart_mining();
 
   net::Simulation& sim_;
@@ -135,8 +136,9 @@ class PowNode {
   Rng rng_;
   ledger::BlockTree tree_;
   ledger::TxPool pool_;
-  ledger::BlockHash head_;
-  ledger::BlockHash anchor_;  // fork-choice start; trails head_ by finality_depth
+  /// Maintains head + anchor incrementally (cached preferred path); replaces
+  /// the seed's full choose_head-from-anchor walk on every block arrival.
+  HeadTracker tracker_;
 
   // Blocks whose parent we have not validated yet, keyed by the parent id.
   std::unordered_map<ledger::BlockHash, std::vector<ledger::BlockPtr>, Hash32Hasher>

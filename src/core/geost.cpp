@@ -1,7 +1,6 @@
 #include "core/geost.h"
 
 #include "common/check.h"
-#include "common/stats.h"
 
 namespace themis::core {
 
@@ -10,12 +9,10 @@ using ledger::BlockTree;
 
 double subtree_equality_variance(const BlockTree& tree, const BlockHash& root,
                                  std::size_t n_nodes) {
-  const std::vector<std::uint64_t> counts =
-      tree.subtree_producer_counts(root, n_nodes);
-  std::uint64_t total = 0;
-  for (const std::uint64_t c : counts) total += c;
-  if (total == 0) return 0.0;
-  return frequency_variance(counts, static_cast<double>(total));
+  // The tree maintains exact per-producer counts incrementally and caches
+  // the variance double; the value is bit-identical to the historical
+  // DFS + frequency_variance computation (ledger::NaiveTreeAggregates).
+  return tree.subtree_equality_variance(root, n_nodes);
 }
 
 GeostRule::GeostRule(std::size_t n_nodes) : n_nodes_(n_nodes) {

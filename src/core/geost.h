@@ -19,6 +19,8 @@ namespace themis::core {
 /// Variance of block-producing frequency within the subtree rooted at `root`
 /// (Eq. 1 applied to the subtree): f_i = (blocks by node i in subtree) /
 /// (subtree size), variance taken over all `n_nodes` consensus nodes.
+/// Amortized O(1): served from the tree's incrementally maintained equality
+/// statistics (bit-identical to the retained DFS oracle).
 double subtree_equality_variance(const ledger::BlockTree& tree,
                                  const ledger::BlockHash& root,
                                  std::size_t n_nodes);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/stats.h"
 
 namespace themis::ledger {
 
@@ -21,10 +22,16 @@ BlockTree::BlockTree(BlockPtr genesis) {
 BlockTree::InsertResult BlockTree::insert(BlockPtr block) {
   expects(block != nullptr, "block must not be null");
   const BlockHash id = block->id();
-  if (entries_.contains(id)) return InsertResult::duplicate;
-
   const BlockHash parent_id = block->header().prev;
-  if (!entries_.contains(parent_id)) {
+
+  // One probe serves as both the duplicate check and the slot reservation;
+  // the placeholder is filled by attach() or erased on the orphan path.
+  const auto [slot, inserted] = entries_.try_emplace(id);
+  if (!inserted) return InsertResult::duplicate;
+
+  const auto parent_it = entries_.find(parent_id);
+  if (parent_it == entries_.end()) {
+    entries_.erase(slot);
     auto& waiting = orphans_[parent_id];
     const bool already_waiting =
         std::any_of(waiting.begin(), waiting.end(),
@@ -33,7 +40,8 @@ BlockTree::InsertResult BlockTree::insert(BlockPtr block) {
     return InsertResult::orphaned;
   }
 
-  attach(std::move(block));
+  attach(std::move(block), parent_it->second, slot->second);
+  if (orphans_.empty()) return InsertResult::inserted;
 
   // Pull in any orphan chains this block unblocked (breadth-first).
   std::vector<BlockHash> ready{id};
@@ -46,8 +54,10 @@ BlockTree::InsertResult BlockTree::insert(BlockPtr block) {
     orphans_.erase(it);
     for (BlockPtr& w : waiting) {
       const BlockHash wid = w->id();
-      if (!entries_.contains(wid)) {
-        attach(std::move(w));
+      Entry& wparent = entries_.at(w->header().prev);
+      const auto [wslot, winserted] = entries_.try_emplace(wid);
+      if (winserted) {
+        attach(std::move(w), wparent, wslot->second);
         ready.push_back(wid);
       }
     }
@@ -55,20 +65,40 @@ BlockTree::InsertResult BlockTree::insert(BlockPtr block) {
   return InsertResult::inserted;
 }
 
-void BlockTree::attach(BlockPtr block) {
+void BlockTree::attach(BlockPtr block, Entry& parent_entry, Entry& e) {
   const BlockHash id = block->id();
-  const BlockHash parent_id = block->header().prev;
-  Entry& parent_entry = entries_.at(parent_id);
-  ensures(block->height() == parent_entry.block->height() + 1,
+  ensures(block->height() == parent_entry.height + 1,
           "child height must be parent height + 1");
   parent_entry.children.push_back(id);
 
-  Entry e;
-  e.parent = parent_id;
+  const std::uint64_t h = block->height();
+  const NodeId producer = block->producer();
+
+  e.parent = block->header().prev;
+  e.parent_entry = &parent_entry;
   e.receipt_seq = next_receipt_seq_++;
-  max_height_ = std::max(max_height_, block->height());
+  e.height = h;
+  e.subtree_size = 1;
+  e.subtree_max_height = h;
+  max_height_ = std::max(max_height_, h);
   e.block = std::move(block);
-  entries_.emplace(id, std::move(e));
+
+  // Incremental propagation: every ancestor's subtree gained this block.
+  // Tracked equality statistics along the path absorb the producer and drop
+  // their cached variance.  The walk stops below the aggregate floor —
+  // those caches freeze and cold queries recompute against the frontier.
+  for (Entry* a = &parent_entry;
+       a != nullptr && a->height >= aggregate_floor_; a = a->parent_entry) {
+    ++a->subtree_size;
+    if (a->subtree_max_height < h) a->subtree_max_height = h;
+    if (EqualityStats* eq = a->equality; eq != nullptr) {
+      if (producer < equality_n_nodes_) {
+        ++eq->counts[producer];
+        ++eq->total;
+        eq->variance_valid = false;
+      }
+    }
+  }
 }
 
 const BlockTree::Entry& BlockTree::entry(const BlockHash& id) const {
@@ -93,7 +123,7 @@ std::optional<BlockHash> BlockTree::parent(const BlockHash& id) const {
 }
 
 std::uint64_t BlockTree::height(const BlockHash& id) const {
-  return entry(id).block->height();
+  return entry(id).height;
 }
 
 std::uint64_t BlockTree::receipt_seq(const BlockHash& id) const {
@@ -101,29 +131,138 @@ std::uint64_t BlockTree::receipt_seq(const BlockHash& id) const {
 }
 
 std::uint64_t BlockTree::subtree_size(const BlockHash& id) const {
-  std::uint64_t count = 0;
-  std::vector<const Entry*> stack{&entry(id)};
-  while (!stack.empty()) {
-    const Entry* cur = stack.back();
-    stack.pop_back();
-    ++count;
-    for (const BlockHash& child : cur->children) stack.push_back(&entry(child));
+  const Entry& e = entry(id);
+  if (e.height >= aggregate_floor_) return e.subtree_size;
+  return cold_subtree_size(e);
+}
+
+std::uint64_t BlockTree::subtree_max_height(const BlockHash& id) const {
+  const Entry& e = entry(id);
+  if (e.height >= aggregate_floor_) return e.subtree_max_height;
+  return cold_subtree_max_height(e);
+}
+
+std::uint64_t BlockTree::cold_subtree_size(const Entry& root) const {
+  std::uint64_t total = 0;
+  dfs_scratch_.clear();
+  dfs_scratch_.push_back(&root);
+  while (!dfs_scratch_.empty()) {
+    const Entry* cur = dfs_scratch_.back();
+    dfs_scratch_.pop_back();
+    ++total;
+    for (const BlockHash& child : cur->children) {
+      const Entry& c = entry(child);
+      if (c.height >= aggregate_floor_) {
+        total += c.subtree_size;  // still maintained, hence exact
+      } else {
+        dfs_scratch_.push_back(&c);
+      }
+    }
   }
-  return count;
+  return total;
+}
+
+std::uint64_t BlockTree::cold_subtree_max_height(const Entry& root) const {
+  std::uint64_t best = root.height;
+  dfs_scratch_.clear();
+  dfs_scratch_.push_back(&root);
+  while (!dfs_scratch_.empty()) {
+    const Entry* cur = dfs_scratch_.back();
+    dfs_scratch_.pop_back();
+    best = std::max(best, cur->height);
+    for (const BlockHash& child : cur->children) {
+      const Entry& c = entry(child);
+      if (c.height >= aggregate_floor_) {
+        best = std::max(best, c.subtree_max_height);
+      } else {
+        dfs_scratch_.push_back(&c);
+      }
+    }
+  }
+  return best;
+}
+
+BlockTree::EqualityStats& BlockTree::equality_stats(const Entry& e,
+                                                    const BlockHash& id,
+                                                    std::size_t n_nodes) const {
+  expects(n_nodes >= 1, "equality statistics need the consensus-set size");
+  if (equality_n_nodes_ != n_nodes) {
+    // Tracked width changed (e.g. a rule with a different consensus-set
+    // size): flush everything and re-track on demand.
+    for (const auto& [eid, ent] : entries_) ent.equality = nullptr;
+    equality_.clear();
+    equality_n_nodes_ = n_nodes;
+  }
+  if (e.equality != nullptr) return *e.equality;
+
+  // First query for this subtree: materialize exact counts with one DFS,
+  // then keep them current via the insert-time root-path walk.
+  EqualityStats& eq = equality_[id];
+  eq.counts.assign(n_nodes, 0);
+  eq.total = 0;
+  eq.variance_valid = false;
+  dfs_scratch_.clear();
+  dfs_scratch_.push_back(&e);
+  while (!dfs_scratch_.empty()) {
+    const Entry* cur = dfs_scratch_.back();
+    dfs_scratch_.pop_back();
+    const NodeId producer = cur->block->producer();
+    if (producer < n_nodes) {
+      ++eq.counts[producer];
+      ++eq.total;
+    }
+    for (const BlockHash& child : cur->children) {
+      dfs_scratch_.push_back(&entry(child));
+    }
+  }
+  e.equality = &eq;
+  return eq;
+}
+
+double BlockTree::subtree_equality_variance(const BlockHash& id,
+                                            std::size_t n_nodes) const {
+  const Entry& e = entry(id);
+  if (e.height < aggregate_floor_) {
+    // The incremental walk no longer feeds statistics frozen below the
+    // floor; recompute from scratch.  Identical integer counts feed the
+    // same arithmetic, so this stays bit-identical to the hot path.
+    subtree_producer_counts(id, n_nodes, counts_scratch_);
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts_scratch_) total += c;
+    return frequency_variance_noalloc(counts_scratch_,
+                                      static_cast<double>(total));
+  }
+  EqualityStats& eq = equality_stats(e, id, n_nodes);
+  if (!eq.variance_valid) {
+    eq.variance = frequency_variance_noalloc(eq.counts,
+                                             static_cast<double>(eq.total));
+    eq.variance_valid = true;
+  }
+  return eq.variance;
 }
 
 std::vector<std::uint64_t> BlockTree::subtree_producer_counts(
     const BlockHash& id, std::size_t n_nodes) const {
-  std::vector<std::uint64_t> counts(n_nodes, 0);
-  std::vector<const Entry*> stack{&entry(id)};
-  while (!stack.empty()) {
-    const Entry* cur = stack.back();
-    stack.pop_back();
-    const NodeId producer = cur->block->producer();
-    if (producer < n_nodes) ++counts[producer];
-    for (const BlockHash& child : cur->children) stack.push_back(&entry(child));
-  }
+  std::vector<std::uint64_t> counts;
+  subtree_producer_counts(id, n_nodes, counts);
   return counts;
+}
+
+void BlockTree::subtree_producer_counts(const BlockHash& id,
+                                        std::size_t n_nodes,
+                                        std::vector<std::uint64_t>& out) const {
+  out.assign(n_nodes, 0);
+  dfs_scratch_.clear();
+  dfs_scratch_.push_back(&entry(id));
+  while (!dfs_scratch_.empty()) {
+    const Entry* cur = dfs_scratch_.back();
+    dfs_scratch_.pop_back();
+    const NodeId producer = cur->block->producer();
+    if (producer < n_nodes) ++out[producer];
+    for (const BlockHash& child : cur->children) {
+      dfs_scratch_.push_back(&entry(child));
+    }
+  }
 }
 
 std::vector<BlockHash> BlockTree::chain_to(const BlockHash& head) const {
@@ -142,8 +281,35 @@ bool BlockTree::is_ancestor(const BlockHash& ancestor,
                             const BlockHash& descendant) const {
   const std::uint64_t target_height = height(ancestor);
   BlockHash cur = descendant;
-  while (height(cur) > target_height) cur = entry(cur).parent;
+  const Entry* e = &entry(cur);
+  while (e->height > target_height) {
+    cur = e->parent;
+    e = e->parent_entry;
+  }
   return cur == ancestor;
+}
+
+BlockHash BlockTree::lowest_common_ancestor(const BlockHash& a,
+                                            const BlockHash& b) const {
+  BlockHash ia = a;
+  BlockHash ib = b;
+  const Entry* ea = &entry(ia);
+  const Entry* eb = &entry(ib);
+  while (ea->height > eb->height) {
+    ia = ea->parent;
+    ea = ea->parent_entry;
+  }
+  while (eb->height > ea->height) {
+    ib = eb->parent;
+    eb = eb->parent_entry;
+  }
+  while (ea != eb) {
+    ia = ea->parent;
+    ea = ea->parent_entry;
+    ib = eb->parent;
+    eb = eb->parent_entry;
+  }
+  return ia;
 }
 
 std::vector<BlockHash> BlockTree::tips() const {

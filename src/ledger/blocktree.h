@@ -2,14 +2,43 @@
 //
 // Each consensus node keeps every valid block it has seen in a tree rooted at
 // the genesis block (§III: "Valid blocks will be added to the local block
-// tree").  Fork-choice rules (longest-chain, GHOST, GEOST) walk this tree;
-// GEOST additionally needs per-subtree block counts and per-producer counts,
-// which are computed on demand — forks near the tip involve only small
-// subtrees, so on-demand DFS is both simple and fast.
+// tree").  Fork-choice rules (longest-chain, GHOST, GEOST) walk this tree and
+// rank sibling subtrees by per-subtree aggregates:
+//
+//   * subtree_size        — block count (GHOST / GEOST weight),
+//   * subtree_max_height  — deepest reachable height (longest-chain),
+//   * per-producer counts — GEOST's Eq. 1 equality variance.
+//
+// These used to be recomputed by a full DFS on every query, which made every
+// block arrival cost O(subtree × n_nodes) and the simulated consensus cost
+// grow quadratically in chain length.  They are now maintained
+// *incrementally*: `insert` (including orphan adoption) propagates
+// `subtree_size` / `subtree_max_height` up the root path in O(depth), and the
+// producer-count statistics GEOST needs are materialized lazily per fork
+// candidate and then kept up to date by the same root-path walk, with the
+// Eq. 1 variance cached per entry and recomputed (allocation-free and
+// bit-identical to the original DFS arithmetic) only when the subtree
+// changed.  Aggregate queries are O(1); the retained DFS versions live in
+// ledger/naive_aggregates.h as the differential-testing oracle.
+//
+// On long chains even the O(depth) root-path walk dominates (every insert
+// touches thousands of finalized ancestors nobody will ever query again), so
+// consumers with a finality notion cap it with `set_aggregate_floor`: the
+// walk stops once it drops below the floor, keeping per-insert work
+// O(tip height − floor).  The floor is purely a performance hint — queries
+// below it stay exact, they just recompute on demand against the
+// exact-cached frontier at the floor instead of reading a cache.  PowNode
+// advances the floor with its finalized anchor (fork-choice walks never
+// start below it); trees that never set a floor keep every entry exact.
 //
 // Blocks can arrive out of order over gossip; children that arrive before
 // their parent wait in an orphan buffer and are attached recursively once the
 // parent shows up.
+//
+// Thread-safety: the equality-statistics accessors cache through `mutable`
+// members, so even `const` BlockTree methods are NOT safe for concurrent
+// calls.  Trees are per-node, per-trial objects in the simulator; the
+// parallel trial runner never shares one across threads.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +56,13 @@ class BlockTree {
   /// A tree always starts from the shared genesis block.
   BlockTree();
   explicit BlockTree(BlockPtr genesis);
+
+  /// Entries hold stable pointers into the owning maps, which survive a move
+  /// (node-based containers) but would alias the source after a copy.
+  BlockTree(BlockTree&&) = default;
+  BlockTree& operator=(BlockTree&&) = default;
+  BlockTree(const BlockTree&) = delete;
+  BlockTree& operator=(const BlockTree&) = delete;
 
   enum class InsertResult {
     inserted,   ///< attached to the tree (possibly pulling in orphans)
@@ -48,14 +84,43 @@ class BlockTree {
   /// Monotone local arrival index (0 = genesis).
   std::uint64_t receipt_seq(const BlockHash& id) const;
 
-  /// Number of blocks in the subtree rooted at `id` (inclusive).
+  /// Number of blocks in the subtree rooted at `id` (inclusive).  O(1) at or
+  /// above the aggregate floor; exact frontier-bounded recompute below it.
   std::uint64_t subtree_size(const BlockHash& id) const;
+
+  /// Deepest height reachable within the subtree rooted at `id`.  O(1) at or
+  /// above the aggregate floor; exact frontier-bounded recompute below it.
+  std::uint64_t subtree_max_height(const BlockHash& id) const;
+
+  /// Performance hint from consumers with a finality notion (monotone; never
+  /// moves down).  Incremental aggregate maintenance stops below this
+  /// height, so per-insert cost is O(tip height − floor) instead of
+  /// O(depth).  Queries below the floor remain exact but recompute on
+  /// demand.  Callers promise nothing — a fork-choice walk starting below
+  /// the floor is still correct, just slower.
+  void set_aggregate_floor(std::uint64_t height) {
+    aggregate_floor_ = std::max(aggregate_floor_, height);
+  }
+  std::uint64_t aggregate_floor() const { return aggregate_floor_; }
+
+  /// Variance of block-producing frequency within the subtree rooted at `id`
+  /// (Eq. 1 applied to the subtree over `n_nodes` producers).  Amortized
+  /// O(1): per-producer counts are materialized once per queried entry (one
+  /// DFS), updated incrementally afterwards, and the variance double is
+  /// cached until the subtree changes.  Bit-identical to the naive
+  /// DFS + frequency_variance path.  Changing `n_nodes` between calls
+  /// flushes the statistics (cheap only if not alternating).
+  double subtree_equality_variance(const BlockHash& id,
+                                   std::size_t n_nodes) const;
 
   /// Blocks produced by each of the `n_nodes` consensus nodes within the
   /// subtree rooted at `id` (inclusive).  Producers outside [0, n_nodes) —
-  /// e.g. the genesis sentinel — are not counted.
+  /// e.g. the genesis sentinel — are not counted.  O(subtree) DFS; the
+  /// overload reuses the caller's buffer to avoid per-call allocation.
   std::vector<std::uint64_t> subtree_producer_counts(const BlockHash& id,
                                                      std::size_t n_nodes) const;
+  void subtree_producer_counts(const BlockHash& id, std::size_t n_nodes,
+                               std::vector<std::uint64_t>& out) const;
 
   /// Deepest height present in the tree.
   std::uint64_t max_height() const { return max_height_; }
@@ -64,8 +129,14 @@ class BlockTree {
   std::vector<BlockHash> chain_to(const BlockHash& head) const;
 
   /// True when `ancestor` lies on the path from genesis to `descendant`
-  /// (a block is its own ancestor).
+  /// (a block is its own ancestor).  Walks parent pointers from `descendant`
+  /// down to `ancestor`'s height, so the cost is the height difference, not
+  /// the full root path.
   bool is_ancestor(const BlockHash& ancestor, const BlockHash& descendant) const;
+
+  /// Deepest block that is an ancestor of both `a` and `b` (possibly one of
+  /// them).  O(height(a) + height(b) - 2·height(lca)) parent-pointer walk.
+  BlockHash lowest_common_ancestor(const BlockHash& a, const BlockHash& b) const;
 
   /// All leaves (blocks without children).
   std::vector<BlockHash> tips() const;
@@ -74,7 +145,29 @@ class BlockTree {
   std::size_t orphan_count() const;
 
  private:
+  /// GEOST's sufficient statistics for one tracked subtree: exact integer
+  /// per-producer counts plus the cached Eq. 1 variance derived from them.
+  struct EqualityStats {
+    std::vector<std::uint64_t> counts;  ///< blocks by producer i (< n_nodes)
+    std::uint64_t total = 0;            ///< Σ counts
+    double variance = 0.0;              ///< cached Eq. 1 value
+    bool variance_valid = false;
+  };
+
+  /// Field order matters: the per-insert propagation walk touches only the
+  /// first five members of every ancestor, keeping each hop within one cache
+  /// line.
   struct Entry {
+    /// Stable across rehashes (unordered_map nodes never move); null only
+    /// for genesis.  Lets the insert propagation skip hash lookups.
+    Entry* parent_entry = nullptr;
+    /// Copied from the block so the walk and the floor check avoid a deref.
+    std::uint64_t height = 0;
+    std::uint64_t subtree_size = 1;
+    std::uint64_t subtree_max_height = 0;
+    /// Lazily materialized equality statistics (GEOST fork candidates only);
+    /// mutable so `const` variance queries can attach tracking.
+    mutable EqualityStats* equality = nullptr;
     BlockPtr block;
     BlockHash parent{};
     std::vector<BlockHash> children;
@@ -82,13 +175,34 @@ class BlockTree {
   };
 
   const Entry& entry(const BlockHash& id) const;
-  void attach(BlockPtr block);
+  /// Fill the already-reserved map slot `e` and link it under `parent_entry`.
+  void attach(BlockPtr block, Entry& parent_entry, Entry& e);
+  /// Exact aggregates for entries whose incremental caches were frozen when
+  /// the floor passed them: DFS that bottoms out at the first descendant at
+  /// or above the floor, whose cache is still exact.
+  std::uint64_t cold_subtree_size(const Entry& root) const;
+  std::uint64_t cold_subtree_max_height(const Entry& root) const;
+  /// Materialize (or fetch) equality statistics for `e`, flushing all
+  /// tracked statistics first if `n_nodes` differs from the tracked width.
+  EqualityStats& equality_stats(const Entry& e, const BlockHash& id,
+                                std::size_t n_nodes) const;
 
   std::unordered_map<BlockHash, Entry, Hash32Hasher> entries_;
   std::unordered_map<BlockHash, std::vector<BlockPtr>, Hash32Hasher> orphans_;
   BlockHash genesis_hash_{};
   std::uint64_t next_receipt_seq_ = 0;
   std::uint64_t max_height_ = 0;
+  /// See set_aggregate_floor().  0 = maintain every entry (the default).
+  std::uint64_t aggregate_floor_ = 0;
+
+  /// Tracked equality statistics, keyed by subtree root.  Values are stable
+  /// (node-based map), so entries hold raw pointers into it.
+  mutable std::unordered_map<BlockHash, EqualityStats, Hash32Hasher> equality_;
+  mutable std::size_t equality_n_nodes_ = 0;
+  /// Reusable DFS scratch for materialization / producer-count queries.
+  mutable std::vector<const Entry*> dfs_scratch_;
+  /// Reusable counts buffer for below-the-floor variance recomputes.
+  mutable std::vector<std::uint64_t> counts_scratch_;
 };
 
 }  // namespace themis::ledger

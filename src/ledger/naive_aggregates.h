@@ -1,0 +1,57 @@
+// The seed's on-demand DFS subtree aggregates, retained as a differential-
+// testing oracle.
+//
+// BlockTree now maintains subtree_size / subtree_max_height / GEOST equality
+// statistics incrementally (see blocktree.h).  These functions recompute the
+// same quantities from scratch through the public tree API only, so tests can
+// assert that the cached aggregates never drift from first principles — for
+// in-order, out-of-order (orphan-adopted), and forked insertion sequences
+// alike.  They are deliberately simple, not fast; nothing on a hot path may
+// call them.
+//
+// The buffer-taking overloads exist because the oracle also backs a few
+// retained call sites (bench walkthroughs, property tests that sweep whole
+// trees); reusing the caller's buffers keeps those sweeps free of per-call
+// allocation churn.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ledger/blocktree.h"
+
+namespace themis::ledger {
+
+struct NaiveTreeAggregates {
+  /// Number of blocks in the subtree rooted at `id` (inclusive), by DFS.
+  static std::uint64_t subtree_size(const BlockTree& tree, const BlockHash& id);
+
+  /// Deepest height reachable within the subtree rooted at `id`, by DFS.
+  static std::uint64_t subtree_max_height(const BlockTree& tree,
+                                          const BlockHash& id);
+
+  /// Blocks produced by each of the `n_nodes` consensus nodes within the
+  /// subtree rooted at `id`; producers outside [0, n_nodes) are not counted.
+  static std::vector<std::uint64_t> subtree_producer_counts(
+      const BlockTree& tree, const BlockHash& id, std::size_t n_nodes);
+  /// As above, into caller-owned buffers: `out` receives the counts,
+  /// `scratch` is the DFS stack.  Neither allocates once warm.
+  static void subtree_producer_counts(const BlockTree& tree,
+                                      const BlockHash& id, std::size_t n_nodes,
+                                      std::vector<std::uint64_t>& out,
+                                      std::vector<BlockHash>& scratch);
+
+  /// Eq. 1 equality variance of the subtree rooted at `id`, computed exactly
+  /// as the seed did: DFS producer counts, then frequency_variance.
+  static double subtree_equality_variance(const BlockTree& tree,
+                                          const BlockHash& id,
+                                          std::size_t n_nodes);
+  /// Allocation-free variant over caller-owned buffers.
+  static double subtree_equality_variance(const BlockTree& tree,
+                                          const BlockHash& id,
+                                          std::size_t n_nodes,
+                                          std::vector<std::uint64_t>& counts,
+                                          std::vector<BlockHash>& scratch);
+};
+
+}  // namespace themis::ledger

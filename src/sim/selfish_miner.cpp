@@ -29,8 +29,9 @@ SelfishMiner::SelfishMiner(net::Simulation& sim, net::GossipNetwork& network,
 
 void SelfishMiner::advance_anchor() {
   // Like PowNode: the fork-choice walk starts a fixed depth behind the head
-  // so choose_head stays O(depth) instead of O(chain).  The attacker's own
-  // branches never reach this depth (it adopts or reveals long before).
+  // so choose_head stays O(finality window) instead of O(chain), and the
+  // trees stop maintaining aggregates below it.  The attacker's own branches
+  // never reach this depth (it adopts or reveals long before).
   constexpr std::uint64_t kFinalityDepth = 64;
   const std::uint64_t head_height = public_tree_.height(public_head_);
   if (head_height <= kFinalityDepth) return;
@@ -41,6 +42,8 @@ void SelfishMiner::advance_anchor() {
     cursor = *public_tree_.parent(cursor);
   }
   anchor_ = cursor;
+  public_tree_.set_aggregate_floor(target);
+  full_tree_.set_aggregate_floor(target);
 }
 
 void SelfishMiner::start() {

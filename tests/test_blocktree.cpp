@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/stats.h"
 #include "tree_builder.h"
 
 namespace themis::ledger {
@@ -180,6 +181,129 @@ TEST(BlockTree, DuplicateOrphanNotDoubleBuffered) {
   tree.insert(child);
   tree.insert(child);
   EXPECT_EQ(tree.orphan_count(), 1u);
+}
+
+TEST(BlockTree, LowestCommonAncestor) {
+  TreeBuilder builder;
+  builder.add("a", "g", 0);
+  builder.add("a1", "a", 1);
+  builder.add("a2", "a", 2);
+  builder.add("a11", "a1", 1);
+  builder.add("b", "g", 3);
+  const auto& tree = builder.tree();
+  EXPECT_EQ(tree.lowest_common_ancestor(builder.hash("a11"), builder.hash("a2")),
+            builder.hash("a"));
+  EXPECT_EQ(tree.lowest_common_ancestor(builder.hash("a11"), builder.hash("b")),
+            tree.genesis_hash());
+  // One argument an ancestor of the other, and the degenerate self case.
+  EXPECT_EQ(tree.lowest_common_ancestor(builder.hash("a"), builder.hash("a11")),
+            builder.hash("a"));
+  EXPECT_EQ(tree.lowest_common_ancestor(builder.hash("a2"), builder.hash("a2")),
+            builder.hash("a2"));
+}
+
+TEST(BlockTree, SubtreeMaxHeight) {
+  TreeBuilder builder;
+  builder.add("a", "g", 0);
+  builder.add("a1", "a", 1);
+  builder.add("a11", "a1", 1);
+  builder.add("b", "g", 3);
+  const auto& tree = builder.tree();
+  EXPECT_EQ(tree.subtree_max_height(tree.genesis_hash()), 3u);
+  EXPECT_EQ(tree.subtree_max_height(builder.hash("a")), 3u);
+  EXPECT_EQ(tree.subtree_max_height(builder.hash("b")), 1u);
+}
+
+TEST(BlockTree, ProducerCountsOutParamMatchesAllocatingOverload) {
+  TreeBuilder builder;
+  builder.add("a", "g", 0);
+  builder.add("a1", "a", 1);
+  builder.add("a2", "a", 1);
+  const auto& tree = builder.tree();
+  std::vector<std::uint64_t> reused{99, 99};  // stale contents must be reset
+  tree.subtree_producer_counts(builder.hash("a"), 4, reused);
+  EXPECT_EQ(reused, tree.subtree_producer_counts(builder.hash("a"), 4));
+}
+
+TEST(BlockTree, OrphanAdoptionUpdatesAggregates) {
+  // c and b arrive before their parent a; the batch insert of a must leave
+  // every ancestor's aggregates as if arrival had been in order.
+  BlockTree tree;
+  const auto genesis = tree.block(tree.genesis_hash());
+  const auto a = make_block(genesis, 1, 1);
+  const auto b = make_block(a, 2, 2);
+  const auto c = make_block(b, 1, 3);
+  tree.insert(c);
+  tree.insert(b);
+  EXPECT_EQ(tree.subtree_size(tree.genesis_hash()), 1u);
+  tree.insert(a);
+  EXPECT_EQ(tree.subtree_size(tree.genesis_hash()), 4u);
+  EXPECT_EQ(tree.subtree_size(a->id()), 3u);
+  EXPECT_EQ(tree.subtree_max_height(tree.genesis_hash()), 3u);
+  EXPECT_EQ(tree.subtree_producer_counts(tree.genesis_hash(), 3),
+            (std::vector<std::uint64_t>{0, 2, 1}));
+}
+
+TEST(BlockTree, EqualityVarianceSurvivesNodeCountSwitch) {
+  TreeBuilder builder;
+  builder.add("a", "g", 0);
+  builder.add("a1", "a", 1);
+  const auto& tree = builder.tree();
+  const auto root = tree.genesis_hash();
+  const double v4 = tree.subtree_equality_variance(root, 4);
+  // Switching n_nodes flushes the cached statistics; switching back must
+  // reproduce the original value exactly.
+  const double v8 = tree.subtree_equality_variance(root, 8);
+  EXPECT_NE(v4, v8);
+  EXPECT_EQ(tree.subtree_equality_variance(root, 4), v4);
+  // Cache stays correct across further inserts after the flush.
+  builder.add("a2", "a", 1);
+  const std::vector<std::uint64_t> counts =
+      tree.subtree_producer_counts(root, 4);
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(tree.subtree_equality_variance(root, 4),
+            frequency_variance(counts, static_cast<double>(total)));
+}
+
+TEST(BlockTree, AggregateFloorIsMonotone) {
+  BlockTree tree;
+  EXPECT_EQ(tree.aggregate_floor(), 0u);
+  tree.set_aggregate_floor(5);
+  tree.set_aggregate_floor(3);  // ignored: the floor never moves down
+  EXPECT_EQ(tree.aggregate_floor(), 5u);
+  tree.set_aggregate_floor(9);
+  EXPECT_EQ(tree.aggregate_floor(), 9u);
+}
+
+TEST(BlockTree, QueriesBelowFloorStayExact) {
+  TreeBuilder builder;
+  builder.add("a", "g", 0);
+  builder.add("b", "a", 1);
+  builder.add("c", "b", 2);
+  builder.add("d", "c", 0);
+  builder.add("b2", "a", 1);  // fork below the future floor
+  auto& tree = builder.tree();
+  tree.set_aggregate_floor(3);
+  // Inserts after the floor no longer maintain sub-floor entries...
+  builder.add("e", "d", 1);
+  builder.add("c2", "b", 2);  // attaches BELOW the floor
+  // ...but queries anywhere must still see the true subtree.
+  EXPECT_EQ(tree.subtree_size(tree.genesis_hash()), 8u);
+  EXPECT_EQ(tree.subtree_size(builder.hash("a")), 7u);
+  EXPECT_EQ(tree.subtree_size(builder.hash("b")), 5u);
+  EXPECT_EQ(tree.subtree_max_height(builder.hash("b")), 5u);
+  EXPECT_EQ(tree.subtree_max_height(builder.hash("b2")), 2u);
+  // At/above the floor the hot path answers, also exactly.
+  EXPECT_EQ(tree.subtree_size(builder.hash("c")), 3u);
+  EXPECT_EQ(tree.subtree_max_height(builder.hash("c")), 5u);
+  // Producer counts and Eq. 1 variance agree across the floor boundary.
+  const auto counts = tree.subtree_producer_counts(builder.hash("a"), 3);
+  EXPECT_EQ(counts, (std::vector<std::uint64_t>{2, 3, 2}));
+  std::uint64_t total = 0;
+  for (const auto c : counts) total += c;
+  EXPECT_EQ(tree.subtree_equality_variance(builder.hash("a"), 3),
+            frequency_variance(counts, static_cast<double>(total)));
 }
 
 }  // namespace

@@ -83,5 +83,37 @@ TEST(Stats, FrequencyVarianceEmptyInputs) {
   EXPECT_EQ(frequency_variance(counts, 0.0), 0.0);
 }
 
+// The no-allocation variant backs the blocktree's incremental GEOST cache; a
+// single ULP of drift there would let the cached fork choice diverge from the
+// oracle, so equality below is exact (EXPECT_EQ on doubles), not EXPECT_NEAR.
+TEST(Stats, FrequencyVarianceNoallocBitIdenticalOnRandomCounts) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.next_below(64);
+    std::vector<std::uint64_t> counts(n);
+    std::uint64_t total = 0;
+    for (auto& c : counts) {
+      c = rng.next_below(1000);
+      total += c;
+    }
+    const double t = static_cast<double>(total);
+    EXPECT_EQ(frequency_variance_noalloc(counts, t),
+              frequency_variance(counts, t));
+  }
+}
+
+TEST(Stats, FrequencyVarianceNoallocEdgeCases) {
+  EXPECT_EQ(frequency_variance_noalloc({}, 10.0), 0.0);
+  const std::vector<std::uint64_t> single{7};
+  EXPECT_EQ(frequency_variance_noalloc(single, 7.0),
+            frequency_variance(single, 7.0));
+  const std::vector<std::uint64_t> zeros(16, 0);
+  EXPECT_EQ(frequency_variance_noalloc(zeros, 0.0),
+            frequency_variance(zeros, 0.0));
+  const std::vector<std::uint64_t> skewed{1000000, 0, 0, 1};
+  EXPECT_EQ(frequency_variance_noalloc(skewed, 1000001.0),
+            frequency_variance(skewed, 1000001.0));
+}
+
 }  // namespace
 }  // namespace themis

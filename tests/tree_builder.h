@@ -22,6 +22,19 @@ class TreeBuilder {
   ledger::BlockPtr add(const std::string& name, const std::string& parent_name,
                        ledger::NodeId producer, double difficulty = 1.0,
                        std::int64_t timestamp_nanos = -1) {
+    auto block = make(name, parent_name, producer, difficulty, timestamp_nanos);
+    const auto result = tree_.insert(block);
+    expects(result == ledger::BlockTree::InsertResult::inserted,
+            "test block failed to insert");
+    return block;
+  }
+
+  /// Build a block named `name` WITHOUT inserting it, so tests can replay
+  /// arbitrary (out-of-order, orphaning) arrival sequences via insert().
+  /// The parent only needs to be built, not inserted.
+  ledger::BlockPtr make(const std::string& name, const std::string& parent_name,
+                        ledger::NodeId producer, double difficulty = 1.0,
+                        std::int64_t timestamp_nanos = -1) {
     const ledger::BlockPtr parent = get(parent_name);
     ledger::BlockHeader h;
     h.height = parent->height() + 1;
@@ -36,10 +49,13 @@ class TreeBuilder {
         h, crypto::Signature{}, std::vector<ledger::Transaction>{});
     expects(!names_.contains(name), "duplicate block name");
     names_[name] = block;
-    const auto result = tree_.insert(block);
-    expects(result == ledger::BlockTree::InsertResult::inserted,
-            "test block failed to insert");
     return block;
+  }
+
+  /// Insert a previously make()-built block (receipt order = insertion
+  /// order; the tree may buffer it as an orphan).
+  ledger::BlockTree::InsertResult insert(const std::string& name) {
+    return tree_.insert(get(name));
   }
 
   ledger::BlockPtr get(const std::string& name) const {
