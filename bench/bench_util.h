@@ -1,35 +1,106 @@
 // Shared helpers for the figure/table reproduction binaries.
 //
 // Every bench accepts:
-//   --quick         smaller n / fewer epochs (CI-friendly)
-//   --csv           emit CSV instead of an aligned table
-//   --seed=<u64>    override the experiment base seed
-//   --trials <N>    independent trials per sweep point (also --trials=<N>;
-//                   0/absent = the driver's historical default)
-//   --threads <N>   worker threads for the trial runner (also --threads=<N>;
-//                   0 = one per hardware thread, default 1)
+//   --quick           smaller n / fewer epochs (CI-friendly)
+//   --csv             emit CSV instead of an aligned table
+//   --seed=<u64>      override the experiment base seed
+//   --trials <N>      independent trials per sweep point (also --trials=<N>;
+//                     0/absent = the driver's historical default)
+//   --threads <N>     worker threads for the trial runner (also --threads=<N>;
+//                     0 = one per hardware thread, default 1)
+//   --trace=<path>    write a JSONL event trace of the base-seed run
+//   --report[=<path>] print an end-of-run counters/histograms report
+//                     (stderr without a path, so stdout stays diffable)
 // and prints the paper's rows/series for one figure or table.
+//
+// Flag parsing is centralised in ArgParser so a new flag lands in every
+// driver at once; drivers with extra switches (e.g. fig8's --ablation) reuse
+// the same parser instead of hand-rolling strcmp loops.
 //
 // Per-trial seeding follows the trial-runner contract (sim/trial_runner.h):
 // trial 0 uses the base seed itself, so default runs reproduce the
 // historical single-seed outputs; results are bit-identical for any
-// --threads value.  Data goes to stdout; the wall-clock footer goes to
-// stderr so outputs can be diffed across thread counts.
+// --threads value.  Observability rides the same contract: the bundle is
+// attached to point 0 / trial 0 only — the base-seed run — so tracing never
+// races across workers and never changes any trial's results.  Data goes to
+// stdout; the wall-clock footer, trace-file notice and (pathless) report go
+// to stderr so outputs can be diffed across thread counts and with tracing
+// on or off.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "metrics/aggregate.h"
 #include "metrics/table.h"
+#include "obs/observability.h"
+#include "obs/report.h"
 #include "sim/trial_runner.h"
 
 namespace themis::bench {
+
+/// Minimal argv scanner shared by every bench driver.  Accepts GNU-ish
+/// spellings: bare switches ("--quick"), values as "--flag=V" or "--flag V",
+/// and switches with an optional value ("--report" / "--report=path").
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv) {
+    args_.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  /// True when the bare switch `name` is present.
+  bool flag(std::string_view name) const {
+    for (std::string_view arg : args_) {
+      if (arg == name) return true;
+    }
+    return false;
+  }
+
+  /// Value of "--name=V" or "--name V"; nullopt when the flag is absent.
+  std::optional<std::string_view> value(std::string_view name) const {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      const std::string_view arg = args_[i];
+      if (arg.starts_with(name) && arg.size() > name.size() &&
+          arg[name.size()] == '=') {
+        return arg.substr(name.size() + 1);
+      }
+      if (arg == name && i + 1 < args_.size()) return args_[i + 1];
+    }
+    return std::nullopt;
+  }
+
+  /// A switch that may carry a value: "--report" yields an empty view,
+  /// "--report=path" yields "path", absence yields nullopt.  Unlike value(),
+  /// never consumes the following argument.
+  std::optional<std::string_view> flag_or_value(std::string_view name) const {
+    for (std::string_view arg : args_) {
+      if (arg == name) return std::string_view{};
+      if (arg.starts_with(name) && arg.size() > name.size() &&
+          arg[name.size()] == '=') {
+        return arg.substr(name.size() + 1);
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::uint64_t value_u64(std::string_view name, std::uint64_t fallback) const {
+    const auto v = value(name);
+    if (!v) return fallback;
+    return std::strtoull(std::string(*v).c_str(), nullptr, 10);
+  }
+
+ private:
+  std::vector<std::string_view> args_;
+};
 
 struct BenchArgs {
   bool quick = false;
@@ -37,36 +108,35 @@ struct BenchArgs {
   std::uint64_t seed = 1;
   std::size_t trials = 0;   ///< 0 = driver default
   std::size_t threads = 1;  ///< 0 = hardware thread count
+  std::string trace_path;   ///< empty = no trace
+  bool report = false;
+  std::string report_path;  ///< empty = report to stderr
+  /// Allocated when --trace/--report asked for observation; shared_ptr so
+  /// BenchArgs stays copyable (the bundle itself must not move once the
+  /// simulation caches pointers into it).
+  std::shared_ptr<obs::Observability> observability;
 
   static BenchArgs parse(int argc, char** argv) {
+    const ArgParser parser(argc, argv);
     BenchArgs args;
-    const auto value_of = [&](std::string_view arg, std::string_view flag,
-                              int& i) -> const char* {
-      // Accept both "--flag=N" and "--flag N".
-      if (arg.starts_with(flag) && arg.size() > flag.size() &&
-          arg[flag.size()] == '=') {
-        return arg.data() + flag.size() + 1;
-      }
-      if (arg == flag && i + 1 < argc) return argv[++i];
-      return nullptr;
-    };
-    for (int i = 1; i < argc; ++i) {
-      const std::string_view arg = argv[i];
-      if (arg == "--quick") {
-        args.quick = true;
-      } else if (arg == "--csv") {
-        args.csv = true;
-      } else if (const char* v = value_of(arg, "--seed", i)) {
-        args.seed = std::strtoull(v, nullptr, 10);
-      } else if (const char* v = value_of(arg, "--trials", i)) {
-        args.trials = std::strtoull(v, nullptr, 10);
-      } else if (const char* v = value_of(arg, "--threads", i)) {
-        args.threads = std::strtoull(v, nullptr, 10);
-      } else if (arg == "--help" || arg == "-h") {
-        std::cout << "flags: --quick --csv --seed=<u64> --trials <N> "
-                     "--threads <N>\n";
-        std::exit(0);
-      }
+    args.quick = parser.flag("--quick");
+    args.csv = parser.flag("--csv");
+    args.seed = parser.value_u64("--seed", args.seed);
+    args.trials = parser.value_u64("--trials", args.trials);
+    args.threads = parser.value_u64("--threads", args.threads);
+    if (const auto v = parser.value("--trace")) args.trace_path = *v;
+    if (const auto v = parser.flag_or_value("--report")) {
+      args.report = true;
+      args.report_path = *v;
+    }
+    if (parser.flag("--help") || parser.flag("-h")) {
+      std::cout << "flags: --quick --csv --seed=<u64> --trials <N> "
+                   "--threads <N> --trace=<path> --report[=<path>]\n";
+      std::exit(0);
+    }
+    if (!args.trace_path.empty() || args.report) {
+      args.observability = std::make_shared<obs::Observability>();
+      args.observability->tracer.enable(!args.trace_path.empty());
     }
     return args;
   }
@@ -81,6 +151,7 @@ struct BenchArgs {
     sim::TrialRunnerOptions options;
     options.trials = trials_or(default_trials);
     options.threads = threads;
+    options.observability = observability.get();
     return options;
   }
 };
@@ -117,14 +188,46 @@ class WallTimer {
       std::chrono::steady_clock::now();
 };
 
+/// Flush the observability outputs a driver asked for: the JSONL trace file
+/// and the end-of-run report (stderr, or the --report=<path> file).  A no-op
+/// when neither flag was given.
+inline void write_observability_outputs(const BenchArgs& args) {
+  if (!args.observability) return;
+  const obs::Observability& o = *args.observability;
+  if (!args.trace_path.empty()) {
+    if (o.tracer.write_file(args.trace_path)) {
+      std::cerr << "[bench] trace: " << args.trace_path << " ("
+                << o.tracer.size() << " events)\n";
+    } else {
+      std::cerr << "[bench] trace: FAILED to write " << args.trace_path
+                << "\n";
+    }
+  }
+  if (args.report) {
+    if (args.report_path.empty()) {
+      obs::write_report(std::cerr, o);
+    } else {
+      std::ofstream out(args.report_path);
+      if (out) {
+        obs::write_report(out, o);
+        std::cerr << "[bench] report: " << args.report_path << "\n";
+      } else {
+        std::cerr << "[bench] report: FAILED to write " << args.report_path
+                  << "\n";
+      }
+    }
+  }
+}
+
 /// Wall-clock/parallelism footer on stderr (stdout stays diffable across
-/// --threads values).
+/// --threads values), plus any requested trace/report outputs.
 inline void print_run_footer(const BenchArgs& args, const WallTimer& timer,
                              std::size_t default_trials = 1) {
   const auto options = args.runner(default_trials);
   std::cerr << "[bench] trials/point=" << options.trials
             << " threads=" << options.resolved_threads()
             << " wall=" << timer.seconds() << "s\n";
+  write_observability_outputs(args);
 }
 
 }  // namespace themis::bench

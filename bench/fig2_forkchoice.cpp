@@ -68,6 +68,7 @@ class Fig2Tree {
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
+  const bench::WallTimer timer;
   bench::banner("Fig. 2 — fork choice under selfish mining",
                 "Jia et al., ICDCS 2022, Fig. 2 / §V-B");
 
@@ -120,5 +121,6 @@ int main(int argc, char** argv) {
   std::cout << "\nPaper's reading: only the longest-chain rule is displaced by "
                "the attacker; GHOST keeps the first-received heavy subtree "
                "(4B); GEOST finalizes the most equal subtree (4C).\n";
+  bench::print_run_footer(args, timer);
   return 0;
 }

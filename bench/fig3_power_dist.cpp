@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace themis;
   const auto args = bench::BenchArgs::parse(argc, argv);
+  const bench::WallTimer timer;
   bench::banner("Fig. 3 — initial computing-power distribution",
                 "Jia et al., ICDCS 2022, Fig. 3 / §VII-A");
 
@@ -43,5 +44,6 @@ int main(int argc, char** argv) {
   std::cout << "sigma_p^2 of the raw distribution over 100 nodes: "
             << metrics::probability_variance_from_power(power)
             << " (the PoW-H baseline's per-round probability variance)\n";
+  bench::print_run_footer(args, timer);
   return 0;
 }

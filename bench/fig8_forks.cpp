@@ -12,7 +12,6 @@
 //
 // --ablation additionally reruns Themis with the m_i >= 1 floor and the
 // D_base retarget disabled (design-choice ablations from DESIGN.md).
-#include <cstring>
 #include <iostream>
 
 #include "bench_util.h"
@@ -75,10 +74,7 @@ void add_row(metrics::Table& t, const std::string& name,
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const bench::WallTimer timer;
-  bool ablation = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--ablation") == 0) ablation = true;
-  }
+  const bool ablation = bench::ArgParser(argc, argv).flag("--ablation");
   bench::banner("Fig. 8 — fork rate and fork duration (multi-trial)",
                 "Jia et al., ICDCS 2022, Fig. 8 / §VII-D");
 

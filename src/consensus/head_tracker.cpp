@@ -83,6 +83,7 @@ HeadTracker::Update HeadTracker::on_insert(const BlockTree& tree,
 
   // Reorg: the preferred subtree at the divergence point changed.  Rebuild
   // the path from there.
+  update.reorg_depth = path_.size() - (idx + 1);
   path_.erase(path_.begin() + static_cast<std::ptrdiff_t>(idx) + 1,
               path_.end());
   extend_from_back(tree, rule);

@@ -50,6 +50,9 @@ class HeadTracker {
   struct Update {
     bool head_changed = false;
     bool reorg = false;  ///< head changed and does not extend the old head
+    /// Blocks abandoned from the old preferred path (old head back to the
+    /// divergence point, exclusive).  Non-zero only when reorg is true.
+    std::uint64_t reorg_depth = 0;
   };
 
   /// (Re)start tracking: full greedy walk from `anchor`, then advance the

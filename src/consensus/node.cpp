@@ -30,6 +30,21 @@ PowNode::PowNode(net::Simulation& sim, net::GossipNetwork& network,
     keypair_ = crypto::Keypair::from_node_id(config_.id);
   }
   tracker_.reset(tree_, *rule_, tree_.genesis_hash(), config_.finality_depth);
+
+  obs_ = sim_.obs();
+  if (obs_ != nullptr) {
+    prof_mine_ = &obs_->profiler.scope("consensus.mine_block");
+    prof_accept_ = &obs_->profiler.scope("consensus.accept_block");
+    prof_update_head_ = &obs_->profiler.scope("consensus.update_head");
+    reorg_depths_ = &obs_->counters.histogram("consensus.reorg_depth");
+  }
+}
+
+/// Dedup key for trace records: the first 8 bytes of the block id in hex —
+/// short enough to keep traces compact, long enough to be unique within any
+/// plausible run.
+static std::string short_hex(const ledger::BlockHash& id) {
+  return to_hex(ByteSpan(id.data(), 8));
 }
 
 void PowNode::start() {
@@ -62,6 +77,7 @@ void PowNode::restart_mining() {
 void PowNode::on_block_found(std::uint64_t generation) {
   if (generation != mining_generation_) return;  // stale draw
   mining_event_ = 0;
+  obs::ProfileScope profile(prof_mine_);
 
   ledger::BlockHeader header;
   header.height = tree_.height(head()) + 1;
@@ -92,6 +108,17 @@ void PowNode::on_block_found(std::uint64_t generation) {
 
   auto block = std::make_shared<const Block>(header, signature, std::move(txs));
   ++blocks_produced_;
+
+  if (obs_ != nullptr && obs_->tracer.enabled()) {
+    obs_->tracer.emit(
+        sim_.now(), "block_mined",
+        {obs::Field::u64("node", config_.id),
+         obs::Field::str("hash", short_hex(block->id())),
+         obs::Field::u64("height", header.height),
+         obs::Field::u64("epoch", header.epoch),
+         obs::Field::f64("diff", header.difficulty),
+         obs::Field::boolean("suppressed", suppressed_)});
+  }
 
   if (suppressed_) {
     // §VII-A vulnerable node: elected producer, but the attack keeps its
@@ -127,6 +154,14 @@ void PowNode::handle_block(BlockPtr block) {
   const BlockHash id = block->id();
   if (tree_.contains(id)) return;
 
+  if (obs_ != nullptr && obs_->tracer.enabled()) {
+    obs_->tracer.emit(sim_.now(), "block_received",
+                      {obs::Field::u64("node", config_.id),
+                       obs::Field::str("hash", short_hex(id)),
+                       obs::Field::u64("height", block->header().height),
+                       obs::Field::u64("producer", block->header().producer)});
+  }
+
   if (!tree_.contains(block->header().prev)) {
     // Parent unknown: buffer; validation happens once the parent arrives so
     // the difficulty check can see the full parent chain.
@@ -146,6 +181,7 @@ void PowNode::handle_block(BlockPtr block) {
 }
 
 void PowNode::accept_block(BlockPtr block) {
+  obs::ProfileScope profile(prof_accept_);
   // Everything inserted below descends from this first block, so the whole
   // batch forms one subtree — exactly what HeadTracker::on_insert needs.
   const BlockHash batch_root = block->id();
@@ -172,10 +208,33 @@ void PowNode::accept_block(BlockPtr block) {
       }
     }
   }
-  const HeadTracker::Update update = tracker_.on_insert(
-      tree_, *rule_, batch_root, batch_parent, /*batch_is_leaf=*/batch_size == 1);
-  if (update.reorg) ++reorgs_;
+  HeadTracker::Update update;
+  {
+    obs::ProfileScope update_profile(prof_update_head_);
+    update = tracker_.on_insert(tree_, *rule_, batch_root, batch_parent,
+                                /*batch_is_leaf=*/batch_size == 1);
+  }
+  if (update.reorg) {
+    ++reorgs_;
+    if (obs_ != nullptr) {
+      reorg_depths_->record(static_cast<double>(update.reorg_depth));
+      if (obs_->tracer.enabled()) {
+        obs_->tracer.emit(sim_.now(), "reorg",
+                          {obs::Field::u64("node", config_.id),
+                           obs::Field::u64("depth", update.reorg_depth),
+                           obs::Field::str("new_head", short_hex(head())),
+                           obs::Field::u64("height", tracker_.head_height())});
+      }
+    }
+  }
   if (update.head_changed) {
+    if (obs_ != nullptr && obs_->tracer.enabled()) {
+      obs_->tracer.emit(sim_.now(), "block_adopted",
+                        {obs::Field::u64("node", config_.id),
+                         obs::Field::str("hash", short_hex(head())),
+                         obs::Field::u64("height", tracker_.head_height()),
+                         obs::Field::boolean("reorg", update.reorg)});
+    }
     // Fork-choice walks start at the anchor, so aggregate maintenance below
     // it is wasted work — let the tree freeze that prefix.
     tree_.set_aggregate_floor(tracker_.anchor_height());

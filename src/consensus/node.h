@@ -32,6 +32,7 @@
 #include "ledger/txpool.h"
 #include "ledger/validation.h"
 #include "net/gossip.h"
+#include "obs/observability.h"
 
 namespace themis::consensus {
 
@@ -154,6 +155,16 @@ class PowNode {
   std::uint64_t blocks_rejected_ = 0;
   std::uint64_t reorgs_ = 0;
   std::function<void(const PowNode&)> head_listener_;
+
+  // Observability (null when the simulation has no bundle attached — the
+  // default — so every hook below is one predictable branch).  The profiling
+  // stats and histogram are resolved once here; hot paths never do the
+  // string-keyed registry lookup.
+  obs::Observability* obs_ = nullptr;
+  obs::ScopeStat* prof_mine_ = nullptr;         ///< on_block_found
+  obs::ScopeStat* prof_accept_ = nullptr;       ///< accept_block (insert batch)
+  obs::ScopeStat* prof_update_head_ = nullptr;  ///< HeadTracker::on_insert
+  obs::Histogram* reorg_depths_ = nullptr;
 };
 
 }  // namespace themis::consensus

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/observability.h"
+
 namespace themis::net {
 
 GossipNetwork::GossipNetwork(Simulation& sim, LinkConfig link_config,
@@ -85,11 +87,33 @@ void GossipNetwork::send(PeerId from, PeerId to, std::uint32_t type,
 void GossipNetwork::deliver(PeerId from, PeerId to, Message msg) {
   if (drop_filter_ && drop_filter_(from, to, msg)) return;
   const SimTime arrival = links_.enqueue_send(from, sim_.now(), msg.size_bytes);
+  if (obs::Observability* o = sim_.obs()) {
+    obs::LinkStat& link = o->counters.link(from, to);
+    ++link.messages;
+    link.bytes += msg.size_bytes;
+    if (o->tracer.enabled()) {
+      o->tracer.emit(sim_.now(), "gossip_send",
+                     {obs::Field::u64("from", from), obs::Field::u64("to", to),
+                      obs::Field::u64("msg", msg.id),
+                      obs::Field::u64("type", msg.type),
+                      obs::Field::u64("bytes", msg.size_bytes)});
+    }
+  }
   sim_.schedule_at(arrival, [this, from, to, msg = std::move(msg)]() {
     ++messages_delivered_;
     if (msg.flood) {
       // Flood semantics: first receipt triggers handler + relay.
-      if (!seen_[to].insert(msg.id).second) return;
+      if (!seen_[to].insert(msg.id).second) {
+        ++duplicates_dropped_;
+        if (obs::Observability* o = sim_.obs(); o != nullptr &&
+                                                o->tracer.enabled()) {
+          o->tracer.emit(sim_.now(), "gossip_dup",
+                         {obs::Field::u64("from", from),
+                          obs::Field::u64("to", to),
+                          obs::Field::u64("msg", msg.id)});
+        }
+        return;
+      }
       if (handlers_[to]) handlers_[to](to, msg);
       relay(to, msg, from);
     } else {

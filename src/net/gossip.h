@@ -64,6 +64,18 @@ class GossipNetwork {
   const AccessLinkModel& links() const { return links_; }
 
   std::uint64_t messages_delivered() const { return messages_delivered_; }
+  /// Flood deliveries whose message the receiver had already seen (the
+  /// push-gossip redundancy cost).  Subset of messages_delivered().
+  std::uint64_t duplicates_dropped() const { return duplicates_dropped_; }
+  /// Redundant-push ratio: duplicate deliveries / all deliveries (0 before
+  /// any delivery).  ~ (mean degree - 2) / mean degree for flood gossip on a
+  /// static overlay.
+  double redundant_push_ratio() const {
+    return messages_delivered_ == 0
+               ? 0.0
+               : static_cast<double>(duplicates_dropped_) /
+                     static_cast<double>(messages_delivered_);
+  }
 
  private:
   void deliver(PeerId from, PeerId to, Message msg);
@@ -77,6 +89,7 @@ class GossipNetwork {
   std::function<bool(PeerId, PeerId, const Message&)> drop_filter_;
   std::uint64_t next_message_id_ = 1;
   std::uint64_t messages_delivered_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
 };
 
 }  // namespace themis::net

@@ -7,6 +7,7 @@ EventId Simulation::schedule_at(SimTime t, std::function<void()> fn) {
   expects(fn != nullptr, "event callback must not be null");
   const EventId id = next_id_++;
   queue_.push(Event{t, id, std::move(fn)});
+  live_.insert(id);
   return id;
 }
 
@@ -16,16 +17,17 @@ EventId Simulation::schedule_after(SimTime delay, std::function<void()> fn) {
 }
 
 bool Simulation::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // Lazy deletion: remember the id and skip it when popped.
-  return cancelled_.insert(id).second;
+  // Lazy deletion: drop the id from the live set and skip the queue entry
+  // when it surfaces.  Fired and already-cancelled ids are no longer live, so
+  // re-cancelling them is a detectable no-op.
+  return live_.erase(id) > 0;
 }
 
 bool Simulation::step() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
-    if (cancelled_.erase(ev.id) > 0) continue;
+    if (live_.erase(ev.id) == 0) continue;  // cancelled
     now_ = ev.time;
     ++events_processed_;
     ev.fn();
@@ -37,8 +39,7 @@ bool Simulation::step() {
 void Simulation::run_until(SimTime deadline) {
   while (!queue_.empty()) {
     const Event& top = queue_.top();
-    if (cancelled_.contains(top.id)) {
-      cancelled_.erase(top.id);
+    if (!live_.contains(top.id)) {
       queue_.pop();
       continue;
     }

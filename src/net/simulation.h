@@ -16,6 +16,10 @@
 #include "common/check.h"
 #include "common/sim_time.h"
 
+namespace themis::obs {
+struct Observability;
+}
+
 namespace themis::net {
 
 using EventId = std::uint64_t;
@@ -34,8 +38,8 @@ class Simulation {
   /// Schedule `fn` after a non-negative delay.
   EventId schedule_after(SimTime delay, std::function<void()> fn);
 
-  /// Cancel a pending event.  Cancelling an already-fired or unknown id is a
-  /// no-op (returns false).
+  /// Cancel a pending event.  Cancelling an already-fired, already-cancelled
+  /// or unknown id is a no-op (returns false).
   bool cancel(EventId id);
 
   /// Run the next event; returns false when the queue is empty.
@@ -49,7 +53,15 @@ class Simulation {
   void run(std::uint64_t max_events = UINT64_MAX);
 
   std::uint64_t events_processed() const { return events_processed_; }
-  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+  /// Scheduled events that have neither fired nor been cancelled.
+  std::size_t pending() const { return live_.size(); }
+
+  /// Attach (or detach, with nullptr) an observability bundle.  The
+  /// simulation core itself records nothing; components built on this
+  /// simulation discover the bundle through obs() and trace/count into it.
+  /// Attach before constructing those components — they cache the pointer.
+  void set_obs(obs::Observability* obs) { obs_ = obs; }
+  obs::Observability* obs() const { return obs_; }
 
  private:
   struct Event {
@@ -68,7 +80,12 @@ class Simulation {
   EventId next_id_ = 1;
   std::uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  /// Ids still live in the queue.  cancel() removes from here (lazy deletion:
+  /// the queue entry is skipped when popped); step() removes on fire.  An id
+  /// absent from this set has fired or been cancelled, so cancelling it again
+  /// is a detectable no-op and pending() never drifts.
+  std::unordered_set<EventId> live_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace themis::net

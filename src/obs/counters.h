@@ -1,0 +1,92 @@
+// Run-wide counter / histogram / series registry.
+//
+// One Counters instance accumulates everything a run wants to report:
+// named monotone counters (gossip deliveries, rejected blocks), value
+// histograms (reorg depths, block intervals), per-epoch series (difficulty
+// snapshots) and a per-link traffic matrix.  Registries use ordered maps so
+// reports iterate deterministically.
+//
+// Hot paths that bump a counter per event should cache the reference (or the
+// Histogram pointer) once instead of paying the string lookup every time —
+// see PowNode for the pattern.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace themis::obs {
+
+/// Exact-value histogram sized for simulation runs: keeps every sample and
+/// sorts on demand for percentiles.  (Runs record at most a few hundred
+/// thousand samples; exactness beats bucketing error here.)
+class Histogram {
+ public:
+  void record(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return values_.size(); }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Nearest-rank percentile, p in [0, 100].  0 for an empty histogram.
+  double percentile(double p) const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+  void sort_if_needed() const {
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+  }
+};
+
+/// Per-directed-link traffic accumulator.
+struct LinkStat {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Counters {
+ public:
+  /// Find-or-create; the returned reference stays valid for the registry's
+  /// lifetime (std::map nodes are stable).
+  std::uint64_t& counter(const std::string& name) { return counters_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+  /// Ordered per-epoch (or per-anything) value series.
+  std::vector<double>& series(const std::string& name) { return series_[name]; }
+  LinkStat& link(std::uint32_t from, std::uint32_t to) {
+    return links_[{from, to}];
+  }
+
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+  const std::map<std::string, std::vector<double>>& series() const {
+    return series_;
+  }
+  const std::map<std::pair<std::uint32_t, std::uint32_t>, LinkStat>& links()
+      const {
+    return links_;
+  }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::vector<double>> series_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, LinkStat> links_;
+};
+
+}  // namespace themis::obs

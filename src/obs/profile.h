@@ -1,0 +1,68 @@
+// RAII wall-clock profiling scopes.
+//
+// A ProfileScope measures real (steady_clock) time between construction and
+// destruction and accumulates it into a named ScopeStat.  Wall-clock numbers
+// are *reporting only* — they never feed back into the simulation, so traced
+// runs stay bit-identical to untraced ones; they land in the run report on
+// stderr, never on diffable stdout.
+//
+// Zero overhead when disabled: constructing a ProfileScope from a null
+// Profiler/ScopeStat skips the clock reads entirely (one branch, no timing
+// syscalls).  Hot paths resolve the ScopeStat pointer once up front (a
+// string-keyed map lookup) and construct scopes from the cached pointer.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace themis::obs {
+
+struct ScopeStat {
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+
+  double total_ms() const { return static_cast<double>(total_ns) / 1e6; }
+  double ns_per_call() const {
+    return calls == 0 ? 0.0
+                      : static_cast<double>(total_ns) / static_cast<double>(calls);
+  }
+};
+
+class Profiler {
+ public:
+  /// Find-or-create; references are stable (std::map nodes).
+  ScopeStat& scope(const std::string& name) { return scopes_[name]; }
+  const std::map<std::string, ScopeStat>& scopes() const { return scopes_; }
+
+ private:
+  std::map<std::string, ScopeStat> scopes_;
+};
+
+class ProfileScope {
+ public:
+  /// Null `stat` disables the scope (no clock reads).
+  explicit ProfileScope(ScopeStat* stat) : stat_(stat) {
+    if (stat_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ProfileScope(Profiler* profiler, const std::string& name)
+      : ProfileScope(profiler != nullptr ? &profiler->scope(name) : nullptr) {}
+
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+  ~ProfileScope() {
+    if (stat_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    ++stat_->calls;
+    stat_->total_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  }
+
+ private:
+  ScopeStat* stat_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace themis::obs

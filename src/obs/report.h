@@ -1,0 +1,16 @@
+// End-of-run report rendering for an Observability bundle.
+#pragma once
+
+#include <ostream>
+
+#include "obs/observability.h"
+
+namespace themis::obs {
+
+/// Human-readable run report: counters, histograms (count/mean/percentiles),
+/// per-epoch series, gossip link-traffic summary and wall-clock profile
+/// scopes.  Deterministic iteration order (everything is in ordered maps);
+/// only the profile section contains wall-clock (non-reproducible) numbers.
+void write_report(std::ostream& out, const Observability& obs);
+
+}  // namespace themis::obs

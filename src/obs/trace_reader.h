@@ -1,0 +1,53 @@
+// Reader for the JSONL traces EventTracer writes.
+//
+// The schema is deliberately flat — one object per line, string keys, scalar
+// values (integer, double, bool, string) — so a small hand-rolled parser
+// covers it exactly; there is no external JSON dependency in the image.
+// Unknown event kinds and extra fields pass through untouched, so the
+// analyzer stays forward-compatible with new event types.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace themis::obs {
+
+struct TraceValue {
+  enum class Kind { kInt, kDouble, kBool, kString };
+  Kind kind = Kind::kInt;
+  std::int64_t i = 0;   ///< kInt (also set, truncated, for kDouble)
+  double d = 0.0;       ///< kDouble (also set for kInt)
+  bool b = false;
+  std::string s;
+};
+
+struct TraceEvent {
+  std::int64_t t_ns = 0;
+  std::string ev;
+  /// Remaining fields in line order (t_ns and ev are lifted out).
+  std::vector<std::pair<std::string, TraceValue>> fields;
+
+  const TraceValue* field(std::string_view key) const;
+  std::int64_t int_or(std::string_view key, std::int64_t fallback) const;
+  double num_or(std::string_view key, double fallback) const;
+  std::string_view str_or(std::string_view key,
+                          std::string_view fallback) const;
+  bool bool_or(std::string_view key, bool fallback) const;
+};
+
+/// Parse one JSONL record.  Returns nullopt on malformed input.
+std::optional<TraceEvent> parse_trace_line(std::string_view line);
+
+struct ReadResult {
+  std::vector<TraceEvent> events;
+  std::size_t malformed_lines = 0;  ///< skipped (blank lines do not count)
+};
+
+ReadResult read_trace(std::istream& in);
+
+}  // namespace themis::obs

@@ -6,6 +6,7 @@
 #include "common/serialize.h"
 #include "consensus/wire.h"
 #include "crypto/sha256.h"
+#include "obs/observability.h"
 
 namespace themis::pbft {
 
@@ -183,6 +184,14 @@ void PbftReplica::finish_execution(std::uint64_t seq, std::uint32_t txs,
   committed_seq_ = seq;
   committed_txs_ += txs;
   committed_producers_[seq] = producer;
+  if (obs::Observability* o = sim_.obs();
+      o != nullptr && o->tracer.enabled()) {
+    o->tracer.emit(sim_.now(), "pbft_commit",
+                   {obs::Field::u64("node", id_), obs::Field::u64("seq", seq),
+                    obs::Field::u64("leader", producer),
+                    obs::Field::u64("txs", txs),
+                    obs::Field::u64("view", view_)});
+  }
   slots_.erase(seq);
   executing_ = false;
   consecutive_timeouts_ = 0;
@@ -240,6 +249,14 @@ void PbftReplica::handle_view_change(const ViewChange& msg) {
 
 void PbftReplica::enter_view(std::uint64_t new_view) {
   if (new_view <= view_) return;
+  if (obs::Observability* o = sim_.obs();
+      o != nullptr && o->tracer.enabled()) {
+    o->tracer.emit(sim_.now(), "pbft_view_change",
+                   {obs::Field::u64("node", id_),
+                    obs::Field::u64("old_view", view_),
+                    obs::Field::u64("view", new_view),
+                    obs::Field::u64("seq", committed_seq_ + 1)});
+  }
   view_ = new_view;
   ++view_changes_;
   // Uncommitted per-sequence state is view-local; drop it so stale quorums

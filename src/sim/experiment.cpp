@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/bytes.h"
 #include "common/check.h"
 #include "metrics/equality.h"
 #include "sim/power_dist.h"
@@ -31,6 +32,20 @@ PoxExperiment::PoxExperiment(PoxConfig config) : config_(std::move(config)) {
           "vulnerable ratio must lie in [0, 1]");
 
   delta_ = delta_for(config_);
+
+  // Attach observability before any component exists: nodes and the network
+  // cache the pointer at construction.
+  if (config_.obs != nullptr) {
+    sim_.set_obs(config_.obs);
+    config_.obs->tracer.emit(
+        sim_.now(), "run_meta",
+        {obs::Field::str("algorithm", core::to_string(config_.algorithm)),
+         obs::Field::u64("n_nodes", config_.n_nodes),
+         obs::Field::u64("delta", delta_),
+         obs::Field::u64("seed", config_.seed),
+         obs::Field::u64("fanout", config_.fanout),
+         obs::Field::f64("expected_interval_s", config_.expected_interval_s)});
+  }
 
   hash_rates_ = config_.hash_rates.empty()
                     ? btc_jan2022_power(config_.n_nodes, config_.h0)
@@ -190,9 +205,99 @@ metrics::ForkStats PoxExperiment::fork_stats(std::uint64_t from_height) const {
                                 from_height);
 }
 
+void PoxExperiment::emit_trace_summary() {
+  obs::Observability* o = config_.obs;
+  if (o == nullptr) return;
+
+  const auto chain = reference().main_chain();
+  const ledger::BlockTree& tree = reference().tree();
+
+  // Final main chain (node 0's view): one record per non-genesis block,
+  // keyed by the block's own timestamp.  This snapshot is what lets
+  // `themis-trace` recompute per-epoch sigma_f^2 exactly.
+  obs::Histogram& intervals = o->counters.histogram("chain.block_interval_s");
+  std::int64_t prev_ts = 0;
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const ledger::Block& block = *tree.block(chain[i]);
+    const std::int64_t ts = block.header().timestamp_nanos;
+    if (o->tracer.enabled()) {
+      o->tracer.emit(SimTime::nanos(ts), "chain_block",
+                     {obs::Field::u64("height", block.header().height),
+                      obs::Field::u64("producer", block.header().producer),
+                      obs::Field::u64("epoch", block.header().epoch),
+                      obs::Field::str("hash",
+                                      to_hex(ByteSpan(chain[i].data(), 8)))});
+    }
+    if (i > 1) {
+      intervals.record(static_cast<double>(ts - prev_ts) / 1e9);
+    }
+    prev_ts = ts;
+  }
+
+  // Per-epoch difficulty snapshots and retarget records (adaptive variants
+  // only — PoW-H has no observer policy here).
+  if (observer_policy_ != nullptr && !chain.empty()) {
+    std::vector<double>& base_series =
+        o->counters.series("difficulty.base_per_epoch");
+    std::vector<double>& multiple_spread =
+        o->counters.series("difficulty.max_multiple_per_epoch");
+    const std::uint64_t full_epochs = (chain.size() - 1) / delta_;
+    double prev_base = 0.0;
+    for (std::uint64_t e = 0; e <= full_epochs; ++e) {
+      const ledger::BlockHash& boundary = chain[e * delta_];
+      const auto& table = observer_policy_->table_for(tree, boundary);
+      double max_m = 1.0;
+      double sum_m = 0.0;
+      for (const double m : table.multiples) {
+        max_m = std::max(max_m, m);
+        sum_m += m;
+      }
+      const double mean_m =
+          table.multiples.empty()
+              ? 1.0
+              : sum_m / static_cast<double>(table.multiples.size());
+      base_series.push_back(table.base_difficulty);
+      multiple_spread.push_back(max_m);
+      if (e > 0 && o->tracer.enabled()) {
+        o->tracer.emit(
+            SimTime::nanos(tree.block(boundary)->header().timestamp_nanos),
+            "retarget",
+            {obs::Field::u64("epoch", e),
+             obs::Field::f64("old_base", prev_base),
+             obs::Field::f64("new_base", table.base_difficulty),
+             obs::Field::f64("mean_multiple", mean_m),
+             obs::Field::f64("max_multiple", max_m)});
+      }
+      prev_base = table.base_difficulty;
+    }
+  }
+
+  // Run-wide counters: gossip traffic and fork statistics.
+  o->counters.counter("gossip.deliveries") = network_->messages_delivered();
+  o->counters.counter("gossip.dup_drops") = network_->duplicates_dropped();
+  o->counters.counter("gossip.bytes_sent") =
+      network_->links().total_bytes_sent();
+  o->counters.counter("gossip.transfers") = network_->links().total_transfers();
+  const metrics::ForkStats forks = fork_stats();
+  o->counters.counter("forks.total_blocks") = forks.total_blocks;
+  o->counters.counter("forks.main_chain_blocks") = forks.main_chain_blocks;
+  o->counters.counter("forks.stale_blocks") = forks.stale_blocks;
+  o->counters.counter("forks.fork_runs") = forks.fork_count;
+  o->counters.counter("forks.longest_duration") = forks.longest_fork_duration;
+  o->counters.counter("sim.events_processed") = sim_.events_processed();
+}
+
 PbftResult run_pbft(const PbftScenario& scenario) {
   expects(scenario.n_nodes >= 4, "PBFT needs at least four replicas");
   net::Simulation sim;
+  if (scenario.obs != nullptr) {
+    sim.set_obs(scenario.obs);
+    scenario.obs->tracer.emit(
+        sim.now(), "run_meta",
+        {obs::Field::str("algorithm", "pbft"),
+         obs::Field::u64("n_nodes", scenario.n_nodes),
+         obs::Field::u64("seed", scenario.seed)});
+  }
   // PBFT uses direct point-to-point sends; the overlay fanout is irrelevant.
   net::GossipNetwork network(sim, scenario.link, scenario.n_nodes,
                              /*fanout=*/2, scenario.seed * 31 + 7);
@@ -219,6 +324,21 @@ PbftResult run_pbft(const PbftScenario& scenario) {
       break;
     }
     if (!sim.step()) break;
+  }
+
+  if (scenario.obs != nullptr) {
+    scenario.obs->counters.counter("gossip.deliveries") =
+        network.messages_delivered();
+    scenario.obs->counters.counter("gossip.dup_drops") =
+        network.duplicates_dropped();
+    scenario.obs->counters.counter("gossip.bytes_sent") =
+        network.links().total_bytes_sent();
+    scenario.obs->counters.counter("gossip.transfers") =
+        network.links().total_transfers();
+    scenario.obs->counters.counter("pbft.view_changes") =
+        cluster.total_view_changes();
+    scenario.obs->counters.counter("sim.events_processed") =
+        sim.events_processed();
   }
 
   PbftResult result;

@@ -16,6 +16,7 @@
 #include "metrics/fork_stats.h"
 #include "net/gossip.h"
 #include "net/simulation.h"
+#include "obs/observability.h"
 #include "pbft/cluster.h"
 
 namespace themis::sim {
@@ -46,6 +47,11 @@ struct PoxConfig {
   /// epoch 0 produce blocks far faster than the network can propagate them
   /// (see DESIGN.md).  Disable to study that bootstrap regime.
   bool calibrated_start = true;
+  /// Non-owning observability bundle for this run (attached to the
+  /// simulation before any component is built).  Null — the default — means
+  /// no tracing, no counters, no profiling; the run is bit-identical either
+  /// way.
+  obs::Observability* obs = nullptr;
 };
 
 class PoxExperiment {
@@ -97,6 +103,13 @@ class PoxExperiment {
   /// later height to measure only the converged regime).
   metrics::ForkStats fork_stats(std::uint64_t from_height = 1) const;
 
+  /// Fold the run's end state into the attached Observability bundle (no-op
+  /// without one): a `chain_block` trace record per final main-chain block, a
+  /// `retarget` record per epoch boundary (old/new D_base and the multiple
+  /// spread; Themis/Lite only), the block-interval histogram, per-epoch
+  /// D_base series, fork-stat and gossip counters.  Call once, after the run.
+  void emit_trace_summary();
+
  private:
   PoxConfig config_;
   std::uint64_t delta_;
@@ -113,6 +126,8 @@ struct PbftScenario {
   pbft::PbftConfig pbft{};  ///< n_nodes is overwritten from this struct
   net::LinkConfig link{};
   double vulnerable_ratio = 0.0;
+  /// Non-owning observability bundle (see PoxConfig::obs).
+  obs::Observability* obs = nullptr;
   SimTime duration = SimTime::seconds(600);
   /// Stop early once this many blocks commit (0 = run the full duration, and
   /// TPS is measured over the full duration either way).

@@ -17,7 +17,7 @@ std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial_index) {
 namespace {
 
 PoxTrialResult run_one_pox_trial(const PoxTrialSpec& spec, std::size_t point,
-                                 std::size_t trial) {
+                                 std::size_t trial, obs::Observability* obs) {
   PoxTrialResult r;
   r.point = point;
   r.trial = trial;
@@ -25,8 +25,10 @@ PoxTrialResult run_one_pox_trial(const PoxTrialSpec& spec, std::size_t point,
 
   PoxConfig config = spec.config;
   config.seed = r.seed;
+  config.obs = obs;
   PoxExperiment exp(config);
   exp.run_to_height(spec.target_height, spec.max_sim_time);
+  if (obs != nullptr) exp.emit_trace_summary();
 
   r.delta = exp.delta();
   r.tps = exp.tps();
@@ -57,11 +59,20 @@ std::vector<std::vector<PoxTrialResult>> run_pox_sweep(
   std::vector<std::vector<PoxTrialResult>> results(points.size());
   for (auto& per_point : results) per_point.resize(options.trials);
 
+  // Claim the observability bundle (if any) for the base-seed run before
+  // fanning out; exactly one worker ever touches it.
+  obs::Observability* traced = nullptr;
+  if (options.observability != nullptr && !options.observability->claimed) {
+    options.observability->claimed = true;
+    traced = options.observability;
+  }
+
   const std::size_t total = points.size() * options.trials;
   parallel_for_index(options.resolved_threads(), total, [&](std::size_t flat) {
     const std::size_t point = flat / options.trials;
     const std::size_t trial = flat % options.trials;
-    results[point][trial] = run_one_pox_trial(points[point], point, trial);
+    results[point][trial] = run_one_pox_trial(
+        points[point], point, trial, flat == 0 ? traced : nullptr);
   });
   return results;
 }
@@ -78,6 +89,12 @@ std::vector<std::vector<PbftTrialResult>> run_pbft_sweep(
   std::vector<std::vector<PbftTrialResult>> results(points.size());
   for (auto& per_point : results) per_point.resize(options.trials);
 
+  obs::Observability* traced = nullptr;
+  if (options.observability != nullptr && !options.observability->claimed) {
+    options.observability->claimed = true;
+    traced = options.observability;
+  }
+
   const std::size_t total = points.size() * options.trials;
   parallel_for_index(options.resolved_threads(), total, [&](std::size_t flat) {
     const std::size_t point = flat / options.trials;
@@ -88,6 +105,7 @@ std::vector<std::vector<PbftTrialResult>> run_pbft_sweep(
     r.seed = trial_seed(points[point].seed, trial);
     PbftScenario scenario = points[point];
     scenario.seed = r.seed;
+    scenario.obs = flat == 0 ? traced : nullptr;
     r.result = run_pbft(scenario);
     results[point][trial] = std::move(r);
   });

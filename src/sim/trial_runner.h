@@ -35,6 +35,12 @@ std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t trial_index);
 struct TrialRunnerOptions {
   std::size_t trials = 1;
   std::size_t threads = 1;  ///< 0 = one per hardware thread
+  /// Non-owning observability bundle.  The first sweep call that sees an
+  /// unclaimed bundle claims it and attaches it to exactly one run — point 0,
+  /// trial 0, i.e. the base seed — so observation never races across worker
+  /// threads and never perturbs any trial's results.  Later sweeps in the
+  /// same driver leave a claimed bundle alone.
+  obs::Observability* observability = nullptr;
 
   std::size_t resolved_threads() const {
     return threads == 0 ? hardware_thread_count() : threads;

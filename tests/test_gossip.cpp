@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
 
 #include "common/check.h"
+#include "obs/observability.h"
 
 namespace themis::net {
 namespace {
@@ -144,6 +146,50 @@ TEST(Gossip, MessageCountersAdvance) {
   h.sim.run();
   EXPECT_GE(h.network.messages_delivered(), 4u);
   EXPECT_GT(h.network.links().total_bytes_sent(), 0u);
+}
+
+// Delivery accounting on a hand-computable topology: fanout=1 with n=4
+// yields the pure ring 0-1-2-3-0 (the i -> i+1 connectivity floor only).  A
+// broadcast from node 0 floods both ways around the ring:
+//   0->1, 0->3  (origin pushes to both neighbours)
+//   1->2        (first receipt at 1, relayed away from 0)
+//   3->2        (first receipt at 3, relayed away from 0)
+//   2->3        (2 hears 1's copy first, relays to its other neighbour)
+// = 5 deliveries, of which 3->2 and 2->3 find a node that has already seen
+// the message: 2 duplicate drops, redundant-push ratio 2/5.
+TEST(Gossip, AccountingMatchesHandComputedRing) {
+  Harness h(4, /*fanout=*/1);
+  for (PeerId i = 0; i < 4; ++i) {
+    ASSERT_EQ(h.network.peers(i).size(), 2u) << "ring degree, node " << i;
+  }
+  obs::Observability obs;
+  h.sim.set_obs(&obs);
+
+  h.network.broadcast(0, /*type=*/1, /*size=*/100, 0);
+  h.sim.run();
+
+  EXPECT_EQ(h.network.messages_delivered(), 5u);
+  EXPECT_EQ(h.network.duplicates_dropped(), 2u);
+  EXPECT_DOUBLE_EQ(h.network.redundant_push_ratio(), 2.0 / 5.0);
+  for (PeerId i = 1; i < 4; ++i) EXPECT_EQ(h.deliveries[i], 1) << i;
+
+  // Per-link byte counters: exactly the five directed sends, 100 bytes each.
+  const auto& links = obs.counters.links();
+  ASSERT_EQ(links.size(), 5u);
+  const std::pair<PeerId, PeerId> expected_links[] = {
+      {0, 1}, {0, 3}, {1, 2}, {3, 2}, {2, 3}};
+  for (const auto& [from, to] : expected_links) {
+    const auto it = links.find({from, to});
+    ASSERT_NE(it, links.end()) << from << "->" << to;
+    EXPECT_EQ(it->second.messages, 1u) << from << "->" << to;
+    EXPECT_EQ(it->second.bytes, 100u) << from << "->" << to;
+  }
+}
+
+TEST(Gossip, RedundantPushRatioIsZeroBeforeTraffic) {
+  Harness h(4, 1);
+  EXPECT_EQ(h.network.redundant_push_ratio(), 0.0);
+  EXPECT_EQ(h.network.duplicates_dropped(), 0u);
 }
 
 TEST(Gossip, RejectsInvalidConstruction) {

@@ -73,6 +73,42 @@ TEST(Simulation, CancelUnknownIdIsNoop) {
   EXPECT_FALSE(sim.cancel(12345));
 }
 
+// Regression: cancelling an id that already fired used to return true and
+// permanently skew pending() (the fired id sat in the cancelled set forever).
+TEST(Simulation, CancelAlreadyFiredIdReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.schedule_after(SimTime::seconds(1.0), [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 0u);
+  // pending() must stay consistent for later scheduling.
+  sim.schedule_after(SimTime::seconds(1.0), [] {});
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, CancelTwiceSecondReturnsFalse) {
+  Simulation sim;
+  const EventId id = sim.schedule_after(SimTime::seconds(1.0), [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(Simulation, PendingExcludesCancelledEvents) {
+  Simulation sim;
+  const EventId a = sim.schedule_after(SimTime::seconds(1.0), [] {});
+  sim.schedule_after(SimTime::seconds(2.0), [] {});
+  sim.schedule_after(SimTime::seconds(3.0), [] {});
+  EXPECT_EQ(sim.pending(), 3u);
+  EXPECT_TRUE(sim.cancel(a));
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
 TEST(Simulation, CancelledEventsNotCounted) {
   Simulation sim;
   const EventId id = sim.schedule_after(SimTime::seconds(1.0), [] {});

@@ -1,0 +1,87 @@
+// themis-trace: analyze a JSONL event trace written by the simulator's
+// --trace=<path> flag.
+//
+//   themis-trace <trace.jsonl>            full summary (timelines, reorgs,
+//                                         propagation percentiles, sigma_f^2)
+//   themis-trace --events <trace.jsonl>   per-kind event counts only
+//   themis-trace - < trace.jsonl          read from stdin
+//
+// The sigma_f^2 column is computed by the same metrics code the experiment
+// harness uses, so it matches PoxExperiment::per_epoch_frequency_variance()
+// exactly.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace_analysis.h"
+#include "obs/trace_reader.h"
+
+namespace {
+
+int usage(std::ostream& out, int code) {
+  out << "usage: themis-trace [--events] <trace.jsonl | ->\n"
+         "  --events  print per-kind event counts instead of the full summary\n"
+         "  -         read the trace from stdin\n";
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace themis;
+
+  bool events_only = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--events") {
+      events_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage(std::cout, 0);
+    } else if (!arg.empty() && (arg == "-" || arg[0] != '-')) {
+      if (!path.empty()) return usage(std::cerr, 2);
+      path = arg;
+    } else {
+      std::cerr << "unknown flag: " << arg << "\n";
+      return usage(std::cerr, 2);
+    }
+  }
+  if (path.empty()) return usage(std::cerr, 2);
+
+  obs::ReadResult trace;
+  if (path == "-") {
+    trace = obs::read_trace(std::cin);
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "themis-trace: cannot open " << path << "\n";
+      return 1;
+    }
+    trace = obs::read_trace(in);
+  }
+  if (trace.malformed_lines > 0) {
+    std::cerr << "themis-trace: skipped " << trace.malformed_lines
+              << " malformed line(s)\n";
+  }
+  if (trace.events.empty()) {
+    std::cerr << "themis-trace: no events in " << path << "\n";
+    return 1;
+  }
+
+  if (events_only) {
+    std::map<std::string, std::uint64_t> counts;
+    for (const obs::TraceEvent& event : trace.events) ++counts[event.ev];
+    for (const auto& [kind, count] : counts) {
+      std::cout << kind << ": " << count << "\n";
+    }
+    std::cout << "total: " << trace.events.size() << "\n";
+    return 0;
+  }
+
+  const obs::TraceSummary summary = obs::analyze_trace(trace.events);
+  obs::print_summary(std::cout, summary);
+  return 0;
+}
