@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
+#include <initializer_list>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -50,6 +51,11 @@ namespace themis::bench {
 /// Minimal argv scanner shared by every bench driver.  Accepts GNU-ish
 /// spellings: bare switches ("--quick"), values as "--flag=V" or "--flag V",
 /// and switches with an optional value ("--report" / "--report=path").
+///
+/// Every name a driver queries (or registers via permit()) is recorded as
+/// recognised; reject_unknown() then turns any leftover `-`-prefixed token
+/// into a hard error with a usage hint, so a typo like "--trails 5" fails
+/// loudly instead of silently running with defaults.
 class ArgParser {
  public:
   ArgParser(int argc, char** argv) {
@@ -59,6 +65,7 @@ class ArgParser {
 
   /// True when the bare switch `name` is present.
   bool flag(std::string_view name) const {
+    permit(name);
     for (std::string_view arg : args_) {
       if (arg == name) return true;
     }
@@ -67,6 +74,7 @@ class ArgParser {
 
   /// Value of "--name=V" or "--name V"; nullopt when the flag is absent.
   std::optional<std::string_view> value(std::string_view name) const {
+    permit(name);
     for (std::size_t i = 0; i < args_.size(); ++i) {
       const std::string_view arg = args_[i];
       if (arg.starts_with(name) && arg.size() > name.size() &&
@@ -78,10 +86,27 @@ class ArgParser {
     return std::nullopt;
   }
 
+  /// Every value of a repeatable flag ("--peer=a --peer b"), in argv order.
+  std::vector<std::string_view> values(std::string_view name) const {
+    permit(name);
+    std::vector<std::string_view> out;
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      const std::string_view arg = args_[i];
+      if (arg.starts_with(name) && arg.size() > name.size() &&
+          arg[name.size()] == '=') {
+        out.push_back(arg.substr(name.size() + 1));
+      } else if (arg == name && i + 1 < args_.size()) {
+        out.push_back(args_[++i]);
+      }
+    }
+    return out;
+  }
+
   /// A switch that may carry a value: "--report" yields an empty view,
   /// "--report=path" yields "path", absence yields nullopt.  Unlike value(),
   /// never consumes the following argument.
   std::optional<std::string_view> flag_or_value(std::string_view name) const {
+    permit(name);
     for (std::string_view arg : args_) {
       if (arg == name) return std::string_view{};
       if (arg.starts_with(name) && arg.size() > name.size() &&
@@ -98,8 +123,47 @@ class ArgParser {
     return std::strtoull(std::string(*v).c_str(), nullptr, 10);
   }
 
+  /// Mark `name` as a recognised flag without looking it up (for switches a
+  /// driver only reads conditionally, or parses with a second ArgParser).
+  void permit(std::string_view name) const {
+    for (const std::string& known : recognized_) {
+      if (known == name) return;
+    }
+    recognized_.emplace_back(name);
+  }
+
+  /// Hard error (exit 2) on any `-`-prefixed argv token whose name — the
+  /// part before any '=' — was never queried or permit()ed.  Tokens consumed
+  /// as the value of a "--flag V" spelling are exempt.
+  void reject_unknown(std::string_view usage) const {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      const std::string_view arg = args_[i];
+      if (!arg.starts_with('-')) continue;
+      const std::string_view name = arg.substr(0, arg.find('='));
+      bool known = false;
+      for (const std::string& candidate : recognized_) {
+        if (candidate == name) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) {
+        std::cerr << "error: unknown flag '" << name << "'\n"
+                  << "usage: " << usage << "\n";
+        std::exit(2);
+      }
+      // "--flag V": the next token belongs to this flag, never a flag itself.
+      if (arg == name && i + 1 < args_.size() &&
+          !args_[i + 1].starts_with('-')) {
+        ++i;
+      }
+    }
+  }
+
  private:
   std::vector<std::string_view> args_;
+  /// Names queried so far; owned strings so permit() outlives temporaries.
+  mutable std::vector<std::string> recognized_;
 };
 
 struct BenchArgs {
@@ -116,8 +180,19 @@ struct BenchArgs {
   /// simulation caches pointers into it).
   std::shared_ptr<obs::Observability> observability;
 
-  static BenchArgs parse(int argc, char** argv) {
+  /// Flags every bench accepts (also the reject_unknown usage hint).
+  static constexpr std::string_view kUsage =
+      "--quick --csv --seed=<u64> --trials <N> --threads <N> "
+      "--trace=<path> --report[=<path>]";
+
+  /// Parse the shared flags.  Drivers with extra switches list them in
+  /// `extra_known` (e.g. {"--ablation"}) so the unknown-flag check accepts
+  /// them; anything else `-`-prefixed on the command line is a hard error.
+  static BenchArgs parse(
+      int argc, char** argv,
+      std::initializer_list<std::string_view> extra_known = {}) {
     const ArgParser parser(argc, argv);
+    for (const std::string_view name : extra_known) parser.permit(name);
     BenchArgs args;
     args.quick = parser.flag("--quick");
     args.csv = parser.flag("--csv");
@@ -130,10 +205,10 @@ struct BenchArgs {
       args.report_path = *v;
     }
     if (parser.flag("--help") || parser.flag("-h")) {
-      std::cout << "flags: --quick --csv --seed=<u64> --trials <N> "
-                   "--threads <N> --trace=<path> --report[=<path>]\n";
+      std::cout << "flags: " << kUsage << "\n";
       std::exit(0);
     }
+    parser.reject_unknown(kUsage);
     if (!args.trace_path.empty() || args.report) {
       args.observability = std::make_shared<obs::Observability>();
       args.observability->tracer.enable(!args.trace_path.empty());

@@ -72,7 +72,7 @@ void add_row(metrics::Table& t, const std::string& name,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto args = bench::BenchArgs::parse(argc, argv, {"--ablation"});
   const bench::WallTimer timer;
   const bool ablation = bench::ArgParser(argc, argv).flag("--ablation");
   bench::banner("Fig. 8 — fork rate and fork duration (multi-trial)",

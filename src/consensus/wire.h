@@ -13,6 +13,17 @@ enum MessageType : std::uint32_t {
   kPbftCommit = 13,
   kPbftViewChange = 14,
   kPbftNewView = 15,
+
+  // Real-network p2p frame types (src/p2p).  Kept in the same enum so the
+  // simulated and socket transports can never collide on a discriminator.
+  kP2pHandshake = 100,  // version + genesis exchange; must be the first frame
+  kP2pPing = 101,       // liveness probe (nonce echoed by kP2pPong)
+  kP2pPong = 102,
+  kP2pInv = 103,        // block-hash inventory announcement
+  kP2pGetData = 104,    // request full blocks for inventory hashes
+  kP2pBlock = 105,      // one full canonical block encoding
+  kP2pGetBlocks = 106,  // chain sync: locator -> range request
+  kP2pBlocks = 107,     // chain sync: batched range response
 };
 
 }  // namespace themis::consensus

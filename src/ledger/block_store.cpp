@@ -112,11 +112,44 @@ std::vector<Block> BlockStore::read_all() const {
   return out;
 }
 
+BlockStore::Cursor::Cursor(const BlockStore& store, std::size_t first,
+                           std::size_t limit)
+    : store_(store), index_(first), limit_(limit) {
+  in_.open(store.path_, std::ios::binary);
+  ensures(in_.is_open(), "failed to open block store cursor");
+  if (index_ < limit_) {
+    in_.seekg(static_cast<std::streamoff>(store.offsets_[index_].offset));
+  }
+}
+
+std::optional<Block> BlockStore::Cursor::next() {
+  if (index_ >= limit_) return std::nullopt;
+  const Record& record = store_.offsets_[index_];
+  Bytes payload(record.length);
+  in_.read(reinterpret_cast<char*>(payload.data()), record.length);
+  // Consume the trailing checksum plus the next record's header so the
+  // stream stays sequential (scan() already verified every checksum).
+  char skip[12];
+  in_.read(skip, index_ + 1 < limit_ ? 12 : 4);
+  ensures(in_.good() || index_ + 1 >= limit_, "block store cursor read failed");
+  ++index_;
+  return Block::decode(payload);
+}
+
+BlockStore::Cursor BlockStore::stream(std::size_t first,
+                                      std::size_t count) const {
+  expects(first <= offsets_.size(), "cursor start out of range");
+  const std::size_t limit =
+      count > offsets_.size() - first ? offsets_.size() : first + count;
+  return Cursor(*this, first, limit);
+}
+
 std::size_t BlockStore::replay_into(BlockTree& tree) const {
   std::size_t attached = 0;
-  for (std::size_t i = 0; i < offsets_.size(); ++i) {
-    auto block = std::make_shared<const Block>(read(i));
-    if (tree.insert(std::move(block)) == BlockTree::InsertResult::inserted) {
+  Cursor cursor = stream();
+  while (auto block = cursor.next()) {
+    auto ptr = std::make_shared<const Block>(*std::move(block));
+    if (tree.insert(std::move(ptr)) == BlockTree::InsertResult::inserted) {
       ++attached;
     }
   }

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <vector>
 
 #include "ledger/block.h"
@@ -35,9 +36,41 @@ class BlockStore {
   /// Decode every stored block, in insertion order.
   std::vector<Block> read_all() const;
 
-  /// Rebuild a BlockTree from the store.  Blocks whose parents are missing
-  /// stay buffered in the tree's orphan pool (they count toward the return
-  /// value only when attached).  Returns the number of attached blocks.
+  /// Streaming per-record reader.  Unlike read()/read_all(), a Cursor owns a
+  /// dedicated file handle that it advances sequentially — one record in
+  /// memory at a time, no per-record seek — so replay and sync range-serving
+  /// stay O(1) in chain size.  The cursor snapshots the record count at
+  /// creation; records appended afterwards are not visited.  Not valid past
+  /// the lifetime of its BlockStore.
+  class Cursor {
+   public:
+    /// Decode and return the next block, or nullopt past the last record.
+    std::optional<Block> next();
+
+    /// Index of the record next() would return, in insertion order.
+    std::size_t index() const { return index_; }
+
+    /// Records remaining (limit - index).
+    std::size_t remaining() const { return limit_ - index_; }
+
+   private:
+    friend class BlockStore;
+    Cursor(const BlockStore& store, std::size_t first, std::size_t limit);
+
+    const BlockStore& store_;
+    std::ifstream in_;
+    std::size_t index_ = 0;
+    std::size_t limit_ = 0;
+  };
+
+  /// Open a cursor over records [first, min(first + count, size())).
+  Cursor stream(std::size_t first = 0,
+                std::size_t count = static_cast<std::size_t>(-1)) const;
+
+  /// Rebuild a BlockTree from the store, streaming one record at a time.
+  /// Blocks whose parents are missing stay buffered in the tree's orphan pool
+  /// (they count toward the return value only when attached).  Returns the
+  /// number of attached blocks.
   std::size_t replay_into(BlockTree& tree) const;
 
   /// Bytes of valid data (excluding any truncated tail that was dropped).

@@ -1,0 +1,71 @@
+#include "p2p/frame.h"
+
+#include "common/serialize.h"
+#include "crypto/sha256.h"
+
+namespace themis::p2p {
+
+std::uint32_t frame_checksum(ByteSpan payload) {
+  const Hash32 digest = crypto::sha256d(payload);
+  return static_cast<std::uint32_t>(digest[0]) |
+         (static_cast<std::uint32_t>(digest[1]) << 8) |
+         (static_cast<std::uint32_t>(digest[2]) << 16) |
+         (static_cast<std::uint32_t>(digest[3]) << 24);
+}
+
+Bytes encode_frame(std::uint32_t type, ByteSpan payload) {
+  expects(payload.size() <= kMaxFramePayload, "frame payload too large");
+  Writer w(payload.size() + kFrameOverhead);
+  w.u32(kFrameMagic);
+  w.u32(type);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  w.u32(frame_checksum(payload));
+  return w.take();
+}
+
+void FrameDecoder::feed(ByteSpan data) {
+  // Compact before growing: the consumed prefix is dead weight and the buffer
+  // would otherwise grow without bound on a long-lived connection.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > 4096) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void FrameDecoder::fail(const char* message) {
+  poisoned_ = true;
+  throw FrameError(message);
+}
+
+std::optional<Frame> FrameDecoder::poll() {
+  if (poisoned_) fail("frame decoder poisoned by earlier error");
+  const std::size_t available = buf_.size() - pos_;
+  if (available < 12) return std::nullopt;
+
+  Reader header(ByteSpan(buf_.data() + pos_, 12));
+  const std::uint32_t magic = header.u32();
+  const std::uint32_t type = header.u32();
+  const std::uint32_t length = header.u32();
+  if (magic != kFrameMagic) fail("bad frame magic");
+  // Checked before any allocation or further buffering decision: a hostile
+  // length prefix must not commit us to buffering gigabytes.
+  if (length > kMaxFramePayload) fail("frame payload length exceeds maximum");
+  if (available < kFrameOverhead + length) return std::nullopt;
+
+  const ByteSpan payload(buf_.data() + pos_ + 12, length);
+  Reader trailer(ByteSpan(buf_.data() + pos_ + 12 + length, 4));
+  if (trailer.u32() != frame_checksum(payload)) fail("frame checksum mismatch");
+
+  Frame frame;
+  frame.type = type;
+  frame.payload.assign(payload.begin(), payload.end());
+  pos_ += kFrameOverhead + length;
+  return frame;
+}
+
+}  // namespace themis::p2p

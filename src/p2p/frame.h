@@ -1,0 +1,81 @@
+// Framed wire transport for the real-network p2p layer.
+//
+// Everything that crosses a TCP connection is one frame:
+//
+//   magic(4) | type(4) | length(4) | payload(length) | checksum(4)
+//
+// little-endian, with the checksum being the first 4 bytes of
+// sha256d(payload) — the same integrity rule BlockStore applies to its
+// on-disk records, so a block read from a peer and a block read from disk
+// pass through identical verification arithmetic.  The length field is
+// bounded by kMaxFramePayload; a peer claiming more is speaking a different
+// protocol (or attacking) and the connection is torn down before any
+// allocation happens.
+//
+// FrameDecoder is an incremental parser: feed it whatever recv() returned,
+// poll complete frames out.  Malformed input (bad magic, oversized length,
+// checksum mismatch) throws FrameError; the connection owner catches it and
+// closes the socket.  TCP gives us a byte stream, not message boundaries, so
+// the decoder must be — and is — correct for any split of the input.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+
+#include "common/bytes.h"
+
+namespace themis::p2p {
+
+/// "TMP2" — Themis p2p.  First bytes on the wire of every frame.
+inline constexpr std::uint32_t kFrameMagic = 0x32504d54;
+
+/// Hard ceiling on one frame's payload.  Large enough for a sync batch of
+/// full blocks, small enough that a hostile length prefix cannot balloon
+/// memory (4 MiB).
+inline constexpr std::uint32_t kMaxFramePayload = 4u << 20;
+
+/// Fixed bytes around the payload: magic + type + length before, checksum after.
+inline constexpr std::size_t kFrameOverhead = 16;
+
+class FrameError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Frame {
+  std::uint32_t type = 0;
+  Bytes payload;
+};
+
+/// One frame, ready to write to a socket.
+Bytes encode_frame(std::uint32_t type, ByteSpan payload);
+
+/// First 4 bytes of sha256d(payload), as a little-endian u32 (the BlockStore
+/// record checksum, reused).
+std::uint32_t frame_checksum(ByteSpan payload);
+
+class FrameDecoder {
+ public:
+  /// Append raw bytes received from the socket.
+  void feed(ByteSpan data);
+
+  /// Pop the next complete frame, or nullopt if more bytes are needed.
+  /// Throws FrameError on bad magic, oversized length or checksum mismatch;
+  /// after a throw the decoder is poisoned and every further poll rethrows
+  /// (the connection must be closed).
+  std::optional<Frame> poll();
+
+  /// Bytes buffered but not yet consumed as frames.
+  std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  void fail(const char* message);
+
+  Bytes buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  bool poisoned_ = false;
+};
+
+}  // namespace themis::p2p

@@ -1,0 +1,583 @@
+#include "p2p/node.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "consensus/miner.h"
+#include "consensus/wire.h"
+#include "crypto/merkle.h"
+#include "ledger/validation.h"
+#include "p2p/sync.h"
+
+namespace themis::p2p {
+
+using consensus::RealMiner;
+using ledger::Block;
+using ledger::BlockHash;
+using ledger::BlockPtr;
+
+namespace {
+
+/// Byte budget for one kP2pBlocks batch: half the frame ceiling, so the
+/// one-block overshoot serve_range allows can never breach kMaxFramePayload.
+constexpr std::size_t kSyncBatchBytes = kMaxFramePayload / 2;
+
+/// How long a getdata stays "in flight" before we re-request the hash from
+/// the next announcer (peer died or ignored us).
+constexpr std::int64_t kRequestRetryMs = 5000;
+
+/// Consecutive fully-duplicate sync batches tolerated per peer before we stop
+/// re-requesting (Peer::sync_stalls).
+constexpr std::uint32_t kMaxSyncStalls = 3;
+
+std::int64_t steady_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string short_hex(const BlockHash& id) {
+  return to_hex(ByteSpan(id.data(), 8));
+}
+
+}  // namespace
+
+P2pNode::P2pNode(P2pNodeConfig config,
+                 std::shared_ptr<consensus::ForkChoiceRule> rule,
+                 std::shared_ptr<consensus::DifficultyPolicy> policy)
+    : config_(std::move(config)),
+      rule_(rule != nullptr ? std::move(rule)
+                            : std::make_shared<consensus::GhostRule>()),
+      policy_(policy != nullptr
+                  ? std::move(policy)
+                  : std::make_shared<consensus::FixedDifficulty>(
+                        config_.difficulty)) {
+  expects(config_.n_nodes >= 1, "p2p node set must be non-empty");
+  expects(config_.id < config_.n_nodes, "node id out of range");
+  if (config_.use_signatures) {
+    keypair_ = crypto::Keypair::from_node_id(config_.id);
+    registry_ = std::make_shared<consensus::KeyRegistry>();
+    for (std::size_t i = 0; i < config_.n_nodes; ++i) {
+      registry_->add(static_cast<ledger::NodeId>(i),
+                     crypto::Keypair::from_node_id(i).public_key());
+    }
+  }
+  tracker_.reset(tree_, *rule_, tree_.genesis_hash(), config_.finality_depth);
+
+  PeerManagerConfig pm;
+  pm.listen_port = config_.listen_port;
+  pm.listen = config_.listen;
+  pm.dial = config_.peers;
+  pm.handshake.genesis = tree_.genesis_hash();
+  pm.handshake.node_id = config_.id;
+  pm.handshake.agent = config_.agent;
+  pm.dial_timeout_ms = config_.dial_timeout_ms;
+  pm.ping_interval_ms = config_.ping_interval_ms;
+  pm.pong_timeout_ms = config_.pong_timeout_ms;
+  pm.backoff_initial_ms = config_.backoff_initial_ms;
+  pm.backoff_max_ms = config_.backoff_max_ms;
+  pm.jitter_seed = config_.rng_seed ^ (0x9e3779b97f4a7c15ULL + config_.id);
+  peers_ = std::make_unique<PeerManager>(std::move(pm));
+  peers_->set_height_provider([this] { return head_height(); });
+  peers_->set_ready_handler([this](Peer& peer) { on_peer_ready(peer); });
+  peers_->set_frame_handler(
+      [this](Peer& peer, std::uint32_t type, ByteSpan payload) {
+        on_peer_frame(peer, type, payload);
+      });
+}
+
+P2pNode::~P2pNode() { stop(); }
+
+bool P2pNode::start() {
+  expects(!started_, "p2p node already started");
+  start_time_ = std::chrono::steady_clock::now();
+
+  if (!config_.datadir.empty()) {
+    std::filesystem::create_directories(config_.datadir);
+    std::lock_guard<std::mutex> lock(mu_);
+    store_ = std::make_unique<ledger::BlockStore>(config_.datadir / "blocks.dat");
+    stats_.store_replayed = store_->replay_into(tree_);
+    if (stats_.store_replayed > 0) {
+      tracker_.reset(tree_, *rule_, tree_.genesis_hash(),
+                     config_.finality_depth);
+    }
+  }
+  trace("node_start", {obs::Field::u64("node", config_.id),
+                       obs::Field::u64("replayed", stats_.store_replayed),
+                       obs::Field::u64("height", tracker_.head_height())});
+
+  if (!peers_->start()) return false;
+  started_ = true;
+
+  mining_enabled_.store(config_.mine);
+  miner_thread_ = std::thread([this] { mine_loop(); });
+  return true;
+}
+
+void P2pNode::stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  miner_cv_.notify_all();
+  if (miner_thread_.joinable()) miner_thread_.join();
+  peers_->stop();
+  started_ = false;
+}
+
+void P2pNode::set_mining(bool enabled) {
+  mining_enabled_.store(enabled);
+  miner_cv_.notify_all();
+}
+
+std::int64_t P2pNode::wall_nanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_time_)
+      .count();
+}
+
+void P2pNode::trace(std::string_view event,
+                    std::initializer_list<obs::Field> fields) {
+  if (obs_ == nullptr || !obs_->tracer.enabled()) return;
+  std::lock_guard<std::mutex> lock(trace_mu_);
+  obs_->tracer.emit(SimTime(wall_nanos()), event, fields);
+}
+
+// ---------------------------------------------------------------------------
+// Transport callbacks
+// ---------------------------------------------------------------------------
+
+void P2pNode::on_peer_ready(Peer& peer) {
+  trace("peer_ready", {obs::Field::u64("node", config_.id),
+                       obs::Field::u64("remote", peer.remote().node_id),
+                       obs::Field::boolean("outbound", peer.outbound())});
+  // Always probe for a better chain: the response is empty if we are caught
+  // up, and the locator round also covers a remote that lied about height.
+  request_sync(peer);
+}
+
+void P2pNode::request_sync(Peer& peer) {
+  GetBlocksMsg request;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    request.locator = build_locator(tree_, tracker_.head());
+    ++stats_.sync_rounds;
+  }
+  request.max_blocks = static_cast<std::uint32_t>(kMaxSyncBlocks);
+  peer.send_frame(consensus::kP2pGetBlocks, request.encode());
+}
+
+void P2pNode::on_peer_frame(Peer& peer, std::uint32_t type, ByteSpan payload) {
+  switch (type) {
+    case consensus::kP2pInv:
+      handle_inv(peer, payload);
+      return;
+    case consensus::kP2pGetData:
+      handle_getdata(peer, payload);
+      return;
+    case consensus::kP2pBlock:
+      handle_block(peer, payload);
+      return;
+    case consensus::kP2pGetBlocks:
+      handle_getblocks(peer, payload);
+      return;
+    case consensus::kP2pBlocks:
+      handle_blocks(peer, payload);
+      return;
+    default:
+      // Unknown post-handshake frame: tolerated (forward compatibility), the
+      // frame layer already verified its integrity.
+      return;
+  }
+}
+
+void P2pNode::handle_inv(Peer& peer, ByteSpan payload) {
+  const InvMsg inv = InvMsg::decode(payload);
+  InvMsg want;
+  const std::int64_t now = steady_ms();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.invs_received += inv.hashes.size();
+    for (const BlockHash& h : inv.hashes) {
+      if (tree_.contains(h)) {
+        ++stats_.invs_redundant;
+        continue;
+      }
+      const auto it = requested_.find(h);
+      if (it != requested_.end() && now - it->second < kRequestRetryMs) {
+        continue;  // already being fetched from another announcer
+      }
+      requested_[h] = now;
+      want.hashes.push_back(h);
+    }
+  }
+  for (const BlockHash& h : inv.hashes) peer.mark_known(h);
+  if (!want.hashes.empty()) {
+    peer.send_frame(consensus::kP2pGetData, want.encode());
+  }
+}
+
+void P2pNode::handle_getdata(Peer& peer, ByteSpan payload) {
+  const InvMsg request = InvMsg::decode(payload);
+  std::vector<std::pair<BlockHash, Bytes>> found;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const BlockHash& h : request.hashes) {
+      if (!tree_.contains(h)) continue;  // pruned/unknown: silently skip
+      found.emplace_back(h, tree_.block(h)->encode());
+    }
+  }
+  for (const auto& [hash, encoding] : found) {
+    peer.mark_known(hash);
+    if (!peer.send_frame(consensus::kP2pBlock, encoding)) return;
+  }
+}
+
+void P2pNode::handle_block(Peer& peer, ByteSpan payload) {
+  // DecodeError from a malformed block propagates to the reader loop, which
+  // treats it as a protocol error and closes the connection.
+  auto block = std::make_shared<const Block>(Block::decode(payload));
+  peer.mark_known(block->id());
+  submit_block(std::move(block), peer.session_id());
+}
+
+void P2pNode::handle_getblocks(Peer& peer, ByteSpan payload) {
+  const GetBlocksMsg request = GetBlocksMsg::decode(payload);
+  BlocksMsg response;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::size_t max_blocks =
+        std::min<std::size_t>(request.max_blocks, kMaxSyncBlocks);
+    const auto range = serve_range(tree_, tracker_.head(), request.locator,
+                                   max_blocks, kSyncBatchBytes);
+    response.blocks.reserve(range.size());
+    for (const BlockPtr& block : range) {
+      response.blocks.push_back(block->encode());
+    }
+    ++stats_.sync_requests_served;
+    stats_.sync_blocks_served += range.size();
+  }
+  trace("sync_served", {obs::Field::u64("node", config_.id),
+                        obs::Field::u64("remote", peer.remote().node_id),
+                        obs::Field::u64("blocks", response.blocks.size())});
+  peer.send_frame(consensus::kP2pBlocks, response.encode());
+}
+
+void P2pNode::handle_blocks(Peer& peer, ByteSpan payload) {
+  const BlocksMsg batch = BlocksMsg::decode(payload);
+  if (batch.blocks.empty()) {
+    peer.sync_stalls.store(0, std::memory_order_relaxed);
+    return;  // caught up with this peer
+  }
+  bool grew = false;
+  for (const Bytes& raw : batch.blocks) {
+    auto block = std::make_shared<const Block>(Block::decode(raw));
+    peer.mark_known(block->id());
+    grew = submit_block(std::move(block), peer.session_id()) || grew;
+  }
+  // A non-empty batch means the peer may hold more; page until drained.  A
+  // fully-duplicate batch usually means our locator raced with blocks that
+  // arrived from another peer mid-round, so retry with a fresh locator — but
+  // only a bounded number of times, so a peer that keeps serving blocks we
+  // already have cannot trap us in a request loop.
+  if (grew) {
+    peer.sync_stalls.store(0, std::memory_order_relaxed);
+    request_sync(peer);
+  } else if (peer.sync_stalls.fetch_add(1, std::memory_order_relaxed) <
+             kMaxSyncStalls) {
+    request_sync(peer);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Consensus core
+// ---------------------------------------------------------------------------
+
+bool P2pNode::validate_locked(const Block& block) const {
+  ledger::ValidationContext ctx;
+  ctx.check_signature = config_.use_signatures;
+  ctx.check_pow = true;
+  ctx.check_body = true;
+  if (registry_ != nullptr) {
+    ctx.public_key = [this](ledger::NodeId id) { return registry_->lookup(id); };
+  }
+  ctx.expected_difficulty =
+      [this](ledger::NodeId producer,
+             const BlockHash& parent) -> std::optional<double> {
+    if (!tree_.contains(parent)) return std::nullopt;
+    return policy_->difficulty_for(tree_, parent, producer);
+  };
+  ctx.parent_height =
+      [this](const BlockHash& parent) -> std::optional<std::uint64_t> {
+    if (!tree_.contains(parent)) return std::nullopt;
+    return tree_.height(parent);
+  };
+  return ledger::validate_block(block, ctx) == ledger::BlockCheck::ok;
+}
+
+bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
+  const BlockHash id = block->id();
+  std::vector<BlockHash> announce;
+  bool head_changed = false;
+  bool reorged = false;
+  std::uint64_t new_height = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (source_session != 0) ++stats_.blocks_received;
+    requested_.erase(id);
+    if (tree_.contains(id)) {
+      if (source_session != 0) ++stats_.blocks_duplicate;
+      return false;
+    }
+
+    if (!tree_.contains(block->header().prev)) {
+      // Parent unknown: buffer until it arrives (validation needs the parent
+      // chain for the difficulty table), and start a locator round so the
+      // gap gets filled even if the parent's announcement never reaches us.
+      auto& waiting = pending_[block->header().prev];
+      for (const BlockPtr& w : waiting) {
+        if (w->id() == id) return false;
+      }
+      waiting.push_back(std::move(block));
+      // Request outside the lock (below) to keep lock scope tight.
+    } else {
+      if (!validate_locked(*block)) {
+        ++stats_.blocks_rejected;
+        return false;
+      }
+      // Insert the block plus every pending descendant it unblocks — one
+      // batch rooted at `id`, exactly what HeadTracker::on_insert wants.
+      const BlockHash batch_parent = block->header().prev;
+      std::size_t batch_size = 0;
+      std::vector<BlockPtr> ready{std::move(block)};
+      while (!ready.empty()) {
+        BlockPtr cur = std::move(ready.back());
+        ready.pop_back();
+        const BlockHash cur_id = cur->id();
+        if (store_ != nullptr) store_->append(*cur);
+        tree_.insert(std::move(cur));
+        announce.push_back(cur_id);
+        ++batch_size;
+        const auto it = pending_.find(cur_id);
+        if (it != pending_.end()) {
+          std::vector<BlockPtr> waiting = std::move(it->second);
+          pending_.erase(it);
+          for (BlockPtr& w : waiting) {
+            if (tree_.contains(w->id())) continue;
+            if (!validate_locked(*w)) {
+              ++stats_.blocks_rejected;
+              continue;
+            }
+            ready.push_back(std::move(w));
+          }
+        }
+      }
+      const auto update = tracker_.on_insert(tree_, *rule_, id, batch_parent,
+                                             /*batch_is_leaf=*/batch_size == 1);
+      head_changed = update.head_changed;
+      reorged = update.reorg;
+      if (update.reorg) ++stats_.reorgs;
+      if (head_changed) {
+        tree_.set_aggregate_floor(tracker_.anchor_height());
+        new_height = tracker_.head_height();
+      }
+    }
+  }
+
+  if (announce.empty()) {
+    // Orphaned: chase the missing ancestry from whoever gave us the block.
+    if (source_session != 0) {
+      std::shared_ptr<Peer> source;
+      for (const auto& peer : peers_->ready_peers()) {
+        if (peer->session_id() == source_session) {
+          source = peer;
+          break;
+        }
+      }
+      if (source != nullptr) request_sync(*source);
+    }
+    return false;
+  }
+
+  trace("block_accepted",
+        {obs::Field::u64("node", config_.id),
+         obs::Field::str("hash", short_hex(id)),
+         obs::Field::u64("batch", announce.size()),
+         obs::Field::boolean("mined", source_session == 0),
+         obs::Field::boolean("reorg", reorged)});
+
+  if (head_changed) {
+    chain_version_.fetch_add(1, std::memory_order_release);
+    miner_cv_.notify_all();
+    trace("head_changed", {obs::Field::u64("node", config_.id),
+                           obs::Field::u64("height", new_height),
+                           obs::Field::boolean("reorg", reorged)});
+    if (head_listener_) head_listener_(*this);
+  }
+
+  // Inventory-based announcement: one inv per peer, restricted to hashes the
+  // peer is not already known to have (the duplicate-suppression accounting
+  // net/gossip models with its per-node seen sets).
+  for (const auto& peer : peers_->ready_peers()) {
+    if (peer->session_id() == source_session) continue;
+    InvMsg inv;
+    for (const BlockHash& h : announce) {
+      if (peer->mark_known(h)) inv.hashes.push_back(h);
+    }
+    if (!inv.hashes.empty()) {
+      peer->send_frame(consensus::kP2pInv, inv.encode());
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Miner
+// ---------------------------------------------------------------------------
+
+void P2pNode::mine_loop() {
+  Rng rng(config_.rng_seed * 0x2545f4914f6cdd1dULL + config_.id + 1);
+  while (!stopping_.load()) {
+    if (!mining_enabled_.load()) {
+      std::unique_lock<std::mutex> lock(miner_mu_);
+      miner_cv_.wait_for(lock, std::chrono::milliseconds(200));
+      continue;
+    }
+
+    // Snapshot the mining target under the consensus lock.
+    ledger::BlockHeader header;
+    std::uint64_t version;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const BlockHash parent = tracker_.head();
+      header.height = tree_.height(parent) + 1;
+      header.prev = parent;
+      header.producer = config_.id;
+      header.epoch = policy_->epoch_for(tree_, parent);
+      header.difficulty = policy_->difficulty_for(tree_, parent, config_.id);
+      header.tx_count = 0;
+      header.merkle_root = crypto::merkle_root({});
+      version = chain_version_.load(std::memory_order_acquire);
+    }
+    header.timestamp_nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 std::chrono::system_clock::now().time_since_epoch())
+                                 .count();
+    std::uint64_t nonce = rng.next_u64();
+
+    // Grind in chunks; between chunks re-check for head changes (memoryless:
+    // restarting the search loses nothing statistically) and stop requests.
+    while (!stopping_.load() && mining_enabled_.load() &&
+           chain_version_.load(std::memory_order_acquire) == version) {
+      const auto solved = RealMiner::mine(header, nonce, config_.mine_chunk);
+      if (!solved.has_value()) {
+        nonce += config_.mine_chunk;
+        if (nonce > UINT64_MAX - config_.mine_chunk) nonce = rng.next_u64();
+        continue;
+      }
+      crypto::Signature signature{};
+      if (keypair_.has_value()) signature = keypair_->sign(solved->hash());
+      auto block = std::make_shared<const Block>(*solved, signature,
+                                                 std::vector<ledger::Transaction>{});
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.blocks_produced;
+      }
+      trace("block_mined", {obs::Field::u64("node", config_.id),
+                            obs::Field::str("hash", short_hex(block->id())),
+                            obs::Field::u64("height", solved->height)});
+      submit_block(std::move(block), /*source_session=*/0);
+      break;  // resample against the (possibly new) head
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observers
+// ---------------------------------------------------------------------------
+
+BlockHash P2pNode::head() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tracker_.head();
+}
+
+std::uint64_t P2pNode::head_height() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tracker_.head_height();
+}
+
+std::uint64_t P2pNode::tree_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tree_.subtree_size(tree_.genesis_hash());
+}
+
+std::uint64_t P2pNode::store_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_ != nullptr ? store_->size() : 0;
+}
+
+bool P2pNode::contains(const BlockHash& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tree_.contains(id);
+}
+
+P2pNode::ChainStats P2pNode::chain_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+double P2pNode::redundant_announce_ratio() const {
+  const ChainStats s = chain_stats();
+  return s.invs_received == 0
+             ? 0.0
+             : static_cast<double>(s.invs_redundant) /
+                   static_cast<double>(s.invs_received);
+}
+
+void P2pNode::fill_observability() {
+  if (obs_ == nullptr) return;
+  const ChainStats chain = chain_stats();
+  const PeerManager::Stats transport = peers_->stats();
+  obs::Counters& counters = obs_->counters;
+
+  counters.counter("chain.height") = head_height();
+  counters.counter("chain.tree_blocks") = tree_blocks();
+  counters.counter("chain.store_blocks") = store_blocks();
+  counters.counter("chain.store_replayed") = chain.store_replayed;
+  counters.counter("consensus.blocks_produced") = chain.blocks_produced;
+  counters.counter("consensus.blocks_rejected") = chain.blocks_rejected;
+  counters.counter("consensus.reorgs") = chain.reorgs;
+
+  counters.counter("p2p.bytes_in") = transport.bytes_in;
+  counters.counter("p2p.bytes_out") = transport.bytes_out;
+  counters.counter("p2p.connections_accepted") = transport.connections_accepted;
+  counters.counter("p2p.dials_attempted") = transport.dials_attempted;
+  counters.counter("p2p.dials_failed") = transport.dials_failed;
+  counters.counter("p2p.reconnects") = transport.reconnects;
+  counters.counter("p2p.handshakes_rejected") = transport.handshakes_rejected;
+  counters.counter("p2p.protocol_errors") = transport.protocol_errors;
+  counters.counter("p2p.disconnects") = transport.disconnects;
+  counters.counter("p2p.pings_sent") = transport.pings_sent;
+  counters.counter("p2p.pongs_received") = transport.pongs_received;
+  counters.counter("p2p.ping_timeouts") = transport.ping_timeouts;
+
+  counters.counter("p2p.invs_received") = chain.invs_received;
+  counters.counter("p2p.invs_redundant") = chain.invs_redundant;
+  counters.counter("p2p.blocks_received") = chain.blocks_received;
+  counters.counter("p2p.blocks_duplicate") = chain.blocks_duplicate;
+  counters.counter("p2p.sync_requests_served") = chain.sync_requests_served;
+  counters.counter("p2p.sync_blocks_served") = chain.sync_blocks_served;
+  counters.counter("p2p.sync_rounds") = chain.sync_rounds;
+  obs_->counters.series("p2p.redundant_announce_ratio")
+      .push_back(redundant_announce_ratio());
+
+  // Per-peer traffic, attributed to the remote's consensus node id.
+  for (const auto& peer : peers_->ready_peers()) {
+    obs::LinkStat& link = counters.link(
+        static_cast<std::uint32_t>(config_.id),
+        static_cast<std::uint32_t>(peer->remote().node_id));
+    link.messages = peer->frames_in.load(std::memory_order_relaxed) +
+                    peer->frames_out.load(std::memory_order_relaxed);
+    link.bytes = peer->bytes_in.load(std::memory_order_relaxed) +
+                 peer->bytes_out.load(std::memory_order_relaxed);
+  }
+}
+
+}  // namespace themis::p2p

@@ -202,5 +202,96 @@ TEST_F(BlockStoreTest, ManyBlocksRoundTrip) {
   }
 }
 
+TEST_F(BlockStoreTest, CursorStreamsEveryRecordInOrder) {
+  BlockStore store(path_);
+  std::vector<BlockHash> ids;
+  BlockHash prev{};
+  for (std::uint64_t h = 1; h <= 20; ++h) {
+    const Block b = sample_block(h, prev, h % 3);
+    prev = b.id();
+    ids.push_back(prev);
+    store.append(b);
+  }
+
+  auto cursor = store.stream();
+  EXPECT_EQ(cursor.remaining(), 20u);
+  std::size_t i = 0;
+  while (auto block = cursor.next()) {
+    ASSERT_LT(i, ids.size());
+    EXPECT_EQ(block->id(), ids[i]) << "record " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, 20u);
+  EXPECT_EQ(cursor.remaining(), 0u);
+  EXPECT_FALSE(cursor.next().has_value());  // stays exhausted
+}
+
+TEST_F(BlockStoreTest, CursorWindowSelectsARange) {
+  BlockStore store(path_);
+  std::vector<BlockHash> ids;
+  BlockHash prev{};
+  for (std::uint64_t h = 1; h <= 10; ++h) {
+    const Block b = sample_block(h, prev);
+    prev = b.id();
+    ids.push_back(prev);
+    store.append(b);
+  }
+
+  auto cursor = store.stream(3, 4);  // records 3,4,5,6
+  EXPECT_EQ(cursor.index(), 3u);
+  EXPECT_EQ(cursor.remaining(), 4u);
+  for (std::size_t i = 3; i < 7; ++i) {
+    const auto block = cursor.next();
+    ASSERT_TRUE(block.has_value());
+    EXPECT_EQ(block->id(), ids[i]);
+  }
+  EXPECT_FALSE(cursor.next().has_value());
+
+  // Window past the end clamps; an empty window yields nothing.
+  EXPECT_EQ(store.stream(8, 100).remaining(), 2u);
+  EXPECT_FALSE(store.stream(10).next().has_value());
+}
+
+TEST_F(BlockStoreTest, CursorOnEmptyStoreIsExhausted) {
+  BlockStore store(path_);
+  auto cursor = store.stream();
+  EXPECT_EQ(cursor.remaining(), 0u);
+  EXPECT_FALSE(cursor.next().has_value());
+}
+
+TEST_F(BlockStoreTest, CursorSnapshotsTheRecordCountAtCreation) {
+  BlockStore store(path_);
+  store.append(sample_block(1, BlockHash{}));
+  auto cursor = store.stream();
+  store.append(sample_block(2, BlockHash{}));
+  EXPECT_EQ(cursor.remaining(), 1u);  // the later append is not visited
+  EXPECT_TRUE(cursor.next().has_value());
+  EXPECT_FALSE(cursor.next().has_value());
+  EXPECT_EQ(store.stream().remaining(), 2u);  // a fresh cursor sees both
+}
+
+TEST_F(BlockStoreTest, CursorIgnoresTornTail) {
+  BlockHash prev{};
+  {
+    BlockStore store(path_);
+    for (std::uint64_t h = 1; h <= 5; ++h) {
+      const Block b = sample_block(h, prev);
+      prev = b.id();
+      store.append(b);
+    }
+  }
+  // Truncate mid-record: the reopened store drops the tail, and the cursor
+  // must stream exactly the surviving records.
+  const auto size = fs::file_size(path_);
+  fs::resize_file(path_, size - 7);
+  BlockStore store(path_);
+  EXPECT_TRUE(store.recovered_from_torn_tail());
+  ASSERT_EQ(store.size(), 4u);
+  auto cursor = store.stream();
+  std::size_t streamed = 0;
+  while (cursor.next().has_value()) ++streamed;
+  EXPECT_EQ(streamed, 4u);
+}
+
 }  // namespace
 }  // namespace themis::ledger

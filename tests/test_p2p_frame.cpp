@@ -1,0 +1,347 @@
+// Wire-frame robustness: the FrameDecoder and message codecs must survive
+// arbitrary input splits, truncation, corruption and hostile length prefixes
+// by throwing (-> connection close), never by crashing or over-allocating.
+// The socket-level tests at the bottom drive a live PeerManager with garbage
+// and mismatched handshakes and assert the connection dies cleanly.
+#include "p2p/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/serialize.h"
+#include "consensus/wire.h"
+#include "p2p/messages.h"
+#include "p2p/peer_manager.h"
+#include "p2p/socket.h"
+
+namespace themis::p2p {
+namespace {
+
+Bytes bytes_of(std::initializer_list<int> values) {
+  Bytes out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+Bytes pattern_payload(std::size_t n) {
+  Bytes payload(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  return payload;
+}
+
+// --- framing ---------------------------------------------------------------
+
+TEST(FrameCodec, RoundTripsEmptyAndLargePayloads) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{1000},
+                              std::size_t{100000}}) {
+    const Bytes payload = pattern_payload(n);
+    const Bytes wire = encode_frame(42, payload);
+    EXPECT_EQ(wire.size(), n + kFrameOverhead);
+
+    FrameDecoder decoder;
+    decoder.feed(wire);
+    const auto frame = decoder.poll();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, 42u);
+    EXPECT_EQ(frame->payload, payload);
+    EXPECT_FALSE(decoder.poll().has_value());
+    EXPECT_EQ(decoder.buffered(), 0u);
+  }
+}
+
+TEST(FrameCodec, DecodesAcrossArbitrarySplits) {
+  const Bytes payload = pattern_payload(301);
+  const Bytes wire = encode_frame(7, payload);
+
+  // Byte-at-a-time: a frame must appear exactly once, at the last byte.
+  FrameDecoder decoder;
+  std::size_t frames = 0;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    decoder.feed(ByteSpan(&wire[i], 1));
+    while (decoder.poll().has_value()) ++frames;
+    if (i + 1 < wire.size()) EXPECT_EQ(frames, 0u);
+  }
+  EXPECT_EQ(frames, 1u);
+}
+
+TEST(FrameCodec, DecodesBackToBackFramesFromOneFeed) {
+  Bytes wire = encode_frame(1, pattern_payload(10));
+  const Bytes second = encode_frame(2, pattern_payload(20));
+  wire.insert(wire.end(), second.begin(), second.end());
+
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  const auto a = decoder.poll();
+  const auto b = decoder.poll();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->type, 1u);
+  EXPECT_EQ(b->type, 2u);
+  EXPECT_FALSE(decoder.poll().has_value());
+}
+
+TEST(FrameCodec, TruncatedFrameStaysPending) {
+  const Bytes wire = encode_frame(9, pattern_payload(64));
+  FrameDecoder decoder;
+  decoder.feed(ByteSpan(wire.data(), wire.size() - 1));
+  EXPECT_FALSE(decoder.poll().has_value());  // not an error: just incomplete
+  EXPECT_EQ(decoder.buffered(), wire.size() - 1);
+}
+
+TEST(FrameCodec, BadMagicThrowsAndPoisons) {
+  Bytes wire = encode_frame(9, pattern_payload(8));
+  wire[0] ^= 0xff;
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  EXPECT_THROW(decoder.poll(), FrameError);
+  // Poisoned: even fresh valid bytes must keep throwing.
+  decoder.feed(encode_frame(1, {}));
+  EXPECT_THROW(decoder.poll(), FrameError);
+}
+
+TEST(FrameCodec, CorruptedChecksumThrows) {
+  Bytes wire = encode_frame(9, pattern_payload(32));
+  wire.back() ^= 0x01;
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  EXPECT_THROW(decoder.poll(), FrameError);
+}
+
+TEST(FrameCodec, CorruptedPayloadFailsChecksum) {
+  Bytes wire = encode_frame(9, pattern_payload(32));
+  wire[12 + 5] ^= 0x40;  // flip a payload bit, leave the checksum alone
+  FrameDecoder decoder;
+  decoder.feed(wire);
+  EXPECT_THROW(decoder.poll(), FrameError);
+}
+
+TEST(FrameCodec, OversizedLengthPrefixRejectedBeforeBuffering) {
+  // Hand-build a header claiming a payload just over the cap.  The decoder
+  // must throw from the 12 header bytes alone — it never waits for (or
+  // allocates) the claimed 4 MiB + 1.
+  Writer w;
+  w.u32(kFrameMagic);
+  w.u32(1);
+  w.u32(kMaxFramePayload + 1);
+  FrameDecoder decoder;
+  decoder.feed(w.buffer());
+  EXPECT_THROW(decoder.poll(), FrameError);
+}
+
+TEST(FrameCodec, MaxSizePayloadIsAccepted) {
+  const Bytes payload = pattern_payload(kMaxFramePayload);
+  FrameDecoder decoder;
+  decoder.feed(encode_frame(3, payload));
+  const auto frame = decoder.poll();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->payload.size(), kMaxFramePayload);
+}
+
+// --- message payloads ------------------------------------------------------
+
+TEST(Messages, HandshakeRoundTrips) {
+  HandshakeMsg m;
+  m.genesis.fill(0xab);
+  m.node_id = 7;
+  m.listen_port = 9101;
+  m.head_height = 42;
+  m.agent = "themis-noded/test";
+  EXPECT_EQ(HandshakeMsg::decode(m.encode()), m);
+}
+
+TEST(Messages, HandshakeRejectsTruncationAndTrailingGarbage) {
+  const Bytes wire = HandshakeMsg{}.encode();
+  EXPECT_THROW(
+      HandshakeMsg::decode(ByteSpan(wire.data(), wire.size() - 1)),
+      DecodeError);
+  Bytes padded = wire;
+  padded.push_back(0);
+  EXPECT_THROW(HandshakeMsg::decode(padded), DecodeError);
+}
+
+TEST(Messages, CheckHandshakeDistinguishesMismatches) {
+  HandshakeMsg m;
+  m.genesis.fill(3);
+  ledger::BlockHash genesis{};
+  genesis.fill(3);
+  EXPECT_EQ(check_handshake(m, kNetworkMagic, kProtocolVersion, genesis),
+            HandshakeReject::ok);
+  m.network ^= 1;
+  EXPECT_EQ(check_handshake(m, kNetworkMagic, kProtocolVersion, genesis),
+            HandshakeReject::wrong_network);
+  m.network = kNetworkMagic;
+  m.version += 1;
+  EXPECT_EQ(check_handshake(m, kNetworkMagic, kProtocolVersion, genesis),
+            HandshakeReject::wrong_version);
+  m.version = kProtocolVersion;
+  m.genesis.fill(4);
+  EXPECT_EQ(check_handshake(m, kNetworkMagic, kProtocolVersion, genesis),
+            HandshakeReject::wrong_genesis);
+}
+
+TEST(Messages, InvRoundTripsAndBoundsCount) {
+  InvMsg m;
+  for (int i = 0; i < 5; ++i) {
+    ledger::BlockHash h{};
+    h.fill(static_cast<std::uint8_t>(i));
+    m.hashes.push_back(h);
+  }
+  EXPECT_EQ(InvMsg::decode(m.encode()).hashes, m.hashes);
+
+  // A hostile count well past kMaxInvHashes must throw before any reads.
+  Writer w;
+  w.varint(std::uint64_t{1} << 40);
+  EXPECT_THROW(InvMsg::decode(w.buffer()), DecodeError);
+}
+
+TEST(Messages, GetBlocksAndBlocksRoundTrip) {
+  GetBlocksMsg req;
+  ledger::BlockHash h{};
+  h.fill(9);
+  req.locator = {h};
+  req.max_blocks = 77;
+  const GetBlocksMsg back = GetBlocksMsg::decode(req.encode());
+  EXPECT_EQ(back.locator, req.locator);
+  EXPECT_EQ(back.max_blocks, 77u);
+
+  BlocksMsg blocks;
+  blocks.blocks.push_back(bytes_of({1, 2, 3}));
+  blocks.blocks.push_back(bytes_of({}));
+  EXPECT_EQ(BlocksMsg::decode(blocks.encode()).blocks, blocks.blocks);
+
+  Writer hostile;
+  hostile.varint(kMaxSyncBlocks + 1);
+  EXPECT_THROW(BlocksMsg::decode(hostile.buffer()), DecodeError);
+}
+
+// --- live-socket robustness ------------------------------------------------
+
+class LivePeerManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    PeerManagerConfig config;
+    config.listen_port = 0;
+    config.handshake.genesis.fill(0x11);
+    config.handshake.node_id = 0;
+    manager_ = std::make_unique<PeerManager>(std::move(config));
+    manager_->set_frame_handler([](Peer&, std::uint32_t, ByteSpan) {});
+    ASSERT_TRUE(manager_->start());
+  }
+  void TearDown() override { manager_->stop(); }
+
+  TcpSocket dial() {
+    TcpSocket s = TcpSocket::connect("127.0.0.1", manager_->listen_port(), 2000);
+    EXPECT_TRUE(s.valid());
+    s.set_timeouts(2000, 2000);
+    return s;
+  }
+
+  /// Drain until orderly close (0) or hard error; false on timeout.
+  bool closed_by_remote(TcpSocket& s) {
+    std::uint8_t buf[4096];
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const int n = s.recv_some(buf, sizeof(buf));
+      if (n == 0 || n == -2) return true;
+    }
+    return false;
+  }
+
+  std::unique_ptr<PeerManager> manager_;
+};
+
+TEST_F(LivePeerManagerTest, GarbageBytesCloseTheConnection) {
+  TcpSocket s = dial();
+  Bytes garbage(512);
+  for (std::size_t i = 0; i < garbage.size(); ++i) {
+    garbage[i] = static_cast<std::uint8_t>(i * 37 + 1);
+  }
+  ASSERT_TRUE(s.send_all(garbage));
+  EXPECT_TRUE(closed_by_remote(s));
+  EXPECT_GE(manager_->stats().protocol_errors, 1u);
+  EXPECT_EQ(manager_->ready_peer_count(), 0u);
+}
+
+TEST_F(LivePeerManagerTest, OversizedLengthPrefixClosesTheConnection) {
+  TcpSocket s = dial();
+  Writer w;
+  w.u32(kFrameMagic);
+  w.u32(consensus::kP2pPing);
+  w.u32(kMaxFramePayload + 1);
+  ASSERT_TRUE(s.send_all(w.buffer()));
+  EXPECT_TRUE(closed_by_remote(s));
+  EXPECT_GE(manager_->stats().protocol_errors, 1u);
+}
+
+TEST_F(LivePeerManagerTest, WrongGenesisHandshakeIsRejected) {
+  TcpSocket s = dial();
+  HandshakeMsg hello;
+  hello.genesis.fill(0x22);  // manager expects 0x11
+  ASSERT_TRUE(s.send_all(encode_frame(consensus::kP2pHandshake, hello.encode())));
+  EXPECT_TRUE(closed_by_remote(s));
+  EXPECT_GE(manager_->stats().handshakes_rejected, 1u);
+  EXPECT_EQ(manager_->ready_peer_count(), 0u);
+}
+
+TEST_F(LivePeerManagerTest, WrongVersionHandshakeIsRejected) {
+  TcpSocket s = dial();
+  HandshakeMsg hello;
+  hello.genesis.fill(0x11);
+  hello.version = kProtocolVersion + 1;
+  ASSERT_TRUE(s.send_all(encode_frame(consensus::kP2pHandshake, hello.encode())));
+  EXPECT_TRUE(closed_by_remote(s));
+  EXPECT_GE(manager_->stats().handshakes_rejected, 1u);
+}
+
+TEST_F(LivePeerManagerTest, NonHandshakeFirstFrameIsAProtocolError) {
+  TcpSocket s = dial();
+  ASSERT_TRUE(
+      s.send_all(encode_frame(consensus::kP2pPing, PingMsg{7}.encode())));
+  EXPECT_TRUE(closed_by_remote(s));
+  EXPECT_GE(manager_->stats().protocol_errors, 1u);
+}
+
+TEST_F(LivePeerManagerTest, ValidHandshakeThenPingGetsPong) {
+  TcpSocket s = dial();
+  HandshakeMsg hello;
+  hello.genesis.fill(0x11);
+  hello.node_id = 5;
+  ASSERT_TRUE(s.send_all(encode_frame(consensus::kP2pHandshake, hello.encode())));
+  ASSERT_TRUE(
+      s.send_all(encode_frame(consensus::kP2pPing, PingMsg{99}.encode())));
+
+  // Expect the manager's own handshake followed by our pong.
+  FrameDecoder decoder;
+  std::uint8_t buf[4096];
+  bool got_handshake = false;
+  bool got_pong = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!got_pong && std::chrono::steady_clock::now() < deadline) {
+    const int n = s.recv_some(buf, sizeof(buf));
+    if (n == 0 || n == -2) break;
+    if (n < 0) continue;
+    decoder.feed(ByteSpan(buf, static_cast<std::size_t>(n)));
+    while (const auto frame = decoder.poll()) {
+      if (frame->type == consensus::kP2pHandshake) {
+        const auto theirs = HandshakeMsg::decode(frame->payload);
+        EXPECT_EQ(theirs.genesis, hello.genesis);
+        got_handshake = true;
+      } else if (frame->type == consensus::kP2pPong) {
+        EXPECT_EQ(PingMsg::decode(frame->payload).nonce, 99u);
+        got_pong = true;
+      }
+    }
+  }
+  EXPECT_TRUE(got_handshake);
+  EXPECT_TRUE(got_pong);
+  EXPECT_EQ(manager_->ready_peer_count(), 1u);
+}
+
+}  // namespace
+}  // namespace themis::p2p

@@ -1,0 +1,265 @@
+// Loopback network integration: real sockets, real PoW, durable stores.
+//
+// The headline scenario mirrors the issue's acceptance criterion: four
+// in-process nodes on ephemeral ports mine at low difficulty until they
+// converge on one head; one node is killed; the survivors mine past its
+// head; the node restarts from its datadir, replays its store, re-syncs
+// past the head it missed and resumes mining.
+//
+// Convergence strategy: fork-choice ties (equal-weight subtrees) are broken
+// by *local* receipt order, so two nodes can legitimately disagree while
+// mining is paused on a tie.  The helper therefore pauses mining, waits for
+// announcements to settle, and briefly resumes mining when heads still
+// differ — the next block breaks the tie.  Timeouts are generous because CI
+// runs this under TSan (~10x slowdown).
+#include "p2p/node.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace themis::p2p {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+constexpr double kTestDifficulty = 6000.0;  // ~instant native, ok under TSan
+
+class P2pIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("themis_p2p_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(root_);
+  }
+  void TearDown() override {
+    for (auto& node : nodes_) {
+      if (node) node->stop();
+    }
+    nodes_.clear();
+    fs::remove_all(root_);
+  }
+
+  P2pNodeConfig base_config(std::size_t id, std::size_t n_nodes) {
+    P2pNodeConfig config;
+    config.id = static_cast<ledger::NodeId>(id);
+    config.n_nodes = n_nodes;
+    config.listen_port = 0;  // ephemeral
+    config.datadir = root_ / ("node" + std::to_string(id));
+    config.difficulty = kTestDifficulty;
+    config.rng_seed = 1000 + id;
+    config.ping_interval_ms = 500;
+    config.backoff_initial_ms = 50;
+    config.backoff_max_ms = 500;
+    return config;
+  }
+
+  /// Start a node dialing every node already started.
+  P2pNode* start_node(std::size_t id, std::size_t n_nodes, bool mine = true) {
+    P2pNodeConfig config = base_config(id, n_nodes);
+    config.mine = mine;
+    for (const auto& node : nodes_) {
+      if (!node) continue;
+      config.peers.push_back("127.0.0.1:" +
+                             std::to_string(node->listen_port()));
+    }
+    auto node = std::make_unique<P2pNode>(std::move(config));
+    if (nodes_.size() <= id) nodes_.resize(id + 1);
+    nodes_[id] = std::move(node);
+    EXPECT_TRUE(nodes_[id]->start());
+    return nodes_[id].get();
+  }
+
+  std::vector<P2pNode*> live_nodes() {
+    std::vector<P2pNode*> out;
+    for (auto& node : nodes_) {
+      if (node) out.push_back(node.get());
+    }
+    return out;
+  }
+
+  static bool wait_until(std::function<bool()> pred,
+                         std::chrono::seconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (pred()) return true;
+      std::this_thread::sleep_for(20ms);
+    }
+    return pred();
+  }
+
+  static bool heads_equal(const std::vector<P2pNode*>& nodes) {
+    for (const P2pNode* node : nodes) {
+      if (node->head() != nodes.front()->head()) return false;
+    }
+    return true;
+  }
+
+  /// Drive the network until every node reports the same head at height >=
+  /// min_height.  Leaves mining PAUSED on success so the converged state is
+  /// stable for assertions.
+  static bool converge(const std::vector<P2pNode*>& nodes,
+                       std::uint64_t min_height,
+                       std::chrono::seconds timeout) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (std::chrono::steady_clock::now() < deadline) {
+      const bool tall_enough = [&] {
+        for (const P2pNode* node : nodes) {
+          if (node->head_height() < min_height) return false;
+        }
+        return true;
+      }();
+      if (!tall_enough) {
+        std::this_thread::sleep_for(50ms);
+        continue;
+      }
+      for (P2pNode* node : nodes) node->set_mining(false);
+      // Mining is off: once in-flight announcements drain, heads are final.
+      if (wait_until([&] { return heads_equal(nodes); }, 5s)) return true;
+      // A genuine fork-choice tie: resume mining, the next block breaks it.
+      for (P2pNode* node : nodes) node->set_mining(true);
+      std::this_thread::sleep_for(100ms);
+    }
+    return false;
+  }
+
+  fs::path root_;
+  std::vector<std::unique_ptr<P2pNode>> nodes_;
+};
+
+TEST_F(P2pIntegrationTest, TwoNodesConnectAndExchangeLiveBlocks) {
+  P2pNode* a = start_node(0, 2);
+  P2pNode* b = start_node(1, 2);
+
+  ASSERT_TRUE(wait_until(
+      [&] { return a->ready_peer_count() == 1 && b->ready_peer_count() == 1; },
+      30s));
+  ASSERT_TRUE(converge({a, b}, 3, 120s));
+
+  EXPECT_EQ(a->head(), b->head());
+  EXPECT_GE(a->head_height(), 3u);
+  // Both mined and both persisted: blocks flowed in each direction.
+  EXPECT_GT(a->store_blocks() + b->store_blocks(), 0u);
+  const auto stats_a = a->chain_stats();
+  const auto stats_b = b->chain_stats();
+  EXPECT_GT(stats_a.blocks_produced + stats_b.blocks_produced, 0u);
+  EXPECT_GT(stats_a.blocks_received + stats_b.blocks_received, 0u);
+}
+
+TEST_F(P2pIntegrationTest, LateJoinerCatchesUpViaRangeSync) {
+  // Node 0 mines alone to height >= 6, then a non-mining node appears and
+  // must catch up purely through the locator/getblocks protocol.
+  P2pNode* a = start_node(0, 2);
+  ASSERT_TRUE(wait_until([&] { return a->head_height() >= 6; }, 120s));
+  a->set_mining(false);
+
+  // Compare against a's live head: a block solved just as mining was paused
+  // may still land after this point, so a static snapshot could go stale.
+  P2pNode* b = start_node(1, 2, /*mine=*/false);
+  ASSERT_TRUE(wait_until([&] { return b->head() == a->head(); }, 60s));
+  EXPECT_EQ(b->head_height(), a->head_height());
+  EXPECT_GE(b->head_height(), 6u);
+
+  const auto stats = b->chain_stats();
+  EXPECT_GE(stats.sync_rounds, 1u);
+  EXPECT_EQ(stats.blocks_produced, 0u);
+  // Everything it received is persisted for the next restart.
+  EXPECT_EQ(b->store_blocks(), b->tree_blocks() - 1);  // store has no genesis
+}
+
+TEST_F(P2pIntegrationTest, FourNodesConvergeKillOneRestartAndRecover) {
+  constexpr std::size_t kNodes = 4;
+  for (std::size_t i = 0; i < kNodes; ++i) start_node(i, kNodes);
+
+  // Full mesh: every node ends up with 3 ready peers.
+  ASSERT_TRUE(wait_until(
+      [&] {
+        for (P2pNode* node : live_nodes()) {
+          if (node->ready_peer_count() < kNodes - 1) return false;
+        }
+        return true;
+      },
+      60s));
+
+  ASSERT_TRUE(converge(live_nodes(), 3, 240s)) << "initial convergence";
+  const std::uint64_t killed_height = nodes_[3]->head_height();
+  const auto killed_head = nodes_[3]->head();
+
+  // Kill node 3 (clean stop; the store survives in its datadir).
+  nodes_[3]->stop();
+  nodes_[3].reset();
+
+  // Survivors mine past the dead node's head.
+  for (P2pNode* node : live_nodes()) node->set_mining(true);
+  ASSERT_TRUE(converge(live_nodes(), killed_height + 3, 240s))
+      << "survivors advancing past the killed node";
+  const auto survivor_height = nodes_[0]->head_height();
+  ASSERT_GT(survivor_height, killed_height);
+
+  // Restart node 3 from its datadir, dialing the three survivors.
+  P2pNode* revived = start_node(3, kNodes, /*mine=*/false);
+  const auto revived_stats = revived->chain_stats();
+  EXPECT_GE(revived_stats.store_replayed, killed_height)
+      << "store replay must rebuild the pre-kill chain";
+  EXPECT_GE(revived->head_height(), killed_height)
+      << "replayed chain must reach the pre-kill head";
+  EXPECT_TRUE(revived->contains(killed_head));
+
+  // It must re-sync past the head it missed.  Converge on live heads rather
+  // than waiting for a snapshot: a block solved just as the previous
+  // converge() paused mining may land after the snapshot and move the
+  // survivors' head (and an in-flight sibling pair can even leave them
+  // tied), so only the converge helper's pause/settle/resume loop is a
+  // reliable target.
+  ASSERT_TRUE(converge(live_nodes(), survivor_height, 240s))
+      << "revived node must catch up to the survivors";
+  EXPECT_GE(revived->head_height(), survivor_height);
+
+  // ...and rejoin mining: with everyone else paused, the next blocks are its.
+  revived->set_mining(true);
+  ASSERT_TRUE(wait_until(
+      [&] { return revived->chain_stats().blocks_produced > 0; }, 120s))
+      << "revived node must mine again";
+  revived->set_mining(false);  // freeze so propagation is a stable target
+  ASSERT_TRUE(wait_until(
+      [&] {
+        return nodes_[0]->head_height() > survivor_height &&
+               heads_equal(live_nodes());
+      },
+      120s))
+      << "revived node's blocks must propagate back to the survivors";
+
+  // Redundant-announce accounting is live on every node.
+  for (P2pNode* node : live_nodes()) {
+    const double ratio = node->redundant_announce_ratio();
+    EXPECT_GE(ratio, 0.0);
+    EXPECT_LE(ratio, 1.0);
+  }
+}
+
+TEST_F(P2pIntegrationTest, ObservabilityCountersAreFilled) {
+  obs::Observability obs;
+  P2pNodeConfig config = base_config(0, 1);
+  config.mine = true;
+  P2pNode node(std::move(config));
+  node.set_observability(&obs);
+  ASSERT_TRUE(node.start());
+  ASSERT_TRUE(wait_until([&] { return node.head_height() >= 2; }, 120s));
+  node.stop();
+  node.fill_observability();
+
+  EXPECT_GE(obs.counters.counter("chain.height"), 2u);
+  EXPECT_GE(obs.counters.counter("consensus.blocks_produced"), 2u);
+  EXPECT_GE(obs.counters.counter("chain.store_blocks"), 2u);
+}
+
+}  // namespace
+}  // namespace themis::p2p

@@ -1,0 +1,204 @@
+// themis-noded: run one Themis consensus node on a real TCP network.
+//
+// The daemon wires the p2p subsystem (src/p2p) around the paper's consensus
+// stack: GEOST fork choice by default, §III validation, real double-SHA-256
+// proof of work, a durable block store under --datadir, and the framed wire
+// protocol with handshake, ping/pong liveness and locator-based chain sync.
+//
+// A 4-node loopback network (see README "Run a local 4-node network"):
+//
+//   themis-noded --id=0 --nodes=4 --listen=9100 --datadir=/tmp/n0 &
+//   themis-noded --id=1 --nodes=4 --listen=9101 --peer=127.0.0.1:9100 ... &
+//
+// Every node is both server and client: it listens, dials its --peer list
+// with exponential backoff, and re-dials dropped peers, so start order does
+// not matter.  SIGINT/SIGTERM (or --run-for / --stop-at-height) stop the
+// node cleanly; --report and --trace expose the src/obs counters and the
+// JSONL event trace the simulator benches use.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "bench_util.h"
+#include "common/bytes.h"
+#include "consensus/difficulty.h"
+#include "consensus/forkchoice.h"
+#include "core/geost.h"
+#include "obs/observability.h"
+#include "obs/report.h"
+#include "p2p/node.h"
+
+namespace {
+
+constexpr std::string_view kUsage =
+    "themis-noded [flags]\n"
+    "  --id=<n>              node id within the consensus set (default 0)\n"
+    "  --nodes=<n>           consensus set size (default 4)\n"
+    "  --listen=<port>       TCP listen port (default 0 = ephemeral)\n"
+    "  --no-listen           outbound-only node\n"
+    "  --peer=<host:port>    peer to dial; repeatable\n"
+    "  --datadir=<path>      durable state dir (default: memory only)\n"
+    "  --difficulty=<d>      expected hashes per block (default 20000)\n"
+    "  --fork-choice=<r>     geost | ghost | longest (default geost)\n"
+    "  --no-mine             serve sync and relay blocks, do not mine\n"
+    "  --no-signatures       skip Schnorr signing/verification\n"
+    "  --seed=<u64>          rng seed for nonce start / dial jitter\n"
+    "  --run-for=<sec>       stop after this many seconds (0 = until signal)\n"
+    "  --stop-at-height=<h>  stop once the head reaches height h\n"
+    "  --status-interval=<s> status line period in seconds (0 = quiet)\n"
+    "  --trace=<path>        write a JSONL event trace on exit\n"
+    "  --report[=<path>]     counters report on exit (stderr or file)\n";
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+void status_line(const themis::p2p::P2pNode& node) {
+  const auto stats = node.chain_stats();
+  const auto transport = node.transport_stats();
+  std::cerr << "[noded] height=" << node.head_height()
+            << " head=" << themis::to_hex(node.head()).substr(0, 12)
+            << " peers=" << node.ready_peer_count()
+            << " mined=" << stats.blocks_produced
+            << " recv=" << stats.blocks_received
+            << " bytes_in=" << transport.bytes_in
+            << " bytes_out=" << transport.bytes_out << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace themis;
+
+  const bench::ArgParser parser(argc, argv);
+  if (parser.flag("--help") || parser.flag("-h")) {
+    std::cout << kUsage;
+    return 0;
+  }
+
+  p2p::P2pNodeConfig config;
+  config.id = static_cast<ledger::NodeId>(parser.value_u64("--id", 0));
+  config.n_nodes =
+      static_cast<std::size_t>(parser.value_u64("--nodes", 4));
+  config.listen_port =
+      static_cast<std::uint16_t>(parser.value_u64("--listen", 0));
+  config.listen = !parser.flag("--no-listen");
+  for (const auto peer : parser.values("--peer")) {
+    config.peers.emplace_back(peer);
+  }
+  if (const auto v = parser.value("--datadir")) config.datadir = *v;
+  if (const auto v = parser.value("--difficulty")) {
+    config.difficulty = std::strtod(std::string(*v).c_str(), nullptr);
+  }
+  config.mine = !parser.flag("--no-mine");
+  config.use_signatures = !parser.flag("--no-signatures");
+  config.rng_seed = parser.value_u64("--seed", 1 + config.id);
+
+  const std::uint64_t run_for = parser.value_u64("--run-for", 0);
+  const std::uint64_t stop_at_height = parser.value_u64("--stop-at-height", 0);
+  const std::uint64_t status_interval =
+      parser.value_u64("--status-interval", 5);
+  std::string trace_path;
+  if (const auto v = parser.value("--trace")) trace_path = *v;
+  bool report = false;
+  std::string report_path;
+  if (const auto v = parser.flag_or_value("--report")) {
+    report = true;
+    report_path = *v;
+  }
+
+  std::shared_ptr<consensus::ForkChoiceRule> rule;
+  const std::string fork_choice{parser.value("--fork-choice").value_or("geost")};
+  if (fork_choice == "geost") {
+    rule = std::make_shared<core::GeostRule>(config.n_nodes);
+  } else if (fork_choice == "ghost") {
+    rule = std::make_shared<consensus::GhostRule>();
+  } else if (fork_choice == "longest") {
+    rule = std::make_shared<consensus::LongestChainRule>();
+  } else {
+    std::cerr << "error: unknown fork choice '" << fork_choice << "'\n";
+    return 2;
+  }
+  parser.reject_unknown(kUsage);
+
+  if (config.id >= config.n_nodes) {
+    std::cerr << "error: --id must be < --nodes\n";
+    return 2;
+  }
+
+  obs::Observability obs;
+  obs.tracer.enable(!trace_path.empty());
+
+  p2p::P2pNode node(config, rule);
+  node.set_observability(&obs);
+  if (!node.start()) {
+    std::cerr << "error: failed to bind listen port " << config.listen_port
+              << "\n";
+    return 1;
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  std::cerr << "[noded] node " << config.id << "/" << config.n_nodes
+            << " listening on port " << node.listen_port() << " ("
+            << rule->name() << ", difficulty " << config.difficulty
+            << (config.mine ? "" : ", not mining")
+            << (config.datadir.empty()
+                    ? std::string(", memory only)")
+                    : ", datadir " + config.datadir.string() + ")")
+            << "\n";
+  if (const auto replayed = node.chain_stats().store_replayed) {
+    std::cerr << "[noded] replayed " << replayed
+              << " blocks from the store, height " << node.head_height()
+              << "\n";
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  auto next_status = started + std::chrono::seconds(status_interval);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const auto now = std::chrono::steady_clock::now();
+    if (run_for > 0 && now - started >= std::chrono::seconds(run_for)) break;
+    if (stop_at_height > 0 && node.head_height() >= stop_at_height) break;
+    if (status_interval > 0 && now >= next_status) {
+      status_line(node);
+      next_status = now + std::chrono::seconds(status_interval);
+    }
+  }
+
+  std::cerr << "[noded] stopping\n";
+  // Snapshot counters (including the per-peer link matrix) while the peers
+  // are still connected, then shut down.
+  node.fill_observability();
+  node.stop();
+  status_line(node);
+  if (!trace_path.empty()) {
+    if (obs.tracer.write_file(trace_path)) {
+      std::cerr << "[noded] trace: " << trace_path << " (" << obs.tracer.size()
+                << " events)\n";
+    } else {
+      std::cerr << "[noded] trace: FAILED to write " << trace_path << "\n";
+    }
+  }
+  if (report) {
+    if (report_path.empty()) {
+      obs::write_report(std::cerr, obs);
+    } else {
+      std::ofstream out(report_path);
+      if (out) {
+        obs::write_report(out, obs);
+        std::cerr << "[noded] report: " << report_path << "\n";
+      } else {
+        std::cerr << "[noded] report: FAILED to write " << report_path << "\n";
+      }
+    }
+  }
+  return 0;
+}
