@@ -1,0 +1,333 @@
+// load_gen: end-to-end transaction-pipeline benchmark.
+//
+// Boots N consensus nodes in-process (real TCP p2p between them, each with a
+// JSON-RPC server) and K concurrent client threads that hammer the RPC
+// surface over real HTTP connections: every client signs as its own
+// consortium account (the consensus set is sized nodes+clients, so client
+// accounts exist in the genesis allocation and nonce sequences never race),
+// submits a fixed number of transfers, then polls get_tx until every
+// transaction is confirmed on the chain.
+//
+// Reported: confirmed throughput (confirmed txs / wall time from first
+// submit to last confirmation) and the submit->confirmed latency
+// distribution (p50/p90/p99), plus per-node pipeline counters.  --json
+// writes the same numbers machine-readably (CI uploads BENCH_txpipe.json).
+//
+// This is a benchmark of the implementation's pipeline, not of the paper's
+// consensus math: GHOST fork choice keeps the fork-choice cost independent
+// of the (deliberately inflated) consensus-set size.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "consensus/forkchoice.h"
+#include "p2p/node.h"
+#include "rpc/gateway.h"
+#include "rpc/http_client.h"
+#include "rpc/http_server.h"
+#include "rpc/json.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr std::string_view kUsage =
+    "load_gen [flags]\n"
+    "  --nodes=<n>       consensus nodes (default 3)\n"
+    "  --clients=<k>     concurrent client threads (default 4)\n"
+    "  --txs=<n>         transactions per client (default 150)\n"
+    "  --difficulty=<d>  expected hashes per block (default 6000)\n"
+    "  --amount=<n>      transfer amount (default 1)\n"
+    "  --timeout=<sec>   confirmation deadline after last submit (default 120)\n"
+    "  --json=<path>     also write results as JSON (e.g. BENCH_txpipe.json)\n"
+    "  --quick           smaller run for CI (2 nodes, 2 clients, 40 txs)\n";
+
+struct ClientResult {
+  std::uint64_t submitted = 0;
+  std::uint64_t submit_errors = 0;
+  std::uint64_t confirmed = 0;
+  Clock::time_point first_submit{};
+  Clock::time_point last_confirm{};
+  std::vector<double> latencies_ms;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace themis;
+
+  const bench::ArgParser parser(argc, argv);
+  if (parser.flag("--help") || parser.flag("-h")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  const bool quick = parser.flag("--quick");
+  const std::size_t n_nodes =
+      static_cast<std::size_t>(parser.value_u64("--nodes", quick ? 2 : 3));
+  const std::size_t n_clients =
+      static_cast<std::size_t>(parser.value_u64("--clients", quick ? 2 : 4));
+  const std::uint64_t txs_per_client =
+      parser.value_u64("--txs", quick ? 40 : 150);
+  double difficulty = 6000.0;
+  if (const auto v = parser.value("--difficulty")) {
+    difficulty = std::strtod(std::string(*v).c_str(), nullptr);
+  }
+  const std::uint64_t amount = parser.value_u64("--amount", 1);
+  const std::uint64_t timeout_sec = parser.value_u64("--timeout", 120);
+  std::string json_path;
+  if (const auto v = parser.value("--json")) json_path = *v;
+  parser.reject_unknown(kUsage);
+
+  // Consensus set = nodes + clients: every client signs as its own account.
+  const std::size_t set_size = n_nodes + n_clients;
+
+  // --- boot the network -----------------------------------------------------
+  std::vector<std::unique_ptr<p2p::P2pNode>> nodes;
+  std::vector<std::unique_ptr<rpc::Gateway>> gateways;
+  std::vector<std::unique_ptr<rpc::HttpServer>> servers;
+  std::vector<std::uint16_t> rpc_ports;
+
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    p2p::P2pNodeConfig config;
+    config.id = static_cast<ledger::NodeId>(i);
+    config.n_nodes = set_size;
+    config.listen_port = 0;
+    config.difficulty = difficulty;
+    config.rng_seed = 1 + i;
+    for (std::size_t j = 0; j < i; ++j) {
+      config.peers.push_back("127.0.0.1:" +
+                             std::to_string(nodes[j]->listen_port()));
+    }
+    auto node = std::make_unique<p2p::P2pNode>(
+        config, std::make_shared<consensus::GhostRule>());
+    if (!node->start()) {
+      std::cerr << "error: failed to start node " << i << "\n";
+      return 1;
+    }
+    auto gateway = std::make_unique<rpc::Gateway>(*node);
+    rpc::Gateway* gw = gateway.get();
+    auto server = std::make_unique<rpc::HttpServer>(
+        rpc::HttpServerConfig{},
+        [gw](const rpc::HttpRequest& request) { return gw->handle(request); });
+    if (!server->start()) {
+      std::cerr << "error: failed to start rpc server " << i << "\n";
+      return 1;
+    }
+    rpc_ports.push_back(server->port());
+    nodes.push_back(std::move(node));
+    gateways.push_back(std::move(gateway));
+    servers.push_back(std::move(server));
+  }
+  std::cerr << "[load_gen] " << n_nodes << " nodes up (difficulty "
+            << difficulty << "), " << n_clients << " clients x "
+            << txs_per_client << " txs\n";
+
+  // --- drive load -----------------------------------------------------------
+  std::vector<ClientResult> results(n_clients);
+  std::vector<std::thread> clients;
+  const auto bench_start = Clock::now();
+
+  for (std::size_t k = 0; k < n_clients; ++k) {
+    clients.emplace_back([&, k] {
+      ClientResult& r = results[k];
+      const auto sender = static_cast<std::uint64_t>(n_nodes + k);
+      const auto to = static_cast<std::uint64_t>(k % n_nodes);
+      rpc::HttpClient client("127.0.0.1", rpc_ports[k % n_nodes]);
+
+      struct Pending {
+        std::string id;
+        Clock::time_point submitted;
+      };
+      std::vector<Pending> pending;
+      pending.reserve(txs_per_client);
+
+      r.first_submit = Clock::now();
+      for (std::uint64_t nonce = 1; nonce <= txs_per_client; ++nonce) {
+        rpc::Json params;
+        params.set("sender", sender);
+        params.set("to", to);
+        params.set("amount", amount);
+        params.set("nonce", nonce);
+        rpc::Json request;
+        request.set("jsonrpc", "2.0");
+        request.set("id", nonce);
+        request.set("method", "submit_tx");
+        request.set("params", std::move(params));
+        const std::string body = request.dump();
+
+        bool accepted = false;
+        // A nonce too far ahead of the head state is rejected (admission
+        // window); back off and retry so a fast client cannot outrun mining.
+        for (int attempt = 0; attempt < 200 && !accepted; ++attempt) {
+          const auto response = client.post("/", body);
+          if (!response.has_value()) {
+            ++r.submit_errors;
+            break;
+          }
+          rpc::Json reply;
+          try {
+            reply = rpc::Json::parse(response->body);
+          } catch (const rpc::JsonError&) {
+            ++r.submit_errors;
+            break;
+          }
+          if (reply.has("result")) {
+            pending.push_back(
+                {reply["result"]["id"].as_string(), Clock::now()});
+            ++r.submitted;
+            accepted = true;
+          } else if (reply["error"]["message"].as_string() == "nonce_gap") {
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          } else {
+            ++r.submit_errors;
+            break;
+          }
+        }
+      }
+
+      // Poll until every submitted transaction confirms (or deadline).
+      const auto deadline = Clock::now() + std::chrono::seconds(timeout_sec);
+      std::size_t cursor = 0;
+      while (!pending.empty() && Clock::now() < deadline) {
+        cursor = cursor % pending.size();
+        rpc::Json params;
+        params.set("id", pending[cursor].id);
+        rpc::Json request;
+        request.set("jsonrpc", "2.0");
+        request.set("id", 0);
+        request.set("method", "get_tx");
+        request.set("params", std::move(params));
+        const auto response = client.post("/", request.dump());
+        bool confirmed = false;
+        if (response.has_value()) {
+          try {
+            const rpc::Json reply = rpc::Json::parse(response->body);
+            confirmed = reply["result"]["state"].is_string() &&
+                        reply["result"]["state"].as_string() == "confirmed";
+          } catch (const rpc::JsonError&) {
+          }
+        }
+        if (confirmed) {
+          const auto now = Clock::now();
+          r.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(
+                  now - pending[cursor].submitted)
+                  .count());
+          r.last_confirm = now;
+          ++r.confirmed;
+          pending.erase(pending.begin() +
+                        static_cast<std::ptrdiff_t>(cursor));
+        } else {
+          ++cursor;
+          if (cursor >= pending.size()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(25));
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+
+  // --- aggregate ------------------------------------------------------------
+  std::uint64_t submitted = 0, confirmed = 0, errors = 0;
+  std::vector<double> latencies;
+  auto first_submit = Clock::time_point::max();
+  auto last_confirm = bench_start;
+  for (const ClientResult& r : results) {
+    submitted += r.submitted;
+    confirmed += r.confirmed;
+    errors += r.submit_errors;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+    if (r.submitted > 0) first_submit = std::min(first_submit, r.first_submit);
+    if (r.confirmed > 0) last_confirm = std::max(last_confirm, r.last_confirm);
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double elapsed_sec =
+      confirmed == 0 ? 0.0
+                     : std::chrono::duration<double>(last_confirm -
+                                                     first_submit)
+                           .count();
+  const double tps =
+      elapsed_sec > 0 ? static_cast<double>(confirmed) / elapsed_sec : 0.0;
+  const double p50 = percentile(latencies, 0.50);
+  const double p90 = percentile(latencies, 0.90);
+  const double p99 = percentile(latencies, 0.99);
+
+  // Node-side counters after the dust settles.
+  std::uint64_t chain_confirmed = 0, chain_returned = 0, chain_purged = 0;
+  std::uint64_t pool_left = 0;
+  std::uint64_t height = 0;
+  for (const auto& node : nodes) {
+    const auto stats = node->chain_stats();
+    chain_confirmed = std::max(chain_confirmed, stats.txs_confirmed);
+    chain_returned += stats.txs_returned;
+    chain_purged += stats.txs_purged;
+    pool_left += node->pool_depth();
+    height = std::max(height, node->head_height());
+  }
+
+  std::cout << "load_gen: nodes=" << n_nodes << " clients=" << n_clients
+            << " submitted=" << submitted << " confirmed=" << confirmed
+            << " errors=" << errors << "\n"
+            << "  confirmed_tps=" << tps << " over " << elapsed_sec << "s"
+            << " (height " << height << ")\n"
+            << "  latency_ms p50=" << p50 << " p90=" << p90 << " p99=" << p99
+            << "\n"
+            << "  pipeline: confirmed=" << chain_confirmed
+            << " reorg_returned=" << chain_returned
+            << " purged=" << chain_purged << " pool_left=" << pool_left
+            << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+    } else {
+      out << "{\n"
+          << "  \"benchmark\": \"load_gen\",\n"
+          << "  \"config\": {\"nodes\": " << n_nodes
+          << ", \"clients\": " << n_clients
+          << ", \"txs_per_client\": " << txs_per_client
+          << ", \"difficulty\": " << difficulty << "},\n"
+          << "  \"submitted\": " << submitted << ",\n"
+          << "  \"confirmed\": " << confirmed << ",\n"
+          << "  \"submit_errors\": " << errors << ",\n"
+          << "  \"elapsed_sec\": " << elapsed_sec << ",\n"
+          << "  \"confirmed_tps\": " << tps << ",\n"
+          << "  \"latency_ms\": {\"p50\": " << p50 << ", \"p90\": " << p90
+          << ", \"p99\": " << p99 << "},\n"
+          << "  \"chain\": {\"height\": " << height
+          << ", \"txs_confirmed\": " << chain_confirmed
+          << ", \"txs_returned\": " << chain_returned
+          << ", \"txs_purged\": " << chain_purged
+          << ", \"pool_left\": " << pool_left << "}\n"
+          << "}\n";
+      std::cerr << "[load_gen] wrote " << json_path << "\n";
+    }
+  }
+
+  for (auto& server : servers) server->stop();
+  for (auto& node : nodes) node->stop();
+
+  // The run failed if a majority of transactions never confirmed.
+  return confirmed * 2 >= submitted || submitted == 0 ? 0 : 1;
+}

@@ -24,6 +24,9 @@ enum MessageType : std::uint32_t {
   kP2pBlock = 105,      // one full canonical block encoding
   kP2pGetBlocks = 106,  // chain sync: locator -> range request
   kP2pBlocks = 107,     // chain sync: batched range response
+  kP2pTxInv = 108,      // transaction-id inventory announcement
+  kP2pGetTxData = 109,  // request full transactions for inventory ids
+  kP2pTx = 110,         // one signed canonical transaction
 };
 
 }  // namespace themis::consensus

@@ -43,6 +43,36 @@ Bytes Transaction::encode() const {
   return out;
 }
 
+Bytes SignedTransaction::encode() const {
+  Bytes out = tx.encode();
+  const Bytes sig = signature.to_bytes();
+  out.insert(out.end(), sig.begin(), sig.end());
+  return out;
+}
+
+SignedTransaction SignedTransaction::decode(ByteSpan raw) {
+  if (raw.size() != kSignedTxSize) {
+    throw DecodeError("signed transaction must be exactly 576 bytes");
+  }
+  SignedTransaction stx;
+  stx.tx = Transaction::decode(raw.subspan(0, kCanonicalTxSize));
+  const auto sig = crypto::Signature::from_bytes(raw.subspan(kCanonicalTxSize));
+  if (!sig.has_value()) throw DecodeError("malformed transaction signature");
+  stx.signature = *sig;
+  return stx;
+}
+
+bool SignedTransaction::verify(const crypto::PublicKey& sender_key) const {
+  return crypto::verify(sender_key, tx.id(), signature);
+}
+
+SignedTransaction sign_transaction(Transaction tx) {
+  SignedTransaction stx;
+  stx.signature = crypto::Keypair::from_node_id(tx.sender()).sign(tx.id());
+  stx.tx = std::move(tx);
+  return stx;
+}
+
 Transaction Transaction::decode(ByteSpan raw) {
   if (raw.size() != kCanonicalTxSize) {
     throw DecodeError("transaction must be exactly 512 bytes");

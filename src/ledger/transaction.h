@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/bytes.h"
+#include "crypto/schnorr.h"
 #include "ledger/types.h"
 
 namespace themis::ledger {
@@ -53,5 +54,38 @@ class Transaction {
 
 /// Maximum payload bytes that fit in the canonical encoding.
 std::size_t max_tx_payload();
+
+/// A transaction plus its sender's Schnorr signature over the transaction id.
+///
+/// The signature is the *admission credential* for the client-facing pipeline:
+/// the RPC gateway and the p2p tx relay verify it against the sender's
+/// consortium key before a transaction may enter the pool.  It is NOT part of
+/// the canonical 512-byte encoding — block bodies and merkle roots commit to
+/// the bare transaction, exactly as before.  Consortium keys in this
+/// reproduction are deterministic (Keypair::from_node_id) and BIP-340 nonces
+/// are derived deterministically, so the signature of a given transaction is
+/// a pure function of its contents and can be recomputed bit-identically,
+/// e.g. when a reorg returns a block-sourced transaction to the pool.
+struct SignedTransaction {
+  Transaction tx;
+  crypto::Signature signature{};
+
+  /// Canonical tx encoding (512 B) followed by the 64-byte signature.
+  Bytes encode() const;
+  /// Decode; throws DecodeError on malformed input (wrong size, bad tx).
+  static SignedTransaction decode(ByteSpan raw);
+
+  /// Verify the signature over tx.id() under the sender's public key.
+  bool verify(const crypto::PublicKey& sender_key) const;
+
+  bool operator==(const SignedTransaction&) const = default;
+};
+
+/// Wire size of one signed transaction (canonical tx + signature).
+inline constexpr std::size_t kSignedTxSize =
+    kCanonicalTxSize + crypto::kSignatureSize;
+
+/// Sign `tx` with the deterministic consortium keypair of its sender.
+SignedTransaction sign_transaction(Transaction tx);
 
 }  // namespace themis::ledger

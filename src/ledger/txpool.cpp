@@ -1,6 +1,7 @@
 #include "ledger/txpool.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "common/check.h"
 
@@ -10,40 +11,116 @@ TxPool::TxPool(std::size_t capacity) : capacity_(capacity) {
   expects(capacity > 0, "pool capacity must be positive");
 }
 
-bool TxPool::add(Transaction tx) {
-  const TxId id = tx.id();
+bool TxPool::add(SignedTransaction stx) {
+  const TxId id = stx.tx.id();
+  std::lock_guard<std::mutex> lock(mu_);
   if (by_id_.contains(id)) return false;
-  while (order_.size() >= capacity_) evict_oldest();
+  while (order_.size() >= capacity_) evict_oldest_locked();
   order_.push_back(id);
-  by_id_.emplace(id, std::move(tx));
+  by_id_.emplace(id, std::move(stx));
   return true;
 }
 
-bool TxPool::contains(const TxId& id) const { return by_id_.contains(id); }
+bool TxPool::add(Transaction tx) {
+  SignedTransaction stx;
+  stx.tx = std::move(tx);
+  return add(std::move(stx));
+}
 
-std::vector<Transaction> TxPool::select(std::size_t max_count) const {
+bool TxPool::contains(const TxId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_id_.contains(id);
+}
+
+std::optional<SignedTransaction> TxPool::get(const TxId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t TxPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return order_.size();
+}
+
+bool TxPool::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return order_.empty();
+}
+
+std::vector<Transaction> TxPool::select(
+    std::size_t max_count,
+    const std::function<bool(const Transaction&)>& admit) const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Transaction> out;
   out.reserve(std::min(max_count, order_.size()));
   for (const TxId& id : order_) {
     if (out.size() >= max_count) break;
     const auto it = by_id_.find(id);
-    if (it != by_id_.end()) out.push_back(it->second);
+    if (it == by_id_.end()) continue;
+    if (admit && !admit(it->second.tx)) continue;
+    out.push_back(it->second.tx);
   }
   return out;
 }
 
 void TxPool::remove(const std::vector<TxId>& ids) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const TxId& id : ids) by_id_.erase(id);
   // Lazily compact the FIFO index.
   std::erase_if(order_, [this](const TxId& id) { return !by_id_.contains(id); });
 }
 
+std::size_t TxPool::purge(
+    const std::function<bool(const Transaction&)>& stale) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t dropped = 0;
+  for (auto it = by_id_.begin(); it != by_id_.end();) {
+    if (stale(it->second.tx)) {
+      it = by_id_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0) {
+    std::erase_if(order_,
+                  [this](const TxId& id) { return !by_id_.contains(id); });
+  }
+  return dropped;
+}
+
+std::vector<TxId> TxPool::ids(std::size_t max_count) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TxId> out;
+  out.reserve(std::min(max_count, order_.size()));
+  for (const TxId& id : order_) {
+    if (out.size() >= max_count) break;
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::uint64_t TxPool::next_nonce_hint(NodeId sender,
+                                      std::uint64_t state_next) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unordered_set<std::uint64_t> pending;
+  for (const auto& [id, stx] : by_id_) {
+    if (stx.tx.sender() == sender) pending.insert(stx.tx.nonce());
+  }
+  std::uint64_t next = state_next;
+  while (pending.contains(next)) ++next;
+  return next;
+}
+
 void TxPool::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   order_.clear();
   by_id_.clear();
 }
 
-void TxPool::evict_oldest() {
+void TxPool::evict_oldest_locked() {
   if (order_.empty()) return;
   by_id_.erase(order_.front());
   order_.pop_front();

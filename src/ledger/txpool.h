@@ -4,10 +4,25 @@
 // (§III) when building a candidate block.  This pool keeps FIFO arrival order
 // (the default preference), deduplicates by id, and drops the oldest entries
 // once a capacity limit is hit.
+//
+// Entries are SignedTransactions: the pool is the hand-off point between the
+// client-facing admission path (RPC / p2p relay, which verified the
+// signature) and the miner (which only needs the bare transactions), and the
+// relay must be able to re-serve the admission credential to peers that
+// request the transaction.
+//
+// Thread-safety: every method takes an internal mutex — RPC worker threads,
+// p2p reader threads, the miner thread and head-change reconciliation all
+// touch the pool concurrently.  select()'s admission predicate runs under the
+// pool lock, so it must not call back into the pool (the callers' predicates
+// only touch a caller-owned ledger-state scratch copy).
 #pragma once
 
 #include <cstddef>
 #include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -21,27 +36,51 @@ class TxPool {
 
   /// Insert if not already known; returns false for duplicates.
   /// At capacity, the oldest pending transaction is evicted first.
+  bool add(SignedTransaction stx);
+  /// Convenience for simulation/test paths that never relay: admit a bare
+  /// transaction with a zero signature.
   bool add(Transaction tx);
 
   bool contains(const TxId& id) const;
-  std::size_t size() const { return order_.size(); }
-  bool empty() const { return order_.empty(); }
+  std::optional<SignedTransaction> get(const TxId& id) const;
+  std::size_t size() const;
+  bool empty() const;
 
   /// Peek at up to `max_count` oldest transactions without removing them
-  /// (used to build a candidate block; removal happens on finalization).
-  std::vector<Transaction> select(std::size_t max_count) const;
+  /// (used to build a candidate block; removal happens on confirmation).
+  /// `admit` filters each candidate in FIFO order — callers pass a predicate
+  /// that replays the transaction against a scratch copy of the current
+  /// ledger state, so no-longer-valid transactions (spent nonces, drained
+  /// balances) are skipped instead of blindly returning the FIFO prefix.
+  /// An empty predicate admits everything (the historical behaviour).
+  std::vector<Transaction> select(
+      std::size_t max_count,
+      const std::function<bool(const Transaction&)>& admit = {}) const;
 
   /// Remove every listed id (transactions confirmed in a main-chain block).
   void remove(const std::vector<TxId>& ids);
 
+  /// Drop every transaction matching `stale` (e.g. nonce already consumed on
+  /// the new main chain after a head change); returns how many were dropped.
+  std::size_t purge(const std::function<bool(const Transaction&)>& stale);
+
+  /// Pending ids in FIFO order, capped at `max_count` (pool announcement to
+  /// a freshly connected peer).
+  std::vector<TxId> ids(std::size_t max_count) const;
+
+  /// Smallest nonce >= `state_next` not already pending from `sender` (RPC
+  /// auto-nonce convenience; O(pool) scan, intended for interactive use).
+  std::uint64_t next_nonce_hint(NodeId sender, std::uint64_t state_next) const;
+
   void clear();
 
  private:
-  void evict_oldest();
+  void evict_oldest_locked();
 
+  mutable std::mutex mu_;
   std::size_t capacity_;
   std::deque<TxId> order_;  // FIFO ordering of pending ids
-  std::unordered_map<TxId, Transaction, Hash32Hasher> by_id_;
+  std::unordered_map<TxId, SignedTransaction, Hash32Hasher> by_id_;
 };
 
 }  // namespace themis::ledger

@@ -40,7 +40,41 @@ std::string short_hex(const BlockHash& id) {
   return to_hex(ByteSpan(id.data(), 8));
 }
 
+/// Genesis funding: every consortium account starts with the same balance.
+std::map<ledger::NodeId, std::uint64_t> genesis_allocation(
+    const P2pNodeConfig& config) {
+  std::map<ledger::NodeId, std::uint64_t> alloc;
+  if (config.genesis_fund > 0) {
+    for (std::size_t i = 0; i < config.n_nodes; ++i) {
+      alloc[static_cast<ledger::NodeId>(i)] = config.genesis_fund;
+    }
+  }
+  return alloc;
+}
+
+/// Admission replay filter: a transaction belongs in a candidate block only
+/// if it applies cleanly on top of everything selected before it.
+bool applies_cleanly(state::LedgerState& scratch, const ledger::Transaction& tx) {
+  const state::TxOutcome outcome = scratch.apply(tx);
+  return outcome == state::TxOutcome::applied ||
+         outcome == state::TxOutcome::data_only;
+}
+
 }  // namespace
+
+std::string_view to_string(TxAdmit admit) {
+  switch (admit) {
+    case TxAdmit::accepted: return "accepted";
+    case TxAdmit::duplicate: return "duplicate";
+    case TxAdmit::known_confirmed: return "known_confirmed";
+    case TxAdmit::invalid: return "invalid";
+    case TxAdmit::bad_signature: return "bad_signature";
+    case TxAdmit::unknown_sender: return "unknown_sender";
+    case TxAdmit::stale_nonce: return "stale_nonce";
+    case TxAdmit::nonce_gap: return "nonce_gap";
+  }
+  return "unknown";
+}
 
 P2pNode::P2pNode(P2pNodeConfig config,
                  std::shared_ptr<consensus::ForkChoiceRule> rule,
@@ -51,7 +85,9 @@ P2pNode::P2pNode(P2pNodeConfig config,
       policy_(policy != nullptr
                   ? std::move(policy)
                   : std::make_shared<consensus::FixedDifficulty>(
-                        config_.difficulty)) {
+                        config_.difficulty)),
+      state_(genesis_allocation(config_)),
+      pool_(config_.pool_capacity) {
   expects(config_.n_nodes >= 1, "p2p node set must be non-empty");
   expects(config_.id < config_.n_nodes, "node id out of range");
   if (config_.use_signatures) {
@@ -100,6 +136,9 @@ bool P2pNode::start() {
     if (stats_.store_replayed > 0) {
       tracker_.reset(tree_, *rule_, tree_.genesis_hash(),
                      config_.finality_depth);
+      // The confirmed-tx index covers the replayed main chain, so tx_status
+      // and duplicate suppression survive a restart.
+      reconciler_.rebuild(tree_, tracker_.head());
     }
   }
   trace("node_start", {obs::Field::u64("node", config_.id),
@@ -152,6 +191,17 @@ void P2pNode::on_peer_ready(Peer& peer) {
   // Always probe for a better chain: the response is empty if we are caught
   // up, and the locator round also covers a remote that lied about height.
   request_sync(peer);
+
+  // Offer our pending transactions (bounded to one inv frame); the peer
+  // fetches whatever it lacks, so a fresh node inherits the mempool the same
+  // way it inherits the chain.
+  InvMsg pool_inv;
+  for (const ledger::TxId& id : pool_.ids(kMaxInvHashes)) {
+    if (peer.mark_known(id)) pool_inv.hashes.push_back(id);
+  }
+  if (!pool_inv.hashes.empty()) {
+    peer.send_frame(consensus::kP2pTxInv, pool_inv.encode());
+  }
 }
 
 void P2pNode::request_sync(Peer& peer) {
@@ -181,6 +231,15 @@ void P2pNode::on_peer_frame(Peer& peer, std::uint32_t type, ByteSpan payload) {
       return;
     case consensus::kP2pBlocks:
       handle_blocks(peer, payload);
+      return;
+    case consensus::kP2pTxInv:
+      handle_tx_inv(peer, payload);
+      return;
+    case consensus::kP2pGetTxData:
+      handle_get_txdata(peer, payload);
+      return;
+    case consensus::kP2pTx:
+      handle_tx(peer, payload);
       return;
     default:
       // Unknown post-handshake frame: tolerated (forward compatibility), the
@@ -288,10 +347,153 @@ void P2pNode::handle_blocks(Peer& peer, ByteSpan payload) {
 }
 
 // ---------------------------------------------------------------------------
+// Transaction relay
+// ---------------------------------------------------------------------------
+
+void P2pNode::handle_tx_inv(Peer& peer, ByteSpan payload) {
+  const InvMsg inv = InvMsg::decode(payload);  // tx ids are Hash32 like blocks
+  InvMsg want;
+  const std::int64_t now = steady_ms();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.tx_invs_received += inv.hashes.size();
+    for (const ledger::TxId& id : inv.hashes) {
+      if (pool_.contains(id) || reconciler_.block_of(id).has_value()) {
+        ++stats_.tx_invs_redundant;
+        continue;
+      }
+      const auto it = requested_tx_.find(id);
+      if (it != requested_tx_.end() && now - it->second < kRequestRetryMs) {
+        continue;  // already being fetched from another announcer
+      }
+      requested_tx_[id] = now;
+      want.hashes.push_back(id);
+    }
+  }
+  for (const ledger::TxId& id : inv.hashes) peer.mark_known(id);
+  if (!want.hashes.empty()) {
+    peer.send_frame(consensus::kP2pGetTxData, want.encode());
+  }
+}
+
+void P2pNode::handle_get_txdata(Peer& peer, ByteSpan payload) {
+  const InvMsg request = InvMsg::decode(payload);
+  std::uint64_t served = 0;
+  for (const ledger::TxId& id : request.hashes) {
+    const auto stx = pool_.get(id);
+    if (!stx.has_value()) continue;  // confirmed or evicted: silently skip
+    peer.mark_known(id);
+    if (!peer.send_frame(consensus::kP2pTx, stx->encode())) break;
+    ++served;
+  }
+  if (served > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.txs_relayed += served;
+  }
+}
+
+void P2pNode::handle_tx(Peer& peer, ByteSpan payload) {
+  // DecodeError from a malformed transaction propagates to the reader loop,
+  // which treats it as a protocol error and closes the connection (same
+  // discipline as malformed blocks).
+  const auto stx = ledger::SignedTransaction::decode(payload);
+  const ledger::TxId id = stx.tx.id();
+  peer.mark_known(id);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.txs_received;
+    requested_tx_.erase(id);
+  }
+  accept_transaction(stx, peer.session_id());
+}
+
+TxAdmit P2pNode::submit_transaction(const ledger::SignedTransaction& stx) {
+  return accept_transaction(stx, /*source_session=*/0);
+}
+
+TxAdmit P2pNode::accept_transaction(const ledger::SignedTransaction& stx,
+                                    std::uint64_t source_session) {
+  const ledger::TxId id = stx.tx.id();
+
+  // Stateless and signature checks run outside the consensus lock: the key
+  // registry is immutable after construction and Schnorr verification is the
+  // expensive part of admission.
+  TxAdmit admit = TxAdmit::accepted;
+  if (stx.tx.sender() >= config_.n_nodes) {
+    admit = TxAdmit::unknown_sender;
+  } else if (config_.use_signatures) {
+    const auto key = registry_->lookup(stx.tx.sender());
+    if (!key.has_value()) {
+      admit = TxAdmit::unknown_sender;
+    } else if (!stx.verify(*key)) {
+      admit = TxAdmit::bad_signature;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.txs_submitted;
+    if (admit == TxAdmit::accepted) {
+      if (reconciler_.block_of(id).has_value()) {
+        admit = TxAdmit::known_confirmed;
+      } else {
+        const std::uint64_t next = state_.state_at(tree_, tracker_.head())
+                                       .account(stx.tx.sender())
+                                       .next_nonce;
+        if (stx.tx.nonce() < next) {
+          admit = TxAdmit::stale_nonce;
+        } else if (stx.tx.nonce() >= next + config_.max_nonce_gap) {
+          admit = TxAdmit::nonce_gap;
+        } else if (!pool_.add(stx)) {
+          admit = TxAdmit::duplicate;
+        }
+      }
+    }
+    switch (admit) {
+      case TxAdmit::accepted:
+        ++stats_.txs_accepted;
+        break;
+      case TxAdmit::duplicate:
+      case TxAdmit::known_confirmed:
+        ++stats_.txs_duplicate;
+        break;
+      default:
+        ++stats_.txs_rejected;
+        break;
+    }
+  }
+
+  if (admit == TxAdmit::accepted) {
+    trace("tx_accepted", {obs::Field::u64("node", config_.id),
+                          obs::Field::str("id", short_hex(id)),
+                          obs::Field::u64("sender", stx.tx.sender()),
+                          obs::Field::u64("nonce", stx.tx.nonce()),
+                          obs::Field::boolean("rpc", source_session == 0)});
+    announce_tx(id, source_session);
+  } else {
+    trace("tx_rejected", {obs::Field::u64("node", config_.id),
+                          obs::Field::str("id", short_hex(id)),
+                          obs::Field::str("reason", std::string(to_string(admit)))});
+  }
+  return admit;
+}
+
+void P2pNode::announce_tx(const ledger::TxId& id,
+                          std::uint64_t source_session) {
+  for (const auto& peer : peers_->ready_peers()) {
+    if (peer->session_id() == source_session) continue;
+    if (!peer->mark_known(id)) continue;  // peer already has or was offered it
+    InvMsg inv;
+    inv.hashes.push_back(id);
+    peer->send_frame(consensus::kP2pTxInv, inv.encode());
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Consensus core
 // ---------------------------------------------------------------------------
 
-bool P2pNode::validate_locked(const Block& block) const {
+bool P2pNode::validate_locked(const Block& block) {
   ledger::ValidationContext ctx;
   ctx.check_signature = config_.use_signatures;
   ctx.check_pow = true;
@@ -310,7 +512,19 @@ bool P2pNode::validate_locked(const Block& block) const {
     if (!tree_.contains(parent)) return std::nullopt;
     return tree_.height(parent);
   };
-  return ledger::validate_block(block, ctx) == ledger::BlockCheck::ok;
+  if (ledger::validate_block(block, ctx) != ledger::BlockCheck::ok) {
+    return false;
+  }
+  // Body replay against the parent state: every transaction must apply
+  // cleanly in order.  A spent nonce or drained balance here is a
+  // double-spend attempt smuggled into a block — reject the whole block.
+  if (!block.transactions().empty()) {
+    state::LedgerState scratch = state_.state_at(tree_, block.header().prev);
+    for (const ledger::Transaction& tx : block.transactions()) {
+      if (!applies_cleanly(scratch, tx)) return false;
+    }
+  }
+  return true;
 }
 
 bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
@@ -321,6 +535,7 @@ bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
   std::uint64_t new_height = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    const BlockHash old_head = tracker_.head();
     if (source_session != 0) ++stats_.blocks_received;
     requested_.erase(id);
     if (tree_.contains(id)) {
@@ -378,6 +593,14 @@ bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
       if (head_changed) {
         tree_.set_aggregate_floor(tracker_.anchor_height());
         new_height = tracker_.head_height();
+        // Reconcile the pool with the new main chain: confirmed txs leave,
+        // reorg-abandoned ones return, permanently stale ones are purged.
+        const auto rec = reconciler_.on_head_change(
+            tree_, old_head, tracker_.head(), pool_,
+            state_.state_at(tree_, tracker_.head()));
+        stats_.txs_confirmed += rec.confirmed;
+        stats_.txs_returned += rec.returned;
+        stats_.txs_purged += rec.purged;
       }
     }
   }
@@ -444,6 +667,7 @@ void P2pNode::mine_loop() {
 
     // Snapshot the mining target under the consensus lock.
     ledger::BlockHeader header;
+    std::vector<ledger::Transaction> body;
     std::uint64_t version;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -453,8 +677,20 @@ void P2pNode::mine_loop() {
       header.producer = config_.id;
       header.epoch = policy_->epoch_for(tree_, parent);
       header.difficulty = policy_->difficulty_for(tree_, parent, config_.id);
-      header.tx_count = 0;
-      header.merkle_root = crypto::merkle_root({});
+      // Fill the candidate body from the pool (§III: "pick transactions from
+      // the transaction pool"), replaying each candidate against a scratch
+      // copy of the parent state so the block carries no double-spend and a
+      // sender's queued nonce chain fits into a single block.
+      state::LedgerState scratch = state_.state_at(tree_, parent);
+      body = pool_.select(config_.max_block_txs,
+                          [&scratch](const ledger::Transaction& tx) {
+                            return applies_cleanly(scratch, tx);
+                          });
+      std::vector<ledger::TxId> tx_ids;
+      tx_ids.reserve(body.size());
+      for (const ledger::Transaction& tx : body) tx_ids.push_back(tx.id());
+      header.tx_count = static_cast<std::uint32_t>(body.size());
+      header.merkle_root = crypto::merkle_root(tx_ids);
       version = chain_version_.load(std::memory_order_acquire);
     }
     header.timestamp_nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -474,15 +710,16 @@ void P2pNode::mine_loop() {
       }
       crypto::Signature signature{};
       if (keypair_.has_value()) signature = keypair_->sign(solved->hash());
-      auto block = std::make_shared<const Block>(*solved, signature,
-                                                 std::vector<ledger::Transaction>{});
+      auto block =
+          std::make_shared<const Block>(*solved, signature, std::move(body));
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.blocks_produced;
       }
       trace("block_mined", {obs::Field::u64("node", config_.id),
                             obs::Field::str("hash", short_hex(block->id())),
-                            obs::Field::u64("height", solved->height)});
+                            obs::Field::u64("height", solved->height),
+                            obs::Field::u64("txs", block->transactions().size())});
       submit_block(std::move(block), /*source_session=*/0);
       break;  // resample against the (possibly new) head
     }
@@ -531,6 +768,85 @@ double P2pNode::redundant_announce_ratio() const {
                    static_cast<double>(s.invs_received);
 }
 
+P2pNode::TxStatusInfo P2pNode::tx_status(const ledger::TxId& id) const {
+  TxStatusInfo info;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto block_hash = reconciler_.block_of(id);
+    if (block_hash.has_value()) {
+      info.state = TxStatusInfo::State::confirmed;
+      info.block = *block_hash;
+      info.block_height = tree_.height(*block_hash);
+      const std::uint64_t head_height = tracker_.head_height();
+      info.confirmations = head_height >= info.block_height
+                               ? head_height - info.block_height + 1
+                               : 0;
+      for (const ledger::Transaction& tx :
+           tree_.block(*block_hash)->transactions()) {
+        if (tx.id() == id) {
+          info.tx = tx;
+          break;
+        }
+      }
+      return info;
+    }
+  }
+  const auto pending = pool_.get(id);
+  if (pending.has_value()) {
+    info.state = TxStatusInfo::State::pending;
+    info.tx = pending->tx;
+  }
+  return info;
+}
+
+P2pNode::AccountInfo P2pNode::account_info(ledger::NodeId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const state::Account& account =
+      state_.state_at(tree_, tracker_.head()).account(id);
+  return AccountInfo{account.balance, account.next_nonce};
+}
+
+std::optional<P2pNode::BlockInfo> P2pNode::block_info(
+    const ledger::BlockHash& hash) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!tree_.contains(hash)) return std::nullopt;
+  BlockInfo info;
+  info.block = tree_.block(hash);
+  info.on_main_chain = tree_.is_ancestor(hash, tracker_.head());
+  if (info.on_main_chain) {
+    info.confirmations = tracker_.head_height() - tree_.height(hash) + 1;
+  }
+  return info;
+}
+
+std::optional<P2pNode::BlockInfo> P2pNode::block_info_at(
+    std::uint64_t height) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t head_height = tracker_.head_height();
+  if (height > head_height) return std::nullopt;
+  BlockHash cursor = tracker_.head();
+  for (std::uint64_t h = head_height; h > height; --h) {
+    const auto parent = tree_.parent(cursor);
+    if (!parent.has_value()) return std::nullopt;
+    cursor = *parent;
+  }
+  BlockInfo info;
+  info.block = tree_.block(cursor);
+  info.on_main_chain = true;
+  info.confirmations = head_height - height + 1;
+  return info;
+}
+
+std::uint64_t P2pNode::next_nonce_hint(ledger::NodeId sender) const {
+  std::uint64_t state_next = 1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_next =
+        state_.state_at(tree_, tracker_.head()).account(sender).next_nonce;
+  }
+  return pool_.next_nonce_hint(sender, state_next);
+}
+
 void P2pNode::fill_observability() {
   if (obs_ == nullptr) return;
   const ChainStats chain = chain_stats();
@@ -567,6 +883,20 @@ void P2pNode::fill_observability() {
   counters.counter("p2p.sync_rounds") = chain.sync_rounds;
   obs_->counters.series("p2p.redundant_announce_ratio")
       .push_back(redundant_announce_ratio());
+
+  counters.counter("tx.submitted") = chain.txs_submitted;
+  counters.counter("tx.accepted") = chain.txs_accepted;
+  counters.counter("tx.rejected") = chain.txs_rejected;
+  counters.counter("tx.duplicate") = chain.txs_duplicate;
+  counters.counter("tx.relayed") = chain.txs_relayed;
+  counters.counter("tx.received") = chain.txs_received;
+  counters.counter("tx.invs_received") = chain.tx_invs_received;
+  counters.counter("tx.invs_redundant") = chain.tx_invs_redundant;
+  counters.counter("tx.confirmed") = chain.txs_confirmed;
+  counters.counter("tx.returned") = chain.txs_returned;
+  counters.counter("tx.purged") = chain.txs_purged;
+  counters.counter("tx.pool_depth") = pool_.size();
+  counters.series("tx.pool_depth").push_back(static_cast<double>(pool_.size()));
 
   // Per-peer traffic, attributed to the remote's consensus node id.
   for (const auto& peer : peers_->ready_peers()) {

@@ -21,6 +21,21 @@
 // cancelled edge-triggered: every head change bumps an atomic chain version,
 // and the grinder re-checks it between nonce chunks (the real-clock analogue
 // of the simulator's memoryless mining restart).
+//
+// Transaction pipeline (the client-facing half, §III "pick transactions from
+// the transaction pool"): submit_transaction() — called by the RPC gateway
+// and by the kP2pTx handler — runs the admission checks (canonical form,
+// consortium signature, nonce against the head state), inserts into the
+// thread-safe TxPool, and announces the id to every ready peer as a
+// kP2pTxInv; peers that lack it answer kP2pGetTxData and receive the
+// kP2pTx — the same inventory-based duplicate suppression blocks use, over
+// the same per-peer known-set.  The miner fills candidate blocks from
+// TxPool::select() filtered by replay against a scratch copy of the parent
+// state; block validation replays bodies the same way (rejecting
+// double-spends); and every head change runs the PoolReconciler so confirmed
+// transactions leave the pool and reorg-abandoned ones return to it.
+// Lock order: the consensus mutex (mu_) before the pool's internal mutex,
+// or the pool's alone — never the reverse.
 #pragma once
 
 #include <atomic>
@@ -46,10 +61,27 @@
 #include "consensus/node.h"  // KeyRegistry
 #include "ledger/block_store.h"
 #include "ledger/blocktree.h"
+#include "ledger/txpool.h"
 #include "obs/observability.h"
 #include "p2p/peer_manager.h"
+#include "state/ledger_state.h"
+#include "state/pool_reconciler.h"
 
 namespace themis::p2p {
+
+/// Outcome of transaction admission (RPC submit or p2p relay).
+enum class TxAdmit {
+  accepted,         ///< entered the pool and was announced to peers
+  duplicate,        ///< already pending in the pool
+  known_confirmed,  ///< already confirmed on the main chain
+  invalid,          ///< malformed canonical encoding
+  bad_signature,    ///< Schnorr admission signature failed to verify
+  unknown_sender,   ///< sender id outside the consortium registry
+  stale_nonce,      ///< nonce already consumed at the current head
+  nonce_gap,        ///< nonce too far beyond the sender's next expected
+};
+
+std::string_view to_string(TxAdmit admit);
 
 struct P2pNodeConfig {
   ledger::NodeId id = 0;
@@ -75,6 +107,19 @@ struct P2pNodeConfig {
   std::uint64_t finality_depth = 16;
   std::string agent = "themis-noded/1.0";
   std::uint64_t rng_seed = 1;
+
+  // Transaction pipeline.
+  /// Genesis balance credited to every consortium account (0 = no funding;
+  /// transfers then bounce with insufficient_funds until funded otherwise).
+  std::uint64_t genesis_fund = 1'000'000;
+  /// Upper bound on transactions per mined block (512 B each on the wire;
+  /// the default keeps a full block comfortably inside one frame).
+  std::size_t max_block_txs = 256;
+  /// Transaction-pool capacity (oldest evicted beyond this).
+  std::size_t pool_capacity = 1 << 20;
+  /// Admission window for future nonces: a transaction whose nonce is this
+  /// far beyond the sender's next expected nonce is rejected as junk.
+  std::uint64_t max_nonce_gap = 1024;
 
   // Transport tuning, forwarded to PeerManagerConfig.
   int dial_timeout_ms = 2000;
@@ -143,12 +188,63 @@ class P2pNode {
     std::uint64_t sync_blocks_served = 0;
     std::uint64_t sync_rounds = 0;       ///< getblocks requests we issued
     std::uint64_t store_replayed = 0;    ///< blocks recovered at start()
+
+    // Transaction pipeline.
+    std::uint64_t txs_submitted = 0;     ///< admission attempts (RPC + wire)
+    std::uint64_t txs_accepted = 0;      ///< entered the pool
+    std::uint64_t txs_rejected = 0;      ///< failed an admission check
+    std::uint64_t txs_duplicate = 0;     ///< already pending or confirmed
+    std::uint64_t txs_relayed = 0;       ///< full txs served to peers
+    std::uint64_t tx_invs_received = 0;  ///< tx inventory entries from peers
+    std::uint64_t tx_invs_redundant = 0; ///< announced a tx we already knew
+    std::uint64_t txs_received = 0;      ///< full txs over the wire
+    std::uint64_t txs_confirmed = 0;     ///< confirmed on the main chain
+    std::uint64_t txs_returned = 0;      ///< reorg-abandoned, back in the pool
+    std::uint64_t txs_purged = 0;        ///< dropped as permanently stale
   };
   ChainStats chain_stats() const;
 
   /// duplicates announced to us / inv entries received (the wire analogue of
   /// GossipNetwork::redundant_push_ratio).
   double redundant_announce_ratio() const;
+
+  // --- transaction pipeline --------------------------------------------------
+
+  /// Admit a transaction (RPC gateway entry point): stateless checks, then
+  /// signature against the consortium registry, then nonce against the head
+  /// state; on acceptance the id is announced to every ready peer.
+  TxAdmit submit_transaction(const ledger::SignedTransaction& stx);
+
+  struct TxStatusInfo {
+    enum class State { unknown, pending, confirmed };
+    State state = State::unknown;
+    std::optional<ledger::Transaction> tx;
+    std::optional<ledger::BlockHash> block;  ///< confirming main-chain block
+    std::uint64_t block_height = 0;
+    std::uint64_t confirmations = 0;  ///< head_height - block_height + 1
+  };
+  TxStatusInfo tx_status(const ledger::TxId& id) const;
+
+  struct AccountInfo {
+    std::uint64_t balance = 0;
+    std::uint64_t next_nonce = 1;
+  };
+  /// Balance and next expected nonce at the current head.
+  AccountInfo account_info(ledger::NodeId id) const;
+
+  struct BlockInfo {
+    ledger::BlockPtr block;
+    bool on_main_chain = false;
+    std::uint64_t confirmations = 0;  ///< 0 when off the main chain
+  };
+  std::optional<BlockInfo> block_info(const ledger::BlockHash& hash) const;
+  /// Main-chain block at `height` (walks the head chain).
+  std::optional<BlockInfo> block_info_at(std::uint64_t height) const;
+
+  std::size_t pool_depth() const { return pool_.size(); }
+  /// Smallest usable nonce for `sender`: head-state next_nonce, skipping
+  /// nonces already pending in the pool (RPC auto-nonce).
+  std::uint64_t next_nonce_hint(ledger::NodeId sender) const;
 
  private:
   void on_peer_ready(Peer& peer);
@@ -158,6 +254,16 @@ class P2pNode {
   void handle_block(Peer& peer, ByteSpan payload);
   void handle_getblocks(Peer& peer, ByteSpan payload);
   void handle_blocks(Peer& peer, ByteSpan payload);
+  void handle_tx_inv(Peer& peer, ByteSpan payload);
+  void handle_get_txdata(Peer& peer, ByteSpan payload);
+  void handle_tx(Peer& peer, ByteSpan payload);
+
+  /// Shared admission path for RPC submissions and wire-relayed transactions.
+  /// `source_session` = 0 for RPC (announce to everyone).
+  TxAdmit accept_transaction(const ledger::SignedTransaction& stx,
+                             std::uint64_t source_session);
+  /// Announce a pool transaction to every ready peer except the source.
+  void announce_tx(const ledger::TxId& id, std::uint64_t source_session);
 
   /// Validate + insert a block (plus any orphans it unblocks), persist it,
   /// update the head and announce news to peers.  `source_session` = 0 for
@@ -165,7 +271,9 @@ class P2pNode {
   bool submit_block(ledger::BlockPtr block, std::uint64_t source_session);
   /// Ask `peer` for the range above our head (locator round).
   void request_sync(Peer& peer);
-  bool validate_locked(const ledger::Block& block) const;
+  /// §III validation plus a body replay against the parent state (rejects
+  /// double-spends).  Non-const: state_at() caches snapshots.
+  bool validate_locked(const ledger::Block& block);
   void mine_loop();
   void trace(std::string_view event, std::initializer_list<obs::Field> fields);
   std::int64_t wall_nanos() const;
@@ -190,7 +298,18 @@ class P2pNode {
       pending_;
   /// In-flight getdata requests (dedup across peers), steady-clock ms.
   std::unordered_map<ledger::BlockHash, std::int64_t, Hash32Hasher> requested_;
+  /// In-flight tx getdata requests, same discipline as requested_.
+  std::unordered_map<ledger::TxId, std::int64_t, Hash32Hasher> requested_tx_;
+  /// Ledger states along the tree (per-block snapshot cache; mutable so
+  /// const observers can materialize snapshots — still guarded by mu_).
+  mutable state::StateManager state_;
+  /// Confirmed-tx index + pool/chain reconciliation across head changes.
+  state::PoolReconciler reconciler_;
   ChainStats stats_;
+
+  /// Pending transactions.  Internally synchronized; see the lock-order rule
+  /// in the header comment.
+  ledger::TxPool pool_;
 
   // --- miner -----------------------------------------------------------------
   std::thread miner_thread_;

@@ -1,0 +1,365 @@
+#include "rpc/gateway.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "common/check.h"
+#include "common/serialize.h"
+#include "state/transfer.h"
+
+namespace themis::rpc {
+
+namespace {
+
+// JSON-RPC 2.0 error codes.
+constexpr int kParseError = -32700;
+constexpr int kInvalidRequest = -32600;
+constexpr int kMethodNotFound = -32601;
+constexpr int kInvalidParams = -32602;
+/// Application error: the node rejected the transaction (message carries
+/// the TxAdmit reason).
+constexpr int kTxRejected = -32000;
+
+struct RpcError {
+  int code;
+  std::string message;
+};
+
+[[noreturn]] void fail(int code, std::string message) {
+  throw RpcError{code, std::move(message)};
+}
+
+Json error_response(const Json& id, int code, const std::string& message) {
+  Json error;
+  error.set("code", static_cast<std::int64_t>(code));
+  error.set("message", message);
+  Json response;
+  response.set("jsonrpc", "2.0");
+  response.set("id", id);
+  response.set("error", std::move(error));
+  return response;
+}
+
+Json result_response(const Json& id, Json result) {
+  Json response;
+  response.set("jsonrpc", "2.0");
+  response.set("id", id);
+  response.set("result", std::move(result));
+  return response;
+}
+
+ledger::TxId txid_param(const Json& params, const std::string& key) {
+  if (!params[key].is_string()) fail(kInvalidParams, key + " must be a hex string");
+  try {
+    return hash_from_hex(params[key].as_string());
+  } catch (const std::exception&) {
+    fail(kInvalidParams, key + " is not a 64-char hex id");
+  }
+}
+
+Json tx_to_json(const ledger::Transaction& tx) {
+  Json out;
+  out.set("id", to_hex(tx.id()));
+  out.set("sender", static_cast<std::uint64_t>(tx.sender()));
+  out.set("nonce", tx.nonce());
+  out.set("timestamp_nanos", static_cast<std::int64_t>(tx.timestamp_nanos()));
+  if (const auto transfer = state::transfer_of(tx); transfer.has_value()) {
+    out.set("to", static_cast<std::uint64_t>(transfer->to));
+    out.set("amount", transfer->amount);
+    if (!transfer->memo.empty()) {
+      out.set("memo", std::string(transfer->memo.begin(), transfer->memo.end()));
+    }
+  }
+  return out;
+}
+
+Json block_to_json(const p2p::P2pNode::BlockInfo& info) {
+  const ledger::Block& block = *info.block;
+  Json out;
+  out.set("hash", to_hex(block.id()));
+  out.set("height", block.header().height);
+  out.set("prev", to_hex(block.header().prev));
+  out.set("producer", static_cast<std::uint64_t>(block.header().producer));
+  out.set("timestamp_nanos",
+          static_cast<std::int64_t>(block.header().timestamp_nanos));
+  out.set("tx_count", static_cast<std::uint64_t>(block.header().tx_count));
+  out.set("on_main_chain", info.on_main_chain);
+  out.set("confirmations", info.confirmations);
+  Json::Array txs;
+  txs.reserve(block.transactions().size());
+  for (const ledger::Transaction& tx : block.transactions()) {
+    txs.push_back(Json(to_hex(tx.id())));
+  }
+  out.set("txs", Json(std::move(txs)));
+  return out;
+}
+
+}  // namespace
+
+HttpResponse Gateway::handle(const HttpRequest& request) {
+  // curl-friendly GET mirrors.
+  if (request.method == "GET") {
+    HttpResponse response;
+    if (request.target == "/status") {
+      response.body = rpc_status().dump();
+    } else if (request.target == "/metrics") {
+      response.body = rpc_metrics().dump();
+    } else {
+      response.status = 404;
+      response.body = "{\"error\":\"not found\"}";
+    }
+    return response;
+  }
+  if (request.method != "POST") {
+    HttpResponse response;
+    response.status = 405;
+    response.body = "{\"error\":\"method not allowed\"}";
+    return response;
+  }
+
+  // JSON-RPC over POST.  Errors are JSON-RPC errors with HTTP 200, per the
+  // convention (the HTTP layer succeeded; the call did not).
+  HttpResponse response;
+  Json id;  // null until we manage to parse one
+  Json body;
+  try {
+    body = Json::parse(request.body);
+  } catch (const JsonError& e) {
+    response.body =
+        error_response(id, kParseError, std::string("parse error: ") + e.what())
+            .dump();
+    note_error();
+    return response;
+  }
+  if (!body.is_object() || !body["method"].is_string()) {
+    response.body =
+        error_response(body["id"], kInvalidRequest,
+                       "expected {\"method\": ..., \"params\": ...}")
+            .dump();
+    note_error();
+    return response;
+  }
+  id = body["id"];
+  const std::string& method = body["method"].as_string();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+    ++method_counts_[method];
+  }
+  try {
+    response.body = result_response(id, dispatch(method, body["params"])).dump();
+  } catch (const RpcError& e) {
+    response.body = error_response(id, e.code, e.message).dump();
+    note_error();
+  } catch (const JsonError& e) {
+    response.body =
+        error_response(id, kInvalidParams, std::string("invalid params: ") + e.what())
+            .dump();
+    note_error();
+  }
+  return response;
+}
+
+Json Gateway::dispatch(const std::string& method, const Json& params) {
+  if (method == "submit_tx") return rpc_submit_tx(params);
+  if (method == "get_tx") return rpc_get_tx(params);
+  if (method == "get_block") return rpc_get_block(params);
+  if (method == "get_head") return rpc_get_head();
+  if (method == "get_balance") return rpc_get_balance(params);
+  if (method == "status") return rpc_status();
+  if (method == "metrics") return rpc_metrics();
+  fail(kMethodNotFound, "unknown method: " + method);
+}
+
+Json Gateway::rpc_submit_tx(const Json& params) {
+  if (!params.is_object()) fail(kInvalidParams, "params must be an object");
+
+  ledger::SignedTransaction stx;
+  if (params.has("raw")) {
+    // Pre-signed 576-byte transaction, hex-encoded.
+    if (!params["raw"].is_string()) fail(kInvalidParams, "raw must be hex");
+    Bytes bytes;
+    try {
+      bytes = from_hex(params["raw"].as_string());
+    } catch (const std::exception&) {
+      fail(kInvalidParams, "raw is not valid hex");
+    }
+    try {
+      stx = ledger::SignedTransaction::decode(bytes);
+    } catch (const DecodeError& e) {
+      fail(kInvalidParams, std::string("malformed transaction: ") + e.what());
+    }
+  } else {
+    // Structured transfer, signed here with the consortium key (the gateway
+    // runs inside the consortium node, so it holds the deterministic keys).
+    if (!params["sender"].is_number() || !params["to"].is_number() ||
+        !params["amount"].is_number()) {
+      fail(kInvalidParams, "need sender, to, amount (or raw)");
+    }
+    const auto sender = static_cast<ledger::NodeId>(params["sender"].as_u64());
+    state::Transfer transfer;
+    transfer.to = static_cast<ledger::NodeId>(params["to"].as_u64());
+    transfer.amount = params["amount"].as_u64();
+    if (params.has("memo")) {
+      const std::string& memo = params["memo"].as_string();
+      transfer.memo.assign(memo.begin(), memo.end());
+    }
+    const std::uint64_t nonce = params.has("nonce")
+                                    ? params["nonce"].as_u64()
+                                    : node_.next_nonce_hint(sender);
+    const std::int64_t now =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count();
+    try {
+      stx = ledger::sign_transaction(
+          state::make_transfer_tx(sender, nonce, now, transfer));
+    } catch (const std::exception& e) {
+      fail(kInvalidParams, std::string("cannot build transaction: ") + e.what());
+    }
+  }
+
+  const p2p::TxAdmit admit = node_.submit_transaction(stx);
+  if (admit != p2p::TxAdmit::accepted &&
+      admit != p2p::TxAdmit::duplicate) {
+    fail(kTxRejected, std::string(to_string(admit)));
+  }
+  Json out;
+  out.set("id", to_hex(stx.tx.id()));
+  out.set("status", std::string(to_string(admit)));
+  out.set("nonce", stx.tx.nonce());
+  return out;
+}
+
+Json Gateway::rpc_get_tx(const Json& params) {
+  const ledger::TxId id = txid_param(params, "id");
+  const auto status = node_.tx_status(id);
+  Json out;
+  switch (status.state) {
+    case p2p::P2pNode::TxStatusInfo::State::unknown:
+      out.set("state", "unknown");
+      break;
+    case p2p::P2pNode::TxStatusInfo::State::pending:
+      out.set("state", "pending");
+      break;
+    case p2p::P2pNode::TxStatusInfo::State::confirmed:
+      out.set("state", "confirmed");
+      out.set("block", to_hex(*status.block));
+      out.set("block_height", status.block_height);
+      out.set("confirmations", status.confirmations);
+      break;
+  }
+  if (status.tx.has_value()) out.set("tx", tx_to_json(*status.tx));
+  return out;
+}
+
+Json Gateway::rpc_get_block(const Json& params) {
+  std::optional<p2p::P2pNode::BlockInfo> info;
+  if (params.has("hash")) {
+    info = node_.block_info(txid_param(params, "hash"));
+  } else if (params["height"].is_number()) {
+    info = node_.block_info_at(params["height"].as_u64());
+  } else {
+    fail(kInvalidParams, "need hash or height");
+  }
+  if (!info.has_value()) fail(kTxRejected, "block not found");
+  return block_to_json(*info);
+}
+
+Json Gateway::rpc_get_head() {
+  Json out;
+  out.set("hash", to_hex(node_.head()));
+  out.set("height", node_.head_height());
+  return out;
+}
+
+Json Gateway::rpc_get_balance(const Json& params) {
+  if (!params["account"].is_number()) {
+    fail(kInvalidParams, "need account (node id)");
+  }
+  const auto account =
+      static_cast<ledger::NodeId>(params["account"].as_u64());
+  const auto info = node_.account_info(account);
+  Json out;
+  out.set("account", static_cast<std::uint64_t>(account));
+  out.set("balance", info.balance);
+  out.set("next_nonce", info.next_nonce);
+  return out;
+}
+
+Json Gateway::rpc_status() {
+  const auto chain = node_.chain_stats();
+  Json out;
+  out.set("node", static_cast<std::uint64_t>(node_.config().id));
+  out.set("head", to_hex(node_.head()));
+  out.set("height", node_.head_height());
+  out.set("peers", node_.ready_peer_count());
+  out.set("pool_depth", node_.pool_depth());
+  out.set("mining", node_.mining());
+  out.set("tree_blocks", node_.tree_blocks());
+  out.set("txs_confirmed", chain.txs_confirmed);
+  return out;
+}
+
+Json Gateway::rpc_metrics() {
+  const auto chain = node_.chain_stats();
+  const auto transport = node_.transport_stats();
+  Json out;
+  out.set("chain", Json::object({
+    {"height", Json(node_.head_height())},
+    {"tree_blocks", Json(node_.tree_blocks())},
+    {"blocks_produced", Json(chain.blocks_produced)},
+    {"blocks_rejected", Json(chain.blocks_rejected)},
+    {"reorgs", Json(chain.reorgs)},
+  }));
+  out.set("tx", Json::object({
+    {"submitted", Json(chain.txs_submitted)},
+    {"accepted", Json(chain.txs_accepted)},
+    {"rejected", Json(chain.txs_rejected)},
+    {"duplicate", Json(chain.txs_duplicate)},
+    {"relayed", Json(chain.txs_relayed)},
+    {"received", Json(chain.txs_received)},
+    {"confirmed", Json(chain.txs_confirmed)},
+    {"returned", Json(chain.txs_returned)},
+    {"purged", Json(chain.txs_purged)},
+    {"pool_depth", Json(node_.pool_depth())},
+  }));
+  out.set("p2p", Json::object({
+    {"bytes_in", Json(transport.bytes_in)},
+    {"bytes_out", Json(transport.bytes_out)},
+    {"peers", Json(node_.ready_peer_count())},
+  }));
+  const Stats rpc = stats();
+  out.set("rpc", Json::object({
+    {"requests", Json(rpc.requests)},
+    {"errors", Json(rpc.errors)},
+  }));
+  return out;
+}
+
+void Gateway::note_error() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.errors;
+}
+
+Gateway::Stats Gateway::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::map<std::string, std::uint64_t> Gateway::method_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return method_counts_;
+}
+
+void Gateway::fill_observability(obs::Observability& obs) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs.counters.counter("rpc.requests") = stats_.requests;
+  obs.counters.counter("rpc.errors") = stats_.errors;
+  for (const auto& [method, count] : method_counts_) {
+    obs.counters.counter("rpc.method." + method) = count;
+  }
+}
+
+}  // namespace themis::rpc

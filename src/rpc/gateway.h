@@ -1,0 +1,78 @@
+// JSON-RPC gateway: the client-facing surface of a consensus node.
+//
+// Translates HTTP requests into P2pNode calls.  The protocol is JSON-RPC
+// 2.0-shaped: POST / with {"jsonrpc":"2.0","id":...,"method":...,"params":{}}
+// answers {"result":...} or {"error":{"code","message"}} with the standard
+// codes (-32700 parse error, -32600 invalid request, -32601 method not
+// found, -32602 invalid params) plus application errors for rejected
+// transactions.  GET /status and GET /metrics mirror the same-named methods
+// for curl-friendly inspection.
+//
+// Methods:
+//   submit_tx   {"raw": "<hex of 576-byte signed tx>"}  — pre-signed, or
+//               {"sender":N,"to":N,"amount":N,"memo"?:s,"nonce"?:N}
+//               (signed server-side with the consortium key; nonce defaults
+//               to the node's next-nonce hint)  -> {"id", "status"}
+//   get_tx      {"id": "<hex>"}      -> state / block / confirmations / tx
+//   get_block   {"hash": "<hex>"} or {"height": N} -> header + tx ids
+//   get_head    {}                   -> {"hash", "height"}
+//   get_balance {"account": N}       -> {"balance", "next_nonce"}
+//   status      {}                   -> node summary (head, peers, pool, ...)
+//   metrics     {}                   -> chain + transport counters
+//
+// The gateway is stateless and thread-safe: HttpServer calls handle() from
+// many worker threads; every node interaction goes through P2pNode's own
+// synchronized API.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "obs/observability.h"
+#include "p2p/node.h"
+#include "rpc/http_server.h"
+#include "rpc/json.h"
+
+namespace themis::rpc {
+
+class Gateway {
+ public:
+  explicit Gateway(p2p::P2pNode& node) : node_(node) {}
+
+  /// HttpServer handler: dispatches one HTTP request.
+  HttpResponse handle(const HttpRequest& request);
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t errors = 0;  ///< responses carrying a JSON-RPC error
+  };
+  Stats stats() const;
+  /// Per-method request counts (copy; keyed by method name).
+  std::map<std::string, std::uint64_t> method_counts() const;
+
+  /// Write rpc.* counters into an observability bundle.
+  void fill_observability(obs::Observability& obs) const;
+
+ private:
+  Json dispatch(const std::string& method, const Json& params);
+  void note_error();
+
+  Json rpc_submit_tx(const Json& params);
+  Json rpc_get_tx(const Json& params);
+  Json rpc_get_block(const Json& params);
+  Json rpc_get_head();
+  Json rpc_get_balance(const Json& params);
+  Json rpc_status();
+  Json rpc_metrics();
+
+  p2p::P2pNode& node_;
+
+  mutable std::mutex mu_;
+  Stats stats_;
+  std::map<std::string, std::uint64_t> method_counts_;
+};
+
+}  // namespace themis::rpc

@@ -1,0 +1,119 @@
+#include "rpc/http_client.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace themis::rpc {
+
+namespace {
+constexpr std::size_t kRecvChunk = 4096;
+constexpr std::size_t kMaxResponseBytes = 8 * (1 << 20);
+}  // namespace
+
+HttpClient::HttpClient(std::string host, std::uint16_t port, int timeout_ms)
+    : host_(std::move(host)), port_(port), timeout_ms_(timeout_ms) {}
+
+bool HttpClient::ensure_connected() {
+  if (socket_.valid()) return true;
+  buffer_.clear();
+  socket_ = p2p::TcpSocket::connect(host_, port_, timeout_ms_);
+  if (!socket_.valid()) return false;
+  socket_.set_timeouts(timeout_ms_, timeout_ms_);
+  socket_.set_nodelay(true);
+  return true;
+}
+
+std::optional<HttpResult> HttpClient::post(const std::string& target,
+                                           const std::string& body) {
+  std::string request = "POST " + target + " HTTP/1.1\r\n";
+  request += "Host: " + host_ + "\r\n";
+  request += "Content-Type: application/json\r\n";
+  request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  request += "\r\n";
+  request += body;
+  return roundtrip(request);
+}
+
+std::optional<HttpResult> HttpClient::get(const std::string& target) {
+  std::string request = "GET " + target + " HTTP/1.1\r\n";
+  request += "Host: " + host_ + "\r\n";
+  request += "\r\n";
+  return roundtrip(request);
+}
+
+std::optional<HttpResult> HttpClient::roundtrip(const std::string& request) {
+  // One retry: a keep-alive connection the server closed between requests
+  // looks like a send/recv failure on the first attempt.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (!ensure_connected()) continue;
+    if (!socket_.send_all(ByteSpan(
+            reinterpret_cast<const std::uint8_t*>(request.data()),
+            request.size()))) {
+      socket_.close();
+      continue;
+    }
+    auto result = read_response();
+    if (result.has_value()) return result;
+    socket_.close();
+  }
+  return std::nullopt;
+}
+
+std::optional<HttpResult> HttpClient::read_response() {
+  std::uint8_t chunk[kRecvChunk];
+  std::size_t head_end;
+  while ((head_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    if (buffer_.size() > kMaxResponseBytes) return std::nullopt;
+    const int n = socket_.recv_some(chunk, sizeof chunk);
+    if (n <= 0) return std::nullopt;  // timeout/close/error mid-response
+    buffer_.append(reinterpret_cast<const char*>(chunk),
+                   static_cast<std::size_t>(n));
+  }
+  const std::string head = buffer_.substr(0, head_end + 2);
+
+  // Status line: HTTP/1.1 NNN Reason
+  HttpResult result;
+  const std::size_t sp = head.find(' ');
+  if (sp == std::string::npos || head.size() < sp + 4) return std::nullopt;
+  const auto [ptr, ec] =
+      std::from_chars(head.data() + sp + 1, head.data() + sp + 4, result.status);
+  if (ec != std::errc()) return std::nullopt;
+
+  // Content-Length (case-insensitive scan of header lines).
+  std::size_t content_length = 0;
+  std::size_t pos = head.find("\r\n") + 2;
+  while (pos < head.size()) {
+    const std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos || eol == pos) break;
+    std::string line = head.substr(pos, eol - pos);
+    std::transform(line.begin(), line.end(), line.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+    if (line.rfind("content-length:", 0) == 0) {
+      std::string value = line.substr(15);
+      const std::size_t first = value.find_first_not_of(" \t");
+      if (first != std::string::npos) value = value.substr(first);
+      const auto [p, e] = std::from_chars(value.data(),
+                                          value.data() + value.size(),
+                                          content_length);
+      (void)p;
+      if (e != std::errc()) return std::nullopt;
+    }
+    pos = eol + 2;
+  }
+  if (content_length > kMaxResponseBytes) return std::nullopt;
+
+  buffer_.erase(0, head_end + 4);
+  while (buffer_.size() < content_length) {
+    const int n = socket_.recv_some(chunk, sizeof chunk);
+    if (n <= 0) return std::nullopt;
+    buffer_.append(reinterpret_cast<const char*>(chunk),
+                   static_cast<std::size_t>(n));
+  }
+  result.body = buffer_.substr(0, content_length);
+  buffer_.erase(0, content_length);
+  return result;
+}
+
+}  // namespace themis::rpc

@@ -1,0 +1,279 @@
+#include "rpc/http_server.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <utility>
+
+namespace themis::rpc {
+
+namespace {
+
+constexpr std::size_t kRecvChunk = 4096;
+
+std::string status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Status";
+  }
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+/// Serialize and send one response.  `close` sets Connection: close.
+bool send_response(p2p::TcpSocket& socket, const HttpResponse& response,
+                   bool close) {
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     status_text(response.status) + "\r\n";
+  head += "Content-Type: " + response.content_type + "\r\n";
+  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  head += close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
+  head += "\r\n";
+  if (!socket.send_all(ByteSpan(
+          reinterpret_cast<const std::uint8_t*>(head.data()), head.size()))) {
+    return false;
+  }
+  return socket.send_all(
+      ByteSpan(reinterpret_cast<const std::uint8_t*>(response.body.data()),
+               response.body.size()));
+}
+
+/// Parse "METHOD SP target SP HTTP/1.x" + header lines out of `head`.
+bool parse_head(const std::string& head, HttpRequest& request) {
+  std::size_t pos = head.find("\r\n");
+  if (pos == std::string::npos) return false;
+  const std::string request_line = head.substr(0, pos);
+
+  const std::size_t sp1 = request_line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  request.method = request_line.substr(0, sp1);
+  request.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") return false;
+  if (request.method.empty() || request.target.empty()) return false;
+
+  pos += 2;
+  while (pos < head.size()) {
+    const std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) return false;
+    if (eol == pos) break;  // blank line: end of headers
+    const std::string line = head.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) return false;
+    std::string name = lower(line.substr(0, colon));
+    std::string value = line.substr(colon + 1);
+    // Trim optional whitespace around the value.
+    const std::size_t first = value.find_first_not_of(" \t");
+    const std::size_t last = value.find_last_not_of(" \t");
+    value = first == std::string::npos
+                ? std::string()
+                : value.substr(first, last - first + 1);
+    request.headers[std::move(name)] = std::move(value);
+    pos = eol + 2;
+  }
+  return true;
+}
+
+}  // namespace
+
+HttpServer::HttpServer(HttpServerConfig config, Handler handler)
+    : config_(config), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+bool HttpServer::start() {
+  if (started_) return true;
+  if (!listener_.listen(config_.port)) return false;
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  started_ = true;
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!started_) return;
+  stopping_.store(true);
+  listener_.interrupt();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  listener_.close();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) conn->socket.shutdown();
+    for (auto& conn : conns_) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+    conns_.clear();
+  }
+  started_ = false;
+}
+
+HttpServer::Stats HttpServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void HttpServer::reap_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load()) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void HttpServer::accept_loop() {
+  while (!stopping_.load()) {
+    auto socket = listener_.accept();
+    if (!socket.has_value()) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    socket->set_timeouts(config_.recv_timeout_ms, config_.recv_timeout_ms);
+    socket->set_nodelay(true);
+
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    reap_locked();
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.connections_accepted;
+    }
+    if (conns_.size() >= config_.max_connections) {
+      // Load shed inline: one response, then close.
+      HttpResponse busy;
+      busy.status = 503;
+      busy.body = "{\"error\":\"too many connections\"}";
+      send_response(*socket, busy, /*close=*/true);
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.rejected_busy;
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->socket = std::move(*socket);
+    Conn* raw = conn.get();
+    conn->thread = std::thread([this, raw] { serve(raw); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void HttpServer::serve(Conn* conn) {
+  std::string buffer;
+  std::uint8_t chunk[kRecvChunk];
+
+  while (!stopping_.load()) {
+    // --- read the request head -------------------------------------------
+    std::size_t head_end;
+    while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+      if (buffer.size() > config_.max_head_bytes) {
+        HttpResponse response;
+        response.status = 400;
+        response.body = "{\"error\":\"request head too large\"}";
+        send_response(conn->socket, response, /*close=*/true);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.bad_requests;
+        conn->done.store(true);
+        return;
+      }
+      const int n = conn->socket.recv_some(chunk, sizeof chunk);
+      if (n > 0) {
+        buffer.append(reinterpret_cast<const char*>(chunk),
+                      static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == -1 && buffer.empty() && !stopping_.load()) {
+        continue;  // idle keep-alive connection: keep waiting
+      }
+      // Orderly close, hard error, stop, or a stalled partial request.
+      conn->done.store(true);
+      return;
+    }
+
+    HttpRequest request;
+    if (!parse_head(buffer.substr(0, head_end + 2), request)) {
+      HttpResponse response;
+      response.status = 400;
+      response.body = "{\"error\":\"malformed request\"}";
+      send_response(conn->socket, response, /*close=*/true);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.bad_requests;
+      conn->done.store(true);
+      return;
+    }
+    buffer.erase(0, head_end + 4);
+
+    // --- read the body ----------------------------------------------------
+    std::size_t content_length = 0;
+    if (const auto it = request.headers.find("content-length");
+        it != request.headers.end()) {
+      const auto [ptr, ec] = std::from_chars(
+          it->second.data(), it->second.data() + it->second.size(),
+          content_length);
+      if (ec != std::errc() || ptr != it->second.data() + it->second.size()) {
+        HttpResponse response;
+        response.status = 400;
+        response.body = "{\"error\":\"bad content-length\"}";
+        send_response(conn->socket, response, /*close=*/true);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.bad_requests;
+        conn->done.store(true);
+        return;
+      }
+    }
+    if (content_length > config_.max_body_bytes) {
+      // We cannot cheaply skip an oversized body, so reject and close.
+      HttpResponse response;
+      response.status = 413;
+      response.body = "{\"error\":\"body too large\"}";
+      send_response(conn->socket, response, /*close=*/true);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.oversized_bodies;
+      conn->done.store(true);
+      return;
+    }
+    while (buffer.size() < content_length) {
+      const int n = conn->socket.recv_some(chunk, sizeof chunk);
+      if (n <= 0) {  // timeout mid-body counts as a stall: drop
+        conn->done.store(true);
+        return;
+      }
+      buffer.append(reinterpret_cast<const char*>(chunk),
+                    static_cast<std::size_t>(n));
+    }
+    request.body = buffer.substr(0, content_length);
+    buffer.erase(0, content_length);
+
+    const bool client_close =
+        [&] {
+          const auto it = request.headers.find("connection");
+          return it != request.headers.end() && lower(it->second) == "close";
+        }();
+
+    // --- dispatch ---------------------------------------------------------
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.requests;
+    }
+    HttpResponse response = handler_(request);
+    if (!send_response(conn->socket, response, client_close) || client_close) {
+      conn->done.store(true);
+      return;
+    }
+  }
+  conn->done.store(true);
+}
+
+}  // namespace themis::rpc

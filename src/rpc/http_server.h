@@ -1,0 +1,111 @@
+// A small multi-threaded HTTP/1.1 server for the RPC gateway.
+//
+// Thread-per-connection over the p2p socket primitives (TcpListener /
+// TcpSocket): one accept thread hands each connection to a worker thread
+// that parses requests and calls the installed handler.  The shape matches
+// PeerManager's threading, so the daemon's two listening surfaces (p2p frames
+// and HTTP) behave identically under start/stop.
+//
+// Written for untrusted clients:
+//   * the request head (request line + headers) is capped (400 beyond it),
+//   * bodies are capped at max_body (413 Payload Too Large),
+//   * concurrent connections are capped (503 Service Unavailable, the
+//     consortium analogue of load shedding),
+//   * a connection that stalls mid-request is dropped on the next receive
+//     timeout tick (slowloris guard); idle keep-alive connections survive.
+//
+// Graceful shutdown: stop() interrupts the accept loop, shuts every live
+// connection socket down and joins all worker threads — no request thread
+// outlives the server object.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "p2p/socket.h"
+
+namespace themis::rpc {
+
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ...
+  std::string target;  ///< request path, e.g. "/" or "/status"
+  /// Header fields, names lower-cased (HTTP headers are case-insensitive).
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+struct HttpServerConfig {
+  std::uint16_t port = 0;  ///< 0 = ephemeral (read back with port())
+  std::size_t max_head_bytes = 8 * 1024;
+  std::size_t max_body_bytes = 1 << 20;
+  std::size_t max_connections = 64;
+  /// Receive timeout tick; a connection stalled mid-request for one full
+  /// tick is dropped.
+  int recv_timeout_ms = 10000;
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(HttpServerConfig config, Handler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Bind + start accepting.  False if the port cannot be bound.
+  bool start();
+  void stop();
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t bad_requests = 0;      ///< 400 (parse failures)
+    std::uint64_t oversized_bodies = 0;  ///< 413
+    std::uint64_t rejected_busy = 0;     ///< 503 (connection cap)
+  };
+  Stats stats() const;
+
+ private:
+  struct Conn {
+    p2p::TcpSocket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void serve(Conn* conn);
+  /// Join and drop finished connections (called with conns_mu_ held).
+  void reap_locked();
+
+  HttpServerConfig config_;
+  Handler handler_;
+  p2p::TcpListener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  std::mutex conns_mu_;
+  std::list<std::unique_ptr<Conn>> conns_;
+
+  mutable std::mutex stats_mu_;
+  Stats stats_;
+};
+
+}  // namespace themis::rpc

@@ -8,13 +8,19 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <functional>
+#include <memory>
 #include <thread>
 
 #include "common/serialize.h"
 #include "consensus/wire.h"
+#include "ledger/block.h"
+#include "ledger/transaction.h"
 #include "p2p/messages.h"
+#include "p2p/node.h"
 #include "p2p/peer_manager.h"
 #include "p2p/socket.h"
+#include "state/transfer.h"
 
 namespace themis::p2p {
 namespace {
@@ -341,6 +347,147 @@ TEST_F(LivePeerManagerTest, ValidHandshakeThenPingGetsPong) {
   EXPECT_TRUE(got_handshake);
   EXPECT_TRUE(got_pong);
   EXPECT_EQ(manager_->ready_peer_count(), 1u);
+}
+
+// --- transaction-message robustness against a live node ----------------------
+//
+// Same hostile-client drill as above, but against a full P2pNode so the tx
+// handlers (kP2pTx / kP2pTxInv / kP2pGetTxData) are on the receiving end.
+
+class LiveNodeTxWireTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    P2pNodeConfig config;
+    config.id = 0;
+    config.n_nodes = 4;
+    config.mine = false;  // keep the chain at genesis: deterministic nonces
+    config.listen_port = 0;
+    node_ = std::make_unique<P2pNode>(config);
+    ASSERT_TRUE(node_->start());
+  }
+  void TearDown() override { node_->stop(); }
+
+  /// Dial the node and complete a valid handshake (a real P2pNode checks the
+  /// real genesis id, unlike the bare PeerManager fixture above).
+  TcpSocket dial_and_handshake() {
+    TcpSocket s = TcpSocket::connect("127.0.0.1", node_->listen_port(), 2000);
+    EXPECT_TRUE(s.valid());
+    s.set_timeouts(2000, 2000);
+    HandshakeMsg hello;
+    hello.genesis = ledger::Block::genesis().id();
+    hello.node_id = 3;
+    EXPECT_TRUE(
+        s.send_all(encode_frame(consensus::kP2pHandshake, hello.encode())));
+    return s;
+  }
+
+  bool closed_by_remote(TcpSocket& s) {
+    std::uint8_t buf[4096];
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < deadline) {
+      const int n = s.recv_some(buf, sizeof(buf));
+      if (n == 0 || n == -2) return true;
+    }
+    return false;
+  }
+
+  bool wait_until(const std::function<bool()>& done, int timeout_ms = 10000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (done()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return done();
+  }
+
+  static ledger::SignedTransaction signed_transfer(ledger::NodeId from,
+                                                   std::uint64_t nonce) {
+    return ledger::sign_transaction(
+        state::make_transfer_tx(from, nonce, 0, state::Transfer{2, 1, {}}));
+  }
+
+  std::unique_ptr<P2pNode> node_;
+};
+
+TEST_F(LiveNodeTxWireTest, TruncatedTxFrameClosesConnectionNodeSurvives) {
+  TcpSocket s = dial_and_handshake();
+  // A kP2pTx payload must be exactly kSignedTxSize bytes; feed it half.
+  ASSERT_TRUE(s.send_all(encode_frame(
+      consensus::kP2pTx, Bytes(ledger::kSignedTxSize / 2, 0xab))));
+  EXPECT_TRUE(closed_by_remote(s));
+  EXPECT_EQ(node_->pool_depth(), 0u);
+
+  // The node shrugged it off: a fresh well-behaved connection still works.
+  TcpSocket again = dial_and_handshake();
+  ASSERT_TRUE(again.send_all(
+      encode_frame(consensus::kP2pTx, signed_transfer(1, 1).encode())));
+  EXPECT_TRUE(wait_until([this] { return node_->pool_depth() == 1; }));
+}
+
+TEST_F(LiveNodeTxWireTest, CorruptSignatureTxIsRejectedNotPooled) {
+  TcpSocket s = dial_and_handshake();
+  Bytes raw = signed_transfer(1, 1).encode();
+  raw.back() ^= 0x01;  // flip one signature bit; decode still succeeds
+  ASSERT_TRUE(s.send_all(encode_frame(consensus::kP2pTx, raw)));
+  // Rejection is silent (no close: the frame was well-formed); wait for the
+  // admission path to count it.
+  EXPECT_TRUE(wait_until(
+      [this] { return node_->chain_stats().txs_rejected >= 1; }));
+  EXPECT_EQ(node_->pool_depth(), 0u);
+}
+
+TEST_F(LiveNodeTxWireTest, ValidTxOverWireEntersPool) {
+  TcpSocket s = dial_and_handshake();
+  const ledger::SignedTransaction stx = signed_transfer(1, 1);
+  ASSERT_TRUE(s.send_all(encode_frame(consensus::kP2pTx, stx.encode())));
+  ASSERT_TRUE(wait_until([this] { return node_->pool_depth() == 1; }));
+  const auto status = node_->tx_status(stx.tx.id());
+  EXPECT_EQ(status.state, P2pNode::TxStatusInfo::State::pending);
+}
+
+TEST_F(LiveNodeTxWireTest, TxInvTriggersGetTxData) {
+  TcpSocket s = dial_and_handshake();
+  const ledger::SignedTransaction stx = signed_transfer(1, 1);
+  InvMsg inv;
+  inv.hashes.push_back(stx.tx.id());
+  ASSERT_TRUE(s.send_all(encode_frame(consensus::kP2pTxInv, inv.encode())));
+
+  // The node wants the unknown tx: expect a kP2pGetTxData for its id.
+  FrameDecoder decoder;
+  std::uint8_t buf[4096];
+  bool got_request = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!got_request && std::chrono::steady_clock::now() < deadline) {
+    const int n = s.recv_some(buf, sizeof(buf));
+    if (n == 0 || n == -2) break;
+    if (n < 0) continue;
+    decoder.feed(ByteSpan(buf, static_cast<std::size_t>(n)));
+    while (const auto frame = decoder.poll()) {
+      if (frame->type == consensus::kP2pGetTxData) {
+        const InvMsg want = InvMsg::decode(frame->payload);
+        ASSERT_EQ(want.hashes.size(), 1u);
+        EXPECT_EQ(want.hashes[0], stx.tx.id());
+        got_request = true;
+      }
+    }
+  }
+  EXPECT_TRUE(got_request);
+
+  // Answer it; the tx must land in the pool.
+  ASSERT_TRUE(s.send_all(encode_frame(consensus::kP2pTx, stx.encode())));
+  EXPECT_TRUE(wait_until([this] { return node_->pool_depth() == 1; }));
+}
+
+TEST_F(LiveNodeTxWireTest, OversizedTxInvClosesConnection) {
+  TcpSocket s = dial_and_handshake();
+  InvMsg inv;
+  inv.hashes.resize(kMaxInvHashes + 1);
+  ASSERT_TRUE(s.send_all(encode_frame(consensus::kP2pTxInv, inv.encode())));
+  EXPECT_TRUE(closed_by_remote(s));
+  EXPECT_EQ(node_->pool_depth(), 0u);
 }
 
 }  // namespace

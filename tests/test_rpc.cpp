@@ -1,0 +1,360 @@
+// RPC surface tests: the JSON codec against hostile input, and a live
+// HttpServer + Gateway over a non-mining P2pNode driven through real sockets
+// (malformed requests, oversized bodies, rejected transactions, concurrent
+// submit storms).
+#include "rpc/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.h"
+#include "ledger/transaction.h"
+#include "p2p/node.h"
+#include "p2p/socket.h"
+#include "rpc/http_client.h"
+#include "rpc/http_server.h"
+#include "rpc/json.h"
+#include "state/transfer.h"
+
+namespace themis::rpc {
+namespace {
+
+// --- Json codec --------------------------------------------------------------
+
+TEST(RpcJson, U64RoundTripsExactly) {
+  const Json v = Json::parse("18446744073709551615");
+  ASSERT_TRUE(v.is_u64());
+  EXPECT_EQ(v.as_u64(), 18446744073709551615ull);
+  EXPECT_EQ(v.dump(), "18446744073709551615");
+  // One past uint64 max no longer fits: falls back to double, not garbage.
+  EXPECT_TRUE(Json::parse("18446744073709551616").is_double());
+}
+
+TEST(RpcJson, NegativeIntegersAreI64) {
+  const Json v = Json::parse("-9223372036854775808");
+  ASSERT_TRUE(v.is_i64());
+  EXPECT_EQ(v.as_i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(v.dump(), "-9223372036854775808");
+}
+
+TEST(RpcJson, CrossSignedAccessors) {
+  const Json small = Json::parse("7");  // integral literal -> u64 or i64
+  EXPECT_EQ(small.as_u64(), 7u);
+  EXPECT_EQ(small.as_i64(), 7);
+  EXPECT_THROW(Json::parse("-1").as_u64(), JsonError);
+  EXPECT_THROW(Json::parse("\"x\"").as_u64(), JsonError);
+}
+
+TEST(RpcJson, ParseDumpRoundTripIsDeterministic) {
+  const std::string text =
+      R"({"a":[1,2.5,true,null],"b":{"nested":"x"},"z":-3})";
+  const Json v = Json::parse(text);
+  EXPECT_EQ(Json::parse(v.dump()), v);
+  EXPECT_EQ(v.dump(), v.dump());
+  EXPECT_EQ(v["b"]["nested"].as_string(), "x");
+  EXPECT_TRUE(v["missing"].is_null());
+}
+
+TEST(RpcJson, DepthCapRejectsDeepNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_THROW(Json::parse(deep), JsonError);
+  EXPECT_NO_THROW(Json::parse(deep, 128));
+}
+
+TEST(RpcJson, TrailingGarbageRejected) {
+  EXPECT_THROW(Json::parse("{} x"), JsonError);
+  EXPECT_THROW(Json::parse("1 2"), JsonError);
+  EXPECT_THROW(Json::parse("truefalse"), JsonError);
+}
+
+TEST(RpcJson, StringEscapesAndSurrogates) {
+  const Json v = Json::parse(R"("a\n\t\"\\\u0041\ud83d\ude00")");
+  EXPECT_EQ(v.as_string(), "a\n\t\"\\A\xF0\x9F\x98\x80");
+  // Control characters are re-escaped on dump.
+  EXPECT_EQ(Json(std::string("\x01")).dump(), "\"\\u0001\"");
+}
+
+TEST(RpcJson, MalformedInputsThrow) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "01", "+1", "1.",
+        "\"unterminated", "\"bad\\q\"", "[1,]", "{,}", "nan",
+        "\"\\ud83d\""}) {
+    EXPECT_THROW(Json::parse(bad), JsonError) << bad;
+  }
+}
+
+// --- live gateway ------------------------------------------------------------
+
+class RpcGatewayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    p2p::P2pNodeConfig config;
+    config.id = 0;
+    config.n_nodes = 16;
+    config.mine = false;  // deterministic: chain stays at genesis
+    config.listen_port = 0;
+    node_ = std::make_unique<p2p::P2pNode>(config);
+    ASSERT_TRUE(node_->start());
+
+    gateway_ = std::make_unique<Gateway>(*node_);
+    HttpServerConfig http;
+    http.port = 0;
+    http.max_body_bytes = 64 * 1024;
+    server_ = std::make_unique<HttpServer>(
+        http, [this](const HttpRequest& r) { return gateway_->handle(r); });
+    ASSERT_TRUE(server_->start());
+    client_ = std::make_unique<HttpClient>("127.0.0.1", server_->port());
+  }
+
+  void TearDown() override {
+    server_->stop();
+    node_->stop();
+  }
+
+  /// One JSON-RPC call through the real HTTP stack.
+  Json call(const std::string& method, Json params) {
+    Json request;
+    request.set("jsonrpc", "2.0");
+    request.set("id", 1);
+    request.set("method", method);
+    request.set("params", std::move(params));
+    const auto result = client_->post("/", request.dump());
+    EXPECT_TRUE(result.has_value());
+    EXPECT_EQ(result->status, 200);
+    return Json::parse(result->body);
+  }
+
+  static std::int64_t error_code(const Json& response) {
+    EXPECT_TRUE(response.has("error"));
+    return response["error"]["code"].as_i64();
+  }
+
+  std::unique_ptr<p2p::P2pNode> node_;
+  std::unique_ptr<Gateway> gateway_;
+  std::unique_ptr<HttpServer> server_;
+  std::unique_ptr<HttpClient> client_;
+};
+
+TEST_F(RpcGatewayTest, MalformedJsonIsParseError) {
+  const auto result = client_->post("/", "{this is not json");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, 200);  // JSON-RPC errors ride HTTP 200
+  EXPECT_EQ(Json::parse(result->body)["error"]["code"].as_i64(), -32700);
+}
+
+TEST_F(RpcGatewayTest, NonObjectRequestIsInvalid) {
+  for (const char* body : {"[1,2,3]", "42", "\"hi\"", "{\"params\":{}}"}) {
+    const auto result = client_->post("/", body);
+    ASSERT_TRUE(result.has_value());
+    EXPECT_EQ(Json::parse(result->body)["error"]["code"].as_i64(), -32600)
+        << body;
+  }
+}
+
+TEST_F(RpcGatewayTest, UnknownMethodIsMethodNotFound) {
+  EXPECT_EQ(error_code(call("no_such_method", Json())), -32601);
+}
+
+TEST_F(RpcGatewayTest, MissingParamsAreInvalidParams) {
+  EXPECT_EQ(error_code(call("get_tx", Json())), -32602);
+  Json bad_type;
+  bad_type.set("account", "not a number");
+  EXPECT_EQ(error_code(call("get_balance", std::move(bad_type))), -32602);
+}
+
+TEST_F(RpcGatewayTest, OversizedBodyIs413) {
+  const std::string big(128 * 1024, 'x');  // server caps at 64 KiB
+  const auto result = client_->post("/", big);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->status, 413);
+  EXPECT_GE(server_->stats().oversized_bodies, 1u);
+}
+
+TEST_F(RpcGatewayTest, RawGarbageRequestIs400) {
+  p2p::TcpSocket s =
+      p2p::TcpSocket::connect("127.0.0.1", server_->port(), 2000);
+  ASSERT_TRUE(s.valid());
+  s.set_timeouts(2000, 2000);
+  const std::string garbage = "???\r\n\r\n";
+  ASSERT_TRUE(s.send_all(ByteSpan(
+      reinterpret_cast<const std::uint8_t*>(garbage.data()), garbage.size())));
+  std::string reply;
+  std::uint8_t buf[1024];
+  for (;;) {
+    const int n = s.recv_some(buf, sizeof(buf));
+    if (n <= 0) break;
+    reply.append(reinterpret_cast<const char*>(buf),
+                 static_cast<std::size_t>(n));
+    if (reply.find("\r\n\r\n") != std::string::npos) break;
+  }
+  EXPECT_TRUE(reply.starts_with("HTTP/1.1 400")) << reply;
+  EXPECT_GE(server_->stats().bad_requests, 1u);
+}
+
+TEST_F(RpcGatewayTest, SubmitAcceptsStructuredTransfer) {
+  Json params;
+  params.set("sender", 1);
+  params.set("to", 2);
+  params.set("amount", 25);
+  const Json response = call("submit_tx", std::move(params));
+  ASSERT_TRUE(response.has("result")) << response.dump();
+  EXPECT_EQ(response["result"]["status"].as_string(), "accepted");
+  EXPECT_EQ(response["result"]["nonce"].as_u64(), 1u);  // auto-nonce hint
+  EXPECT_EQ(node_->pool_depth(), 1u);
+
+  // Status query sees it pending.
+  Json query;
+  query.set("id", response["result"]["id"].as_string());
+  const Json status = call("get_tx", std::move(query));
+  EXPECT_EQ(status["result"]["state"].as_string(), "pending");
+}
+
+TEST_F(RpcGatewayTest, SubmitAcceptsRawHex) {
+  const ledger::SignedTransaction stx = ledger::sign_transaction(
+      state::make_transfer_tx(3, 1, 0, state::Transfer{4, 7, {}}));
+  Json params;
+  params.set("raw", to_hex(stx.encode()));
+  const Json response = call("submit_tx", std::move(params));
+  ASSERT_TRUE(response.has("result")) << response.dump();
+  EXPECT_EQ(response["result"]["id"].as_string(), to_hex(stx.tx.id()));
+}
+
+TEST_F(RpcGatewayTest, DuplicateSubmitReportsDuplicate) {
+  // Raw submission: the exact same bytes twice.  (The structured path stamps
+  // a fresh timestamp per call, so two identical-looking transfers are
+  // distinct transactions by design.)
+  const ledger::SignedTransaction stx = ledger::sign_transaction(
+      state::make_transfer_tx(1, 1, 0, state::Transfer{2, 5, {}}));
+  Json params;
+  params.set("raw", to_hex(stx.encode()));
+  EXPECT_EQ(call("submit_tx", params)["result"]["status"].as_string(),
+            "accepted");
+  EXPECT_EQ(call("submit_tx", params)["result"]["status"].as_string(),
+            "duplicate");
+  EXPECT_EQ(node_->pool_depth(), 1u);
+}
+
+TEST_F(RpcGatewayTest, RejectionsCarryTheAdmissionVerdict) {
+  const auto submit = [this](std::uint64_t sender, std::uint64_t nonce) {
+    Json params;
+    params.set("sender", sender);
+    params.set("to", std::uint64_t{2});
+    params.set("amount", std::uint64_t{1});
+    params.set("nonce", nonce);
+    return call("submit_tx", std::move(params));
+  };
+  Json stale = submit(1, 0);  // accounts start at next_nonce 1
+  EXPECT_EQ(error_code(stale), -32000);
+  EXPECT_EQ(stale["error"]["message"].as_string(), "stale_nonce");
+
+  Json gap = submit(1, 5000);  // far past the admission window
+  EXPECT_EQ(gap["error"]["message"].as_string(), "nonce_gap");
+
+  Json unknown = submit(999, 1);  // outside the 16-member consortium
+  EXPECT_EQ(unknown["error"]["message"].as_string(), "unknown_sender");
+  EXPECT_EQ(node_->pool_depth(), 0u);
+}
+
+TEST_F(RpcGatewayTest, BadSignatureIsRejected) {
+  ledger::SignedTransaction stx = ledger::sign_transaction(
+      state::make_transfer_tx(1, 1, 0, state::Transfer{2, 1, {}}));
+  stx.signature.s[0] ^= 0x01;
+  Json params;
+  params.set("raw", to_hex(stx.encode()));
+  const Json response = call("submit_tx", std::move(params));
+  EXPECT_EQ(error_code(response), -32000);
+  EXPECT_EQ(response["error"]["message"].as_string(), "bad_signature");
+  EXPECT_EQ(node_->pool_depth(), 0u);
+}
+
+TEST_F(RpcGatewayTest, BalanceHeadAndBlockQueries) {
+  Json account;
+  account.set("account", 1);
+  const Json balance = call("get_balance", std::move(account));
+  EXPECT_EQ(balance["result"]["balance"].as_u64(),
+            node_->config().genesis_fund);
+  EXPECT_EQ(balance["result"]["next_nonce"].as_u64(), 1u);
+
+  const Json head = call("get_head", Json());
+  EXPECT_EQ(head["result"]["height"].as_u64(), 0u);
+  const std::string genesis_hex = head["result"]["hash"].as_string();
+
+  Json by_hash;
+  by_hash.set("hash", genesis_hex);
+  EXPECT_EQ(call("get_block", std::move(by_hash))["result"]["height"].as_u64(),
+            0u);
+  Json by_height;
+  by_height.set("height", 0);
+  EXPECT_EQ(
+      call("get_block", std::move(by_height))["result"]["hash"].as_string(),
+      genesis_hex);
+  Json missing;
+  missing.set("height", 999);
+  EXPECT_EQ(error_code(call("get_block", std::move(missing))), -32000);
+}
+
+TEST_F(RpcGatewayTest, StatusAndMetricsOverGet) {
+  const auto status = client_->get("/status");
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(status->status, 200);
+  EXPECT_TRUE(Json::parse(status->body).has("head"));
+
+  const auto metrics = client_->get("/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_TRUE(Json::parse(metrics->body).has("tx"));
+
+  const auto missing = client_->get("/nope");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+}
+
+// Many clients hammering submit_tx at once: every admission must succeed
+// exactly once and the pool must account for all of them (run under TSan via
+// the ctest 'Rpc' regex).
+TEST_F(RpcGatewayTest, ConcurrentSubmitStorm) {
+  constexpr std::uint64_t kClients = 8;
+  constexpr std::uint64_t kPerClient = 25;
+  std::vector<std::thread> threads;
+  std::atomic<std::uint64_t> accepted{0};
+  for (std::uint64_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([this, c, &accepted] {
+      HttpClient client("127.0.0.1", server_->port());
+      for (std::uint64_t n = 1; n <= kPerClient; ++n) {
+        Json request;
+        request.set("jsonrpc", "2.0");
+        request.set("id", n);
+        request.set("method", "submit_tx");
+        Json params;
+        params.set("sender", c + 1);  // distinct senders: no nonce races
+        params.set("to", std::uint64_t{0});
+        params.set("amount", std::uint64_t{1});
+        params.set("nonce", n);
+        request.set("params", std::move(params));
+        const auto result = client.post("/", request.dump());
+        ASSERT_TRUE(result.has_value());
+        const Json response = Json::parse(result->body);
+        ASSERT_TRUE(response.has("result")) << response.dump();
+        if (response["result"]["status"].as_string() == "accepted") {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(accepted.load(), kClients * kPerClient);
+  EXPECT_EQ(node_->pool_depth(), kClients * kPerClient);
+  EXPECT_EQ(node_->chain_stats().txs_accepted, kClients * kPerClient);
+  EXPECT_EQ(gateway_->stats().errors, 0u);
+}
+
+}  // namespace
+}  // namespace themis::rpc

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "common/check.h"
 
 namespace themis::ledger {
@@ -9,6 +12,10 @@ namespace {
 
 Transaction tx(std::uint64_t nonce) {
   return Transaction(0, nonce, 0, {});
+}
+
+Transaction tx_from(NodeId sender, std::uint64_t nonce) {
+  return Transaction(sender, nonce, 0, {});
 }
 
 TEST(TxPool, AddAndContains) {
@@ -79,6 +86,135 @@ TEST(TxPool, Clear) {
   pool.clear();
   EXPECT_TRUE(pool.empty());
   EXPECT_FALSE(pool.contains(tx(1).id()));
+}
+
+TEST(TxPool, SelectPredicateSkipsRejected) {
+  TxPool pool;
+  for (std::uint64_t i = 0; i < 6; ++i) pool.add(tx(i));
+  // The admit predicate filters mid-queue, so the result is not a FIFO
+  // prefix: only even nonces survive.
+  const auto selected =
+      pool.select(10, [](const Transaction& t) { return t.nonce() % 2 == 0; });
+  ASSERT_EQ(selected.size(), 3u);
+  EXPECT_EQ(selected[0].nonce(), 0u);
+  EXPECT_EQ(selected[1].nonce(), 2u);
+  EXPECT_EQ(selected[2].nonce(), 4u);
+  EXPECT_EQ(pool.size(), 6u);  // select never removes
+}
+
+TEST(TxPool, SelectPredicateRespectsMaxCount) {
+  TxPool pool;
+  for (std::uint64_t i = 0; i < 6; ++i) pool.add(tx(i));
+  const auto selected =
+      pool.select(2, [](const Transaction& t) { return t.nonce() % 2 == 0; });
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0].nonce(), 0u);
+  EXPECT_EQ(selected[1].nonce(), 2u);
+}
+
+TEST(TxPool, PurgeDropsMatching) {
+  TxPool pool;
+  for (std::uint64_t i = 1; i <= 5; ++i) pool.add(tx(i));
+  const std::size_t dropped =
+      pool.purge([](const Transaction& t) { return t.nonce() <= 2; });
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_FALSE(pool.contains(tx(1).id()));
+  EXPECT_FALSE(pool.contains(tx(2).id()));
+  EXPECT_TRUE(pool.contains(tx(3).id()));
+  // Order of survivors is preserved.
+  const auto remaining = pool.select(10);
+  ASSERT_EQ(remaining.size(), 3u);
+  EXPECT_EQ(remaining[0].nonce(), 3u);
+}
+
+TEST(TxPool, IdsFifoOrderAndCap) {
+  TxPool pool;
+  for (std::uint64_t i = 0; i < 5; ++i) pool.add(tx(i));
+  const auto all = pool.ids(100);
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0], tx(0).id());
+  EXPECT_EQ(all[4], tx(4).id());
+  EXPECT_EQ(pool.ids(2).size(), 2u);
+  EXPECT_EQ(pool.ids(2)[0], tx(0).id());
+}
+
+TEST(TxPool, GetReturnsSignedTransaction) {
+  TxPool pool;
+  const SignedTransaction stx = sign_transaction(tx_from(1, 7));
+  EXPECT_TRUE(pool.add(stx));
+  const auto got = pool.get(stx.tx.id());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, stx);
+  EXPECT_FALSE(pool.get(tx(99).id()).has_value());
+}
+
+TEST(TxPool, NextNonceHintSkipsPending) {
+  TxPool pool;
+  pool.add(tx_from(3, 5));
+  pool.add(tx_from(3, 6));
+  // state says next is 5, but 5 and 6 are already pending -> hint 7.
+  EXPECT_EQ(pool.next_nonce_hint(3, 5), 7u);
+}
+
+TEST(TxPool, NextNonceHintFillsGap) {
+  TxPool pool;
+  pool.add(tx_from(3, 5));
+  pool.add(tx_from(3, 7));
+  // 6 is free: the hint fills the gap rather than jumping past 7.
+  EXPECT_EQ(pool.next_nonce_hint(3, 5), 6u);
+}
+
+TEST(TxPool, NextNonceHintIgnoresOtherSenders) {
+  TxPool pool;
+  pool.add(tx_from(9, 5));
+  EXPECT_EQ(pool.next_nonce_hint(3, 5), 5u);
+}
+
+// Hammer the pool from adder, selector, and remover threads at once; TSan
+// (ctest regex 'TxPool') proves the internal locking, and the final state
+// must account for every transaction exactly once.
+TEST(TxPool, ConcurrentAddSelectRemove) {
+  TxPool pool(1 << 16);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 200;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> adders;
+  for (int t = 0; t < kThreads; ++t) {
+    adders.emplace_back([&pool, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        pool.add(tx_from(static_cast<NodeId>(t), i));
+      }
+    });
+  }
+  std::thread selector([&pool, &stop] {
+    while (!stop.load()) {
+      pool.select(32, [](const Transaction& t) { return t.nonce() % 2 == 0; });
+      pool.ids(64);
+      pool.next_nonce_hint(0, 0);
+    }
+  });
+  std::thread remover([&pool, &stop] {
+    while (!stop.load()) {
+      pool.remove({tx_from(0, 0).id()});
+      pool.purge([](const Transaction& t) {
+        return t.sender() == 1 && t.nonce() < 8;
+      });
+    }
+  });
+
+  for (auto& th : adders) th.join();
+  stop.store(true);
+  selector.join();
+  remover.join();
+
+  // Thread 0 nonce 0 and thread 1 nonces < 8 may or may not have been
+  // removed depending on timing; everything else must still be present.
+  std::size_t expected_min = kThreads * kPerThread - 9;
+  EXPECT_GE(pool.size(), expected_min);
+  EXPECT_LE(pool.size(), kThreads * kPerThread);
+  EXPECT_TRUE(pool.contains(tx_from(2, 100).id()));
 }
 
 }  // namespace

@@ -21,8 +21,10 @@ class TreeBuilder {
   /// local receipt order).  Timestamps default to 1 second per height.
   ledger::BlockPtr add(const std::string& name, const std::string& parent_name,
                        ledger::NodeId producer, double difficulty = 1.0,
-                       std::int64_t timestamp_nanos = -1) {
-    auto block = make(name, parent_name, producer, difficulty, timestamp_nanos);
+                       std::int64_t timestamp_nanos = -1,
+                       std::vector<ledger::Transaction> txs = {}) {
+    auto block = make(name, parent_name, producer, difficulty, timestamp_nanos,
+                      std::move(txs));
     const auto result = tree_.insert(block);
     expects(result == ledger::BlockTree::InsertResult::inserted,
             "test block failed to insert");
@@ -34,7 +36,8 @@ class TreeBuilder {
   /// The parent only needs to be built, not inserted.
   ledger::BlockPtr make(const std::string& name, const std::string& parent_name,
                         ledger::NodeId producer, double difficulty = 1.0,
-                        std::int64_t timestamp_nanos = -1) {
+                        std::int64_t timestamp_nanos = -1,
+                        std::vector<ledger::Transaction> txs = {}) {
     const ledger::BlockPtr parent = get(parent_name);
     ledger::BlockHeader h;
     h.height = parent->height() + 1;
@@ -45,8 +48,9 @@ class TreeBuilder {
     h.timestamp_nanos = timestamp_nanos >= 0
                             ? timestamp_nanos
                             : static_cast<std::int64_t>(h.height) * 1'000'000'000;
-    auto block = std::make_shared<const ledger::Block>(
-        h, crypto::Signature{}, std::vector<ledger::Transaction>{});
+    h.tx_count = static_cast<std::uint32_t>(txs.size());
+    auto block = std::make_shared<const ledger::Block>(h, crypto::Signature{},
+                                                       std::move(txs));
     expects(!names_.contains(name), "duplicate block name");
     names_[name] = block;
     return block;

@@ -1,0 +1,195 @@
+// themis-cli: command-line client for a themis-noded JSON-RPC endpoint.
+//
+//   themis-cli submit --from=1 --to=2 --amount=50 --node=127.0.0.1:9200
+//   themis-cli submit --from=1 --to=2 --amount=50 --wait   # poll until confirmed
+//   themis-cli tx --id=<64-char hex>
+//   themis-cli balance --account=2
+//   themis-cli head | status | metrics
+//   themis-cli block --height=3   (or --hash=<hex>)
+//
+// Every command prints the JSON-RPC result (or error) as one JSON line on
+// stdout.  Exit codes: 0 ok, 1 transport failure, 2 usage error, 3 the node
+// answered with a JSON-RPC error (e.g. a rejected transaction).
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "bench_util.h"
+#include "rpc/http_client.h"
+#include "rpc/json.h"
+
+namespace {
+
+constexpr std::string_view kUsage =
+    "themis-cli <command> [flags]\n"
+    "commands:\n"
+    "  submit    --from=<id> --to=<id> --amount=<n> [--memo=<s>] [--nonce=<n>]\n"
+    "            or --raw=<hex of signed tx>; add --wait to poll until the\n"
+    "            transaction is confirmed (--timeout=<sec>, default 30)\n"
+    "  tx        --id=<hex>          transaction status\n"
+    "  balance   --account=<id>      balance + next nonce\n"
+    "  head                          current head hash + height\n"
+    "  block     --hash=<hex> | --height=<n>\n"
+    "  status                        node summary\n"
+    "  metrics                       chain/tx/p2p/rpc counters\n"
+    "common flags:\n"
+    "  --node=<host:port>   RPC endpoint (default 127.0.0.1:9200)\n";
+
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 9200;
+};
+
+Endpoint parse_endpoint(std::string_view spec) {
+  Endpoint ep;
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos) {
+    ep.host = std::string(spec);
+  } else {
+    ep.host = std::string(spec.substr(0, colon));
+    ep.port = static_cast<std::uint16_t>(
+        std::strtoul(std::string(spec.substr(colon + 1)).c_str(), nullptr, 10));
+  }
+  return ep;
+}
+
+/// One JSON-RPC call; exits the process on transport failure.
+themis::rpc::Json call(themis::rpc::HttpClient& client,
+                       const std::string& method, themis::rpc::Json params) {
+  themis::rpc::Json request;
+  request.set("jsonrpc", "2.0");
+  request.set("id", std::uint64_t{1});
+  request.set("method", method);
+  request.set("params", std::move(params));
+  const auto result = client.post("/", request.dump());
+  if (!result.has_value()) {
+    std::cerr << "error: cannot reach node\n";
+    std::exit(1);
+  }
+  try {
+    return themis::rpc::Json::parse(result->body);
+  } catch (const themis::rpc::JsonError& e) {
+    std::cerr << "error: bad response: " << e.what() << "\n";
+    std::exit(1);
+  }
+}
+
+/// Print the result (or error) and return the process exit code.
+int finish(const themis::rpc::Json& response) {
+  if (response.has("error")) {
+    std::cout << response["error"].dump() << "\n";
+    return 3;
+  }
+  std::cout << response["result"].dump() << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace themis;
+
+  if (argc < 2 || std::string_view(argv[1]) == "--help" ||
+      std::string_view(argv[1]) == "-h") {
+    std::cout << kUsage;
+    return argc < 2 ? 2 : 0;
+  }
+  const std::string command = argv[1];
+  const bench::ArgParser parser(argc - 1, argv + 1);
+
+  const Endpoint ep =
+      parse_endpoint(parser.value("--node").value_or("127.0.0.1:9200"));
+  rpc::HttpClient client(ep.host, ep.port);
+
+  if (command == "submit") {
+    rpc::Json params;
+    if (const auto raw = parser.value("--raw")) {
+      params.set("raw", std::string(*raw));
+    } else {
+      const auto from = parser.value("--from");
+      const auto to = parser.value("--to");
+      const auto amount = parser.value("--amount");
+      if (!from || !to || !amount) {
+        std::cerr << "error: submit needs --from, --to, --amount (or --raw)\n"
+                  << kUsage;
+        return 2;
+      }
+      params.set("sender", parser.value_u64("--from", 0));
+      params.set("to", parser.value_u64("--to", 0));
+      params.set("amount", parser.value_u64("--amount", 0));
+      if (const auto memo = parser.value("--memo")) {
+        params.set("memo", std::string(*memo));
+      }
+      if (parser.value("--nonce")) {
+        params.set("nonce", parser.value_u64("--nonce", 0));
+      }
+    }
+    const bool wait = parser.flag("--wait");
+    const std::uint64_t timeout_sec = parser.value_u64("--timeout", 30);
+
+    const rpc::Json response = call(client, "submit_tx", std::move(params));
+    if (!wait || response.has("error")) return finish(response);
+
+    // Poll get_tx until the node reports the transaction confirmed.
+    const std::string id = response["result"]["id"].as_string();
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(timeout_sec);
+    while (std::chrono::steady_clock::now() < deadline) {
+      rpc::Json query;
+      query.set("id", id);
+      const rpc::Json status = call(client, "get_tx", std::move(query));
+      if (status.has("error")) return finish(status);
+      if (status["result"]["state"].as_string() == "confirmed") {
+        return finish(status);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    std::cerr << "error: transaction " << id << " not confirmed within "
+              << timeout_sec << "s\n";
+    return 3;
+  }
+
+  if (command == "tx") {
+    const auto id = parser.value("--id");
+    if (!id) {
+      std::cerr << "error: tx needs --id\n";
+      return 2;
+    }
+    rpc::Json params;
+    params.set("id", std::string(*id));
+    return finish(call(client, "get_tx", std::move(params)));
+  }
+
+  if (command == "balance") {
+    const auto account = parser.value("--account");
+    if (!account) {
+      std::cerr << "error: balance needs --account\n";
+      return 2;
+    }
+    rpc::Json params;
+    params.set("account", parser.value_u64("--account", 0));
+    return finish(call(client, "get_balance", std::move(params)));
+  }
+
+  if (command == "block") {
+    rpc::Json params;
+    if (const auto hash = parser.value("--hash")) {
+      params.set("hash", std::string(*hash));
+    } else if (parser.value("--height")) {
+      params.set("height", parser.value_u64("--height", 0));
+    } else {
+      std::cerr << "error: block needs --hash or --height\n";
+      return 2;
+    }
+    return finish(call(client, "get_block", std::move(params)));
+  }
+
+  if (command == "head") return finish(call(client, "get_head", rpc::Json()));
+  if (command == "status") return finish(call(client, "status", rpc::Json()));
+  if (command == "metrics") return finish(call(client, "metrics", rpc::Json()));
+
+  std::cerr << "error: unknown command '" << command << "'\n" << kUsage;
+  return 2;
+}

@@ -33,6 +33,8 @@
 #include "obs/observability.h"
 #include "obs/report.h"
 #include "p2p/node.h"
+#include "rpc/gateway.h"
+#include "rpc/http_server.h"
 
 namespace {
 
@@ -48,6 +50,11 @@ constexpr std::string_view kUsage =
     "  --fork-choice=<r>     geost | ghost | longest (default geost)\n"
     "  --no-mine             serve sync and relay blocks, do not mine\n"
     "  --no-signatures       skip Schnorr signing/verification\n"
+    "  --rpc-port=<port>     serve JSON-RPC over HTTP (default: disabled;\n"
+    "                        0 picks an ephemeral port, printed at startup)\n"
+    "  --genesis-fund=<n>    genesis balance per consortium account\n"
+    "                        (default 1000000)\n"
+    "  --max-block-txs=<n>   transactions per mined block cap (default 256)\n"
     "  --seed=<u64>          rng seed for nonce start / dial jitter\n"
     "  --run-for=<sec>       stop after this many seconds (0 = until signal)\n"
     "  --stop-at-height=<h>  stop once the head reaches height h\n"
@@ -67,6 +74,8 @@ void status_line(const themis::p2p::P2pNode& node) {
             << " peers=" << node.ready_peer_count()
             << " mined=" << stats.blocks_produced
             << " recv=" << stats.blocks_received
+            << " pool=" << node.pool_depth()
+            << " tx_conf=" << stats.txs_confirmed
             << " bytes_in=" << transport.bytes_in
             << " bytes_out=" << transport.bytes_out << "\n";
 }
@@ -99,6 +108,17 @@ int main(int argc, char** argv) {
   config.mine = !parser.flag("--no-mine");
   config.use_signatures = !parser.flag("--no-signatures");
   config.rng_seed = parser.value_u64("--seed", 1 + config.id);
+  config.genesis_fund = parser.value_u64("--genesis-fund", config.genesis_fund);
+  config.max_block_txs = static_cast<std::size_t>(
+      parser.value_u64("--max-block-txs", config.max_block_txs));
+
+  bool rpc_enabled = false;
+  std::uint16_t rpc_port = 0;
+  if (const auto v = parser.value("--rpc-port")) {
+    rpc_enabled = true;
+    rpc_port = static_cast<std::uint16_t>(
+        std::strtoul(std::string(*v).c_str(), nullptr, 10));
+  }
 
   const std::uint64_t run_for = parser.value_u64("--run-for", 0);
   const std::uint64_t stop_at_height = parser.value_u64("--stop-at-height", 0);
@@ -143,6 +163,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Client-facing JSON-RPC surface, started after the node so handlers can
+  // always rely on a running consensus stack.
+  rpc::Gateway gateway(node);
+  std::unique_ptr<rpc::HttpServer> rpc_server;
+  if (rpc_enabled) {
+    rpc::HttpServerConfig http;
+    http.port = rpc_port;
+    rpc_server = std::make_unique<rpc::HttpServer>(
+        http, [&gateway](const rpc::HttpRequest& request) {
+          return gateway.handle(request);
+        });
+    if (!rpc_server->start()) {
+      std::cerr << "error: failed to bind rpc port " << rpc_port << "\n";
+      node.stop();
+      return 1;
+    }
+    std::cerr << "[noded] rpc listening on port " << rpc_server->port()
+              << "\n";
+  }
+
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
@@ -175,8 +215,11 @@ int main(int argc, char** argv) {
 
   std::cerr << "[noded] stopping\n";
   // Snapshot counters (including the per-peer link matrix) while the peers
-  // are still connected, then shut down.
+  // are still connected, then shut down — RPC first, so no handler races a
+  // stopping node.
   node.fill_observability();
+  gateway.fill_observability(obs);
+  if (rpc_server != nullptr) rpc_server->stop();
   node.stop();
   status_line(node);
   if (!trace_path.empty()) {
