@@ -72,6 +72,55 @@ void BM_SchnorrVerify(benchmark::State& state) {
 }
 BENCHMARK(BM_SchnorrVerify);
 
+// A synthetic admission batch: several senders, each with a run of
+// transaction digests — the shape the RPC admission pipeline sees.
+std::vector<crypto::BatchVerifyItem> admission_batch(std::size_t n) {
+  std::vector<crypto::BatchVerifyItem> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto keypair = crypto::Keypair::from_node_id(i % 4);
+    Bytes payload = bytes_of("admission tx");
+    payload.push_back(static_cast<std::uint8_t>(i));
+    payload.push_back(static_cast<std::uint8_t>(i >> 8));
+    const Hash32 msg = crypto::sha256(payload);
+    items.push_back({keypair.public_key(), msg, keypair.sign(msg)});
+  }
+  return items;
+}
+
+// Baseline for the batch comparison: the same admission batch verified one
+// signature at a time, as the pre-reactor request thread did.
+void BM_SchnorrAdmitSingle(benchmark::State& state) {
+  const auto items = admission_batch(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    bool ok = true;
+    for (const auto& it : items) ok &= crypto::verify(it.pub, it.msg, it.sig);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SchnorrAdmitSingle)->Arg(16)->Arg(64);
+
+// Batched admission at 1/2/4/8 verification threads.  Items/s is the headline
+// number; on a single-core host the thread counts collapse to the same figure,
+// on CI runners the parallel split shows through.
+void BM_SchnorrAdmitBatch(benchmark::State& state) {
+  const auto items = admission_batch(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::verify_batch(items, threads));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SchnorrAdmitBatch)
+    ->Args({16, 1})
+    ->Args({64, 1})
+    ->Args({64, 2})
+    ->Args({64, 4})
+    ->Args({64, 8});
+
 void BM_MerkleRoot(benchmark::State& state) {
   std::vector<Hash32> leaves;
   for (std::int64_t i = 0; i < state.range(0); ++i) {

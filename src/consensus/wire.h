@@ -27,6 +27,8 @@ enum MessageType : std::uint32_t {
   kP2pTxInv = 108,      // transaction-id inventory announcement
   kP2pGetTxData = 109,  // request full transactions for inventory ids
   kP2pTx = 110,         // one signed canonical transaction
+  kP2pTxBatch = 111,    // many signed transactions in one frame, so the
+                        // receiver can batch-verify admission in one pass
 };
 
 }  // namespace themis::consensus

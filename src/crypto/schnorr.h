@@ -6,6 +6,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "common/bytes.h"
 #include "crypto/secp256k1.h"
@@ -53,5 +54,29 @@ class Keypair {
 
 /// Verify a signature over a 32-byte digest under an x-only public key.
 bool verify(const PublicKey& pub, const Hash32& msg, const Signature& sig);
+
+/// One (key, message, signature) triple queued for batch verification.
+struct BatchVerifyItem {
+  PublicKey pub{};
+  Hash32 msg{};
+  Signature sig{};
+};
+
+/// Verify a whole batch at once: true iff EVERY signature is valid.
+///
+/// Uses the standard random-linear-combination check — with deterministic
+/// per-batch randomizers z_i (z_0 = 1) derived by hashing the batch contents,
+///   (sum z_i * s_i) * G  ==  sum z_i * R_i  +  sum (z_i * e_i) * P_i
+/// holds for honest signatures and fails with overwhelming probability if any
+/// signature in the batch is forged.  The shared doubling chain makes the
+/// marginal cost per signature several times cheaper than verify().
+///
+/// On a false return the caller learns only that at least one item is bad;
+/// re-verify individually to find which (the expected-rare path).
+///
+/// `n_threads > 1` splits the batch into independent sub-batches verified in
+/// parallel (src/common/parallel); the result is the logical AND.
+bool verify_batch(const std::vector<BatchVerifyItem>& items,
+                  std::size_t n_threads = 1);
 
 }  // namespace themis::crypto

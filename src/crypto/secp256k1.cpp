@@ -1,5 +1,8 @@
 #include "crypto/secp256k1.h"
 
+#include <algorithm>
+#include <array>
+
 #include "common/check.h"
 
 namespace themis::crypto {
@@ -25,24 +28,24 @@ UInt256 cond_sub(const UInt256& x, const UInt256& m) {
   return x;
 }
 
-/// Generic (hi*2^256 + lo) mod m via binary long division.  Used for the
-/// scalar field where no special-form reduction applies; not performance
-/// critical (a handful of calls per signature).
-UInt256 reduce_wide_generic(const UInt256& hi, const UInt256& lo, const UInt256& m) {
-  UInt256 r;  // invariant: r < m (and m has its top bit set for both p and n)
-  for (int i = 511; i >= 0; --i) {
-    const bool incoming = (i >= 256) ? hi.bit(i - 256) : lo.bit(i);
-    const bool top = r.bit(255);
-    UInt256 shifted = (r << 1);
-    if (incoming) shifted = shifted | UInt256::one();
-    if (top) {
-      // True value is shifted + 2^256 >= 2^256 > m: subtract m once, which is
-      // shifted + (2^256 - m) in wrapped arithmetic.
-      shifted = shifted + (UInt256::zero() - m);
-    }
-    r = cond_sub(shifted, m);
+// 2^256 - n (129 bits), the folding constant for reduction mod n.
+const UInt256 kCN = UInt256::zero() - kN;
+
+/// (hi*2^256 + lo) mod n by folding: 2^256 == kCN (mod n), so each pass
+/// replaces the high half with high*kCN.  kCN has 129 bits, so the high part
+/// shrinks by ~127 bits per pass and the loop terminates in a few iterations.
+UInt256 reduce_wide_n(const UInt256& hi, const UInt256& lo) {
+  UInt256 acc = lo;
+  UInt256 mult = hi;  // value == acc + mult * 2^256 == acc + mult * kCN (mod n)
+  while (!mult.is_zero()) {
+    UInt256 phi, plo;
+    UInt256::mul_wide(mult, kCN, phi, plo);
+    const bool wrapped = acc.add_overflow(plo, acc);
+    mult = phi;
+    if (wrapped) mult += UInt256(1);  // the wrap is another +2^256
   }
-  return r;
+  // acc < 2^256 < 2n, so a single conditional subtract fully reduces.
+  return cond_sub(acc, kN);
 }
 
 /// Fast reduction mod p using p = 2^256 - kC:
@@ -80,7 +83,8 @@ const UInt256& group_order() { return kN; }
 // ---------------------------------------------------------------------------
 
 FieldElement::FieldElement(const UInt256& v) {
-  value_ = (v >= kP) ? reduce_wide_generic(UInt256::zero(), v, kP) : v;
+  // v < 2^256 < 2p: one conditional subtract reduces fully.
+  value_ = cond_sub(v, kP);
 }
 
 FieldElement FieldElement::operator+(const FieldElement& rhs) const {
@@ -144,7 +148,8 @@ std::optional<FieldElement> FieldElement::sqrt() const {
 // ---------------------------------------------------------------------------
 
 Scalar::Scalar(const UInt256& v) {
-  value_ = (v >= kN) ? reduce_wide_generic(UInt256::zero(), v, kN) : v;
+  // v < 2^256 < 2n: one conditional subtract reduces fully.
+  value_ = cond_sub(v, kN);
 }
 
 Scalar Scalar::from_bytes(const Hash32& bytes) {
@@ -178,7 +183,7 @@ Scalar Scalar::operator*(const Scalar& rhs) const {
   UInt256 hi, lo;
   UInt256::mul_wide(value_, rhs.value_, hi, lo);
   Scalar out;
-  out.value_ = reduce_wide_generic(hi, lo, kN);
+  out.value_ = reduce_wide_n(hi, lo);
   return out;
 }
 
@@ -266,6 +271,27 @@ Point Point::operator+(const Point& rhs) const {
   return Point(x3, y3, z3);
 }
 
+Point Point::add_affine(const Affine& rhs) const {
+  if (is_infinity()) return from_affine(rhs.x, rhs.y);
+  // madd-2007-bl: general addition specialised for z2 == 1.
+  const FieldElement z1z1 = z_.square();
+  const FieldElement u2 = rhs.x * z1z1;
+  const FieldElement s2 = rhs.y * z1z1 * z_;
+  const FieldElement h = u2 - x_;
+  const FieldElement r = s2 - y_;
+  if (h.is_zero()) {
+    if (r.is_zero()) return doubled();
+    return Point();  // inverses
+  }
+  const FieldElement h2 = h.square();
+  const FieldElement h3 = h2 * h;
+  const FieldElement v = x_ * h2;
+  const FieldElement x3 = r.square() - h3 - (v + v);
+  const FieldElement y3 = r * (v - x3) - y_ * h3;
+  const FieldElement z3 = z_ * h;
+  return Point(x3, y3, z3);
+}
+
 Point Point::negate() const {
   if (is_infinity()) return *this;
   return Point(x_, y_.negate(), z_);
@@ -281,11 +307,165 @@ Point Point::mul(const Scalar& k) const {
   return acc;
 }
 
+namespace {
+
+/// Width-w signed-digit recoding (wNAF), LSB first: k == sum digit[i] * 2^i
+/// where every digit is zero or odd with |digit| < 2^(w-1).  Consecutive
+/// non-zero digits are at least w apart, so a 256-bit scalar averages
+/// 256/(w+1) additions.
+struct Wnaf {
+  std::array<std::int8_t, 258> digit{};
+  int top = -1;  // highest index with a non-zero digit
+};
+
+Wnaf compute_wnaf(const UInt256& k, const int width) {
+  Wnaf out;
+  UInt256 d = k;
+  bool carry = false;  // remaining value is d + carry * 2^256
+  const std::uint64_t mask = (1ull << width) - 1;
+  const std::int64_t sign_bound = 1ll << (width - 1);
+  int i = 0;
+  while (!d.is_zero() || carry) {
+    ensures(i < 258, "wNAF recoding overran its digit budget");
+    std::int8_t digit = 0;
+    if (d.bit(0)) {
+      const std::int64_t val = static_cast<std::int64_t>(d.limb(0) & mask);
+      if (val >= sign_bound) {
+        digit = static_cast<std::int8_t>(val - (sign_bound << 1));
+        // Clearing a negative digit adds |digit|, which may wrap past 2^256.
+        UInt256 sum;
+        if (d.add_overflow(UInt256(static_cast<std::uint64_t>(-digit)), sum)) {
+          carry = true;
+        }
+        d = sum;
+      } else {
+        digit = static_cast<std::int8_t>(val);
+        d = d - UInt256(static_cast<std::uint64_t>(val));
+      }
+    }
+    out.digit[static_cast<std::size_t>(i)] = digit;
+    if (digit != 0) out.top = i;
+    d = d >> 1;
+    if (carry) {
+      d.set_limb(3, d.limb(3) | (1ull << 63));
+      carry = false;
+    }
+    ++i;
+  }
+  return out;
+}
+
+constexpr int kWnafWidth = 5;
+constexpr std::size_t kOddMultiples = 1u << (kWnafWidth - 2);  // P, 3P, ... 15P
+
+/// Odd multiples {1P, 3P, ..., 15P} in Jacobian form; P must not be infinity.
+std::vector<Point> odd_multiples(const Point& p) {
+  std::vector<Point> table;
+  table.reserve(kOddMultiples);
+  const Point twice = p.doubled();
+  table.push_back(p);
+  for (std::size_t i = 1; i < kOddMultiples; ++i) {
+    table.push_back(table.back() + twice);
+  }
+  return table;
+}
+
+// Fixed-base comb table: win[w][d-1] == (d << 4w) * G for d in 1..15, stored
+// in affine form so every lookup feeds the cheap mixed addition.  ~60 KiB,
+// built once per process (a few ms), shared by all threads thereafter.
+constexpr int kCombWidth = 4;
+constexpr int kCombWindows = 256 / kCombWidth;
+constexpr std::size_t kCombEntries = (1u << kCombWidth) - 1;
+
+struct GenTable {
+  std::array<std::array<Point::Affine, kCombEntries>, kCombWindows> win;
+};
+
+const GenTable& gen_table() {
+  static const GenTable table = [] {
+    std::vector<Point> jac;
+    jac.reserve(kCombWindows * kCombEntries);
+    Point base = Point::generator();
+    for (int w = 0; w < kCombWindows; ++w) {
+      Point cur;
+      for (std::size_t d = 0; d < kCombEntries; ++d) {
+        cur = cur + base;
+        jac.push_back(cur);
+      }
+      base = cur + base;  // 16 * previous base
+    }
+    const std::vector<Point::Affine> affine = Point::batch_normalize(jac);
+    GenTable out;
+    for (int w = 0; w < kCombWindows; ++w) {
+      for (std::size_t d = 0; d < kCombEntries; ++d) {
+        out.win[static_cast<std::size_t>(w)][d] =
+            affine[static_cast<std::size_t>(w) * kCombEntries + d];
+      }
+    }
+    return out;
+  }();
+  return table;
+}
+
+}  // namespace
+
+Point Point::mul_wnaf(const Scalar& k) const {
+  if (is_infinity() || k.is_zero()) return Point();
+  const Wnaf naf = compute_wnaf(k.value(), kWnafWidth);
+  const std::vector<Affine> table = batch_normalize(odd_multiples(*this));
+  Point acc;
+  for (int i = naf.top; i >= 0; --i) {
+    acc = acc.doubled();
+    const int d = naf.digit[static_cast<std::size_t>(i)];
+    if (d > 0) {
+      acc = acc.add_affine(table[static_cast<std::size_t>((d - 1) / 2)]);
+    } else if (d < 0) {
+      const Affine& t = table[static_cast<std::size_t>((-d - 1) / 2)];
+      acc = acc.add_affine(Affine{t.x, t.y.negate()});
+    }
+  }
+  return acc;
+}
+
+Point Point::mul_gen(const Scalar& k) {
+  const GenTable& table = gen_table();
+  Point acc;
+  for (int w = 0; w < kCombWindows; ++w) {
+    const std::uint64_t limb = k.value().limb(w / 16);
+    const std::uint64_t nibble = (limb >> (4 * (w % 16))) & 0xF;
+    if (nibble != 0) {
+      acc = acc.add_affine(table.win[static_cast<std::size_t>(w)][nibble - 1]);
+    }
+  }
+  return acc;
+}
+
 Point::Affine Point::to_affine() const {
   expects(!is_infinity(), "identity has no affine form");
   const FieldElement zinv = z_.inverse();
   const FieldElement zinv2 = zinv.square();
   return Affine{x_ * zinv2, y_ * zinv2 * zinv};
+}
+
+std::vector<Point::Affine> Point::batch_normalize(const std::vector<Point>& pts) {
+  std::vector<Affine> out(pts.size());
+  if (pts.empty()) return out;
+  // Montgomery's trick: one inversion for the whole batch.
+  std::vector<FieldElement> prefix(pts.size());
+  FieldElement running = FieldElement::from_u64(1);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    expects(!pts[i].is_infinity(), "identity has no affine form");
+    running = running * pts[i].z_;
+    prefix[i] = running;
+  }
+  FieldElement inv = running.inverse();
+  for (std::size_t i = pts.size(); i-- > 0;) {
+    const FieldElement zinv = (i == 0) ? inv : inv * prefix[i - 1];
+    inv = inv * pts[i].z_;
+    const FieldElement zinv2 = zinv.square();
+    out[i] = Affine{pts[i].x_ * zinv2, pts[i].y_ * zinv2 * zinv};
+  }
+  return out;
 }
 
 bool Point::on_curve() const {
@@ -301,6 +481,50 @@ bool Point::equals(const Point& rhs) const {
   const Affine a = to_affine();
   const Affine b = rhs.to_affine();
   return a.x == b.x && a.y == b.y;
+}
+
+Point multi_scalar_mul(const std::vector<Scalar>& scalars,
+                       const std::vector<Point>& points) {
+  expects(scalars.size() == points.size(),
+          "multi_scalar_mul needs one scalar per point");
+  // Collect the active terms and their wNAF recodings; build every odd-multiple
+  // table in Jacobian form so one batch_normalize covers them all.
+  std::vector<Wnaf> nafs;
+  std::vector<Point> jac_tables;
+  nafs.reserve(scalars.size());
+  jac_tables.reserve(scalars.size() * kOddMultiples);
+  int top = -1;
+  for (std::size_t i = 0; i < scalars.size(); ++i) {
+    if (points[i].is_infinity() || scalars[i].is_zero()) continue;
+    Wnaf naf = compute_wnaf(scalars[i].value(), kWnafWidth);
+    top = std::max(top, naf.top);
+    nafs.push_back(naf);
+    const std::vector<Point> odd = odd_multiples(points[i]);
+    jac_tables.insert(jac_tables.end(), odd.begin(), odd.end());
+  }
+  if (nafs.empty()) return Point();
+  const std::vector<Point::Affine> tables = Point::batch_normalize(jac_tables);
+
+  // Strauss interleaving: one shared doubling chain, each term contributing
+  // its digit at every bit position.
+  Point acc;
+  for (int bit = top; bit >= 0; --bit) {
+    acc = acc.doubled();
+    for (std::size_t t = 0; t < nafs.size(); ++t) {
+      if (bit > nafs[t].top) continue;
+      const int d = nafs[t].digit[static_cast<std::size_t>(bit)];
+      if (d == 0) continue;
+      const std::size_t base = t * kOddMultiples;
+      if (d > 0) {
+        acc = acc.add_affine(tables[base + static_cast<std::size_t>((d - 1) / 2)]);
+      } else {
+        const Point::Affine& e =
+            tables[base + static_cast<std::size_t>((-d - 1) / 2)];
+        acc = acc.add_affine(Point::Affine{e.x, e.y.negate()});
+      }
+    }
+  }
+  return acc;
 }
 
 }  // namespace themis::crypto

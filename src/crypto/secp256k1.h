@@ -12,6 +12,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "common/uint256.h"
 
@@ -96,15 +97,35 @@ class Point {
   Point operator+(const Point& rhs) const;
   Point negate() const;
 
-  /// Scalar multiplication (double-and-add, MSB first).
+  /// Scalar multiplication (double-and-add, MSB first).  Reference
+  /// implementation: simple and obviously correct, but ~4x slower than the
+  /// windowed paths below.  The fast paths are differentially tested against
+  /// this one.
   Point mul(const Scalar& k) const;
+
+  /// Variable-base scalar multiplication via width-5 signed windows (wNAF):
+  /// same group element as mul(), ~3x fewer field operations.
+  Point mul_wnaf(const Scalar& k) const;
+
+  /// Fixed-base multiplication k*G using a precomputed comb table of the
+  /// generator: no doublings at all, ~64 mixed additions.  The table is built
+  /// once per process on first use.
+  static Point mul_gen(const Scalar& k);
 
   struct Affine {
     FieldElement x;
     FieldElement y;
   };
+  /// Mixed addition with an affine (implicit z == 1) point; ~30% cheaper than
+  /// the general Jacobian add.  The affine operand must be on the curve.
+  Point add_affine(const Affine& rhs) const;
+
   /// Convert to affine; precondition: not the identity.
   Affine to_affine() const;
+
+  /// Convert many points to affine sharing a single field inversion
+  /// (Montgomery's trick).  Precondition: no input is the identity.
+  static std::vector<Affine> batch_normalize(const std::vector<Point>& pts);
 
   /// Check the affine curve equation (identity counts as valid).
   bool on_curve() const;
@@ -120,5 +141,14 @@ class Point {
   FieldElement y_;
   FieldElement z_;  // z == 0 <=> infinity
 };
+
+/// Sum of k_i * P_i over all pairs (Strauss interleaving: one shared doubling
+/// chain, per-point width-5 wNAF tables).  The two vectors must have equal
+/// length; identity points and zero scalars contribute nothing.
+///
+/// This is the core of batched Schnorr verification: the marginal cost per
+/// extra term is ~50 mixed additions instead of a full 256-doubling ladder.
+Point multi_scalar_mul(const std::vector<Scalar>& scalars,
+                       const std::vector<Point>& points);
 
 }  // namespace themis::crypto

@@ -1,23 +1,65 @@
 #include "ledger/txpool.h"
 
 #include <algorithm>
-#include <unordered_set>
+#include <queue>
 
 #include "common/check.h"
 
 namespace themis::ledger {
 
-TxPool::TxPool(std::size_t capacity) : capacity_(capacity) {
+namespace {
+
+/// Lock every shard mutex in index order (the pool-wide lock hierarchy).
+template <typename Shards>
+std::vector<std::unique_lock<std::mutex>> lock_all(Shards& shards) {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards.size());
+  for (auto& shard : shards) locks.emplace_back(shard.mu);
+  return locks;
+}
+
+}  // namespace
+
+TxPool::TxPool(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity), shards_(std::max<std::size_t>(shards, 1)) {
   expects(capacity > 0, "pool capacity must be positive");
+}
+
+TxPool::Shard& TxPool::shard_for(NodeId sender) {
+  // Multiplicative hash: consortium node ids are sequential, so raw modulo
+  // would stripe "neighbouring" senders onto the same shard under small
+  // shard counts.
+  const std::uint64_t mixed =
+      static_cast<std::uint64_t>(sender) * 0x9E3779B97F4A7C15ull;
+  return shards_[mixed % shards_.size()];
+}
+
+const TxPool::Shard& TxPool::shard_for(NodeId sender) const {
+  return const_cast<TxPool*>(this)->shard_for(sender);
 }
 
 bool TxPool::add(SignedTransaction stx) {
   const TxId id = stx.tx.id();
-  std::lock_guard<std::mutex> lock(mu_);
-  if (by_id_.contains(id)) return false;
-  while (order_.size() >= capacity_) evict_oldest_locked();
-  order_.push_back(id);
-  by_id_.emplace(id, std::move(stx));
+  const NodeId sender = stx.tx.sender();
+  Shard& shard = shard_for(sender);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.by_id.contains(id)) return false;
+  }
+  // Evict before inserting so the pool never exceeds capacity.  Eviction
+  // takes all shard locks, so it must run while we hold none.
+  while (size_.load(std::memory_order_relaxed) >= capacity_) {
+    if (!evict_global_oldest()) break;
+  }
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.by_id.contains(id)) return false;  // re-check after re-lock
+  const std::uint64_t seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t nonce = stx.tx.nonce();
+  shard.by_id.emplace(id, Entry{std::move(stx), seq});
+  shard.by_sender[sender].emplace(nonce, id);
+  shard.by_seq.emplace(seq, id);
+  size_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -28,102 +70,200 @@ bool TxPool::add(Transaction tx) {
 }
 
 bool TxPool::contains(const TxId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return by_id_.contains(id);
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.by_id.contains(id)) return true;
+  }
+  return false;
 }
 
 std::optional<SignedTransaction> TxPool::get(const TxId& id) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = by_id_.find(id);
-  if (it == by_id_.end()) return std::nullopt;
-  return it->second;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.by_id.find(id);
+    if (it != shard.by_id.end()) return it->second.stx;
+  }
+  return std::nullopt;
 }
 
 std::size_t TxPool::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return order_.size();
+  return size_.load(std::memory_order_relaxed);
 }
 
-bool TxPool::empty() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return order_.empty();
-}
+bool TxPool::empty() const { return size() == 0; }
 
 std::vector<Transaction> TxPool::select(
     std::size_t max_count,
     const std::function<bool(const Transaction&)>& admit) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto locks = lock_all(shards_);
+
+  // One cursor per sender chain, heap-ordered by the arrival seq of the
+  // chain's current head: senders interleave by arrival, but each sender's
+  // transactions surface in nonce order so the ledger's strict-nonce rule can
+  // actually admit them back-to-back.
+  struct Cursor {
+    std::multimap<std::uint64_t, TxId>::const_iterator it;
+    std::multimap<std::uint64_t, TxId>::const_iterator end;
+    const Shard* shard;
+  };
+  std::vector<Cursor> cursors;
+  for (const Shard& shard : shards_) {
+    for (const auto& [sender, chain] : shard.by_sender) {
+      if (!chain.empty()) {
+        cursors.push_back(Cursor{chain.begin(), chain.end(), &shard});
+      }
+    }
+  }
+
+  const auto seq_of = [](const Cursor& c) {
+    return c.shard->by_id.at(c.it->second).seq;
+  };
+  // Min-heap of cursor indices by head seq ("priority"); a fee market would
+  // replace seq_of with a fee-per-byte key.
+  const auto heap_cmp = [&](std::size_t a, std::size_t b) {
+    return seq_of(cursors[a]) > seq_of(cursors[b]);
+  };
+  std::priority_queue<std::size_t, std::vector<std::size_t>,
+                      decltype(heap_cmp)>
+      heap(heap_cmp);
+  for (std::size_t i = 0; i < cursors.size(); ++i) heap.push(i);
+
   std::vector<Transaction> out;
-  out.reserve(std::min(max_count, order_.size()));
-  for (const TxId& id : order_) {
-    if (out.size() >= max_count) break;
-    const auto it = by_id_.find(id);
-    if (it == by_id_.end()) continue;
-    if (admit && !admit(it->second.tx)) continue;
-    out.push_back(it->second.tx);
+  out.reserve(std::min(max_count, size()));
+  while (!heap.empty() && out.size() < max_count) {
+    const std::size_t idx = heap.top();
+    heap.pop();
+    Cursor& cur = cursors[idx];
+    const Transaction& tx = cur.shard->by_id.at(cur.it->second).stx.tx;
+    if (!admit || admit(tx)) out.push_back(tx);
+    ++cur.it;
+    if (cur.it != cur.end) heap.push(idx);
   }
   return out;
 }
 
 void TxPool::remove(const std::vector<TxId>& ids) {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const TxId& id : ids) by_id_.erase(id);
-  // Lazily compact the FIFO index.
-  std::erase_if(order_, [this](const TxId& id) { return !by_id_.contains(id); });
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const TxId& id : ids) {
+      const auto it = shard.by_id.find(id);
+      if (it == shard.by_id.end()) continue;
+      erase_locked(shard, id, it->second);
+    }
+  }
 }
 
 std::size_t TxPool::purge(
     const std::function<bool(const Transaction&)>& stale) {
-  std::lock_guard<std::mutex> lock(mu_);
   std::size_t dropped = 0;
-  for (auto it = by_id_.begin(); it != by_id_.end();) {
-    if (stale(it->second.tx)) {
-      it = by_id_.erase(it);
-      ++dropped;
-    } else {
-      ++it;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    std::vector<TxId> doomed;
+    for (const auto& [id, entry] : shard.by_id) {
+      if (stale(entry.stx.tx)) doomed.push_back(id);
     }
-  }
-  if (dropped > 0) {
-    std::erase_if(order_,
-                  [this](const TxId& id) { return !by_id_.contains(id); });
+    for (const TxId& id : doomed) {
+      erase_locked(shard, id, shard.by_id.at(id));
+      ++dropped;
+    }
   }
   return dropped;
 }
 
 std::vector<TxId> TxPool::ids(std::size_t max_count) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const auto locks = lock_all(shards_);
+  // K-way merge of the per-shard arrival indexes.
+  struct Cursor {
+    std::map<std::uint64_t, TxId>::const_iterator it;
+    std::map<std::uint64_t, TxId>::const_iterator end;
+  };
+  std::vector<Cursor> cursors;
+  for (const Shard& shard : shards_) {
+    if (!shard.by_seq.empty()) {
+      cursors.push_back(Cursor{shard.by_seq.begin(), shard.by_seq.end()});
+    }
+  }
   std::vector<TxId> out;
-  out.reserve(std::min(max_count, order_.size()));
-  for (const TxId& id : order_) {
-    if (out.size() >= max_count) break;
-    out.push_back(id);
+  out.reserve(std::min(max_count, size()));
+  while (out.size() < max_count) {
+    Cursor* best = nullptr;
+    for (Cursor& c : cursors) {
+      if (c.it == c.end) continue;
+      if (best == nullptr || c.it->first < best->it->first) best = &c;
+    }
+    if (best == nullptr) break;
+    out.push_back(best->it->second);
+    ++best->it;
   }
   return out;
 }
 
 std::uint64_t TxPool::next_nonce_hint(NodeId sender,
                                       std::uint64_t state_next) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::unordered_set<std::uint64_t> pending;
-  for (const auto& [id, stx] : by_id_) {
-    if (stx.tx.sender() == sender) pending.insert(stx.tx.nonce());
-  }
+  const Shard& shard = shard_for(sender);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto chain_it = shard.by_sender.find(sender);
   std::uint64_t next = state_next;
-  while (pending.contains(next)) ++next;
+  if (chain_it == shard.by_sender.end()) return next;
+  // The chain is nonce-sorted: walk it from state_next, skipping pending
+  // nonces until the first gap.
+  for (auto it = chain_it->second.lower_bound(state_next);
+       it != chain_it->second.end(); ++it) {
+    if (it->first == next) {
+      ++next;
+    } else if (it->first > next) {
+      break;  // gap found
+    }
+  }
   return next;
 }
 
 void TxPool::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  order_.clear();
-  by_id_.clear();
+  const auto locks = lock_all(shards_);
+  for (Shard& shard : shards_) {
+    shard.by_id.clear();
+    shard.by_sender.clear();
+    shard.by_seq.clear();
+  }
+  size_.store(0, std::memory_order_relaxed);
 }
 
-void TxPool::evict_oldest_locked() {
-  if (order_.empty()) return;
-  by_id_.erase(order_.front());
-  order_.pop_front();
+void TxPool::erase_locked(Shard& shard, const TxId& id, const Entry& entry) {
+  const NodeId sender = entry.stx.tx.sender();
+  const std::uint64_t nonce = entry.stx.tx.nonce();
+  const std::uint64_t seq = entry.seq;
+  const auto chain_it = shard.by_sender.find(sender);
+  if (chain_it != shard.by_sender.end()) {
+    auto [lo, hi] = chain_it->second.equal_range(nonce);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == id) {
+        chain_it->second.erase(it);
+        break;
+      }
+    }
+    if (chain_it->second.empty()) shard.by_sender.erase(chain_it);
+  }
+  shard.by_seq.erase(seq);
+  shard.by_id.erase(id);
+  size_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool TxPool::evict_global_oldest() {
+  const auto locks = lock_all(shards_);
+  Shard* oldest_shard = nullptr;
+  std::uint64_t oldest_seq = 0;
+  for (Shard& shard : shards_) {
+    if (shard.by_seq.empty()) continue;
+    const std::uint64_t head = shard.by_seq.begin()->first;
+    if (oldest_shard == nullptr || head < oldest_seq) {
+      oldest_shard = &shard;
+      oldest_seq = head;
+    }
+  }
+  if (oldest_shard == nullptr) return false;
+  const TxId id = oldest_shard->by_seq.begin()->second;
+  erase_locked(*oldest_shard, id, oldest_shard->by_id.at(id));
+  return true;
 }
 
 }  // namespace themis::ledger

@@ -1,9 +1,20 @@
-// Transaction pool.
+// Transaction pool, sharded by sender.
 //
 // Nodes pick transactions "from the transaction pool upon its preferences"
-// (§III) when building a candidate block.  This pool keeps FIFO arrival order
-// (the default preference), deduplicates by id, and drops the oldest entries
-// once a capacity limit is hit.
+// (§III) when building a candidate block.  This pool keeps a per-sender
+// nonce-ordered chain inside each shard plus a global arrival sequence, so
+// the default preference is: senders interleaved by arrival, each sender's
+// transactions in nonce order (the only order in which they can apply under
+// the strict-nonce ledger rules).  Entries are deduplicated by id and the
+// globally oldest entry is dropped once a capacity limit is hit.
+//
+// Sharding: the sender id hashes to one of kShards shards, each with its own
+// mutex.  The hot admission path (add) therefore only contends with other
+// writers of the same shard, not with the whole pool; a batch of N
+// transactions from N senders inserts on N independent locks.  Whole-pool
+// operations (select, ids, eviction, clear) take every shard lock in index
+// order — the same global-consistency guarantee the old single-mutex pool
+// gave, paid only on the cold paths.
 //
 // Entries are SignedTransactions: the pool is the hand-off point between the
 // client-facing admission path (RPC / p2p relay, which verified the
@@ -11,16 +22,22 @@
 // relay must be able to re-serve the admission credential to peers that
 // request the transaction.
 //
-// Thread-safety: every method takes an internal mutex — RPC worker threads,
-// p2p reader threads, the miner thread and head-change reconciliation all
-// touch the pool concurrently.  select()'s admission predicate runs under the
-// pool lock, so it must not call back into the pool (the callers' predicates
-// only touch a caller-owned ledger-state scratch copy).
+// Block selection is nonce-aware: select() walks each sender's chain in
+// nonce order and merges senders by arrival priority.  "Priority" is arrival
+// seq today; a fee market would plug in here by ordering the merge heap on
+// fee-per-byte instead (transactions carry no fee field yet — see DESIGN.md
+// §11).
+//
+// Thread-safety: every method locks the shard(s) it touches.  select()'s
+// admission predicate runs under all shard locks, so it must not call back
+// into the pool (the callers' predicates only touch a caller-owned
+// ledger-state scratch view).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
-#include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -32,7 +49,7 @@ namespace themis::ledger {
 
 class TxPool {
  public:
-  explicit TxPool(std::size_t capacity = 1 << 20);
+  explicit TxPool(std::size_t capacity = 1 << 20, std::size_t shards = 16);
 
   /// Insert if not already known; returns false for duplicates.
   /// At capacity, the oldest pending transaction is evicted first.
@@ -45,14 +62,15 @@ class TxPool {
   std::optional<SignedTransaction> get(const TxId& id) const;
   std::size_t size() const;
   bool empty() const;
+  std::size_t shard_count() const { return shards_.size(); }
 
-  /// Peek at up to `max_count` oldest transactions without removing them
-  /// (used to build a candidate block; removal happens on confirmation).
-  /// `admit` filters each candidate in FIFO order — callers pass a predicate
-  /// that replays the transaction against a scratch copy of the current
-  /// ledger state, so no-longer-valid transactions (spent nonces, drained
-  /// balances) are skipped instead of blindly returning the FIFO prefix.
-  /// An empty predicate admits everything (the historical behaviour).
+  /// Peek at up to `max_count` transactions without removing them (used to
+  /// build a candidate block; removal happens on confirmation).  Candidates
+  /// come out in per-sender nonce order, senders merged by arrival priority.
+  /// `admit` filters each candidate — callers pass a predicate that replays
+  /// the transaction against a scratch view of the current ledger state, so
+  /// no-longer-valid transactions (spent nonces, drained balances) are
+  /// skipped.  An empty predicate admits everything.
   std::vector<Transaction> select(
       std::size_t max_count,
       const std::function<bool(const Transaction&)>& admit = {}) const;
@@ -64,23 +82,45 @@ class TxPool {
   /// the new main chain after a head change); returns how many were dropped.
   std::size_t purge(const std::function<bool(const Transaction&)>& stale);
 
-  /// Pending ids in FIFO order, capped at `max_count` (pool announcement to
-  /// a freshly connected peer).
+  /// Pending ids in arrival (FIFO) order, capped at `max_count` (pool
+  /// announcement to a freshly connected peer).
   std::vector<TxId> ids(std::size_t max_count) const;
 
-  /// Smallest nonce >= `state_next` not already pending from `sender` (RPC
-  /// auto-nonce convenience; O(pool) scan, intended for interactive use).
+  /// Smallest nonce >= `state_next` not already pending from `sender`.
+  /// O(sender's chain) — only that sender's shard is locked.
   std::uint64_t next_nonce_hint(NodeId sender, std::uint64_t state_next) const;
 
   void clear();
 
  private:
-  void evict_oldest_locked();
+  struct Entry {
+    SignedTransaction stx;
+    std::uint64_t seq = 0;  // global arrival order
+  };
 
-  mutable std::mutex mu_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<TxId, Entry, Hash32Hasher> by_id;
+    // Per-sender pending chain in nonce order.  A multimap because two
+    // distinct transactions may reuse a nonce (replacement / reorg returns);
+    // selection tries each and the ledger predicate rejects the losers.
+    std::unordered_map<NodeId, std::multimap<std::uint64_t, TxId>> by_sender;
+    // Arrival index: seq -> id, for FIFO merges and oldest-first eviction.
+    std::map<std::uint64_t, TxId> by_seq;
+  };
+
+  Shard& shard_for(NodeId sender);
+  const Shard& shard_for(NodeId sender) const;
+  /// Erase one entry from every shard index.  Caller holds the shard's lock.
+  void erase_locked(Shard& shard, const TxId& id, const Entry& entry);
+  /// Drop the globally oldest entry (locks all shards; caller holds none).
+  /// Returns false when the pool is empty.
+  bool evict_global_oldest();
+
   std::size_t capacity_;
-  std::deque<TxId> order_;  // FIFO ordering of pending ids
-  std::unordered_map<TxId, SignedTransaction, Hash32Hasher> by_id_;
+  std::atomic<std::uint64_t> next_seq_{0};
+  std::atomic<std::size_t> size_{0};
+  std::vector<Shard> shards_;
 };
 
 }  // namespace themis::ledger

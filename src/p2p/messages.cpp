@@ -122,4 +122,24 @@ BlocksMsg BlocksMsg::decode(ByteSpan raw) {
   return m;
 }
 
+Bytes TxBatchMsg::encode() const {
+  std::size_t total = 8;
+  for (const Bytes& b : txs) total += b.size() + 5;
+  Writer w(total);
+  w.varint(txs.size());
+  for (const Bytes& b : txs) w.bytes(b);
+  return w.take();
+}
+
+TxBatchMsg TxBatchMsg::decode(ByteSpan raw) {
+  Reader r(raw);
+  TxBatchMsg m;
+  const std::uint64_t count = r.varint();
+  if (count > kMaxBatchTxs) throw DecodeError("tx batch exceeds maximum");
+  m.txs.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) m.txs.push_back(r.bytes());
+  r.expect_done();
+  return m;
+}
+
 }  // namespace themis::p2p

@@ -104,4 +104,18 @@ struct BlocksMsg {
   static BlocksMsg decode(ByteSpan raw);
 };
 
+/// Upper bound on transactions in one kP2pTxBatch frame.
+inline constexpr std::size_t kMaxBatchTxs = 2048;
+
+/// kP2pTxBatch: canonical SignedTransaction encodings, sent in response to
+/// kP2pGetTxData.  Delivering the whole requested set in one frame lets the
+/// receiving node run a single batch signature verification over it instead
+/// of one Schnorr check per relay message.
+struct TxBatchMsg {
+  std::vector<Bytes> txs;
+
+  Bytes encode() const;
+  static TxBatchMsg decode(ByteSpan raw);
+};
+
 }  // namespace themis::p2p

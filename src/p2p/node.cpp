@@ -1,11 +1,13 @@
 #include "p2p/node.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/check.h"
 #include "consensus/miner.h"
 #include "consensus/wire.h"
 #include "crypto/merkle.h"
+#include "crypto/schnorr.h"
 #include "ledger/validation.h"
 #include "p2p/sync.h"
 
@@ -54,7 +56,8 @@ std::map<ledger::NodeId, std::uint64_t> genesis_allocation(
 
 /// Admission replay filter: a transaction belongs in a candidate block only
 /// if it applies cleanly on top of everything selected before it.
-bool applies_cleanly(state::LedgerState& scratch, const ledger::Transaction& tx) {
+bool applies_cleanly(state::ScratchState& scratch,
+                     const ledger::Transaction& tx) {
   const state::TxOutcome outcome = scratch.apply(tx);
   return outcome == state::TxOutcome::applied ||
          outcome == state::TxOutcome::data_only;
@@ -241,6 +244,9 @@ void P2pNode::on_peer_frame(Peer& peer, std::uint32_t type, ByteSpan payload) {
     case consensus::kP2pTx:
       handle_tx(peer, payload);
       return;
+    case consensus::kP2pTxBatch:
+      handle_tx_batch(peer, payload);
+      return;
     default:
       // Unknown post-handshake frame: tolerated (forward compatibility), the
       // frame layer already verified its integrity.
@@ -378,14 +384,34 @@ void P2pNode::handle_tx_inv(Peer& peer, ByteSpan payload) {
 
 void P2pNode::handle_get_txdata(Peer& peer, ByteSpan payload) {
   const InvMsg request = InvMsg::decode(payload);
+  // The whole requested set travels in one kP2pTxBatch frame (split only at
+  // the frame ceiling), so the peer can admit it as a single batch with one
+  // batched signature verification.
+  TxBatchMsg batch;
+  std::size_t batch_bytes = 0;
+  constexpr std::size_t kBatchByteBudget = kMaxFramePayload / 2;
   std::uint64_t served = 0;
+  const auto flush_batch = [&]() -> bool {
+    if (batch.txs.empty()) return true;
+    const bool sent = peer.send_frame(consensus::kP2pTxBatch, batch.encode());
+    if (sent) served += batch.txs.size();
+    batch.txs.clear();
+    batch_bytes = 0;
+    return sent;
+  };
   for (const ledger::TxId& id : request.hashes) {
     const auto stx = pool_.get(id);
     if (!stx.has_value()) continue;  // confirmed or evicted: silently skip
     peer.mark_known(id);
-    if (!peer.send_frame(consensus::kP2pTx, stx->encode())) break;
-    ++served;
+    Bytes encoded = stx->encode();
+    if (batch.txs.size() >= kMaxBatchTxs ||
+        batch_bytes + encoded.size() > kBatchByteBudget) {
+      if (!flush_batch()) break;
+    }
+    batch_bytes += encoded.size();
+    batch.txs.push_back(std::move(encoded));
   }
+  flush_batch();
   if (served > 0) {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.txs_relayed += served;
@@ -407,85 +433,201 @@ void P2pNode::handle_tx(Peer& peer, ByteSpan payload) {
   accept_transaction(stx, peer.session_id());
 }
 
+void P2pNode::handle_tx_batch(Peer& peer, ByteSpan payload) {
+  const TxBatchMsg batch = TxBatchMsg::decode(payload);
+  if (batch.txs.empty()) return;
+  std::vector<ledger::SignedTransaction> stxs;
+  stxs.reserve(batch.txs.size());
+  for (const Bytes& raw : batch.txs) {
+    stxs.push_back(ledger::SignedTransaction::decode(raw));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.txs_received += stxs.size();
+    for (const ledger::SignedTransaction& stx : stxs) {
+      requested_tx_.erase(stx.tx.id());
+    }
+  }
+  std::vector<AdmitRequest> requests(stxs.size());
+  std::vector<AdmitRequest*> pointers;
+  pointers.reserve(stxs.size());
+  for (std::size_t i = 0; i < stxs.size(); ++i) {
+    peer.mark_known(stxs[i].tx.id());
+    requests[i].stx = &stxs[i];
+    requests[i].source_session = peer.session_id();
+    pointers.push_back(&requests[i]);
+  }
+  enqueue_and_settle(pointers);
+}
+
 TxAdmit P2pNode::submit_transaction(const ledger::SignedTransaction& stx) {
   return accept_transaction(stx, /*source_session=*/0);
 }
 
-TxAdmit P2pNode::accept_transaction(const ledger::SignedTransaction& stx,
-                                    std::uint64_t source_session) {
-  const ledger::TxId id = stx.tx.id();
-
-  // Stateless and signature checks run outside the consensus lock: the key
-  // registry is immutable after construction and Schnorr verification is the
-  // expensive part of admission.
-  TxAdmit admit = TxAdmit::accepted;
-  if (stx.tx.sender() >= config_.n_nodes) {
-    admit = TxAdmit::unknown_sender;
-  } else if (config_.use_signatures) {
-    const auto key = registry_->lookup(stx.tx.sender());
-    if (!key.has_value()) {
-      admit = TxAdmit::unknown_sender;
-    } else if (!stx.verify(*key)) {
-      admit = TxAdmit::bad_signature;
-    }
+std::vector<TxAdmit> P2pNode::submit_transactions(
+    const std::vector<ledger::SignedTransaction>& stxs) {
+  std::vector<AdmitRequest> requests(stxs.size());
+  std::vector<AdmitRequest*> pointers;
+  pointers.reserve(stxs.size());
+  for (std::size_t i = 0; i < stxs.size(); ++i) {
+    requests[i].stx = &stxs[i];
+    pointers.push_back(&requests[i]);
   }
-
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.txs_submitted;
-    if (admit == TxAdmit::accepted) {
-      if (reconciler_.block_of(id).has_value()) {
-        admit = TxAdmit::known_confirmed;
-      } else {
-        const std::uint64_t next = state_.state_at(tree_, tracker_.head())
-                                       .account(stx.tx.sender())
-                                       .next_nonce;
-        if (stx.tx.nonce() < next) {
-          admit = TxAdmit::stale_nonce;
-        } else if (stx.tx.nonce() >= next + config_.max_nonce_gap) {
-          admit = TxAdmit::nonce_gap;
-        } else if (!pool_.add(stx)) {
-          admit = TxAdmit::duplicate;
-        }
-      }
-    }
-    switch (admit) {
-      case TxAdmit::accepted:
-        ++stats_.txs_accepted;
-        break;
-      case TxAdmit::duplicate:
-      case TxAdmit::known_confirmed:
-        ++stats_.txs_duplicate;
-        break;
-      default:
-        ++stats_.txs_rejected;
-        break;
-    }
-  }
-
-  if (admit == TxAdmit::accepted) {
-    trace("tx_accepted", {obs::Field::u64("node", config_.id),
-                          obs::Field::str("id", short_hex(id)),
-                          obs::Field::u64("sender", stx.tx.sender()),
-                          obs::Field::u64("nonce", stx.tx.nonce()),
-                          obs::Field::boolean("rpc", source_session == 0)});
-    announce_tx(id, source_session);
-  } else {
-    trace("tx_rejected", {obs::Field::u64("node", config_.id),
-                          obs::Field::str("id", short_hex(id)),
-                          obs::Field::str("reason", std::string(to_string(admit)))});
-  }
-  return admit;
+  if (!pointers.empty()) enqueue_and_settle(pointers);
+  std::vector<TxAdmit> verdicts;
+  verdicts.reserve(requests.size());
+  for (const AdmitRequest& r : requests) verdicts.push_back(r.result);
+  return verdicts;
 }
 
-void P2pNode::announce_tx(const ledger::TxId& id,
-                          std::uint64_t source_session) {
+TxAdmit P2pNode::accept_transaction(const ledger::SignedTransaction& stx,
+                                    std::uint64_t source_session) {
+  AdmitRequest req;
+  req.stx = &stx;
+  req.source_session = source_session;
+  enqueue_and_settle({&req});
+  return req.result;
+}
+
+void P2pNode::enqueue_and_settle(const std::vector<AdmitRequest*>& requests) {
+  std::unique_lock<std::mutex> qlock(admit_mu_);
+  for (AdmitRequest* r : requests) admit_queue_.push_back(r);
+  if (admit_leader_active_) {
+    // A leader is draining the queue; it will settle these requests too.
+    admit_cv_.wait(qlock, [&] {
+      return std::all_of(requests.begin(), requests.end(),
+                         [](const AdmitRequest* r) { return r->done; });
+    });
+    return;
+  }
+
+  // Become the combining leader: drain the queue in batches until it is
+  // empty.  The leader's own requests ride in the first batches; leadership
+  // is released only under admit_mu_ so no enqueuer can slip between the
+  // final empty-check and the release and wait forever.
+  admit_leader_active_ = true;
+  std::vector<AdmitRequest*> batch;
+  while (!admit_queue_.empty()) {
+    const std::size_t n =
+        std::min(admit_queue_.size(), std::max<std::size_t>(config_.admit_batch_max, 1));
+    batch.assign(admit_queue_.begin(),
+                 admit_queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    admit_queue_.erase(admit_queue_.begin(),
+                       admit_queue_.begin() + static_cast<std::ptrdiff_t>(n));
+    qlock.unlock();
+    process_admit_batch(batch);
+    qlock.lock();
+    for (AdmitRequest* r : batch) r->done = true;
+    admit_cv_.notify_all();
+  }
+  admit_leader_active_ = false;
+}
+
+void P2pNode::process_admit_batch(const std::vector<AdmitRequest*>& batch) {
+  // Stage 1 — stateless checks, no locks: the key registry is immutable
+  // after construction.
+  for (AdmitRequest* r : batch) {
+    const ledger::Transaction& tx = r->stx->tx;
+    if (tx.sender() >= config_.n_nodes) {
+      r->result = TxAdmit::unknown_sender;
+    } else if (config_.use_signatures) {
+      r->pub = registry_->lookup(tx.sender());
+      if (!r->pub.has_value()) r->result = TxAdmit::unknown_sender;
+    }
+  }
+
+  // Stage 2 — signature verification, still outside the consensus lock.
+  // One random-linear-combination check covers the whole batch; if it fails,
+  // fall back to per-item verification so only the forged items are charged.
+  std::vector<AdmitRequest*> checking;
+  std::vector<crypto::BatchVerifyItem> items;
+  for (AdmitRequest* r : batch) {
+    if (r->result != TxAdmit::accepted || !r->pub.has_value()) continue;
+    checking.push_back(r);
+    items.push_back({*r->pub, r->stx->tx.id(), r->stx->signature});
+  }
+  if (!checking.empty() && !crypto::verify_batch(items)) {
+    for (std::size_t i = 0; i < checking.size(); ++i) {
+      if (!crypto::verify(items[i].pub, items[i].msg, items[i].sig)) {
+        checking[i]->result = TxAdmit::bad_signature;
+      }
+    }
+  }
+
+  // Stage 3 — stateful admission: one consensus-lock acquisition settles the
+  // whole batch (confirmed-duplicate check, nonce window, pool insert,
+  // stats).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (AdmitRequest* r : batch) {
+      ++stats_.txs_submitted;
+      TxAdmit& admit = r->result;
+      const ledger::Transaction& tx = r->stx->tx;
+      if (admit == TxAdmit::accepted) {
+        if (reconciler_.block_of(tx.id()).has_value()) {
+          admit = TxAdmit::known_confirmed;
+        } else {
+          const std::uint64_t next = state_.state_at(tree_, tracker_.head())
+                                         .account(tx.sender())
+                                         .next_nonce;
+          if (tx.nonce() < next) {
+            admit = TxAdmit::stale_nonce;
+          } else if (tx.nonce() >= next + config_.max_nonce_gap) {
+            admit = TxAdmit::nonce_gap;
+          } else if (!pool_.add(*r->stx)) {
+            admit = TxAdmit::duplicate;
+          }
+        }
+      }
+      switch (admit) {
+        case TxAdmit::accepted:
+          ++stats_.txs_accepted;
+          break;
+        case TxAdmit::duplicate:
+        case TxAdmit::known_confirmed:
+          ++stats_.txs_duplicate;
+          break;
+        default:
+          ++stats_.txs_rejected;
+          break;
+      }
+    }
+  }
+
+  // Stage 4 — traces and one batched inventory announcement.
+  std::vector<std::pair<ledger::TxId, std::uint64_t>> accepted;
+  for (AdmitRequest* r : batch) {
+    const ledger::Transaction& tx = r->stx->tx;
+    if (r->result == TxAdmit::accepted) {
+      trace("tx_accepted",
+            {obs::Field::u64("node", config_.id),
+             obs::Field::str("id", short_hex(tx.id())),
+             obs::Field::u64("sender", tx.sender()),
+             obs::Field::u64("nonce", tx.nonce()),
+             obs::Field::boolean("rpc", r->source_session == 0)});
+      accepted.emplace_back(tx.id(), r->source_session);
+    } else {
+      trace("tx_rejected",
+            {obs::Field::u64("node", config_.id),
+             obs::Field::str("id", short_hex(tx.id())),
+             obs::Field::str("reason", std::string(to_string(r->result)))});
+    }
+  }
+  if (!accepted.empty()) announce_txs(accepted);
+}
+
+void P2pNode::announce_txs(
+    const std::vector<std::pair<ledger::TxId, std::uint64_t>>& accepted) {
   for (const auto& peer : peers_->ready_peers()) {
-    if (peer->session_id() == source_session) continue;
-    if (!peer->mark_known(id)) continue;  // peer already has or was offered it
     InvMsg inv;
-    inv.hashes.push_back(id);
-    peer->send_frame(consensus::kP2pTxInv, inv.encode());
+    for (const auto& [id, source_session] : accepted) {
+      if (peer->session_id() == source_session) continue;
+      if (!peer->mark_known(id)) continue;  // peer already has / was offered it
+      inv.hashes.push_back(id);
+    }
+    if (!inv.hashes.empty()) {
+      peer->send_frame(consensus::kP2pTxInv, inv.encode());
+    }
   }
 }
 
@@ -518,12 +660,14 @@ bool P2pNode::validate_locked(const Block& block) {
   // Body replay against the parent state: every transaction must apply
   // cleanly in order.  A spent nonce or drained balance here is a
   // double-spend attempt smuggled into a block — reject the whole block.
-  if (!block.transactions().empty()) {
-    state::LedgerState scratch = state_.state_at(tree_, block.header().prev);
-    for (const ledger::Transaction& tx : block.transactions()) {
-      if (!applies_cleanly(scratch, tx)) return false;
-    }
+  // The replay runs on a copy-on-write overlay of the parent snapshot, and
+  // the touched-account delta is cached so materializing this block's state
+  // later costs a few account writes instead of a second full replay.
+  state::ScratchState scratch(state_.state_at(tree_, block.header().prev));
+  for (const ledger::Transaction& tx : block.transactions()) {
+    if (!applies_cleanly(scratch, tx)) return false;
   }
+  state_.record_delta(block.id(), scratch.take_delta());
   return true;
 }
 
@@ -678,10 +822,11 @@ void P2pNode::mine_loop() {
       header.epoch = policy_->epoch_for(tree_, parent);
       header.difficulty = policy_->difficulty_for(tree_, parent, config_.id);
       // Fill the candidate body from the pool (§III: "pick transactions from
-      // the transaction pool"), replaying each candidate against a scratch
-      // copy of the parent state so the block carries no double-spend and a
-      // sender's queued nonce chain fits into a single block.
-      state::LedgerState scratch = state_.state_at(tree_, parent);
+      // the transaction pool"), replaying each candidate against a
+      // copy-on-write overlay of the parent state so the block carries no
+      // double-spend and a sender's queued nonce chain fits into a single
+      // block.
+      state::ScratchState scratch(state_.state_at(tree_, parent));
       body = pool_.select(config_.max_block_txs,
                           [&scratch](const ledger::Transaction& tx) {
                             return applies_cleanly(scratch, tx);

@@ -42,6 +42,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <filesystem>
 #include <functional>
 #include <initializer_list>
@@ -120,6 +121,11 @@ struct P2pNodeConfig {
   /// Admission window for future nonces: a transaction whose nonce is this
   /// far beyond the sender's next expected nonce is rejected as junk.
   std::uint64_t max_nonce_gap = 1024;
+  /// Most transactions one admission batch settles: under submission bursts
+  /// the combining leader drains up to this many queued transactions, batch-
+  /// verifies their signatures, and admits them under a single consensus-lock
+  /// acquisition (see accept_transaction).
+  std::size_t admit_batch_max = 64;
 
   // Transport tuning, forwarded to PeerManagerConfig.
   int dial_timeout_ms = 2000;
@@ -215,6 +221,13 @@ class P2pNode {
   /// state; on acceptance the id is announced to every ready peer.
   TxAdmit submit_transaction(const ledger::SignedTransaction& stx);
 
+  /// Admit many transactions in one combining-queue pass (batched RPC entry
+  /// point): the whole vector shares one Schnorr verification batch and one
+  /// stateful-admission lock hold.  Returns one verdict per transaction, in
+  /// order.
+  std::vector<TxAdmit> submit_transactions(
+      const std::vector<ledger::SignedTransaction>& stxs);
+
   struct TxStatusInfo {
     enum class State { unknown, pending, confirmed };
     State state = State::unknown;
@@ -257,13 +270,37 @@ class P2pNode {
   void handle_tx_inv(Peer& peer, ByteSpan payload);
   void handle_get_txdata(Peer& peer, ByteSpan payload);
   void handle_tx(Peer& peer, ByteSpan payload);
+  void handle_tx_batch(Peer& peer, ByteSpan payload);
 
   /// Shared admission path for RPC submissions and wire-relayed transactions.
   /// `source_session` = 0 for RPC (announce to everyone).
+  ///
+  /// Combining-leader batching: callers enqueue their transaction; the first
+  /// caller in becomes the leader and drains the queue in batches of up to
+  /// `admit_batch_max`, so concurrent submitters share one batched signature
+  /// verification and one consensus-lock acquisition instead of paying both
+  /// per transaction.
   TxAdmit accept_transaction(const ledger::SignedTransaction& stx,
                              std::uint64_t source_session);
-  /// Announce a pool transaction to every ready peer except the source.
-  void announce_tx(const ledger::TxId& id, std::uint64_t source_session);
+  /// One admission request parked in the combining queue.
+  struct AdmitRequest {
+    const ledger::SignedTransaction* stx = nullptr;
+    std::uint64_t source_session = 0;
+    TxAdmit result = TxAdmit::accepted;
+    std::optional<crypto::PublicKey> pub;  ///< set when a signature check is due
+    bool done = false;
+  };
+  /// Park `requests` in the combining queue and return once every one has
+  /// been settled — becoming the leader if none is active.  This is how a
+  /// whole relayed kP2pTxBatch enters admission as one verification batch.
+  void enqueue_and_settle(const std::vector<AdmitRequest*>& requests);
+  /// Settle one drained batch: stateless checks, batched Schnorr
+  /// verification, then stateful admission under a single mu_ hold.
+  void process_admit_batch(const std::vector<AdmitRequest*>& batch);
+  /// Announce accepted pool transactions: one inventory frame per peer
+  /// covering the whole batch, excluding each transaction's source peer.
+  void announce_txs(
+      const std::vector<std::pair<ledger::TxId, std::uint64_t>>& accepted);
 
   /// Validate + insert a block (plus any orphans it unblocks), persist it,
   /// update the head and announce news to peers.  `source_session` = 0 for
@@ -310,6 +347,15 @@ class P2pNode {
   /// Pending transactions.  Internally synchronized; see the lock-order rule
   /// in the header comment.
   ledger::TxPool pool_;
+
+  // --- combining-leader admission queue --------------------------------------
+  // admit_mu_ guards only the queue and the leader flag; it is never held
+  // while mu_ (or any crypto work) runs, so the order admit_mu_ -> mu_ can
+  // never invert.
+  std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  std::deque<AdmitRequest*> admit_queue_;
+  bool admit_leader_active_ = false;
 
   // --- miner -----------------------------------------------------------------
   std::thread miner_thread_;

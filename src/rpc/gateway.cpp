@@ -164,6 +164,8 @@ HttpResponse Gateway::handle(const HttpRequest& request) {
 Json Gateway::dispatch(const std::string& method, const Json& params) {
   if (method == "submit_tx") return rpc_submit_tx(params);
   if (method == "get_tx") return rpc_get_tx(params);
+  if (method == "submit_txs") return rpc_submit_txs(params);
+  if (method == "get_txs") return rpc_get_txs(params);
   if (method == "get_block") return rpc_get_block(params);
   if (method == "get_head") return rpc_get_head();
   if (method == "get_balance") return rpc_get_balance(params);
@@ -172,16 +174,16 @@ Json Gateway::dispatch(const std::string& method, const Json& params) {
   fail(kMethodNotFound, "unknown method: " + method);
 }
 
-Json Gateway::rpc_submit_tx(const Json& params) {
-  if (!params.is_object()) fail(kInvalidParams, "params must be an object");
+ledger::SignedTransaction Gateway::build_tx(const Json& spec) {
+  if (!spec.is_object()) fail(kInvalidParams, "params must be an object");
 
   ledger::SignedTransaction stx;
-  if (params.has("raw")) {
+  if (spec.has("raw")) {
     // Pre-signed 576-byte transaction, hex-encoded.
-    if (!params["raw"].is_string()) fail(kInvalidParams, "raw must be hex");
+    if (!spec["raw"].is_string()) fail(kInvalidParams, "raw must be hex");
     Bytes bytes;
     try {
-      bytes = from_hex(params["raw"].as_string());
+      bytes = from_hex(spec["raw"].as_string());
     } catch (const std::exception&) {
       fail(kInvalidParams, "raw is not valid hex");
     }
@@ -193,20 +195,20 @@ Json Gateway::rpc_submit_tx(const Json& params) {
   } else {
     // Structured transfer, signed here with the consortium key (the gateway
     // runs inside the consortium node, so it holds the deterministic keys).
-    if (!params["sender"].is_number() || !params["to"].is_number() ||
-        !params["amount"].is_number()) {
+    if (!spec["sender"].is_number() || !spec["to"].is_number() ||
+        !spec["amount"].is_number()) {
       fail(kInvalidParams, "need sender, to, amount (or raw)");
     }
-    const auto sender = static_cast<ledger::NodeId>(params["sender"].as_u64());
+    const auto sender = static_cast<ledger::NodeId>(spec["sender"].as_u64());
     state::Transfer transfer;
-    transfer.to = static_cast<ledger::NodeId>(params["to"].as_u64());
-    transfer.amount = params["amount"].as_u64();
-    if (params.has("memo")) {
-      const std::string& memo = params["memo"].as_string();
+    transfer.to = static_cast<ledger::NodeId>(spec["to"].as_u64());
+    transfer.amount = spec["amount"].as_u64();
+    if (spec.has("memo")) {
+      const std::string& memo = spec["memo"].as_string();
       transfer.memo.assign(memo.begin(), memo.end());
     }
-    const std::uint64_t nonce = params.has("nonce")
-                                    ? params["nonce"].as_u64()
+    const std::uint64_t nonce = spec.has("nonce")
+                                    ? spec["nonce"].as_u64()
                                     : node_.next_nonce_hint(sender);
     const std::int64_t now =
         std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -219,7 +221,11 @@ Json Gateway::rpc_submit_tx(const Json& params) {
       fail(kInvalidParams, std::string("cannot build transaction: ") + e.what());
     }
   }
+  return stx;
+}
 
+Json Gateway::rpc_submit_tx(const Json& params) {
+  const ledger::SignedTransaction stx = build_tx(params);
   const p2p::TxAdmit admit = node_.submit_transaction(stx);
   if (admit != p2p::TxAdmit::accepted &&
       admit != p2p::TxAdmit::duplicate) {
@@ -229,6 +235,38 @@ Json Gateway::rpc_submit_tx(const Json& params) {
   out.set("id", to_hex(stx.tx.id()));
   out.set("status", std::string(to_string(admit)));
   out.set("nonce", stx.tx.nonce());
+  return out;
+}
+
+Json Gateway::rpc_submit_txs(const Json& params) {
+  // Batched submission: every transaction in the array is built (signed
+  // server-side or decoded from raw) and the whole vector enters admission
+  // as one combining-queue pass — one Schnorr verification batch, one
+  // stateful lock hold — instead of one HTTP round trip per transfer.
+  // Per-item verdicts come back in request order; a rejection does not fail
+  // the call, so a client can retry just the rejected entries.
+  if (!params["txs"].is_array()) fail(kInvalidParams, "txs must be an array");
+  const Json::Array& specs = params["txs"].as_array();
+  constexpr std::size_t kMaxSubmitTxs = 512;
+  if (specs.size() > kMaxSubmitTxs) {
+    fail(kInvalidParams, "at most 512 txs per submit_txs call");
+  }
+  std::vector<ledger::SignedTransaction> stxs;
+  stxs.reserve(specs.size());
+  for (const Json& spec : specs) stxs.push_back(build_tx(spec));
+
+  const std::vector<p2p::TxAdmit> verdicts = node_.submit_transactions(stxs);
+  Json::Array results;
+  results.reserve(stxs.size());
+  for (std::size_t i = 0; i < stxs.size(); ++i) {
+    Json entry;
+    entry.set("id", to_hex(stxs[i].tx.id()));
+    entry.set("status", std::string(to_string(verdicts[i])));
+    entry.set("nonce", stxs[i].tx.nonce());
+    results.push_back(std::move(entry));
+  }
+  Json out;
+  out.set("results", Json(std::move(results)));
   return out;
 }
 
@@ -251,6 +289,44 @@ Json Gateway::rpc_get_tx(const Json& params) {
       break;
   }
   if (status.tx.has_value()) out.set("tx", tx_to_json(*status.tx));
+  return out;
+}
+
+Json Gateway::rpc_get_txs(const Json& params) {
+  // Batched status poll: one request resolves many ids, so a client waiting
+  // on hundreds of submissions costs one HTTP round trip per sweep instead
+  // of one per transaction.  Response states align with the request order.
+  if (!params["ids"].is_array()) fail(kInvalidParams, "ids must be an array");
+  const Json::Array& ids = params["ids"].as_array();
+  constexpr std::size_t kMaxStatusIds = 4096;
+  if (ids.size() > kMaxStatusIds) {
+    fail(kInvalidParams, "at most 4096 ids per get_txs call");
+  }
+  Json::Array states;
+  states.reserve(ids.size());
+  for (const Json& raw : ids) {
+    ledger::TxId id{};
+    if (!raw.is_string()) fail(kInvalidParams, "ids must be hex strings");
+    try {
+      id = hash_from_hex(raw.as_string());
+    } catch (const std::exception&) {
+      fail(kInvalidParams, "ids must be 64-char hex ids");
+    }
+    const auto status = node_.tx_status(id);
+    switch (status.state) {
+      case p2p::P2pNode::TxStatusInfo::State::unknown:
+        states.push_back(Json("unknown"));
+        break;
+      case p2p::P2pNode::TxStatusInfo::State::pending:
+        states.push_back(Json("pending"));
+        break;
+      case p2p::P2pNode::TxStatusInfo::State::confirmed:
+        states.push_back(Json("confirmed"));
+        break;
+    }
+  }
+  Json out;
+  out.set("states", Json(std::move(states)));
   return out;
 }
 

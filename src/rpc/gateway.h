@@ -13,7 +13,12 @@
 //               {"sender":N,"to":N,"amount":N,"memo"?:s,"nonce"?:N}
 //               (signed server-side with the consortium key; nonce defaults
 //               to the node's next-nonce hint)  -> {"id", "status"}
+//   submit_txs  {"txs": [<submit_tx params>, ...]} (<=512) — one combining
+//               admission pass for the whole array
+//               -> {"results": [{"id","status","nonce"}, ...]} in order
 //   get_tx      {"id": "<hex>"}      -> state / block / confirmations / tx
+//   get_txs     {"ids": ["<hex>", ...]} (<=4096)
+//               -> {"states": ["unknown"|"pending"|"confirmed", ...]}
 //   get_block   {"hash": "<hex>"} or {"height": N} -> header + tx ids
 //   get_head    {}                   -> {"hash", "height"}
 //   get_balance {"account": N}       -> {"balance", "next_nonce"}
@@ -60,8 +65,14 @@ class Gateway {
   Json dispatch(const std::string& method, const Json& params);
   void note_error();
 
+  /// Build one SignedTransaction from a submit spec ({"raw"} or structured
+  /// {"sender","to","amount",...}); throws RpcError on malformed input.
+  ledger::SignedTransaction build_tx(const Json& spec);
+
   Json rpc_submit_tx(const Json& params);
+  Json rpc_submit_txs(const Json& params);
   Json rpc_get_tx(const Json& params);
+  Json rpc_get_txs(const Json& params);
   Json rpc_get_block(const Json& params);
   Json rpc_get_head();
   Json rpc_get_balance(const Json& params);

@@ -1,8 +1,13 @@
 #include "rpc/http_server.h"
 
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <chrono>
 #include <utility>
 
 namespace themis::rpc {
@@ -10,6 +15,8 @@ namespace themis::rpc {
 namespace {
 
 constexpr std::size_t kRecvChunk = 4096;
+/// Stall-sweep cadence; granularity of the slowloris guard.
+constexpr int kSweepIntervalMs = 100;
 
 std::string status_text(int status) {
   switch (status) {
@@ -31,22 +38,23 @@ std::string lower(std::string s) {
   return s;
 }
 
-/// Serialize and send one response.  `close` sets Connection: close.
-bool send_response(p2p::TcpSocket& socket, const HttpResponse& response,
-                   bool close) {
-  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
-                     status_text(response.status) + "\r\n";
-  head += "Content-Type: " + response.content_type + "\r\n";
-  head += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
-  head += close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
-  head += "\r\n";
-  if (!socket.send_all(ByteSpan(
-          reinterpret_cast<const std::uint8_t*>(head.data()), head.size()))) {
-    return false;
-  }
-  return socket.send_all(
-      ByteSpan(reinterpret_cast<const std::uint8_t*>(response.body.data()),
-               response.body.size()));
+/// Serialize one response to wire bytes.  `close` sets Connection: close.
+std::string serialize_response(const HttpResponse& response, bool close) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    status_text(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += close ? "Connection: close\r\n" : "Connection: keep-alive\r\n";
+  out += "\r\n";
+  out += response.body;
+  return out;
+}
+
+std::string error_response(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = "{\"error\":\"" + message + "\"}";
+  return serialize_response(response, /*close=*/true);
 }
 
 /// Parse "METHOD SP target SP HTTP/1.x" + header lines out of `head`.
@@ -97,8 +105,27 @@ HttpServer::~HttpServer() { stop(); }
 bool HttpServer::start() {
   if (started_) return true;
   if (!listener_.listen(config_.port)) return false;
+  listener_.set_nonblocking(true);
+
+  epoll_fd_ = ::epoll_create1(0);
+  event_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (epoll_fd_ < 0 || event_fd_ < 0) {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (event_fd_ >= 0) ::close(event_fd_);
+    epoll_fd_ = event_fd_ = -1;
+    listener_.close();
+    return false;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // listener
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listener_.fd(), &ev);
+  ev.data.u64 = 1;  // completion wakeup
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+
+  pool_ = std::make_unique<TaskPool>(std::max<std::size_t>(config_.workers, 1));
   stopping_.store(false);
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  reactor_thread_ = std::thread([this] { reactor_loop(); });
   started_ = true;
   return true;
 }
@@ -106,174 +133,323 @@ bool HttpServer::start() {
 void HttpServer::stop() {
   if (!started_) return;
   stopping_.store(true);
-  listener_.interrupt();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  listener_.close();
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n = ::write(event_fd_, &one, sizeof(one));
+  if (reactor_thread_.joinable()) reactor_thread_.join();
+  // Workers may still be finishing handlers; they only touch the completion
+  // queue and the eventfd, both still alive.  Join them before closing fds.
+  pool_.reset();
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (auto& conn : conns_) conn->socket.shutdown();
-    for (auto& conn : conns_) {
-      if (conn->thread.joinable()) conn->thread.join();
-    }
-    conns_.clear();
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.clear();
   }
+  conns_.clear();  // closes every connection socket
+  ::close(event_fd_);
+  ::close(epoll_fd_);
+  event_fd_ = epoll_fd_ = -1;
+  listener_.close();
   started_ = false;
 }
 
 HttpServer::Stats HttpServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
+  Stats out;
+  out.connections_accepted = stat_connections_.load();
+  out.requests = stat_requests_.load();
+  out.bad_requests = stat_bad_requests_.load();
+  out.oversized_bodies = stat_oversized_.load();
+  out.rejected_busy = stat_busy_.load();
+  return out;
 }
 
-void HttpServer::reap_locked() {
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    if ((*it)->done.load()) {
-      if ((*it)->thread.joinable()) (*it)->thread.join();
-      it = conns_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+std::int64_t HttpServer::now_ms() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
-void HttpServer::accept_loop() {
+void HttpServer::update_epoll(Conn& conn, bool want_read, bool want_write) {
+  epoll_event ev{};
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.socket.fd(), &ev);
+}
+
+void HttpServer::drop(std::uint64_t conn_id) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->socket.fd(), nullptr);
+  conns_.erase(it);  // closes the socket
+}
+
+void HttpServer::reactor_loop() {
+  std::int64_t last_sweep = now_ms();
+  std::vector<epoll_event> events(64);
   while (!stopping_.load()) {
-    auto socket = listener_.accept();
-    if (!socket.has_value()) {
-      if (stopping_.load()) return;
-      continue;
-    }
-    socket->set_timeouts(config_.recv_timeout_ms, config_.recv_timeout_ms);
-    socket->set_nodelay(true);
-
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    reap_locked();
-    {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.connections_accepted;
-    }
-    if (conns_.size() >= config_.max_connections) {
-      // Load shed inline: one response, then close.
-      HttpResponse busy;
-      busy.status = 503;
-      busy.body = "{\"error\":\"too many connections\"}";
-      send_response(*socket, busy, /*close=*/true);
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.rejected_busy;
-      continue;
-    }
-    auto conn = std::make_unique<Conn>();
-    conn->socket = std::move(*socket);
-    Conn* raw = conn.get();
-    conn->thread = std::thread([this, raw] { serve(raw); });
-    conns_.push_back(std::move(conn));
-  }
-}
-
-void HttpServer::serve(Conn* conn) {
-  std::string buffer;
-  std::uint8_t chunk[kRecvChunk];
-
-  while (!stopping_.load()) {
-    // --- read the request head -------------------------------------------
-    std::size_t head_end;
-    while ((head_end = buffer.find("\r\n\r\n")) == std::string::npos) {
-      if (buffer.size() > config_.max_head_bytes) {
-        HttpResponse response;
-        response.status = 400;
-        response.body = "{\"error\":\"request head too large\"}";
-        send_response(conn->socket, response, /*close=*/true);
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.bad_requests;
-        conn->done.store(true);
-        return;
-      }
-      const int n = conn->socket.recv_some(chunk, sizeof chunk);
-      if (n > 0) {
-        buffer.append(reinterpret_cast<const char*>(chunk),
-                      static_cast<std::size_t>(n));
+    const int n =
+        ::epoll_wait(epoll_fd_, events.data(),
+                     static_cast<int>(events.size()), kSweepIntervalMs);
+    if (stopping_.load()) break;
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t key = events[i].data.u64;
+      if (key == 0) {
+        accept_ready();
         continue;
       }
-      if (n == -1 && buffer.empty() && !stopping_.load()) {
-        continue;  // idle keep-alive connection: keep waiting
+      if (key == 1) {
+        std::uint64_t drain = 0;
+        [[maybe_unused]] const auto r =
+            ::read(event_fd_, &drain, sizeof(drain));
+        apply_completions();
+        continue;
       }
-      // Orderly close, hard error, stop, or a stalled partial request.
-      conn->done.store(true);
-      return;
-    }
-
-    HttpRequest request;
-    if (!parse_head(buffer.substr(0, head_end + 2), request)) {
-      HttpResponse response;
-      response.status = 400;
-      response.body = "{\"error\":\"malformed request\"}";
-      send_response(conn->socket, response, /*close=*/true);
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.bad_requests;
-      conn->done.store(true);
-      return;
-    }
-    buffer.erase(0, head_end + 4);
-
-    // --- read the body ----------------------------------------------------
-    std::size_t content_length = 0;
-    if (const auto it = request.headers.find("content-length");
-        it != request.headers.end()) {
-      const auto [ptr, ec] = std::from_chars(
-          it->second.data(), it->second.data() + it->second.size(),
-          content_length);
-      if (ec != std::errc() || ptr != it->second.data() + it->second.size()) {
-        HttpResponse response;
-        response.status = 400;
-        response.body = "{\"error\":\"bad content-length\"}";
-        send_response(conn->socket, response, /*close=*/true);
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++stats_.bad_requests;
-        conn->done.store(true);
-        return;
+      const auto it = conns_.find(key);
+      if (it == conns_.end()) continue;  // dropped earlier this wakeup
+      Conn& conn = *it->second;
+      bool alive = true;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 &&
+          (events[i].events & EPOLLIN) == 0) {
+        alive = false;
       }
-    }
-    if (content_length > config_.max_body_bytes) {
-      // We cannot cheaply skip an oversized body, so reject and close.
-      HttpResponse response;
-      response.status = 413;
-      response.body = "{\"error\":\"body too large\"}";
-      send_response(conn->socket, response, /*close=*/true);
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.oversized_bodies;
-      conn->done.store(true);
-      return;
-    }
-    while (buffer.size() < content_length) {
-      const int n = conn->socket.recv_some(chunk, sizeof chunk);
-      if (n <= 0) {  // timeout mid-body counts as a stall: drop
-        conn->done.store(true);
-        return;
+      if (alive && (events[i].events & EPOLLIN) != 0) {
+        alive = conn_readable(conn);
       }
-      buffer.append(reinterpret_cast<const char*>(chunk),
-                    static_cast<std::size_t>(n));
+      if (alive && (events[i].events & EPOLLOUT) != 0 &&
+          conn.state == ConnState::writing) {
+        alive = flush(conn);
+      }
+      if (!alive) drop(key);
     }
-    request.body = buffer.substr(0, content_length);
-    buffer.erase(0, content_length);
-
-    const bool client_close =
-        [&] {
-          const auto it = request.headers.find("connection");
-          return it != request.headers.end() && lower(it->second) == "close";
-        }();
-
-    // --- dispatch ---------------------------------------------------------
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++stats_.requests;
-    }
-    HttpResponse response = handler_(request);
-    if (!send_response(conn->socket, response, client_close) || client_close) {
-      conn->done.store(true);
-      return;
+    const std::int64_t now = now_ms();
+    if (now - last_sweep >= kSweepIntervalMs) {
+      last_sweep = now;
+      sweep_stalled();
     }
   }
-  conn->done.store(true);
+}
+
+void HttpServer::accept_ready() {
+  for (;;) {
+    auto socket = listener_.accept_nonblocking();
+    if (!socket.has_value()) return;
+    stat_connections_.fetch_add(1);
+    socket->set_nodelay(true);
+
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->socket = std::move(*socket);
+    conn->last_activity_ms = now_ms();
+
+    epoll_event ev{};
+    ev.data.u64 = conn->id;
+    if (conns_.size() >= config_.max_connections) {
+      // Load shed: queue one 503, flush it, close.
+      stat_busy_.fetch_add(1);
+      conn->out = error_response(503, "too many connections");
+      conn->close_after_write = true;
+      conn->state = ConnState::writing;
+      ev.events = EPOLLOUT;
+    } else {
+      ev.events = EPOLLIN;
+    }
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->socket.fd(), &ev);
+    const std::uint64_t id = conn->id;
+    conns_.emplace(id, std::move(conn));
+    if (conns_[id]->state == ConnState::writing && !flush(*conns_[id])) {
+      drop(id);
+    }
+  }
+}
+
+bool HttpServer::conn_readable(Conn& conn) {
+  std::uint8_t chunk[kRecvChunk];
+  for (;;) {
+    const int n = conn.socket.recv_some(chunk, sizeof chunk);
+    if (n > 0) {
+      conn.in.append(reinterpret_cast<const char*>(chunk),
+                     static_cast<std::size_t>(n));
+      conn.last_activity_ms = now_ms();
+      continue;
+    }
+    if (n == -1) break;  // drained
+    if (n == 0) {
+      // Peer finished sending.  A complete buffered request still gets its
+      // response (flushed below) — anything less is an abandoned request.
+      conn.peer_half_closed = true;
+      break;
+    }
+    return false;  // hard error
+  }
+  if (conn.state != ConnState::reading) {
+    // Bytes for a future pipelined request arrived while a request is in
+    // flight; keep them buffered.  (EPOLLIN is off in dispatched state, but
+    // a read may still race the transition within one wakeup.)
+    return !conn.peer_half_closed || conn.state != ConnState::reading;
+  }
+  if (!advance(conn)) return false;
+  // EOF with no dispatched/queued response left means the peer abandoned a
+  // partial request (or was simply done): drop.
+  if (conn.peer_half_closed && conn.state == ConnState::reading) return false;
+  return true;
+}
+
+bool HttpServer::advance(Conn& conn) {
+  while (conn.state == ConnState::reading) {
+    if (!conn.reading_body) {
+      const std::size_t head_end = conn.in.find("\r\n\r\n");
+      if (head_end == std::string::npos) {
+        if (conn.in.size() > config_.max_head_bytes) {
+          stat_bad_requests_.fetch_add(1);
+          start_write(conn, error_response(400, "request head too large"),
+                      /*close=*/true);
+          return flush(conn);
+        }
+        return true;  // need more bytes
+      }
+      conn.request = HttpRequest{};
+      if (!parse_head(conn.in.substr(0, head_end + 2), conn.request)) {
+        stat_bad_requests_.fetch_add(1);
+        start_write(conn, error_response(400, "malformed request"),
+                    /*close=*/true);
+        return flush(conn);
+      }
+      conn.in.erase(0, head_end + 4);
+      conn.content_length = 0;
+      if (const auto it = conn.request.headers.find("content-length");
+          it != conn.request.headers.end()) {
+        const auto [ptr, ec] =
+            std::from_chars(it->second.data(),
+                            it->second.data() + it->second.size(),
+                            conn.content_length);
+        if (ec != std::errc() ||
+            ptr != it->second.data() + it->second.size()) {
+          stat_bad_requests_.fetch_add(1);
+          start_write(conn, error_response(400, "bad content-length"),
+                      /*close=*/true);
+          return flush(conn);
+        }
+      }
+      if (conn.content_length > config_.max_body_bytes) {
+        // We cannot cheaply skip an oversized body, so reject and close.
+        stat_oversized_.fetch_add(1);
+        start_write(conn, error_response(413, "body too large"),
+                    /*close=*/true);
+        return flush(conn);
+      }
+      conn.reading_body = true;
+    }
+
+    if (conn.in.size() < conn.content_length) return true;  // need more bytes
+
+    conn.request.body = conn.in.substr(0, conn.content_length);
+    conn.in.erase(0, conn.content_length);
+    conn.reading_body = false;
+
+    const bool client_close = [&] {
+      const auto it = conn.request.headers.find("connection");
+      return it != conn.request.headers.end() && lower(it->second) == "close";
+    }();
+
+    // Dispatch: the reactor stops reading this connection (one request in
+    // flight per connection; pipelined successors wait in `in`) and a worker
+    // runs the handler, which may block.
+    stat_requests_.fetch_add(1);
+    conn.state = ConnState::dispatched;
+    update_epoll(conn, /*want_read=*/false, /*want_write=*/false);
+    const std::uint64_t conn_id = conn.id;
+    const bool close = client_close || conn.peer_half_closed;
+    HttpRequest request = std::move(conn.request);
+    conn.request = HttpRequest{};
+    pool_->submit([this, conn_id, request = std::move(request), close] {
+      HttpResponse response;
+      try {
+        response = handler_(request);
+      } catch (...) {
+        response.status = 500;
+        response.body = "{\"error\":\"internal error\"}";
+      }
+      {
+        std::lock_guard<std::mutex> lock(completions_mu_);
+        completions_.push_back(
+            Completion{conn_id, serialize_response(response, close), close});
+      }
+      const std::uint64_t one = 1;
+      [[maybe_unused]] const auto n = ::write(event_fd_, &one, sizeof(one));
+    });
+    return true;
+  }
+  return true;
+}
+
+void HttpServer::start_write(Conn& conn, std::string bytes, bool close) {
+  conn.out = std::move(bytes);
+  conn.out_off = 0;
+  conn.close_after_write = close;
+  conn.state = ConnState::writing;
+  conn.last_activity_ms = now_ms();
+}
+
+bool HttpServer::flush(Conn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    const int n = conn.socket.send_some(
+        ByteSpan(reinterpret_cast<const std::uint8_t*>(conn.out.data()) +
+                     conn.out_off,
+                 conn.out.size() - conn.out_off));
+    if (n > 0) {
+      conn.out_off += static_cast<std::size_t>(n);
+      conn.last_activity_ms = now_ms();
+      continue;
+    }
+    if (n == -1) {
+      // Socket buffer full: wait for EPOLLOUT.
+      update_epoll(conn, /*want_read=*/false, /*want_write=*/true);
+      return true;
+    }
+    return false;  // peer gone
+  }
+  // Response fully flushed.
+  conn.out.clear();
+  conn.out_off = 0;
+  if (conn.close_after_write || conn.peer_half_closed) return false;
+  conn.state = ConnState::reading;
+  conn.last_activity_ms = now_ms();
+  update_epoll(conn, /*want_read=*/true, /*want_write=*/false);
+  // Pipelined keep-alive: the next request may already be buffered.
+  return advance(conn);
+}
+
+void HttpServer::apply_completions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& done : batch) {
+    const auto it = conns_.find(done.conn_id);
+    if (it == conns_.end()) continue;  // connection died while handling
+    Conn& conn = *it->second;
+    if (conn.state != ConnState::dispatched) continue;
+    start_write(conn, std::move(done.bytes), done.close);
+    if (!flush(conn)) drop(done.conn_id);
+  }
+}
+
+void HttpServer::sweep_stalled() {
+  const std::int64_t now = now_ms();
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [id, conn] : conns_) {
+    // Idle keep-alive (nothing buffered, nothing in flight) may park
+    // forever; a connection mid-request or mid-response that has made no
+    // progress for a full timeout is a slowloris candidate.
+    const bool mid_request =
+        conn->state == ConnState::reading &&
+        (conn->reading_body || !conn->in.empty());
+    const bool mid_response = conn->state == ConnState::writing;
+    if ((mid_request || mid_response) &&
+        now - conn->last_activity_ms >= config_.recv_timeout_ms) {
+      doomed.push_back(id);
+    }
+  }
+  for (const std::uint64_t id : doomed) drop(id);
 }
 
 }  // namespace themis::rpc

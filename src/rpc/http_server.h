@@ -1,34 +1,43 @@
-// A small multi-threaded HTTP/1.1 server for the RPC gateway.
+// An epoll-reactor HTTP/1.1 server for the RPC gateway.
 //
-// Thread-per-connection over the p2p socket primitives (TcpListener /
-// TcpSocket): one accept thread hands each connection to a worker thread
-// that parses requests and calls the installed handler.  The shape matches
-// PeerManager's threading, so the daemon's two listening surfaces (p2p frames
-// and HTTP) behave identically under start/stop.
+// One reactor thread owns every connection: it accepts non-blockingly,
+// drives per-connection read/write buffers (partial reads AND partial
+// writes) off an epoll set, and hands each fully-parsed request to a small
+// worker pool so a handler that blocks — batched transaction admission
+// waits on the combining leader — never parks the event loop.  Workers
+// return the serialized response through a completion queue + eventfd;
+// connections are keyed by id, so a connection dropped while its request
+// is in flight simply orphans the completion instead of dangling a pointer.
 //
 // Written for untrusted clients:
 //   * the request head (request line + headers) is capped (400 beyond it),
-//   * bodies are capped at max_body (413 Payload Too Large),
+//   * bodies are capped at max_body_bytes (413 Payload Too Large),
 //   * concurrent connections are capped (503 Service Unavailable, the
 //     consortium analogue of load shedding),
-//   * a connection that stalls mid-request is dropped on the next receive
-//     timeout tick (slowloris guard); idle keep-alive connections survive.
+//   * a connection that stalls mid-request (or mid-response) for one full
+//     recv_timeout_ms is dropped by a periodic sweep (slowloris guard);
+//     idle keep-alive connections survive indefinitely,
+//   * while a request is being handled its connection stops reading
+//     (EPOLLIN off) — one request in flight per connection, pipelined
+//     keep-alive requests wait in the read buffer.
 //
-// Graceful shutdown: stop() interrupts the accept loop, shuts every live
-// connection socket down and joins all worker threads — no request thread
+// Graceful shutdown: stop() wakes the reactor via the eventfd, joins it
+// (closing every connection), then drains the worker pool — no handler
 // outlives the server object.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
+#include "common/parallel.h"
 #include "p2p/socket.h"
 
 namespace themis::rpc {
@@ -52,9 +61,12 @@ struct HttpServerConfig {
   std::size_t max_head_bytes = 8 * 1024;
   std::size_t max_body_bytes = 1 << 20;
   std::size_t max_connections = 64;
-  /// Receive timeout tick; a connection stalled mid-request for one full
-  /// tick is dropped.
+  /// Stall budget: a connection mid-request or mid-response that makes no
+  /// progress for this long is dropped.  Idle keep-alive is exempt.
   int recv_timeout_ms = 10000;
+  /// Handler worker threads.  More workers = more requests concurrently
+  /// inside the handler = bigger admission batches under load.
+  std::size_t workers = 8;
 };
 
 class HttpServer {
@@ -67,7 +79,7 @@ class HttpServer {
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Bind + start accepting.  False if the port cannot be bound.
+  /// Bind + start the reactor.  False if the port cannot be bound.
   bool start();
   void stop();
 
@@ -83,29 +95,74 @@ class HttpServer {
   Stats stats() const;
 
  private:
+  /// Connection lifecycle: reading a request, waiting on the handler,
+  /// flushing the response, then back to reading (keep-alive) or gone.
+  enum class ConnState { reading, dispatched, writing };
+
   struct Conn {
+    std::uint64_t id = 0;
     p2p::TcpSocket socket;
-    std::thread thread;
-    std::atomic<bool> done{false};
+    ConnState state = ConnState::reading;
+    std::string in;   ///< bytes received, not yet consumed
+    std::string out;  ///< response bytes not yet flushed
+    std::size_t out_off = 0;
+    bool close_after_write = false;
+    bool peer_half_closed = false;  ///< recv saw EOF; respond, then drop
+    /// Head parsed, collecting `content_length` body bytes into `in`.
+    bool reading_body = false;
+    HttpRequest request;
+    std::size_t content_length = 0;
+    /// Last read/write progress (steady ms), for the stall sweep.
+    std::int64_t last_activity_ms = 0;
   };
 
-  void accept_loop();
-  void serve(Conn* conn);
-  /// Join and drop finished connections (called with conns_mu_ held).
-  void reap_locked();
+  /// A worker-completed response on its way back to the reactor.
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::string bytes;
+    bool close = false;
+  };
+
+  void reactor_loop();
+  void accept_ready();
+  /// Handle readability; false drops the connection.
+  bool conn_readable(Conn& conn);
+  /// Parse buffered bytes, dispatch a complete request, or emit an error
+  /// response; false drops the connection.
+  bool advance(Conn& conn);
+  /// Flush pending response bytes; false drops the connection.
+  bool flush(Conn& conn);
+  /// Queue `response` on `conn` and switch it to writing.
+  void start_write(Conn& conn, std::string bytes, bool close);
+  void drop(std::uint64_t conn_id);
+  void apply_completions();
+  void sweep_stalled();
+  void update_epoll(Conn& conn, bool want_read, bool want_write);
+  std::int64_t now_ms() const;
 
   HttpServerConfig config_;
   Handler handler_;
   p2p::TcpListener listener_;
-  std::thread accept_thread_;
+
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  std::thread reactor_thread_;
   std::atomic<bool> stopping_{false};
   bool started_ = false;
 
-  std::mutex conns_mu_;
-  std::list<std::unique_ptr<Conn>> conns_;
+  /// Reactor-owned: only the reactor thread touches the map or any Conn.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_conn_id_ = 2;  // 0 = listener, 1 = eventfd
 
-  mutable std::mutex stats_mu_;
-  Stats stats_;
+  std::unique_ptr<TaskPool> pool_;
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  std::atomic<std::uint64_t> stat_connections_{0};
+  std::atomic<std::uint64_t> stat_requests_{0};
+  std::atomic<std::uint64_t> stat_bad_requests_{0};
+  std::atomic<std::uint64_t> stat_oversized_{0};
+  std::atomic<std::uint64_t> stat_busy_{0};
 };
 
 }  // namespace themis::rpc

@@ -62,6 +62,56 @@ std::size_t LedgerState::apply_block(const ledger::Block& block) {
   return applied;
 }
 
+void LedgerState::apply_delta(const StateDelta& delta) {
+  for (const auto& [id, account] : delta.accounts) {
+    accounts_[id] = account;
+  }
+}
+
+const Account& ScratchState::account(ledger::NodeId id) const {
+  const auto it = overlay_.find(id);
+  return it != overlay_.end() ? it->second : base_->account(id);
+}
+
+Account& ScratchState::touch(ledger::NodeId id) {
+  const auto it = overlay_.find(id);
+  if (it != overlay_.end()) return it->second;
+  return overlay_.emplace(id, base_->account(id)).first->second;
+}
+
+TxOutcome ScratchState::apply(const ledger::Transaction& tx) {
+  // Mirrors LedgerState::apply exactly (differentially tested); reads come
+  // through the overlay, writes land only in the overlay.
+  Account& sender = touch(tx.sender());
+  if (tx.nonce() != sender.next_nonce) return TxOutcome::bad_nonce;
+
+  const std::optional<Transfer> transfer = transfer_of(tx);
+  if (!transfer.has_value()) {
+    ++sender.next_nonce;
+    ++applied_;
+    return TxOutcome::data_only;
+  }
+  if (transfer->to == ledger::kNoNode) return TxOutcome::unknown_recipient;
+  if (sender.balance < transfer->amount) return TxOutcome::insufficient_funds;
+
+  ++sender.next_nonce;
+  sender.balance -= transfer->amount;
+  touch(transfer->to).balance += transfer->amount;
+  ++applied_;
+  return TxOutcome::applied;
+}
+
+StateDelta ScratchState::take_delta() {
+  StateDelta delta;
+  delta.applied = applied_;
+  delta.accounts.reserve(overlay_.size());
+  for (auto& [id, account] : overlay_) {
+    delta.accounts.emplace_back(id, account);
+  }
+  overlay_.clear();
+  return delta;
+}
+
 StateManager::StateManager(std::map<ledger::NodeId, std::uint64_t> allocation) {
   for (const auto& [account, amount] : allocation) {
     genesis_state_.fund(account, amount);
@@ -85,7 +135,14 @@ const LedgerState& StateManager::state_at(const ledger::BlockTree& tree,
                           ? genesis_state_
                           : cache_.at(cursor);
   for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
-    state.apply_block(*tree.block(*it));
+    // Prefer the validation-time delta: a few account overwrites instead of
+    // decoding and replaying the whole body again.
+    const auto delta_it = deltas_.find(*it);
+    if (delta_it != deltas_.end()) {
+      state.apply_delta(delta_it->second);
+    } else {
+      state.apply_block(*tree.block(*it));
+    }
     cache_.emplace(*it, state);
   }
   if (pending.empty() && !cache_.contains(block)) {
@@ -93,6 +150,12 @@ const LedgerState& StateManager::state_at(const ledger::BlockTree& tree,
     cache_.emplace(block, state);
   }
   return cache_.at(block);
+}
+
+void StateManager::record_delta(const ledger::BlockHash& block,
+                                StateDelta delta) {
+  if (deltas_.size() >= kMaxDeltas) deltas_.clear();
+  deltas_.insert_or_assign(block, std::move(delta));
 }
 
 }  // namespace themis::state

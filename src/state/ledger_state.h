@@ -8,6 +8,12 @@
 // StateManager materializes the state at any block by replaying the main
 // chain, caching snapshots per block so switching between forks (as fork
 // choice does) costs one block's delta in the common case.
+//
+// Validation-time delta caching: block validation replays the body once on a
+// ScratchState overlay and records the touched-account post-images as a
+// StateDelta.  When StateManager later needs that block's snapshot it applies
+// the delta — a handful of account writes — instead of decoding and replaying
+// every transaction a second time.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,7 @@
 #include <optional>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "ledger/blocktree.h"
 #include "state/transfer.h"
@@ -39,6 +46,16 @@ enum class TxOutcome {
 
 std::string_view to_string(TxOutcome outcome);
 
+/// Post-images of every account a block's body touched, in account order.
+/// Applying a delta to the block's parent state yields the block's state.
+struct StateDelta {
+  std::vector<std::pair<ledger::NodeId, Account>> accounts;
+  /// Transactions that applied cleanly (mirrors apply_block's return).
+  std::size_t applied = 0;
+
+  bool operator==(const StateDelta&) const = default;
+};
+
 class LedgerState {
  public:
   LedgerState() = default;
@@ -60,10 +77,46 @@ class LedgerState {
   /// apply()'s outcome when re-checked individually).
   std::size_t apply_block(const ledger::Block& block);
 
+  /// Overwrite the touched accounts with a recorded delta's post-images —
+  /// equivalent to apply_block on the block the delta was recorded from, but
+  /// without decoding or replaying any transaction.
+  void apply_delta(const StateDelta& delta);
+
   bool operator==(const LedgerState&) const = default;
 
  private:
   std::map<ledger::NodeId, Account> accounts_;
+};
+
+/// Copy-on-write overlay over a parent snapshot.  Where the old validation
+/// path copied the whole account map before replaying a body, a ScratchState
+/// starts empty and materializes only the accounts the body actually touches;
+/// take_delta() then hands those post-images to StateManager for caching.
+///
+/// The base snapshot must outlive the scratch (both live under the consensus
+/// lock in practice).
+class ScratchState {
+ public:
+  explicit ScratchState(const LedgerState& base) : base_(&base) {}
+
+  /// Overlay view: the touched copy if present, the base account otherwise.
+  const Account& account(ledger::NodeId id) const;
+
+  /// Same transition rules and outcomes as LedgerState::apply.
+  TxOutcome apply(const ledger::Transaction& tx);
+
+  /// Number of transactions that applied cleanly so far.
+  std::size_t applied() const { return applied_; }
+
+  /// Touched-account post-images accumulated so far (consumes the overlay).
+  StateDelta take_delta();
+
+ private:
+  Account& touch(ledger::NodeId id);
+
+  const LedgerState* base_;
+  std::map<ledger::NodeId, Account> overlay_;
+  std::size_t applied_ = 0;
 };
 
 class StateManager {
@@ -72,15 +125,30 @@ class StateManager {
   StateManager(std::map<ledger::NodeId, std::uint64_t> genesis_allocation);
 
   /// State after executing the main chain from genesis to `block` (inclusive)
-  /// in `tree`.  Snapshots are cached per block hash.
+  /// in `tree`.  Snapshots are cached per block hash; blocks with a recorded
+  /// delta materialize by delta application instead of body replay.
   const LedgerState& state_at(const ledger::BlockTree& tree,
                               const ledger::BlockHash& block);
 
+  /// Cache the touched-account delta of `block` (recorded by validation).
+  /// Keyed by block hash, so deltas for blocks that never join the tree are
+  /// merely unused.
+  void record_delta(const ledger::BlockHash& block, StateDelta delta);
+  bool has_delta(const ledger::BlockHash& block) const {
+    return deltas_.contains(block);
+  }
+
   std::size_t cached_snapshots() const { return cache_.size(); }
+  std::size_t cached_deltas() const { return deltas_.size(); }
 
  private:
+  // Backstop against unbounded growth on very long runs: past this point the
+  // delta cache resets and materialization falls back to body replay.
+  static constexpr std::size_t kMaxDeltas = 1 << 16;
+
   LedgerState genesis_state_;
   std::unordered_map<ledger::BlockHash, LedgerState, Hash32Hasher> cache_;
+  std::unordered_map<ledger::BlockHash, StateDelta, Hash32Hasher> deltas_;
 };
 
 }  // namespace themis::state

@@ -16,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <functional>
@@ -243,6 +244,54 @@ TEST_F(P2pIntegrationTest, FourNodesConvergeKillOneRestartAndRecover) {
     EXPECT_GE(ratio, 0.0);
     EXPECT_LE(ratio, 1.0);
   }
+}
+
+// Concurrent submitters share the combining-leader admission path: every
+// valid transaction must come back `accepted` exactly once, a forged
+// signature mixed into a batch must fail alone (per-item fallback after the
+// batched check), and duplicates must be flagged.  TSan (ctest regex
+// 'P2pIntegration') proves the queue/lock choreography.
+TEST_F(P2pIntegrationTest, BatchAdmissionSettlesConcurrentSubmitters) {
+  P2pNodeConfig config = base_config(0, 16);
+  config.mine = false;
+  P2pNode node(std::move(config));
+  ASSERT_TRUE(node.start());
+
+  constexpr int kSenders = 8;
+  constexpr std::uint64_t kEach = 25;
+  std::atomic<int> accepted{0};
+  std::atomic<int> bad_sig{0};
+  std::vector<std::thread> clients;
+  for (int s = 0; s < kSenders; ++s) {
+    clients.emplace_back([&, s] {
+      for (std::uint64_t n = 1; n <= kEach; ++n) {
+        auto stx = ledger::sign_transaction(
+            ledger::Transaction(static_cast<ledger::NodeId>(s), n, 0, {}));
+        if (s == 0 && n == kEach) {
+          // One forged signature rides a batch full of valid ones.
+          stx.signature.s[0] ^= 0x01;
+          if (node.submit_transaction(stx) == TxAdmit::bad_signature) {
+            bad_sig.fetch_add(1);
+          }
+        } else if (node.submit_transaction(stx) == TxAdmit::accepted) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(accepted.load(), kSenders * kEach - 1);
+  EXPECT_EQ(bad_sig.load(), 1);
+
+  // Re-submitting a pooled transaction reports `duplicate`.
+  const auto dup = ledger::sign_transaction(ledger::Transaction(2, 1, 0, {}));
+  EXPECT_EQ(node.submit_transaction(dup), TxAdmit::duplicate);
+
+  const auto stats = node.chain_stats();
+  EXPECT_EQ(stats.txs_accepted, static_cast<std::uint64_t>(kSenders) * kEach - 1);
+  EXPECT_GE(stats.txs_rejected, 1u);   // the forgery
+  EXPECT_GE(stats.txs_duplicate, 1u);  // the re-submission
+  node.stop();
 }
 
 TEST_F(P2pIntegrationTest, ObservabilityCountersAreFilled) {

@@ -242,6 +242,103 @@ TEST_F(RpcGatewayTest, DuplicateSubmitReportsDuplicate) {
   EXPECT_EQ(node_->pool_depth(), 1u);
 }
 
+TEST_F(RpcGatewayTest, BatchSubmitSettlesEveryTransferInOrder) {
+  Json::Array specs;
+  for (int nonce = 1; nonce <= 5; ++nonce) {
+    Json spec;
+    spec.set("sender", 1);
+    spec.set("to", 2);
+    spec.set("amount", 10 + nonce);
+    spec.set("nonce", nonce);
+    specs.push_back(std::move(spec));
+  }
+  Json params;
+  params.set("txs", Json(std::move(specs)));
+  const Json response = call("submit_txs", std::move(params));
+  ASSERT_TRUE(response.has("result")) << response.dump();
+  const Json::Array& results = response["result"]["results"].as_array();
+  ASSERT_EQ(results.size(), 5u);
+  std::vector<std::string> ids;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i]["status"].as_string(), "accepted") << i;
+    EXPECT_EQ(results[i]["nonce"].as_u64(), i + 1);
+    ids.push_back(results[i]["id"].as_string());
+  }
+  EXPECT_EQ(node_->pool_depth(), 5u);
+
+  // Batched status: one sweep covers all five plus an unknown id, and the
+  // reply aligns with request order.
+  Json::Array query_ids;
+  for (const std::string& id : ids) query_ids.push_back(Json(id));
+  query_ids.push_back(Json(std::string(64, 'e')));  // never submitted
+  Json query;
+  query.set("ids", Json(std::move(query_ids)));
+  const Json status = call("get_txs", std::move(query));
+  const Json::Array& states = status["result"]["states"].as_array();
+  ASSERT_EQ(states.size(), 6u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(states[i].as_string(), "pending") << i;
+  }
+  EXPECT_EQ(states[5].as_string(), "unknown");
+}
+
+TEST_F(RpcGatewayTest, BatchSubmitReportsPerItemVerdicts) {
+  // One good transfer, the same raw bytes twice (intra-batch duplicate), and
+  // a nonce far ahead of the head state: the call succeeds and each entry
+  // carries its own admission verdict.
+  const ledger::SignedTransaction raw = ledger::sign_transaction(
+      state::make_transfer_tx(3, 1, 0, state::Transfer{4, 7, {}}));
+  Json::Array specs;
+  Json raw_spec;
+  raw_spec.set("raw", to_hex(raw.encode()));
+  specs.push_back(raw_spec);
+  specs.push_back(raw_spec);
+  Json gapped;
+  gapped.set("sender", 5);
+  gapped.set("to", 6);
+  gapped.set("amount", 1);
+  gapped.set("nonce", 5000);  // beyond max_nonce_gap (1024)
+  specs.push_back(std::move(gapped));
+  Json params;
+  params.set("txs", Json(std::move(specs)));
+  const Json response = call("submit_txs", std::move(params));
+  ASSERT_TRUE(response.has("result")) << response.dump();
+  const Json::Array& results = response["result"]["results"].as_array();
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0]["status"].as_string(), "accepted");
+  EXPECT_EQ(results[1]["status"].as_string(), "duplicate");
+  EXPECT_EQ(results[2]["status"].as_string(), "nonce_gap");
+  EXPECT_EQ(node_->pool_depth(), 1u);
+}
+
+TEST_F(RpcGatewayTest, BatchEndpointsValidateTheirParams) {
+  Json no_array;
+  no_array.set("txs", 7);
+  EXPECT_EQ(error_code(call("submit_txs", std::move(no_array))), -32602);
+
+  Json::Array too_many;
+  for (int i = 0; i < 513; ++i) {
+    Json spec;
+    spec.set("sender", 1);
+    spec.set("to", 2);
+    spec.set("amount", 1);
+    too_many.push_back(std::move(spec));
+  }
+  Json oversized;
+  oversized.set("txs", Json(std::move(too_many)));
+  EXPECT_EQ(error_code(call("submit_txs", std::move(oversized))), -32602);
+
+  Json bad_ids;
+  bad_ids.set("ids", "not-an-array");
+  EXPECT_EQ(error_code(call("get_txs", std::move(bad_ids))), -32602);
+
+  Json::Array bad_hex;
+  bad_hex.push_back(Json(std::string("zz")));
+  Json bad_id_params;
+  bad_id_params.set("ids", Json(std::move(bad_hex)));
+  EXPECT_EQ(error_code(call("get_txs", std::move(bad_id_params))), -32602);
+}
+
 TEST_F(RpcGatewayTest, RejectionsCarryTheAdmissionVerdict) {
   const auto submit = [this](std::uint64_t sender, std::uint64_t nonce) {
     Json params;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/serialize.h"
 #include "crypto/sha256.h"
 
 namespace themis::crypto {
@@ -93,6 +94,68 @@ TEST(Schnorr, OversizedScalarInSignatureRejected) {
   Signature sig = kp.sign(m);
   sig.s = UInt256::max().to_be_bytes();  // >= group order
   EXPECT_FALSE(verify(kp.public_key(), m, sig));
+}
+
+TEST(SchnorrBatch, EmptyAndSingletonBatches) {
+  EXPECT_TRUE(verify_batch({}));
+  const Keypair kp = Keypair::from_node_id(20);
+  const Hash32 m = msg_of("solo");
+  EXPECT_TRUE(verify_batch({{kp.public_key(), m, kp.sign(m)}}));
+  Signature bad = kp.sign(m);
+  bad.s[31] ^= 1;
+  EXPECT_FALSE(verify_batch({{kp.public_key(), m, bad}}));
+}
+
+TEST(SchnorrBatch, AcceptsAllValid) {
+  std::vector<BatchVerifyItem> items;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    // Repeat signers so the lift-dedup path is exercised.
+    const Keypair kp = Keypair::from_node_id(30 + (i % 3));
+    Writer w;
+    w.str("batch tx");
+    w.u64(i);
+    const Hash32 m = sha256(w.buffer());
+    items.push_back({kp.public_key(), m, kp.sign(m)});
+  }
+  EXPECT_TRUE(verify_batch(items));
+  EXPECT_TRUE(verify_batch(items, 4));  // parallel split, same verdict
+}
+
+TEST(SchnorrBatch, OneForgeryPoisonsTheBatch) {
+  std::vector<BatchVerifyItem> items;
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    const Keypair kp = Keypair::from_node_id(40 + i);
+    Writer w;
+    w.str("batch tx");
+    w.u64(i);
+    const Hash32 m = sha256(w.buffer());
+    items.push_back({kp.public_key(), m, kp.sign(m)});
+  }
+  for (std::size_t victim : {std::size_t{0}, std::size_t{3}, std::size_t{7}}) {
+    auto tampered = items;
+    tampered[victim].sig.s[31] ^= 1;
+    EXPECT_FALSE(verify_batch(tampered)) << "victim " << victim;
+    EXPECT_FALSE(verify_batch(tampered, 4)) << "victim " << victim;
+  }
+  // A message swap (valid signature, wrong digest) must also fail.
+  auto swapped = items;
+  std::swap(swapped[1].msg, swapped[2].msg);
+  EXPECT_FALSE(verify_batch(swapped));
+}
+
+TEST(SchnorrBatch, MalformedItemsRejected) {
+  std::vector<BatchVerifyItem> items;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const Keypair kp = Keypair::from_node_id(50 + i);
+    const Hash32 m = msg_of("x");
+    items.push_back({kp.public_key(), m, kp.sign(m)});
+  }
+  auto bad_key = items;
+  bad_key[2].pub = UInt256(5).to_be_bytes();  // x not on the curve
+  EXPECT_FALSE(verify_batch(bad_key));
+  auto bad_s = items;
+  bad_s[1].sig.s = UInt256::max().to_be_bytes();  // >= group order
+  EXPECT_FALSE(verify_batch(bad_s));
 }
 
 class SchnorrSweep : public ::testing::TestWithParam<std::uint64_t> {};

@@ -222,5 +222,79 @@ TEST(Point, LiftXRejectsOversizedX) {
   EXPECT_FALSE(Point::lift_x(field_prime()).has_value());
 }
 
+TEST(Point, AddAffineMatchesGeneralAdd) {
+  Rng rng(9);
+  for (int i = 0; i < 8; ++i) {
+    const Point a = Point::generator().mul(Scalar(random_u256(rng)));
+    const Point b = Point::generator().mul(Scalar(random_u256(rng)));
+    EXPECT_TRUE(a.add_affine(b.to_affine()).equals(a + b));
+  }
+  // Identity + affine, doubling (same point), and inverse (P + -P) corners.
+  const Point g = Point::generator();
+  EXPECT_TRUE(Point().add_affine(g.to_affine()).equals(g));
+  EXPECT_TRUE(g.add_affine(g.to_affine()).equals(g.doubled()));
+  EXPECT_TRUE(g.add_affine(g.negate().to_affine()).is_infinity());
+}
+
+TEST(Point, BatchNormalizeMatchesToAffine) {
+  Rng rng(10);
+  std::vector<Point> pts;
+  for (int i = 0; i < 7; ++i) {
+    pts.push_back(Point::generator().mul(Scalar(random_u256(rng))));
+  }
+  const auto affine = Point::batch_normalize(pts);
+  ASSERT_EQ(affine.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const auto direct = pts[i].to_affine();
+    EXPECT_EQ(affine[i].x, direct.x);
+    EXPECT_EQ(affine[i].y, direct.y);
+  }
+  EXPECT_TRUE(Point::batch_normalize({}).empty());
+}
+
+// The fast multiplication paths must agree with the reference double-and-add
+// ladder on random scalars and on the boundary scalars that stress the
+// signed-digit recodings (all-ones nibbles, near-order values).
+TEST(Point, FastMulPathsMatchReference) {
+  Rng rng(11);
+  std::vector<UInt256> cases = {
+      UInt256(0), UInt256(1), UInt256(2), UInt256(15), UInt256(16),
+      UInt256(0xFFFFFFFFFFFFFFFFull),
+      group_order() - UInt256(1),
+      group_order() - UInt256(2),
+  };
+  for (int i = 0; i < 8; ++i) cases.push_back(random_u256(rng));
+  const Point p = Point::generator().mul(sc(0xABCDEF));
+  for (const UInt256& raw : cases) {
+    const Scalar k(raw);
+    const Point expected = Point::generator().mul(k);
+    EXPECT_TRUE(Point::mul_gen(k).equals(expected)) << raw.to_hex();
+    EXPECT_TRUE(Point::generator().mul_wnaf(k).equals(expected)) << raw.to_hex();
+    EXPECT_TRUE(p.mul_wnaf(k).equals(p.mul(k))) << raw.to_hex();
+  }
+}
+
+TEST(Point, MultiScalarMulMatchesSumOfParts) {
+  Rng rng(12);
+  std::vector<Scalar> ks;
+  std::vector<Point> ps;
+  Point expected;
+  for (int i = 0; i < 6; ++i) {
+    const Scalar k(random_u256(rng));
+    const Point p = Point::generator().mul(Scalar(random_u256(rng)));
+    expected = expected + p.mul(k);
+    ks.push_back(k);
+    ps.push_back(p);
+  }
+  // Zero scalars and identity points must contribute nothing.
+  ks.push_back(sc(0));
+  ps.push_back(Point::generator());
+  ks.push_back(sc(7));
+  ps.push_back(Point());
+  EXPECT_TRUE(multi_scalar_mul(ks, ps).equals(expected));
+  EXPECT_TRUE(multi_scalar_mul({}, {}).is_infinity());
+  EXPECT_THROW(multi_scalar_mul({sc(1)}, {}), PreconditionError);
+}
+
 }  // namespace
 }  // namespace themis::crypto

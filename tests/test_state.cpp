@@ -183,6 +183,80 @@ TEST(StateManager, GenesisState) {
   EXPECT_EQ(manager.state_at(b.tree(), b.tree().genesis_hash()).balance(0), 42u);
 }
 
+// The overlay must implement exactly the transition rules of
+// LedgerState::apply — same outcomes, same post-state — across every outcome
+// class, including the failure paths that touch but do not change accounts.
+TEST(ScratchState, DifferentialAgainstDirectApply) {
+  LedgerState base;
+  base.fund(0, 100);
+  base.fund(1, 50);
+  const std::vector<Transaction> txs{
+      transfer_tx(0, 1, 1, 40),                                   // applied
+      transfer_tx(0, 2, 1, 1000),                                 // insufficient
+      transfer_tx(0, 3, 1, 10),                                   // bad nonce (gap)
+      Transaction(1, 1, 0, bytes_of("note")),                     // data only
+      make_transfer_tx(2, 1, 0, Transfer{ledger::kNoNode, 1, {}}),  // unknown to
+      transfer_tx(1, 2, 0, 25),                                   // applied
+  };
+
+  LedgerState direct = base;
+  ScratchState scratch(base);
+  for (const Transaction& tx : txs) {
+    EXPECT_EQ(scratch.apply(tx), direct.apply(tx));
+  }
+  LedgerState materialized = base;
+  materialized.apply_delta(scratch.take_delta());
+  EXPECT_EQ(materialized, direct);
+}
+
+TEST(ScratchState, ReadsThroughToBase) {
+  LedgerState base;
+  base.fund(0, 100);
+  ScratchState scratch(base);
+  EXPECT_EQ(scratch.account(0).balance, 100u);
+  EXPECT_EQ(scratch.apply(transfer_tx(0, 1, 1, 30)), TxOutcome::applied);
+  EXPECT_EQ(scratch.account(0).balance, 70u);
+  EXPECT_EQ(scratch.account(1).balance, 30u);
+  // The base snapshot is untouched — the whole point of the overlay.
+  EXPECT_EQ(base.balance(0), 100u);
+  EXPECT_EQ(base.balance(1), 0u);
+  EXPECT_EQ(scratch.applied(), 1u);
+}
+
+TEST(StateManager, DeltaShortCircuitsBodyReplay) {
+  test::TreeBuilder b;
+  auto make_block = [&](const ledger::BlockPtr& parent,
+                        std::vector<Transaction> txs) {
+    ledger::BlockHeader h;
+    h.height = parent->height() + 1;
+    h.prev = parent->id();
+    h.producer = 0;
+    h.nonce = 2000 + b.tree().size();
+    h.tx_count = static_cast<std::uint32_t>(txs.size());
+    auto block = std::make_shared<const ledger::Block>(h, crypto::Signature{},
+                                                       std::move(txs));
+    b.tree().insert(block);
+    return block;
+  };
+  const auto b1 = make_block(b.get("g"), {transfer_tx(0, 1, 1, 100)});
+
+  // Validation-style pass: replay on an overlay of the parent, record delta.
+  StateManager manager(std::map<ledger::NodeId, std::uint64_t>{{0, 1000}});
+  ScratchState scratch(manager.state_at(b.tree(), b.tree().genesis_hash()));
+  for (const Transaction& tx : b1->transactions()) {
+    EXPECT_EQ(scratch.apply(tx), TxOutcome::applied);
+  }
+  manager.record_delta(b1->id(), scratch.take_delta());
+  EXPECT_TRUE(manager.has_delta(b1->id()));
+  EXPECT_EQ(manager.cached_deltas(), 1u);
+
+  // Materialization through the delta must equal a full body replay.
+  StateManager replayed(std::map<ledger::NodeId, std::uint64_t>{{0, 1000}});
+  EXPECT_EQ(manager.state_at(b.tree(), b1->id()),
+            replayed.state_at(b.tree(), b1->id()));
+  EXPECT_EQ(manager.state_at(b.tree(), b1->id()).balance(1), 100u);
+}
+
 TEST(DoubleSpend, ValidProofRequiresEquivocation) {
   const auto a = transfer_tx(0, 1, 1, 10);
   const auto c = transfer_tx(0, 1, 2, 10);  // same nonce, different payee

@@ -123,13 +123,22 @@ class TxPipeIntegrationTest : public ::testing::Test {
   }
 
   /// Pause mining and wait for heads to settle; resume briefly on ties
-  /// (same strategy as the p2p integration suite).
+  /// (same strategy as the p2p integration suite).  `settled` adds an extra
+  /// condition the paused network must satisfy before convergence counts —
+  /// e.g. "every transfer is confirmed on the common chain".  Without it, a
+  /// reorg racing the pause can freeze the network with reorg-returned
+  /// transactions stranded in the pools.
   static bool converge(const std::vector<p2p::P2pNode*>& nodes,
-                       std::chrono::seconds timeout) {
+                       std::chrono::seconds timeout,
+                       const std::function<bool()>& settled = {}) {
     const auto deadline = std::chrono::steady_clock::now() + timeout;
     while (std::chrono::steady_clock::now() < deadline) {
       for (p2p::P2pNode* node : nodes) node->set_mining(false);
-      if (wait_until([&] { return heads_equal(nodes); }, 5s)) return true;
+      if (wait_until(
+              [&] { return heads_equal(nodes) && (!settled || settled()); },
+              5s)) {
+        return true;
+      }
       for (p2p::P2pNode* node : nodes) node->set_mining(true);
       std::this_thread::sleep_for(100ms);
     }
@@ -272,7 +281,24 @@ TEST_F(TxPipeIntegrationTest, ThousandTransfersKillOneNodeOracleBalances) {
   p2p::P2pNode* revived = start_node(3, /*mine=*/false);
   EXPECT_GE(revived->chain_stats().store_replayed, 1u);
 
-  ASSERT_TRUE(converge(live_nodes(), 300s)) << "final convergence";
+  // Converge on a chain that carries EVERY transfer.  The confirmation
+  // snapshot above is transient — a reorg right after it returns transactions
+  // to the pools, and pausing mining at that moment would freeze a chain
+  // missing them — so keep mining until the settled chain confirms all 1000
+  // on every node.
+  const auto all_confirmed = [&] {
+    for (p2p::P2pNode* node : live_nodes()) {
+      for (const ledger::TxId& id : ids) {
+        if (node->tx_status(id).state !=
+            p2p::P2pNode::TxStatusInfo::State::confirmed) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  ASSERT_TRUE(converge(live_nodes(), 300s, all_confirmed))
+      << "final convergence";
   const auto nodes = live_nodes();
   ASSERT_EQ(nodes.size(), kNodes);
 

@@ -171,6 +171,98 @@ TEST(TxPool, NextNonceHintIgnoresOtherSenders) {
   EXPECT_EQ(pool.next_nonce_hint(3, 5), 5u);
 }
 
+TEST(TxPool, ShardCountIsConfigurable) {
+  EXPECT_EQ(TxPool().shard_count(), 16u);
+  EXPECT_EQ(TxPool(8, 4).shard_count(), 4u);
+  EXPECT_EQ(TxPool(8, 0).shard_count(), 1u);  // clamped to at least one shard
+}
+
+// Selection must surface each sender's transactions in nonce order even when
+// they arrived out of order — the only order the strict-nonce ledger can
+// apply — while different senders interleave by arrival.
+TEST(TxPool, SelectOrdersEachSenderByNonce) {
+  TxPool pool;
+  pool.add(tx_from(1, 2));
+  pool.add(tx_from(1, 0));
+  pool.add(tx_from(1, 1));
+  const auto selected = pool.select(10);
+  ASSERT_EQ(selected.size(), 3u);
+  EXPECT_EQ(selected[0].nonce(), 0u);
+  EXPECT_EQ(selected[1].nonce(), 1u);
+  EXPECT_EQ(selected[2].nonce(), 2u);
+}
+
+TEST(TxPool, SelectMergesSendersAcrossShards) {
+  TxPool pool;
+  constexpr int kSenders = 8;
+  constexpr std::uint64_t kEach = 4;
+  for (std::uint64_t n = 0; n < kEach; ++n) {
+    for (int s = 0; s < kSenders; ++s) {
+      pool.add(tx_from(static_cast<NodeId>(s), n));
+    }
+  }
+  const auto selected = pool.select(kSenders * kEach);
+  ASSERT_EQ(selected.size(), kSenders * kEach);
+  // Every sender's subsequence must be nonce-ordered.
+  std::map<NodeId, std::uint64_t> expected_next;
+  for (const auto& tx : selected) {
+    EXPECT_EQ(tx.nonce(), expected_next[tx.sender()]);
+    ++expected_next[tx.sender()];
+  }
+  for (int s = 0; s < kSenders; ++s) {
+    EXPECT_EQ(expected_next[static_cast<NodeId>(s)], kEach);
+  }
+}
+
+TEST(TxPool, EvictionIsGlobalAcrossShards) {
+  TxPool pool(4);
+  // Senders 0..7 land on different shards; eviction must still drop the
+  // globally oldest arrival, not a per-shard oldest.
+  for (int s = 0; s < 8; ++s) pool.add(tx_from(static_cast<NodeId>(s), 1));
+  EXPECT_EQ(pool.size(), 4u);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_FALSE(pool.contains(tx_from(static_cast<NodeId>(s), 1).id()));
+  }
+  for (int s = 4; s < 8; ++s) {
+    EXPECT_TRUE(pool.contains(tx_from(static_cast<NodeId>(s), 1).id()));
+  }
+}
+
+// Concurrent submit storm across shards: many senders hammer add() while a
+// reader mixes in whole-pool scans; TSan (ctest regex 'TxPool') proves the
+// per-shard locking composes with the lock-all paths.
+TEST(TxPool, ConcurrentSubmitStormAcrossShards) {
+  TxPool pool(1 << 16, 8);
+  constexpr int kSenders = 16;
+  constexpr std::uint64_t kPerSender = 100;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSenders; ++s) {
+    submitters.emplace_back([&pool, s] {
+      for (std::uint64_t i = 0; i < kPerSender; ++i) {
+        pool.add(tx_from(static_cast<NodeId>(s), i));
+      }
+    });
+  }
+  std::thread scanner([&pool, &stop] {
+    while (!stop.load()) {
+      pool.select(64);
+      pool.ids(64);
+      pool.size();
+      pool.next_nonce_hint(3, 0);
+    }
+  });
+
+  for (auto& th : submitters) th.join();
+  stop.store(true);
+  scanner.join();
+
+  EXPECT_EQ(pool.size(), kSenders * kPerSender);
+  const auto all = pool.select(kSenders * kPerSender + 1);
+  EXPECT_EQ(all.size(), kSenders * kPerSender);
+}
+
 // Hammer the pool from adder, selector, and remover threads at once; TSan
 // (ctest regex 'TxPool') proves the internal locking, and the final state
 // must account for every transaction exactly once.
