@@ -117,6 +117,11 @@ class PowNode {
   /// The keypair (present iff signatures are enabled).
   const std::optional<crypto::Keypair>& keypair() const { return keypair_; }
 
+  /// The node's buffered mining-draw stream.  Exposed so the experiment
+  /// harness can refill many nodes' streams in parallel between events (the
+  /// values consumed are identical either way; see DrawStream).
+  DrawStream& draws() { return rng_; }
+
  private:
   std::size_t announce_size(const ledger::Block& block) const;
   void on_message(const net::Message& msg);
@@ -134,7 +139,9 @@ class PowNode {
   std::shared_ptr<const KeyRegistry> registry_;
   std::optional<crypto::Keypair> keypair_;
 
-  Rng rng_;
+  /// Mining randomness: exponential waiting times and nonces, drawn through
+  /// a buffered stream so draws can be precomputed off the event loop.
+  DrawStream rng_;
   ledger::BlockTree tree_;
   ledger::TxPool pool_;
   /// Maintains head + anchor incrementally (cached preferred path); replaces

@@ -17,6 +17,9 @@ AdaptiveDifficulty::AdaptiveDifficulty(AdaptiveConfig config) : config_(config) 
   expects(config_.expected_interval_s > 0, "expected interval must be positive");
   expects(config_.h0 > 0, "H_0 must be positive");
   expects(config_.retarget_clamp >= 1.0, "retarget clamp must be >= 1");
+  // The boundary memo gains an entry per block; pre-size it so per-node
+  // policies don't all rehash in lockstep as the chain grows.
+  boundary_cache_.reserve(256);
 }
 
 double AdaptiveDifficulty::initial_base_difficulty() const {
@@ -43,7 +46,17 @@ double AdaptiveDifficulty::difficulty_for(const BlockTree& tree,
 
 const AdaptiveDifficulty::EpochTable& AdaptiveDifficulty::table_for(
     const BlockTree& tree, const BlockHash& parent) {
-  return table_for_boundary(tree, boundary_of(tree, parent));
+  if (memo_table_[0] != nullptr && parent == memo_parent_[0]) {
+    return *memo_table_[0];
+  }
+  if (memo_table_[1] != nullptr && parent == memo_parent_[1]) {
+    return *memo_table_[1];
+  }
+  const EpochTable& table = table_for_boundary(tree, boundary_of(tree, parent));
+  memo_parent_[memo_next_] = parent;
+  memo_table_[memo_next_] = &table;
+  memo_next_ ^= 1u;
+  return table;
 }
 
 BlockHash AdaptiveDifficulty::boundary_of(const BlockTree& tree,

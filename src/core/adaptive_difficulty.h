@@ -104,6 +104,16 @@ class AdaptiveDifficulty final : public consensus::DifficultyPolicy {
   std::unordered_map<ledger::BlockHash, ledger::BlockHash, Hash32Hasher>
       boundary_cache_;
   std::unordered_map<ledger::BlockHash, EpochTable, Hash32Hasher> table_cache_;
+  // Two-entry memo for table_for(): each block arrival triggers a validation
+  // lookup against the block's parent and a mining re-arm against the new
+  // head — two keys that alternate, so one slot per pattern avoids thrashing.
+  // The pointers stay valid across rehashes (unordered_map nodes are
+  // stable), and the boundary of a given parent hash is tree-independent
+  // (the parent chain is content-addressed), so keying on the hash alone is
+  // sound.
+  ledger::BlockHash memo_parent_[2] = {};
+  const EpochTable* memo_table_[2] = {nullptr, nullptr};
+  unsigned memo_next_ = 0;
 };
 
 }  // namespace themis::core

@@ -38,13 +38,34 @@ GeostRule::Priority GeostRule::priority_of(const BlockTree& tree,
 
 BlockHash GeostRule::pick_child(const BlockTree& tree,
                                 const std::vector<BlockHash>& children) const {
+  // Same decision as comparing priority_of() for every child, but σ_f² —
+  // Θ(n_nodes) when its cache is stale — is evaluated only on an actual
+  // weight tie, which the weight-first ordering makes rare once one subtree
+  // pulls ahead.
   BlockHash best = children[0];
-  Priority best_priority = priority_of(tree, best);
+  std::uint64_t best_weight = tree.subtree_size(best);
+  bool have_best_variance = false;
+  double best_variance = 0.0;
   for (std::size_t i = 1; i < children.size(); ++i) {
-    const Priority candidate = priority_of(tree, children[i]);
-    if (candidate.preferred_over(best_priority)) {
-      best = children[i];
-      best_priority = candidate;
+    const BlockHash& candidate = children[i];
+    const std::uint64_t weight = tree.subtree_size(candidate);
+    if (weight < best_weight) continue;
+    if (weight > best_weight) {
+      best = candidate;
+      best_weight = weight;
+      have_best_variance = false;
+      continue;
+    }
+    if (!have_best_variance) {
+      best_variance = subtree_equality_variance(tree, best, n_nodes_);
+      have_best_variance = true;
+    }
+    const double variance = subtree_equality_variance(tree, candidate, n_nodes_);
+    if (variance < best_variance ||
+        (variance == best_variance &&
+         tree.receipt_seq(candidate) < tree.receipt_seq(best))) {
+      best = candidate;
+      best_variance = variance;
     }
   }
   return best;

@@ -1,0 +1,406 @@
+#include "net/event_queue.h"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace themis::net {
+
+CalendarQueue::CalendarQueue() : buckets_(kMinBuckets) {
+  window_upper_ = bucket_width();  // cursor parked on bucket 0's first window
+}
+
+std::int64_t CalendarQueue::ring_limit() const {
+  const int span_bits =
+      width_shift_ + std::countr_zero(buckets_.size());
+  if (span_bits >= 62) return std::numeric_limits<std::int64_t>::max();
+  const std::int64_t span = std::int64_t{1} << span_bits;
+  const std::int64_t lower = window_lower();
+  if (lower > std::numeric_limits<std::int64_t>::max() - span) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return lower + span;
+}
+
+void CalendarQueue::set_cursor(std::int64_t t) {
+  cur_ = bucket_index(t);
+  const std::uint64_t window = (static_cast<std::uint64_t>(t) >> width_shift_) + 1;
+  window_upper_ = static_cast<std::int64_t>(window << width_shift_);
+}
+
+std::uint32_t CalendarQueue::allocate_slot() {
+  if (free_head_ != kNoFree) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slot_ref(slot).next_free;
+    return slot;
+  }
+  if ((slot_count_ & (kSlabChunk - 1)) == 0) {
+    slab_.push_back(std::make_unique<Slot[]>(kSlabChunk));
+  }
+  return slot_count_++;
+}
+
+void CalendarQueue::release_slot(std::uint32_t slot) {
+  Slot& s = slot_ref(slot);
+  s.bucket = kFreeBucket;
+  if (++s.gen == 0) s.gen = 1;  // ids are never 0 (see header)
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void CalendarQueue::bucket_push(Bucket& bucket, Entry e) {
+  if (!bucket.dirty && bucket.head < bucket.entries.size()) {
+    const Entry& back = bucket.entries.back();
+    if (back.time > e.time || (back.time == e.time && back.seq > e.seq)) {
+      bucket.dirty = true;
+    }
+  }
+  // First use of a bucket: skip the 1/2/4-capacity doubling ramp (three
+  // mallocs per bucket adds up across a large ring).
+  if (bucket.entries.capacity() == 0) bucket.entries.reserve(8);
+  bucket.entries.push_back(e);
+}
+
+void CalendarQueue::ensure_sorted(Bucket& bucket) {
+  if (!bucket.dirty) return;
+  const std::size_t pending = bucket.entries.size() - bucket.head;
+  // Count only *re*-sorts (head > 0): a fresh bucket's first sort — however
+  // big the burst — happens once and is the design's intended cost, while a
+  // re-sort after consumption began means interleaved pushes keep re-dirtying
+  // the cursor's bucket.  Weight by size, not count: one 10k-entry bucket
+  // re-sorted on 5% of pops dominates the run even though 95% are clean.
+  if (bucket.head > 0 && pending > kOversizeSort) {
+    oversize_sorts_since_rebuild_ += pending;
+    ++oversize_sorts_;
+  }
+  std::sort(bucket.entries.begin() + bucket.head, bucket.entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.seq < b.seq;
+            });
+  bucket.dirty = false;
+}
+
+EventId CalendarQueue::push(SimTime time, EventFn fn) {
+  const std::int64_t t = time.count_nanos();
+#if defined(__GNUC__)
+  // A large ring makes the target bucket a near-guaranteed cache miss; start
+  // that fetch now so it overlaps the slot write below.  (Harmless when the
+  // event ends up in the far heap instead.)
+  __builtin_prefetch(&buckets_[bucket_index(t)], 1);
+#endif
+  const std::uint32_t slot = allocate_slot();
+  Slot& s = slot_ref(slot);
+  s.fn = std::move(fn);
+  s.seq = next_seq_++;
+  const EventId id = make_id(s.gen, slot);
+  ++live_;
+  peak_live_ = std::max(peak_live_, live_);
+  // Cursor invariant: no live event — in either tier — may lie before the
+  // cursor's current window, or the sweep would fire a later event first.
+  // Pull the cursor back when an earlier event arrives (and park it outright
+  // when the queue was empty, where the cursor position is stale).
+  if (live_ == 1 || t < window_lower()) set_cursor(t);
+  if (t >= ring_limit()) {
+    // Beyond the ring's one-lap horizon (a far-future mining timer): park in
+    // the far heap — plain POD sift, no callback motion, O(1) cancel.
+    s.bucket = kFarBucket;
+    far_.push_back(Entry{t, s.seq, slot});
+    std::push_heap(far_.begin(), far_.end(), far_later);
+  } else {
+    const std::size_t b = bucket_index(t);
+    s.bucket = static_cast<std::uint32_t>(b);
+    bucket_push(buckets_[b], Entry{t, s.seq, slot});
+    maybe_grow();
+  }
+  return id;
+}
+
+bool CalendarQueue::cancel(EventId id) {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slot_count_) return false;
+  Slot& s = slot_ref(slot);
+  if (s.bucket == kFreeBucket || s.gen != gen) return false;
+  if (s.bucket == kFarBucket) {
+    // Far-heap cancel is O(1): the heap entry becomes residue that far_top()
+    // skims and compact_far() bounds; the slot itself is reclaimed eagerly.
+    ++far_dead_;
+    s.fn = EventFn();
+    release_slot(slot);
+    --live_;
+    ++cancelled_;
+    if (far_dead_ * 2 > far_.size()) compact_far();
+    return true;
+  }
+  Bucket& bucket = buckets_[s.bucket];
+  for (auto it = bucket.entries.begin() + bucket.head;
+       it != bucket.entries.end(); ++it) {
+    if (it->slot == slot) {
+      bucket.entries.erase(it);
+      break;
+    }
+  }
+  if (bucket.drained()) bucket.reset();
+  s.fn = EventFn();  // destroy the callback (and its captures) eagerly
+  release_slot(slot);
+  --live_;
+  ++cancelled_;
+  return true;
+}
+
+const CalendarQueue::Entry* CalendarQueue::far_top() {
+  while (!far_.empty()) {
+    if (!far_stale(far_.front())) return &far_.front();
+    far_pop_top();
+    --far_dead_;
+  }
+  return nullptr;
+}
+
+void CalendarQueue::far_pop_top() {
+  std::pop_heap(far_.begin(), far_.end(), far_later);
+  far_.pop_back();
+}
+
+void CalendarQueue::compact_far() {
+  std::erase_if(far_, [this](const Entry& e) { return far_stale(e); });
+  std::make_heap(far_.begin(), far_.end(), far_later);
+  far_dead_ = 0;
+}
+
+void CalendarQueue::migrate_due() {
+  while (const Entry* top = far_top()) {
+    if (top->time >= window_upper_) break;
+    const Entry e = *top;
+    far_pop_top();
+    const std::size_t b = bucket_index(e.time);
+    slot_ref(e.slot).bucket = static_cast<std::uint32_t>(b);
+    bucket_push(buckets_[b], e);
+    ++migrations_;
+    ++migrations_since_rebuild_;
+  }
+}
+
+const CalendarQueue::Entry& CalendarQueue::find_min() {
+  if (ring_live() == 0) {
+    // Ring is empty; jump straight to the far minimum instead of sweeping.
+    set_cursor(far_top()->time);
+  }
+  std::size_t scanned = 0;
+  for (;;) {
+    if (!far_.empty()) migrate_due();
+    Bucket& bucket = buckets_[cur_];
+    if (!bucket.drained()) {
+      ensure_sorted(bucket);
+      if (bucket.front().time < window_upper_) return bucket.front();
+    }
+    cur_ = (cur_ + 1) & (buckets_.size() - 1);
+    window_upper_ += bucket_width();
+    if (++scanned > buckets_.size()) {
+      // A full fruitless lap: the ring is sparse relative to the calendar
+      // span.  Find the minimum directly and park the cursor there.
+      direct_search();
+      scanned = 0;
+    }
+  }
+}
+
+void CalendarQueue::direct_search() {
+  ++direct_searches_;
+  const Entry* best = nullptr;
+  const auto consider = [&best](const Entry& e) {
+    if (best == nullptr || e.time < best->time ||
+        (e.time == best->time && e.seq < best->seq)) {
+      best = &e;
+    }
+  };
+  for (const Bucket& bucket : buckets_) {
+    if (bucket.drained()) continue;
+    if (!bucket.dirty) {
+      consider(bucket.front());
+      continue;
+    }
+    // Dirty buckets are unsorted; their minimum is anywhere in the suffix.
+    for (std::size_t i = bucket.head; i < bucket.entries.size(); ++i) {
+      consider(bucket.entries[i]);
+    }
+  }
+  if (const Entry* f = far_top()) {
+    if (best == nullptr || f->time < best->time ||
+        (f->time == best->time && f->seq < best->seq)) {
+      best = f;
+    }
+  }
+  set_cursor(best->time);
+}
+
+SimTime CalendarQueue::peek_time() {
+  expects(live_ > 0, "peek on an empty queue");
+  return SimTime::nanos(find_min().time);
+}
+
+CalendarQueue::Fired CalendarQueue::pop() {
+  expects(live_ > 0, "pop on an empty queue");
+  // Migration pressure: when most pops had to pull their event over from the
+  // far heap, the ring's one-lap horizon is shorter than the live event
+  // spread — the calendar has degenerated into a binary heap.  Re-sample the
+  // width from the full population and rebuild.  (Workloads that genuinely
+  // are sparse far-future churn keep a low pop rate and never trip this.)
+  ++pops_since_rebuild_;
+  if (migrations_since_rebuild_ > 4096 &&
+      migrations_since_rebuild_ > pops_since_rebuild_ / 2) {
+    rebuild(std::max(kMinBuckets, std::bit_ceil(live_)));
+  }
+  // The opposite degeneration: the width is too *wide*, a whole event wave
+  // shares one window, and interleaved pushes re-dirty the cursor's bucket so
+  // pops keep re-sorting thousands of entries — O(n log n) per event, worse
+  // than the heap this replaced.  The counter accumulates *entries sorted* in
+  // oversized lazy sorts, so a one-off burst (sorted once, then consumed in
+  // order) stays under the threshold while a re-dirtied giant bucket trips it
+  // within a few pops.  (The width was sampled from whatever population the
+  // last rebuild saw — often just the sparse mining timers — and this is how
+  // the calendar re-learns the dense delivery-wave spacing.)
+  if (oversize_sorts_since_rebuild_ > 4096 &&
+      oversize_sorts_since_rebuild_ > pops_since_rebuild_ * 8) {
+    rebuild(std::max(kMinBuckets, std::bit_ceil(live_)));
+  }
+  const Entry e = find_min();
+  Bucket& bucket = buckets_[cur_];
+  ++bucket.head;
+  if (bucket.drained()) {
+    bucket.reset();
+  } else {
+#if defined(__GNUC__)
+    // The very next pop will move this slot's callback out; fetching it now
+    // hides that miss behind the caller's handling of the current event.
+    __builtin_prefetch(&slot_ref(bucket.front().slot), 1);
+#endif
+  }
+  Slot& s = slot_ref(e.slot);
+  Fired fired{SimTime::nanos(e.time), std::move(s.fn)};
+  release_slot(e.slot);
+  --live_;
+  return fired;
+}
+
+// The calendar grows but never shrinks: an empty ring costs nothing (pop
+// jumps the cursor straight to the far minimum) and a sparse one is capped
+// by direct_search, while shrinking would re-sample the width from whatever
+// sparse population remains — the far-future timer tail — and mis-tune the
+// calendar for the next burst.  Memory stays bounded by the peak population.
+void CalendarQueue::maybe_grow() {
+  if (ring_live() <= buckets_.size() * 2) return;
+  rebuild(std::max(kMinBuckets, std::bit_ceil(live_)));
+}
+
+int CalendarQueue::pick_width_shift(const std::vector<Entry>& sorted_entries) {
+  if (sorted_entries.size() < 2) return width_shift_;
+  // Sample the *median* gap among the soonest events — they set pop's scan
+  // cost.  The median is what makes the width robust to the bimodal
+  // population: the mean is blown up by the far-future timer tail (windows
+  // of seconds, a whole gossip wave in one bucket) and the minimum collapses
+  // under a same-instant burst (1 us windows, a ring covering almost
+  // nothing).
+  const std::size_t k = std::min(sorted_entries.size(), kWidthSample);
+  const std::int64_t span = sorted_entries[k - 1].time - sorted_entries[0].time;
+  if (span <= 0) return kMinWidthShift;
+  gap_scratch_.clear();
+  for (std::size_t i = 1; i < k; ++i) {
+    gap_scratch_.push_back(sorted_entries[i].time - sorted_entries[i - 1].time);
+  }
+  const auto mid = gap_scratch_.begin() +
+                   static_cast<std::ptrdiff_t>(gap_scratch_.size() / 2);
+  std::nth_element(gap_scratch_.begin(), mid, gap_scratch_.end());
+  // A median of 0 means ties dominate the sample; fall back to the mean.
+  std::uint64_t gap = static_cast<std::uint64_t>(*mid);
+  if (gap == 0) {
+    gap = static_cast<std::uint64_t>(span) / static_cast<std::uint64_t>(k - 1);
+  }
+  // Aim for a few events per window so a pop scans a handful of entries.
+  const std::uint64_t width = std::bit_ceil(std::max<std::uint64_t>(4 * gap, 2));
+  const int shift = std::countr_zero(width);
+  return std::clamp(shift, kMinWidthShift, kMaxWidthShift);
+}
+
+void CalendarQueue::rebuild(std::size_t new_bucket_count) {
+  // Gather *both* tiers: the width must be sampled from the full live
+  // population, or a ring that has degenerated (everything far) can never
+  // re-learn a useful span.
+  scratch_.clear();
+  for (const Bucket& bucket : buckets_) {
+    scratch_.insert(scratch_.end(), bucket.entries.begin() + bucket.head,
+                    bucket.entries.end());
+  }
+  for (const Entry& e : far_) {
+    if (!far_stale(e)) scratch_.push_back(e);
+  }
+  far_.clear();
+  far_dead_ = 0;
+  // Width sampling only reads the soonest kWidthSample entries in order, so
+  // partition-and-sort that prefix — O(n + k log k) — instead of sorting the
+  // whole live population.  The rest of scratch_ stays unsorted; bucket
+  // appends below mark their buckets dirty and the cursor sweep sorts each
+  // one lazily on first touch (n small sorts at bucket occupancy, far
+  // cheaper than one O(n log n) pass, and only for buckets actually reached).
+  const auto before = [](const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  };
+  const std::size_t k = std::min(scratch_.size(), kWidthSample);
+  if (k > 0) {
+    if (scratch_.size() > k) {
+      std::nth_element(scratch_.begin(),
+                       scratch_.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                       scratch_.end(), before);
+    }
+    std::sort(scratch_.begin(),
+              scratch_.begin() + static_cast<std::ptrdiff_t>(k), before);
+  }
+  width_shift_ = pick_width_shift(scratch_);
+  // Keep bucket capacity across rebuilds: reset() instead of assign() so a
+  // steady-state repartition re-mallocs nothing.
+  if (new_bucket_count != buckets_.size()) buckets_.resize(new_bucket_count);
+  for (Bucket& bucket : buckets_) bucket.reset();
+  ++rebuilds_;
+  pops_since_rebuild_ = 0;
+  migrations_since_rebuild_ = 0;
+  oversize_sorts_since_rebuild_ = 0;
+  if (scratch_.empty()) return;
+  // Park the cursor at the global minimum *before* partitioning, so the new
+  // one-lap horizon starts there.
+  set_cursor(scratch_.front().time);
+  const std::int64_t limit = ring_limit();
+  // Anything past the new one-lap horizon returns to the far heap
+  // (heapified once at the end).
+  for (const Entry& e : scratch_) {
+    if (e.time >= limit) {
+      slot_ref(e.slot).bucket = kFarBucket;
+      far_.push_back(e);
+      continue;
+    }
+    const std::size_t b = bucket_index(e.time);
+    slot_ref(e.slot).bucket = static_cast<std::uint32_t>(b);
+    bucket_push(buckets_[b], e);
+  }
+  std::make_heap(far_.begin(), far_.end(), far_later);
+}
+
+CalendarQueue::Stats CalendarQueue::stats() const {
+  Stats s;
+  s.live = live_;
+  s.peak_live = peak_live_;
+  s.bucket_count = buckets_.size();
+  s.width_shift = width_shift_;
+  s.arena_slots = slot_count_;
+  s.free_slots = slot_count_ - live_;
+  s.rebuilds = rebuilds_;
+  s.cancelled = cancelled_;
+  s.direct_searches = direct_searches_;
+  s.far_live = far_live();
+  s.far_migrations = migrations_;
+  s.oversize_sorts = oversize_sorts_;
+  return s;
+}
+
+}  // namespace themis::net

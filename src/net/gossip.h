@@ -7,6 +7,12 @@
 // correctness is unit-tested separately, and carrying pointers keeps large
 // simulations (hundreds of nodes, thousands of blocks) cheap.
 //
+// The fanout is zero-copy: one immutable Message is built per broadcast (or
+// unicast) and every in-flight delivery shares it by shared_ptr, so the
+// per-recipient cost is a refcount bump and a 32-byte inline event capture —
+// no Message copy, no payload copy, no allocation.  Per-node duplicate
+// suppression is a lazily-grown bitmap over the monotone message ids.
+//
 // Direct point-to-point send() shares the same link model; the PBFT baseline
 // is built on it.
 #pragma once
@@ -14,7 +20,7 @@
 #include <any>
 #include <cstdint>
 #include <functional>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -78,14 +84,19 @@ class GossipNetwork {
   }
 
  private:
-  void deliver(PeerId from, PeerId to, Message msg);
-  void relay(PeerId node, const Message& msg, PeerId skip);
+  void deliver(PeerId from, PeerId to, std::shared_ptr<const Message> msg);
+  void arrive(PeerId from, PeerId to, const std::shared_ptr<const Message>& msg);
+  void relay(PeerId node, const std::shared_ptr<const Message>& msg, PeerId skip);
+  /// Mark `id` seen by `node`; returns true when it was new.
+  bool first_sight(PeerId node, std::uint64_t id);
 
   Simulation& sim_;
   AccessLinkModel links_;
   std::vector<std::vector<PeerId>> peers_;
   std::vector<Handler> handlers_;
-  std::vector<std::unordered_set<std::uint64_t>> seen_;  // per-node dedup
+  /// Per-node dedup bitmaps indexed by message id (ids are monotone from 1,
+  /// so the bitmap grows lazily to next_message_id_/8 bytes per node).
+  std::vector<std::vector<std::uint64_t>> seen_;
   std::function<bool(PeerId, PeerId, const Message&)> drop_filter_;
   std::uint64_t next_message_id_ = 1;
   std::uint64_t messages_delivered_ = 0;

@@ -1,51 +1,35 @@
 #include "net/simulation.h"
 
+#include <algorithm>
+
 namespace themis::net {
 
-EventId Simulation::schedule_at(SimTime t, std::function<void()> fn) {
+EventId Simulation::schedule_at(SimTime t, EventFn fn) {
   expects(t >= now_, "cannot schedule into the past");
-  expects(fn != nullptr, "event callback must not be null");
-  const EventId id = next_id_++;
-  queue_.push(Event{t, id, std::move(fn)});
-  live_.insert(id);
-  return id;
+  expects(static_cast<bool>(fn), "event callback must not be null");
+  return queue_.push(t, std::move(fn));
 }
 
-EventId Simulation::schedule_after(SimTime delay, std::function<void()> fn) {
+EventId Simulation::schedule_after(SimTime delay, EventFn fn) {
   expects(delay >= SimTime::zero(), "delay must be non-negative");
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-bool Simulation::cancel(EventId id) {
-  // Lazy deletion: drop the id from the live set and skip the queue entry
-  // when it surfaces.  Fired and already-cancelled ids are no longer live, so
-  // re-cancelling them is a detectable no-op.
-  return live_.erase(id) > 0;
-}
+bool Simulation::cancel(EventId id) { return queue_.cancel(id); }
 
 bool Simulation::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (live_.erase(ev.id) == 0) continue;  // cancelled
-    now_ = ev.time;
-    ++events_processed_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  if (queue_.empty()) return false;
+  // The callback is moved out of the arena before it runs, so an event is
+  // free to schedule, cancel, or grow the queue while firing.
+  CalendarQueue::Fired fired = queue_.pop();
+  now_ = fired.time;
+  ++events_processed_;
+  fired.fn();
+  return true;
 }
 
 void Simulation::run_until(SimTime deadline) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (!live_.contains(top.id)) {
-      queue_.pop();
-      continue;
-    }
-    if (top.time > deadline) break;
-    step();
-  }
+  while (!queue_.empty() && queue_.peek_time() <= deadline) step();
   now_ = std::max(now_, deadline);
 }
 

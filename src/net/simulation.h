@@ -5,24 +5,25 @@
 // `now + transmission + propagation`.  Events at equal timestamps execute in
 // schedule order (a monotone sequence number breaks ties), which makes every
 // run bit-reproducible for a fixed seed.
+//
+// The queue behind this API is a bucketed calendar with an arena-pooled
+// event slab (see net/event_queue.h): O(1) amortized schedule/fire with no
+// steady-state allocation, and eager reclamation on cancel so pending()
+// never drifts and cancelled events hold no memory.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
 #include "common/sim_time.h"
+#include "net/event_queue.h"
 
 namespace themis::obs {
 struct Observability;
 }
 
 namespace themis::net {
-
-using EventId = std::uint64_t;
 
 class Simulation {
  public:
@@ -33,10 +34,10 @@ class Simulation {
   SimTime now() const { return now_; }
 
   /// Schedule `fn` at absolute time `t` (must be >= now).
-  EventId schedule_at(SimTime t, std::function<void()> fn);
+  EventId schedule_at(SimTime t, EventFn fn);
 
   /// Schedule `fn` after a non-negative delay.
-  EventId schedule_after(SimTime delay, std::function<void()> fn);
+  EventId schedule_after(SimTime delay, EventFn fn);
 
   /// Cancel a pending event.  Cancelling an already-fired, already-cancelled
   /// or unknown id is a no-op (returns false).
@@ -54,7 +55,10 @@ class Simulation {
 
   std::uint64_t events_processed() const { return events_processed_; }
   /// Scheduled events that have neither fired nor been cancelled.
-  std::size_t pending() const { return live_.size(); }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Queue occupancy / compaction counters (see CalendarQueue::Stats).
+  CalendarQueue::Stats queue_stats() const { return queue_.stats(); }
 
   /// Attach (or detach, with nullptr) an observability bundle.  The
   /// simulation core itself records nothing; components built on this
@@ -64,27 +68,9 @@ class Simulation {
   obs::Observability* obs() const { return obs_; }
 
  private:
-  struct Event {
-    SimTime time;
-    EventId id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO among equal timestamps
-    }
-  };
-
   SimTime now_;
-  EventId next_id_ = 1;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  /// Ids still live in the queue.  cancel() removes from here (lazy deletion:
-  /// the queue entry is skipped when popped); step() removes on fire.  An id
-  /// absent from this set has fired or been cancelled, so cancelling it again
-  /// is a detectable no-op and pending() never drifts.
-  std::unordered_set<EventId> live_;
+  CalendarQueue queue_;
   obs::Observability* obs_ = nullptr;
 };
 
