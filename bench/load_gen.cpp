@@ -17,15 +17,18 @@
 // consensus math: GHOST fork choice keeps the fork-choice cost independent
 // of the (deliberately inflated) consensus-set size.
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -63,7 +66,11 @@ constexpr std::string_view kUsage =
     "  --floors=<path>   JSON perf floors; exit 2 when violated, e.g.\n"
     "                    {\"min_confirmed_tps\": 100, \"max_p99_ms\": 5000,\n"
     "                     \"max_submit_errors\": 0,\n"
-    "                     \"require_all_confirmed\": true}\n"
+    "                     \"require_all_confirmed\": true,\n"
+    "                     \"require_stage_histograms\": true}\n"
+    "                    (the last asserts every tx-lifecycle stage histogram\n"
+    "                    — verify/pool/inclusion/confirm/e2e — carries data;\n"
+    "                    fails under THEMIS_MIN_TELEMETRY builds by design)\n"
     "  --quick           smaller run for CI (2 nodes, 2 clients, 40 txs)\n";
 
 /// One RPC endpoint ("host:port") to aim clients at.
@@ -400,6 +407,25 @@ int main(int argc, char** argv) {
   std::uint64_t chain_confirmed = 0, chain_returned = 0, chain_purged = 0;
   std::uint64_t pool_left = 0;
   std::uint64_t height = 0;
+  // Tx-lifecycle stage latencies from the nodes' live histograms, merged
+  // across nodes: counts sum (each tx is staged on the node that admitted
+  // it), latencies keep the worst node (a conservative fleet-wide bound).
+  struct StageAgg {
+    std::uint64_t count = 0;
+    double mean_ms = 0.0, p50_ms = 0.0, p99_ms = 0.0;
+  };
+  constexpr std::array<std::string_view, 5> kStageKeys = {
+      "verify", "pool", "inclusion", "confirm", "e2e"};
+  std::map<std::string, StageAgg, std::less<>> stage_aggs;
+  const auto merge_stage = [&stage_aggs](std::string_view key,
+                                         std::uint64_t count, double mean_ms,
+                                         double p50_ms, double p99_ms) {
+    StageAgg& agg = stage_aggs[std::string(key)];
+    agg.count += count;
+    agg.mean_ms = std::max(agg.mean_ms, mean_ms);
+    agg.p50_ms = std::max(agg.p50_ms, p50_ms);
+    agg.p99_ms = std::max(agg.p99_ms, p99_ms);
+  };
   for (const auto& node : nodes) {
     const auto stats = node->chain_stats();
     chain_confirmed = std::max(chain_confirmed, stats.txs_confirmed);
@@ -407,6 +433,18 @@ int main(int argc, char** argv) {
     chain_purged += stats.txs_purged;
     pool_left += node->pool_depth();
     height = std::max(height, node->head_height());
+    for (const auto& h : node->live_registry().histogram_samples()) {
+      std::string_view key;
+      if (h.name == "themis_tx_stage_verify_seconds") key = "verify";
+      else if (h.name == "themis_tx_stage_pool_seconds") key = "pool";
+      else if (h.name == "themis_tx_stage_inclusion_seconds") key = "inclusion";
+      else if (h.name == "themis_tx_stage_confirm_seconds") key = "confirm";
+      else if (h.name == "themis_tx_e2e_seconds") key = "e2e";
+      else continue;
+      merge_stage(key, h.snap.total, h.snap.mean_ns() / 1e6,
+                  h.snap.quantile_ns(0.50) / 1e6,
+                  h.snap.quantile_ns(0.99) / 1e6);
+    }
   }
   if (external) {
     for (const Endpoint& ep : endpoints) {
@@ -426,6 +464,14 @@ int main(int argc, char** argv) {
         chain_purged += tx["purged"].as_u64();
         pool_left += tx["pool_depth"].as_u64();
         height = std::max(height, metrics["chain"]["height"].as_u64());
+        if (metrics["stages"].is_object()) {
+          for (const std::string_view key : kStageKeys) {
+            const rpc::Json& s = metrics["stages"][std::string(key)];
+            if (!s.is_object()) continue;
+            merge_stage(key, s["count"].as_u64(), s["mean_ms"].as_double(),
+                        s["p50_ms"].as_double(), s["p99_ms"].as_double());
+          }
+        }
       } catch (const rpc::JsonError&) {
         std::cerr << "warning: bad /metrics payload from " << ep.host << ":"
                   << ep.port << "\n";
@@ -452,6 +498,16 @@ int main(int argc, char** argv) {
             << " reorg_returned=" << chain_returned
             << " purged=" << chain_purged << " pool_left=" << pool_left
             << "\n";
+  if (!stage_aggs.empty()) {
+    std::cout << "  stages(ms p50/p99):";
+    for (const std::string_view key : kStageKeys) {
+      const auto it = stage_aggs.find(key);
+      if (it == stage_aggs.end()) continue;
+      std::cout << " " << key << "=" << it->second.p50_ms << "/"
+                << it->second.p99_ms << " (n=" << it->second.count << ")";
+    }
+    std::cout << "\n";
+  }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
@@ -476,7 +532,20 @@ int main(int argc, char** argv) {
           << ", \"txs_confirmed\": " << chain_confirmed
           << ", \"txs_returned\": " << chain_returned
           << ", \"txs_purged\": " << chain_purged
-          << ", \"pool_left\": " << pool_left << "}\n"
+          << ", \"pool_left\": " << pool_left << "},\n"
+          << "  \"stages\": {";
+      bool first_stage = true;
+      for (const std::string_view key : kStageKeys) {
+        const auto it = stage_aggs.find(key);
+        if (it == stage_aggs.end()) continue;
+        out << (first_stage ? "" : ", ") << "\"" << key
+            << "\": {\"count\": " << it->second.count
+            << ", \"mean_ms\": " << it->second.mean_ms
+            << ", \"p50_ms\": " << it->second.p50_ms
+            << ", \"p99_ms\": " << it->second.p99_ms << "}";
+        first_stage = false;
+      }
+      out << "}\n"
           << "}\n";
       std::cerr << "[load_gen] wrote " << json_path << "\n";
     }
@@ -524,6 +593,26 @@ int main(int argc, char** argv) {
         floors["require_all_confirmed"].as_bool() && confirmed < submitted) {
       fail(std::to_string(submitted - confirmed) +
            " transactions never confirmed");
+    }
+    if (floors.has("require_stage_histograms") &&
+        floors["require_stage_histograms"].as_bool()) {
+      // Every lifecycle stage must have recorded data (zero counts mean the
+      // stage wiring regressed — or telemetry was compiled out) and the
+      // estimated quantiles must be ordered sanely.
+      for (const std::string_view key : kStageKeys) {
+        const auto it = stage_aggs.find(key);
+        if (it == stage_aggs.end() || it->second.count == 0) {
+          fail("stage histogram '" + std::string(key) + "' recorded no data");
+          continue;
+        }
+        if (it->second.p99_ms + 1e-9 < it->second.p50_ms ||
+            it->second.p50_ms < 0) {
+          fail("stage histogram '" + std::string(key) +
+               "' has inconsistent quantiles (p50=" +
+               std::to_string(it->second.p50_ms) +
+               "ms p99=" + std::to_string(it->second.p99_ms) + "ms)");
+        }
+      }
     }
     if (violated) return 2;
     std::cerr << "[load_gen] all perf floors met (" << floors_path << ")\n";

@@ -60,6 +60,7 @@ bool TxPool::add(SignedTransaction stx) {
   shard.by_sender[sender].emplace(nonce, id);
   shard.by_seq.emplace(seq, id);
   size_.fetch_add(1, std::memory_order_relaxed);
+  if (added_counter_ != nullptr) added_counter_->inc();
   return true;
 }
 
@@ -263,6 +264,7 @@ bool TxPool::evict_global_oldest() {
   if (oldest_shard == nullptr) return false;
   const TxId id = oldest_shard->by_seq.begin()->second;
   erase_locked(*oldest_shard, id, oldest_shard->by_id.at(id));
+  if (evicted_counter_ != nullptr) evicted_counter_->inc();
   return true;
 }
 

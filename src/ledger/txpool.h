@@ -44,12 +44,22 @@
 #include <vector>
 
 #include "ledger/transaction.h"
+#include "obs/live/registry.h"  // header-only Counter; no obs link needed
 
 namespace themis::ledger {
 
 class TxPool {
  public:
   explicit TxPool(std::size_t capacity = 1 << 20, std::size_t shards = 16);
+
+  /// Attach live counters bumped on every successful insert / capacity
+  /// eviction (wait-free relaxed atomics; null = not tracked).  Install
+  /// before concurrent use; the counters must outlive the pool.
+  void set_live_counters(obs::live::Counter* added,
+                         obs::live::Counter* evicted) {
+    added_counter_ = added;
+    evicted_counter_ = evicted;
+  }
 
   /// Insert if not already known; returns false for duplicates.
   /// At capacity, the oldest pending transaction is evicted first.
@@ -121,6 +131,8 @@ class TxPool {
   std::atomic<std::uint64_t> next_seq_{0};
   std::atomic<std::size_t> size_{0};
   std::vector<Shard> shards_;
+  obs::live::Counter* added_counter_ = nullptr;
+  obs::live::Counter* evicted_counter_ = nullptr;
 };
 
 }  // namespace themis::ledger

@@ -6,14 +6,12 @@ namespace themis::obs {
 
 double Histogram::min() const {
   if (values_.empty()) return 0.0;
-  sort_if_needed();
-  return values_.front();
+  return sorted().front();
 }
 
 double Histogram::max() const {
   if (values_.empty()) return 0.0;
-  sort_if_needed();
-  return values_.back();
+  return sorted().back();
 }
 
 double Histogram::mean() const {
@@ -25,14 +23,13 @@ double Histogram::mean() const {
 
 double Histogram::percentile(double p) const {
   if (values_.empty()) return 0.0;
-  sort_if_needed();
+  const std::vector<double>& s = sorted();
   const double clamped = std::clamp(p, 0.0, 100.0);
   // Nearest-rank: smallest value with at least ceil(p/100 * n) samples <= it.
-  const auto n = static_cast<double>(values_.size());
-  const auto rank =
-      static_cast<std::size_t>(std::ceil(clamped / 100.0 * n));
+  const auto n = static_cast<double>(s.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(clamped / 100.0 * n));
   const std::size_t idx = rank == 0 ? 0 : rank - 1;
-  return values_[std::min(idx, values_.size() - 1)];
+  return s[std::min(idx, s.size() - 1)];
 }
 
 }  // namespace themis::obs

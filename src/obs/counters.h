@@ -21,13 +21,18 @@
 namespace themis::obs {
 
 /// Exact-value histogram sized for simulation runs: keeps every sample and
-/// sorts on demand for percentiles.  (Runs record at most a few hundred
-/// thousand samples; exactness beats bucketing error here.)
+/// sorts a separate copy on demand for percentiles.  (Runs record at most a
+/// few hundred thousand samples; exactness beats bucketing error here.)
+///
+/// values() preserves insertion order: percentile()/min()/max() sort a
+/// lazily-maintained copy, never the sample vector itself, so a caller
+/// iterating or serializing values() cannot have the order shuffled out from
+/// under it by an interleaved percentile query.
 class Histogram {
  public:
   void record(double value) {
     values_.push_back(value);
-    sorted_ = false;
+    sorted_valid_ = false;
   }
 
   std::size_t count() const { return values_.size(); }
@@ -37,16 +42,20 @@ class Histogram {
   /// Nearest-rank percentile, p in [0, 100].  0 for an empty histogram.
   double percentile(double p) const;
 
+  /// Samples in insertion order (stable across percentile queries).
   const std::vector<double>& values() const { return values_; }
 
  private:
-  mutable std::vector<double> values_;
-  mutable bool sorted_ = false;
-  void sort_if_needed() const {
-    if (!sorted_) {
-      std::sort(values_.begin(), values_.end());
-      sorted_ = true;
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  const std::vector<double>& sorted() const {
+    if (!sorted_valid_) {
+      sorted_ = values_;
+      std::sort(sorted_.begin(), sorted_.end());
+      sorted_valid_ = true;
     }
+    return sorted_;
   }
 };
 

@@ -1,0 +1,121 @@
+#include "obs/live/prometheus.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_set>
+
+namespace themis::obs::live {
+
+namespace {
+
+/// Shortest decimal that round-trips a double (Prometheus values are
+/// float64); integers come out without an exponent or trailing zeros.
+std::string format_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  for (int precision = 1; precision < 17; ++precision) {
+    char attempt[64];
+    std::snprintf(attempt, sizeof(attempt), "%.*g", precision, v);
+    std::sscanf(attempt, "%lf", &parsed);
+    if (parsed == v) return attempt;
+  }
+  return buf;
+}
+
+/// Emit HELP/TYPE once per family (the name before any '{' label set).
+void emit_header(std::string& out, std::unordered_set<std::string>& seen,
+                 std::string_view name, const std::string& help,
+                 std::string_view type) {
+  const std::string family(family_of(name));
+  if (!seen.insert(family).second) return;
+  if (!help.empty()) {
+    out += "# HELP ";
+    out += family;
+    out += ' ';
+    out += help;
+    out += '\n';
+  }
+  out += "# TYPE ";
+  out += family;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+/// Splice `extra` into a sample name that may already carry labels:
+/// f("x", le) -> x{le}, f("x{a=\"b\"}", le) -> x{a="b",le}.
+std::string with_label(std::string_view name, const std::string& extra,
+                       const char* suffix) {
+  const std::string family(family_of(name));
+  std::string labels;
+  if (family.size() < name.size()) {
+    // strip the braces from the existing label set
+    labels = std::string(name.substr(family.size() + 1,
+                                     name.size() - family.size() - 2));
+  }
+  std::string out = family;
+  out += suffix;
+  out += '{';
+  if (!labels.empty()) {
+    out += labels;
+    out += ',';
+  }
+  out += extra;
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string render_prometheus(const Registry& registry) {
+  std::string out;
+  out.reserve(4096);
+  std::unordered_set<std::string> seen;
+  char line[256];
+
+  for (const auto& s : registry.counter_samples()) {
+    emit_header(out, seen, s.name, s.help, "counter");
+    std::snprintf(line, sizeof(line), "%s %" PRIu64 "\n", s.name.c_str(),
+                  s.value);
+    out += line;
+  }
+  for (const auto& s : registry.gauge_samples()) {
+    emit_header(out, seen, s.name, s.help, "gauge");
+    out += s.name;
+    out += ' ';
+    out += format_value(s.value);
+    out += '\n';
+  }
+  for (const auto& s : registry.histogram_samples()) {
+    emit_header(out, seen, s.name, s.help, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      cumulative += s.snap.counts[i];
+      const std::string label =
+          i + 1 == Histogram::kBuckets
+              ? std::string("le=\"+Inf\"")
+              : "le=\"" +
+                    format_value(static_cast<double>(Histogram::bound_ns(i)) /
+                                 1e9) +
+                    "\"";
+      std::snprintf(line, sizeof(line), "%s %" PRIu64 "\n",
+                    with_label(s.name, label, "_bucket").c_str(), cumulative);
+      out += line;
+    }
+    const std::string family(family_of(s.name));
+    std::string labels;
+    if (family.size() < s.name.size()) {
+      labels = std::string(
+          s.name.substr(family.size()));  // keep the braces verbatim
+    }
+    out += family + "_sum" + labels + ' ' +
+           format_value(static_cast<double>(s.snap.sum_ns) / 1e9) + '\n';
+    std::snprintf(line, sizeof(line), "%s_count%s %" PRIu64 "\n",
+                  family.c_str(), labels.c_str(), s.snap.total);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace themis::obs::live

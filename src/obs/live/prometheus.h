@@ -1,0 +1,30 @@
+// Prometheus text exposition (version 0.0.4) for a live::Registry.
+//
+// Renders every counter, gauge and histogram the registry holds:
+//
+//   # HELP themis_tx_accepted_total Transactions admitted into the pool.
+//   # TYPE themis_tx_accepted_total counter
+//   themis_tx_accepted_total 1234
+//   # TYPE themis_tx_stage_confirm_seconds histogram
+//   themis_tx_stage_confirm_seconds_bucket{le="0.001048576"} 17
+//   ...
+//   themis_tx_stage_confirm_seconds_bucket{le="+Inf"} 420
+//   themis_tx_stage_confirm_seconds_sum 12.75
+//   themis_tx_stage_confirm_seconds_count 420
+//
+// Histogram bucket bounds are the registry's fixed log-scale nanosecond
+// bounds converted to seconds (Prometheus base units).  Samples whose name
+// carries a label set (`family{label="v"}`) are grouped: HELP/TYPE are
+// emitted once per family, in first-registration order.
+#pragma once
+
+#include <string>
+
+#include "obs/live/registry.h"
+
+namespace themis::obs::live {
+
+/// Render the whole registry in Prometheus text format.
+std::string render_prometheus(const Registry& registry);
+
+}  // namespace themis::obs::live

@@ -9,6 +9,7 @@
 #include "crypto/merkle.h"
 #include "crypto/schnorr.h"
 #include "ledger/validation.h"
+#include "obs/live/log.h"
 #include "p2p/sync.h"
 
 namespace themis::p2p {
@@ -17,6 +18,7 @@ using consensus::RealMiner;
 using ledger::Block;
 using ledger::BlockHash;
 using ledger::BlockPtr;
+using obs::live::TxStage;
 
 namespace {
 
@@ -123,6 +125,59 @@ P2pNode::P2pNode(P2pNodeConfig config,
       [this](Peer& peer, std::uint32_t type, ByteSpan payload) {
         on_peer_frame(peer, type, payload);
       });
+
+  register_live_metrics();
+  // Confirmation stamps ride the reconciler: it fires per newly-confirmed tx
+  // under mu_, after the inclusion stamps of the same head change.
+  reconciler_.set_confirm_hook([this](const ledger::TxId& id) {
+    stage_tracker_.stamp(id, TxStage::confirmed);
+  });
+}
+
+void P2pNode::register_live_metrics() {
+  obs::live::Registry& r = live_registry_;
+  live_.txs_submitted = &r.counter(
+      "themis_tx_submitted_total", "Transaction admission attempts (RPC + wire relay).");
+  live_.txs_accepted = &r.counter(
+      "themis_tx_accepted_total", "Transactions admitted into the pool.");
+  live_.txs_rejected = &r.counter(
+      "themis_tx_rejected_total", "Transactions that failed an admission check.");
+  live_.txs_duplicate = &r.counter(
+      "themis_tx_duplicate_total", "Transactions already pending or confirmed.");
+  live_.blocks_mined = &r.counter(
+      "themis_blocks_mined_total", "Blocks mined by this node.");
+  live_.blocks_received = &r.counter(
+      "themis_blocks_received_total", "Full blocks received over the wire.");
+  live_.blocks_rejected = &r.counter(
+      "themis_blocks_rejected_total", "Blocks that failed validation.");
+  live_.head_changes = &r.counter(
+      "themis_head_changes_total", "Fork-choice head moves.");
+  live_.reorgs = &r.counter(
+      "themis_reorgs_total", "Head moves that abandoned a previous branch.");
+  live_.admit_batch = &r.histogram(
+      "themis_admit_batch_seconds",
+      "Latency of one combining-leader admission batch (all four stages).");
+  live_.block_submit = &r.histogram(
+      "themis_block_submit_seconds",
+      "Latency of block validate + insert + head update + pool reconcile.");
+  pool_.set_live_counters(
+      &r.counter("themis_pool_added_total", "TxPool inserts (all shards)."),
+      &r.counter("themis_pool_evicted_total",
+                 "TxPool capacity evictions (oldest first)."));
+  // Instantaneous values the components already maintain atomically are read
+  // at scrape time instead of being mirrored on the hot path.
+  r.gauge_fn("themis_pool_depth", "Pending transactions in the TxPool.",
+             [this] { return static_cast<double>(pool_.size()); });
+  r.gauge_fn("themis_ready_peers", "Handshake-complete peer connections.",
+             [this] { return static_cast<double>(peers_->ready_peer_count()); });
+  r.gauge_fn("themis_head_height", "Height of the fork-choice head.",
+             [this] { return static_cast<double>(head_height()); });
+  r.gauge_fn("themis_uptime_seconds", "Seconds since the node started.",
+             [this] { return uptime_seconds(); });
+  r.gauge_fn("themis_p2p_bytes_in", "Transport bytes received.",
+             [this] { return static_cast<double>(peers_->stats().bytes_in); });
+  r.gauge_fn("themis_p2p_bytes_out", "Transport bytes sent.",
+             [this] { return static_cast<double>(peers_->stats().bytes_out); });
 }
 
 P2pNode::~P2pNode() { stop(); }
@@ -148,8 +203,19 @@ bool P2pNode::start() {
                        obs::Field::u64("replayed", stats_.store_replayed),
                        obs::Field::u64("height", tracker_.head_height())});
 
-  if (!peers_->start()) return false;
+  if (!peers_->start()) {
+    obs::live::log_error("node", "listen failed",
+                         {{"port", static_cast<std::uint64_t>(config_.listen_port)}});
+    return false;
+  }
   started_ = true;
+  obs::live::log_info(
+      "node", "started",
+      {{"id", static_cast<std::uint64_t>(config_.id)},
+       {"port", static_cast<std::uint64_t>(peers_->listen_port())},
+       {"height", head_height()},
+       {"replayed", chain_stats().store_replayed},
+       {"mining", config_.mine}});
 
   mining_enabled_.store(config_.mine);
   miner_thread_ = std::thread([this] { mine_loop(); });
@@ -163,6 +229,9 @@ void P2pNode::stop() {
   if (miner_thread_.joinable()) miner_thread_.join();
   peers_->stop();
   started_ = false;
+  obs::live::log_info("node", "stopped",
+                      {{"id", static_cast<std::uint64_t>(config_.id)},
+                       {"height", head_height()}});
 }
 
 void P2pNode::set_mining(bool enabled) {
@@ -191,6 +260,11 @@ void P2pNode::on_peer_ready(Peer& peer) {
   trace("peer_ready", {obs::Field::u64("node", config_.id),
                        obs::Field::u64("remote", peer.remote().node_id),
                        obs::Field::boolean("outbound", peer.outbound())});
+  obs::live::log_info(
+      "p2p", "peer ready",
+      {{"remote", static_cast<std::uint64_t>(peer.remote().node_id)},
+       {"outbound", peer.outbound()},
+       {"peers", static_cast<std::uint64_t>(peers_->ready_peer_count())}});
   // Always probe for a better chain: the response is empty if we are caught
   // up, and the locator round also covers a remote that lied about height.
   request_sync(peer);
@@ -490,6 +564,11 @@ TxAdmit P2pNode::accept_transaction(const ledger::SignedTransaction& stx,
 }
 
 void P2pNode::enqueue_and_settle(const std::vector<AdmitRequest*>& requests) {
+  // Stamp before parking so the verify-stage latency includes combining-queue
+  // wait (tx.id() is cached on the transaction; no hashing here).
+  for (const AdmitRequest* r : requests) {
+    stage_tracker_.stamp(r->stx->tx.id(), TxStage::submitted);
+  }
   std::unique_lock<std::mutex> qlock(admit_mu_);
   for (AdmitRequest* r : requests) admit_queue_.push_back(r);
   if (admit_leader_active_) {
@@ -524,6 +603,7 @@ void P2pNode::enqueue_and_settle(const std::vector<AdmitRequest*>& requests) {
 }
 
 void P2pNode::process_admit_batch(const std::vector<AdmitRequest*>& batch) {
+  obs::live::ScopedTimer admit_timer(live_.admit_batch);
   // Stage 1 — stateless checks, no locks: the key registry is immutable
   // after construction.
   for (AdmitRequest* r : batch) {
@@ -553,6 +633,11 @@ void P2pNode::process_admit_batch(const std::vector<AdmitRequest*>& batch) {
       }
     }
   }
+  for (const AdmitRequest* r : batch) {
+    if (r->result == TxAdmit::accepted) {
+      stage_tracker_.stamp(r->stx->tx.id(), TxStage::verified);
+    }
+  }
 
   // Stage 3 — stateful admission: one consensus-lock acquisition settles the
   // whole batch (confirmed-duplicate check, nonce window, pool insert,
@@ -576,19 +661,27 @@ void P2pNode::process_admit_batch(const std::vector<AdmitRequest*>& batch) {
             admit = TxAdmit::nonce_gap;
           } else if (!pool_.add(*r->stx)) {
             admit = TxAdmit::duplicate;
+          } else {
+            // Under mu_ on purpose: the miner also includes under mu_, so
+            // the pooled stamp always precedes any inclusion stamp.
+            stage_tracker_.stamp(tx.id(), TxStage::pooled);
           }
         }
       }
+      live_.txs_submitted->inc();
       switch (admit) {
         case TxAdmit::accepted:
           ++stats_.txs_accepted;
+          live_.txs_accepted->inc();
           break;
         case TxAdmit::duplicate:
         case TxAdmit::known_confirmed:
           ++stats_.txs_duplicate;
+          live_.txs_duplicate->inc();
           break;
         default:
           ++stats_.txs_rejected;
+          live_.txs_rejected->inc();
           break;
       }
     }
@@ -672,6 +765,7 @@ bool P2pNode::validate_locked(const Block& block) {
 }
 
 bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
+  obs::live::ScopedTimer submit_timer(live_.block_submit);
   const BlockHash id = block->id();
   std::vector<BlockHash> announce;
   bool head_changed = false;
@@ -680,7 +774,10 @@ bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     const BlockHash old_head = tracker_.head();
-    if (source_session != 0) ++stats_.blocks_received;
+    if (source_session != 0) {
+      ++stats_.blocks_received;
+      live_.blocks_received->inc();
+    }
     requested_.erase(id);
     if (tree_.contains(id)) {
       if (source_session != 0) ++stats_.blocks_duplicate;
@@ -700,6 +797,12 @@ bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
     } else {
       if (!validate_locked(*block)) {
         ++stats_.blocks_rejected;
+        live_.blocks_rejected->inc();
+        obs::live::log_warn("chain", "block rejected",
+                            {{"hash", short_hex(id)},
+                             {"height", block->header().height},
+                             {"producer", static_cast<std::uint64_t>(
+                                              block->header().producer)}});
         return false;
       }
       // Insert the block plus every pending descendant it unblocks — one
@@ -711,6 +814,11 @@ bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
         BlockPtr cur = std::move(ready.back());
         ready.pop_back();
         const BlockHash cur_id = cur->id();
+        // Inclusion stamps before the head update, so a confirm stamp from
+        // the reconciler (same mu_ hold) is always later.
+        for (const ledger::Transaction& tx : cur->transactions()) {
+          stage_tracker_.stamp(tx.id(), TxStage::included);
+        }
         if (store_ != nullptr) store_->append(*cur);
         tree_.insert(std::move(cur));
         announce.push_back(cur_id);
@@ -733,7 +841,11 @@ bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
                                              /*batch_is_leaf=*/batch_size == 1);
       head_changed = update.head_changed;
       reorged = update.reorg;
-      if (update.reorg) ++stats_.reorgs;
+      if (update.reorg) {
+        ++stats_.reorgs;
+        live_.reorgs->inc();
+      }
+      if (head_changed) live_.head_changes->inc();
       if (head_changed) {
         tree_.set_aggregate_floor(tracker_.anchor_height());
         new_height = tracker_.head_height();
@@ -777,6 +889,15 @@ bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
     trace("head_changed", {obs::Field::u64("node", config_.id),
                            obs::Field::u64("height", new_height),
                            obs::Field::boolean("reorg", reorged)});
+    if (reorged) {
+      obs::live::log_info("chain", "reorg",
+                          {{"height", new_height}, {"hash", short_hex(id)}});
+    } else {
+      obs::live::log_debug("chain", "head changed",
+                           {{"height", new_height},
+                            {"hash", short_hex(id)},
+                            {"mined", source_session == 0}});
+    }
     if (head_listener_) head_listener_(*this);
   }
 
@@ -861,6 +982,12 @@ void P2pNode::mine_loop() {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.blocks_produced;
       }
+      live_.blocks_mined->inc();
+      obs::live::log_debug(
+          "miner", "block mined",
+          {{"hash", short_hex(block->id())},
+           {"height", solved->height},
+           {"txs", static_cast<std::uint64_t>(block->transactions().size())}});
       trace("block_mined", {obs::Field::u64("node", config_.id),
                             obs::Field::str("hash", short_hex(block->id())),
                             obs::Field::u64("height", solved->height),
@@ -903,6 +1030,16 @@ bool P2pNode::contains(const BlockHash& id) const {
 P2pNode::ChainStats P2pNode::chain_stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+double P2pNode::uptime_seconds() const {
+  if (!started_.load(std::memory_order_relaxed)) return 0.0;
+  return static_cast<double>(wall_nanos()) / 1e9;
+}
+
+bool P2pNode::ready() const {
+  return started_.load(std::memory_order_relaxed) &&
+         (config_.peers.empty() || peers_->ready_peer_count() > 0);
 }
 
 double P2pNode::redundant_announce_ratio() const {

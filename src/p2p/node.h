@@ -63,6 +63,8 @@
 #include "ledger/block_store.h"
 #include "ledger/blocktree.h"
 #include "ledger/txpool.h"
+#include "obs/live/registry.h"
+#include "obs/live/stage_tracker.h"
 #include "obs/observability.h"
 #include "p2p/peer_manager.h"
 #include "state/ledger_state.h"
@@ -168,6 +170,24 @@ class P2pNode {
   void set_head_listener(std::function<void(const P2pNode&)> fn) {
     head_listener_ = std::move(fn);
   }
+
+  // --- live telemetry --------------------------------------------------------
+  // Always-on (compiled to no-ops under THEMIS_MIN_TELEMETRY): the node owns
+  // the live registry and tx-lifecycle tracker; the RPC gateway registers its
+  // own families into the same registry so one scrape covers the whole node.
+  obs::live::Registry& live_registry() { return live_registry_; }
+  const obs::live::Registry& live_registry() const { return live_registry_; }
+  obs::live::StageTracker& stage_tracker() { return stage_tracker_; }
+  const obs::live::StageTracker& stage_tracker() const {
+    return stage_tracker_;
+  }
+
+  /// Seconds since start() (0 before start).
+  double uptime_seconds() const;
+  /// Readiness probe: started, and — when peers are configured — connected
+  /// to at least one (a standalone node is trivially ready).  /health maps
+  /// this to 200/503.
+  bool ready() const;
 
   // --- observers (all take the consensus lock) -------------------------------
   ledger::BlockHash head() const;
@@ -314,6 +334,9 @@ class P2pNode {
   void mine_loop();
   void trace(std::string_view event, std::initializer_list<obs::Field> fields);
   std::int64_t wall_nanos() const;
+  /// Register every node-level live metric (called once from the ctor; the
+  /// hot paths bump the cached pointers in live_, never look up by name).
+  void register_live_metrics();
 
   P2pNodeConfig config_;
   std::shared_ptr<consensus::ForkChoiceRule> rule_;
@@ -364,13 +387,31 @@ class P2pNode {
   std::atomic<bool> mining_enabled_{false};
   std::atomic<std::uint64_t> chain_version_{0};
   std::atomic<bool> stopping_{false};
-  bool started_ = false;
+  std::atomic<bool> started_{false};
 
   std::function<void(const P2pNode&)> head_listener_;
 
   obs::Observability* obs_ = nullptr;
   std::mutex trace_mu_;
   std::chrono::steady_clock::time_point start_time_;
+
+  // --- live telemetry --------------------------------------------------------
+  obs::live::Registry live_registry_;
+  obs::live::StageTracker stage_tracker_{live_registry_};
+  /// Cached metric pointers, registered once in register_live_metrics().
+  struct LiveCounters {
+    obs::live::Counter* txs_submitted = nullptr;
+    obs::live::Counter* txs_accepted = nullptr;
+    obs::live::Counter* txs_rejected = nullptr;
+    obs::live::Counter* txs_duplicate = nullptr;
+    obs::live::Counter* blocks_mined = nullptr;
+    obs::live::Counter* blocks_received = nullptr;
+    obs::live::Counter* blocks_rejected = nullptr;
+    obs::live::Counter* head_changes = nullptr;
+    obs::live::Counter* reorgs = nullptr;
+    obs::live::Histogram* admit_batch = nullptr;
+    obs::live::Histogram* block_submit = nullptr;
+  } live_;
 };
 
 }  // namespace themis::p2p

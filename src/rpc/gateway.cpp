@@ -6,6 +6,8 @@
 
 #include "common/check.h"
 #include "common/serialize.h"
+#include "obs/live/prometheus.h"
+#include "obs/live/stage_tracker.h"
 #include "state/transfer.h"
 
 namespace themis::rpc {
@@ -97,14 +99,67 @@ Json block_to_json(const p2p::P2pNode::BlockInfo& info) {
 
 }  // namespace
 
+Gateway::Gateway(p2p::P2pNode& node) : node_(node) {
+  static constexpr const char* kMethodNames[kMethodCount] = {
+      "submit_tx", "submit_txs", "get_tx",  "get_txs", "get_block",
+      "get_head",  "get_balance", "status", "metrics", "other"};
+  obs::live::Registry& r = node_.live_registry();
+  for (std::size_t i = 0; i < kMethodCount; ++i) {
+    MethodMetrics& m = methods_[i];
+    m.name = kMethodNames[i];
+    const std::string label = std::string("{method=\"") + m.name + "\"}";
+    m.requests = &r.counter(std::string("themis_rpc_requests_total") + label,
+                            "JSON-RPC requests by method.");
+    m.errors = &r.counter(std::string("themis_rpc_errors_total") + label,
+                          "JSON-RPC error responses by method.");
+    m.latency = &r.histogram(std::string("themis_rpc_seconds") + label,
+                             "JSON-RPC dispatch latency by method.");
+  }
+  total_requests_ =
+      &r.counter("themis_rpc_requests_all_total", "JSON-RPC requests, total.");
+  total_errors_ = &r.counter("themis_rpc_errors_all_total",
+                             "JSON-RPC error responses, total.");
+}
+
+Gateway::Method Gateway::method_of(const std::string& name) {
+  if (name == "submit_tx") return Method::submit_tx;
+  if (name == "submit_txs") return Method::submit_txs;
+  if (name == "get_tx") return Method::get_tx;
+  if (name == "get_txs") return Method::get_txs;
+  if (name == "get_block") return Method::get_block;
+  if (name == "get_head") return Method::get_head;
+  if (name == "get_balance") return Method::get_balance;
+  if (name == "status") return Method::status;
+  if (name == "metrics") return Method::metrics;
+  return Method::other;
+}
+
+HttpResponse Gateway::health_response() const {
+  const bool ready = node_.ready();
+  HttpResponse response;
+  response.status = ready ? 200 : 503;
+  Json out;
+  out.set("status", ready ? "ok" : "unavailable");
+  out.set("uptime_seconds", node_.uptime_seconds());
+  out.set("peers", node_.ready_peer_count());
+  out.set("height", node_.head_height());
+  response.body = out.dump();
+  return response;
+}
+
 HttpResponse Gateway::handle(const HttpRequest& request) {
-  // curl-friendly GET mirrors.
+  // curl-friendly GET mirrors + monitoring endpoints.
   if (request.method == "GET") {
     HttpResponse response;
     if (request.target == "/status") {
       response.body = rpc_status().dump();
     } else if (request.target == "/metrics") {
       response.body = rpc_metrics().dump();
+    } else if (request.target == "/metrics.prom") {
+      response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      response.body = obs::live::render_prometheus(node_.live_registry());
+    } else if (request.target == "/health") {
+      response = health_response();
     } else {
       response.status = 404;
       response.body = "{\"error\":\"not found\"}";
@@ -129,7 +184,7 @@ HttpResponse Gateway::handle(const HttpRequest& request) {
     response.body =
         error_response(id, kParseError, std::string("parse error: ") + e.what())
             .dump();
-    note_error();
+    note_error(Method::other);
     return response;
   }
   if (!body.is_object() || !body["method"].is_string()) {
@@ -137,26 +192,26 @@ HttpResponse Gateway::handle(const HttpRequest& request) {
         error_response(body["id"], kInvalidRequest,
                        "expected {\"method\": ..., \"params\": ...}")
             .dump();
-    note_error();
+    note_error(Method::other);
     return response;
   }
   id = body["id"];
   const std::string& method = body["method"].as_string();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.requests;
-    ++method_counts_[method];
-  }
+  const Method slot = method_of(method);
+  MethodMetrics& metrics = methods_[static_cast<std::size_t>(slot)];
+  metrics.requests->inc();
+  total_requests_->inc();
+  obs::live::ScopedTimer timer(metrics.latency);
   try {
     response.body = result_response(id, dispatch(method, body["params"])).dump();
   } catch (const RpcError& e) {
     response.body = error_response(id, e.code, e.message).dump();
-    note_error();
+    note_error(slot);
   } catch (const JsonError& e) {
     response.body =
         error_response(id, kInvalidParams, std::string("invalid params: ") + e.what())
             .dump();
-    note_error();
+    note_error(slot);
   }
   return response;
 }
@@ -289,6 +344,20 @@ Json Gateway::rpc_get_tx(const Json& params) {
       break;
   }
   if (status.tx.has_value()) out.set("tx", tx_to_json(*status.tx));
+  // Per-tx lifecycle stamps while the stage tracker remembers the id:
+  // monotonic nanoseconds since an arbitrary per-process epoch, so deltas
+  // between stages are meaningful but absolute values are not.
+  if (const auto stamps = node_.stage_tracker().stamps(id);
+      stamps.has_value()) {
+    Json stages;
+    for (std::size_t s = 0; s < obs::live::kTxStageCount; ++s) {
+      if ((*stamps)[s] == 0) continue;
+      stages.set(
+          std::string(obs::live::to_string(static_cast<obs::live::TxStage>(s))),
+          Json((*stamps)[s]));
+    }
+    out.set("stages", std::move(stages));
+  }
   return out;
 }
 
@@ -406,35 +475,73 @@ Json Gateway::rpc_metrics() {
     {"bytes_out", Json(transport.bytes_out)},
     {"peers", Json(node_.ready_peer_count())},
   }));
+  Json methods = Json::object({});  // {} even before any request
+  for (const MethodMetrics& m : methods_) {
+    if (m.requests->get() == 0 && m.errors->get() == 0) continue;
+    const obs::live::Histogram::Snapshot snap = m.latency->snapshot();
+    methods.set(m.name, Json::object({
+      {"requests", Json(m.requests->get())},
+      {"errors", Json(m.errors->get())},
+      {"p50_ms", Json(snap.quantile_ns(0.50) / 1e6)},
+      {"p99_ms", Json(snap.quantile_ns(0.99) / 1e6)},
+    }));
+  }
   const Stats rpc = stats();
   out.set("rpc", Json::object({
     {"requests", Json(rpc.requests)},
     {"errors", Json(rpc.errors)},
+    {"methods", std::move(methods)},
+  }));
+  // Tx-lifecycle stage latencies (see obs/live/stage_tracker.h): count plus
+  // estimated p50/p99 per transition, in milliseconds.
+  Json stages;
+  for (const auto& h : node_.live_registry().histogram_samples()) {
+    std::string_view key;
+    if (h.name == "themis_tx_stage_verify_seconds") key = "verify";
+    else if (h.name == "themis_tx_stage_pool_seconds") key = "pool";
+    else if (h.name == "themis_tx_stage_inclusion_seconds") key = "inclusion";
+    else if (h.name == "themis_tx_stage_confirm_seconds") key = "confirm";
+    else if (h.name == "themis_tx_e2e_seconds") key = "e2e";
+    else continue;
+    stages.set(std::string(key), Json::object({
+      {"count", Json(h.snap.total)},
+      {"mean_ms", Json(h.snap.mean_ns() / 1e6)},
+      {"p50_ms", Json(h.snap.quantile_ns(0.50) / 1e6)},
+      {"p99_ms", Json(h.snap.quantile_ns(0.99) / 1e6)},
+    }));
+  }
+  out.set("stages", std::move(stages));
+  out.set("health", Json::object({
+    {"ready", Json(node_.ready())},
+    {"uptime_seconds", Json(node_.uptime_seconds())},
   }));
   return out;
 }
 
-void Gateway::note_error() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.errors;
+void Gateway::note_error(Method method) {
+  methods_[static_cast<std::size_t>(method)].errors->inc();
+  total_errors_->inc();
 }
 
 Gateway::Stats Gateway::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  return Stats{total_requests_->get(), total_errors_->get()};
 }
 
 std::map<std::string, std::uint64_t> Gateway::method_counts() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return method_counts_;
+  std::map<std::string, std::uint64_t> out;
+  for (const MethodMetrics& m : methods_) {
+    const std::uint64_t count = m.requests->get();
+    if (count > 0) out[m.name] = count;
+  }
+  return out;
 }
 
 void Gateway::fill_observability(obs::Observability& obs) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  obs.counters.counter("rpc.requests") = stats_.requests;
-  obs.counters.counter("rpc.errors") = stats_.errors;
-  for (const auto& [method, count] : method_counts_) {
-    obs.counters.counter("rpc.method." + method) = count;
+  obs.counters.counter("rpc.requests") = total_requests_->get();
+  obs.counters.counter("rpc.errors") = total_errors_->get();
+  for (const MethodMetrics& m : methods_) {
+    const std::uint64_t count = m.requests->get();
+    if (count > 0) obs.counters.counter(std::string("rpc.method.") + m.name) = count;
   }
 }
 

@@ -23,19 +23,35 @@
 //   get_head    {}                   -> {"hash", "height"}
 //   get_balance {"account": N}       -> {"balance", "next_nonce"}
 //   status      {}                   -> node summary (head, peers, pool, ...)
-//   metrics     {}                   -> chain + transport counters
+//   metrics     {}                   -> chain + transport + rpc + stage
+//                                       latency counters
+//
+// Monitoring endpoints (GET):
+//   /status        — node summary (mirrors the status method)
+//   /metrics       — JSON metrics (chain/tx/p2p/rpc/stages), for tooling
+//                    that already speaks this shape (load_gen, themis-cli
+//                    watch)
+//   /metrics.prom  — Prometheus text exposition 0.0.4 of the node's live
+//                    registry (counters, gauges, cumulative histograms)
+//   /health        — readiness probe: 200 when started and peer-connected
+//                    (or standalone), 503 otherwise; body carries uptime,
+//                    peers and height
 //
 // The gateway is stateless and thread-safe: HttpServer calls handle() from
 // many worker threads; every node interaction goes through P2pNode's own
-// synchronized API.
+// synchronized API.  Request accounting is mutex-free: per-method request /
+// error counters and latency histograms live in the node's live registry
+// (registered once at construction, bumped via cached pointers), so one
+// scrape of /metrics.prom covers the RPC layer too.  Under
+// THEMIS_MIN_TELEMETRY builds the bumps compile out and stats() reads zero.
 #pragma once
 
-#include <atomic>
+#include <array>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "obs/live/registry.h"
 #include "obs/observability.h"
 #include "p2p/node.h"
 #include "rpc/http_server.h"
@@ -45,7 +61,8 @@ namespace themis::rpc {
 
 class Gateway {
  public:
-  explicit Gateway(p2p::P2pNode& node) : node_(node) {}
+  /// Registers the rpc metric families in node.live_registry().
+  explicit Gateway(p2p::P2pNode& node);
 
   /// HttpServer handler: dispatches one HTTP request.
   HttpResponse handle(const HttpRequest& request);
@@ -55,15 +72,41 @@ class Gateway {
     std::uint64_t errors = 0;  ///< responses carrying a JSON-RPC error
   };
   Stats stats() const;
-  /// Per-method request counts (copy; keyed by method name).
+  /// Per-method request counts (copy; keyed by method name; unknown methods
+  /// aggregate under "other").
   std::map<std::string, std::uint64_t> method_counts() const;
 
   /// Write rpc.* counters into an observability bundle.
   void fill_observability(obs::Observability& obs) const;
 
  private:
+  /// Fixed method table: the hot path resolves the method name to a slot
+  /// once and bumps cached pointers — no per-request map or mutex.
+  enum class Method : std::size_t {
+    submit_tx = 0,
+    submit_txs,
+    get_tx,
+    get_txs,
+    get_block,
+    get_head,
+    get_balance,
+    status,
+    metrics,
+    other,  ///< unknown / unparseable method names
+  };
+  static constexpr std::size_t kMethodCount = 10;
+  static Method method_of(const std::string& name);
+
+  struct MethodMetrics {
+    const char* name = "";
+    obs::live::Counter* requests = nullptr;
+    obs::live::Counter* errors = nullptr;
+    obs::live::Histogram* latency = nullptr;
+  };
+
   Json dispatch(const std::string& method, const Json& params);
-  void note_error();
+  void note_error(Method method);
+  HttpResponse health_response() const;
 
   /// Build one SignedTransaction from a submit spec ({"raw"} or structured
   /// {"sender","to","amount",...}); throws RpcError on malformed input.
@@ -80,10 +123,9 @@ class Gateway {
   Json rpc_metrics();
 
   p2p::P2pNode& node_;
-
-  mutable std::mutex mu_;
-  Stats stats_;
-  std::map<std::string, std::uint64_t> method_counts_;
+  std::array<MethodMetrics, kMethodCount> methods_{};
+  obs::live::Counter* total_requests_ = nullptr;
+  obs::live::Counter* total_errors_ = nullptr;
 };
 
 }  // namespace themis::rpc

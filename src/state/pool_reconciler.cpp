@@ -52,6 +52,7 @@ PoolReconciler::Stats PoolReconciler::on_head_change(
       confirmed_in_[tx.id()] = hash;
       confirmed_ids.push_back(tx.id());
       ++stats.confirmed;
+      if (confirm_hook_) confirm_hook_(tx.id());
     }
   }
   if (!confirmed_ids.empty()) pool.remove(confirmed_ids);

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
 
@@ -54,6 +55,13 @@ class PoolReconciler {
   /// block-store replay at startup).
   void rebuild(const ledger::BlockTree& tree, const ledger::BlockHash& head);
 
+  /// Invoked for every transaction newly confirmed by on_head_change (after
+  /// the index insert, before the pool removal), under the caller's lock —
+  /// the live node stamps TxStage::confirmed here.  One hook; set before use.
+  void set_confirm_hook(std::function<void(const ledger::TxId&)> hook) {
+    confirm_hook_ = std::move(hook);
+  }
+
   /// Main-chain block containing `id`, if the transaction is confirmed.
   std::optional<ledger::BlockHash> block_of(const ledger::TxId& id) const;
 
@@ -64,6 +72,7 @@ class PoolReconciler {
   std::unordered_map<ledger::TxId, ledger::BlockHash, Hash32Hasher>
       confirmed_in_;
   Stats totals_;
+  std::function<void(const ledger::TxId&)> confirm_hook_;
 };
 
 }  // namespace themis::state

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <limits>
 #include <memory>
 #include <string>
@@ -412,6 +413,94 @@ TEST_F(RpcGatewayTest, StatusAndMetricsOverGet) {
   const auto missing = client_->get("/nope");
   ASSERT_TRUE(missing.has_value());
   EXPECT_EQ(missing->status, 404);
+}
+
+TEST_F(RpcGatewayTest, MetricsJsonCarriesStagesAndHealth) {
+  const auto metrics = client_->get("/metrics");
+  ASSERT_TRUE(metrics.has_value());
+  const Json body = Json::parse(metrics->body);
+  EXPECT_TRUE(body["stages"].is_object());
+  EXPECT_TRUE(body["health"].is_object());
+  EXPECT_TRUE(body["health"]["ready"].as_bool());
+  EXPECT_TRUE(body["rpc"]["methods"].is_object());
+}
+
+TEST_F(RpcGatewayTest, PrometheusExpositionOverGet) {
+  // Generate at least one request so rpc counters are nonzero.
+  call("get_head", Json());
+  const auto prom = client_->get("/metrics.prom");
+  ASSERT_TRUE(prom.has_value());
+  EXPECT_EQ(prom->status, 200);
+  const std::string& text = prom->body;
+  EXPECT_NE(text.find("# TYPE themis_pool_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE themis_tx_e2e_seconds histogram"),
+            std::string::npos);
+  if (obs::live::kTelemetryEnabled) {
+    EXPECT_NE(text.find("themis_rpc_requests_total{method=\"get_head\"}"),
+              std::string::npos);
+  }
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST_F(RpcGatewayTest, HealthReportsReadyStandalone) {
+  // A node with no configured peers is trivially ready: 200 immediately.
+  const auto health = client_->get("/health");
+  ASSERT_TRUE(health.has_value());
+  EXPECT_EQ(health->status, 200);
+  const Json body = Json::parse(health->body);
+  EXPECT_EQ(body["status"].as_string(), "ok");
+  EXPECT_GE(body["uptime_seconds"].as_double(), 0.0);
+}
+
+TEST(RpcHealthTransition, UnreadyUntilPeerAppears) {
+  // Reserve an ephemeral port, then release it: the probed node dials it
+  // while nothing listens there (503), until a peer actually binds it (200).
+  std::uint16_t peer_port = 0;
+  {
+    p2p::TcpListener probe;
+    ASSERT_TRUE(probe.listen(0));
+    peer_port = probe.port();
+  }
+
+  p2p::P2pNodeConfig config;
+  config.id = 0;
+  config.n_nodes = 16;
+  config.mine = false;
+  config.listen_port = 0;
+  config.peers = {"127.0.0.1:" + std::to_string(peer_port)};
+  config.backoff_initial_ms = 50;
+  config.backoff_max_ms = 200;
+  p2p::P2pNode node(config);
+  ASSERT_TRUE(node.start());
+  Gateway gateway(node);
+
+  HttpRequest health;
+  health.method = "GET";
+  health.target = "/health";
+  EXPECT_EQ(gateway.handle(health).status, 503);
+  EXPECT_EQ(Json::parse(gateway.handle(health).body)["status"].as_string(),
+            "unavailable");
+
+  // The awaited peer comes up on the reserved port; the prober's reconnect
+  // backoff finds it and readiness flips.
+  p2p::P2pNodeConfig peer_config;
+  peer_config.id = 1;
+  peer_config.n_nodes = 16;
+  peer_config.mine = false;
+  peer_config.listen_port = peer_port;
+  p2p::P2pNode peer(peer_config);
+  ASSERT_TRUE(peer.start());
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(30);
+  while (gateway.handle(health).status != 200 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(gateway.handle(health).status, 200);
+
+  node.stop();
+  peer.stop();
 }
 
 // Many clients hammering submit_tx at once: every admission must succeed

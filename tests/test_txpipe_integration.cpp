@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "obs/live/stage_tracker.h"
 #include "p2p/node.h"
 #include "rpc/gateway.h"
 #include "rpc/http_client.h"
@@ -210,6 +211,83 @@ TEST_F(TxPipeIntegrationTest, SubmittedTxRelaysConfirmsEverywhere) {
   ASSERT_TRUE(balance.has_value());
   EXPECT_EQ((*balance)["result"]["balance"].as_u64(),
             nodes[1]->config().genesis_fund - 123);
+}
+
+TEST_F(TxPipeIntegrationTest, StageStampsAreMonotoneAcrossTwoNodes) {
+  // Lifecycle tracing: a confirmed transfer must carry stage timestamps
+  // (submitted -> verified -> pooled -> included -> confirmed) that never go
+  // backwards, on the node that admitted it AND on the node that only saw it
+  // relayed (which may legitimately skip early stages).
+  if (!obs::live::kTelemetryEnabled) {
+    GTEST_SKIP() << "THEMIS_MIN_TELEMETRY build";
+  }
+  for (std::size_t i = 0; i < 2; ++i) start_node(i);
+  auto nodes = std::vector<p2p::P2pNode*>{nodes_[0].get(), nodes_[1].get()};
+  ASSERT_TRUE(wait_until([&] { return nodes[0]->ready_peer_count() == 1; },
+                         30s));
+
+  HttpClient client("127.0.0.1", servers_[0]->port());
+  Json params;
+  params.set("sender", std::uint64_t{kNodes});
+  params.set("to", std::uint64_t{2});
+  params.set("amount", std::uint64_t{5});
+  const auto response = call(client, "submit_tx", std::move(params));
+  ASSERT_TRUE(response.has_value());
+  ASSERT_TRUE(response->has("result")) << (*response).dump();
+  const std::string id_hex = (*response)["result"]["id"].as_string();
+  const ledger::TxId id = hash_from_hex(id_hex);
+
+  ASSERT_TRUE(wait_until(
+      [&] {
+        for (p2p::P2pNode* node : nodes) {
+          if (node->tx_status(id).state !=
+              p2p::P2pNode::TxStatusInfo::State::confirmed) {
+            return false;
+          }
+        }
+        return true;
+      },
+      240s))
+      << "transfer must confirm on both nodes";
+
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    const auto stamps = nodes[n]->stage_tracker().stamps(id);
+    ASSERT_TRUE(stamps.has_value()) << "node " << n << " lost the stamps";
+    // The confirmed stage must be stamped everywhere; earlier stages only
+    // where the node actually crossed them.
+    EXPECT_NE((*stamps)[static_cast<std::size_t>(
+                  obs::live::TxStage::confirmed)],
+              0u)
+        << "node " << n;
+    std::uint64_t last = 0;
+    for (std::size_t s = 0; s < obs::live::kTxStageCount; ++s) {
+      if ((*stamps)[s] == 0) continue;
+      EXPECT_GE((*stamps)[s], last)
+          << "node " << n << ": stage " << s << " stamped before stage "
+          << s - 1;
+      last = (*stamps)[s];
+    }
+  }
+  // The admitting node crossed every stage in person.
+  const auto full = nodes[0]->stage_tracker().stamps(id);
+  for (std::size_t s = 0; s < obs::live::kTxStageCount; ++s) {
+    EXPECT_NE((*full)[s], 0u) << "stage " << s << " missing on the admitter";
+  }
+
+  // The RPC surface exposes the same stamps per transaction.
+  Json query;
+  query.set("id", id_hex);
+  const auto status = call(client, "get_tx", std::move(query));
+  ASSERT_TRUE(status.has_value());
+  const Json& stages = (*status)["result"]["stages"];
+  ASSERT_TRUE(stages.is_object()) << (*status).dump();
+  std::uint64_t last = 0;
+  for (const char* name :
+       {"submitted", "verified", "pooled", "included", "confirmed"}) {
+    ASSERT_TRUE(stages[name].is_number()) << name;
+    EXPECT_GE(stages[name].as_u64(), last) << name;
+    last = stages[name].as_u64();
+  }
 }
 
 TEST_F(TxPipeIntegrationTest, ThousandTransfersKillOneNodeOracleBalances) {

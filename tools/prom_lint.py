@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Prometheus text-exposition (version 0.0.4) linter.
+
+Validates the output of a node's GET /metrics.prom endpoint:
+
+    curl -s http://127.0.0.1:9200/metrics.prom | tools/prom_lint.py
+    tools/prom_lint.py metrics.prom
+
+Checks, per the exposition-format spec:
+  * every line is a comment, a blank line, or a `name{labels} value` sample;
+  * metric and label names match the allowed grammar;
+  * sample values parse as Go-style float64 (incl. +Inf/-Inf/NaN);
+  * # TYPE appears at most once per metric family, before its samples,
+    with a known type;
+  * counter samples are non-negative;
+  * histograms are well-formed: `le` buckets are cumulative (monotone
+    non-decreasing in bound order), the +Inf bucket exists and equals
+    `_count`, and `_sum`/`_count` are present.
+
+Exit status: 0 clean, 1 lint errors, 2 usage/IO error.  Used by CI after
+curling a live daemon; no third-party dependencies.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+KNOWN_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(text):
+    """Prometheus sample values are Go float64; returns None on garbage."""
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def base_family(name):
+    """Histogram/summary series belong to the family without the suffix."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+class Linter:
+    def __init__(self):
+        self.errors = []
+        self.types = {}          # family -> declared type
+        self.type_line = {}      # family -> line number of # TYPE
+        self.samples = []        # (line_no, name, labels dict, value)
+        self.sampled_families = set()
+
+    def error(self, line_no, message):
+        self.errors.append(f"line {line_no}: {message}")
+
+    def lint_line(self, line_no, line):
+        if line == "" or line.isspace():
+            return
+        if line.startswith("#"):
+            self.lint_comment(line_no, line)
+            return
+        match = SAMPLE.match(line)
+        if not match:
+            self.error(line_no, f"unparseable sample line: {line!r}")
+            return
+        name = match.group("name")
+        value = parse_value(match.group("value"))
+        if value is None:
+            self.error(line_no, f"bad sample value {match.group('value')!r}")
+            return
+        labels = {}
+        raw_labels = match.group("labels")
+        if raw_labels is not None:
+            consumed = 0
+            for pair in LABEL_PAIR.finditer(raw_labels):
+                labels[pair.group(1)] = pair.group(2)
+                consumed = pair.end()
+            rest = raw_labels[consumed:].strip().strip(",")
+            if rest:
+                self.error(line_no, f"malformed label set {{{raw_labels}}}")
+            for label in labels:
+                if not LABEL_NAME.match(label):
+                    self.error(line_no, f"bad label name {label!r}")
+        family = base_family(name)
+        self.sampled_families.add(family)
+        self.sampled_families.add(name)
+        self.samples.append((line_no, name, labels, value))
+
+    def lint_comment(self, line_no, line):
+        parts = line.split(None, 3)
+        if len(parts) < 2 or parts[1] not in ("HELP", "TYPE"):
+            return  # free-form comment: allowed
+        if len(parts) < 3:
+            self.error(line_no, f"{parts[1]} without a metric name")
+            return
+        name = parts[2]
+        if not METRIC_NAME.match(name):
+            self.error(line_no, f"bad metric name in {parts[1]}: {name!r}")
+            return
+        if parts[1] == "TYPE":
+            kind = parts[3].strip() if len(parts) > 3 else ""
+            if kind not in KNOWN_TYPES:
+                self.error(line_no, f"unknown TYPE {kind!r} for {name}")
+            if name in self.types:
+                self.error(line_no, f"duplicate TYPE for {name}")
+            if name in self.sampled_families:
+                self.error(line_no, f"TYPE for {name} after its samples")
+            self.types[name] = kind
+            self.type_line[name] = line_no
+
+    def lint_histograms(self):
+        for family, kind in self.types.items():
+            if kind != "histogram":
+                continue
+            buckets = []   # (line_no, labels-without-le frozen, le, value)
+            sums = {}
+            counts = {}
+            for line_no, name, labels, value in self.samples:
+                if base_family(name) != family:
+                    continue
+                rest = frozenset(
+                    (k, v) for k, v in labels.items() if k != "le")
+                if name == family + "_bucket":
+                    if "le" not in labels:
+                        self.error(line_no, f"{name} without an le label")
+                        continue
+                    buckets.append((line_no, rest, labels["le"], value))
+                elif name == family + "_sum":
+                    sums[rest] = value
+                elif name == family + "_count":
+                    counts[rest] = (line_no, value)
+            series = {}
+            for line_no, rest, le, value in buckets:
+                series.setdefault(rest, []).append((line_no, le, value))
+            if not series:
+                self.error(self.type_line[family],
+                           f"histogram {family} has no _bucket samples")
+                continue
+            for rest, entries in series.items():
+                bounds = []
+                inf_value = None
+                previous = None
+                for line_no, le, value in entries:
+                    if le == "+Inf":
+                        inf_value = (line_no, value)
+                    else:
+                        bound = parse_value(le)
+                        if bound is None:
+                            self.error(line_no, f"bad le bound {le!r}")
+                            continue
+                        bounds.append((bound, line_no, value))
+                bounds.sort()
+                for bound, line_no, value in bounds:
+                    if previous is not None and value < previous:
+                        self.error(
+                            line_no,
+                            f"{family}_bucket le=\"{bound}\" not cumulative"
+                            f" ({value} < {previous})")
+                    previous = value
+                if inf_value is None:
+                    self.error(self.type_line[family],
+                               f"histogram {family} missing the +Inf bucket")
+                else:
+                    line_no, value = inf_value
+                    if previous is not None and value < previous:
+                        self.error(line_no,
+                                   f"{family} +Inf bucket below last bound")
+                    if rest in counts and counts[rest][1] != value:
+                        self.error(
+                            line_no,
+                            f"{family}: +Inf bucket ({value}) !="
+                            f" _count ({counts[rest][1]})")
+                if rest not in sums:
+                    self.error(self.type_line[family],
+                               f"histogram {family} missing _sum")
+                if rest not in counts:
+                    self.error(self.type_line[family],
+                               f"histogram {family} missing _count")
+
+    def lint_counters(self):
+        for line_no, name, _labels, value in self.samples:
+            if self.types.get(base_family(name)) == "counter" and value < 0:
+                self.error(line_no, f"counter {name} is negative ({value})")
+
+    def run(self, text):
+        for line_no, line in enumerate(text.splitlines(), start=1):
+            self.lint_line(line_no, line)
+        self.lint_histograms()
+        self.lint_counters()
+        if not self.samples:
+            self.errors.append("no samples found (empty exposition)")
+        return self.errors
+
+
+def main(argv):
+    if len(argv) > 2 or (len(argv) == 2 and argv[1] in ("-h", "--help")):
+        sys.stderr.write(__doc__)
+        return 2
+    if len(argv) == 2:
+        try:
+            with open(argv[1], "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as err:
+            sys.stderr.write(f"error: {err}\n")
+            return 2
+    else:
+        text = sys.stdin.read()
+    errors = Linter().run(text)
+    for message in errors:
+        sys.stderr.write(f"prom_lint: {message}\n")
+    if errors:
+        sys.stderr.write(f"prom_lint: {len(errors)} error(s)\n")
+        return 1
+    sys.stderr.write(
+        f"prom_lint: OK ({len(text.splitlines())} lines,"
+        f" {text.count('# TYPE ')} families)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -34,6 +34,10 @@ constexpr std::string_view kUsage =
     "  block     --hash=<hex> | --height=<n>\n"
     "  status                        node summary\n"
     "  metrics                       chain/tx/p2p/rpc counters\n"
+    "  watch     live dashboard: polls /metrics and prints height, pool\n"
+    "            depth, peers, confirmed-TPS deltas and stage p50/p99 once\n"
+    "            per tick (--interval=<sec>, default 2; --count=<n> ticks,\n"
+    "            0 = until interrupted)\n"
     "common flags:\n"
     "  --node=<host:port>   RPC endpoint (default 127.0.0.1:9200)\n";
 
@@ -83,6 +87,79 @@ int finish(const themis::rpc::Json& response) {
     return 3;
   }
   std::cout << response["result"].dump() << "\n";
+  return 0;
+}
+
+/// `watch`: poll GET /metrics and render one dashboard line per tick —
+/// height, peers, pool depth, confirmed/submitted counters with per-second
+/// deltas, and the verify/e2e stage latencies the node estimates from its
+/// live histograms.  Designed to be greppable rather than a full-screen UI,
+/// so it works under tee, CI logs and scripts alike.
+int watch_loop(themis::rpc::HttpClient& client, std::uint64_t interval_sec,
+               std::uint64_t count) {
+  using themis::rpc::Json;
+  bool have_prev = false;
+  double prev_confirmed = 0.0;
+  double prev_submitted = 0.0;
+  auto prev_when = std::chrono::steady_clock::now();
+  for (std::uint64_t tick = 0; count == 0 || tick < count; ++tick) {
+    if (tick > 0) {
+      std::this_thread::sleep_for(std::chrono::seconds(interval_sec));
+    }
+    const auto result = client.get("/metrics");
+    if (!result.has_value()) {
+      std::cerr << "error: cannot reach node\n";
+      return 1;
+    }
+    try {
+      const Json m = Json::parse(result->body);
+      const auto now = std::chrono::steady_clock::now();
+      const double confirmed =
+          m["tx"]["confirmed"].is_number()
+              ? static_cast<double>(m["tx"]["confirmed"].as_u64())
+              : 0.0;
+      const double submitted =
+          m["tx"]["submitted"].is_number()
+              ? static_cast<double>(m["tx"]["submitted"].as_u64())
+              : 0.0;
+      const double dt = std::chrono::duration<double>(now - prev_when).count();
+      char tps[64] = "tps=-";
+      if (have_prev && dt > 0) {
+        std::snprintf(tps, sizeof(tps), "tps=%.1f sub/s=%.1f",
+                      (confirmed - prev_confirmed) / dt,
+                      (submitted - prev_submitted) / dt);
+      }
+      std::string stages;
+      if (m["stages"].is_object()) {
+        char buf[128];
+        if (m["stages"]["verify"].is_object()) {
+          std::snprintf(buf, sizeof(buf), " verify_p50=%.2fms",
+                        m["stages"]["verify"]["p50_ms"].as_double());
+          stages += buf;
+        }
+        if (m["stages"]["e2e"].is_object()) {
+          std::snprintf(buf, sizeof(buf), " e2e_p50=%.0fms e2e_p99=%.0fms",
+                        m["stages"]["e2e"]["p50_ms"].as_double(),
+                        m["stages"]["e2e"]["p99_ms"].as_double());
+          stages += buf;
+        }
+      }
+      std::cout << "h=" << m["chain"]["height"].as_u64()
+                << " peers=" << m["p2p"]["peers"].as_u64()
+                << " pool=" << m["tx"]["pool_depth"].as_u64()
+                << " conf=" << static_cast<std::uint64_t>(confirmed)
+                << " sub=" << static_cast<std::uint64_t>(submitted) << " "
+                << tps << stages
+                << " rpc_err=" << m["rpc"]["errors"].as_u64() << std::endl;
+      have_prev = true;
+      prev_confirmed = confirmed;
+      prev_submitted = submitted;
+      prev_when = now;
+    } catch (const themis::rpc::JsonError& e) {
+      std::cerr << "error: bad /metrics response: " << e.what() << "\n";
+      return 1;
+    }
+  }
   return 0;
 }
 
@@ -184,6 +261,12 @@ int main(int argc, char** argv) {
       return 2;
     }
     return finish(call(client, "get_block", std::move(params)));
+  }
+
+  if (command == "watch") {
+    const std::uint64_t interval = parser.value_u64("--interval", 2);
+    const std::uint64_t count = parser.value_u64("--count", 0);
+    return watch_loop(client, interval == 0 ? 1 : interval, count);
   }
 
   if (command == "head") return finish(call(client, "get_head", rpc::Json()));

@@ -30,6 +30,7 @@
 #include "consensus/difficulty.h"
 #include "consensus/forkchoice.h"
 #include "core/geost.h"
+#include "obs/live/log.h"
 #include "obs/observability.h"
 #include "obs/report.h"
 #include "p2p/node.h"
@@ -59,6 +60,8 @@ constexpr std::string_view kUsage =
     "  --run-for=<sec>       stop after this many seconds (0 = until signal)\n"
     "  --stop-at-height=<h>  stop once the head reaches height h\n"
     "  --status-interval=<s> status line period in seconds (0 = quiet)\n"
+    "  --log-level=<l>       debug | info | warn | error | off (default info)\n"
+    "  --log-json            structured JSONL log records instead of text\n"
     "  --trace=<path>        write a JSONL event trace on exit\n"
     "  --report[=<path>]     counters report on exit (stderr or file)\n";
 
@@ -67,17 +70,20 @@ std::atomic<bool> g_stop{false};
 void on_signal(int) { g_stop.store(true); }
 
 void status_line(const themis::p2p::P2pNode& node) {
+  namespace live = themis::obs::live;
   const auto stats = node.chain_stats();
   const auto transport = node.transport_stats();
-  std::cerr << "[noded] height=" << node.head_height()
-            << " head=" << themis::to_hex(node.head()).substr(0, 12)
-            << " peers=" << node.ready_peer_count()
-            << " mined=" << stats.blocks_produced
-            << " recv=" << stats.blocks_received
-            << " pool=" << node.pool_depth()
-            << " tx_conf=" << stats.txs_confirmed
-            << " bytes_in=" << transport.bytes_in
-            << " bytes_out=" << transport.bytes_out << "\n";
+  live::log_info(
+      "noded", "status",
+      {{"height", node.head_height()},
+       {"head", themis::to_hex(node.head()).substr(0, 12)},
+       {"peers", static_cast<std::uint64_t>(node.ready_peer_count())},
+       {"mined", stats.blocks_produced},
+       {"recv", stats.blocks_received},
+       {"pool", static_cast<std::uint64_t>(node.pool_depth())},
+       {"tx_conf", stats.txs_confirmed},
+       {"bytes_in", transport.bytes_in},
+       {"bytes_out", transport.bytes_out}});
 }
 
 }  // namespace
@@ -145,12 +151,21 @@ int main(int argc, char** argv) {
     std::cerr << "error: unknown fork choice '" << fork_choice << "'\n";
     return 2;
   }
+  const std::string log_level_name{
+      parser.value("--log-level").value_or("info")};
+  const bool log_json = parser.flag("--log-json");
   parser.reject_unknown(kUsage);
 
   if (config.id >= config.n_nodes) {
     std::cerr << "error: --id must be < --nodes\n";
     return 2;
   }
+
+  // Structured leveled logging: the library default is off; the daemon turns
+  // it on (themis-noded is the one place ad-hoc status lines used to live).
+  obs::live::Logger& logger = obs::live::Logger::global();
+  logger.set_level(obs::live::log_level_from(log_level_name));
+  logger.set_json(log_json);
 
   obs::Observability obs;
   obs.tracer.enable(!trace_path.empty());
@@ -179,25 +194,28 @@ int main(int argc, char** argv) {
       node.stop();
       return 1;
     }
-    std::cerr << "[noded] rpc listening on port " << rpc_server->port()
-              << "\n";
+    obs::live::log_info(
+        "noded", "rpc listening",
+        {{"port", static_cast<std::uint64_t>(rpc_server->port())},
+         {"endpoints", "/status /metrics /metrics.prom /health"}});
   }
 
   std::signal(SIGINT, on_signal);
   std::signal(SIGTERM, on_signal);
 
-  std::cerr << "[noded] node " << config.id << "/" << config.n_nodes
-            << " listening on port " << node.listen_port() << " ("
-            << rule->name() << ", difficulty " << config.difficulty
-            << (config.mine ? "" : ", not mining")
-            << (config.datadir.empty()
-                    ? std::string(", memory only)")
-                    : ", datadir " + config.datadir.string() + ")")
-            << "\n";
+  obs::live::log_info(
+      "noded", "node up",
+      {{"id", static_cast<std::uint64_t>(config.id)},
+       {"nodes", static_cast<std::uint64_t>(config.n_nodes)},
+       {"port", static_cast<std::uint64_t>(node.listen_port())},
+       {"fork_choice", rule->name()},
+       {"difficulty", config.difficulty},
+       {"mining", config.mine},
+       {"datadir", config.datadir.empty() ? std::string("<memory>")
+                                          : config.datadir.string()}});
   if (const auto replayed = node.chain_stats().store_replayed) {
-    std::cerr << "[noded] replayed " << replayed
-              << " blocks from the store, height " << node.head_height()
-              << "\n";
+    obs::live::log_info("noded", "store replayed",
+                        {{"blocks", replayed}, {"height", node.head_height()}});
   }
 
   const auto started = std::chrono::steady_clock::now();
@@ -213,7 +231,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cerr << "[noded] stopping\n";
+  obs::live::log_info("noded", "stopping");
   // Snapshot counters (including the per-peer link matrix) while the peers
   // are still connected, then shut down — RPC first, so no handler races a
   // stopping node.
@@ -224,10 +242,13 @@ int main(int argc, char** argv) {
   status_line(node);
   if (!trace_path.empty()) {
     if (obs.tracer.write_file(trace_path)) {
-      std::cerr << "[noded] trace: " << trace_path << " (" << obs.tracer.size()
-                << " events)\n";
+      obs::live::log_info("noded", "trace written",
+                          {{"path", trace_path},
+                           {"events", static_cast<std::uint64_t>(
+                                          obs.tracer.size())}});
     } else {
-      std::cerr << "[noded] trace: FAILED to write " << trace_path << "\n";
+      obs::live::log_error("noded", "trace write failed",
+                           {{"path", trace_path}});
     }
   }
   if (report) {
@@ -237,9 +258,11 @@ int main(int argc, char** argv) {
       std::ofstream out(report_path);
       if (out) {
         obs::write_report(out, obs);
-        std::cerr << "[noded] report: " << report_path << "\n";
+        obs::live::log_info("noded", "report written",
+                            {{"path", report_path}});
       } else {
-        std::cerr << "[noded] report: FAILED to write " << report_path << "\n";
+        obs::live::log_error("noded", "report write failed",
+                             {{"path", report_path}});
       }
     }
   }
