@@ -25,7 +25,7 @@ int main() {
   // --- Full node side: a small chain with real PoW and real transfers ------
   ledger::BlockTree tree;
   state::StateManager states(
-      std::map<ledger::NodeId, std::uint64_t>{{0, 10'000}, {1, 5'000}});
+      std::map<ledger::NodeId, UInt128>{{0, 10'000}, {1, 5'000}});
 
   ledger::BlockHash head = tree.genesis_hash();
   std::vector<std::vector<ledger::Transaction>> bodies;
@@ -64,9 +64,9 @@ int main() {
   const auto& final_state = states.state_at(tree, head);
   std::printf("full node: 6 blocks mined; balances: node0=%llu node1=%llu "
               "(supply conserved: %llu)\n",
-              static_cast<unsigned long long>(final_state.balance(0)),
-              static_cast<unsigned long long>(final_state.balance(1)),
-              static_cast<unsigned long long>(final_state.total_supply()));
+              static_cast<unsigned long long>(final_state.balance(0).lo()),
+              static_cast<unsigned long long>(final_state.balance(1).lo()),
+              static_cast<unsigned long long>(final_state.total_supply().lo()));
 
   // --- Light client side ----------------------------------------------------
   ledger::HeaderChain light;

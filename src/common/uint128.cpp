@@ -1,0 +1,93 @@
+#include "common/uint128.h"
+
+#include <ostream>
+
+#include "common/check.h"
+
+namespace themis {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+}  // namespace
+
+bool UInt128::add_overflow(const UInt128& rhs, UInt128& out) const {
+  const u64 lo = lo_ + rhs.lo_;
+  const u64 carry = lo < lo_ ? 1 : 0;
+  const u64 hi = hi_ + rhs.hi_;
+  const bool overflow = hi < hi_ || (carry != 0 && hi + carry == 0);
+  out = UInt128(hi + carry, lo);
+  return overflow;
+}
+
+bool UInt128::sub_borrow(const UInt128& rhs, UInt128& out) const {
+  const bool borrow = *this < rhs;
+  const u64 lo = lo_ - rhs.lo_;
+  const u64 lend = lo_ < rhs.lo_ ? 1 : 0;
+  out = UInt128(hi_ - rhs.hi_ - lend, lo);
+  return borrow;
+}
+
+bool UInt128::mul_overflow(u64 rhs, UInt128& out) const {
+  const u128 low = static_cast<u128>(lo_) * rhs;
+  const u128 high = static_cast<u128>(hi_) * rhs + static_cast<u64>(low >> 64);
+  out = UInt128(static_cast<u64>(high), static_cast<u64>(low));
+  return (high >> 64) != 0;
+}
+
+UInt128 UInt128::operator+(const UInt128& rhs) const {
+  UInt128 out;
+  add_overflow(rhs, out);
+  return out;
+}
+
+UInt128 UInt128::operator-(const UInt128& rhs) const {
+  UInt128 out;
+  sub_borrow(rhs, out);
+  return out;
+}
+
+UInt128 UInt128::div_small(u64 rhs, u64& remainder) const {
+  expects(rhs != 0, "division by zero");
+  const u64 q_hi = hi_ / rhs;
+  const u128 rest = (static_cast<u128>(hi_ % rhs) << 64) | lo_;
+  const u64 q_lo = static_cast<u64>(rest / rhs);
+  remainder = static_cast<u64>(rest % rhs);
+  return UInt128(q_hi, q_lo);
+}
+
+std::string UInt128::to_decimal() const {
+  if (is_zero()) return "0";
+  std::string out;
+  UInt128 v = *this;
+  while (!v.is_zero()) {
+    u64 digit = 0;
+    v = v.div_small(10, digit);
+    out.push_back(static_cast<char>('0' + digit));
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::optional<UInt128> UInt128::from_decimal(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  UInt128 value;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return std::nullopt;
+    if (value.mul_overflow(10, value)) return std::nullopt;
+    if (value.add_overflow(UInt128(static_cast<u64>(c - '0')), value)) {
+      return std::nullopt;
+    }
+  }
+  return value;
+}
+
+double UInt128::to_double() const {
+  return static_cast<double>(hi_) * 18446744073709551616.0 +
+         static_cast<double>(lo_);
+}
+
+std::ostream& operator<<(std::ostream& os, const UInt128& v) {
+  return os << v.to_decimal();
+}
+
+}  // namespace themis

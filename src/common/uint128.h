@@ -1,0 +1,91 @@
+// 128-bit unsigned integer for ledger balances.
+//
+// Consortium ledgers carry realistic economic ranges — 64-bit raw units
+// overflow once supplies reach ~1.8e19, so account balances and transfer
+// amounts are 128-bit (cf. the chratos uint128_union exemplar).  Unlike
+// UInt256 (a proof-of-work substrate), UInt128 is a *checked* quantity type:
+// ledger code uses add_overflow/sub_borrow and treats overflow as a
+// transaction failure, never as silent wraparound.
+//
+// Conversion is exact in both directions: to_decimal()/from_decimal() round-
+// trip every value, which is how balances cross the RPC JSON boundary (JSON
+// doubles corrupt integers past 2^53, so amounts travel as decimal strings).
+// Little-endian limb order: lo() holds the least-significant 64 bits.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace themis {
+
+class UInt128 {
+ public:
+  constexpr UInt128() = default;
+  // Implicit on purpose: every u64 widens losslessly, so existing call sites
+  // (genesis allocations, test literals) keep working unchanged.
+  constexpr UInt128(std::uint64_t v) : lo_(v) {}  // NOLINT(runtime/explicit)
+  constexpr UInt128(std::uint64_t hi, std::uint64_t lo) : lo_(lo), hi_(hi) {}
+
+  static constexpr UInt128 zero() { return UInt128(); }
+  static constexpr UInt128 max() { return UInt128(~0ull, ~0ull); }
+
+  constexpr bool is_zero() const { return (lo_ | hi_) == 0; }
+  constexpr std::uint64_t lo() const { return lo_; }
+  constexpr std::uint64_t hi() const { return hi_; }
+  /// True iff the value fits in 64 bits (lossless narrowing to u64).
+  constexpr bool fits_u64() const { return hi_ == 0; }
+
+  /// Add with carry-out (true if the sum wrapped past 2^128).  `out` may
+  /// alias *this or rhs.
+  bool add_overflow(const UInt128& rhs, UInt128& out) const;
+  /// Subtract with borrow-out (true if rhs > *this).  `out` may alias.
+  bool sub_borrow(const UInt128& rhs, UInt128& out) const;
+  /// Multiply by a 64-bit value (true if the product overflowed 128 bits).
+  bool mul_overflow(std::uint64_t rhs, UInt128& out) const;
+
+  // Wrapping arithmetic (mod 2^128), for non-ledger uses and tests.
+  UInt128 operator+(const UInt128& rhs) const;
+  UInt128 operator-(const UInt128& rhs) const;
+  UInt128& operator+=(const UInt128& rhs) { return *this = *this + rhs; }
+  UInt128& operator-=(const UInt128& rhs) { return *this = *this - rhs; }
+
+  /// Divide by a 64-bit value; returns quotient, writes remainder.
+  /// Throws PreconditionError on divide-by-zero.
+  UInt128 div_small(std::uint64_t rhs, std::uint64_t& remainder) const;
+
+  /// Exact base-10 rendering, no leading zeros ("0" for zero).
+  std::string to_decimal() const;
+  /// Parse a base-10 string.  Rejects empty input, non-digit characters
+  /// (including signs and whitespace), and values >= 2^128.  Leading zeros
+  /// are accepted ("007" == 7) so decimal round-trips stay forgiving.
+  static std::optional<UInt128> from_decimal(std::string_view text);
+
+  /// Approximate conversion for statistics/diagnostics.
+  double to_double() const;
+
+  constexpr auto operator<=>(const UInt128& rhs) const {
+    if (hi_ != rhs.hi_) {
+      return hi_ < rhs.hi_ ? std::strong_ordering::less
+                           : std::strong_ordering::greater;
+    }
+    if (lo_ != rhs.lo_) {
+      return lo_ < rhs.lo_ ? std::strong_ordering::less
+                           : std::strong_ordering::greater;
+    }
+    return std::strong_ordering::equal;
+  }
+  constexpr bool operator==(const UInt128& rhs) const = default;
+
+ private:
+  std::uint64_t lo_ = 0;
+  std::uint64_t hi_ = 0;
+};
+
+/// Decimal rendering (gtest failure messages, logs).
+std::ostream& operator<<(std::ostream& os, const UInt128& v);
+
+}  // namespace themis

@@ -1,5 +1,7 @@
 #include "ledger/block_store.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/serialize.h"
 #include "crypto/sha256.h"
@@ -9,6 +11,11 @@ namespace themis::ledger {
 namespace {
 
 constexpr std::uint32_t kRecordMagic = 0x544d4253;  // "SBMT"
+constexpr std::uint32_t kIndexMagic = 0x58444954;   // "TIDX"
+constexpr std::uint32_t kIndexVersion = 1;
+// height u64 | id 32B | offset u64 | length u32 | crc u32
+constexpr std::size_t kIndexEntrySize = 56;
+constexpr std::size_t kIndexHeaderSize = 8;
 
 /// Record layout: magic(4) | length(4) | payload | checksum(4).
 /// The checksum is the first 4 bytes of sha256d(payload).
@@ -28,21 +35,45 @@ BlockStore::BlockStore(std::filesystem::path path) : path_(std::move(path)) {
   if (!std::filesystem::exists(path_)) {
     std::ofstream(path_, std::ios::binary).flush();
   }
-  scan();
+  load_or_rebuild();
+  open_files();
+}
+
+void BlockStore::open_files() {
   writer_.open(path_, std::ios::binary | std::ios::in | std::ios::out);
   ensures(writer_.is_open(), "failed to open block store for writing");
   // Position after the last *valid* record: a torn tail is overwritten.
   writer_.seekp(static_cast<std::streamoff>(valid_bytes_));
   reader_.open(path_, std::ios::binary);
   ensures(reader_.is_open(), "failed to open block store for reading");
+  index_writer_.open(index_path(),
+                     std::ios::binary | std::ios::in | std::ios::out);
+  ensures(index_writer_.is_open(), "failed to open block index for writing");
+  index_writer_.seekp(static_cast<std::streamoff>(
+      kIndexHeaderSize + records_.size() * kIndexEntrySize));
 }
 
-void BlockStore::scan() {
+void BlockStore::load_or_rebuild() {
+  if (try_load_index()) {
+    opened_from_index_ = true;
+    return;
+  }
+  // Index missing, stale, or inconsistent with the data file: fall back to
+  // the full payload scan and rebuild the index from what it finds.
+  opened_from_index_ = false;
+  records_.clear();
+  by_id_.clear();
+  recovered_ = false;
+  valid_bytes_ = scan_from(0);
+  write_index_file();
+}
+
+std::uint64_t BlockStore::scan_from(std::uint64_t start_offset) {
   std::ifstream in(path_, std::ios::binary);
   ensures(in.is_open(), "failed to open block store for scanning");
 
   const std::uint64_t file_size = std::filesystem::file_size(path_);
-  std::uint64_t offset = 0;
+  std::uint64_t offset = start_offset;
   while (offset + 8 <= file_size) {
     std::uint8_t header[8];
     in.seekg(static_cast<std::streamoff>(offset));
@@ -68,11 +99,145 @@ void BlockStore::scan() {
       recovered_ = true;
       break;
     }
-    offsets_.push_back(Record{offset + 8, length});
+    Record record;
+    record.offset = offset + 8;
+    record.length = length;
+    try {
+      const Block block = Block::decode(payload);
+      record.height = block.height();
+      record.id = block.id();
+    } catch (const DecodeError&) {
+      recovered_ = true;  // checksummed but undecodable: treat as corrupt
+      break;
+    }
+    records_.push_back(record);
+    by_id_.emplace(record.id, records_.size() - 1);
     offset += 8 + length + 4;
   }
   if (offset < file_size) recovered_ = true;
-  valid_bytes_ = offset;
+  return offset;
+}
+
+bool BlockStore::try_load_index() {
+  const std::filesystem::path idx = index_path();
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(idx, ec) || ec) return false;
+  std::ifstream in(idx, std::ios::binary);
+  if (!in.is_open()) return false;
+  const std::uint64_t idx_size = std::filesystem::file_size(idx, ec);
+  if (ec || idx_size < kIndexHeaderSize) return false;
+  Bytes data(idx_size);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(idx_size));
+  if (!in.good()) return false;
+
+  {
+    Reader header(ByteSpan(data.data(), kIndexHeaderSize));
+    if (header.u32() != kIndexMagic) return false;
+    if (header.u32() != kIndexVersion) return false;
+  }
+
+  const std::uint64_t file_size = std::filesystem::file_size(path_, ec);
+  if (ec) return false;
+
+  records_.clear();
+  by_id_.clear();
+  recovered_ = false;
+  bool rewrite = false;
+
+  std::uint64_t expected_offset = 8;  // first payload starts past one header
+  std::size_t pos = kIndexHeaderSize;
+  while (pos + kIndexEntrySize <= idx_size) {
+    const ByteSpan entry(data.data() + pos, kIndexEntrySize);
+    Reader r(entry);
+    Record record;
+    record.height = r.u64();
+    record.id = r.hash();
+    record.offset = r.u64();
+    record.length = r.u32();
+    const std::uint32_t crc = r.u32();
+    if (crc != checksum_of(ByteSpan(entry.data(), kIndexEntrySize - 4))) {
+      return false;  // corrupt index entry: rebuild everything
+    }
+    // The index must describe a contiguous record chain inside the data
+    // file; any divergence (truncated data, stale index) forces a rescan.
+    if (record.offset != expected_offset ||
+        record.offset + record.length + 4 > file_size) {
+      return false;
+    }
+    by_id_.emplace(record.id, records_.size());
+    records_.push_back(record);
+    expected_offset = record.offset + record.length + 4 + 8;
+    pos += kIndexEntrySize;
+  }
+  if (pos != idx_size) rewrite = true;  // torn trailing index entry
+
+  valid_bytes_ =
+      records_.empty() ? 0 : expected_offset - 8;  // end of the last record
+
+  // Spot-check the final record's payload checksum so a stale index cannot
+  // vouch for data that was since corrupted in place at the tail.
+  if (!records_.empty()) {
+    std::ifstream din(path_, std::ios::binary);
+    if (!din.is_open()) return false;
+    const Record& last = records_.back();
+    Bytes payload(last.length);
+    din.seekg(static_cast<std::streamoff>(last.offset));
+    din.read(reinterpret_cast<char*>(payload.data()), last.length);
+    std::uint8_t check_raw[4];
+    din.read(reinterpret_cast<char*>(check_raw), 4);
+    if (!din.good()) return false;
+    Reader cr(ByteSpan(check_raw, 4));
+    if (cr.u32() != checksum_of(payload)) return false;
+  }
+
+  // Records appended after the index was last written are recovered by
+  // scanning just the tail.
+  if (valid_bytes_ < file_size) {
+    const std::size_t before = records_.size();
+    valid_bytes_ = scan_from(valid_bytes_);
+    if (records_.size() != before) rewrite = true;
+  }
+  if (rewrite) write_index_file();
+  return true;
+}
+
+void BlockStore::write_index_file() const {
+  Writer w(kIndexHeaderSize + records_.size() * kIndexEntrySize);
+  w.u32(kIndexMagic);
+  w.u32(kIndexVersion);
+  for (const Record& record : records_) {
+    Writer entry(kIndexEntrySize);
+    entry.u64(record.height);
+    entry.hash(record.id);
+    entry.u64(record.offset);
+    entry.u32(record.length);
+    entry.u32(checksum_of(entry.buffer()));
+    w.raw(entry.buffer());
+  }
+  const std::filesystem::path tmp = index_path().string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    ensures(out.is_open(), "failed to write block index");
+    out.write(reinterpret_cast<const char*>(w.buffer().data()),
+              static_cast<std::streamsize>(w.size()));
+    out.flush();
+    ensures(out.good(), "block index write failed");
+  }
+  std::filesystem::rename(tmp, index_path());
+}
+
+void BlockStore::append_index_entry(const Record& record) {
+  Writer entry(kIndexEntrySize);
+  entry.u64(record.height);
+  entry.hash(record.id);
+  entry.u64(record.offset);
+  entry.u32(record.length);
+  entry.u32(checksum_of(entry.buffer()));
+  index_writer_.write(reinterpret_cast<const char*>(entry.buffer().data()),
+                      static_cast<std::streamsize>(entry.size()));
+  index_writer_.flush();
+  ensures(index_writer_.good(), "block index append failed");
 }
 
 void BlockStore::append(const Block& block) {
@@ -82,21 +247,27 @@ void BlockStore::append(const Block& block) {
   w.u32(static_cast<std::uint32_t>(payload.size()));
   w.raw(payload);
   w.u32(checksum_of(payload));
-  const Bytes& record = w.buffer();
+  const Bytes& record_bytes = w.buffer();
 
-  writer_.write(reinterpret_cast<const char*>(record.data()),
-                static_cast<std::streamsize>(record.size()));
+  writer_.write(reinterpret_cast<const char*>(record_bytes.data()),
+                static_cast<std::streamsize>(record_bytes.size()));
   writer_.flush();
   ensures(writer_.good(), "block store write failed");
 
-  offsets_.push_back(
-      Record{valid_bytes_ + 8, static_cast<std::uint32_t>(payload.size())});
-  valid_bytes_ += record.size();
+  Record record;
+  record.offset = valid_bytes_ + 8;
+  record.length = static_cast<std::uint32_t>(payload.size());
+  record.height = block.height();
+  record.id = block.id();
+  by_id_.emplace(record.id, records_.size());
+  records_.push_back(record);
+  valid_bytes_ += record_bytes.size();
+  append_index_entry(record);
 }
 
 Block BlockStore::read(std::size_t index) const {
-  expects(index < offsets_.size(), "block index out of range");
-  const Record& record = offsets_[index];
+  expects(index < records_.size(), "block index out of range");
+  const Record& record = records_[index];
   Bytes payload(record.length);
   reader_.clear();
   reader_.seekg(static_cast<std::streamoff>(record.offset));
@@ -107,8 +278,46 @@ Block BlockStore::read(std::size_t index) const {
 
 std::vector<Block> BlockStore::read_all() const {
   std::vector<Block> out;
-  out.reserve(offsets_.size());
-  for (std::size_t i = 0; i < offsets_.size(); ++i) out.push_back(read(i));
+  out.reserve(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) out.push_back(read(i));
+  return out;
+}
+
+std::uint64_t BlockStore::height_at(std::size_t index) const {
+  expects(index < records_.size(), "block index out of range");
+  return records_[index].height;
+}
+
+const BlockHash& BlockStore::id_at(std::size_t index) const {
+  expects(index < records_.size(), "block index out of range");
+  return records_[index].id;
+}
+
+std::optional<std::size_t> BlockStore::find(const BlockHash& id) const {
+  const auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Block> BlockStore::read_by_id(const BlockHash& id) const {
+  const auto index = find(id);
+  if (!index.has_value()) return std::nullopt;
+  return read(*index);
+}
+
+std::optional<std::uint64_t> BlockStore::min_height() const {
+  std::optional<std::uint64_t> out;
+  for (const Record& record : records_) {
+    if (!out.has_value() || record.height < *out) out = record.height;
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> BlockStore::max_height() const {
+  std::optional<std::uint64_t> out;
+  for (const Record& record : records_) {
+    if (!out.has_value() || record.height > *out) out = record.height;
+  }
   return out;
 }
 
@@ -118,17 +327,18 @@ BlockStore::Cursor::Cursor(const BlockStore& store, std::size_t first,
   in_.open(store.path_, std::ios::binary);
   ensures(in_.is_open(), "failed to open block store cursor");
   if (index_ < limit_) {
-    in_.seekg(static_cast<std::streamoff>(store.offsets_[index_].offset));
+    in_.seekg(static_cast<std::streamoff>(store.records_[index_].offset));
   }
 }
 
 std::optional<Block> BlockStore::Cursor::next() {
   if (index_ >= limit_) return std::nullopt;
-  const Record& record = store_.offsets_[index_];
+  const Record& record = store_.records_[index_];
   Bytes payload(record.length);
   in_.read(reinterpret_cast<char*>(payload.data()), record.length);
   // Consume the trailing checksum plus the next record's header so the
-  // stream stays sequential (scan() already verified every checksum).
+  // stream stays sequential (open verified every checksum, or the index
+  // vouches for records it already validated).
   char skip[12];
   in_.read(skip, index_ + 1 < limit_ ? 12 : 4);
   ensures(in_.good() || index_ + 1 >= limit_, "block store cursor read failed");
@@ -138,22 +348,88 @@ std::optional<Block> BlockStore::Cursor::next() {
 
 BlockStore::Cursor BlockStore::stream(std::size_t first,
                                       std::size_t count) const {
-  expects(first <= offsets_.size(), "cursor start out of range");
+  expects(first <= records_.size(), "cursor start out of range");
   const std::size_t limit =
-      count > offsets_.size() - first ? offsets_.size() : first + count;
+      count > records_.size() - first ? records_.size() : first + count;
   return Cursor(*this, first, limit);
 }
 
-std::size_t BlockStore::replay_into(BlockTree& tree) const {
+std::size_t BlockStore::replay_into(BlockTree& tree,
+                                    std::uint64_t min_height) const {
   std::size_t attached = 0;
-  Cursor cursor = stream();
-  while (auto block = cursor.next()) {
-    auto ptr = std::make_shared<const Block>(*std::move(block));
+  if (min_height == 0) {
+    Cursor cursor = stream();
+    while (auto block = cursor.next()) {
+      auto ptr = std::make_shared<const Block>(*std::move(block));
+      if (tree.insert(std::move(ptr)) == BlockTree::InsertResult::inserted) {
+        ++attached;
+      }
+    }
+    return attached;
+  }
+  // Snapshot-restart path: skip pruned-prefix survivors via the index; only
+  // records at or above the floor are decoded.
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (records_[i].height < min_height) continue;
+    auto ptr = std::make_shared<const Block>(read(i));
     if (tree.insert(std::move(ptr)) == BlockTree::InsertResult::inserted) {
       ++attached;
     }
   }
   return attached;
+}
+
+std::size_t BlockStore::prune_below(std::uint64_t height) {
+  const std::size_t removed = static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [&](const Record& r) { return r.height < height; }));
+  if (removed == 0) return 0;
+
+  const std::filesystem::path tmp = path_.string() + ".tmp";
+  std::vector<Record> kept;
+  kept.reserve(records_.size() - removed);
+  std::uint64_t offset = 0;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    ensures(out.is_open(), "failed to open prune temp file");
+    for (const Record& record : records_) {
+      if (record.height < height) continue;
+      Bytes payload(record.length);
+      reader_.clear();
+      reader_.seekg(static_cast<std::streamoff>(record.offset));
+      reader_.read(reinterpret_cast<char*>(payload.data()), record.length);
+      ensures(reader_.good(), "block store read failed during prune");
+      Writer w(payload.size() + 16);
+      w.u32(kRecordMagic);
+      w.u32(record.length);
+      w.raw(payload);
+      w.u32(checksum_of(payload));
+      out.write(reinterpret_cast<const char*>(w.buffer().data()),
+                static_cast<std::streamsize>(w.size()));
+      Record moved = record;
+      moved.offset = offset + 8;
+      kept.push_back(moved);
+      offset += 8 + record.length + 4;
+    }
+    out.flush();
+    ensures(out.good(), "prune rewrite failed");
+  }
+
+  writer_.close();
+  reader_.close();
+  index_writer_.close();
+  std::filesystem::rename(tmp, path_);
+
+  records_ = std::move(kept);
+  by_id_.clear();
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    by_id_.emplace(records_[i].id, i);
+  }
+  valid_bytes_ = offset;
+  recovered_ = false;
+  write_index_file();
+  open_files();
+  return removed;
 }
 
 }  // namespace themis::ledger

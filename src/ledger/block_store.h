@@ -5,12 +5,26 @@
 // checksummed canonical block encoding.  On open, the store replays the file,
 // verifies every checksum and drops a trailing torn write (the classic
 // power-loss case), so a node can rebuild its BlockTree exactly as it was.
+//
+// A sidecar index (`<path>.idx`) maps every record to (height, id, offset,
+// length).  With a valid index, open() skips the O(history) payload scan —
+// it validates the index chain against the data file, spot-checks the final
+// record's checksum, and scans only records appended after the index was
+// last written.  Any inconsistency falls back to a full scan that rebuilds
+// the index from scratch, so the index is an accelerator, never a trust
+// root.  The in-memory id→record and height maps give O(1) lookup for sync
+// range-serving and get_block instead of a linear scan.
+//
+// prune_below(height) drops every record below a snapshot height (atomic
+// rewrite + rename of both files), bounding disk usage once a state snapshot
+// covers the pruned prefix.
 #pragma once
 
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "ledger/block.h"
@@ -20,21 +34,35 @@ namespace themis::ledger {
 
 class BlockStore {
  public:
-  /// Opens (or creates) the store file and scans existing records.
+  /// Opens (or creates) the store file, loading the sidecar index when it is
+  /// consistent and scanning (+ rebuilding the index) otherwise.
   /// Throws PreconditionError if the path is a directory.
   explicit BlockStore(std::filesystem::path path);
 
-  /// Append a block; flushes to the OS on every call.
+  /// Append a block; flushes both data and index to the OS on every call.
   void append(const Block& block);
 
   /// Number of valid records currently in the file.
-  std::size_t size() const { return offsets_.size(); }
+  std::size_t size() const { return records_.size(); }
 
   /// Decode the i-th block (0-based, insertion order).
   Block read(std::size_t index) const;
 
   /// Decode every stored block, in insertion order.
   std::vector<Block> read_all() const;
+
+  /// Record metadata from the index (no payload read).
+  std::uint64_t height_at(std::size_t index) const;
+  const BlockHash& id_at(std::size_t index) const;
+
+  /// O(1) id lookup; nullopt when the block is not stored.
+  std::optional<std::size_t> find(const BlockHash& id) const;
+  std::optional<Block> read_by_id(const BlockHash& id) const;
+
+  /// Lowest / highest record height (nullopt when empty).  After pruning,
+  /// min_height() is the restart floor: nothing below it can be replayed.
+  std::optional<std::uint64_t> min_height() const;
+  std::optional<std::uint64_t> max_height() const;
 
   /// Streaming per-record reader.  Unlike read()/read_all(), a Cursor owns a
   /// dedicated file handle that it advances sequentially — one record in
@@ -68,10 +96,16 @@ class BlockStore {
                 std::size_t count = static_cast<std::size_t>(-1)) const;
 
   /// Rebuild a BlockTree from the store, streaming one record at a time.
+  /// Records below `min_height` are skipped via the index without touching
+  /// their payloads (the snapshot-restart path replays only the suffix).
   /// Blocks whose parents are missing stay buffered in the tree's orphan pool
   /// (they count toward the return value only when attached).  Returns the
   /// number of attached blocks.
-  std::size_t replay_into(BlockTree& tree) const;
+  std::size_t replay_into(BlockTree& tree, std::uint64_t min_height = 0) const;
+
+  /// Drop every record with height < `height` (atomic rewrite of data and
+  /// index, then reopen).  Returns the number of records removed.
+  std::size_t prune_below(std::uint64_t height);
 
   /// Bytes of valid data (excluding any truncated tail that was dropped).
   std::uint64_t valid_bytes() const { return valid_bytes_; }
@@ -79,22 +113,41 @@ class BlockStore {
   /// True if open() found and ignored a torn/corrupt tail.
   bool recovered_from_torn_tail() const { return recovered_; }
 
+  /// True when open() was served by the sidecar index (no full payload
+  /// scan); false when the index was missing/stale and got rebuilt.
+  bool opened_from_index() const { return opened_from_index_; }
+
   const std::filesystem::path& path() const { return path_; }
+  std::filesystem::path index_path() const {
+    return std::filesystem::path(path_.string() + ".idx");
+  }
 
  private:
   struct Record {
-    std::uint64_t offset = 0;
+    std::uint64_t offset = 0;  ///< payload offset (past the 8-byte header)
     std::uint32_t length = 0;
+    std::uint64_t height = 0;
+    BlockHash id{};
   };
 
-  void scan();
+  void open_files();
+  void load_or_rebuild();
+  /// Full payload scan from `start_offset`, appending records.  Returns the
+  /// offset past the last valid record.
+  std::uint64_t scan_from(std::uint64_t start_offset);
+  bool try_load_index();
+  void write_index_file() const;
+  void append_index_entry(const Record& record);
 
   std::filesystem::path path_;
   mutable std::ifstream reader_;
   std::ofstream writer_;
-  std::vector<Record> offsets_;
+  std::ofstream index_writer_;
+  std::vector<Record> records_;
+  std::unordered_map<BlockHash, std::size_t, Hash32Hasher> by_id_;
   std::uint64_t valid_bytes_ = 0;
   bool recovered_ = false;
+  bool opened_from_index_ = false;
 };
 
 }  // namespace themis::ledger

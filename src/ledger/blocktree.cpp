@@ -66,13 +66,21 @@ BlockTree::BlockTree() : BlockTree(std::make_shared<const Block>(Block::genesis(
 
 BlockTree::BlockTree(BlockPtr genesis) {
   expects(genesis != nullptr, "genesis must not be null");
-  expects(genesis->height() == 0, "genesis must have height 0");
+  // The root is usually the network genesis (height 0), but a node restoring
+  // from a state snapshot re-roots its tree at the snapshot block: everything
+  // below it is pruned, and the StateManager base carries the state at the
+  // root inclusive.
   genesis_hash_ = genesis->id();
+  const std::uint64_t root_height = genesis->height();
   // Head off the rehash cascade as chains grow (hundreds of simulated trees
   // each rehashing several times adds up); ~2 KB when the tree stays tiny.
   index_.reserve(256);
   index_.emplace(genesis_hash_, 0);
-  hot_.push_back(Hot{});
+  Hot root{};
+  root.height = root_height;
+  root.subtree_max_height = root_height;
+  hot_.push_back(root);
+  max_height_ = root_height;
   Cold c;
   c.block = std::move(genesis);
   c.id = genesis_hash_;

@@ -75,4 +75,10 @@ bool HeaderChain::verify_inclusion(const BlockHash& id, const TxId& txid,
   return crypto::merkle_verify(txid, proof, it->second.header.merkle_root);
 }
 
+bool HeaderChain::verify_commitment(const Hash32& leaf,
+                                    const crypto::MerkleProof& proof,
+                                    const Hash32& root) {
+  return crypto::merkle_verify(leaf, proof, root);
+}
+
 }  // namespace themis::ledger

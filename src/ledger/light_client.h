@@ -55,6 +55,14 @@ class HeaderChain {
   bool verify_inclusion(const BlockHash& id, const TxId& txid,
                         const crypto::MerkleProof& proof) const;
 
+  /// Generic commitment check: does `leaf` live under `root` according to
+  /// `proof`?  Used by the authenticated-state layer to verify account
+  /// inclusion proofs against a head state root (the state root travels
+  /// alongside the header, so light verifiers need no full node).
+  static bool verify_commitment(const Hash32& leaf,
+                                const crypto::MerkleProof& proof,
+                                const Hash32& root);
+
  private:
   struct Entry {
     BlockHeader header;

@@ -11,6 +11,7 @@
 #include "ledger/validation.h"
 #include "obs/live/log.h"
 #include "p2p/sync.h"
+#include "state/authstate/snapshot.h"
 
 namespace themis::p2p {
 
@@ -45,9 +46,9 @@ std::string short_hex(const BlockHash& id) {
 }
 
 /// Genesis funding: every consortium account starts with the same balance.
-std::map<ledger::NodeId, std::uint64_t> genesis_allocation(
+std::map<ledger::NodeId, UInt128> genesis_allocation(
     const P2pNodeConfig& config) {
-  std::map<ledger::NodeId, std::uint64_t> alloc;
+  std::map<ledger::NodeId, UInt128> alloc;
   if (config.genesis_fund > 0) {
     for (std::size_t i = 0; i < config.n_nodes; ++i) {
       alloc[static_cast<ledger::NodeId>(i)] = config.genesis_fund;
@@ -189,9 +190,42 @@ bool P2pNode::start() {
   if (!config_.datadir.empty()) {
     std::filesystem::create_directories(config_.datadir);
     std::lock_guard<std::mutex> lock(mu_);
-    store_ = std::make_unique<ledger::BlockStore>(config_.datadir / "blocks.dat");
-    stats_.store_replayed = store_->replay_into(tree_);
-    if (stats_.store_replayed > 0) {
+    // Restart in O(snapshot + suffix), not O(history): when a verified state
+    // snapshot exists and its block is in the store, re-root the tree at the
+    // snapshot block, seed the StateManager base with the restored state,
+    // and replay only the records above the snapshot height.  Any snapshot
+    // defect (checksum, version, root mismatch, missing block) falls back to
+    // the full replay path.
+    const auto snap =
+        state::authstate::read_snapshot(config_.datadir / "state.snap");
+    store_ =
+        std::make_unique<ledger::BlockStore>(config_.datadir / "blocks.dat");
+    bool rerooted = false;
+    if (snap.has_value()) {
+      if (auto root_block = store_->read_by_id(snap->block);
+          root_block.has_value()) {
+        tree_ = ledger::BlockTree(
+            std::make_shared<const Block>(*std::move(root_block)));
+        state_.reset_base(snap->state);
+        last_snapshot_height_ = snap->height;
+        stats_.snapshot_height = snap->height;
+        stats_.restored_from_snapshot = true;
+        rerooted = true;
+        stats_.store_replayed = store_->replay_into(tree_, snap->height + 1);
+        obs::live::log_info(
+            "chain", "restored from snapshot",
+            {{"height", snap->height},
+             {"accounts",
+              static_cast<std::uint64_t>(snap->state.accounts().size())},
+             {"replayed", stats_.store_replayed}});
+      } else {
+        obs::live::log_warn("chain",
+                            "snapshot block missing from store; full replay",
+                            {{"height", snap->height}});
+      }
+    }
+    if (!rerooted) stats_.store_replayed = store_->replay_into(tree_);
+    if (stats_.store_replayed > 0 || rerooted) {
       tracker_.reset(tree_, *rule_, tree_.genesis_hash(),
                      config_.finality_depth);
       // The confirmed-tx index covers the replayed main chain, so tx_status
@@ -857,6 +891,7 @@ bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
         stats_.txs_confirmed += rec.confirmed;
         stats_.txs_returned += rec.returned;
         stats_.txs_purged += rec.purged;
+        maybe_snapshot_locked();
       }
     }
   }
@@ -1086,6 +1121,114 @@ P2pNode::AccountInfo P2pNode::account_info(ledger::NodeId id) const {
   const state::Account& account =
       state_.state_at(tree_, tracker_.head()).account(id);
   return AccountInfo{account.balance, account.next_nonce};
+}
+
+const Hash32& P2pNode::ensure_root_locked() const {
+  const ledger::BlockHash head = tracker_.head();
+  if (root_valid_ && root_head_ == head) return root_cache_.root();
+  const state::LedgerState& state = state_.state_at(tree_, head);
+  // Incremental path: if the previous root head is an ancestor within a
+  // short parent walk and every block in between recorded a validation
+  // delta, only the pages those deltas touched need re-hashing.  A reorg
+  // (old head not an ancestor) or a missing delta falls back to a full
+  // rebuild, so the cache can never serve a stale root.
+  static constexpr std::size_t kMaxIncrementalWalk = 64;
+  bool incremental = false;
+  std::vector<ledger::NodeId> touched;
+  if (root_valid_) {
+    ledger::BlockHash cursor = head;
+    for (std::size_t steps = 0; steps <= kMaxIncrementalWalk; ++steps) {
+      if (cursor == root_head_) {
+        incremental = true;
+        break;
+      }
+      const state::StateDelta* delta = state_.delta(cursor);
+      if (delta == nullptr) break;
+      for (const auto& [id, account] : delta->accounts) touched.push_back(id);
+      const auto parent = tree_.parent(cursor);
+      if (!parent.has_value()) break;
+      cursor = *parent;
+    }
+  }
+  if (incremental) {
+    root_cache_.update(state, touched);
+  } else {
+    root_cache_.rebuild(state);
+  }
+  root_head_ = head;
+  root_valid_ = true;
+  return root_cache_.root();
+}
+
+Hash32 P2pNode::head_state_root() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ensure_root_locked();
+}
+
+UInt128 P2pNode::total_supply() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_.state_at(tree_, tracker_.head()).total_supply();
+}
+
+P2pNode::BalanceProof P2pNode::balance_proof(ledger::NodeId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BalanceProof result;
+  result.head = tracker_.head();
+  result.height = tracker_.head_height();
+  result.state_root = ensure_root_locked();
+  const state::LedgerState& state = state_.state_at(tree_, result.head);
+  result.account = state.account(id);
+  // The root cache already holds every page hash for the head, so proof
+  // construction only encodes the one target page instead of re-hashing the
+  // whole state (prove_account's O(accounts) path).
+  const std::uint32_t page = state::authstate::page_of(id);
+  const std::uint32_t page_count = root_cache_.page_count();
+  result.proof.page = page;
+  result.proof.page_count = page_count;
+  if (page < page_count) {
+    result.available = true;
+    result.proof.page_bytes = state::authstate::encode_page(state, page);
+    result.proof.steps = crypto::merkle_prove(root_cache_.page_hashes(), page);
+  }
+  return result;
+}
+
+void P2pNode::maybe_snapshot_locked() {
+  if (config_.snapshot_interval == 0 || config_.datadir.empty()) return;
+  const std::uint64_t anchor_height = tracker_.anchor_height();
+  if (anchor_height < last_snapshot_height_ + config_.snapshot_interval) {
+    return;
+  }
+  const ledger::BlockHash anchor = tracker_.anchor();
+  state::authstate::Snapshot snap;
+  snap.height = anchor_height;
+  snap.block = anchor;
+  snap.state = state_.state_at(tree_, anchor);
+  if (!state::authstate::write_snapshot(config_.datadir / "state.snap",
+                                        snap)) {
+    obs::live::log_warn("chain", "snapshot write failed",
+                        {{"height", anchor_height}});
+    return;
+  }
+  // Pin the anchor state so the next snapshot replays only the interval
+  // since this one, not the whole chain from the tree root.
+  state_.pin_anchor(tree_, anchor);
+  last_snapshot_height_ = anchor_height;
+  stats_.snapshot_height = anchor_height;
+  ++stats_.snapshots_written;
+  obs::live::log_info(
+      "chain", "snapshot written",
+      {{"height", anchor_height},
+       {"accounts", static_cast<std::uint64_t>(snap.state.accounts().size())}});
+  if (config_.prune && store_ != nullptr) {
+    const std::size_t removed = store_->prune_below(anchor_height);
+    stats_.blocks_pruned += removed;
+    if (removed > 0) {
+      obs::live::log_info("chain", "pruned block store",
+                          {{"below", anchor_height},
+                           {"removed", static_cast<std::uint64_t>(removed)}});
+    }
+  }
 }
 
 std::optional<P2pNode::BlockInfo> P2pNode::block_info(

@@ -67,6 +67,7 @@
 #include "obs/live/stage_tracker.h"
 #include "obs/observability.h"
 #include "p2p/peer_manager.h"
+#include "state/authstate/merkle_state.h"
 #include "state/ledger_state.h"
 #include "state/pool_reconciler.h"
 
@@ -97,6 +98,17 @@ struct P2pNodeConfig {
 
   /// Directory for durable state (blocks.dat); empty = memory only.
   std::filesystem::path datadir;
+
+  /// Write a state snapshot (datadir/state.snap) whenever the finalized
+  /// anchor has advanced this many blocks past the previous snapshot
+  /// (0 = never).  A valid snapshot found at start() is always restored,
+  /// re-rooting the tree at the snapshot block so restart cost is
+  /// O(snapshot + blocks since) instead of O(history).
+  std::uint64_t snapshot_interval = 0;
+  /// After each snapshot, drop block-store records below the snapshot
+  /// height.  A pruned node keeps serving sync for everything above its
+  /// snapshot; fresh nodes bootstrapping from genesis need an unpruned peer.
+  bool prune = false;
 
   /// Real-PoW difficulty: one hash succeeds with probability 1/difficulty,
   /// so expected hashes per block = difficulty (T_0 = T_max convention).
@@ -215,6 +227,12 @@ class P2pNode {
     std::uint64_t sync_rounds = 0;       ///< getblocks requests we issued
     std::uint64_t store_replayed = 0;    ///< blocks recovered at start()
 
+    // Authenticated state / snapshots.
+    std::uint64_t snapshots_written = 0; ///< state snapshots persisted
+    std::uint64_t snapshot_height = 0;   ///< height of the latest snapshot
+    std::uint64_t blocks_pruned = 0;     ///< store records dropped by pruning
+    bool restored_from_snapshot = false; ///< start() loaded a snapshot
+
     // Transaction pipeline.
     std::uint64_t txs_submitted = 0;     ///< admission attempts (RPC + wire)
     std::uint64_t txs_accepted = 0;      ///< entered the pool
@@ -259,11 +277,29 @@ class P2pNode {
   TxStatusInfo tx_status(const ledger::TxId& id) const;
 
   struct AccountInfo {
-    std::uint64_t balance = 0;
+    UInt128 balance;
     std::uint64_t next_nonce = 1;
   };
   /// Balance and next expected nonce at the current head.
   AccountInfo account_info(ledger::NodeId id) const;
+
+  /// Merkle root of the account state at the current head (authstate paged
+  /// commitment).  Maintained incrementally from validation deltas; two
+  /// nodes at the same head report bit-identical roots.
+  Hash32 head_state_root() const;
+  /// Sum of all balances at the head (decimal-exact over RPC).
+  UInt128 total_supply() const;
+
+  struct BalanceProof {
+    bool available = false;  ///< false when the id lies past the committed range
+    state::Account account;  ///< claimed state the proof pins down
+    state::authstate::AccountProof proof;
+    Hash32 state_root{};
+    ledger::BlockHash head{};
+    std::uint64_t height = 0;
+  };
+  /// Account state plus a Merkle inclusion proof against head_state_root().
+  BalanceProof balance_proof(ledger::NodeId id) const;
 
   struct BlockInfo {
     ledger::BlockPtr block;
@@ -331,6 +367,12 @@ class P2pNode {
   /// §III validation plus a body replay against the parent state (rejects
   /// double-spends).  Non-const: state_at() caches snapshots.
   bool validate_locked(const ledger::Block& block);
+  /// Bring root_cache_ up to the current head: incremental page re-hash when
+  /// the head advanced over recorded deltas, full rebuild otherwise.
+  const Hash32& ensure_root_locked() const;
+  /// Snapshot (and optionally prune) once the anchor has advanced
+  /// snapshot_interval blocks past the last snapshot.
+  void maybe_snapshot_locked();
   void mine_loop();
   void trace(std::string_view event, std::initializer_list<obs::Field> fields);
   std::int64_t wall_nanos() const;
@@ -365,6 +407,13 @@ class P2pNode {
   mutable state::StateManager state_;
   /// Confirmed-tx index + pool/chain reconciliation across head changes.
   state::PoolReconciler reconciler_;
+  /// Lazily maintained authstate commitment for the current head (mutable:
+  /// const observers materialize it on demand — still guarded by mu_).
+  mutable state::authstate::RootCache root_cache_;
+  mutable ledger::BlockHash root_head_{};
+  mutable bool root_valid_ = false;
+  /// Anchor height of the latest snapshot written or restored.
+  std::uint64_t last_snapshot_height_ = 0;
   ChainStats stats_;
 
   /// Pending transactions.  Internally synchronized; see the lock-order rule

@@ -68,7 +68,13 @@ Json tx_to_json(const ledger::Transaction& tx) {
   out.set("timestamp_nanos", static_cast<std::int64_t>(tx.timestamp_nanos()));
   if (const auto transfer = state::transfer_of(tx); transfer.has_value()) {
     out.set("to", static_cast<std::uint64_t>(transfer->to));
-    out.set("amount", transfer->amount);
+    // Mirror build_tx: u64-range amounts stay JSON numbers, larger ones are
+    // exact decimal strings.
+    if (transfer->amount.fits_u64()) {
+      out.set("amount", transfer->amount.lo());
+    } else {
+      out.set("amount", transfer->amount.to_decimal());
+    }
     if (!transfer->memo.empty()) {
       out.set("memo", std::string(transfer->memo.begin(), transfer->memo.end()));
     }
@@ -251,13 +257,24 @@ ledger::SignedTransaction Gateway::build_tx(const Json& spec) {
     // Structured transfer, signed here with the consortium key (the gateway
     // runs inside the consortium node, so it holds the deterministic keys).
     if (!spec["sender"].is_number() || !spec["to"].is_number() ||
-        !spec["amount"].is_number()) {
+        (!spec["amount"].is_number() && !spec["amount"].is_string())) {
       fail(kInvalidParams, "need sender, to, amount (or raw)");
     }
     const auto sender = static_cast<ledger::NodeId>(spec["sender"].as_u64());
     state::Transfer transfer;
     transfer.to = static_cast<ledger::NodeId>(spec["to"].as_u64());
-    transfer.amount = spec["amount"].as_u64();
+    // Amounts above 2^64 - 1 do not fit a JSON number our codec accepts
+    // exactly, so large amounts travel as decimal strings.  from_decimal is
+    // strict: digits only, value < 2^128.
+    if (spec["amount"].is_string()) {
+      const auto amount = UInt128::from_decimal(spec["amount"].as_string());
+      if (!amount.has_value()) {
+        fail(kInvalidParams, "amount must be a decimal string < 2^128");
+      }
+      transfer.amount = *amount;
+    } else {
+      transfer.amount = spec["amount"].as_u64();
+    }
     if (spec.has("memo")) {
       const std::string& memo = spec["memo"].as_string();
       transfer.memo.assign(memo.begin(), memo.end());
@@ -425,10 +442,38 @@ Json Gateway::rpc_get_balance(const Json& params) {
   }
   const auto account =
       static_cast<ledger::NodeId>(params["account"].as_u64());
-  const auto info = node_.account_info(account);
   Json out;
   out.set("account", static_cast<std::uint64_t>(account));
-  out.set("balance", info.balance);
+  // 128-bit balances travel as exact decimal strings: the JSON codec only
+  // represents integers up to 64 bits without loss, and a double would
+  // silently round anything past 2^53.
+  if (params.has("prove") && params["prove"].is_bool() &&
+      params["prove"].as_bool()) {
+    const auto bp = node_.balance_proof(account);
+    out.set("balance", bp.account.balance.to_decimal());
+    out.set("next_nonce", bp.account.next_nonce);
+    out.set("state_root", to_hex(bp.state_root));
+    out.set("head", to_hex(bp.head));
+    out.set("height", bp.height);
+    Json proof;
+    proof.set("available", bp.available);
+    proof.set("page", static_cast<std::uint64_t>(bp.proof.page));
+    proof.set("page_count", static_cast<std::uint64_t>(bp.proof.page_count));
+    proof.set("page_bytes", to_hex(bp.proof.page_bytes));
+    Json::Array steps;
+    steps.reserve(bp.proof.steps.size());
+    for (const crypto::MerkleStep& step : bp.proof.steps) {
+      Json entry;
+      entry.set("sibling", to_hex(step.sibling));
+      entry.set("left", step.sibling_on_left);
+      steps.push_back(std::move(entry));
+    }
+    proof.set("steps", Json(std::move(steps)));
+    out.set("proof", std::move(proof));
+    return out;
+  }
+  const auto info = node_.account_info(account);
+  out.set("balance", info.balance.to_decimal());
   out.set("next_nonce", info.next_nonce);
   return out;
 }
@@ -444,6 +489,12 @@ Json Gateway::rpc_status() {
   out.set("mining", node_.mining());
   out.set("tree_blocks", node_.tree_blocks());
   out.set("txs_confirmed", chain.txs_confirmed);
+  out.set("state_root", to_hex(node_.head_state_root()));
+  out.set("total_supply", node_.total_supply().to_decimal());
+  out.set("snapshot_height", chain.snapshot_height);
+  out.set("snapshots_written", chain.snapshots_written);
+  out.set("blocks_pruned", chain.blocks_pruned);
+  out.set("restored_from_snapshot", chain.restored_from_snapshot);
   return out;
 }
 

@@ -1,0 +1,159 @@
+#include "state/authstate/merkle_state.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/serialize.h"
+#include "crypto/sha256.h"
+#include "ledger/light_client.h"
+
+namespace themis::state::authstate {
+
+namespace {
+
+// Domain tag for page leaves, so a page hash can never be confused with a
+// transaction id or an internal Merkle node.
+constexpr std::uint32_t kPageTag = 0x45475054;  // "TPGE"
+
+bool is_default(const Account& a) { return a == Account{}; }
+
+/// Merkle path length crypto/merkle produces for `leaves` leaves.
+std::size_t proof_depth(std::uint32_t leaves) {
+  std::size_t depth = 0;
+  for (std::uint32_t n = leaves; n > 1; n = (n + 1) / 2) ++depth;
+  return depth;
+}
+
+}  // namespace
+
+Bytes encode_page(const LedgerState& state, std::uint32_t page) {
+  const auto& accounts = state.accounts();
+  const ledger::NodeId first = page * kAccountsPerPage;
+  Writer entries;
+  std::uint32_t count = 0;
+  for (auto it = accounts.lower_bound(first);
+       it != accounts.end() && page_of(it->first) == page; ++it) {
+    if (is_default(it->second)) continue;
+    entries.u32(it->first);
+    entries.u64(it->second.balance.lo());
+    entries.u64(it->second.balance.hi());
+    entries.u64(it->second.next_nonce);
+    ++count;
+  }
+  Writer w(8 + entries.size());
+  w.varint(count);
+  w.raw(entries.buffer());
+  return w.take();
+}
+
+Hash32 page_leaf_hash(std::uint32_t page, ByteSpan page_bytes) {
+  Writer w(8 + page_bytes.size());
+  w.u32(kPageTag);
+  w.u32(page);
+  w.raw(page_bytes);
+  return crypto::sha256d(w.buffer());
+}
+
+std::uint32_t page_count_of(const LedgerState& state) {
+  const auto& accounts = state.accounts();
+  for (auto it = accounts.rbegin(); it != accounts.rend(); ++it) {
+    if (!is_default(it->second)) return page_of(it->first) + 1;
+  }
+  return 0;
+}
+
+std::vector<Hash32> page_hashes_of(const LedgerState& state) {
+  const std::uint32_t count = page_count_of(state);
+  std::vector<Hash32> hashes;
+  hashes.reserve(count);
+  for (std::uint32_t p = 0; p < count; ++p) {
+    hashes.push_back(page_leaf_hash(p, encode_page(state, p)));
+  }
+  return hashes;
+}
+
+Hash32 state_root_of(const LedgerState& state) {
+  return crypto::merkle_root(page_hashes_of(state));
+}
+
+std::optional<AccountProof> prove_account(const LedgerState& state,
+                                          ledger::NodeId id) {
+  const std::vector<Hash32> hashes = page_hashes_of(state);
+  const std::uint32_t page = page_of(id);
+  if (page >= hashes.size()) return std::nullopt;
+  AccountProof proof;
+  proof.page = page;
+  proof.page_count = static_cast<std::uint32_t>(hashes.size());
+  proof.page_bytes = encode_page(state, page);
+  proof.steps = crypto::merkle_prove(hashes, page);
+  return proof;
+}
+
+bool verify_account_proof(const Hash32& root, ledger::NodeId id,
+                          const Account& claimed, const AccountProof& proof) {
+  if (proof.page != page_of(id)) return false;
+  if (proof.page >= proof.page_count) return false;
+  // The proof depth must match the committed page span exactly; a mismatched
+  // depth would let a leaf be reinterpreted as an internal node.
+  if (proof.steps.size() != proof_depth(proof.page_count)) return false;
+
+  // Strict canonical page decode: ascending in-range ids, no default
+  // accounts, no trailing bytes.  Anything non-canonical is rejected so the
+  // prover cannot smuggle an alternative encoding of the same page.
+  std::optional<Account> found;
+  try {
+    Reader r(proof.page_bytes);
+    const std::uint64_t count = r.varint();
+    std::optional<ledger::NodeId> prev;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const ledger::NodeId entry_id = r.u32();
+      if (page_of(entry_id) != proof.page) return false;
+      if (prev.has_value() && entry_id <= *prev) return false;
+      prev = entry_id;
+      Account account;
+      const std::uint64_t lo = r.u64();
+      const std::uint64_t hi = r.u64();
+      account.balance = UInt128(hi, lo);
+      account.next_nonce = r.u64();
+      if (is_default(account)) return false;
+      if (entry_id == id) found = account;
+    }
+    r.expect_done();
+  } catch (const DecodeError&) {
+    return false;
+  }
+
+  // The page either pins the account's exact state or proves its absence.
+  if (found.value_or(Account{}) != claimed) return false;
+
+  const Hash32 leaf = page_leaf_hash(proof.page, proof.page_bytes);
+  return ledger::HeaderChain::verify_commitment(leaf, proof.steps, root);
+}
+
+void RootCache::rebuild(const LedgerState& state) {
+  pages_ = page_hashes_of(state);
+  root_ = crypto::merkle_root(pages_);
+}
+
+void RootCache::update(const LedgerState& state,
+                       const std::vector<ledger::NodeId>& touched) {
+  const std::uint32_t old_count = page_count();
+  const std::uint32_t new_count = page_count_of(state);
+  pages_.resize(new_count);
+
+  std::set<std::uint32_t> dirty;
+  for (const ledger::NodeId id : touched) {
+    const std::uint32_t p = page_of(id);
+    if (p < new_count) dirty.insert(p);
+  }
+  // Pages newly inside the committed span need hashes even when untouched
+  // (an id jump can commit empty pages in between).
+  for (std::uint32_t p = old_count; p < new_count; ++p) dirty.insert(p);
+
+  for (const std::uint32_t p : dirty) {
+    pages_[p] = page_leaf_hash(p, encode_page(state, p));
+  }
+  root_ = crypto::merkle_root(pages_);
+}
+
+}  // namespace themis::state::authstate

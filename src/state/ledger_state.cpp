@@ -13,12 +13,15 @@ std::string_view to_string(TxOutcome outcome) {
     case TxOutcome::bad_nonce: return "bad_nonce";
     case TxOutcome::insufficient_funds: return "insufficient_funds";
     case TxOutcome::unknown_recipient: return "unknown_recipient";
+    case TxOutcome::overflow: return "overflow";
   }
   return "unknown";
 }
 
-void LedgerState::fund(ledger::NodeId account, std::uint64_t amount) {
-  accounts_[account].balance += amount;
+void LedgerState::fund(ledger::NodeId account, const UInt128& amount) {
+  Account& acct = accounts_[account];
+  const bool overflow = acct.balance.add_overflow(amount, acct.balance);
+  expects(!overflow, "genesis funding overflows account balance");
 }
 
 const Account& LedgerState::account(ledger::NodeId id) const {
@@ -27,9 +30,11 @@ const Account& LedgerState::account(ledger::NodeId id) const {
   return it == accounts_.end() ? kEmpty : it->second;
 }
 
-std::uint64_t LedgerState::total_supply() const {
-  std::uint64_t total = 0;
-  for (const auto& [id, acct] : accounts_) total += acct.balance;
+UInt128 LedgerState::total_supply() const {
+  UInt128 total;
+  for (const auto& [id, acct] : accounts_) {
+    if (total.add_overflow(acct.balance, total)) return UInt128::max();
+  }
   return total;
 }
 
@@ -44,10 +49,18 @@ TxOutcome LedgerState::apply(const ledger::Transaction& tx) {
   }
   if (transfer->to == ledger::kNoNode) return TxOutcome::unknown_recipient;
   if (sender.balance < transfer->amount) return TxOutcome::insufficient_funds;
-
+  // Self-transfers are a no-op on balances; everyone else's credit must not
+  // wrap the 128-bit range.
+  if (transfer->to != tx.sender()) {
+    UInt128 credited;
+    if (accounts_[transfer->to].balance.add_overflow(transfer->amount,
+                                                     credited)) {
+      return TxOutcome::overflow;
+    }
+    accounts_[transfer->to].balance = credited;
+    sender.balance -= transfer->amount;
+  }
   ++sender.next_nonce;
-  sender.balance -= transfer->amount;
-  accounts_[transfer->to].balance += transfer->amount;
   return TxOutcome::applied;
 }
 
@@ -93,10 +106,15 @@ TxOutcome ScratchState::apply(const ledger::Transaction& tx) {
   }
   if (transfer->to == ledger::kNoNode) return TxOutcome::unknown_recipient;
   if (sender.balance < transfer->amount) return TxOutcome::insufficient_funds;
-
+  if (transfer->to != tx.sender()) {
+    UInt128 credited;
+    if (touch(transfer->to).balance.add_overflow(transfer->amount, credited)) {
+      return TxOutcome::overflow;
+    }
+    touch(transfer->to).balance = credited;
+    sender.balance -= transfer->amount;
+  }
   ++sender.next_nonce;
-  sender.balance -= transfer->amount;
-  touch(transfer->to).balance += transfer->amount;
   ++applied_;
   return TxOutcome::applied;
 }
@@ -112,28 +130,75 @@ StateDelta ScratchState::take_delta() {
   return delta;
 }
 
-StateManager::StateManager(std::map<ledger::NodeId, std::uint64_t> allocation) {
+StateManager::StateManager(std::map<ledger::NodeId, UInt128> allocation,
+                           std::size_t max_cached)
+    : max_cached_(max_cached) {
+  expects(max_cached_ >= 1, "state cache must hold at least one snapshot");
   for (const auto& [account, amount] : allocation) {
-    genesis_state_.fund(account, amount);
+    base_state_.fund(account, amount);
   }
+}
+
+void StateManager::cache_touch(CacheEntry& entry) {
+  lru_.splice(lru_.begin(), lru_, entry.lru);
+}
+
+const LedgerState& StateManager::cache_put(const ledger::BlockHash& block,
+                                           LedgerState state) {
+  const auto it = cache_.find(block);
+  if (it != cache_.end()) {
+    it->second.state = std::move(state);
+    cache_touch(it->second);
+    return it->second.state;
+  }
+  lru_.push_front(block);
+  auto& entry = cache_[block];
+  entry.state = std::move(state);
+  entry.lru = lru_.begin();
+  while (cache_.size() > max_cached_) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return cache_.at(block).state;
 }
 
 const LedgerState& StateManager::state_at(const ledger::BlockTree& tree,
                                           const ledger::BlockHash& block) {
   expects(tree.contains(block), "block not in tree");
-  // Walk up to the nearest cached ancestor (or genesis), then replay down.
+  {
+    const auto it = cache_.find(block);
+    if (it != cache_.end()) {
+      cache_touch(it->second);
+      return it->second.state;
+    }
+  }
+  if (pinned_.has_value() && pinned_->first == block) return pinned_->second;
+  // Walk up to the nearest cached ancestor (or the tree root), then replay
+  // down onto one working copy.  Only the requested block is cached: caching
+  // every intermediate would copy the full account map per block, which at a
+  // million accounts is unaffordable in both time and memory.
   std::vector<ledger::BlockHash> pending;
   ledger::BlockHash cursor = block;
-  while (!cache_.contains(cursor) && cursor != tree.genesis_hash()) {
+  while (!cache_.contains(cursor) &&
+         !(pinned_.has_value() && pinned_->first == cursor) &&
+         cursor != tree.genesis_hash()) {
     pending.push_back(cursor);
     const auto parent = tree.parent(cursor);
-    ensures(parent.has_value(), "non-genesis block must have a parent");
+    ensures(parent.has_value(), "non-root block must have a parent");
     cursor = *parent;
   }
 
-  LedgerState state = (cursor == tree.genesis_hash() && !cache_.contains(cursor))
-                          ? genesis_state_
-                          : cache_.at(cursor);
+  // base_state_ is the state *at* the root block inclusive (the genesis
+  // allocation for a genesis-rooted tree — the genesis body is empty — or the
+  // restored snapshot for a snapshot-rooted one), so the root body is never
+  // replayed.
+  const LedgerState* start = &base_state_;
+  if (const auto it = cache_.find(cursor); it != cache_.end()) {
+    start = &it->second.state;
+  } else if (pinned_.has_value() && pinned_->first == cursor) {
+    start = &pinned_->second;
+  }
+  LedgerState state = *start;
   for (auto it = pending.rbegin(); it != pending.rend(); ++it) {
     // Prefer the validation-time delta: a few account overwrites instead of
     // decoding and replaying the whole body again.
@@ -143,19 +208,28 @@ const LedgerState& StateManager::state_at(const ledger::BlockTree& tree,
     } else {
       state.apply_block(*tree.block(*it));
     }
-    cache_.emplace(*it, state);
   }
-  if (pending.empty() && !cache_.contains(block)) {
-    // block == genesis.
-    cache_.emplace(block, state);
-  }
-  return cache_.at(block);
+  return cache_put(block, std::move(state));
 }
 
 void StateManager::record_delta(const ledger::BlockHash& block,
                                 StateDelta delta) {
   if (deltas_.size() >= kMaxDeltas) deltas_.clear();
   deltas_.insert_or_assign(block, std::move(delta));
+}
+
+void StateManager::reset_base(LedgerState base) {
+  base_state_ = std::move(base);
+  cache_.clear();
+  lru_.clear();
+  deltas_.clear();
+  pinned_.reset();
+}
+
+void StateManager::pin_anchor(const ledger::BlockTree& tree,
+                              const ledger::BlockHash& block) {
+  const LedgerState& state = state_at(tree, block);
+  pinned_.emplace(block, state);
 }
 
 }  // namespace themis::state

@@ -5,15 +5,24 @@
 namespace themis::state {
 
 namespace {
-// Domain tag so arbitrary payloads don't accidentally parse as transfers.
-constexpr std::uint32_t kTransferMagic = 0x74584654;  // "TFXt"
+// Domain tags so arbitrary payloads don't accidentally parse as transfers.
+// v1 carries a 64-bit amount; v2 carries a full 128-bit amount.
+constexpr std::uint32_t kTransferMagic = 0x74584654;    // "TFXt"
+constexpr std::uint32_t kTransferMagicV2 = 0x32584654;  // "TFX2"
 }  // namespace
 
 Bytes Transfer::encode() const {
-  Writer w(16 + memo.size());
-  w.u32(kTransferMagic);
-  w.u32(to);
-  w.u64(amount);
+  Writer w(24 + memo.size());
+  if (amount.fits_u64()) {
+    w.u32(kTransferMagic);
+    w.u32(to);
+    w.u64(amount.lo());
+  } else {
+    w.u32(kTransferMagicV2);
+    w.u32(to);
+    w.u64(amount.lo());
+    w.u64(amount.hi());
+  }
   w.bytes(memo);
   return w.take();
 }
@@ -21,10 +30,21 @@ Bytes Transfer::encode() const {
 std::optional<Transfer> Transfer::decode(ByteSpan payload) {
   try {
     Reader r(payload);
-    if (r.u32() != kTransferMagic) return std::nullopt;
+    const std::uint32_t magic = r.u32();
+    if (magic != kTransferMagic && magic != kTransferMagicV2) {
+      return std::nullopt;
+    }
     Transfer t;
     t.to = r.u32();
-    t.amount = r.u64();
+    const std::uint64_t lo = r.u64();
+    std::uint64_t hi = 0;
+    if (magic == kTransferMagicV2) {
+      hi = r.u64();
+      // Canonical-form rule: a 64-bit amount must use v1, so every amount
+      // has exactly one valid payload encoding.
+      if (hi == 0) return std::nullopt;
+    }
+    t.amount = UInt128(hi, lo);
     t.memo = r.bytes();
     r.expect_done();
     return t;

@@ -4,11 +4,17 @@
 // applications that move value encode a Transfer into it.  A transaction
 // whose payload does not parse as a transfer is treated as a data-only
 // transaction (no state effect beyond nonce tracking).
+//
+// Amounts are 128-bit.  To keep every transfer's canonical encoding unique
+// (transaction ids hash the payload), an amount that fits 64 bits MUST use
+// the v1 layout and a wider amount MUST use the v2 layout; decode rejects a
+// v2 payload whose high limb is zero.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 
+#include "common/uint128.h"
 #include "ledger/transaction.h"
 #include "ledger/types.h"
 
@@ -16,7 +22,7 @@ namespace themis::state {
 
 struct Transfer {
   ledger::NodeId to = ledger::kNoNode;
-  std::uint64_t amount = 0;
+  UInt128 amount;
   /// Free-form memo carried alongside the transfer.
   Bytes memo;
 

@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "common/serialize.h"
+#include "crypto/sha256.h"
+#include "state/authstate/merkle_state.h"
+#include "state/authstate/snapshot.h"
+
+namespace themis::state::authstate {
+namespace {
+
+namespace fs = std::filesystem;
+
+LedgerState small_state() {
+  LedgerState state;
+  state.fund(0, 1000u);
+  state.fund(1, UInt128(2, 5));  // a balance past 2^64
+  state.fund(63, 7u);            // last slot of page 0
+  state.fund(64, 9u);            // first slot of page 1
+  state.fund(200, 11u);          // page 3
+  return state;
+}
+
+TEST(MerkleState, EmptyStateCommitsToZeroRoot) {
+  LedgerState state;
+  EXPECT_EQ(page_count_of(state), 0u);
+  EXPECT_EQ(state_root_of(state), Hash32{});
+}
+
+TEST(MerkleState, PageOfPartitionsIdSpace) {
+  EXPECT_EQ(page_of(0), 0u);
+  EXPECT_EQ(page_of(63), 0u);
+  EXPECT_EQ(page_of(64), 1u);
+  EXPECT_EQ(page_of(200), 3u);
+}
+
+TEST(MerkleState, PageCountCoversHighestLiveAccount) {
+  EXPECT_EQ(page_count_of(small_state()), 4u);
+  LedgerState one;
+  one.fund(0, 1u);
+  EXPECT_EQ(page_count_of(one), 1u);
+}
+
+TEST(MerkleState, DefaultAccountsDoNotAffectTheRoot) {
+  LedgerState a = small_state();
+  LedgerState b = small_state();
+  // Materialize default entries in one copy only (e.g. via failed lookups
+  // that insert) — the commitment must not see them.
+  b.put(5, Account{});
+  b.put(199, Account{});
+  EXPECT_EQ(state_root_of(a), state_root_of(b));
+}
+
+TEST(MerkleState, RootIsDeterministicAcrossInsertionOrder) {
+  LedgerState a;
+  a.fund(3, 10u);
+  a.fund(100, 20u);
+  LedgerState b;
+  b.fund(100, 20u);
+  b.fund(3, 10u);
+  EXPECT_EQ(state_root_of(a), state_root_of(b));
+}
+
+TEST(MerkleState, RootChangesWithAnyBalance) {
+  LedgerState state = small_state();
+  const Hash32 before = state_root_of(state);
+  state.fund(0, 1u);
+  EXPECT_NE(state_root_of(state), before);
+}
+
+TEST(MerkleState, ProveAndVerifyPresentAccount) {
+  const LedgerState state = small_state();
+  const Hash32 root = state_root_of(state);
+  for (const ledger::NodeId id : {0u, 1u, 63u, 64u, 200u}) {
+    const auto proof = prove_account(state, id);
+    ASSERT_TRUE(proof.has_value()) << id;
+    EXPECT_TRUE(verify_account_proof(root, id, state.account(id), *proof))
+        << id;
+  }
+}
+
+TEST(MerkleState, ProvesAbsenceWithinCommittedRange) {
+  const LedgerState state = small_state();
+  const Hash32 root = state_root_of(state);
+  // Account 42 lives in page 0's range but has no entry; 150 sits in the
+  // committed-but-empty page 2.
+  for (const ledger::NodeId id : {42u, 150u}) {
+    const auto proof = prove_account(state, id);
+    ASSERT_TRUE(proof.has_value()) << id;
+    EXPECT_TRUE(verify_account_proof(root, id, Account{}, *proof)) << id;
+    // And the same proof rejects a fabricated balance.
+    Account fake;
+    fake.balance = 1u;
+    EXPECT_FALSE(verify_account_proof(root, id, fake, *proof)) << id;
+  }
+}
+
+TEST(MerkleState, NoProofPastCommittedRange) {
+  const LedgerState state = small_state();
+  EXPECT_FALSE(prove_account(state, 256).has_value());
+  EXPECT_FALSE(prove_account(LedgerState{}, 0).has_value());
+}
+
+TEST(MerkleState, VerifyRejectsWrongClaim) {
+  const LedgerState state = small_state();
+  const Hash32 root = state_root_of(state);
+  const auto proof = prove_account(state, 0);
+  ASSERT_TRUE(proof.has_value());
+  Account wrong = state.account(0);
+  wrong.balance += 1u;
+  EXPECT_FALSE(verify_account_proof(root, 0, wrong, *proof));
+  wrong = state.account(0);
+  wrong.next_nonce += 1;
+  EXPECT_FALSE(verify_account_proof(root, 0, wrong, *proof));
+}
+
+TEST(MerkleState, VerifyRejectsTamperedProof) {
+  const LedgerState state = small_state();
+  const Hash32 root = state_root_of(state);
+  const auto good = prove_account(state, 64);
+  ASSERT_TRUE(good.has_value());
+  const Account claimed = state.account(64);
+
+  // Flipped sibling hash.
+  auto tampered = *good;
+  ASSERT_FALSE(tampered.steps.empty());
+  tampered.steps[0].sibling[0] ^= 1;
+  EXPECT_FALSE(verify_account_proof(root, 64, claimed, tampered));
+
+  // Flipped direction bit.
+  tampered = *good;
+  tampered.steps[0].sibling_on_left = !tampered.steps[0].sibling_on_left;
+  EXPECT_FALSE(verify_account_proof(root, 64, claimed, tampered));
+
+  // Truncated and extended paths (depth must match the page span).
+  tampered = *good;
+  tampered.steps.pop_back();
+  EXPECT_FALSE(verify_account_proof(root, 64, claimed, tampered));
+  tampered = *good;
+  tampered.steps.push_back(tampered.steps[0]);
+  EXPECT_FALSE(verify_account_proof(root, 64, claimed, tampered));
+
+  // Tampered page bytes.
+  tampered = *good;
+  ASSERT_FALSE(tampered.page_bytes.empty());
+  tampered.page_bytes.back() ^= 1;
+  EXPECT_FALSE(verify_account_proof(root, 64, claimed, tampered));
+
+  // Proof presented for an id in a different page.
+  EXPECT_FALSE(verify_account_proof(root, 0, state.account(0), *good));
+}
+
+TEST(MerkleState, VerifyRejectsCrossPageReplay) {
+  // Two committed-but-empty pages encode identically; the page index baked
+  // into the leaf hash must keep their proofs from being swapped.
+  LedgerState state;
+  state.fund(0, 1u);
+  state.fund(300, 1u);  // commits empty pages 1..3
+  const Hash32 root = state_root_of(state);
+  const auto p1 = prove_account(state, 1 * kAccountsPerPage);
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_TRUE(verify_account_proof(root, 1 * kAccountsPerPage, Account{}, *p1));
+  // Relabel page 1's proof as a page-2 proof for a page-2 id.
+  auto replay = *p1;
+  replay.page = 2;
+  EXPECT_FALSE(
+      verify_account_proof(root, 2 * kAccountsPerPage, Account{}, replay));
+}
+
+TEST(MerkleState, VerifyRejectsNonCanonicalPageEncodings) {
+  const LedgerState state = small_state();
+  const Hash32 root = state_root_of(state);
+  const auto good = prove_account(state, 0);
+  ASSERT_TRUE(good.has_value());
+
+  // Descending entries.
+  auto bad = *good;
+  Writer w;
+  w.varint(2);
+  w.u32(1);
+  w.u64(state.account(1).balance.lo());
+  w.u64(state.account(1).balance.hi());
+  w.u64(state.account(1).next_nonce);
+  w.u32(0);
+  w.u64(state.account(0).balance.lo());
+  w.u64(state.account(0).balance.hi());
+  w.u64(state.account(0).next_nonce);
+  bad.page_bytes = w.take();
+  EXPECT_FALSE(verify_account_proof(root, 0, state.account(0), bad));
+
+  // Default-valued entry smuggled in.
+  bad = *good;
+  Writer w2;
+  w2.varint(1);
+  w2.u32(0);
+  w2.u64(0);
+  w2.u64(0);
+  w2.u64(1);  // == Account{}
+  bad.page_bytes = w2.take();
+  EXPECT_FALSE(verify_account_proof(root, 0, Account{}, bad));
+
+  // Trailing garbage.
+  bad = *good;
+  bad.page_bytes.push_back(0);
+  EXPECT_FALSE(verify_account_proof(root, 0, state.account(0), bad));
+
+  // Entry from a different page's id range.
+  bad = *good;
+  Writer w3;
+  w3.varint(1);
+  w3.u32(64);  // not in page 0
+  w3.u64(1);
+  w3.u64(0);
+  w3.u64(1);
+  bad.page_bytes = w3.take();
+  EXPECT_FALSE(verify_account_proof(root, 0, Account{}, bad));
+}
+
+TEST(RootCacheTest, RebuildMatchesStateRoot) {
+  const LedgerState state = small_state();
+  RootCache cache;
+  cache.rebuild(state);
+  EXPECT_EQ(cache.root(), state_root_of(state));
+  EXPECT_EQ(cache.page_count(), page_count_of(state));
+}
+
+TEST(RootCacheTest, IncrementalUpdateMatchesRebuild) {
+  LedgerState state = small_state();
+  RootCache cache;
+  cache.rebuild(state);
+
+  // Touch an existing account and add one in a brand-new page far away
+  // (commits empty pages in between).
+  state.fund(0, 5u);
+  state.fund(1000, 13u);
+  cache.update(state, {0, 1000});
+  EXPECT_EQ(cache.root(), state_root_of(state));
+  EXPECT_EQ(cache.page_count(), page_count_of(state));
+
+  // A long randomized walk: apply touches, compare against full recompute.
+  std::mt19937 rng(77);
+  std::vector<ledger::NodeId> touched;
+  for (int step = 0; step < 50; ++step) {
+    touched.clear();
+    for (int k = 0; k < 5; ++k) {
+      const ledger::NodeId id = rng() % 2048;
+      Account account = state.account(id);
+      account.balance += (rng() % 100) + 1;
+      account.next_nonce += 1;
+      state.put(id, account);
+      touched.push_back(id);
+    }
+    cache.update(state, touched);
+    ASSERT_EQ(cache.root(), state_root_of(state)) << "step " << step;
+  }
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("themis_snap_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    path_ = dir_ / "state.snap";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  Snapshot sample() {
+    Snapshot snap;
+    snap.height = 42;
+    snap.block[0] = 0xab;
+    snap.state = small_state();
+    return snap;
+  }
+
+  fs::path dir_;
+  fs::path path_;
+};
+
+TEST_F(SnapshotTest, WriteReadRoundTrip) {
+  const Snapshot snap = sample();
+  ASSERT_TRUE(write_snapshot(path_, snap));
+  const auto back = read_snapshot(path_);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->height, 42u);
+  EXPECT_EQ(back->block, snap.block);
+  EXPECT_EQ(back->state, snap.state);
+  EXPECT_EQ(back->state_root, state_root_of(snap.state));
+  // No .tmp litter after a successful rename.
+  EXPECT_FALSE(fs::exists(path_.string() + ".tmp"));
+}
+
+TEST_F(SnapshotTest, MissingFileIsAbsent) {
+  EXPECT_FALSE(read_snapshot(path_).has_value());
+  EXPECT_FALSE(read_snapshot(dir_).has_value());  // directory, not a file
+}
+
+TEST_F(SnapshotTest, ChecksumCatchesBitRot) {
+  ASSERT_TRUE(write_snapshot(path_, sample()));
+  Bytes data;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    data.assign(std::istreambuf_iterator<char>(in), {});
+  }
+  for (const std::size_t at : {std::size_t{0}, data.size() / 2,
+                               data.size() - 1}) {
+    Bytes corrupt = data;
+    corrupt[at] ^= 0x40;
+    EXPECT_FALSE(decode_snapshot(corrupt).has_value()) << "byte " << at;
+  }
+  // Truncations at every boundary.
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{31},
+                                 data.size() / 2, data.size() - 1}) {
+    const Bytes truncated(data.begin(),
+                          data.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_FALSE(decode_snapshot(truncated).has_value()) << "keep " << keep;
+  }
+}
+
+TEST_F(SnapshotTest, RootMismatchRejectedEvenWithValidChecksum) {
+  // Corrupt one balance byte *and* refresh the trailing checksum: the decode
+  // must still fail, because the embedded root no longer matches the state.
+  Bytes data = encode_snapshot(sample());
+  data[data.size() - 32 - 9] ^= 0x01;  // inside the last account record
+  const ByteSpan payload(data.data(), data.size() - 32);
+  const Hash32 checksum = crypto::sha256d(payload);
+  std::copy(checksum.begin(), checksum.end(), data.end() - 32);
+  EXPECT_FALSE(decode_snapshot(data).has_value());
+}
+
+TEST_F(SnapshotTest, BadVersionRejected) {
+  Bytes data = encode_snapshot(sample());
+  data[4] = 0x7f;  // version field
+  const ByteSpan payload(data.data(), data.size() - 32);
+  const Hash32 checksum = crypto::sha256d(payload);
+  std::copy(checksum.begin(), checksum.end(), data.end() - 32);
+  EXPECT_FALSE(decode_snapshot(data).has_value());
+}
+
+TEST_F(SnapshotTest, OverwriteIsAtomic) {
+  ASSERT_TRUE(write_snapshot(path_, sample()));
+  Snapshot next = sample();
+  next.height = 99;
+  next.state.fund(500, 1u);
+  ASSERT_TRUE(write_snapshot(path_, next));
+  const auto back = read_snapshot(path_);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->height, 99u);
+  EXPECT_EQ(back->state, next.state);
+}
+
+}  // namespace
+}  // namespace themis::state::authstate

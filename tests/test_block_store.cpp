@@ -293,5 +293,169 @@ TEST_F(BlockStoreTest, CursorIgnoresTornTail) {
   EXPECT_EQ(streamed, 4u);
 }
 
+TEST_F(BlockStoreTest, IndexWrittenAndUsedOnReopen) {
+  BlockHash prev = Block::genesis().id();
+  std::vector<BlockHash> ids;
+  {
+    BlockStore store(path_);
+    EXPECT_FALSE(store.opened_from_index());  // fresh store, nothing to load
+    for (std::uint64_t h = 1; h <= 6; ++h) {
+      const Block b = sample_block(h, prev);
+      prev = b.id();
+      ids.push_back(b.id());
+      store.append(b);
+    }
+    EXPECT_TRUE(fs::exists(store.index_path()));
+  }
+  BlockStore store(path_);
+  EXPECT_TRUE(store.opened_from_index());
+  EXPECT_FALSE(store.recovered_from_torn_tail());
+  ASSERT_EQ(store.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(store.height_at(i), i + 1);
+    EXPECT_EQ(store.id_at(i), ids[i]);
+    EXPECT_EQ(store.find(ids[i]), i);
+    const auto block = store.read_by_id(ids[i]);
+    ASSERT_TRUE(block.has_value());
+    EXPECT_EQ(block->id(), ids[i]);
+  }
+  EXPECT_EQ(store.min_height(), 1u);
+  EXPECT_EQ(store.max_height(), 6u);
+  BlockHash unknown{};
+  unknown[0] = 0xee;
+  EXPECT_FALSE(store.find(unknown).has_value());
+  EXPECT_FALSE(store.read_by_id(unknown).has_value());
+}
+
+TEST_F(BlockStoreTest, MissingIndexRebuiltByScan) {
+  BlockHash prev = Block::genesis().id();
+  {
+    BlockStore store(path_);
+    for (std::uint64_t h = 1; h <= 4; ++h) {
+      const Block b = sample_block(h, prev);
+      prev = b.id();
+      store.append(b);
+    }
+  }
+  fs::remove(path_.string() + ".idx");
+  BlockStore store(path_);
+  EXPECT_FALSE(store.opened_from_index());
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_TRUE(fs::exists(store.index_path()));  // rewritten by the scan
+  // And the rebuilt index serves the next open.
+  BlockStore again(path_);
+  EXPECT_TRUE(again.opened_from_index());
+  EXPECT_EQ(again.size(), 4u);
+}
+
+TEST_F(BlockStoreTest, CorruptIndexFallsBackToScan) {
+  BlockHash prev = Block::genesis().id();
+  {
+    BlockStore store(path_);
+    for (std::uint64_t h = 1; h <= 4; ++h) {
+      const Block b = sample_block(h, prev);
+      prev = b.id();
+      store.append(b);
+    }
+  }
+  // Flip a byte in every region of the index: header, mid-entry, last entry.
+  const fs::path idx = path_.string() + ".idx";
+  const auto idx_size = fs::file_size(idx);
+  for (const std::uintmax_t at :
+       {std::uintmax_t{0}, idx_size / 2, idx_size - 1}) {
+    Bytes raw;
+    {
+      std::ifstream in(idx, std::ios::binary);
+      raw.assign(std::istreambuf_iterator<char>(in), {});
+    }
+    raw[static_cast<std::size_t>(at)] ^= 0x20;
+    {
+      std::ofstream out(idx, std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(raw.data()),
+                static_cast<std::streamsize>(raw.size()));
+    }
+    BlockStore store(path_);
+    EXPECT_EQ(store.size(), 4u) << "byte " << at;
+    EXPECT_EQ(store.max_height(), 4u) << "byte " << at;
+  }
+}
+
+TEST_F(BlockStoreTest, StaleIndexTailScansOnlyTheSuffix) {
+  // Records appended after the index was last durably written must still be
+  // found: simulate by truncating the index to fewer entries than the data.
+  BlockHash prev = Block::genesis().id();
+  std::vector<BlockHash> ids;
+  {
+    BlockStore store(path_);
+    for (std::uint64_t h = 1; h <= 5; ++h) {
+      const Block b = sample_block(h, prev);
+      prev = b.id();
+      ids.push_back(b.id());
+      store.append(b);
+    }
+  }
+  const fs::path idx = path_.string() + ".idx";
+  fs::resize_file(idx, 8 + 56 * 3);  // header + 3 of 5 entries
+  BlockStore store(path_);
+  ASSERT_EQ(store.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(store.id_at(i), ids[i]);
+}
+
+TEST_F(BlockStoreTest, PruneBelowDropsPrefixAndSurvivesReopen) {
+  BlockHash prev = Block::genesis().id();
+  std::vector<BlockHash> ids;
+  {
+    BlockStore store(path_);
+    for (std::uint64_t h = 1; h <= 10; ++h) {
+      const Block b = sample_block(h, prev);
+      prev = b.id();
+      ids.push_back(b.id());
+      store.append(b);
+    }
+    const auto bytes_before = store.valid_bytes();
+    EXPECT_EQ(store.prune_below(7), 6u);
+    EXPECT_EQ(store.size(), 4u);
+    EXPECT_EQ(store.min_height(), 7u);
+    EXPECT_EQ(store.max_height(), 10u);
+    EXPECT_LT(store.valid_bytes(), bytes_before);
+    // Pruned records are gone, surviving ones keep their lookups.
+    EXPECT_FALSE(store.read_by_id(ids[0]).has_value());
+    EXPECT_TRUE(store.read_by_id(ids[9]).has_value());
+    // Appending after a prune keeps working.
+    const Block b11 = sample_block(11, prev);
+    store.append(b11);
+    EXPECT_EQ(store.size(), 5u);
+    // Idempotent: nothing left below the floor.
+    EXPECT_EQ(store.prune_below(7), 0u);
+  }
+  BlockStore store(path_);
+  EXPECT_TRUE(store.opened_from_index());
+  EXPECT_EQ(store.size(), 5u);
+  EXPECT_EQ(store.min_height(), 7u);
+  EXPECT_EQ(store.max_height(), 11u);
+}
+
+TEST_F(BlockStoreTest, ReplayWithFloorSkipsPrunedPrefix) {
+  BlockHash prev = Block::genesis().id();
+  std::vector<BlockPtr> blocks;
+  {
+    BlockStore store(path_);
+    for (std::uint64_t h = 1; h <= 8; ++h) {
+      const Block b = sample_block(h, prev);
+      prev = b.id();
+      blocks.push_back(std::make_shared<const Block>(b));
+      store.append(b);
+    }
+  }
+  BlockStore store(path_);
+  // Re-root the tree at height 5 (the snapshot-restore shape) and replay
+  // only the suffix above it.
+  BlockTree tree(blocks[4]);  // height 5
+  EXPECT_EQ(store.replay_into(tree, 6), 3u);
+  EXPECT_EQ(tree.max_height(), 8u);
+  EXPECT_TRUE(tree.contains(blocks[7]->id()));
+  EXPECT_FALSE(tree.contains(blocks[0]->id()));
+}
+
 }  // namespace
 }  // namespace themis::ledger

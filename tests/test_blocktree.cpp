@@ -167,10 +167,19 @@ TEST(BlockTree, QueriesOnUnknownBlockThrow) {
   EXPECT_EQ(tree.block(unknown), nullptr);
 }
 
-TEST(BlockTree, RejectsNonGenesisRoot) {
+TEST(BlockTree, AcceptsNonGenesisRoot) {
+  // Snapshot restore re-roots the tree at the snapshot block: heights keep
+  // their absolute chain values and children attach exactly as before.
   const auto genesis = std::make_shared<const Block>(Block::genesis());
-  const auto child = make_block(genesis, 1, 1);
-  EXPECT_THROW(BlockTree{child}, PreconditionError);
+  const auto root = make_block(genesis, 1, 1);
+  BlockTree tree{root};
+  EXPECT_EQ(tree.genesis_hash(), root->id());
+  EXPECT_EQ(tree.height(root->id()), 1u);
+  EXPECT_EQ(tree.max_height(), 1u);
+  const auto child = make_block(root, 2, 2);
+  EXPECT_EQ(tree.insert(child), BlockTree::InsertResult::inserted);
+  EXPECT_EQ(tree.height(child->id()), 2u);
+  EXPECT_EQ(tree.max_height(), 2u);
 }
 
 TEST(BlockTree, DuplicateOrphanNotDoubleBuffered) {

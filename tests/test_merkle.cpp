@@ -108,5 +108,64 @@ TEST(MerkleProof, DepthIsLogarithmic) {
   EXPECT_EQ(merkle_prove(make_leaves(2), 0).size(), 1u);
 }
 
+TEST(MerkleProof, SingleLeafEmptyProofVerifies) {
+  const auto leaves = make_leaves(1);
+  const MerkleProof proof = merkle_prove(leaves, 0);
+  EXPECT_TRUE(proof.empty());
+  EXPECT_TRUE(merkle_verify(leaves[0], proof, leaves[0]));
+  // The empty proof asserts leaf == root, nothing else.
+  EXPECT_FALSE(merkle_verify(make_leaves(2)[1], proof, leaves[0]));
+}
+
+TEST(MerkleProof, FlippedDirectionBitFails) {
+  const auto leaves = make_leaves(8);
+  const Hash32 root = merkle_root(leaves);
+  MerkleProof proof = merkle_prove(leaves, 2);
+  proof[0].sibling_on_left = !proof[0].sibling_on_left;
+  EXPECT_FALSE(merkle_verify(leaves[2], proof, root));
+}
+
+TEST(MerkleProof, TruncatedOrExtendedProofFails) {
+  const auto leaves = make_leaves(8);
+  const Hash32 root = merkle_root(leaves);
+  MerkleProof proof = merkle_prove(leaves, 5);
+  MerkleProof truncated(proof.begin(), proof.end() - 1);
+  EXPECT_FALSE(merkle_verify(leaves[5], truncated, root));
+  MerkleProof extended = proof;
+  extended.push_back(proof[0]);
+  EXPECT_FALSE(merkle_verify(leaves[5], extended, root));
+}
+
+TEST(MerkleProof, WrongIndexProofFails) {
+  // A proof built for one index must not authenticate a different leaf, for
+  // every (proof index, claimed leaf) pair in a small tree.
+  const auto leaves = make_leaves(7);
+  const Hash32 root = merkle_root(leaves);
+  for (std::size_t at = 0; at < leaves.size(); ++at) {
+    const MerkleProof proof = merkle_prove(leaves, at);
+    for (std::size_t claimed = 0; claimed < leaves.size(); ++claimed) {
+      EXPECT_EQ(merkle_verify(leaves[claimed], proof, root), claimed == at)
+          << "proof " << at << " leaf " << claimed;
+    }
+  }
+}
+
+TEST(MerkleProof, OddTailLeafProvesViaDuplication) {
+  // Bitcoin-style odd duplication: the last leaf of an odd level pairs with
+  // itself, and its proof still verifies.
+  for (const std::size_t n : {3u, 5u, 9u, 33u}) {
+    const auto leaves = make_leaves(n);
+    const Hash32 root = merkle_root(leaves);
+    const MerkleProof proof = merkle_prove(leaves, n - 1);
+    EXPECT_TRUE(merkle_verify(leaves[n - 1], proof, root)) << n;
+  }
+}
+
+TEST(MerkleProof, NothingVerifiesAgainstEmptyRoot) {
+  const auto leaves = make_leaves(2);
+  EXPECT_FALSE(merkle_verify(leaves[0], {}, Hash32{}));
+  EXPECT_FALSE(merkle_verify(leaves[0], merkle_prove(leaves, 0), Hash32{}));
+}
+
 }  // namespace
 }  // namespace themis::crypto

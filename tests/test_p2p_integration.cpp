@@ -25,6 +25,9 @@
 #include <thread>
 #include <vector>
 
+#include "state/authstate/merkle_state.h"
+#include "state/transfer.h"
+
 namespace themis::p2p {
 namespace {
 
@@ -292,6 +295,110 @@ TEST_F(P2pIntegrationTest, BatchAdmissionSettlesConcurrentSubmitters) {
   EXPECT_GE(stats.txs_rejected, 1u);   // the forgery
   EXPECT_GE(stats.txs_duplicate, 1u);  // the re-submission
   node.stop();
+}
+
+TEST_F(P2pIntegrationTest, StateRootsAgreeAcrossNodes) {
+  // Deterministic state commitment: two nodes that converge on the same head
+  // must report bit-identical Merkle state roots, and either node's balance
+  // proof must verify against that common root.
+  P2pNode* a = start_node(0, 2);
+  P2pNode* b = start_node(1, 2);
+  ASSERT_TRUE(wait_until(
+      [&] { return a->ready_peer_count() == 1 && b->ready_peer_count() == 1; },
+      30s));
+
+  // Some transfers so the state is not just the genesis allocation.
+  for (std::uint64_t n = 1; n <= 3; ++n) {
+    const auto stx = ledger::sign_transaction(state::make_transfer_tx(
+        0, n, static_cast<std::int64_t>(n), state::Transfer{1, 10 * n, {}}));
+    ASSERT_EQ(a->submit_transaction(stx), TxAdmit::accepted);
+  }
+  ASSERT_TRUE(wait_until(
+      [&] { return b->account_info(1).balance ==
+                   UInt128(b->config().genesis_fund + 60); },
+      120s))
+      << "transfers must confirm on the remote node";
+  ASSERT_TRUE(converge({a, b}, 3, 240s));
+
+  ASSERT_EQ(a->head(), b->head());
+  const Hash32 root_a = a->head_state_root();
+  const Hash32 root_b = b->head_state_root();
+  EXPECT_EQ(root_a, root_b);
+  EXPECT_NE(root_a, Hash32{});
+
+  // A proof served by either node verifies against the shared root.
+  for (P2pNode* node : {a, b}) {
+    const auto bp = node->balance_proof(1);
+    ASSERT_TRUE(bp.available);
+    EXPECT_EQ(bp.state_root, root_a);
+    EXPECT_EQ(bp.account.balance, UInt128(node->config().genesis_fund + 60));
+    EXPECT_TRUE(state::authstate::verify_account_proof(root_a, 1, bp.account,
+                                                       bp.proof));
+  }
+}
+
+TEST_F(P2pIntegrationTest, SnapshotPruneRestartServesVerifiedProofs) {
+  // A snapshotting+pruning node must: write snapshots as the anchor
+  // advances, prune its store below them, restart from the snapshot instead
+  // of genesis replay, and keep serving balance proofs that verify.
+  P2pNodeConfig config = base_config(0, 2);
+  config.mine = true;
+  config.finality_depth = 4;
+  config.snapshot_interval = 2;
+  config.prune = true;
+  nodes_.resize(1);
+  nodes_[0] = std::make_unique<P2pNode>(std::move(config));
+  P2pNode* node = nodes_[0].get();
+  ASSERT_TRUE(node->start());
+
+  for (std::uint64_t n = 1; n <= 3; ++n) {
+    const auto stx = ledger::sign_transaction(state::make_transfer_tx(
+        0, n, static_cast<std::int64_t>(n), state::Transfer{1, 100, {}}));
+    ASSERT_EQ(node->submit_transaction(stx), TxAdmit::accepted);
+  }
+  ASSERT_TRUE(wait_until(
+      [&] {
+        const auto stats = node->chain_stats();
+        return node->head_height() >= 10 && stats.snapshots_written >= 1 &&
+               stats.txs_confirmed >= 3;
+      },
+      240s))
+      << "snapshot must be written once the anchor advances";
+  node->set_mining(false);
+  const auto pre = node->chain_stats();
+  EXPECT_GE(pre.snapshot_height, 2u);
+  EXPECT_GT(pre.blocks_pruned, 0u);
+  const UInt128 expected_balance(node->config().genesis_fund + 300);
+  ASSERT_TRUE(wait_until(
+      [&] { return node->account_info(1).balance == expected_balance; }, 60s));
+
+  node->stop();
+  nodes_[0].reset();
+
+  // Restart from the same datadir: the snapshot re-roots the tree, so the
+  // store's pruned prefix is never needed.
+  P2pNodeConfig restarted = base_config(0, 2);
+  restarted.mine = false;
+  restarted.finality_depth = 4;
+  restarted.snapshot_interval = 2;
+  restarted.prune = true;
+  nodes_[0] = std::make_unique<P2pNode>(std::move(restarted));
+  node = nodes_[0].get();
+  ASSERT_TRUE(node->start());
+
+  const auto stats = node->chain_stats();
+  EXPECT_TRUE(stats.restored_from_snapshot);
+  EXPECT_EQ(stats.snapshot_height, pre.snapshot_height);
+  EXPECT_GE(node->head_height(), pre.snapshot_height);
+  // Only the suffix above the snapshot was replayed.
+  EXPECT_LT(stats.store_replayed, node->head_height());
+  EXPECT_EQ(node->account_info(1).balance, expected_balance);
+
+  const auto bp = node->balance_proof(1);
+  ASSERT_TRUE(bp.available);
+  EXPECT_EQ(bp.account.balance, expected_balance);
+  EXPECT_TRUE(state::authstate::verify_account_proof(bp.state_root, 1,
+                                                     bp.account, bp.proof));
 }
 
 TEST_F(P2pIntegrationTest, ObservabilityCountersAreFilled) {

@@ -21,6 +21,7 @@
 #include "rpc/http_client.h"
 #include "rpc/http_server.h"
 #include "rpc/json.h"
+#include "state/authstate/merkle_state.h"
 #include "state/transfer.h"
 
 namespace themis::rpc {
@@ -218,6 +219,84 @@ TEST_F(RpcGatewayTest, SubmitAcceptsStructuredTransfer) {
   EXPECT_EQ(status["result"]["state"].as_string(), "pending");
 }
 
+TEST_F(RpcGatewayTest, SubmitAcceptsDecimalStringAmount) {
+  // 128-bit amounts travel as exact decimal strings.  The pool will reject
+  // the transfer for insufficient funds later; admission and the canonical
+  // v2 encoding must survive the round trip losslessly.
+  Json params;
+  params.set("sender", 1);
+  params.set("to", 2);
+  params.set("amount", std::string("36893488147419103232"));  // 2^65
+  const Json response = call("submit_tx", std::move(params));
+  ASSERT_TRUE(response.has("result")) << response.dump();
+  Json query;
+  query.set("id", response["result"]["id"].as_string());
+  const Json status = call("get_tx", std::move(query));
+  EXPECT_EQ(status["result"]["tx"]["amount"].as_string(),
+            "36893488147419103232");
+}
+
+TEST_F(RpcGatewayTest, HostileAmountStringsRejected) {
+  for (const char* hostile :
+       {"", "-1", "+1", " 1", "1 ", "1.5", "1e9", "0x10", "abc",
+        "340282366920938463463374607431768211456",  // 2^128
+        "99999999999999999999999999999999999999999999"}) {
+    Json params;
+    params.set("sender", 1);
+    params.set("to", 2);
+    params.set("amount", std::string(hostile));
+    EXPECT_EQ(error_code(call("submit_tx", std::move(params))), -32602)
+        << "amount '" << hostile << "' must be rejected";
+  }
+  EXPECT_EQ(node_->pool_depth(), 0u);
+}
+
+TEST_F(RpcGatewayTest, BalanceProofVerifiesAgainstHeadRoot) {
+  Json params;
+  params.set("account", 1);
+  params.set("prove", true);
+  const Json response = call("get_balance", std::move(params));
+  ASSERT_TRUE(response.has("result")) << response.dump();
+  const Json& result = response["result"];
+  EXPECT_EQ(result["balance"].as_string(),
+            std::to_string(node_->config().genesis_fund));
+  const Hash32 root = hash_from_hex(result["state_root"].as_string());
+  EXPECT_EQ(root, node_->head_state_root());
+
+  // Reconstruct the proof from the wire form and verify it locally, exactly
+  // as themis-cli balance --prove does.
+  const Json& pj = result["proof"];
+  ASSERT_TRUE(pj["available"].as_bool());
+  state::authstate::AccountProof proof;
+  proof.page = static_cast<std::uint32_t>(pj["page"].as_u64());
+  proof.page_count = static_cast<std::uint32_t>(pj["page_count"].as_u64());
+  proof.page_bytes = from_hex(pj["page_bytes"].as_string());
+  for (const Json& step : pj["steps"].as_array()) {
+    proof.steps.push_back(crypto::MerkleStep{
+        hash_from_hex(step["sibling"].as_string()),
+        step["left"].as_bool()});
+  }
+  state::Account claimed;
+  claimed.balance = *UInt128::from_decimal(result["balance"].as_string());
+  claimed.next_nonce = result["next_nonce"].as_u64();
+  EXPECT_TRUE(state::authstate::verify_account_proof(root, 1, claimed, proof));
+  // A different balance must not verify with the same proof.
+  claimed.balance += 1u;
+  EXPECT_FALSE(
+      state::authstate::verify_account_proof(root, 1, claimed, proof));
+}
+
+TEST_F(RpcGatewayTest, StatusCarriesStateRootAndSupply) {
+  const Json response = call("status", Json());
+  ASSERT_TRUE(response.has("result")) << response.dump();
+  const Json& result = response["result"];
+  EXPECT_EQ(result["state_root"].as_string(),
+            to_hex(node_->head_state_root()));
+  EXPECT_EQ(result["total_supply"].as_string(),
+            node_->total_supply().to_decimal());
+  EXPECT_FALSE(result["restored_from_snapshot"].as_bool());
+}
+
 TEST_F(RpcGatewayTest, SubmitAcceptsRawHex) {
   const ledger::SignedTransaction stx = ledger::sign_transaction(
       state::make_transfer_tx(3, 1, 0, state::Transfer{4, 7, {}}));
@@ -377,8 +456,9 @@ TEST_F(RpcGatewayTest, BalanceHeadAndBlockQueries) {
   Json account;
   account.set("account", 1);
   const Json balance = call("get_balance", std::move(account));
-  EXPECT_EQ(balance["result"]["balance"].as_u64(),
-            node_->config().genesis_fund);
+  // Balances are exact decimal strings (128-bit range).
+  EXPECT_EQ(balance["result"]["balance"].as_string(),
+            std::to_string(node_->config().genesis_fund));
   EXPECT_EQ(balance["result"]["next_nonce"].as_u64(), 1u);
 
   const Json head = call("get_head", Json());

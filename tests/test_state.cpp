@@ -140,7 +140,7 @@ TEST(StateManager, ReplaysMainChain) {
   const auto b1 = make_block(b.get("g"), {transfer_tx(0, 1, 1, 100)});
   const auto b2 = make_block(b1, {transfer_tx(1, 1, 2, 60)});
 
-  StateManager manager(std::map<ledger::NodeId, std::uint64_t>{{0, 1000}});
+  StateManager manager(std::map<ledger::NodeId, UInt128>{{0, 1000}});
   const LedgerState& at_b1 = manager.state_at(b.tree(), b1->id());
   EXPECT_EQ(at_b1.balance(1), 100u);
   const LedgerState& at_b2 = manager.state_at(b.tree(), b2->id());
@@ -170,7 +170,7 @@ TEST(StateManager, ForkGetsItsOwnState) {
   const auto left = tx_block("g", 1, 1);   // pays node 1
   const auto right = tx_block("g", 1, 2);  // conflicting: pays node 2
 
-  StateManager manager(std::map<ledger::NodeId, std::uint64_t>{{0, 100}});
+  StateManager manager(std::map<ledger::NodeId, UInt128>{{0, 100}});
   EXPECT_EQ(manager.state_at(b.tree(), left->id()).balance(1), 10u);
   EXPECT_EQ(manager.state_at(b.tree(), left->id()).balance(2), 0u);
   EXPECT_EQ(manager.state_at(b.tree(), right->id()).balance(2), 10u);
@@ -179,7 +179,7 @@ TEST(StateManager, ForkGetsItsOwnState) {
 
 TEST(StateManager, GenesisState) {
   test::TreeBuilder b;
-  StateManager manager(std::map<ledger::NodeId, std::uint64_t>{{0, 42}});
+  StateManager manager(std::map<ledger::NodeId, UInt128>{{0, 42}});
   EXPECT_EQ(manager.state_at(b.tree(), b.tree().genesis_hash()).balance(0), 42u);
 }
 
@@ -241,7 +241,7 @@ TEST(StateManager, DeltaShortCircuitsBodyReplay) {
   const auto b1 = make_block(b.get("g"), {transfer_tx(0, 1, 1, 100)});
 
   // Validation-style pass: replay on an overlay of the parent, record delta.
-  StateManager manager(std::map<ledger::NodeId, std::uint64_t>{{0, 1000}});
+  StateManager manager(std::map<ledger::NodeId, UInt128>{{0, 1000}});
   ScratchState scratch(manager.state_at(b.tree(), b.tree().genesis_hash()));
   for (const Transaction& tx : b1->transactions()) {
     EXPECT_EQ(scratch.apply(tx), TxOutcome::applied);
@@ -251,7 +251,7 @@ TEST(StateManager, DeltaShortCircuitsBodyReplay) {
   EXPECT_EQ(manager.cached_deltas(), 1u);
 
   // Materialization through the delta must equal a full body replay.
-  StateManager replayed(std::map<ledger::NodeId, std::uint64_t>{{0, 1000}});
+  StateManager replayed(std::map<ledger::NodeId, UInt128>{{0, 1000}});
   EXPECT_EQ(manager.state_at(b.tree(), b1->id()),
             replayed.state_at(b.tree(), b1->id()));
   EXPECT_EQ(manager.state_at(b.tree(), b1->id()).balance(1), 100u);

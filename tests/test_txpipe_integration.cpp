@@ -209,8 +209,8 @@ TEST_F(TxPipeIntegrationTest, SubmittedTxRelaysConfirmsEverywhere) {
   account.set("account", std::uint64_t{kNodes});
   const auto balance = call(other, "get_balance", std::move(account));
   ASSERT_TRUE(balance.has_value());
-  EXPECT_EQ((*balance)["result"]["balance"].as_u64(),
-            nodes[1]->config().genesis_fund - 123);
+  EXPECT_EQ((*balance)["result"]["balance"].as_string(),
+            std::to_string(nodes[1]->config().genesis_fund - 123));
 }
 
 TEST_F(TxPipeIntegrationTest, StageStampsAreMonotoneAcrossTwoNodes) {
@@ -415,8 +415,8 @@ TEST_F(TxPipeIntegrationTest, ThousandTransfersKillOneNodeOracleBalances) {
       params.set("account", static_cast<std::uint64_t>(a));
       const auto response = call(client, "get_balance", std::move(params));
       ASSERT_TRUE(response.has_value());
-      EXPECT_EQ((*response)["result"]["balance"].as_u64(),
-                oracle.balance(static_cast<ledger::NodeId>(a)))
+      EXPECT_EQ((*response)["result"]["balance"].as_string(),
+                oracle.balance(static_cast<ledger::NodeId>(a)).to_decimal())
           << "node " << i << " account " << a;
       EXPECT_EQ((*response)["result"]["next_nonce"].as_u64(),
                 oracle.account(static_cast<ledger::NodeId>(a)).next_nonce)

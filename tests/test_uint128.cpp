@@ -1,0 +1,189 @@
+#include "common/uint128.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace themis {
+namespace {
+
+TEST(UInt128, DefaultIsZero) {
+  UInt128 v;
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_EQ(v.lo(), 0u);
+  EXPECT_EQ(v.hi(), 0u);
+  EXPECT_EQ(v, UInt128::zero());
+}
+
+TEST(UInt128, ImplicitFromU64) {
+  const UInt128 v = 42u;
+  EXPECT_EQ(v.lo(), 42u);
+  EXPECT_EQ(v.hi(), 0u);
+  EXPECT_TRUE(v.fits_u64());
+}
+
+TEST(UInt128, TwoLimbConstruction) {
+  const UInt128 v(7, 9);
+  EXPECT_EQ(v.hi(), 7u);
+  EXPECT_EQ(v.lo(), 9u);
+  EXPECT_FALSE(v.fits_u64());
+}
+
+TEST(UInt128, AddCarriesAcrossLimb) {
+  const UInt128 a(0, ~0ull);
+  UInt128 out;
+  EXPECT_FALSE(a.add_overflow(1u, out));
+  EXPECT_EQ(out, UInt128(1, 0));
+}
+
+TEST(UInt128, AddOverflowDetected) {
+  UInt128 out;
+  EXPECT_TRUE(UInt128::max().add_overflow(1u, out));
+  EXPECT_TRUE(UInt128::max().add_overflow(UInt128::max(), out));
+  EXPECT_FALSE(UInt128::max().add_overflow(0u, out));
+  EXPECT_EQ(out, UInt128::max());
+}
+
+TEST(UInt128, AddAliasingOutIsSafe) {
+  UInt128 a(1, 2);
+  EXPECT_FALSE(a.add_overflow(UInt128(3, 4), a));
+  EXPECT_EQ(a, UInt128(4, 6));
+}
+
+TEST(UInt128, SubBorrowsAcrossLimb) {
+  const UInt128 a(1, 0);
+  UInt128 out;
+  EXPECT_FALSE(a.sub_borrow(1u, out));
+  EXPECT_EQ(out, UInt128(0, ~0ull));
+}
+
+TEST(UInt128, SubBorrowDetected) {
+  UInt128 out;
+  EXPECT_TRUE(UInt128(0u).sub_borrow(1u, out));
+  EXPECT_TRUE(UInt128(1, 0).sub_borrow(UInt128(1, 1), out));
+  EXPECT_FALSE(UInt128(1, 1).sub_borrow(UInt128(1, 1), out));
+  EXPECT_TRUE(out.is_zero());
+}
+
+TEST(UInt128, MulOverflow) {
+  UInt128 out;
+  EXPECT_FALSE(UInt128(0, ~0ull).mul_overflow(2, out));
+  EXPECT_EQ(out, UInt128(1, ~0ull - 1));
+  EXPECT_TRUE(UInt128::max().mul_overflow(2, out));
+  EXPECT_FALSE(UInt128::max().mul_overflow(1, out));
+  EXPECT_EQ(out, UInt128::max());
+  EXPECT_FALSE(UInt128::max().mul_overflow(0, out));
+  EXPECT_TRUE(out.is_zero());
+}
+
+TEST(UInt128, WrappingOperators) {
+  EXPECT_EQ(UInt128::max() + 1u, UInt128::zero());
+  EXPECT_EQ(UInt128::zero() - 1u, UInt128::max());
+  UInt128 v = 5u;
+  v += UInt128(1, 0);
+  EXPECT_EQ(v, UInt128(1, 5));
+  v -= 5u;
+  EXPECT_EQ(v, UInt128(1, 0));
+}
+
+TEST(UInt128, DivSmall) {
+  std::uint64_t rem = 99;
+  EXPECT_EQ(UInt128(100u).div_small(7, rem), UInt128(14u));
+  EXPECT_EQ(rem, 2u);
+  // 2^64 / 10 = 1844674407370955161 rem 6
+  EXPECT_EQ(UInt128(1, 0).div_small(10, rem), UInt128(1844674407370955161ull));
+  EXPECT_EQ(rem, 6u);
+  EXPECT_THROW(UInt128(1u).div_small(0, rem), PreconditionError);
+}
+
+TEST(UInt128, ToDecimalKnownValues) {
+  EXPECT_EQ(UInt128::zero().to_decimal(), "0");
+  EXPECT_EQ(UInt128(7u).to_decimal(), "7");
+  EXPECT_EQ(UInt128(~0ull).to_decimal(), "18446744073709551615");
+  EXPECT_EQ(UInt128(1, 0).to_decimal(), "18446744073709551616");
+  EXPECT_EQ(UInt128::max().to_decimal(),
+            "340282366920938463463374607431768211455");
+}
+
+TEST(UInt128, FromDecimalKnownValues) {
+  EXPECT_EQ(UInt128::from_decimal("0"), UInt128::zero());
+  EXPECT_EQ(UInt128::from_decimal("18446744073709551616"), UInt128(1, 0));
+  EXPECT_EQ(UInt128::from_decimal("340282366920938463463374607431768211455"),
+            UInt128::max());
+  // Leading zeros are forgiven.
+  EXPECT_EQ(UInt128::from_decimal("007"), UInt128(7u));
+}
+
+TEST(UInt128, FromDecimalRejectsHostileInput) {
+  EXPECT_FALSE(UInt128::from_decimal("").has_value());
+  EXPECT_FALSE(UInt128::from_decimal("-1").has_value());
+  EXPECT_FALSE(UInt128::from_decimal("+1").has_value());
+  EXPECT_FALSE(UInt128::from_decimal(" 1").has_value());
+  EXPECT_FALSE(UInt128::from_decimal("1 ").has_value());
+  EXPECT_FALSE(UInt128::from_decimal("1.0").has_value());
+  EXPECT_FALSE(UInt128::from_decimal("1e3").has_value());
+  EXPECT_FALSE(UInt128::from_decimal("0x10").has_value());
+  EXPECT_FALSE(UInt128::from_decimal("abc").has_value());
+  // 2^128 exactly, and beyond.
+  EXPECT_FALSE(
+      UInt128::from_decimal("340282366920938463463374607431768211456")
+          .has_value());
+  EXPECT_FALSE(
+      UInt128::from_decimal("999999999999999999999999999999999999999999")
+          .has_value());
+}
+
+TEST(UInt128, DecimalRoundTripRandomized) {
+  std::mt19937_64 rng(0x128u);
+  for (int i = 0; i < 2000; ++i) {
+    const UInt128 v(rng(), rng());
+    const auto back = UInt128::from_decimal(v.to_decimal());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(UInt128, ArithmeticMatchesNativeU128Randomized) {
+  std::mt19937_64 rng(0x129u);
+  using u128 = unsigned __int128;
+  for (int i = 0; i < 5000; ++i) {
+    const UInt128 a(rng(), rng());
+    const UInt128 b(rng(), rng());
+    const u128 na = (u128(a.hi()) << 64) | a.lo();
+    const u128 nb = (u128(b.hi()) << 64) | b.lo();
+    UInt128 sum;
+    EXPECT_EQ(a.add_overflow(b, sum), na + nb < na);
+    EXPECT_EQ(sum.lo(), static_cast<std::uint64_t>(na + nb));
+    EXPECT_EQ(sum.hi(), static_cast<std::uint64_t>((na + nb) >> 64));
+    UInt128 diff;
+    EXPECT_EQ(a.sub_borrow(b, diff), na < nb);
+    EXPECT_EQ(diff.lo(), static_cast<std::uint64_t>(na - nb));
+    EXPECT_EQ(diff.hi(), static_cast<std::uint64_t>((na - nb) >> 64));
+    EXPECT_EQ(a < b, na < nb);
+    EXPECT_EQ(a == b, na == nb);
+  }
+}
+
+TEST(UInt128, Ordering) {
+  EXPECT_LT(UInt128(0, ~0ull), UInt128(1, 0));
+  EXPECT_LT(UInt128(1, 0), UInt128(1, 1));
+  EXPECT_GT(UInt128::max(), UInt128(~0ull));
+}
+
+TEST(UInt128, ToDouble) {
+  EXPECT_DOUBLE_EQ(UInt128(1000u).to_double(), 1000.0);
+  EXPECT_NEAR(UInt128(1, 0).to_double(), 1.8446744073709552e19, 1e5);
+}
+
+TEST(UInt128, StreamOperatorPrintsDecimal) {
+  std::ostringstream os;
+  os << UInt128(1, 0);
+  EXPECT_EQ(os.str(), "18446744073709551616");
+}
+
+}  // namespace
+}  // namespace themis

@@ -17,8 +17,11 @@
 #include <thread>
 
 #include "bench_util.h"
+#include "common/bytes.h"
+#include "common/uint128.h"
 #include "rpc/http_client.h"
 #include "rpc/json.h"
+#include "state/authstate/merkle_state.h"
 
 namespace {
 
@@ -29,7 +32,9 @@ constexpr std::string_view kUsage =
     "            or --raw=<hex of signed tx>; add --wait to poll until the\n"
     "            transaction is confirmed (--timeout=<sec>, default 30)\n"
     "  tx        --id=<hex>          transaction status\n"
-    "  balance   --account=<id>      balance + next nonce\n"
+    "  balance   --account=<id>      balance + next nonce; add --prove to\n"
+    "            fetch a Merkle inclusion proof and verify it locally\n"
+    "            against the head state root (prints VERIFIED or FAILED)\n"
     "  head                          current head hash + height\n"
     "  block     --hash=<hex> | --height=<n>\n"
     "  status                        node summary\n"
@@ -195,7 +200,18 @@ int main(int argc, char** argv) {
       }
       params.set("sender", parser.value_u64("--from", 0));
       params.set("to", parser.value_u64("--to", 0));
-      params.set("amount", parser.value_u64("--amount", 0));
+      // Amounts past 2^64 - 1 travel as exact decimal strings (the server
+      // accepts either form); anything that fits stays a JSON number.
+      const auto amount128 = UInt128::from_decimal(*amount);
+      if (!amount128.has_value()) {
+        std::cerr << "error: --amount must be a decimal integer < 2^128\n";
+        return 2;
+      }
+      if (amount128->fits_u64()) {
+        params.set("amount", amount128->lo());
+      } else {
+        params.set("amount", std::string(*amount));
+      }
       if (const auto memo = parser.value("--memo")) {
         params.set("memo", std::string(*memo));
       }
@@ -245,9 +261,66 @@ int main(int argc, char** argv) {
       std::cerr << "error: balance needs --account\n";
       return 2;
     }
+    const std::uint64_t account_id = parser.value_u64("--account", 0);
+    const bool prove = parser.flag("--prove");
     rpc::Json params;
-    params.set("account", parser.value_u64("--account", 0));
-    return finish(call(client, "get_balance", std::move(params)));
+    params.set("account", account_id);
+    if (prove) params.set("prove", true);
+    const rpc::Json response = call(client, "get_balance", std::move(params));
+    if (!prove || response.has("error")) return finish(response);
+
+    // Verify the proof locally: decode the page, find the claimed account
+    // inside it, and walk the Merkle path up to the state root the node
+    // advertises.  A node that misreports a balance cannot produce a path
+    // that still hashes to its own committed root.
+    std::cout << response["result"].dump() << "\n";
+    bool ok = false;
+    try {
+      const rpc::Json& result = response["result"];
+      const Hash32 root = hash_from_hex(result["state_root"].as_string());
+      const auto balance =
+          UInt128::from_decimal(result["balance"].as_string());
+      if (!balance.has_value()) throw rpc::JsonError("bad balance");
+      state::Account claimed;
+      claimed.balance = *balance;
+      claimed.next_nonce = result["next_nonce"].as_u64();
+      const rpc::Json& pj = result["proof"];
+      state::authstate::AccountProof proof;
+      proof.page = static_cast<std::uint32_t>(pj["page"].as_u64());
+      proof.page_count =
+          static_cast<std::uint32_t>(pj["page_count"].as_u64());
+      proof.page_bytes = from_hex(pj["page_bytes"].as_string());
+      for (const rpc::Json& step : pj["steps"].as_array()) {
+        proof.steps.push_back(crypto::MerkleStep{
+            hash_from_hex(step["sibling"].as_string()),
+            step["left"].as_bool()});
+      }
+      if (pj["available"].as_bool()) {
+        ok = state::authstate::verify_account_proof(
+            root, static_cast<std::uint32_t>(account_id), claimed, proof);
+      } else {
+        // Past the committed page range: the account is empty by
+        // construction, provided the claim is the default state and the
+        // page really lies beyond the span the root commits to.
+        ok = proof.page >= proof.page_count && claimed == state::Account{};
+      }
+      if (ok) {
+        // Cross-check the proven root against the node's status line; a
+        // mismatch at the same head means the node contradicts itself.
+        const rpc::Json status = call(client, "status", rpc::Json());
+        if (!status.has("error") &&
+            status["result"]["head"].as_string() ==
+                result["head"].as_string() &&
+            status["result"]["state_root"].as_string() !=
+                result["state_root"].as_string()) {
+          ok = false;
+        }
+      }
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    std::cout << (ok ? "VERIFIED" : "FAILED") << "\n";
+    return ok ? 0 : 3;
   }
 
   if (command == "block") {

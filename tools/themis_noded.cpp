@@ -55,6 +55,11 @@ constexpr std::string_view kUsage =
     "                        0 picks an ephemeral port, printed at startup)\n"
     "  --genesis-fund=<n>    genesis balance per consortium account\n"
     "                        (default 1000000)\n"
+    "  --snapshot-interval=<n>  write a verified state snapshot every n\n"
+    "                        finalized blocks (0 = disabled); restart\n"
+    "                        restores from it instead of replaying history\n"
+    "  --prune               with snapshots, drop block-store records below\n"
+    "                        each snapshot height (bounded disk)\n"
     "  --max-block-txs=<n>   transactions per mined block cap (default 256)\n"
     "  --seed=<u64>          rng seed for nonce start / dial jitter\n"
     "  --run-for=<sec>       stop after this many seconds (0 = until signal)\n"
@@ -115,6 +120,8 @@ int main(int argc, char** argv) {
   config.use_signatures = !parser.flag("--no-signatures");
   config.rng_seed = parser.value_u64("--seed", 1 + config.id);
   config.genesis_fund = parser.value_u64("--genesis-fund", config.genesis_fund);
+  config.snapshot_interval = parser.value_u64("--snapshot-interval", 0);
+  config.prune = parser.flag("--prune");
   config.max_block_txs = static_cast<std::size_t>(
       parser.value_u64("--max-block-txs", config.max_block_txs));
 
