@@ -1,0 +1,233 @@
+// Checkpoint finality at simulator scale: a Themis/GEOST sweep over
+// consortium size n and checkpoint interval k, with the FinalityOverlay
+// gossiping checkpoint votes next to block announcements.  Reports, per
+// (n, k) point, how far the head runs ahead of hard finality (lag in
+// blocks) and how long a checkpoint takes to certify after the head first
+// reaches it (latency in simulated seconds) — the cost of bolting BFT
+// finality onto the probabilistic chain.
+//
+//   --nodes=<n[,n...]>     consortium sizes (default 100,200,400; --quick: 100)
+//   --interval=<k[,k...]>  checkpoint intervals (default 8,16,32; --quick: 16)
+//   --height=<h>           target main-chain height per point (default 96;
+//                          --quick: 48)
+//   --json=<path>          write machine-readable results
+//   --floors=<path>        JSON perf floors; exit 2 when violated
+//                          (keys "finality_max_lag_blocks" — max head/finality
+//                          lag at certification — and
+//                          "finality_min_certificates" per point)
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "rpc/json.h"
+#include "sim/experiment.h"
+#include "sim/finality_overlay.h"
+#include "sim/power_dist.h"
+
+namespace {
+
+using namespace themis;
+
+std::vector<std::uint64_t> parse_list(std::string_view spec) {
+  std::vector<std::uint64_t> out;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string item(spec.substr(begin, end - begin));
+    if (!item.empty()) out.push_back(std::strtoull(item.c_str(), nullptr, 10));
+    begin = end + 1;
+  }
+  return out;
+}
+
+struct PointResult {
+  std::size_t nodes = 0;
+  std::uint64_t interval = 0;
+  std::uint64_t height = 0;
+  std::uint64_t votes = 0;
+  std::uint64_t certificates = 0;
+  std::uint64_t finalized_min = 0;
+  std::uint64_t finalized_max = 0;
+  double mean_lag = 0.0;
+  std::uint64_t max_lag = 0;
+  double mean_latency_s = 0.0;
+  double max_latency_s = 0.0;
+  double sim_s = 0.0;
+  double wall_s = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::ArgParser parser(argc, argv);
+  constexpr std::string_view kUsage =
+      "finality_scale [--nodes=<n,..>] [--interval=<k,..>] [--height=<h>] "
+      "[--quick] [--seed=<u64>] [--csv] [--json=<path>] [--floors=<path>]";
+  const bool quick = parser.flag("--quick");
+  const bool csv = parser.flag("--csv");
+  const std::uint64_t seed = parser.value_u64("--seed", 1);
+  const std::uint64_t height = parser.value_u64("--height", quick ? 48 : 96);
+  std::vector<std::uint64_t> sizes =
+      quick ? std::vector<std::uint64_t>{100}
+            : std::vector<std::uint64_t>{100, 200, 400};
+  if (const auto v = parser.value("--nodes")) sizes = parse_list(*v);
+  std::vector<std::uint64_t> intervals =
+      quick ? std::vector<std::uint64_t>{16}
+            : std::vector<std::uint64_t>{8, 16, 32};
+  if (const auto v = parser.value("--interval")) intervals = parse_list(*v);
+  std::string json_path;
+  if (const auto v = parser.value("--json")) json_path = *v;
+  std::string floors_path;
+  if (const auto v = parser.value("--floors")) floors_path = *v;
+  parser.reject_unknown(kUsage);
+  if (sizes.empty() || intervals.empty() || height == 0) {
+    std::cerr << "error: need --nodes, --interval and --height > 0\n";
+    return 1;
+  }
+
+  bench::banner("Checkpoint finality: lag and latency vs n and interval k",
+                "finality overlay sweep (Themis/GEOST, gossiped votes)");
+
+  const bench::WallTimer total_timer;
+  std::vector<PointResult> results;
+  for (const std::uint64_t n : sizes) {
+    for (const std::uint64_t k : intervals) {
+      sim::PoxConfig config;
+      config.algorithm = core::Algorithm::kThemis;
+      config.n_nodes = n;
+      config.hash_rates = sim::uniform_power(n, config.h0);
+      config.beta = 8;
+      config.expected_interval_s = 4.0;
+      config.txs_per_block = 0;
+      config.seed = seed;
+
+      PointResult r;
+      r.nodes = n;
+      r.interval = k;
+      r.height = height;
+
+      const bench::WallTimer point_timer;
+      sim::PoxExperiment exp(config);
+      std::vector<consensus::PowNode*> nodes;
+      nodes.reserve(exp.size());
+      for (std::size_t i = 0; i < exp.size(); ++i) nodes.push_back(&exp.node(i));
+      sim::FinalityOverlayConfig oc;
+      oc.interval = k;
+      sim::FinalityOverlay overlay(exp.simulation(), exp.network(),
+                                   std::move(nodes), oc);
+      overlay.attach();
+      exp.run_to_height(height, SimTime::seconds(1e7));
+      r.wall_s = point_timer.seconds();
+      r.sim_s = exp.elapsed().to_seconds();
+
+      const sim::FinalityOverlay::Metrics m = overlay.metrics();
+      r.votes = m.votes_cast;
+      r.certificates = m.certificates;
+      r.finalized_min = m.finalized_min;
+      r.finalized_max = m.finalized_max;
+      r.mean_lag = m.mean_lag_blocks;
+      r.max_lag = m.max_lag_blocks;
+      r.mean_latency_s = m.mean_latency_s;
+      r.max_latency_s = m.max_latency_s;
+      results.push_back(r);
+    }
+  }
+
+  metrics::Table t({"nodes", "k", "height", "votes", "certs", "fin min",
+                    "fin max", "mean lag", "max lag", "mean lat s",
+                    "max lat s", "wall s"});
+  for (const PointResult& r : results) {
+    t.add_row({std::to_string(r.nodes), std::to_string(r.interval),
+               std::to_string(r.height), std::to_string(r.votes),
+               std::to_string(r.certificates), std::to_string(r.finalized_min),
+               std::to_string(r.finalized_max),
+               metrics::Table::num(r.mean_lag, 2), std::to_string(r.max_lag),
+               metrics::Table::num(r.mean_latency_s, 2),
+               metrics::Table::num(r.max_latency_s, 2),
+               metrics::Table::num(r.wall_s, 2)});
+  }
+  if (csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  std::cerr << "[finality_scale] total wall: " << total_timer.seconds()
+            << "s\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+    } else {
+      out << "{\n  \"benchmark\": \"finality_scale\",\n"
+          << "  \"config\": {\"algorithm\": \"themis-geost\", \"beta\": 8, "
+          << "\"interval_s\": 4.0, \"seed\": " << seed
+          << ", \"height\": " << height << "},\n  \"points\": [\n";
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const PointResult& r = results[i];
+        out << "    {\"nodes\": " << r.nodes << ", \"interval\": " << r.interval
+            << ", \"votes\": " << r.votes
+            << ", \"certificates\": " << r.certificates
+            << ", \"finalized_min\": " << r.finalized_min
+            << ", \"finalized_max\": " << r.finalized_max
+            << ", \"mean_lag_blocks\": " << r.mean_lag
+            << ", \"max_lag_blocks\": " << r.max_lag
+            << ", \"mean_latency_s\": " << r.mean_latency_s
+            << ", \"max_latency_s\": " << r.max_latency_s
+            << ", \"sim_s\": " << r.sim_s << ", \"wall_s\": " << r.wall_s
+            << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+      }
+      out << "  ]\n}\n";
+      std::cerr << "[finality_scale] wrote " << json_path << "\n";
+    }
+  }
+
+  if (!floors_path.empty()) {
+    std::ifstream in(floors_path);
+    if (!in) {
+      std::cerr << "error: cannot read floors file " << floors_path << "\n";
+      return 1;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    rpc::Json floors;
+    try {
+      floors = rpc::Json::parse(text);
+    } catch (const rpc::JsonError& e) {
+      std::cerr << "error: bad floors JSON: " << e.what() << "\n";
+      return 1;
+    }
+    bool violated = false;
+    if (floors.has("finality_max_lag_blocks")) {
+      const double cap = floors["finality_max_lag_blocks"].as_double();
+      for (const PointResult& r : results) {
+        if (static_cast<double>(r.max_lag) > cap) {
+          std::cerr << "FLOOR VIOLATED: n=" << r.nodes << " k=" << r.interval
+                    << " max finality lag " << r.max_lag << " > " << cap
+                    << " blocks\n";
+          violated = true;
+        }
+      }
+    }
+    if (floors.has("finality_min_certificates")) {
+      const double floor = floors["finality_min_certificates"].as_double();
+      for (const PointResult& r : results) {
+        if (static_cast<double>(r.certificates) < floor) {
+          std::cerr << "FLOOR VIOLATED: n=" << r.nodes << " k=" << r.interval
+                    << " certificates " << r.certificates << " < " << floor
+                    << "\n";
+          violated = true;
+        }
+      }
+    }
+    if (violated) return 2;
+    std::cerr << "[finality_scale] all perf floors met (" << floors_path
+              << ")\n";
+  }
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "consensus/head_tracker.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace themis::consensus {
@@ -12,6 +14,7 @@ void HeadTracker::reset(const BlockTree& tree, const ForkChoiceRule& rule,
                         std::uint64_t finality_depth) {
   expects(tree.contains(anchor), "anchor must be in the tree");
   finality_depth_ = finality_depth;
+  finalized_height_ = 0;
   path_.clear();
   path_.push_back(anchor);
   anchor_height_ = tree.height(anchor);
@@ -63,8 +66,12 @@ HeadTracker::Update HeadTracker::on_insert(const BlockTree& tree,
       tree.lowest_common_ancestor(batch_root, old_head);
   const std::uint64_t div_height = tree.height(divergence);
   if (div_height < anchor_height_) {
-    // The batch forked off below the finalized anchor; a walk from the
-    // anchor never sees it.
+    // The batch forked off below the anchor; a walk from the anchor never
+    // sees it.  When the divergence also sits below a hard-finalized
+    // checkpoint, flag it — this is the reorg attempt the finality overlay
+    // exists to refuse, and callers count those.
+    update.below_finalized =
+        finalized_height_ > 0 && div_height < finalized_height_;
     return update;
   }
 
@@ -93,6 +100,39 @@ HeadTracker::Update HeadTracker::on_insert(const BlockTree& tree,
   return update;
 }
 
+bool HeadTracker::set_finalized(const BlockTree& tree,
+                                const ForkChoiceRule& rule,
+                                const BlockHash& block) {
+  expects(!path_.empty(), "reset() must run before set_finalized()");
+  expects(tree.contains(block), "finalized block must be in the tree");
+  const std::uint64_t h = tree.height(block);
+  if (h <= finalized_height_) return false;  // monotone
+
+  bool on_path;
+  if (h < anchor_height_) {
+    on_path = tree.is_ancestor(block, path_.front());
+  } else {
+    const std::size_t idx = static_cast<std::size_t>(h - anchor_height_);
+    on_path = idx < path_.size() && path_[idx] == block;
+  }
+  bool head_changed = false;
+  if (!on_path) {
+    // The certified checkpoint is off our preferred path: the network
+    // hard-committed a branch that is (locally) losing the weight race.
+    // Finality outranks fork choice — rebuild the path through the
+    // certificate and greedily extend within its subtree.
+    const BlockHash old_head = path_.back();
+    path_.clear();
+    path_.push_back(block);
+    anchor_height_ = h;
+    extend_from_back(tree, rule);
+    head_changed = path_.back() != old_head;
+  }
+  finalized_height_ = h;
+  advance_anchor();
+  return head_changed;
+}
+
 void HeadTracker::extend_from_back(const BlockTree& tree,
                                    const ForkChoiceRule& rule) {
   BlockHash cur = path_.back();
@@ -106,8 +146,12 @@ void HeadTracker::extend_from_back(const BlockTree& tree,
 
 void HeadTracker::advance_anchor() {
   const std::uint64_t head_height = anchor_height_ + path_.size() - 1;
-  if (head_height <= finality_depth_) return;
-  const std::uint64_t target = head_height - finality_depth_;
+  std::uint64_t target =
+      head_height > finality_depth_ ? head_height - finality_depth_ : 0;
+  // The hard floor outranks the probabilistic trail: once the overlay has
+  // certified a checkpoint, the anchor (and with it the aggregate floor and
+  // the snapshot/pruning cursor) never sits below it.
+  target = std::max(target, std::min(finalized_height_, head_height));
   while (anchor_height_ < target) {
     path_.pop_front();
     ++anchor_height_;

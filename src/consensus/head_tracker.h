@@ -53,6 +53,9 @@ class HeadTracker {
     /// Blocks abandoned from the old preferred path (old head back to the
     /// divergence point, exclusive).  Non-zero only when reorg is true.
     std::uint64_t reorg_depth = 0;
+    /// The batch diverged below the hard-finalized height, so the head stood
+    /// regardless of the batch's weight (the finality overlay's guarantee).
+    bool below_finalized = false;
   };
 
   /// (Re)start tracking: full greedy walk from `anchor`, then advance the
@@ -73,6 +76,19 @@ class HeadTracker {
                    const ledger::BlockHash& batch_root,
                    const ledger::BlockHash& batch_parent, bool batch_is_leaf);
 
+  /// Hard-finalize `block` (a certified checkpoint from the finality
+  /// overlay, already in the tree).  From here on, no insert can reorg the
+  /// path at or below its height, and the anchor never trails below it.  If
+  /// the certified block is off the current preferred path — the certified
+  /// branch lost the weight race locally — the path is force-switched
+  /// through it: hard finality outranks fork choice.  Returns true when that
+  /// switch changed the head.  Monotone: calls at or below the current
+  /// finalized height are no-ops.
+  bool set_finalized(const ledger::BlockTree& tree, const ForkChoiceRule& rule,
+                     const ledger::BlockHash& block);
+
+  std::uint64_t finalized_height() const { return finalized_height_; }
+
   const ledger::BlockHash& head() const { return path_.back(); }
   const ledger::BlockHash& anchor() const { return path_.front(); }
   /// Path heights are contiguous, so both are known without a tree query —
@@ -82,17 +98,32 @@ class HeadTracker {
     return anchor_height_ + path_.size() - 1;
   }
 
+  /// Block on the cached preferred path at `height`, or nullptr when the
+  /// height falls outside [anchor, head].  O(1) — the checkpoint overlay
+  /// reads the block to vote on here.
+  const ledger::BlockHash* path_block_at(std::uint64_t height) const {
+    if (height < anchor_height_ || height - anchor_height_ >= path_.size()) {
+      return nullptr;
+    }
+    return &path_[static_cast<std::size_t>(height - anchor_height_)];
+  }
+
  private:
   /// Greedily extend the cached path from its current tip to a leaf.
   void extend_from_back(const ledger::BlockTree& tree,
                         const ForkChoiceRule& rule);
   /// Pop finalized blocks off the front so the anchor trails the head by at
-  /// most `finality_depth_` (the seed's advance_anchor semantics).
+  /// most `finality_depth_` (the seed's advance_anchor semantics) — and, when
+  /// the overlay has hard-finalized past that probabilistic trail, so the
+  /// anchor never sits below the hard-finalized height.
   void advance_anchor();
 
   std::deque<ledger::BlockHash> path_;  ///< anchor … head, contiguous heights
   std::uint64_t anchor_height_ = 0;     ///< height of path_.front()
   std::uint64_t finality_depth_ = 64;
+  /// Hard floor from the checkpoint overlay (0 = none): reorgs diverging at
+  /// or below this height are refused, and the anchor stays at or above it.
+  std::uint64_t finalized_height_ = 0;
 };
 
 }  // namespace themis::consensus

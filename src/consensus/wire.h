@@ -7,6 +7,7 @@ namespace themis::consensus {
 
 enum MessageType : std::uint32_t {
   kBlockAnnounce = 1,   // gossip flood of a freshly mined block
+  kCkptVote = 2,        // simulated checkpoint finality vote (FinalityOverlay)
   kPbftRequest = 10,    // client request batch to the current leader
   kPbftPrePrepare = 11,
   kPbftPrepare = 12,
@@ -29,6 +30,8 @@ enum MessageType : std::uint32_t {
   kP2pTx = 110,         // one signed canonical transaction
   kP2pTxBatch = 111,    // many signed transactions in one frame, so the
                         // receiver can batch-verify admission in one pass
+  kP2pCkptVote = 112,   // one signed checkpoint finality vote (gossiped with
+                        // the same per-peer known-inventory suppression)
 };
 
 }  // namespace themis::consensus

@@ -28,6 +28,11 @@ Scalar challenge(const Hash32& rx, const PublicKey& px, const Hash32& msg) {
 
 }  // namespace
 
+Scalar schnorr_challenge(const Hash32& rx, const PublicKey& pub,
+                         const Hash32& msg) {
+  return challenge(rx, pub, msg);
+}
+
 Bytes Signature::to_bytes() const {
   Bytes out;
   out.reserve(kSignatureSize);

@@ -55,6 +55,12 @@ class Keypair {
 /// Verify a signature over a 32-byte digest under an x-only public key.
 bool verify(const PublicKey& pub, const Hash32& msg, const Signature& sig);
 
+/// The challenge scalar e = H_tag(R.x || P || m) mod n used by sign/verify.
+/// Exposed so linear-combination verifiers (batch verification, checkpoint
+/// half-aggregation) can reconstruct each signature's challenge.
+Scalar schnorr_challenge(const Hash32& rx, const PublicKey& pub,
+                         const Hash32& msg);
+
 /// One (key, message, signature) triple queued for batch verification.
 struct BatchVerifyItem {
   PublicKey pub{};

@@ -1,0 +1,115 @@
+// Pluggable signature aggregation for checkpoint certificates.
+//
+// Two backends behind one interface:
+//
+//   * ConcatAggregation (id 0) — the baseline: the aggregate is simply every
+//     voter's 64-byte Schnorr signature concatenated in voter order.
+//     Size O(64·n); verification is a standard batch verify.
+//
+//   * HalfAggregation (id 1) — Schnorr half-aggregation: keep every vote's
+//     R component but collapse the s components into ONE scalar
+//     s* = Σ zᵢ·sᵢ, with deterministic per-certificate coefficients
+//     zᵢ = H(transcript ‖ i) (z₀ = 1).  Verification checks the single
+//     equation s*·G == Σ zᵢ·Rᵢ + Σ (zᵢ·eᵢ)·Pᵢ — exactly the random-linear-
+//     combination equation crypto::verify_batch uses, which is why halving
+//     is sound: a forger must solve an equation whose coefficients are
+//     derived from the very signatures being forged.  Size 32·(n+1) bytes,
+//     half the concatenation, and verification is one multi-scalar
+//     multiplication instead of n ladder walks.
+//
+// Both backends verify against the registered consortium weight: the voter
+// set must be known members and carry strictly more than 2/3 of the total
+// weight, so a syntactically valid certificate below quorum never verifies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "finality/checkpoint.h"
+
+namespace themis::finality {
+
+/// One registered consortium member eligible to vote on checkpoints.
+struct Validator {
+  ledger::NodeId id = 0;
+  crypto::PublicKey key{};
+  std::uint64_t weight = 1;
+};
+
+/// The registered consortium: membership, per-member weight, and the quorum
+/// rule.  Immutable after construction (membership churn re-registers).
+class ValidatorSet {
+ public:
+  ValidatorSet() = default;
+  explicit ValidatorSet(std::vector<Validator> members);
+
+  /// The deterministic consortium this repo uses everywhere: members 0..n-1
+  /// with Keypair::from_node_id keys and weight 1 each (one-node-one-vote,
+  /// the NodeSetContract convention).
+  static ValidatorSet deterministic(std::size_t n_nodes);
+
+  const Validator* find(ledger::NodeId id) const;
+  bool is_member(ledger::NodeId id) const { return find(id) != nullptr; }
+  std::size_t size() const { return members_.size(); }
+  std::uint64_t total_weight() const { return total_weight_; }
+  const std::vector<Validator>& members() const { return members_; }
+
+  /// Sum of the named members' weights (unknown ids contribute 0).
+  std::uint64_t weight_of(const std::vector<ledger::NodeId>& ids) const;
+  /// The >2/3 rule: strictly more than two thirds of the total weight.
+  bool quorum(std::uint64_t weight) const { return 3 * weight > 2 * total_weight_; }
+
+ private:
+  std::vector<Validator> members_;
+  std::unordered_map<ledger::NodeId, std::size_t> index_;
+  std::uint64_t total_weight_ = 0;
+};
+
+class AggregationBackend {
+ public:
+  virtual ~AggregationBackend() = default;
+
+  virtual std::string_view name() const = 0;
+  /// Wire discriminator stored in CheckpointCertificate::backend.
+  virtual std::uint8_t id() const = 0;
+
+  /// Combine the votes (all over the same digest, sorted by voter, each
+  /// individually verified by the tracker) into the certificate aggregate.
+  virtual Bytes aggregate(const std::vector<CheckpointVote>& votes) const = 0;
+
+  /// Full certificate check: backend id, membership, quorum weight, and the
+  /// combined signature against the checkpoint digest.
+  virtual bool verify(const CheckpointCertificate& cert,
+                      const ValidatorSet& validators) const = 0;
+};
+
+class ConcatAggregation final : public AggregationBackend {
+ public:
+  static constexpr std::uint8_t kId = 0;
+  std::string_view name() const override { return "concat"; }
+  std::uint8_t id() const override { return kId; }
+  Bytes aggregate(const std::vector<CheckpointVote>& votes) const override;
+  bool verify(const CheckpointCertificate& cert,
+              const ValidatorSet& validators) const override;
+};
+
+class HalfAggregation final : public AggregationBackend {
+ public:
+  static constexpr std::uint8_t kId = 1;
+  std::string_view name() const override { return "half"; }
+  std::uint8_t id() const override { return kId; }
+  Bytes aggregate(const std::vector<CheckpointVote>& votes) const override;
+  bool verify(const CheckpointCertificate& cert,
+              const ValidatorSet& validators) const override;
+};
+
+/// Backend by wire id (nullptr for unknown ids).
+std::unique_ptr<AggregationBackend> make_backend(std::uint8_t id);
+/// Backend by configuration name ("concat" / "half"); nullptr when unknown.
+std::unique_ptr<AggregationBackend> make_backend(std::string_view name);
+
+}  // namespace themis::finality

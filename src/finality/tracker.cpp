@@ -1,0 +1,149 @@
+#include "finality/tracker.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace themis::finality {
+
+std::string_view to_string(VoteOutcome outcome) {
+  switch (outcome) {
+    case VoteOutcome::accepted: return "accepted";
+    case VoteOutcome::quorum: return "quorum";
+    case VoteOutcome::duplicate: return "duplicate";
+    case VoteOutcome::equivocation: return "equivocation";
+    case VoteOutcome::unknown_voter: return "unknown_voter";
+    case VoteOutcome::bad_signature: return "bad_signature";
+    case VoteOutcome::bad_height: return "bad_height";
+    case VoteOutcome::stale: return "stale";
+  }
+  return "unknown";
+}
+
+CheckpointTracker::CheckpointTracker(TrackerConfig config,
+                                     ValidatorSet validators,
+                                     std::unique_ptr<AggregationBackend> backend)
+    : config_(config),
+      validators_(std::move(validators)),
+      backend_(std::move(backend)) {
+  expects(config_.interval > 0, "checkpoint interval must be positive");
+  expects(backend_ != nullptr, "aggregation backend required");
+  expects(validators_.size() > 0, "validator set must be non-empty");
+}
+
+VoteOutcome CheckpointTracker::add_vote(const CheckpointVote& vote) {
+  if (!is_checkpoint_height(vote.height) ||
+      vote.epoch != epoch_of(vote.height)) {
+    ++stats_.votes_bad_height;
+    return VoteOutcome::bad_height;
+  }
+  if (vote.height <= finalized_height_) {
+    ++stats_.votes_stale;
+    return VoteOutcome::stale;
+  }
+  const Validator* validator = validators_.find(vote.voter);
+  if (validator == nullptr) {
+    ++stats_.votes_unknown_voter;
+    return VoteOutcome::unknown_voter;
+  }
+
+  Tally& tally = tallies_[vote.height];
+  if (const auto it = tally.voted.find(vote.voter); it != tally.voted.end()) {
+    if (it->second == vote.block) {
+      ++stats_.votes_duplicate;
+      return VoteOutcome::duplicate;
+    }
+    // Same voter, same height, different block: the first commitment stands
+    // and the contradiction is counted (it is slashable evidence upstream).
+    ++stats_.votes_equivocation;
+    return VoteOutcome::equivocation;
+  }
+
+  // Signature check last: it is the expensive step, and a duplicate or
+  // equivocating vote should be classified as such even if also unsigned.
+  if (config_.verify_signatures &&
+      !crypto::verify(validator->key, vote.digest(), vote.signature)) {
+    ++stats_.votes_bad_signature;
+    return VoteOutcome::bad_signature;
+  }
+
+  tally.voted.emplace(vote.voter, vote.block);
+  Candidate& candidate = tally.by_block[vote.block];
+  const auto pos = std::lower_bound(
+      candidate.votes.begin(), candidate.votes.end(), vote.voter,
+      [](const CheckpointVote& v, ledger::NodeId id) { return v.voter < id; });
+  candidate.votes.insert(pos, vote);
+  candidate.weight += validator->weight;
+  ++stats_.votes_accepted;
+
+  if (!validators_.quorum(candidate.weight)) return VoteOutcome::accepted;
+
+  // Quorum: build the certificate and advance the finalized prefix.  Only
+  // one candidate per height can ever reach >2/3 (each voter counts once),
+  // and heights at or below the finalized one are rejected as stale above,
+  // so this fires at most once per checkpoint.
+  CheckpointCertificate cert;
+  cert.height = vote.height;
+  cert.block = vote.block;
+  cert.epoch = vote.epoch;
+  cert.backend = backend_->id();
+  cert.voters.reserve(candidate.votes.size());
+  for (const CheckpointVote& v : candidate.votes) cert.voters.push_back(v.voter);
+  cert.aggregate = backend_->aggregate(candidate.votes);
+  certificates_[cert.height] = std::move(cert);
+  ++stats_.certificates_formed;
+
+  if (vote.height > finalized_height_) {
+    finalized_height_ = vote.height;
+    finalized_block_ = vote.block;
+    prune_below(finalized_height_);
+  }
+  return VoteOutcome::quorum;
+}
+
+CheckpointVote CheckpointTracker::make_vote(std::uint64_t height,
+                                            const ledger::BlockHash& block,
+                                            const crypto::Keypair& keypair,
+                                            ledger::NodeId voter) const {
+  CheckpointVote vote;
+  vote.height = height;
+  vote.block = block;
+  vote.epoch = epoch_of(height);
+  vote.voter = voter;
+  vote.signature = keypair.sign(vote.digest());
+  return vote;
+}
+
+const CheckpointCertificate* CheckpointTracker::certificate(
+    std::uint64_t height) const {
+  const auto it = certificates_.find(height);
+  return it == certificates_.end() ? nullptr : &it->second;
+}
+
+std::vector<CheckpointVote> CheckpointTracker::retained_votes() const {
+  std::vector<CheckpointVote> out;
+  for (const auto& [height, tally] : tallies_) {
+    for (const auto& [block, candidate] : tally.by_block) {
+      out.insert(out.end(), candidate.votes.begin(), candidate.votes.end());
+    }
+  }
+  return out;
+}
+
+std::size_t CheckpointTracker::votes_for(std::uint64_t height,
+                                         const ledger::BlockHash& block) const {
+  const auto it = tallies_.find(height);
+  if (it == tallies_.end()) return 0;
+  const auto cand = it->second.by_block.find(block);
+  return cand == it->second.by_block.end() ? 0 : cand->second.votes.size();
+}
+
+void CheckpointTracker::prune_below(std::uint64_t height) {
+  // Keep the last `retain_below` finalized checkpoints' votes (fresh peers
+  // are brought to quorum from them); drop everything older.
+  const std::uint64_t keep = config_.retain_below * config_.interval;
+  const std::uint64_t floor = height > keep ? height - keep : 0;
+  tallies_.erase(tallies_.begin(), tallies_.lower_bound(floor + 1));
+}
+
+}  // namespace themis::finality

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "finality/checkpoint.h"
 #include "ledger/types.h"
 
 namespace themis::p2p {
@@ -116,6 +117,20 @@ struct TxBatchMsg {
 
   Bytes encode() const;
   static TxBatchMsg decode(ByteSpan raw);
+};
+
+/// kP2pCkptVote: one checkpoint finality vote (src/finality).  Votes flood
+/// like block invs — every node relays a newly accepted vote to peers not
+/// already known to have it (Peer::mark_known on the vote id) — so quorum
+/// assembles in O(gossip diameter) without any leader.  Malformed payloads
+/// throw DecodeError and close the connection like every other frame.
+struct CkptVoteMsg {
+  finality::CheckpointVote vote;
+
+  Bytes encode() const { return vote.encode(); }
+  static CkptVoteMsg decode(ByteSpan raw) {
+    return CkptVoteMsg{finality::CheckpointVote::decode(raw)};
+  }
 };
 
 }  // namespace themis::p2p

@@ -106,6 +106,16 @@ P2pNode::P2pNode(P2pNodeConfig config,
   }
   tracker_.reset(tree_, *rule_, tree_.genesis_hash(), config_.finality_depth);
 
+  // Checkpoint finality overlay: needs the Schnorr keys (votes are
+  // signatures), so it engages only alongside use_signatures.
+  if (config_.use_signatures && config_.checkpoint_interval > 0) {
+    finality::TrackerConfig fc;
+    fc.interval = config_.checkpoint_interval;
+    fc.verify_signatures = true;
+    ckpt_.emplace(fc, finality::ValidatorSet::deterministic(config_.n_nodes),
+                  finality::make_backend(config_.finality_backend));
+  }
+
   PeerManagerConfig pm;
   pm.listen_port = config_.listen_port;
   pm.listen = config_.listen;
@@ -155,6 +165,21 @@ void P2pNode::register_live_metrics() {
       "themis_head_changes_total", "Fork-choice head moves.");
   live_.reorgs = &r.counter(
       "themis_reorgs_total", "Head moves that abandoned a previous branch.");
+  live_.ckpt_votes_sent = &r.counter(
+      "themis_finality_votes_sent_total",
+      "Checkpoint votes signed and broadcast by this node.");
+  live_.ckpt_votes_received = &r.counter(
+      "themis_finality_votes_received_total",
+      "Checkpoint vote frames received from peers.");
+  live_.ckpt_votes_accepted = &r.counter(
+      "themis_finality_votes_accepted_total",
+      "Checkpoint votes counted toward a checkpoint quorum.");
+  live_.ckpt_votes_rejected = &r.counter(
+      "themis_finality_votes_rejected_total",
+      "Checkpoint votes rejected (equivocation, unknown voter, bad signature).");
+  live_.ckpt_certs = &r.counter(
+      "themis_finality_certificates_total",
+      "Checkpoint quorums completed locally (certificates formed).");
   live_.admit_batch = &r.histogram(
       "themis_admit_batch_seconds",
       "Latency of one combining-leader admission batch (all four stages).");
@@ -175,6 +200,31 @@ void P2pNode::register_live_metrics() {
              [this] { return static_cast<double>(head_height()); });
   r.gauge_fn("themis_uptime_seconds", "Seconds since the node started.",
              [this] { return uptime_seconds(); });
+  r.gauge_fn("themis_finality_height",
+             "Highest hard-finalized checkpoint height.", [this] {
+               std::lock_guard<std::mutex> lock(mu_);
+               return static_cast<double>(stats_.finalized_height);
+             });
+  r.gauge_fn("themis_finality_lag_blocks",
+             "Blocks between the fork-choice head and the finalized height.",
+             [this] {
+               std::lock_guard<std::mutex> lock(mu_);
+               const std::uint64_t head = tracker_.head_height();
+               return static_cast<double>(
+                   head > stats_.finalized_height
+                       ? head - stats_.finalized_height
+                       : 0);
+             });
+  r.gauge_fn("themis_finality_cert_votes",
+             "Voters on the latest formed checkpoint certificate.", [this] {
+               std::lock_guard<std::mutex> lock(mu_);
+               if (!ckpt_.has_value()) return 0.0;
+               const finality::CheckpointCertificate* cert =
+                   ckpt_->latest_certificate();
+               return cert == nullptr
+                          ? 0.0
+                          : static_cast<double>(cert->voters.size());
+             });
   r.gauge_fn("themis_p2p_bytes_in", "Transport bytes received.",
              [this] { return static_cast<double>(peers_->stats().bytes_in); });
   r.gauge_fn("themis_p2p_bytes_out", "Transport bytes sent.",
@@ -313,6 +363,22 @@ void P2pNode::on_peer_ready(Peer& peer) {
   if (!pool_inv.hashes.empty()) {
     peer.send_frame(consensus::kP2pTxInv, pool_inv.encode());
   }
+
+  // Offer our retained checkpoint votes the same way: a freshly connected
+  // (or partition-healed) peer can be brought to quorum — and force-switched
+  // onto the certified chain — from the retained window alone.
+  std::vector<finality::CheckpointVote> retained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ckpt_.has_value()) retained = ckpt_->retained_votes();
+  }
+  for (const finality::CheckpointVote& vote : retained) {
+    if (!peer.mark_known(vote.vote_id())) continue;
+    if (!peer.send_frame(consensus::kP2pCkptVote,
+                         CkptVoteMsg{vote}.encode())) {
+      break;
+    }
+  }
 }
 
 void P2pNode::request_sync(Peer& peer) {
@@ -354,6 +420,9 @@ void P2pNode::on_peer_frame(Peer& peer, std::uint32_t type, ByteSpan payload) {
       return;
     case consensus::kP2pTxBatch:
       handle_tx_batch(peer, payload);
+      return;
+    case consensus::kP2pCkptVote:
+      handle_ckpt_vote(peer, payload);
       return;
     default:
       // Unknown post-handshake frame: tolerated (forward compatibility), the
@@ -566,6 +635,62 @@ void P2pNode::handle_tx_batch(Peer& peer, ByteSpan payload) {
     pointers.push_back(&requests[i]);
   }
   enqueue_and_settle(pointers);
+}
+
+void P2pNode::handle_ckpt_vote(Peer& peer, ByteSpan payload) {
+  // DecodeError from a malformed vote propagates to the reader loop, which
+  // treats it as a protocol error and closes the connection (same discipline
+  // as malformed blocks and transactions).
+  const CkptVoteMsg msg = CkptVoteMsg::decode(payload);
+  const finality::CheckpointVote& vote = msg.vote;
+  peer.mark_known(vote.vote_id());
+
+  bool relay = false;
+  bool forced = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!ckpt_.has_value()) return;  // overlay disabled: tolerated frame
+    ++stats_.ckpt_votes_received;
+    live_.ckpt_votes_received->inc();
+    const finality::VoteOutcome outcome = ckpt_->add_vote(vote);
+    switch (outcome) {
+      case finality::VoteOutcome::accepted:
+      case finality::VoteOutcome::quorum:
+        ++stats_.ckpt_votes_accepted;
+        live_.ckpt_votes_accepted->inc();
+        relay = true;
+        break;
+      case finality::VoteOutcome::duplicate:
+      case finality::VoteOutcome::stale:
+        break;  // benign gossip races, not protocol violations
+      default:
+        ++stats_.ckpt_votes_rejected;
+        live_.ckpt_votes_rejected->inc();
+        break;
+    }
+    if (outcome == finality::VoteOutcome::quorum) {
+      ++stats_.ckpt_certs_formed;
+      live_.ckpt_certs->inc();
+      if (const finality::CheckpointCertificate* cert =
+              ckpt_->certificate(vote.height)) {
+        if (tree_.contains(cert->block)) {
+          forced = apply_certificate_locked(*cert);
+        } else {
+          // Quorum outran the block (gossip reorders freely): park the
+          // certificate and finalize when the block arrives.
+          pending_certs_.push_back(*cert);
+        }
+      }
+    }
+  }
+  // Accepted votes flood onward (suppressed per peer by vote_id), so a vote
+  // reaches the whole consortium even across a sparse topology.
+  if (relay) broadcast_votes({vote}, peer.session_id());
+  if (forced) {
+    chain_version_.fetch_add(1, std::memory_order_release);
+    miner_cv_.notify_all();
+    if (head_listener_) head_listener_(*this);
+  }
 }
 
 TxAdmit P2pNode::submit_transaction(const ledger::SignedTransaction& stx) {
@@ -802,6 +927,7 @@ bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
   obs::live::ScopedTimer submit_timer(live_.block_submit);
   const BlockHash id = block->id();
   std::vector<BlockHash> announce;
+  std::vector<finality::CheckpointVote> votes;
   bool head_changed = false;
   bool reorged = false;
   std::uint64_t new_height = 0;
@@ -875,6 +1001,7 @@ bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
                                              /*batch_is_leaf=*/batch_size == 1);
       head_changed = update.head_changed;
       reorged = update.reorg;
+      if (update.below_finalized) ++stats_.reorgs_refused_finality;
       if (update.reorg) {
         ++stats_.reorgs;
         live_.reorgs->inc();
@@ -892,6 +1019,19 @@ bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
         stats_.txs_returned += rec.returned;
         stats_.txs_purged += rec.purged;
         maybe_snapshot_locked();
+      }
+      // Finality overlay: an inserted block may be the one a parked quorum
+      // certificate was waiting for, and a head advance may cross checkpoint
+      // heights we have not voted on yet.
+      if (ckpt_.has_value()) {
+        if (drain_pending_certs_locked()) {
+          // A parked certificate force-switched the head (the certified
+          // branch had lost the local weight race until now).
+          head_changed = true;
+          reorged = true;
+          new_height = tracker_.head_height();
+        }
+        if (head_changed) maybe_vote_locked(votes);
       }
     }
   }
@@ -936,6 +1076,9 @@ bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
     if (head_listener_) head_listener_(*this);
   }
 
+  // Our own checkpoint votes go to everyone (including the block's source).
+  broadcast_votes(votes, /*exclude_session=*/0);
+
   // Inventory-based announcement: one inv per peer, restricted to hashes the
   // peer is not already known to have (the duplicate-suppression accounting
   // net/gossip models with its per-node seen sets).
@@ -950,6 +1093,124 @@ bool P2pNode::submit_block(BlockPtr block, std::uint64_t source_session) {
     }
   }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint finality overlay
+// ---------------------------------------------------------------------------
+
+void P2pNode::broadcast_votes(
+    const std::vector<finality::CheckpointVote>& votes,
+    std::uint64_t exclude_session) {
+  if (votes.empty()) return;
+  for (const auto& peer : peers_->ready_peers()) {
+    if (peer->session_id() == exclude_session) continue;
+    for (const finality::CheckpointVote& vote : votes) {
+      if (!peer->mark_known(vote.vote_id())) continue;
+      if (!peer->send_frame(consensus::kP2pCkptVote,
+                            CkptVoteMsg{vote}.encode())) {
+        break;
+      }
+    }
+  }
+}
+
+void P2pNode::maybe_vote_locked(std::vector<finality::CheckpointVote>& out) {
+  if (!ckpt_.has_value() || !keypair_.has_value()) return;
+  const std::uint64_t interval = ckpt_->interval();
+  // Highest checkpoint height covered by the preferred path.
+  const std::uint64_t top = (tracker_.head_height() / interval) * interval;
+  for (std::uint64_t h = (last_voted_height_ / interval + 1) * interval;
+       h <= top; h += interval) {
+    last_voted_height_ = h;  // one vote per height, ever: never equivocate
+    if (h <= ckpt_->finalized_height()) continue;
+    const BlockHash* block = tracker_.path_block_at(h);
+    if (block == nullptr) continue;  // below the anchor: unreachable
+    const finality::CheckpointVote vote =
+        ckpt_->make_vote(h, *block, *keypair_, config_.id);
+    const finality::VoteOutcome outcome = ckpt_->add_vote(vote);
+    if (outcome != finality::VoteOutcome::accepted &&
+        outcome != finality::VoteOutcome::quorum) {
+      continue;
+    }
+    ++stats_.ckpt_votes_sent;
+    live_.ckpt_votes_sent->inc();
+    out.push_back(vote);
+    if (outcome == finality::VoteOutcome::quorum) {
+      ++stats_.ckpt_certs_formed;
+      live_.ckpt_certs->inc();
+      // Our vote is for a block on the preferred path, so applying the
+      // certificate can never force-switch the head here.
+      if (const finality::CheckpointCertificate* cert = ckpt_->certificate(h)) {
+        apply_certificate_locked(*cert);
+      }
+    }
+  }
+}
+
+bool P2pNode::apply_certificate_locked(
+    const finality::CheckpointCertificate& cert) {
+  // Defensive: a certificate whose claimed height disagrees with the tree
+  // would poison the floors below — refuse it (>2/3 honest weight means a
+  // formed certificate is consistent; this guards the invariant anyway).
+  if (!tree_.contains(cert.block) || tree_.height(cert.block) != cert.height) {
+    obs::live::log_warn("finality", "certificate inconsistent with tree",
+                        {{"height", cert.height},
+                         {"hash", short_hex(cert.block)}});
+    return false;
+  }
+  if (cert.height <= stats_.finalized_height) return false;  // monotone
+
+  const BlockHash old_head = tracker_.head();
+  const bool head_changed = tracker_.set_finalized(tree_, *rule_, cert.block);
+  stats_.finalized_height = cert.height;
+  // Every downstream floor keys off the hard anchor from here on: state pins,
+  // pool confirmation immutability, tree aggregate pruning, snapshots.
+  state_.set_finalized_floor(cert.height);
+  reconciler_.set_finalized(cert.height, cert.block);
+  tree_.set_aggregate_floor(tracker_.anchor_height());
+  if (head_changed) {
+    // Hard finality outranked the local weight race: reconcile the pool with
+    // the certified chain exactly as a reorg would.
+    ++stats_.reorgs;
+    live_.reorgs->inc();
+    live_.head_changes->inc();
+    const auto rec = reconciler_.on_head_change(
+        tree_, old_head, tracker_.head(), pool_,
+        state_.state_at(tree_, tracker_.head()));
+    stats_.txs_confirmed += rec.confirmed;
+    stats_.txs_returned += rec.returned;
+    stats_.txs_purged += rec.purged;
+  }
+  maybe_snapshot_locked();
+  obs::live::log_info(
+      "finality", "checkpoint finalized",
+      {{"height", cert.height},
+       {"hash", short_hex(cert.block)},
+       {"votes", static_cast<std::uint64_t>(cert.voters.size())},
+       {"forced", head_changed}});
+  trace("checkpoint_finalized",
+        {obs::Field::u64("node", config_.id),
+         obs::Field::u64("height", cert.height),
+         obs::Field::u64("votes", cert.voters.size()),
+         obs::Field::boolean("forced", head_changed)});
+  return head_changed;
+}
+
+bool P2pNode::drain_pending_certs_locked() {
+  bool forced = false;
+  auto it = pending_certs_.begin();
+  while (it != pending_certs_.end()) {
+    if (it->height <= stats_.finalized_height) {
+      it = pending_certs_.erase(it);  // superseded by a later checkpoint
+    } else if (tree_.contains(it->block)) {
+      forced = apply_certificate_locked(*it) || forced;
+      it = pending_certs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return forced;
 }
 
 // ---------------------------------------------------------------------------
@@ -1262,6 +1523,34 @@ std::optional<P2pNode::BlockInfo> P2pNode::block_info_at(
   return info;
 }
 
+P2pNode::FinalityInfo P2pNode::finality_info() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FinalityInfo info;
+  info.enabled = ckpt_.has_value();
+  info.head_height = tracker_.head_height();
+  if (!ckpt_.has_value()) return info;
+  info.interval = ckpt_->interval();
+  info.finalized_height = stats_.finalized_height;
+  info.lag = info.head_height > info.finalized_height
+                 ? info.head_height - info.finalized_height
+                 : 0;
+  if (const finality::CheckpointCertificate* cert =
+          ckpt_->certificate(stats_.finalized_height)) {
+    info.finalized_block = cert->block;
+    info.latest_votes = cert->voters.size();
+  }
+  return info;
+}
+
+std::optional<finality::CheckpointCertificate> P2pNode::checkpoint_certificate(
+    std::uint64_t height) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ckpt_.has_value()) return std::nullopt;
+  const finality::CheckpointCertificate* cert = ckpt_->certificate(height);
+  if (cert == nullptr) return std::nullopt;
+  return *cert;
+}
+
 std::uint64_t P2pNode::next_nonce_hint(ledger::NodeId sender) const {
   std::uint64_t state_next = 1;
   {
@@ -1285,6 +1574,14 @@ void P2pNode::fill_observability() {
   counters.counter("consensus.blocks_produced") = chain.blocks_produced;
   counters.counter("consensus.blocks_rejected") = chain.blocks_rejected;
   counters.counter("consensus.reorgs") = chain.reorgs;
+
+  counters.counter("finality.height") = chain.finalized_height;
+  counters.counter("finality.votes_sent") = chain.ckpt_votes_sent;
+  counters.counter("finality.votes_received") = chain.ckpt_votes_received;
+  counters.counter("finality.votes_accepted") = chain.ckpt_votes_accepted;
+  counters.counter("finality.votes_rejected") = chain.ckpt_votes_rejected;
+  counters.counter("finality.certificates") = chain.ckpt_certs_formed;
+  counters.counter("finality.reorgs_refused") = chain.reorgs_refused_finality;
 
   counters.counter("p2p.bytes_in") = transport.bytes_in;
   counters.counter("p2p.bytes_out") = transport.bytes_out;

@@ -60,6 +60,7 @@
 #include "consensus/forkchoice.h"
 #include "consensus/head_tracker.h"
 #include "consensus/node.h"  // KeyRegistry
+#include "finality/tracker.h"
 #include "ledger/block_store.h"
 #include "ledger/blocktree.h"
 #include "ledger/txpool.h"
@@ -120,6 +121,15 @@ struct P2pNodeConfig {
 
   bool use_signatures = true;
   std::uint64_t finality_depth = 16;
+
+  /// Checkpoint finality overlay (src/finality): every `checkpoint_interval`
+  /// heights the node signs and gossips a checkpoint vote; >2/3 of the
+  /// consortium weight hard-finalizes the prefix.  0 disables the overlay.
+  /// Requires use_signatures (votes are Schnorr signatures); with signatures
+  /// off the overlay stays off regardless of the interval.
+  std::uint64_t checkpoint_interval = 16;
+  /// Aggregation backend for formed certificates: "concat" or "half".
+  std::string finality_backend = "concat";
   std::string agent = "themis-noded/1.0";
   std::uint64_t rng_seed = 1;
 
@@ -233,6 +243,15 @@ class P2pNode {
     std::uint64_t blocks_pruned = 0;     ///< store records dropped by pruning
     bool restored_from_snapshot = false; ///< start() loaded a snapshot
 
+    // Checkpoint finality overlay.
+    std::uint64_t finalized_height = 0;     ///< highest certified checkpoint
+    std::uint64_t ckpt_votes_sent = 0;      ///< our own votes broadcast
+    std::uint64_t ckpt_votes_received = 0;  ///< vote frames from peers
+    std::uint64_t ckpt_votes_accepted = 0;  ///< counted toward a checkpoint
+    std::uint64_t ckpt_votes_rejected = 0;  ///< equivocating/unknown/bad-sig
+    std::uint64_t ckpt_certs_formed = 0;    ///< quorums completed locally
+    std::uint64_t reorgs_refused_finality = 0;  ///< divergence below finality
+
     // Transaction pipeline.
     std::uint64_t txs_submitted = 0;     ///< admission attempts (RPC + wire)
     std::uint64_t txs_accepted = 0;      ///< entered the pool
@@ -310,6 +329,25 @@ class P2pNode {
   /// Main-chain block at `height` (walks the head chain).
   std::optional<BlockInfo> block_info_at(std::uint64_t height) const;
 
+  // --- checkpoint finality ---------------------------------------------------
+
+  struct FinalityInfo {
+    bool enabled = false;
+    std::uint64_t interval = 0;
+    std::uint64_t finalized_height = 0;
+    std::optional<ledger::BlockHash> finalized_block;
+    std::uint64_t head_height = 0;
+    std::uint64_t lag = 0;  ///< head_height - finalized_height
+    std::size_t latest_votes = 0;  ///< voters on the latest certificate
+  };
+  FinalityInfo finality_info() const;
+
+  /// The aggregate certificate formed at checkpoint `height`, if any (RPC
+  /// `get_checkpoint`; themis-cli verifies it offline against the
+  /// deterministic consortium keys).
+  std::optional<finality::CheckpointCertificate> checkpoint_certificate(
+      std::uint64_t height) const;
+
   std::size_t pool_depth() const { return pool_.size(); }
   /// Smallest usable nonce for `sender`: head-state next_nonce, skipping
   /// nonces already pending in the pool (RPC auto-nonce).
@@ -327,6 +365,7 @@ class P2pNode {
   void handle_get_txdata(Peer& peer, ByteSpan payload);
   void handle_tx(Peer& peer, ByteSpan payload);
   void handle_tx_batch(Peer& peer, ByteSpan payload);
+  void handle_ckpt_vote(Peer& peer, ByteSpan payload);
 
   /// Shared admission path for RPC submissions and wire-relayed transactions.
   /// `source_session` = 0 for RPC (announce to everyone).
@@ -373,6 +412,23 @@ class P2pNode {
   /// Snapshot (and optionally prune) once the anchor has advanced
   /// snapshot_interval blocks past the last snapshot.
   void maybe_snapshot_locked();
+  /// Sign checkpoint votes for every checkpoint height newly covered by the
+  /// preferred path (at most one vote per height, ever — re-voting a height
+  /// for a different block would be equivocation).  Signed votes are appended
+  /// to `out`; the caller broadcasts them after releasing mu_.
+  void maybe_vote_locked(std::vector<finality::CheckpointVote>& out);
+  /// Hard-finalize a certified checkpoint: head tracker floor (force-switch
+  /// if the certified block lost the local weight race), state pin floor,
+  /// reconciler immutability floor, aggregate floor, snapshot trigger.
+  /// Returns true when the head changed (forced switch).
+  bool apply_certificate_locked(const finality::CheckpointCertificate& cert);
+  /// Re-check certificates parked for blocks we had not seen yet.  Returns
+  /// true when applying one force-switched the head.
+  bool drain_pending_certs_locked();
+  /// Send votes to every ready peer (except `exclude_session`), suppressed
+  /// per peer by the known-inventory set keyed on vote_id().
+  void broadcast_votes(const std::vector<finality::CheckpointVote>& votes,
+                       std::uint64_t exclude_session);
   void mine_loop();
   void trace(std::string_view event, std::initializer_list<obs::Field> fields);
   std::int64_t wall_nanos() const;
@@ -414,6 +470,16 @@ class P2pNode {
   mutable bool root_valid_ = false;
   /// Anchor height of the latest snapshot written or restored.
   std::uint64_t last_snapshot_height_ = 0;
+  /// Checkpoint finality overlay (engaged when checkpoint_interval > 0 and
+  /// signatures are on; guarded by mu_ like the rest of consensus).
+  std::optional<finality::CheckpointTracker> ckpt_;
+  /// Highest checkpoint height this node has signed a vote for (monotone —
+  /// the self-equivocation guard).
+  std::uint64_t last_voted_height_ = 0;
+  /// Certificates that reached quorum before their block arrived (votes for
+  /// unknown blocks are counted; the finalization itself waits for the
+  /// block).  Drained after every tree insert.
+  std::vector<finality::CheckpointCertificate> pending_certs_;
   ChainStats stats_;
 
   /// Pending transactions.  Internally synchronized; see the lock-order rule
@@ -458,6 +524,11 @@ class P2pNode {
     obs::live::Counter* blocks_rejected = nullptr;
     obs::live::Counter* head_changes = nullptr;
     obs::live::Counter* reorgs = nullptr;
+    obs::live::Counter* ckpt_votes_sent = nullptr;
+    obs::live::Counter* ckpt_votes_received = nullptr;
+    obs::live::Counter* ckpt_votes_accepted = nullptr;
+    obs::live::Counter* ckpt_votes_rejected = nullptr;
+    obs::live::Counter* ckpt_certs = nullptr;
     obs::live::Histogram* admit_batch = nullptr;
     obs::live::Histogram* block_submit = nullptr;
   } live_;

@@ -107,8 +107,9 @@ Json block_to_json(const p2p::P2pNode::BlockInfo& info) {
 
 Gateway::Gateway(p2p::P2pNode& node) : node_(node) {
   static constexpr const char* kMethodNames[kMethodCount] = {
-      "submit_tx", "submit_txs", "get_tx",  "get_txs", "get_block",
-      "get_head",  "get_balance", "status", "metrics", "other"};
+      "submit_tx", "submit_txs",  "get_tx",         "get_txs",
+      "get_block", "get_head",    "get_balance",    "get_checkpoint",
+      "status",    "metrics",     "other"};
   obs::live::Registry& r = node_.live_registry();
   for (std::size_t i = 0; i < kMethodCount; ++i) {
     MethodMetrics& m = methods_[i];
@@ -135,6 +136,7 @@ Gateway::Method Gateway::method_of(const std::string& name) {
   if (name == "get_block") return Method::get_block;
   if (name == "get_head") return Method::get_head;
   if (name == "get_balance") return Method::get_balance;
+  if (name == "get_checkpoint") return Method::get_checkpoint;
   if (name == "status") return Method::status;
   if (name == "metrics") return Method::metrics;
   return Method::other;
@@ -230,6 +232,7 @@ Json Gateway::dispatch(const std::string& method, const Json& params) {
   if (method == "get_block") return rpc_get_block(params);
   if (method == "get_head") return rpc_get_head();
   if (method == "get_balance") return rpc_get_balance(params);
+  if (method == "get_checkpoint") return rpc_get_checkpoint(params);
   if (method == "status") return rpc_status();
   if (method == "metrics") return rpc_metrics();
   fail(kMethodNotFound, "unknown method: " + method);
@@ -478,6 +481,34 @@ Json Gateway::rpc_get_balance(const Json& params) {
   return out;
 }
 
+Json Gateway::rpc_get_checkpoint(const Json& params) {
+  const auto fin = node_.finality_info();
+  if (!fin.enabled) fail(kTxRejected, "finality overlay disabled");
+  std::uint64_t height = fin.finalized_height;
+  if (params.is_object() && params.has("height")) {
+    if (!params["height"].is_number()) fail(kInvalidParams, "height must be a number");
+    height = params["height"].as_u64();
+  }
+  const auto cert = node_.checkpoint_certificate(height);
+  if (!cert.has_value()) fail(kTxRejected, "no certificate at that height");
+  Json out;
+  out.set("height", cert->height);
+  out.set("block", to_hex(cert->block));
+  out.set("epoch", cert->epoch);
+  out.set("backend", static_cast<std::uint64_t>(cert->backend));
+  Json::Array voters;
+  voters.reserve(cert->voters.size());
+  for (const ledger::NodeId voter : cert->voters) {
+    voters.push_back(Json(static_cast<std::uint64_t>(voter)));
+  }
+  out.set("voters", Json(std::move(voters)));
+  out.set("aggregate", to_hex(cert->aggregate));
+  // Full wire encoding so clients can re-verify offline (themis-cli
+  // checkpoint) without reassembling the certificate field by field.
+  out.set("raw", to_hex(cert->encode()));
+  return out;
+}
+
 Json Gateway::rpc_status() {
   const auto chain = node_.chain_stats();
   Json out;
@@ -495,6 +526,10 @@ Json Gateway::rpc_status() {
   out.set("snapshots_written", chain.snapshots_written);
   out.set("blocks_pruned", chain.blocks_pruned);
   out.set("restored_from_snapshot", chain.restored_from_snapshot);
+  const auto fin = node_.finality_info();
+  out.set("finality_enabled", fin.enabled);
+  out.set("finalized_height", fin.finalized_height);
+  out.set("finality_lag", fin.lag);
   return out;
 }
 
@@ -525,6 +560,20 @@ Json Gateway::rpc_metrics() {
     {"bytes_in", Json(transport.bytes_in)},
     {"bytes_out", Json(transport.bytes_out)},
     {"peers", Json(node_.ready_peer_count())},
+  }));
+  const auto fin = node_.finality_info();
+  out.set("finality", Json::object({
+    {"enabled", Json(fin.enabled)},
+    {"interval", Json(fin.interval)},
+    {"finalized_height", Json(fin.finalized_height)},
+    {"lag", Json(fin.lag)},
+    {"latest_votes", Json(static_cast<std::uint64_t>(fin.latest_votes))},
+    {"votes_sent", Json(chain.ckpt_votes_sent)},
+    {"votes_received", Json(chain.ckpt_votes_received)},
+    {"votes_accepted", Json(chain.ckpt_votes_accepted)},
+    {"votes_rejected", Json(chain.ckpt_votes_rejected)},
+    {"certificates", Json(chain.ckpt_certs_formed)},
+    {"reorgs_refused", Json(chain.reorgs_refused_finality)},
   }));
   Json methods = Json::object({});  // {} even before any request
   for (const MethodMetrics& m : methods_) {

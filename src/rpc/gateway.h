@@ -22,6 +22,10 @@
 //   get_block   {"hash": "<hex>"} or {"height": N} -> header + tx ids
 //   get_head    {}                   -> {"hash", "height"}
 //   get_balance {"account": N}       -> {"balance", "next_nonce"}
+//   get_checkpoint {"height"?: N}    -> finality certificate at the given
+//               checkpoint height (latest when omitted): height / block /
+//               epoch / backend / voters plus the raw hex encoding for
+//               offline verification (themis-cli checkpoint)
 //   status      {}                   -> node summary (head, peers, pool, ...)
 //   metrics     {}                   -> chain + transport + rpc + stage
 //                                       latency counters
@@ -90,11 +94,12 @@ class Gateway {
     get_block,
     get_head,
     get_balance,
+    get_checkpoint,
     status,
     metrics,
     other,  ///< unknown / unparseable method names
   };
-  static constexpr std::size_t kMethodCount = 10;
+  static constexpr std::size_t kMethodCount = 11;
   static Method method_of(const std::string& name);
 
   struct MethodMetrics {
@@ -119,6 +124,7 @@ class Gateway {
   Json rpc_get_block(const Json& params);
   Json rpc_get_head();
   Json rpc_get_balance(const Json& params);
+  Json rpc_get_checkpoint(const Json& params);
   Json rpc_status();
   Json rpc_metrics();
 

@@ -228,6 +228,8 @@ void StateManager::reset_base(LedgerState base) {
 
 void StateManager::pin_anchor(const ledger::BlockTree& tree,
                               const ledger::BlockHash& block) {
+  expects(tree.height(block) >= finalized_floor_,
+          "pin_anchor below the hard-finalized height");
   const LedgerState& state = state_at(tree, block);
   pinned_.emplace(block, state);
 }

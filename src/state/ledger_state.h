@@ -185,8 +185,17 @@ class StateManager {
   /// Pin the state at `block` so LRU churn cannot evict it (single slot; a
   /// new pin replaces the old).  The snapshot path pins each written anchor,
   /// so the next snapshot replays only the blocks since the previous one
-  /// instead of the whole chain.
+  /// instead of the whole chain.  Throws PreconditionError when `block` sits
+  /// below the hard-finalized floor — an anchor below finality would let the
+  /// snapshot cursor regress onto a prefix the overlay already committed.
   void pin_anchor(const ledger::BlockTree& tree, const ledger::BlockHash& block);
+
+  /// Raise the hard-finality floor (monotone; from the checkpoint overlay).
+  /// Anchor pins below this height are rejected from here on.
+  void set_finalized_floor(std::uint64_t height) {
+    if (height > finalized_floor_) finalized_floor_ = height;
+  }
+  std::uint64_t finalized_floor() const { return finalized_floor_; }
 
   /// The state the root of the tree materializes from (genesis allocation,
   /// or the restored snapshot after reset_base).
@@ -219,6 +228,8 @@ class StateManager {
   std::unordered_map<ledger::BlockHash, StateDelta, Hash32Hasher> deltas_;
   /// Single eviction-proof slot for the snapshot anchor (see pin_anchor).
   std::optional<std::pair<ledger::BlockHash, LedgerState>> pinned_;
+  /// Hard-finality floor for anchor pins (see set_finalized_floor).
+  std::uint64_t finalized_floor_ = 0;
 };
 
 }  // namespace themis::state

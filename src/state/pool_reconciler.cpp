@@ -33,9 +33,16 @@ PoolReconciler::Stats PoolReconciler::on_head_change(
       tree.lowest_common_ancestor(old_head, new_head);
 
   // 1. Un-confirm the abandoned branch (old_head .. fork], collecting its
-  //    transactions as candidates to return to the pool.
+  //    transactions as candidates to return to the pool.  Blocks on the
+  //    hard-finalized chain are immutable: their confirmations stand no
+  //    matter what head pair the caller drove.
   std::vector<ledger::Transaction> abandoned;
   for (const ledger::BlockHash& hash : path_down_to(tree, old_head, fork)) {
+    if (finalized_height_ > 0 && tree.height(hash) <= finalized_height_ &&
+        tree.contains(finalized_block_) &&
+        tree.is_ancestor(hash, finalized_block_)) {
+      continue;
+    }
     const ledger::BlockPtr block = tree.block(hash);
     for (const ledger::Transaction& tx : block->transactions()) {
       confirmed_in_.erase(tx.id());

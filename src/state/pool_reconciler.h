@@ -65,6 +65,22 @@ class PoolReconciler {
   /// Main-chain block containing `id`, if the transaction is confirmed.
   std::optional<ledger::BlockHash> block_of(const ledger::TxId& id) const;
 
+  /// Raise the hard-finality floor (monotone; from the checkpoint overlay).
+  /// Confirmations in blocks on the finalized chain — ancestors (inclusive)
+  /// of the certified checkpoint — are immutable: a head change can never
+  /// un-confirm them.  HeadTracker already refuses reorgs that diverge below
+  /// finality, so this is defense in depth; note a forced finality switch
+  /// still un-confirms an abandoned heavier branch correctly, because its
+  /// blocks are not ancestors of the certified checkpoint whatever their
+  /// heights.
+  void set_finalized(std::uint64_t height, const ledger::BlockHash& block) {
+    if (height > finalized_height_) {
+      finalized_height_ = height;
+      finalized_block_ = block;
+    }
+  }
+  std::uint64_t finalized_height() const { return finalized_height_; }
+
   std::size_t indexed() const { return confirmed_in_.size(); }
   const Stats& totals() const { return totals_; }
 
@@ -72,6 +88,8 @@ class PoolReconciler {
   std::unordered_map<ledger::TxId, ledger::BlockHash, Hash32Hasher>
       confirmed_in_;
   Stats totals_;
+  std::uint64_t finalized_height_ = 0;
+  ledger::BlockHash finalized_block_{};
   std::function<void(const ledger::TxId&)> confirm_hook_;
 };
 

@@ -14,6 +14,8 @@
 
 #include "common/serialize.h"
 #include "consensus/wire.h"
+#include "crypto/schnorr.h"
+#include "finality/checkpoint.h"
 #include "ledger/block.h"
 #include "ledger/transaction.h"
 #include "p2p/messages.h"
@@ -222,6 +224,24 @@ TEST(Messages, GetBlocksAndBlocksRoundTrip) {
   Writer hostile;
   hostile.varint(kMaxSyncBlocks + 1);
   EXPECT_THROW(BlocksMsg::decode(hostile.buffer()), DecodeError);
+}
+
+TEST(Messages, CkptVoteRoundTripsAndRejectsTruncation) {
+  finality::CheckpointVote vote;
+  vote.height = 32;
+  vote.block.fill(0x5c);
+  vote.epoch = 2;
+  vote.voter = 1;
+  vote.signature = crypto::Keypair::from_node_id(1).sign(vote.digest());
+  const CkptVoteMsg msg{vote};
+  const Bytes wire = msg.encode();
+  EXPECT_EQ(CkptVoteMsg::decode(wire).vote, vote);
+
+  Bytes truncated(wire.begin(), wire.end() - 1);
+  EXPECT_THROW(CkptVoteMsg::decode(truncated), DecodeError);
+  Bytes trailing = wire;
+  trailing.push_back(0x00);
+  EXPECT_THROW(CkptVoteMsg::decode(trailing), DecodeError);
 }
 
 // --- live-socket robustness ------------------------------------------------
@@ -488,6 +508,41 @@ TEST_F(LiveNodeTxWireTest, OversizedTxInvClosesConnection) {
   ASSERT_TRUE(s.send_all(encode_frame(consensus::kP2pTxInv, inv.encode())));
   EXPECT_TRUE(closed_by_remote(s));
   EXPECT_EQ(node_->pool_depth(), 0u);
+}
+
+TEST_F(LiveNodeTxWireTest, TruncatedCkptVoteFrameClosesConnectionNodeSurvives) {
+  TcpSocket s = dial_and_handshake();
+  // Ten garbage bytes cannot decode as a CheckpointVote: protocol error.
+  ASSERT_TRUE(
+      s.send_all(encode_frame(consensus::kP2pCkptVote, Bytes(10, 0xab))));
+  EXPECT_TRUE(closed_by_remote(s));
+
+  // The node shrugged it off: a fresh connection still moves traffic.
+  TcpSocket again = dial_and_handshake();
+  ASSERT_TRUE(again.send_all(
+      encode_frame(consensus::kP2pTx, signed_transfer(1, 1).encode())));
+  EXPECT_TRUE(wait_until([this] { return node_->pool_depth() == 1; }));
+}
+
+TEST_F(LiveNodeTxWireTest, BadSignatureCkptVoteRejectedWithoutClose) {
+  TcpSocket s = dial_and_handshake();
+  finality::CheckpointVote vote;
+  vote.height = 16;  // default checkpoint interval: a legal checkpoint height
+  vote.block.fill(0x77);
+  vote.epoch = 1;
+  vote.voter = 2;
+  vote.signature = crypto::Keypair::from_node_id(2).sign(vote.digest());
+  vote.signature.s[0] ^= 0x01;  // well-formed frame, invalid signature
+  ASSERT_TRUE(s.send_all(
+      encode_frame(consensus::kP2pCkptVote, CkptVoteMsg{vote}.encode())));
+  EXPECT_TRUE(wait_until(
+      [this] { return node_->chain_stats().ckpt_votes_rejected >= 1; }));
+  EXPECT_EQ(node_->chain_stats().ckpt_votes_accepted, 0u);
+
+  // Rejection is silent — the same connection still delivers a valid tx.
+  ASSERT_TRUE(s.send_all(
+      encode_frame(consensus::kP2pTx, signed_transfer(1, 1).encode())));
+  EXPECT_TRUE(wait_until([this] { return node_->pool_depth() == 1; }));
 }
 
 }  // namespace

@@ -20,11 +20,13 @@
 #include <chrono>
 #include <filesystem>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "finality/aggregation.h"
 #include "state/authstate/merkle_state.h"
 #include "state/transfer.h"
 
@@ -63,6 +65,8 @@ class P2pIntegrationTest : public ::testing::Test {
     config.ping_interval_ms = 500;
     config.backoff_initial_ms = 50;
     config.backoff_max_ms = 500;
+    config.checkpoint_interval = ckpt_interval_;
+    config.finality_backend = finality_backend_;
     return config;
   }
 
@@ -137,6 +141,10 @@ class P2pIntegrationTest : public ::testing::Test {
 
   fs::path root_;
   std::vector<std::unique_ptr<P2pNode>> nodes_;
+  /// Checkpoint-finality knobs picked up by base_config (the default 16 is
+  /// taller than most tests mine, so the overlay stays out of their way).
+  std::uint64_t ckpt_interval_ = 16;
+  std::string finality_backend_ = "concat";
 };
 
 TEST_F(P2pIntegrationTest, TwoNodesConnectAndExchangeLiveBlocks) {
@@ -399,6 +407,185 @@ TEST_F(P2pIntegrationTest, SnapshotPruneRestartServesVerifiedProofs) {
   EXPECT_EQ(bp.account.balance, expected_balance);
   EXPECT_TRUE(state::authstate::verify_account_proof(bp.state_root, 1,
                                                      bp.account, bp.proof));
+}
+
+// --- checkpoint finality over real sockets -----------------------------------
+
+TEST_F(P2pIntegrationTest, FourNodesHardFinalizeCheckpointsEveryInterval) {
+  constexpr std::size_t kNodes = 4;
+  constexpr std::uint64_t kInterval = 4;
+  ckpt_interval_ = kInterval;
+  finality_backend_ = "half";  // exercise half-aggregation over the wire
+  for (std::size_t i = 0; i < kNodes; ++i) start_node(i, kNodes);
+  ASSERT_TRUE(wait_until(
+      [&] {
+        for (P2pNode* node : live_nodes()) {
+          if (node->ready_peer_count() < kNodes - 1) return false;
+        }
+        return true;
+      },
+      60s));
+
+  // Mine until every node has formed at least two quorum certificates and
+  // hard-finalized past the second checkpoint height.  (Two certificates,
+  // not just finalized >= 2k: fast mining can race the head past several
+  // checkpoint boundaries before the first votes land, so the first quorum
+  // ever formed may already sit above height 2k.)
+  ASSERT_TRUE(wait_until(
+      [&] {
+        for (P2pNode* node : live_nodes()) {
+          if (node->finality_info().finalized_height < 2 * kInterval ||
+              node->chain_stats().ckpt_certs_formed < 2) {
+            return false;
+          }
+        }
+        return true;
+      },
+      240s))
+      << "every node must hard-finalize checkpoints as the chain grows";
+  for (P2pNode* node : live_nodes()) node->set_mining(false);
+
+  const finality::ValidatorSet validators =
+      finality::ValidatorSet::deterministic(kNodes);
+  std::map<std::uint64_t, ledger::BlockHash> certified;  // height -> block
+  std::uint64_t total_votes_sent = 0;
+  for (P2pNode* node : live_nodes()) {
+    const auto info = node->finality_info();
+    EXPECT_TRUE(info.enabled);
+    EXPECT_EQ(info.interval, kInterval);
+    EXPECT_EQ(info.finalized_height % kInterval, 0u);
+    EXPECT_EQ(info.head_height - info.finalized_height, info.lag);
+
+    // The certificate the node finalized on (a late-syncing node may have
+    // skipped straight past the first checkpoint, so ask for its own
+    // finalized height): carries quorum, verifies offline against the
+    // deterministic consortium keys — exactly what `themis-cli checkpoint`
+    // does — and any two nodes certifying the same height name the same
+    // block.
+    const auto cert = node->checkpoint_certificate(info.finalized_height);
+    ASSERT_TRUE(cert.has_value());
+    EXPECT_EQ(cert->height, info.finalized_height);
+    EXPECT_EQ(cert->backend, finality::HalfAggregation::kId);
+    EXPECT_GE(cert->voters.size(), 3u);
+    EXPECT_TRUE(
+        finality::make_backend(cert->backend)->verify(*cert, validators));
+    const auto it = certified.emplace(cert->height, cert->block).first;
+    EXPECT_EQ(it->second, cert->block);
+    EXPECT_TRUE(node->contains(cert->block));
+
+    const auto stats = node->chain_stats();
+    // >= rather than ==: in-flight votes may finalize a further checkpoint
+    // between the finality_info() and chain_stats() snapshots.
+    EXPECT_GE(stats.finalized_height, info.finalized_height);
+    EXPECT_EQ(stats.finalized_height % kInterval, 0u);
+    EXPECT_GE(stats.ckpt_certs_formed, 2u);
+    EXPECT_GE(stats.ckpt_votes_accepted, 2u);
+    total_votes_sent += stats.ckpt_votes_sent;
+  }
+  // Quorum is 3-of-4, so one perpetually-lagging node may never vote (every
+  // checkpoint it reaches is already finalized, hence stale) — but across
+  // the consortium at least a quorum's worth of votes must have been sent.
+  EXPECT_GE(total_votes_sent, 3u);
+}
+
+TEST_F(P2pIntegrationTest, PartitionedMinorityCannotFinalize) {
+  // Two nodes of a registered four-member consortium: their votes carry 2/4
+  // of the weight, never strictly more than 2/3 — no checkpoint may
+  // finalize, no matter how long their partition mines.
+  ckpt_interval_ = 2;
+  P2pNode* a = start_node(0, 4);
+  P2pNode* b = start_node(1, 4);
+  ASSERT_TRUE(wait_until(
+      [&] { return a->ready_peer_count() == 1 && b->ready_peer_count() == 1; },
+      30s));
+  ASSERT_TRUE(converge({a, b}, 5, 240s));  // well past two checkpoint heights
+
+  for (P2pNode* node : {a, b}) {
+    const auto info = node->finality_info();
+    EXPECT_TRUE(info.enabled);
+    EXPECT_EQ(info.finalized_height, 0u) << "minority must not finalize";
+    const auto stats = node->chain_stats();
+    EXPECT_EQ(stats.ckpt_certs_formed, 0u);
+    EXPECT_GE(stats.ckpt_votes_sent, 1u);      // they do vote...
+    EXPECT_GE(stats.ckpt_votes_accepted, 1u);  // ...and count each other
+  }
+}
+
+TEST_F(P2pIntegrationTest, ReorgBelowFinalizedRefusedOnEveryNode) {
+  constexpr std::size_t kNodes = 4;
+  constexpr std::uint64_t kInterval = 4;
+  ckpt_interval_ = kInterval;
+
+  // Phase 1: node 3 mines a private branch from genesis, alone.  Its solo
+  // votes never reach quorum (1/4 of the weight).
+  start_node(3, kNodes);
+  ASSERT_TRUE(wait_until([&] { return nodes_[3]->head_height() >= 9; }, 240s));
+  nodes_[3]->set_mining(false);
+  const auto solo_head = nodes_[3]->head();
+  EXPECT_EQ(nodes_[3]->finality_info().finalized_height, 0u);
+  nodes_[3]->stop();
+  nodes_[3].reset();
+
+  // Phase 2: the majority (3 of 4) mines its own branch and hard-finalizes
+  // the first checkpoint.
+  for (std::size_t i = 0; i < 3; ++i) start_node(i, kNodes);
+  ASSERT_TRUE(wait_until(
+      [&] {
+        for (P2pNode* node : live_nodes()) {
+          if (node->ready_peer_count() < 2) return false;
+        }
+        return true;
+      },
+      60s));
+  ASSERT_TRUE(wait_until(
+      [&] {
+        for (P2pNode* node : live_nodes()) {
+          if (node->finality_info().finalized_height < kInterval) return false;
+        }
+        return true;
+      },
+      240s))
+      << "majority must finalize its branch";
+  ASSERT_TRUE(converge(live_nodes(), kInterval, 240s));
+
+  // Phase 3: node 3 returns carrying its private branch (replayed from its
+  // datadir), which diverges at genesis — below the finalized checkpoint.
+  P2pNode* revived = start_node(3, kNodes, /*mine=*/false);
+
+  // Every majority node receives the solo branch and refuses the reorg: the
+  // branch diverges below hard finality, so fork choice never sees it.
+  // (A block mined in-flight at converge()'s pause can still land and move
+  // every majority head in lockstep, so assert branch identity — the head
+  // never lands on the solo branch — rather than an exact head snapshot.)
+  ASSERT_TRUE(wait_until(
+      [&] {
+        for (std::size_t i = 0; i < 3; ++i) {
+          if (nodes_[i]->chain_stats().reorgs_refused_finality == 0) {
+            return false;
+          }
+        }
+        return true;
+      },
+      240s))
+      << "every majority node must count the refused reorg";
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(nodes_[i]->finality_info().finalized_height, kInterval);
+    EXPECT_NE(nodes_[i]->head(), solo_head)
+        << "node " << i << " must keep the finalized branch";
+  }
+
+  // The returning node is pulled onto the certified branch by the retained
+  // votes (quorum re-forms locally, the certificate force-switches the head
+  // off its private branch — hard finality outranks its local fork choice)
+  // and ends up agreeing with the majority.
+  ASSERT_TRUE(wait_until(
+      [&] {
+        return revived->finality_info().finalized_height >= kInterval &&
+               revived->head() != solo_head && heads_equal(live_nodes());
+      },
+      240s))
+      << "returning node must force-switch onto the certified chain";
+  EXPECT_TRUE(revived->contains(solo_head));  // branch kept, just dethroned
 }
 
 TEST_F(P2pIntegrationTest, ObservabilityCountersAreFilled) {

@@ -177,6 +177,28 @@ TEST(StateManager, ForkGetsItsOwnState) {
   EXPECT_EQ(manager.state_at(b.tree(), right->id()).balance(1), 0u);
 }
 
+// Regression: a snapshot anchor pinned below the hard-finalized floor would
+// let the snapshot cursor regress onto a prefix the checkpoint overlay
+// already committed.
+TEST(StateManager, PinAnchorBelowFinalizedFloorRejected) {
+  test::TreeBuilder b;
+  b.add("a1", "g", 0);
+  b.add("a2", "a1", 0);
+  b.add("a3", "a2", 0);
+  StateManager manager(std::map<ledger::NodeId, UInt128>{{0, 100}});
+  manager.pin_anchor(b.tree(), b.hash("a1"));  // no floor yet: fine
+
+  manager.set_finalized_floor(2);
+  EXPECT_THROW(manager.pin_anchor(b.tree(), b.hash("a1")), PreconditionError);
+  manager.pin_anchor(b.tree(), b.hash("a2"));  // exactly at the floor: ok
+  manager.pin_anchor(b.tree(), b.hash("a3"));
+
+  // The floor is monotone; a stale lower certificate cannot drop it.
+  manager.set_finalized_floor(1);
+  EXPECT_EQ(manager.finalized_floor(), 2u);
+  EXPECT_THROW(manager.pin_anchor(b.tree(), b.hash("a1")), PreconditionError);
+}
+
 TEST(StateManager, GenesisState) {
   test::TreeBuilder b;
   StateManager manager(std::map<ledger::NodeId, UInt128>{{0, 42}});

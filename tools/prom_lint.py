@@ -5,6 +5,7 @@ Validates the output of a node's GET /metrics.prom endpoint:
 
     curl -s http://127.0.0.1:9200/metrics.prom | tools/prom_lint.py
     tools/prom_lint.py metrics.prom
+    tools/prom_lint.py --require=themis_finality_height,themis_head_height
 
 Checks, per the exposition-format spec:
   * every line is a comment, a blank line, or a `name{labels} value` sample;
@@ -15,7 +16,10 @@ Checks, per the exposition-format spec:
   * counter samples are non-negative;
   * histograms are well-formed: `le` buckets are cumulative (monotone
     non-decreasing in bound order), the +Inf bucket exists and equals
-    `_count`, and `_sum`/`_count` are present.
+    `_count`, and `_sum`/`_count` are present;
+  * with --require=<name,...>, every named metric family has at least one
+    sample (CI gates the finality gauges this way so a silent registration
+    regression fails the pipeline, not just a dashboard).
 
 Exit status: 0 clean, 1 lint errors, 2 usage/IO error.  Used by CI after
 curling a live daemon; no third-party dependencies.
@@ -198,30 +202,42 @@ class Linter:
             if self.types.get(base_family(name)) == "counter" and value < 0:
                 self.error(line_no, f"counter {name} is negative ({value})")
 
-    def run(self, text):
+    def run(self, text, required=()):
         for line_no, line in enumerate(text.splitlines(), start=1):
             self.lint_line(line_no, line)
         self.lint_histograms()
         self.lint_counters()
         if not self.samples:
             self.errors.append("no samples found (empty exposition)")
+        for family in required:
+            if family not in self.sampled_families:
+                self.errors.append(
+                    f"required metric family {family!r} has no samples")
         return self.errors
 
 
 def main(argv):
-    if len(argv) > 2 or (len(argv) == 2 and argv[1] in ("-h", "--help")):
+    required = []
+    args = []
+    for arg in argv[1:]:
+        if arg.startswith("--require="):
+            required.extend(
+                name for name in arg[len("--require="):].split(",") if name)
+        else:
+            args.append(arg)
+    if len(args) > 1 or (len(args) == 1 and args[0] in ("-h", "--help")):
         sys.stderr.write(__doc__)
         return 2
-    if len(argv) == 2:
+    if len(args) == 1:
         try:
-            with open(argv[1], "r", encoding="utf-8") as handle:
+            with open(args[0], "r", encoding="utf-8") as handle:
                 text = handle.read()
         except OSError as err:
             sys.stderr.write(f"error: {err}\n")
             return 2
     else:
         text = sys.stdin.read()
-    errors = Linter().run(text)
+    errors = Linter().run(text, required)
     for message in errors:
         sys.stderr.write(f"prom_lint: {message}\n")
     if errors:

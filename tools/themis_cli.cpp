@@ -19,6 +19,7 @@
 #include "bench_util.h"
 #include "common/bytes.h"
 #include "common/uint128.h"
+#include "finality/aggregation.h"
 #include "rpc/http_client.h"
 #include "rpc/json.h"
 #include "state/authstate/merkle_state.h"
@@ -37,6 +38,10 @@ constexpr std::string_view kUsage =
     "            against the head state root (prints VERIFIED or FAILED)\n"
     "  head                          current head hash + height\n"
     "  block     --hash=<hex> | --height=<n>\n"
+    "  checkpoint [--height=<n>]     finality certificate at a checkpoint\n"
+    "            height (latest when omitted); add --validators=<n> to\n"
+    "            re-verify the aggregate signature offline against the\n"
+    "            deterministic consortium keys (prints VERIFIED or FAILED)\n"
     "  status                        node summary\n"
     "  metrics                       chain/tx/p2p/rpc counters\n"
     "  watch     live dashboard: polls /metrics and prints height, pool\n"
@@ -149,7 +154,18 @@ int watch_loop(themis::rpc::HttpClient& client, std::uint64_t interval_sec,
           stages += buf;
         }
       }
-      std::cout << "h=" << m["chain"]["height"].as_u64()
+      std::string finality;
+      if (m["finality"].is_object() && m["finality"]["enabled"].is_bool() &&
+          m["finality"]["enabled"].as_bool()) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " fin=%llu lag=%llu",
+                      static_cast<unsigned long long>(
+                          m["finality"]["finalized_height"].as_u64()),
+                      static_cast<unsigned long long>(
+                          m["finality"]["lag"].as_u64()));
+        finality = buf;
+      }
+      std::cout << "h=" << m["chain"]["height"].as_u64() << finality
                 << " peers=" << m["p2p"]["peers"].as_u64()
                 << " pool=" << m["tx"]["pool_depth"].as_u64()
                 << " conf=" << static_cast<std::uint64_t>(confirmed)
@@ -334,6 +350,34 @@ int main(int argc, char** argv) {
       return 2;
     }
     return finish(call(client, "get_block", std::move(params)));
+  }
+
+  if (command == "checkpoint") {
+    rpc::Json params;
+    if (parser.value("--height")) {
+      params.set("height", parser.value_u64("--height", 0));
+    }
+    const rpc::Json response = call(client, "get_checkpoint", std::move(params));
+    const auto validators = parser.value("--validators");
+    if (!validators || response.has("error")) return finish(response);
+
+    // Offline verification: decode the wire certificate and check the
+    // aggregate signature against the deterministic consortium keys — no
+    // trust in the serving node beyond the block id it finalized.
+    std::cout << response["result"].dump() << "\n";
+    bool ok = false;
+    try {
+      const Bytes raw = from_hex(response["result"]["raw"].as_string());
+      const auto cert = finality::CheckpointCertificate::decode(raw);
+      const auto backend = finality::make_backend(cert.backend);
+      const auto set = finality::ValidatorSet::deterministic(
+          parser.value_u64("--validators", 0));
+      ok = backend != nullptr && backend->verify(cert, set);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+    std::cout << (ok ? "VERIFIED" : "FAILED") << "\n";
+    return ok ? 0 : 3;
   }
 
   if (command == "watch") {

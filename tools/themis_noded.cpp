@@ -30,6 +30,7 @@
 #include "consensus/difficulty.h"
 #include "consensus/forkchoice.h"
 #include "core/geost.h"
+#include "finality/aggregation.h"
 #include "obs/live/log.h"
 #include "obs/observability.h"
 #include "obs/report.h"
@@ -51,6 +52,10 @@ constexpr std::string_view kUsage =
     "  --fork-choice=<r>     geost | ghost | longest (default geost)\n"
     "  --no-mine             serve sync and relay blocks, do not mine\n"
     "  --no-signatures       skip Schnorr signing/verification\n"
+    "  --ckpt-interval=<k>   checkpoint finality every k heights (default 16;\n"
+    "                        0 disables the overlay; needs signatures on)\n"
+    "  --finality-backend=<b>  certificate aggregation: concat | half\n"
+    "                        (default concat)\n"
     "  --rpc-port=<port>     serve JSON-RPC over HTTP (default: disabled;\n"
     "                        0 picks an ephemeral port, printed at startup)\n"
     "  --genesis-fund=<n>    genesis balance per consortium account\n"
@@ -118,6 +123,16 @@ int main(int argc, char** argv) {
   }
   config.mine = !parser.flag("--no-mine");
   config.use_signatures = !parser.flag("--no-signatures");
+  config.checkpoint_interval =
+      parser.value_u64("--ckpt-interval", config.checkpoint_interval);
+  if (const auto v = parser.value("--finality-backend")) {
+    config.finality_backend = std::string(*v);
+    if (finality::make_backend(config.finality_backend) == nullptr) {
+      std::cerr << "error: unknown --finality-backend '"
+                << config.finality_backend << "' (concat | half)\n";
+      return 2;
+    }
+  }
   config.rng_seed = parser.value_u64("--seed", 1 + config.id);
   config.genesis_fund = parser.value_u64("--genesis-fund", config.genesis_fund);
   config.snapshot_interval = parser.value_u64("--snapshot-interval", 0);
